@@ -1,0 +1,229 @@
+//! Ablations of the design choices called out in DESIGN.md §5:
+//!
+//! * `estimation_policy` — the paper's grow-by-max-miss rule vs doubling;
+//! * `fifo_impl` — the Signal chain (paper's construction, simulated
+//!   equation-by-equation) vs the native ring-buffer runtime channel;
+//! * `verify_strategy` — exhaustive BFS vs depth-bounded exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::{banner, pipe, pipe_env};
+use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions, GrowthPolicy};
+use polysig_gals::nfifo::nfifo_component;
+use polysig_gals::runtime::RuntimeChannel;
+use polysig_gals::{desynchronize, ChannelPolicy, DesyncOptions};
+use polysig_sim::generator::master_clock;
+use polysig_sim::{BurstyInputs, PeriodicInputs, Scenario, ScenarioGenerator, Simulator};
+use polysig_tagged::{Value, ValueType};
+use polysig_verify::alphabet::Letter;
+use polysig_verify::{check, Alphabet, CheckOptions, EnvAutomaton, Property};
+
+fn bench_estimation_policy(c: &mut Criterion) {
+    banner("ablation", "estimation growth policy: by-max-miss (paper) vs doubling");
+    eprintln!("{:>6} | {:>14} | {:>14}", "burst", "by-miss (iters→n)", "doubling (iters→n)");
+    let env = |burst: usize| {
+        BurstyInputs::new("a", ValueType::Int, burst, 16)
+            .generate(80)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 0).generate(80))
+            .zip_union(&master_clock("tick", 80))
+    };
+    for burst in [2usize, 4, 8] {
+        let by_miss = estimate_buffer_sizes(
+            &pipe(),
+            &env(burst),
+            &EstimationOptions { growth: GrowthPolicy::ByMaxMiss, ..Default::default() },
+        )
+        .unwrap();
+        let doubling = estimate_buffer_sizes(
+            &pipe(),
+            &env(burst),
+            &EstimationOptions { growth: GrowthPolicy::Doubling, ..Default::default() },
+        )
+        .unwrap();
+        eprintln!(
+            "{burst:>6} | {:>9}→{:<5} | {:>9}→{:<5}",
+            by_miss.iterations(),
+            by_miss.size_of(&"x".into()).unwrap(),
+            doubling.iterations(),
+            doubling.size_of(&"x".into()).unwrap(),
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_estimation");
+    for (name, growth) in
+        [("by_max_miss", GrowthPolicy::ByMaxMiss), ("doubling", GrowthPolicy::Doubling)]
+    {
+        let scenario = env(6);
+        group.bench_function(BenchmarkId::new("loop", name), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes(
+                        &pipe(),
+                        &scenario,
+                        &EstimationOptions { growth, ..Default::default() },
+                    )
+                    .unwrap()
+                    .iterations(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fifo_impl(c: &mut Criterion) {
+    banner("ablation", "FIFO implementation: Signal chain vs native ring buffer");
+    let steps = 128;
+    let mut scenario = Scenario::new();
+    for i in 0..steps {
+        let mut t = scenario.on("tick", Value::TRUE);
+        if i % 2 == 0 {
+            t = t.on("ch_in", Value::Int(i as i64));
+        }
+        if i % 2 == 1 {
+            t = t.on("ch_rd", Value::TRUE);
+        }
+        scenario = t.tick();
+    }
+
+    let mut group = c.benchmark_group("ablation_fifo");
+    for depth in [2usize, 8] {
+        let comp = nfifo_component("ch", depth);
+        group.bench_with_input(BenchmarkId::new("signal_chain", depth), &depth, |b, _| {
+            let mut sim = Simulator::for_component(&comp).unwrap();
+            b.iter(|| {
+                sim.reset();
+                std::hint::black_box(sim.run(&scenario).unwrap().events)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_ring", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut ch =
+                    RuntimeChannel::new("ch".into(), Some(depth), ChannelPolicy::Lossy);
+                let mut delivered = 0usize;
+                for i in 0..steps {
+                    if i % 2 == 0 {
+                        let _ = ch.push(Value::Int(i as i64));
+                    }
+                    if i % 2 == 1 && ch.pop().is_some() {
+                        delivered += 1;
+                    }
+                }
+                std::hint::black_box(delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify_strategy(c: &mut Criterion) {
+    banner("ablation", "verification: exhaustive vs depth-bounded");
+    let d = desynchronize(&pipe(), &DesyncOptions::with_size(3)).unwrap();
+    let mut seq = Vec::new();
+    for i in 0..2 {
+        let mut l = Letter::new();
+        l.insert("tick".into(), Value::TRUE);
+        l.insert("a".into(), Value::Int(i + 1));
+        seq.push(l);
+    }
+    for _ in 0..2 {
+        let mut l = Letter::new();
+        l.insert("tick".into(), Value::TRUE);
+        l.insert("x_rd".into(), Value::TRUE);
+        seq.push(l);
+    }
+    let mut alphabet = Alphabet::from_letters(seq.clone()).unwrap();
+    let env = EnvAutomaton::cycle(&mut alphabet, &seq);
+
+    let mut group = c.benchmark_group("ablation_verify");
+    for (name, max_depth) in [("exhaustive", None), ("bounded_depth_8", Some(8usize))] {
+        let alphabet = alphabet.clone();
+        let env = env.clone();
+        group.bench_function(BenchmarkId::new("strategy", name), |b| {
+            b.iter(|| {
+                let r = check(
+                    &d.program,
+                    &alphabet,
+                    &Property::never_true("x_alarm"),
+                    &CheckOptions { env: Some(env.clone()), max_depth, ..Default::default() },
+                )
+                .unwrap();
+                std::hint::black_box(r.states_explored)
+            })
+        });
+    }
+    group.finish();
+
+    let _ = pipe_env(4, 1, 1); // keep the helper exercised
+}
+
+fn bench_sim_scheduling(c: &mut Criterion) {
+    banner("ablation", "simulator: scheduled equations vs naive fixpoint");
+    // a deep instantaneous chain in reverse declaration order — the worst
+    // case for the naive evaluation order
+    let mut eqs = String::new();
+    let mut locals = Vec::new();
+    let depth = 16;
+    for i in (0..depth).rev() {
+        let lhs = if i == depth - 1 { "out".to_string() } else { format!("s{}", i + 1) };
+        let rhs = if i == 0 { "a".to_string() } else { format!("s{i}") };
+        if lhs != "out" {
+            locals.push(lhs.clone());
+        }
+        eqs.push_str(&format!("{lhs} := {rhs} + 1; "));
+    }
+    let src = format!(
+        "process Deep {{ input a: int; output out: int; local {}: int; {eqs} }}",
+        locals.join(": int, ")
+    );
+    let program = polysig_lang::parse_program(&src).unwrap();
+    let scenario = {
+        let mut s = Scenario::new();
+        for i in 0..64 {
+            s = s.on("a", polysig_tagged::Value::Int(i)).tick();
+        }
+        s
+    };
+    // report pass counts once
+    let mut sched = polysig_sim::Reactor::for_program(&program).unwrap();
+    let mut naive = polysig_sim::Reactor::for_program_unscheduled(&program).unwrap();
+    for step in scenario.iter() {
+        sched.react(step).unwrap();
+        naive.react(step).unwrap();
+    }
+    eprintln!(
+        "depth-{depth} chain, 64 reactions: scheduled {} passes, naive {} passes",
+        sched.passes(),
+        naive.passes()
+    );
+
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.bench_function("scheduled", |b| {
+        let mut r = polysig_sim::Reactor::for_program(&program).unwrap();
+        b.iter(|| {
+            r.reset();
+            for step in scenario.iter() {
+                std::hint::black_box(r.react(step).unwrap().len());
+            }
+        })
+    });
+    group.bench_function("naive_fixpoint", |b| {
+        let mut r = polysig_sim::Reactor::for_program_unscheduled(&program).unwrap();
+        b.iter(|| {
+            r.reset();
+            for step in scenario.iter() {
+                std::hint::black_box(r.react(step).unwrap().len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimation_policy,
+    bench_fifo_impl,
+    bench_verify_strategy,
+    bench_sim_scheduling
+);
+criterion_main!(benches);

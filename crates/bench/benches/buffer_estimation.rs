@@ -1,0 +1,65 @@
+//! E6 — Section 5.2: the buffer-size estimation loop.
+//!
+//! Prints the convergence table — iterations and final size versus
+//! workload burstiness and rate mismatch — then measures the loop's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::{banner, pipe};
+use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+use polysig_sim::generator::master_clock;
+use polysig_sim::{BurstyInputs, PeriodicInputs, Scenario, ScenarioGenerator};
+use polysig_tagged::ValueType;
+
+fn bursty_env(steps: usize, burst: usize, period: usize, read_period: usize) -> Scenario {
+    BurstyInputs::new("a", ValueType::Int, burst, period)
+        .generate(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, read_period, 0).generate(steps))
+        .zip_union(&master_clock("tick", steps))
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E6 / Section 5.2", "estimation convergence vs burstiness");
+    eprintln!("{:>6} | {:>10} | {:>10}", "burst", "iterations", "final size");
+    for burst in [1usize, 2, 4, 6, 8] {
+        let env = bursty_env(80, burst, 16, 2);
+        let report = estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        eprintln!(
+            "{burst:>6} | {:>10} | {:>10}",
+            report.iterations(),
+            report.size_of(&"x".into()).unwrap()
+        );
+    }
+
+    banner("E6 / Section 5.2", "estimation convergence vs rate mismatch");
+    eprintln!("{:>12} | {:>10} | {:>10}", "read period", "iterations", "final size");
+    for read_period in [1usize, 2, 3, 4] {
+        let env = polysig_bench::pipe_env(24, 1, read_period);
+        let report = estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        eprintln!(
+            "{read_period:>12} | {:>10} | {:>10}",
+            report.iterations(),
+            report.size_of(&"x".into()).unwrap()
+        );
+    }
+
+    let mut group = c.benchmark_group("estimation");
+    for burst in [2usize, 4, 8] {
+        let env = bursty_env(80, burst, 16, 2);
+        group.bench_with_input(BenchmarkId::new("full_loop", burst), &burst, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default())
+                        .unwrap()
+                        .iterations(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E8 — Section 5.2's service levels: blocking vs lossy vs unbounded.
+//!
+//! Prints the policy comparison table under overload (delivered / lost /
+//! masked / peak occupancy), then measures executor throughput per policy.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use polysig_bench::{banner, pipe};
+use polysig_gals::runtime::{ComponentSpec, GalsExecutor};
+use polysig_gals::ChannelPolicy;
+use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+use polysig_tagged::{SigName, ValueType};
+
+fn executor(policy: ChannelPolicy, horizon: usize) -> GalsExecutor {
+    let env = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(horizon);
+    let mut caps = BTreeMap::new();
+    caps.insert(SigName::from("x"), 2);
+    GalsExecutor::new(
+        &pipe(),
+        vec![
+            ComponentSpec::periodic("P", 1).with_environment(env),
+            ComponentSpec::periodic("Q", 3), // consumer at 1/3 rate: overload
+        ],
+        policy,
+        &caps,
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E8 / service levels", "policies under 3× overload, capacity 2");
+    eprintln!(
+        "{:>10} | {:>8} | {:>9} | {:>6} | {:>6} | {:>13}",
+        "policy", "produced", "delivered", "lost", "masked", "peak occupancy"
+    );
+    let horizon = 120;
+    for policy in [ChannelPolicy::Unbounded, ChannelPolicy::Lossy, ChannelPolicy::Blocking] {
+        let mut ex = executor(policy, horizon);
+        let run = ex.run(horizon as u64).unwrap();
+        let stats = run.channel_stats[&SigName::from("x")];
+        let produced = run.flow("P", &"x".into()).len();
+        let delivered = run.flow("Q", &"x".into()).len();
+        eprintln!(
+            "{policy:>10} | {produced:>8} | {delivered:>9} | {:>6} | {:>6} | {:>13}",
+            stats.drops,
+            run.masked["P"],
+            stats.max_occupancy,
+        );
+    }
+
+    let mut group = c.benchmark_group("policies");
+    group.throughput(Throughput::Elements(horizon as u64));
+    for policy in [ChannelPolicy::Unbounded, ChannelPolicy::Lossy, ChannelPolicy::Blocking] {
+        group.bench_with_input(
+            BenchmarkId::new("executor_120_instants", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut ex = executor(policy, horizon);
+                    std::hint::black_box(ex.run(horizon as u64).unwrap().horizon)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E4 — Figure 3: cost and scaling of the desynchronization transformation.
+//!
+//! Prints the structural summary (components/channels before → after), then
+//! measures transformation time versus pipeline length and buffer depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::banner;
+use polysig_gals::{channels_of_program, desynchronize, DesyncOptions};
+use polysig_lang::{parse_program, Program};
+
+/// A linear pipeline of `n` components (n-1 channels).
+fn pipeline(n: usize) -> Program {
+    let mut src = String::new();
+    for i in 0..n {
+        let input = if i == 0 { "a".to_string() } else { format!("s{i}") };
+        let output = format!("s{}", i + 1);
+        src.push_str(&format!(
+            "process C{i} {{ input {input}: int; output {output}: int; {output} := {input} + 1; }} "
+        ));
+    }
+    parse_program(&src).expect("pipeline parses")
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E4 / Figure 3", "transformation scaling");
+    eprintln!(
+        "{:>6} | {:>9} | {:>16} | {:>15}",
+        "stages", "channels", "components after", "signals after"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let p = pipeline(n);
+        let channels = channels_of_program(&p).unwrap().len();
+        let d = desynchronize(&p, &DesyncOptions::with_size(2).instrumented()).unwrap();
+        eprintln!(
+            "{n:>6} | {channels:>9} | {:>16} | {:>15}",
+            d.program.components.len(),
+            d.program.all_names().len(),
+        );
+    }
+
+    let mut group = c.benchmark_group("desync");
+    for n in [2usize, 4, 8, 16] {
+        let p = pipeline(n);
+        group.bench_with_input(BenchmarkId::new("transform_pipeline", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    desynchronize(&p, &DesyncOptions::with_size(2)).unwrap().channels.len(),
+                )
+            })
+        });
+    }
+    for depth in [1usize, 4, 16, 64] {
+        let p = pipeline(4);
+        group.bench_with_input(BenchmarkId::new("transform_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    desynchronize(&p, &DesyncOptions::with_size(depth))
+                        .unwrap()
+                        .program
+                        .components
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E1 — Figure 2: the one-place buffer.
+//!
+//! Prints the regenerated Figure-2 trace table, then measures simulation
+//! throughput of the Example-1 buffer (reactions per second), comparing it
+//! against the unconstrained memory cell to quantify the cost of the FIFO
+//! causality logic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use polysig_bench::banner;
+use polysig_gals::onefifo::{memory_cell_component, one_place_buffer_component};
+use polysig_gals::report::trace_table;
+use polysig_sim::{Scenario, Simulator};
+use polysig_tagged::Value;
+
+fn figure2_stimulus() -> Scenario {
+    Scenario::new()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(1)).tick()
+        .on("tick", Value::TRUE).tick()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(2)).tick()
+        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(3)).tick()
+        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+}
+
+fn long_workload(steps: usize) -> Scenario {
+    let mut s = Scenario::new();
+    for i in 0..steps {
+        let mut t = s.on("tick", Value::TRUE);
+        if i % 2 == 0 {
+            t = t.on("msgin", Value::Int(i as i64));
+        }
+        if i % 2 == 1 {
+            t = t.on("rd", Value::TRUE);
+        }
+        s = t.tick();
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E1 / Figure 2", "one-place buffer sample behavior");
+    let mut sim = Simulator::for_component(&one_place_buffer_component("OneFifo")).unwrap();
+    let run = sim.run(&figure2_stimulus()).unwrap();
+    eprintln!(
+        "{}",
+        trace_table(
+            &run.behavior,
+            &["msgin".into(), "inw".into(), "full".into(), "rdw".into(), "msgout".into(), "alarm".into()],
+            6,
+        )
+    );
+
+    let workload = long_workload(256);
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("one_place_buffer_256_reactions", |b| {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        b.iter(|| {
+            sim.reset();
+            std::hint::black_box(sim.run(&workload).unwrap().events)
+        })
+    });
+    group.bench_function("memory_cell_256_reactions", |b| {
+        let mut sim = Simulator::for_component(&memory_cell_component("M")).unwrap();
+        b.iter(|| {
+            sim.reset();
+            std::hint::black_box(sim.run(&workload).unwrap().events)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5 — Section 5.1: n-FIFO chain depth scaling.
+//!
+//! Prints the simulation-cost and signal-count series as the chain deepens
+//! (the price of the paper's compositional construction), then measures
+//! reaction throughput per depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use polysig_bench::banner;
+use polysig_gals::nfifo::nfifo_component;
+use polysig_sim::{Scenario, Simulator};
+use polysig_tagged::Value;
+
+fn workload(steps: usize) -> Scenario {
+    let mut s = Scenario::new();
+    for i in 0..steps {
+        let mut t = s.on("tick", Value::TRUE);
+        if i % 2 == 0 {
+            t = t.on("ch_in", Value::Int(i as i64));
+        }
+        if i % 3 == 0 {
+            t = t.on("ch_rd", Value::TRUE);
+        }
+        s = t.tick();
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E5 / Section 5.1", "chain size vs depth");
+    eprintln!("{:>6} | {:>8} | {:>10}", "depth", "signals", "equations");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let comp = nfifo_component("ch", n);
+        eprintln!("{n:>6} | {:>8} | {:>10}", comp.decls.len(), comp.equations().count());
+    }
+
+    let steps = 128;
+    let w = workload(steps);
+    let mut group = c.benchmark_group("nfifo_depth");
+    group.throughput(Throughput::Elements(steps as u64));
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let comp = nfifo_component("ch", n);
+        group.bench_with_input(BenchmarkId::new("simulate_128_reactions", n), &n, |b, _| {
+            let mut sim = Simulator::for_component(&comp).unwrap();
+            b.iter(|| {
+                sim.reset();
+                std::hint::black_box(sim.run(&w).unwrap().events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

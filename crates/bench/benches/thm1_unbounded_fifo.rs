@@ -1,0 +1,90 @@
+//! E2 — Theorem 1: exactness of unbounded-FIFO desynchronization.
+//!
+//! Prints the match table (LHS vs RHS behavior counts per model — the match
+//! rate must be 100%), then measures the cost of the two independent
+//! constructions as the model grows.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::banner;
+use polysig_tagged::{
+    causal_async_compose, fifo_spec::afifo_process_for_flow, sync_compose, Behavior, CausalOrder,
+    Process, SigName, Value,
+};
+
+/// P writes `msgs` values (each synchronous with a private `a` event);
+/// Q reads them (each synchronous with a private `b` event).
+fn model(msgs: usize) -> (Process, Process) {
+    let mut pb = Behavior::new();
+    let mut qb = Behavior::new();
+    for i in 0..msgs {
+        let t = i as u64 + 1;
+        pb.push_event("x", t, Value::Int(i as i64));
+        pb.push_event("a", t, Value::Int(i as i64));
+        qb.push_event("x", t, Value::Int(i as i64));
+        qb.push_event("b", t, Value::Int(i as i64));
+    }
+    let mut p = Process::over(["x".into(), "a".into()]);
+    p.insert(pb).unwrap();
+    let mut q = Process::over(["x".into(), "b".into()]);
+    q.insert(qb).unwrap();
+    (p, q)
+}
+
+fn lhs(p: &Process, q: &Process) -> Process {
+    let x = SigName::from("x");
+    let mut orders = BTreeMap::new();
+    orders.insert(x.clone(), CausalOrder::LeftProduces);
+    causal_async_compose(p, q, &orders).hide([x])
+}
+
+fn rhs(p: &Process, q: &Process) -> Process {
+    let x = SigName::from("x");
+    let xp = x.suffixed("_p");
+    let xq = x.suffixed("_q");
+    let p2 = p.rename(&x, &xp).unwrap();
+    let q2 = q.rename(&x, &xq).unwrap();
+    let pq = sync_compose(&p2, &q2);
+    let mut afifo = Process::over([xp.clone(), xq.clone()]);
+    for b in p.iter() {
+        let flow = b.trace(&x).map(|t| t.values()).unwrap_or_default();
+        for fb in afifo_process_for_flow(&xp, &xq, &flow, false).iter() {
+            afifo.insert(fb.clone()).unwrap();
+        }
+    }
+    sync_compose(&pq, &afifo).hide([xp, xq])
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E2 / Theorem 1", "LHS (causal ∥a) vs RHS (∥s with AFifo), canonical sets");
+    eprintln!("{:>5} | {:>10} | {:>10} | match", "msgs", "LHS size", "RHS size");
+    for msgs in 1..=3 {
+        let (p, q) = model(msgs);
+        let l = lhs(&p, &q);
+        let r = rhs(&p, &q);
+        eprintln!(
+            "{msgs:>5} | {:>10} | {:>10} | {}",
+            l.len(),
+            r.len(),
+            if l.equivalent(&r) { "EXACT" } else { "MISMATCH!" }
+        );
+        assert!(l.equivalent(&r), "Theorem 1 must hold");
+    }
+
+    let mut group = c.benchmark_group("thm1");
+    for msgs in [1usize, 2, 3] {
+        let (p, q) = model(msgs);
+        group.bench_with_input(BenchmarkId::new("lhs_causal_compose", msgs), &msgs, |b, _| {
+            b.iter(|| std::hint::black_box(lhs(&p, &q).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("rhs_sync_with_afifo", msgs), &msgs, |b, _| {
+            b.iter(|| std::hint::black_box(rhs(&p, &q).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E3 — Lemma 2 / Theorem 2: the bounded-FIFO crossover series.
+//!
+//! Prints the headline series — minimal sufficient buffer depth versus
+//! burst length and versus write/read rate ratio — then measures the
+//! Lemma-2 predicate and the bounded composition slice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::banner;
+use polysig_tagged::{
+    fifo_spec::afifo_process_for_flow, is_nfifo_behavior, lemma2_bound_holds, Behavior, SigName,
+    Tag, Value,
+};
+
+/// A writer/reader tag pattern: `burst` writes, then `burst` reads, cycled
+/// `cycles` times.
+fn burst_behavior(burst: usize, cycles: usize) -> Behavior {
+    let mut b = Behavior::new();
+    b.declare("w");
+    b.declare("r");
+    let mut t = 1u64;
+    let mut k = 0i64;
+    for _ in 0..cycles {
+        for _ in 0..burst {
+            b.push_event("w", Tag::new(t), Value::Int(k));
+            t += 1;
+            k += 1;
+        }
+        for i in 0..burst {
+            b.push_event("r", Tag::new(t), Value::Int(k - burst as i64 + i as i64));
+            t += 1;
+        }
+    }
+    b
+}
+
+/// A rate-ratio pattern: writer every tick, reader every `ratio` ticks,
+/// over a window of `window` writes (reads trail behind).
+fn ratio_behavior(ratio: usize, window: usize) -> Behavior {
+    let mut b = Behavior::new();
+    b.declare("w");
+    b.declare("r");
+    for i in 0..window {
+        b.push_event("w", Tag::new(2 * i as u64 + 1), Value::Int(i as i64));
+    }
+    // reader runs at 1/ratio of the writer's pace: backlog accumulates
+    for i in 0..window {
+        let t = 2 + 2 * (ratio as u64) * (i as u64);
+        b.push_event("r", Tag::new(t), Value::Int(i as i64));
+    }
+    b
+}
+
+fn minimal_n(b: &Behavior) -> usize {
+    let w = b.trace(&SigName::from("w")).unwrap();
+    let r = b.trace(&SigName::from("r")).unwrap();
+    (1..=w.len()).find(|&n| lemma2_bound_holds(w, r, n)).unwrap_or(w.len())
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E3 / Theorem 2", "minimal sufficient depth vs burst length");
+    eprintln!("{:>6} | {:>9}", "burst", "minimal n");
+    for burst in 1..=6 {
+        let b = burst_behavior(burst, 3);
+        let n = minimal_n(&b);
+        eprintln!("{burst:>6} | {n:>9}");
+        assert_eq!(n, burst, "crossover must track the burst length");
+    }
+
+    banner("E3 / Theorem 2", "minimal sufficient depth vs backlog window");
+    eprintln!("{:>6} | {:>9}", "window", "minimal n");
+    for window in [2usize, 4, 8, 16] {
+        let b = ratio_behavior(2, window);
+        eprintln!("{window:>6} | {:>9}", minimal_n(&b));
+    }
+
+    let mut group = c.benchmark_group("thm2");
+    for burst in [2usize, 4, 8] {
+        let b = burst_behavior(burst, 8);
+        let w = b.trace(&SigName::from("w")).unwrap().clone();
+        let r = b.trace(&SigName::from("r")).unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("lemma2_predicate", burst), &burst, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box((1..=burst).find(|&n| lemma2_bound_holds(&w, &r, n)))
+            })
+        });
+    }
+    // bounded slice construction: filter the AFifo slice by Definition 9
+    for msgs in [2usize, 3, 4] {
+        let flow: Vec<Value> = (0..msgs as i64).map(Value::Int).collect();
+        group.bench_with_input(BenchmarkId::new("nfifo_slice", msgs), &msgs, |bench, _| {
+            let xp = SigName::from("w");
+            let xq = SigName::from("r");
+            bench.iter(|| {
+                let slice = afifo_process_for_flow(&xp, &xq, &flow, false);
+                let bounded = slice
+                    .iter()
+                    .filter(|b| is_nfifo_behavior(b, &xp, &xq, 2))
+                    .count();
+                std::hint::black_box(bounded)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

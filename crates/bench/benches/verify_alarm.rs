@@ -1,0 +1,75 @@
+//! E7 — Section 5.2's verification step: model-checking "no alarm".
+//!
+//! Prints the state-space table (reachable states / transitions / verdict
+//! per buffer depth under a rate-constrained environment), then measures
+//! checking cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use polysig_bench::{banner, pipe};
+use polysig_gals::{desynchronize, DesyncOptions};
+use polysig_tagged::Value;
+use polysig_verify::alphabet::Letter;
+use polysig_verify::{check, Alphabet, CheckOptions, EnvAutomaton, Property};
+
+/// The w-writes-then-w-reads frame environment.
+fn frame(w: usize) -> Vec<Letter> {
+    let mut seq = Vec::new();
+    for i in 0..w {
+        let mut l = Letter::new();
+        l.insert("tick".into(), Value::TRUE);
+        l.insert("a".into(), Value::Int(i as i64 + 1));
+        seq.push(l);
+    }
+    for _ in 0..w {
+        let mut l = Letter::new();
+        l.insert("tick".into(), Value::TRUE);
+        l.insert("x_rd".into(), Value::TRUE);
+        seq.push(l);
+    }
+    seq
+}
+
+fn run_check(size: usize, w: usize) -> polysig_verify::CheckResult {
+    let d = desynchronize(&pipe(), &DesyncOptions::with_size(size)).unwrap();
+    let seq = frame(w);
+    let mut alphabet = Alphabet::from_letters(seq.clone()).unwrap();
+    let env = EnvAutomaton::cycle(&mut alphabet, &seq);
+    check(
+        &d.program,
+        &alphabet,
+        &Property::never_true("x_alarm"),
+        &CheckOptions { env: Some(env), ..Default::default() },
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E7 / Section 5.2", "alarm reachability vs buffer depth (2-write frames)");
+    eprintln!("{:>6} | {:>8} | {:>12} | verdict", "depth", "states", "transitions");
+    for size in 1..=5usize {
+        let r = run_check(size, 2);
+        eprintln!(
+            "{size:>6} | {:>8} | {:>12} | {}",
+            r.states_explored,
+            r.transitions,
+            if r.holds { "alarm unreachable" } else { "ALARM REACHABLE" }
+        );
+    }
+
+    let mut group = c.benchmark_group("verify");
+    for size in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("check_frame2", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(run_check(size, 2).states_explored))
+        });
+    }
+    for w in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("check_depth3_framew", w), &w, |b, _| {
+            b.iter(|| std::hint::black_box(run_check(3, w).states_explored))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

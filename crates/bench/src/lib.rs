@@ -1,0 +1,44 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Each bench regenerates one experiment of EXPERIMENTS.md: it first prints
+//! the experiment's series/rows (the "table" the paper's methodology would
+//! report), then measures the operation with criterion.
+
+use polysig_lang::{parse_program, Program};
+use polysig_sim::generator::master_clock;
+use polysig_sim::{PeriodicInputs, Scenario, ScenarioGenerator};
+use polysig_tagged::ValueType;
+
+/// The canonical two-component pipe used across experiments.
+pub fn pipe() -> Program {
+    parse_program(
+        "process P { input a: int; output x: int; x := a; } \
+         process Q { input x: int; output y: int; y := x; }",
+    )
+    .expect("pipe parses")
+}
+
+/// An environment for the desynchronized pipe: writes every
+/// `write_period`, reads every `read_period`, master tick throughout.
+pub fn pipe_env(steps: usize, write_period: usize, read_period: usize) -> Scenario {
+    PeriodicInputs::new("a", ValueType::Int, write_period, 0)
+        .generate(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, read_period, 0).generate(steps))
+        .zip_union(&master_clock("tick", steps))
+}
+
+/// Prints one experiment header line.
+pub fn banner(experiment: &str, what: &str) {
+    eprintln!("\n=== {experiment}: {what} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        assert_eq!(pipe().components.len(), 2);
+        assert_eq!(pipe_env(10, 2, 3).len(), 10);
+    }
+}

@@ -1,0 +1,330 @@
+//! The desynchronization transformation (Figure 3, Theorem 1).
+//!
+//! Given a program of synchronously composed components, every explicit
+//! data dependency `P →x Q` is cut: the producer's `x` is renamed to
+//! `x_in`, the consumer's to `x_out`, and a FIFO component (Section 5.1's
+//! chain of one-place buffers) is inserted between them — exactly the
+//! `(P[x_P/x] ∥ Q[x_Q/x]) ∥s nFifo_{x_P→x_Q}` network of Theorems 1 and 2.
+//! After the cut the producer and consumer share no variables besides the
+//! global master `tick`; their synchronization is carried solely by the
+//! channel, so their clocks can be relaxed independently — the GALS model.
+//!
+//! The consumer's read requests (`x_rd`) become fresh *inputs* of the
+//! transformed program: in the synchronous validation model the
+//! environment supplies each component's local activation pattern, which is
+//! how the paper models unknown relative clock rates inside one synchronous
+//! framework.
+
+use std::collections::BTreeMap;
+
+use polysig_lang::Program;
+use polysig_tagged::SigName;
+
+use crate::error::GalsError;
+use crate::instrument::monitor_component;
+use crate::nfifo::nfifo_component;
+use crate::partition::{channels_of_program, ChannelSpec};
+
+/// Options for [`desynchronize`].
+#[derive(Debug, Clone)]
+pub struct DesyncOptions {
+    /// Buffer depth per channel; channels not listed use
+    /// [`DesyncOptions::default_size`].
+    pub sizes: BTreeMap<SigName, usize>,
+    /// Depth for channels without an explicit entry.
+    pub default_size: usize,
+    /// Also insert the Figure-4 monitor (miss counter + max register) per
+    /// channel.
+    pub instrument: bool,
+}
+
+impl Default for DesyncOptions {
+    fn default() -> Self {
+        DesyncOptions { sizes: BTreeMap::new(), default_size: 1, instrument: false }
+    }
+}
+
+impl DesyncOptions {
+    /// Uniform buffer depth, no instrumentation.
+    pub fn with_size(n: usize) -> Self {
+        DesyncOptions { default_size: n, ..DesyncOptions::default() }
+    }
+
+    /// Enables the Figure-4 instrumentation.
+    #[must_use]
+    pub fn instrumented(mut self) -> Self {
+        self.instrument = true;
+        self
+    }
+
+    /// Sets the depth of one channel.
+    #[must_use]
+    pub fn size_of(mut self, signal: impl Into<SigName>, n: usize) -> Self {
+        self.sizes.insert(signal.into(), n);
+        self
+    }
+}
+
+/// One inserted channel: the original dependency plus the generated signal
+/// names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelInstance {
+    /// The original dependency.
+    pub spec: ChannelSpec,
+    /// Buffer depth used.
+    pub size: usize,
+    /// The producer-side signal (`x_P` of Theorem 1).
+    pub in_signal: SigName,
+    /// The consumer-side signal (`x_Q`).
+    pub out_signal: SigName,
+    /// The fresh read-request input.
+    pub rd_signal: SigName,
+    /// The alarm output (true = rejected write).
+    pub alarm_signal: SigName,
+    /// The ok output (true = accepted write).
+    pub ok_signal: SigName,
+    /// The occupancy output.
+    pub count_signal: SigName,
+    /// The stage-1-occupied output (the clock-masking indicator).
+    pub full_signal: SigName,
+    /// The max-consecutive-miss register (present iff instrumented).
+    pub maxmiss_signal: Option<SigName>,
+}
+
+/// A desynchronized program: the transformed network plus channel metadata.
+#[derive(Debug, Clone)]
+pub struct Desynchronized {
+    /// The transformed program: renamed components + FIFO components
+    /// (+ monitors when instrumented).
+    pub program: Program,
+    /// One entry per cut dependency.
+    pub channels: Vec<ChannelInstance>,
+}
+
+impl Desynchronized {
+    /// Finds a channel by its original signal name.
+    pub fn channel(&self, signal: &SigName) -> Option<&ChannelInstance> {
+        self.channels.iter().find(|c| &c.spec.signal == signal)
+    }
+
+    /// Builds the channel-driving half of an environment: the master `tick`
+    /// at every instant and every channel's read request every
+    /// `read_period` instants. Zip it with the producer inputs:
+    ///
+    /// ```
+    /// use polysig_gals::{desynchronize, DesyncOptions};
+    /// use polysig_lang::parse_program;
+    /// use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+    /// use polysig_tagged::ValueType;
+    ///
+    /// let p = parse_program(
+    ///     "process P { input a: int; output x: int; x := a; } \
+    ///      process Q { input x: int; output y: int; y := x; }",
+    /// )?;
+    /// let d = desynchronize(&p, &DesyncOptions::with_size(2))?;
+    /// let env = PeriodicInputs::new("a", ValueType::Int, 2, 0)
+    ///     .generate(16)
+    ///     .zip_union(&d.driver_scenario(16, 2));
+    /// assert_eq!(env.len(), 16);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn driver_scenario(&self, steps: usize, read_period: usize) -> polysig_sim::Scenario {
+        use polysig_sim::{generator::master_clock, PeriodicInputs, ScenarioGenerator};
+        let mut s = master_clock("tick", steps);
+        for ch in &self.channels {
+            s = s.zip_union(
+                &PeriodicInputs::new(
+                    ch.rd_signal.clone(),
+                    polysig_tagged::ValueType::Bool,
+                    read_period,
+                    0,
+                )
+                .generate(steps),
+            );
+        }
+        s
+    }
+}
+
+/// Applies the desynchronization transformation to every cross-component
+/// dependency of `program`.
+///
+/// # Errors
+///
+/// * anything [`channels_of_program`] rejects (unresolved program,
+///   multi-consumer signals);
+/// * [`GalsError::UnknownChannel`] if `options.sizes` names a signal that is
+///   not a cross-component dependency.
+///
+/// ```
+/// use polysig_gals::{desynchronize, DesyncOptions};
+/// use polysig_lang::parse_program;
+///
+/// let p = parse_program(
+///     "process P { input a: int; output x: int; x := a + 1; } \
+///      process Q { input x: int; output y: int; y := x * 2; }",
+/// )?;
+/// let d = desynchronize(&p, &DesyncOptions::with_size(2))?;
+/// assert_eq!(d.channels.len(), 1);
+/// assert_eq!(d.program.components.len(), 3); // P', Q', Fifo_x
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn desynchronize(
+    program: &Program,
+    options: &DesyncOptions,
+) -> Result<Desynchronized, GalsError> {
+    let specs = channels_of_program(program)?;
+    for named in options.sizes.keys() {
+        if !specs.iter().any(|s| &s.signal == named) {
+            return Err(GalsError::UnknownChannel { signal: named.clone() });
+        }
+    }
+
+    let mut out = Program::new(format!("{}_gals", program.name));
+    let mut components: BTreeMap<String, polysig_lang::Component> = program
+        .components
+        .iter()
+        .map(|c| (c.name.clone(), c.clone()))
+        .collect();
+    let mut channels = Vec::new();
+
+    for spec in specs {
+        let n = options.sizes.get(&spec.signal).copied().unwrap_or(options.default_size);
+        let base = spec.signal.as_str();
+        let in_signal = SigName::from(format!("{base}_in"));
+        let out_signal = SigName::from(format!("{base}_out"));
+        let rd_signal = SigName::from(format!("{base}_rd"));
+
+        // rename producer's output x → x_in, consumer's input x → x_out
+        let producer = components
+            .get(&spec.producer)
+            .expect("producer exists by construction")
+            .rename_signal(&spec.signal, &in_signal);
+        components.insert(spec.producer.clone(), producer);
+        let consumer = components
+            .get(&spec.consumer)
+            .expect("consumer exists by construction")
+            .rename_signal(&spec.signal, &out_signal);
+        components.insert(spec.consumer.clone(), consumer);
+
+        channels.push(ChannelInstance {
+            alarm_signal: SigName::from(format!("{base}_alarm")),
+            ok_signal: SigName::from(format!("{base}_ok")),
+            count_signal: SigName::from(format!("{base}_count")),
+            full_signal: SigName::from(format!("{base}_full")),
+            maxmiss_signal: options
+                .instrument
+                .then(|| SigName::from(format!("{base}_maxmiss"))),
+            spec,
+            size: n,
+            in_signal,
+            out_signal,
+            rd_signal,
+        });
+    }
+
+    // original components (renamed), in original order
+    for c in &program.components {
+        out.components.push(components.remove(&c.name).expect("component preserved"));
+    }
+    // one FIFO (and optionally one monitor) per channel
+    for ch in &channels {
+        out.components.push(nfifo_component(ch.spec.signal.as_str(), ch.size));
+        if options.instrument {
+            out.components.push(monitor_component(ch.spec.signal.as_str()));
+        }
+    }
+
+    Ok(Desynchronized { program: out, channels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::{parse_program, Role};
+
+    fn sample() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a + 1; } \
+             process Q { input x: int; output y: int; y := x * 2; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_theorem1_network_structure() {
+        let d = desynchronize(&sample(), &DesyncOptions::with_size(2)).unwrap();
+        assert_eq!(d.program.components.len(), 3);
+
+        let p = d.program.component("P").unwrap();
+        let q = d.program.component("Q").unwrap();
+        // producer and consumer no longer share x…
+        let shared = d.program.shared_signals("P", "Q");
+        assert!(shared.is_empty(), "P' and Q' must be variable-disjoint, got {shared:?}");
+        // …they talk only through the FIFO
+        assert!(p.decl(&"x_in".into()).is_some_and(|dd| dd.role == Role::Output));
+        assert!(q.decl(&"x_out".into()).is_some_and(|dd| dd.role == Role::Input));
+        let fifo = d.program.component("Fifo_x").unwrap();
+        assert!(fifo.decl(&"x_in".into()).is_some_and(|dd| dd.role == Role::Input));
+        assert!(fifo.decl(&"x_out".into()).is_some_and(|dd| dd.role == Role::Output));
+    }
+
+    #[test]
+    fn transformed_program_still_resolves() {
+        let d = desynchronize(&sample(), &DesyncOptions::with_size(1)).unwrap();
+        assert!(polysig_lang::resolve::resolve_program(&d.program).is_ok());
+        assert!(polysig_lang::types::check_program(&d.program).is_ok());
+    }
+
+    #[test]
+    fn read_requests_become_external_inputs() {
+        let d = desynchronize(&sample(), &DesyncOptions::default()).unwrap();
+        let inputs = d.program.external_inputs();
+        assert!(inputs.contains(&"x_rd".into()));
+        assert!(inputs.contains(&"a".into()));
+        assert!(inputs.contains(&"tick".into()));
+    }
+
+    #[test]
+    fn instrumentation_adds_monitor() {
+        let d = desynchronize(&sample(), &DesyncOptions::with_size(1).instrumented()).unwrap();
+        assert_eq!(d.program.components.len(), 4);
+        assert!(d.program.component("Monitor_x").is_some());
+        assert_eq!(
+            d.channels[0].maxmiss_signal.as_ref().map(|s| s.as_str()),
+            Some("x_maxmiss")
+        );
+        assert!(polysig_lang::resolve::resolve_program(&d.program).is_ok());
+    }
+
+    #[test]
+    fn per_channel_sizes_and_lookup() {
+        let d = desynchronize(&sample(), &DesyncOptions::default().size_of("x", 5)).unwrap();
+        let ch = d.channel(&"x".into()).unwrap();
+        assert_eq!(ch.size, 5);
+        assert_eq!(ch.rd_signal.as_str(), "x_rd");
+        assert!(d.channel(&"nope".into()).is_none());
+    }
+
+    #[test]
+    fn unknown_channel_in_options_rejected() {
+        let err = desynchronize(&sample(), &DesyncOptions::default().size_of("ghost", 2))
+            .unwrap_err();
+        assert!(matches!(err, GalsError::UnknownChannel { .. }));
+    }
+
+    #[test]
+    fn chain_of_three_components_gets_two_fifos() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x + 1; } \
+             process C { input y: int; output z: int; z := y * 2; }",
+        )
+        .unwrap();
+        let d = desynchronize(&p, &DesyncOptions::with_size(1)).unwrap();
+        assert_eq!(d.channels.len(), 2);
+        assert_eq!(d.program.components.len(), 5);
+        assert!(d.program.component("Fifo_x").is_some());
+        assert!(d.program.component("Fifo_y").is_some());
+    }
+}

@@ -1,0 +1,331 @@
+//! Section 5.2: iterative buffer-size estimation.
+//!
+//! "Designers can start with a set of behaviors and a rough guess of the
+//! needed buffer size and use the instrumented FIFO network to find the
+//! right estimation … by simulating the behavior of the design for a given
+//! environment, observing the values in the counters, incrementing the
+//! buffer size by these values, and iterating the simulation till no alarm
+//! is raised."
+//!
+//! [`estimate_buffer_sizes`] runs exactly that loop: desynchronize with the
+//! current sizes and the Figure-4 instrumentation, simulate the given
+//! environment, read each channel's max-consecutive-miss register and alarm
+//! count, grow the buffers, and repeat until a run raises no alarm (or a
+//! cap is hit).
+
+use std::collections::BTreeMap;
+
+use polysig_lang::Program;
+use polysig_sim::{Scenario, Simulator};
+use polysig_tagged::{SigName, Value};
+
+use crate::desync::{desynchronize, DesyncOptions, Desynchronized};
+use crate::error::GalsError;
+
+/// How to grow a channel that missed writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrowthPolicy {
+    /// Grow by the max-consecutive-miss register (the paper's rule).
+    #[default]
+    ByMaxMiss,
+    /// Double the size (classic geometric growth — an ablation point).
+    Doubling,
+}
+
+/// Options for the estimation loop.
+#[derive(Debug, Clone)]
+pub struct EstimationOptions {
+    /// Starting depth for every channel.
+    pub initial_size: usize,
+    /// Give up after this many simulate-grow rounds.
+    pub max_iterations: usize,
+    /// Give up when any channel would exceed this depth.
+    pub max_size: usize,
+    /// Growth rule.
+    pub growth: GrowthPolicy,
+}
+
+impl Default for EstimationOptions {
+    fn default() -> Self {
+        EstimationOptions {
+            initial_size: 1,
+            max_iterations: 32,
+            max_size: 4096,
+            growth: GrowthPolicy::ByMaxMiss,
+        }
+    }
+}
+
+/// One simulate-and-measure round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimationIteration {
+    /// Sizes used in this round.
+    pub sizes: BTreeMap<SigName, usize>,
+    /// Alarm-true events observed per channel.
+    pub alarms: BTreeMap<SigName, usize>,
+    /// Final value of each channel's max-consecutive-miss register.
+    pub max_miss: BTreeMap<SigName, usize>,
+}
+
+impl EstimationIteration {
+    /// `true` iff no channel raised an alarm.
+    pub fn is_clean(&self) -> bool {
+        self.alarms.values().all(|&n| n == 0)
+    }
+}
+
+/// The outcome of the estimation loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimationReport {
+    /// `true` iff the last round raised no alarm.
+    pub converged: bool,
+    /// Every round, in order (the last one is the clean run when
+    /// converged).
+    pub history: Vec<EstimationIteration>,
+    /// The sizes of the final round.
+    pub final_sizes: BTreeMap<SigName, usize>,
+}
+
+impl EstimationReport {
+    /// Number of simulate-grow rounds executed.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The estimated size of one channel.
+    pub fn size_of(&self, signal: &SigName) -> Option<usize> {
+        self.final_sizes.get(signal).copied()
+    }
+}
+
+/// Runs the Section-5.2 estimation loop for `program` under the environment
+/// `scenario` (which must drive the *desynchronized* program's inputs: the
+/// original external inputs, each channel's `<x>_rd` read pattern, and the
+/// master `tick`).
+///
+/// # Errors
+///
+/// Surfaces transformation and simulation errors. A loop that hits the
+/// iteration or size cap returns `Ok` with `converged == false` — inspect
+/// the report's history to see the divergence.
+///
+/// ```
+/// use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+/// use polysig_lang::parse_program;
+/// use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+/// use polysig_tagged::ValueType;
+///
+/// // producer emits every tick, consumer reads every 2nd tick: any finite
+/// // buffer eventually overflows on a long run, but on a short run the
+/// // loop finds the size covering the backlog.
+/// let p = parse_program(
+///     "process P { input a: int; output x: int; x := a; } \
+///      process Q { input x: int; output y: int; y := x; }",
+/// )?;
+/// let steps = 8;
+/// let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+///     .generate(steps)
+///     .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 1).generate(steps))
+///     .zip_union(&polysig_sim::generator::master_clock("tick", steps));
+/// let report = estimate_buffer_sizes(&p, &scenario, &EstimationOptions::default())?;
+/// assert!(report.converged);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_buffer_sizes(
+    program: &Program,
+    scenario: &Scenario,
+    options: &EstimationOptions,
+) -> Result<EstimationReport, GalsError> {
+    // discover channels once to seed sizes
+    let probe = desynchronize(program, &DesyncOptions::with_size(1))?;
+    let mut sizes: BTreeMap<SigName, usize> = probe
+        .channels
+        .iter()
+        .map(|c| (c.spec.signal.clone(), options.initial_size.max(1)))
+        .collect();
+
+    let mut history = Vec::new();
+    for _ in 0..options.max_iterations {
+        let d = desynchronize(
+            program,
+            &DesyncOptions { sizes: sizes.clone(), default_size: 1, instrument: true },
+        )?;
+        let iteration = measure(&d, scenario, &sizes)?;
+        let clean = iteration.is_clean();
+        let max_miss = iteration.max_miss.clone();
+        history.push(iteration);
+        if clean {
+            return Ok(EstimationReport { converged: true, final_sizes: sizes, history });
+        }
+        // grow the channels that missed
+        let mut capped = false;
+        for (signal, miss) in &max_miss {
+            if *miss == 0 {
+                continue;
+            }
+            let size = sizes.get_mut(signal).expect("channel seeded");
+            *size = match options.growth {
+                GrowthPolicy::ByMaxMiss => *size + miss,
+                GrowthPolicy::Doubling => (*size * 2).max(*size + 1),
+            };
+            if *size > options.max_size {
+                capped = true;
+            }
+        }
+        if capped {
+            return Ok(EstimationReport { converged: false, final_sizes: sizes, history });
+        }
+    }
+    Ok(EstimationReport { converged: false, final_sizes: sizes, history })
+}
+
+/// Simulates one instrumented round and collects alarms and miss registers.
+fn measure(
+    d: &Desynchronized,
+    scenario: &Scenario,
+    sizes: &BTreeMap<SigName, usize>,
+) -> Result<EstimationIteration, GalsError> {
+    let mut sim = Simulator::for_program(&d.program)?;
+    let run = sim.run(scenario)?;
+    let mut alarms = BTreeMap::new();
+    let mut max_miss = BTreeMap::new();
+    for ch in &d.channels {
+        let alarm_count = run
+            .flow(&ch.alarm_signal)
+            .iter()
+            .filter(|v| **v == Value::TRUE)
+            .count();
+        alarms.insert(ch.spec.signal.clone(), alarm_count);
+        let register = ch
+            .maxmiss_signal
+            .as_ref()
+            .and_then(|s| run.flow(s).last().and_then(|v| v.as_int()))
+            .unwrap_or(0);
+        max_miss.insert(ch.spec.signal.clone(), register.max(0) as usize);
+    }
+    Ok(EstimationIteration { sizes: sizes.clone(), alarms, max_miss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+    use polysig_sim::generator::master_clock;
+    use polysig_sim::{BurstyInputs, PeriodicInputs, ScenarioGenerator};
+    use polysig_tagged::ValueType;
+
+    fn pipe() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x; }",
+        )
+        .unwrap()
+    }
+
+    /// writer every tick, reader every `rd_period` ticks
+    fn env(steps: usize, write_period: usize, rd_period: usize) -> Scenario {
+        PeriodicInputs::new("a", ValueType::Int, write_period, 0)
+            .generate(steps)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, rd_period, 1).generate(steps))
+            .zip_union(&master_clock("tick", steps))
+    }
+
+    #[test]
+    fn matched_rates_converge_immediately() {
+        // write every 2, read every 2: one-place buffering suffices
+        let report =
+            estimate_buffer_sizes(&pipe(), &env(24, 2, 2), &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations(), 1);
+        assert_eq!(report.size_of(&"x".into()), Some(1));
+    }
+
+    #[test]
+    fn rate_mismatch_grows_buffers() {
+        // write every tick, read every 3rd tick over a short horizon:
+        // backlog grows, the loop must enlarge the buffer
+        let report =
+            estimate_buffer_sizes(&pipe(), &env(12, 1, 3), &EstimationOptions::default()).unwrap();
+        assert!(report.converged, "history: {:#?}", report.history);
+        assert!(report.iterations() > 1);
+        assert!(report.size_of(&"x".into()).unwrap() > 1);
+        // final round is clean
+        assert!(report.history.last().unwrap().is_clean());
+        // earlier rounds raised alarms
+        assert!(!report.history[0].is_clean());
+    }
+
+    #[test]
+    fn bursts_need_buffers_matching_burst_length() {
+        let steps = 40;
+        let scenario = BurstyInputs::new("a", ValueType::Int, 4, 10)
+            .generate(steps)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 0).generate(steps))
+            .zip_union(&master_clock("tick", steps));
+        let report =
+            estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        let n = report.size_of(&"x".into()).unwrap();
+        assert!(n >= 2, "4-bursts drained every 2 ticks need at least 2 places, got {n}");
+    }
+
+    #[test]
+    fn doubling_policy_also_converges() {
+        let opts = EstimationOptions { growth: GrowthPolicy::Doubling, ..Default::default() };
+        let report = estimate_buffer_sizes(&pipe(), &env(12, 1, 3), &opts).unwrap();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn writer_only_workload_converges_at_write_count() {
+        // writer always, reader never: on a finite run the loop settles on
+        // a buffer holding every write (an infinite run would diverge)
+        let steps = 30;
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+            .generate(steps)
+            .zip_union(&master_clock("tick", steps));
+        let report =
+            estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.size_of(&"x".into()), Some(steps));
+    }
+
+    #[test]
+    fn size_cap_reports_divergence() {
+        // same workload, but the cap is below the needed depth: the loop
+        // must give up and say so
+        let steps = 30;
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+            .generate(steps)
+            .zip_union(&master_clock("tick", steps));
+        let opts = EstimationOptions { max_size: 8, ..Default::default() };
+        let report = estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap();
+        assert!(!report.converged);
+        let final_size = report.final_sizes[&SigName::from("x")];
+        assert!(final_size > 8, "growth should have tripped the cap, got {final_size}");
+        assert!(!report.history.is_empty());
+    }
+
+    #[test]
+    fn estimated_size_is_sufficient_but_honest() {
+        // verify the paper's guarantee: for the *simulated* behaviors, the
+        // estimated size raises no alarm
+        let scenario = env(18, 1, 2);
+        let report =
+            estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        let n = report.size_of(&"x".into()).unwrap();
+        // re-simulate at size n: clean; at size n-1 (if any): alarms
+        let clean = desynchronize(&pipe(), &DesyncOptions::with_size(n).instrumented()).unwrap();
+        let mut sim = Simulator::for_program(&clean.program).unwrap();
+        let run = sim.run(&scenario).unwrap();
+        assert!(run.flow(&"x_alarm".into()).iter().all(|v| *v != Value::TRUE));
+        if n > 1 {
+            let tight =
+                desynchronize(&pipe(), &DesyncOptions::with_size(n - 1).instrumented()).unwrap();
+            let mut sim = Simulator::for_program(&tight.program).unwrap();
+            let run = sim.run(&scenario).unwrap();
+            assert!(run.flow(&"x_alarm".into()).contains(&Value::TRUE));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Fork and merge components.
+//!
+//! The paper's single-producer/single-consumer restriction (below Theorem 2)
+//! is discharged by "standard copy (fork) and merge (join) components to
+//! copy the shared channel for several components and join several write
+//! attempts of different components into one channel". This module builds
+//! them as ordinary Signal components, and [`fork_shared_signals`] rewrites
+//! a multi-consumer program into single-consumer form so the
+//! desynchronization transformation applies.
+
+use polysig_lang::{Component, ComponentBuilder, Expr, Program, Role};
+use polysig_tagged::{SigName, ValueType};
+
+use crate::error::GalsError;
+
+/// Builds a fork: input `x`, outputs `x__1 … x__n`, each an identical copy
+/// (same clock, same values).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn fork_component(signal: &SigName, ty: ValueType, n: usize) -> Component {
+    assert!(n > 0, "a fork needs at least one output");
+    let mut b = ComponentBuilder::new(format!("Fork_{signal}")).input(signal.clone(), ty);
+    for i in 1..=n {
+        let out = fork_branch(signal, i);
+        b = b.output(out.clone(), ty).equation(out, Expr::Var(signal.clone()));
+    }
+    b.build()
+}
+
+/// The name of the `i`-th (1-based) branch of a forked signal.
+pub fn fork_branch(signal: &SigName, i: usize) -> SigName {
+    SigName::from(format!("{signal}__{i}"))
+}
+
+/// Builds a merge (join): inputs `x__1 … x__n`, output `x` preferring lower
+/// branch indices when several write in the same instant (the deterministic
+/// `default` cascade — Signal's standard join).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn merge_component(signal: &SigName, ty: ValueType, n: usize) -> Component {
+    assert!(n > 0, "a merge needs at least one input");
+    let mut b = ComponentBuilder::new(format!("Merge_{signal}"));
+    for i in 1..=n {
+        b = b.input(fork_branch(signal, i), ty);
+    }
+    let mut expr = Expr::Var(fork_branch(signal, 1));
+    for i in 2..=n {
+        expr = expr.default(Expr::Var(fork_branch(signal, i)));
+    }
+    b.output(signal.clone(), ty).equation(signal.clone(), expr).build()
+}
+
+/// Rewrites every multi-consumer shared signal of `program` through an
+/// explicit fork: the producer keeps writing `x`, a `Fork_x` component
+/// copies it, and the `k`-th consumer reads its private branch `x__k`.
+///
+/// The result satisfies the single-consumer restriction, so
+/// [`crate::desynchronize`] can cut each branch independently.
+///
+/// # Errors
+///
+/// Surfaces resolution errors of the input program.
+pub fn fork_shared_signals(program: &Program) -> Result<Program, GalsError> {
+    polysig_lang::resolve::resolve_program(program)?;
+    let mut out = Program::new(program.name.clone());
+    let mut forks: Vec<Component> = Vec::new();
+    let mut components = program.components.clone();
+
+    // collect (signal, ty, consumers) for signals with >= 2 consumers
+    let producers: Vec<(SigName, ValueType)> = program
+        .components
+        .iter()
+        .flat_map(|c| c.signals_with_role(Role::Output).map(|d| (d.name.clone(), d.ty)))
+        .collect();
+    for (signal, ty) in producers {
+        let consumers: Vec<usize> = components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.decl(&signal).is_some_and(|d| d.role == Role::Input))
+            .map(|(i, _)| i)
+            .collect();
+        if consumers.len() < 2 {
+            continue;
+        }
+        forks.push(fork_component(&signal, ty, consumers.len()));
+        for (k, &ci) in consumers.iter().enumerate() {
+            components[ci] = components[ci].rename_signal(&signal, &fork_branch(&signal, k + 1));
+        }
+    }
+
+    out.components = components;
+    out.components.extend(forks);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::channels_of_program;
+    use polysig_lang::parse_program;
+    use polysig_sim::{Scenario, Simulator};
+    use polysig_tagged::Value;
+
+    #[test]
+    fn fork_copies_values_and_clock() {
+        let f = fork_component(&"x".into(), ValueType::Int, 3);
+        let mut sim = Simulator::for_component(&f).unwrap();
+        let run = sim
+            .run(&Scenario::new().on("x", Value::Int(7)).tick().tick())
+            .unwrap();
+        for i in 1..=3 {
+            assert_eq!(run.flow(&fork_branch(&"x".into(), i)), vec![Value::Int(7)]);
+            assert_eq!(run.presence(&fork_branch(&"x".into(), i)), vec![0]);
+        }
+    }
+
+    #[test]
+    fn merge_prefers_lower_branches() {
+        let m = merge_component(&"x".into(), ValueType::Int, 2);
+        let mut sim = Simulator::for_component(&m).unwrap();
+        let run = sim
+            .run(
+                &Scenario::new()
+                    .on("x__1", Value::Int(1))
+                    .on("x__2", Value::Int(2))
+                    .tick()
+                    .on("x__2", Value::Int(9))
+                    .tick(),
+            )
+            .unwrap();
+        assert_eq!(run.flow(&"x".into()), vec![Value::Int(1), Value::Int(9)]);
+    }
+
+    #[test]
+    fn fork_then_merge_is_identity_on_single_branch() {
+        let mut p = Program::new("loopback");
+        p.components.push(fork_component(&"x".into(), ValueType::Int, 1));
+        p.components.push(merge_component(&"y".into(), ValueType::Int, 1));
+        // wire: fork's x__1 is not merge's y__1 — just check both elaborate
+        assert!(Simulator::for_program(&p).is_ok());
+    }
+
+    #[test]
+    fn fork_shared_signals_fixes_multi_consumer_programs() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x + 1; } \
+             process C { input x: int; output z: int; z := x * 2; }",
+        )
+        .unwrap();
+        // before: rejected
+        assert!(channels_of_program(&p).is_err());
+        // after: fork inserted, three single-consumer channels
+        let forked = fork_shared_signals(&p).unwrap();
+        assert!(forked.component("Fork_x").is_some());
+        let channels = channels_of_program(&forked).unwrap();
+        assert_eq!(channels.len(), 3); // A→Fork, Fork→B, Fork→C
+        // behavior: both consumers see the producer's values
+        let mut sim = Simulator::for_program(&forked).unwrap();
+        let run = sim.run(&Scenario::new().on("a", Value::Int(5)).tick()).unwrap();
+        assert_eq!(run.flow(&"y".into()), vec![Value::Int(6)]);
+        assert_eq!(run.flow(&"z".into()), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn forked_program_desynchronizes() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x + 1; } \
+             process C { input x: int; output z: int; z := x * 2; }",
+        )
+        .unwrap();
+        let forked = fork_shared_signals(&p).unwrap();
+        let d = crate::desync::desynchronize(&forked, &crate::desync::DesyncOptions::with_size(2))
+            .unwrap();
+        assert_eq!(d.channels.len(), 3);
+        assert!(polysig_lang::resolve::resolve_program(&d.program).is_ok());
+    }
+
+    #[test]
+    fn single_consumer_programs_unchanged() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x; }",
+        )
+        .unwrap();
+        let forked = fork_shared_signals(&p).unwrap();
+        assert_eq!(forked.components.len(), 2);
+        assert!(forked.component("Fork_x").is_none());
+    }
+}

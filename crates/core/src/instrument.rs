@@ -1,0 +1,168 @@
+//! Figure 4: the instrumentation circuitry around a FIFO channel.
+//!
+//! Every unsuccessful write (`alarm` true) increments a counter; every
+//! successful write (`ok` true) resets it; a register keeps the maximum the
+//! counter ever reached — "the number of times we consecutively missed a
+//! write to the buffer". The estimation loop of Section 5.2 reads this
+//! register after a simulation run and grows the buffer by that amount.
+
+use polysig_lang::{Binop, Component, ComponentBuilder, Expr};
+use polysig_tagged::{SigName, Value, ValueType};
+
+/// Builds the monitor component for channel `name`.
+///
+/// Interface:
+///
+/// * inputs — `<name>_alarm: bool`, `<name>_ok: bool` (from
+///   [`crate::nfifo::nfifo_component`]), `tick: bool`;
+/// * outputs — `<name>_misses: int` (current consecutive-miss counter,
+///   present at every tick) and `<name>_maxmiss: int` (the max register,
+///   present at every tick).
+pub fn monitor_component(name: &str) -> Component {
+    let alarm = format!("{name}_alarm");
+    let ok = format!("{name}_ok");
+    let misses = format!("{name}_misses");
+    let maxmiss = format!("{name}_maxmiss");
+    let mprev = format!("{name}_mprev");
+    let xprev = format!("{name}_xprev");
+
+    ComponentBuilder::new(format!("Monitor_{name}"))
+        .input(alarm.as_str(), ValueType::Bool)
+        .input(ok.as_str(), ValueType::Bool)
+        .input("tick", ValueType::Bool)
+        .output(misses.as_str(), ValueType::Int)
+        .output(maxmiss.as_str(), ValueType::Int)
+        .local(mprev.as_str(), ValueType::Int)
+        .local(xprev.as_str(), ValueType::Int)
+        .sync(["tick", misses.as_str(), maxmiss.as_str()])
+        .equation(
+            mprev.as_str(),
+            Expr::var(misses.as_str()).pre(Value::Int(0)).when(Expr::var("tick")),
+        )
+        .equation(
+            xprev.as_str(),
+            Expr::var(maxmiss.as_str()).pre(Value::Int(0)).when(Expr::var("tick")),
+        )
+        // counter: +1 on a missed write, reset on a successful write,
+        // otherwise hold
+        .equation(
+            misses.as_str(),
+            Expr::var(mprev.as_str())
+                .binop(Binop::Add, Expr::int(1))
+                .when(Expr::var(alarm.as_str()))
+                .default(
+                    Expr::int(0)
+                        .when(Expr::var(ok.as_str()))
+                        .default(Expr::var(mprev.as_str())),
+                ),
+        )
+        // register: maximum the counter ever reached
+        .equation(
+            maxmiss.as_str(),
+            Expr::var(misses.as_str())
+                .when(Expr::var(misses.as_str()).binop(Binop::Gt, Expr::var(xprev.as_str())))
+                .default(Expr::var(xprev.as_str())),
+        )
+        .build()
+}
+
+/// The name of the max-miss register output for channel `name` (what the
+/// estimation loop reads).
+pub fn maxmiss_signal(name: &str) -> SigName {
+    SigName::from(format!("{name}_maxmiss"))
+}
+
+/// The name of the alarm output for channel `name`.
+pub fn alarm_signal(name: &str) -> SigName {
+    SigName::from(format!("{name}_alarm"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfifo::nfifo_component;
+    use polysig_lang::Program;
+    use polysig_sim::{Scenario, Simulator};
+    use polysig_tagged::Value;
+
+    /// FIFO + monitor wired through the shared alarm/ok signals.
+    fn monitored_fifo(n: usize) -> Program {
+        let mut p = Program::new("monitored");
+        p.components.push(nfifo_component("ch", n));
+        p.components.push(monitor_component("ch"));
+        p
+    }
+
+    fn step(s: Scenario, write: Option<i64>, read: bool) -> Scenario {
+        let mut s = s.on("tick", Value::TRUE);
+        if let Some(v) = write {
+            s = s.on("ch_in", Value::Int(v));
+        }
+        if read {
+            s = s.on("ch_rd", Value::TRUE);
+        }
+        s.tick()
+    }
+
+    #[test]
+    fn counter_counts_consecutive_misses() {
+        let mut sim = Simulator::for_program(&monitored_fifo(1)).unwrap();
+        let mut s = Scenario::new();
+        // fill, then three rejected writes, then drain and a good write
+        s = step(s, Some(1), false);
+        s = step(s, Some(2), false);
+        s = step(s, Some(3), false);
+        s = step(s, Some(4), false);
+        s = step(s, None, true);
+        s = step(s, Some(5), false);
+        let run = sim.run(&s).unwrap();
+        assert_eq!(
+            run.flow(&"ch_misses".into()),
+            vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(3), // held during the read-only tick
+                Value::Int(0), // reset by the successful write
+            ]
+        );
+        assert_eq!(
+            run.flow(&"ch_maxmiss".into()).last(),
+            Some(&Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn register_keeps_maximum_across_episodes() {
+        let mut sim = Simulator::for_program(&monitored_fifo(1)).unwrap();
+        let mut s = Scenario::new();
+        // episode 1: two misses; drain; episode 2: one miss
+        s = step(s, Some(1), false);
+        s = step(s, Some(2), false);
+        s = step(s, Some(3), false);
+        s = step(s, None, true);
+        s = step(s, Some(4), false);
+        s = step(s, Some(5), false);
+        let run = sim.run(&s).unwrap();
+        assert_eq!(run.flow(&"ch_maxmiss".into()).last(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn no_misses_keeps_register_zero() {
+        let mut sim = Simulator::for_program(&monitored_fifo(2)).unwrap();
+        let mut s = Scenario::new();
+        s = step(s, Some(1), false);
+        s = step(s, None, false);
+        s = step(s, None, true);
+        s = step(s, Some(2), true);
+        let run = sim.run(&s).unwrap();
+        assert!(run.flow(&"ch_maxmiss".into()).iter().all(|v| *v == Value::Int(0)));
+    }
+
+    #[test]
+    fn helper_names() {
+        assert_eq!(maxmiss_signal("ch").as_str(), "ch_maxmiss");
+        assert_eq!(alarm_signal("ch").as_str(), "ch_alarm");
+    }
+}

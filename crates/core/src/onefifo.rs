@@ -1,0 +1,239 @@
+//! The paper's Example 1: a single-cell memory and a one-place buffer.
+//!
+//! Two remarks on fidelity (see DESIGN.md §3):
+//!
+//! * The paper's components leave their master clock implicit (the
+//!   environment of the Polychrony toolset supplies it). Our constructive
+//!   simulator requires every clock to be pinned down, so the components
+//!   take an explicit boolean master input `tick`; writes and read requests
+//!   must arrive at ticks (`msgin, rd ⊆ tick`). This is the standard
+//!   endochronization step and does not change the buffer's I/O flows.
+//! * The buffer state machine is written so that `full` genuinely persists
+//!   across idle instants (the paper's abbreviated listing elides this).
+
+use polysig_lang::{Component, ComponentBuilder, Expr};
+use polysig_tagged::{Value, ValueType};
+
+/// The single-cell *memory* of Example 1: independent reads and writes, no
+/// flow control — reads return the last value written (initially 0), writes
+/// overwrite freely. This is the starting point the paper refines into a
+/// buffer.
+///
+/// Interface: inputs `msgin: int`, `rd: bool`, `tick: bool`; output
+/// `msgout: int` (present at read requests).
+pub fn memory_cell_component(name: &str) -> Component {
+    ComponentBuilder::new(name)
+        .input("msgin", ValueType::Int)
+        .input("rd", ValueType::Bool)
+        .input("tick", ValueType::Bool)
+        .output("msgout", ValueType::Int)
+        .local("data", ValueType::Int)
+        .sync(["tick", "data"])
+        // data = msgin default (pre 0 data)   — the paper's first equation
+        .equation(
+            "data",
+            Expr::var("msgin")
+                .default(Expr::var("data").pre(Value::Int(0)).when(Expr::var("tick"))),
+        )
+        // msgout = data when ^msgout — reads are demand-driven; here the
+        // demand is the explicit `rd` request
+        .equation("msgout", Expr::var("data").when(Expr::var("rd")))
+        .build()
+}
+
+/// The *one-place buffer* of Example 1 (Figure 2): a memory cell with
+/// first-in-first-out causality — a write is accepted only when the buffer
+/// is empty, a read succeeds only when it holds data.
+///
+/// Interface:
+///
+/// * inputs — `msgin: int` (write attempt), `rd: bool` (read request),
+///   `tick: bool` (master clock);
+/// * outputs — `msgout: int` (successful reads), `full: bool` (state after
+///   each tick), `alarm: bool` / `ok: bool` (present at write attempts:
+///   `alarm` true when the write was rejected, `ok` true when accepted —
+///   Section 5.1's instrumentation hooks);
+/// * write/read in the same instant is allowed when the buffer is full
+///   (read drains, write refills next state? no — the write is rejected:
+///   a one-place buffer hands over through storage, matching Definition 9
+///   with `n = 1`).
+pub fn one_place_buffer_component(name: &str) -> Component {
+    ComponentBuilder::new(name)
+        .input("msgin", ValueType::Int)
+        .input("rd", ValueType::Bool)
+        .input("tick", ValueType::Bool)
+        .output("msgout", ValueType::Int)
+        .output("full", ValueType::Bool)
+        .output("alarm", ValueType::Bool)
+        .output("ok", ValueType::Bool)
+        .local("inw", ValueType::Bool)
+        .local("rdw", ValueType::Bool)
+        .local("fullprev", ValueType::Bool)
+        .local("data", ValueType::Int)
+        .sync(["tick", "full", "data"])
+        // write / read attempts as booleans at the master clock
+        // (the paper's `in = ^msgin default false`, `out = ^msgout default false`)
+        .equation(
+            "inw",
+            Expr::var("msgin").clock().default(Expr::bool(false).when(Expr::var("tick"))),
+        )
+        .equation(
+            "rdw",
+            Expr::var("rd").default(Expr::bool(false).when(Expr::var("tick"))),
+        )
+        .equation("fullprev", Expr::var("full").pre(Value::FALSE).when(Expr::var("tick")))
+        // full' = (full ∧ ¬take) ∨ put  — the paper's `full = (pre in ∧ ¬pre out) default pre full`
+        .equation(
+            "full",
+            Expr::var("fullprev")
+                .binop(
+                    polysig_lang::Binop::And,
+                    Expr::var("rdw").binop(polysig_lang::Binop::And, Expr::var("fullprev")).not(),
+                )
+                .binop(
+                    polysig_lang::Binop::Or,
+                    Expr::var("inw").binop(polysig_lang::Binop::And, Expr::var("fullprev").not()),
+                ),
+        )
+        // data = (msgin when ¬full) default pre data — paper's guarded write
+        .equation(
+            "data",
+            Expr::var("msgin")
+                .when(Expr::var("fullprev").not())
+                .default(Expr::var("data").pre(Value::Int(0)).when(Expr::var("tick"))),
+        )
+        // a read delivers the stored value
+        .equation(
+            "msgout",
+            Expr::var("data")
+                .pre(Value::Int(0))
+                .when(Expr::var("rdw").binop(polysig_lang::Binop::And, Expr::var("fullprev"))),
+        )
+        // Section 5.1: alarm at unsuccessful writes, ok at successful ones
+        .equation("alarm", Expr::var("fullprev").when(Expr::var("inw")))
+        .equation("ok", Expr::var("fullprev").not().when(Expr::var("inw")))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_sim::{Scenario, Simulator};
+    use polysig_tagged::{is_afifo_behavior, is_nfifo_behavior, Behavior, SigName, Value};
+
+    fn tick(s: Scenario) -> Scenario {
+        s.on("tick", Value::TRUE).tick()
+    }
+
+    fn write(s: Scenario, v: i64) -> Scenario {
+        s.on("tick", Value::TRUE).on("msgin", Value::Int(v)).tick()
+    }
+
+    fn read(s: Scenario) -> Scenario {
+        s.on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+    }
+
+    fn write_read(s: Scenario, v: i64) -> Scenario {
+        s.on("tick", Value::TRUE).on("msgin", Value::Int(v)).on("rd", Value::TRUE).tick()
+    }
+
+    #[test]
+    fn memory_cell_keeps_last_written_value() {
+        let mut sim = Simulator::for_component(&memory_cell_component("Mem")).unwrap();
+        let s = read(write(tick(write(Scenario::new(), 5)), 9));
+        // write 5, tick, write 9, read
+        let run = sim.run(&s).unwrap();
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn memory_cell_initial_value_is_zero() {
+        let mut sim = Simulator::for_component(&memory_cell_component("Mem")).unwrap();
+        let run = sim.run(&read(Scenario::new())).unwrap();
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn memory_cell_allows_overwrite_unlike_buffer() {
+        // two writes, then a read: memory returns the second value —
+        // the buffer (below) would reject the second write.
+        let mut sim = Simulator::for_component(&memory_cell_component("Mem")).unwrap();
+        let run = sim.run(&read(write(write(Scenario::new(), 1), 2))).unwrap();
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn buffer_stores_and_delivers_one_value() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        let run = sim.run(&read(write(Scenario::new(), 7))).unwrap();
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(7)]);
+        assert_eq!(run.flow(&"ok".into()), vec![Value::TRUE]);
+        assert!(run.flow(&"alarm".into()).iter().all(|v| *v == Value::FALSE));
+    }
+
+    #[test]
+    fn buffer_rejects_write_when_full_and_raises_alarm() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        let run = sim.run(&read(write(write(Scenario::new(), 1), 2))).unwrap();
+        // second write rejected: read returns 1, alarm fired once
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(1)]);
+        assert_eq!(run.flow(&"alarm".into()), vec![Value::FALSE, Value::TRUE]);
+        assert_eq!(run.flow(&"ok".into()), vec![Value::TRUE, Value::FALSE]);
+    }
+
+    #[test]
+    fn buffer_read_on_empty_is_silent() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        let run = sim.run(&read(Scenario::new())).unwrap();
+        assert!(run.flow(&"msgout".into()).is_empty());
+    }
+
+    #[test]
+    fn buffer_full_flag_tracks_occupancy() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        let run = sim.run(&tick(read(tick(write(Scenario::new(), 4))))).unwrap();
+        // after write: full; after idle: full; after read: empty; idle: empty
+        assert_eq!(
+            run.flow(&"full".into()),
+            vec![Value::TRUE, Value::TRUE, Value::FALSE, Value::FALSE]
+        );
+    }
+
+    #[test]
+    fn buffer_simultaneous_write_and_read_when_full() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        // fill with 1, then write 2 + read in the same instant:
+        // the read drains 1, the write of 2 is rejected (alarm) — a strict
+        // one-place buffer hands over through storage.
+        let run = sim.run(&read(write_read(write(Scenario::new(), 1), 2))).unwrap();
+        assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(1)]);
+        assert_eq!(run.flow(&"alarm".into()), vec![Value::FALSE, Value::TRUE]);
+    }
+
+    /// The buffer's accepted-write/delivered-read behavior satisfies the
+    /// semantic FIFO specifications of Definitions 8 and 9 with n = 1.
+    #[test]
+    fn buffer_satisfies_nfifo_spec_on_accepted_writes() {
+        let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+        let s = read(write(read(write(write(Scenario::new(), 1), 2)), 3));
+        let run = sim.run(&s).unwrap();
+
+        // project to accepted writes (msgin at ok-true instants) and reads
+        let mut b = Behavior::new();
+        b.declare("w");
+        b.declare("r");
+        let beh = &run.behavior;
+        let ok = beh.trace(&SigName::from("ok")).unwrap().clone();
+        let msgin = beh.trace(&SigName::from("msgin")).unwrap().clone();
+        for e in msgin.iter() {
+            if ok.value_at(e.tag()) == Some(Value::TRUE) {
+                b.push_event("w", e.tag(), e.value());
+            }
+        }
+        for e in beh.trace(&SigName::from("msgout")).unwrap().iter() {
+            b.push_event("r", e.tag(), e.value());
+        }
+        assert!(is_afifo_behavior(&b, &"w".into(), &"r".into()));
+        assert!(is_nfifo_behavior(&b, &"w".into(), &"r".into(), 1));
+    }
+}

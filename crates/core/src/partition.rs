@@ -1,0 +1,127 @@
+//! Identifying the explicit data dependencies of a program (Definition 7).
+//!
+//! A program's components are wired by shared names: a signal that is an
+//! output of one component and an input of another is an explicit data
+//! dependency `P →x Q` with `P` its single producer (the single-writer rule
+//! is enforced by `polysig_lang::resolve`). [`channels_of_program`] lists
+//! them, ready to be cut by the desynchronization transformation.
+
+use polysig_lang::{Program, Role};
+use polysig_tagged::{SigName, ValueType};
+
+use crate::error::GalsError;
+
+/// One explicit data dependency: producer component, consumer components,
+/// the shared signal and its type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// The shared signal (the `x` of `P →x Q`).
+    pub signal: SigName,
+    /// Name of the producing component.
+    pub producer: String,
+    /// Names of the consuming components (the paper assumes a single
+    /// consumer per channel; multi-consumer signals must go through explicit
+    /// fork components, and are rejected by [`channels_of_program`]).
+    pub consumer: String,
+    /// The value type carried.
+    pub ty: ValueType,
+}
+
+/// Lists every cross-component data dependency of the program.
+///
+/// # Errors
+///
+/// * [`GalsError::MultiConsumer`] if a shared signal is read by more than
+///   one component (the paper's single-producer/single-consumer restriction;
+///   use explicit copy/fork components for fan-out);
+/// * [`GalsError::Lang`] if the program does not resolve.
+pub fn channels_of_program(p: &Program) -> Result<Vec<ChannelSpec>, GalsError> {
+    polysig_lang::resolve::resolve_program(p)?;
+    let mut out = Vec::new();
+    for producer in &p.components {
+        for decl in producer.signals_with_role(Role::Output) {
+            let consumers: Vec<&str> = p
+                .components
+                .iter()
+                .filter(|c| {
+                    c.name != producer.name
+                        && c.decl(&decl.name).is_some_and(|d| d.role == Role::Input)
+                })
+                .map(|c| c.name.as_str())
+                .collect();
+            match consumers.as_slice() {
+                [] => {}
+                [single] => out.push(ChannelSpec {
+                    signal: decl.name.clone(),
+                    producer: producer.name.clone(),
+                    consumer: (*single).to_string(),
+                    ty: decl.ty,
+                }),
+                many => {
+                    return Err(GalsError::MultiConsumer {
+                        signal: decl.name.clone(),
+                        consumers: many.iter().map(|s| s.to_string()).collect(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+
+    #[test]
+    fn finds_directed_channels() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a + 1; } \
+             process B { input x: int; output y: int; y := x * 2; } \
+             process C { input y: int; output z: bool; z := y > 0; }",
+        )
+        .unwrap();
+        let chans = channels_of_program(&p).unwrap();
+        assert_eq!(chans.len(), 2);
+        assert_eq!(chans[0].signal.as_str(), "x");
+        assert_eq!(chans[0].producer, "A");
+        assert_eq!(chans[0].consumer, "B");
+        assert_eq!(chans[1].signal.as_str(), "y");
+        assert_eq!(chans[1].ty, ValueType::Int);
+    }
+
+    #[test]
+    fn bidirectional_links_are_two_channels() {
+        // x flows A→B, k flows B→A (no instantaneous cycle: k goes through pre)
+        let p = parse_program(
+            "process A { input a: int, k: int; output x: int; x := a + (pre 0 k); } \
+             process B { input x: int; output k: int; k := x * 2; }",
+        )
+        .unwrap();
+        let chans = channels_of_program(&p).unwrap();
+        assert_eq!(chans.len(), 2);
+        let dirs: Vec<(&str, &str)> =
+            chans.iter().map(|c| (c.producer.as_str(), c.consumer.as_str())).collect();
+        assert!(dirs.contains(&("A", "B")));
+        assert!(dirs.contains(&("B", "A")));
+    }
+
+    #[test]
+    fn rejects_multi_consumer_channels() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x; } \
+             process C { input x: int; output z: int; z := x; }",
+        )
+        .unwrap();
+        let err = channels_of_program(&p).unwrap_err();
+        assert!(matches!(err, GalsError::MultiConsumer { .. }));
+    }
+
+    #[test]
+    fn single_component_has_no_channels() {
+        let p = parse_program("process A { input a: int; output x: int; x := a; }").unwrap();
+        assert!(channels_of_program(&p).unwrap().is_empty());
+    }
+}

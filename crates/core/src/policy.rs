@@ -1,0 +1,67 @@
+//! Channel overflow policies (Section 5.2's service levels).
+//!
+//! The paper discusses three ways to handle a write into a full buffer:
+//! the ideal *unbounded* channel (Theorem 1's reference model), *lossy*
+//! channels that drop the write and raise an alarm (the instrumented
+//! estimation design), and *blocking* — "use the conjunction of all `full_i`
+//! signals to mask the clock of the producer", trading pipelining for
+//! losslessness (the Berry–Sentovich single-place scheme generalized).
+
+use std::fmt;
+
+/// What a channel does when a write arrives while it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelPolicy {
+    /// Never full: the queue grows without bound (Theorem 1's ideal
+    /// semantic object — not implementable in hardware, used as the
+    /// reference model).
+    Unbounded,
+    /// The write is dropped and counted (matches the Signal-level
+    /// instrumented FIFO, whose `alarm` fires on the lost write).
+    #[default]
+    Lossy,
+    /// The producer's activation is masked until space exists — Section
+    /// 5.2's clock-masking feedback. Lossless, but stalls the producer.
+    Blocking,
+}
+
+impl ChannelPolicy {
+    /// `true` iff the policy never loses data.
+    pub fn is_lossless(self) -> bool {
+        !matches!(self, ChannelPolicy::Lossy)
+    }
+}
+
+impl fmt::Display for ChannelPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelPolicy::Unbounded => write!(f, "unbounded"),
+            ChannelPolicy::Lossy => write!(f, "lossy"),
+            ChannelPolicy::Blocking => write!(f, "blocking"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn losslessness() {
+        assert!(ChannelPolicy::Unbounded.is_lossless());
+        assert!(ChannelPolicy::Blocking.is_lossless());
+        assert!(!ChannelPolicy::Lossy.is_lossless());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ChannelPolicy::Unbounded.to_string(), "unbounded");
+        assert_eq!(ChannelPolicy::Lossy.to_string(), "lossy");
+        assert_eq!(ChannelPolicy::Blocking.to_string(), "blocking");
+    }
+
+    #[test]
+    fn default_is_lossy() {
+        assert_eq!(ChannelPolicy::default(), ChannelPolicy::Lossy);
+    }
+}

@@ -1,0 +1,162 @@
+//! Rendering behaviors as the paper renders them.
+//!
+//! Figure 2 of the paper shows a behavior as a table: one row per signal,
+//! one column per instant, blank cells for absence. [`trace_table`]
+//! regenerates exactly that view from a recorded [`Behavior`].
+
+use polysig_tagged::{Behavior, SigName, Tag};
+
+/// Renders selected signals of a behavior as a column-per-instant table.
+///
+/// `steps` fixes the number of columns (instants `1..=steps`); signals
+/// absent at an instant get a blank cell.
+///
+/// ```
+/// use polysig_gals::report::trace_table;
+/// use polysig_tagged::{Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("x", 3, Value::Int(2));
+/// let t = trace_table(&b, &["x".into()], 3);
+/// assert!(t.contains("x"));
+/// assert!(t.lines().count() >= 2);
+/// ```
+pub fn trace_table(behavior: &Behavior, signals: &[SigName], steps: usize) -> String {
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(signals.len());
+    for name in signals {
+        let mut row = Vec::with_capacity(steps);
+        for t in 1..=steps {
+            let cell = behavior
+                .value_at(name, Tag::new(t as u64))
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        cells.push(row);
+    }
+    // column widths: instant header vs widest cell
+    let name_width = signals.iter().map(|s| s.as_str().len()).max().unwrap_or(1).max(6);
+    let mut widths = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let head = format!("t{}", t + 1).len();
+        let body = cells.iter().map(|row| row[t].len()).max().unwrap_or(0);
+        widths.push(head.max(body));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:name_width$}", "signal"));
+    for (t, w) in widths.iter().enumerate() {
+        out.push_str(&format!(" | {:>w$}", format!("t{}", t + 1)));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(name_width));
+    for w in &widths {
+        out.push_str(&format!("-+-{}", "-".repeat(*w)));
+    }
+    out.push('\n');
+    for (name, row) in signals.iter().zip(&cells) {
+        out.push_str(&format!("{:name_width$}", name.as_str()));
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" | {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders selected signals of a behavior as CSV: one row per instant,
+/// one column per signal, empty cells for absence — ready for any plotting
+/// tool.
+///
+/// ```
+/// use polysig_gals::report::to_csv;
+/// use polysig_tagged::{Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(3));
+/// let csv = to_csv(&b, &["x".into()], 2);
+/// assert_eq!(csv, "instant,x\n1,3\n2,\n");
+/// ```
+pub fn to_csv(behavior: &Behavior, signals: &[SigName], steps: usize) -> String {
+    let mut out = String::from("instant");
+    for s in signals {
+        out.push(',');
+        out.push_str(s.as_str());
+    }
+    out.push('\n');
+    for t in 1..=steps {
+        out.push_str(&t.to_string());
+        for s in signals {
+            out.push(',');
+            if let Some(v) = behavior.value_at(s, Tag::new(t as u64)) {
+                out.push_str(&v.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an integer series (e.g. channel occupancy per tick) as a compact
+/// sparkline-style row, for experiment logs.
+pub fn int_series(label: &str, values: &[i64]) -> String {
+    let mut out = format!("{label}: ");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_tagged::Value;
+
+    #[test]
+    fn table_marks_absence_with_blanks() {
+        let mut b = Behavior::new();
+        b.push_event("msgin", 1, Value::Int(1));
+        b.push_event("full", 1, Value::Bool(true));
+        b.push_event("full", 2, Value::Bool(true));
+        b.push_event("msgout", 3, Value::Int(1));
+        let t = trace_table(
+            &b,
+            &["msgin".into(), "full".into(), "msgout".into()],
+            3,
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        assert!(lines[2].contains('1'));
+        assert!(lines[3].contains("true"));
+        // msgout row: blank, blank, 1
+        let msgout_row = lines[4];
+        assert!(msgout_row.trim_end().ends_with('1'));
+    }
+
+    #[test]
+    fn table_has_requested_column_count() {
+        let mut b = Behavior::new();
+        b.push_event("x", 1, Value::Int(1));
+        let t = trace_table(&b, &["x".into()], 5);
+        assert_eq!(t.lines().next().unwrap().matches('|').count(), 5);
+    }
+
+    #[test]
+    fn csv_rows_match_instants() {
+        let mut b = Behavior::new();
+        b.push_event("x", 1, Value::Int(1));
+        b.push_event("c", 2, Value::Bool(true));
+        let csv = to_csv(&b, &["x".into(), "c".into()], 3);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["instant,x,c", "1,1,", "2,,true", "3,,"]);
+    }
+
+    #[test]
+    fn int_series_formats() {
+        assert_eq!(int_series("occ", &[0, 1, 2]), "occ: 0 1 2");
+    }
+}

@@ -1,0 +1,188 @@
+//! Runtime FIFO queues with overflow policies and occupancy statistics.
+
+use std::collections::VecDeque;
+
+use polysig_tagged::{SigName, Value};
+
+use crate::policy::ChannelPolicy;
+
+/// What happened to a pushed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued.
+    Stored,
+    /// Dropped (lossy policy, queue full).
+    Dropped,
+    /// Rejected; the producer must retry later (blocking policy).
+    WouldBlock,
+}
+
+/// Occupancy and traffic statistics of one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Values enqueued.
+    pub pushes: usize,
+    /// Values dequeued.
+    pub pops: usize,
+    /// Values lost to the lossy policy.
+    pub drops: usize,
+    /// Pushes rejected with [`PushOutcome::WouldBlock`].
+    pub blocks: usize,
+    /// Highest occupancy ever observed.
+    pub max_occupancy: usize,
+}
+
+/// A bounded or unbounded FIFO queue between two GALS components.
+///
+/// ```
+/// use polysig_gals::runtime::RuntimeChannel;
+/// use polysig_gals::ChannelPolicy;
+/// use polysig_tagged::Value;
+///
+/// let mut ch = RuntimeChannel::new("x".into(), Some(1), ChannelPolicy::Lossy);
+/// ch.push(Value::Int(1));
+/// ch.push(Value::Int(2)); // dropped
+/// assert_eq!(ch.pop(), Some(Value::Int(1)));
+/// assert_eq!(ch.stats().drops, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeChannel {
+    name: SigName,
+    capacity: Option<usize>,
+    policy: ChannelPolicy,
+    queue: VecDeque<Value>,
+    stats: ChannelStats,
+}
+
+impl RuntimeChannel {
+    /// Creates a channel. `capacity` is ignored (unbounded) under
+    /// [`ChannelPolicy::Unbounded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded policy is given no capacity or a zero capacity.
+    pub fn new(name: SigName, capacity: Option<usize>, policy: ChannelPolicy) -> Self {
+        if policy != ChannelPolicy::Unbounded {
+            let c = capacity.expect("bounded channel needs a capacity");
+            assert!(c > 0, "capacity must be positive");
+        }
+        RuntimeChannel {
+            name,
+            capacity: if policy == ChannelPolicy::Unbounded { None } else { capacity },
+            policy,
+            queue: VecDeque::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The carried signal's name.
+    pub fn name(&self) -> &SigName {
+        &self.name
+    }
+
+    /// The overflow policy.
+    pub fn policy(&self) -> ChannelPolicy {
+        self.policy
+    }
+
+    /// Current queue length.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` iff a push would not store the value.
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.queue.len() >= c)
+    }
+
+    /// Pushes a value according to the policy.
+    pub fn push(&mut self, value: Value) -> PushOutcome {
+        if self.is_full() {
+            match self.policy {
+                ChannelPolicy::Unbounded => unreachable!("unbounded channels are never full"),
+                ChannelPolicy::Lossy => {
+                    self.stats.drops += 1;
+                    return PushOutcome::Dropped;
+                }
+                ChannelPolicy::Blocking => {
+                    self.stats.blocks += 1;
+                    return PushOutcome::WouldBlock;
+                }
+            }
+        }
+        self.queue.push_back(value);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.queue.len());
+        PushOutcome::Stored
+    }
+
+    /// Pops the oldest value, if any.
+    pub fn pop(&mut self) -> Option<Value> {
+        let v = self.queue.pop_front();
+        if v.is_some() {
+            self.stats.pops += 1;
+        }
+        v
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut ch = RuntimeChannel::new("x".into(), None, ChannelPolicy::Unbounded);
+        for i in 0..5 {
+            assert_eq!(ch.push(Value::Int(i)), PushOutcome::Stored);
+        }
+        for i in 0..5 {
+            assert_eq!(ch.pop(), Some(Value::Int(i)));
+        }
+        assert_eq!(ch.pop(), None);
+        assert_eq!(ch.stats().max_occupancy, 5);
+    }
+
+    #[test]
+    fn lossy_drops_on_overflow() {
+        let mut ch = RuntimeChannel::new("x".into(), Some(2), ChannelPolicy::Lossy);
+        assert_eq!(ch.push(Value::Int(1)), PushOutcome::Stored);
+        assert_eq!(ch.push(Value::Int(2)), PushOutcome::Stored);
+        assert_eq!(ch.push(Value::Int(3)), PushOutcome::Dropped);
+        assert_eq!(ch.stats().drops, 1);
+        // the dropped value never appears
+        assert_eq!(ch.pop(), Some(Value::Int(1)));
+        assert_eq!(ch.pop(), Some(Value::Int(2)));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn blocking_rejects_and_counts() {
+        let mut ch = RuntimeChannel::new("x".into(), Some(1), ChannelPolicy::Blocking);
+        assert_eq!(ch.push(Value::Int(1)), PushOutcome::Stored);
+        assert_eq!(ch.push(Value::Int(2)), PushOutcome::WouldBlock);
+        assert_eq!(ch.stats().blocks, 1);
+        ch.pop();
+        assert_eq!(ch.push(Value::Int(2)), PushOutcome::Stored);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a capacity")]
+    fn bounded_policy_requires_capacity() {
+        let _ = RuntimeChannel::new("x".into(), None, ChannelPolicy::Lossy);
+    }
+
+    #[test]
+    fn unbounded_never_fills() {
+        let mut ch = RuntimeChannel::new("x".into(), Some(1), ChannelPolicy::Unbounded);
+        for i in 0..100 {
+            assert_eq!(ch.push(Value::Int(i)), PushOutcome::Stored);
+        }
+        assert!(!ch.is_full());
+    }
+}

@@ -1,0 +1,148 @@
+//! Local clock models for GALS components.
+//!
+//! A component's local clock decides at which global instants it reacts.
+//! The paper's premise is exactly that these rates are unknown and
+//! unsynchronized; the models here are the usual abstractions: strict
+//! periods, periods with bounded jitter, and Bernoulli activation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A local activation pattern over discrete global time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClockModel {
+    /// Activates at `phase, phase+period, phase+2·period, …`.
+    Periodic {
+        /// Distance between activations (≥ 1).
+        period: u64,
+        /// First activation instant.
+        phase: u64,
+    },
+    /// A periodic clock whose each activation is delayed by a uniformly
+    /// random amount in `0..=jitter` (deterministic per seed) — models
+    /// oscillator drift and clock-domain skew.
+    Jittered {
+        /// Nominal period (≥ 1).
+        period: u64,
+        /// Maximum extra delay per activation.
+        jitter: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Activates each instant independently with probability `p` —
+    /// models a completely unknown remote rate.
+    Random {
+        /// Activation probability per instant.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ClockModel {
+    /// A strict period starting at instant 0.
+    pub fn periodic(period: u64) -> ClockModel {
+        ClockModel::Periodic { period, phase: 0 }
+    }
+
+    /// The activation instants within `0..horizon`, strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period or an activation probability outside
+    /// `[0, 1]`.
+    pub fn activations(&self, horizon: u64) -> Vec<u64> {
+        match self {
+            ClockModel::Periodic { period, phase } => {
+                assert!(*period > 0, "period must be positive");
+                (0..horizon).filter(|t| t >= phase && (t - phase) % period == 0).collect()
+            }
+            ClockModel::Jittered { period, jitter, seed } => {
+                assert!(*period > 0, "period must be positive");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut out = Vec::new();
+                let mut nominal = 0u64;
+                let mut last: Option<u64> = None;
+                while nominal < horizon {
+                    let delayed = nominal + rng.gen_range(0..=*jitter);
+                    // keep activations strictly increasing
+                    let t = match last {
+                        Some(prev) if delayed <= prev => prev + 1,
+                        _ => delayed,
+                    };
+                    if t < horizon {
+                        out.push(t);
+                        last = Some(t);
+                    }
+                    nominal += period;
+                }
+                out
+            }
+            ClockModel::Random { p, seed } => {
+                assert!((0.0..=1.0).contains(p), "probability must be in [0, 1]");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..horizon).filter(|_| rng.gen_bool(*p)).collect()
+            }
+        }
+    }
+
+    /// Long-run activations per instant (the rate used in rate-mismatch
+    /// calculations).
+    pub fn rate(&self) -> f64 {
+        match self {
+            ClockModel::Periodic { period, .. } | ClockModel::Jittered { period, .. } => {
+                1.0 / *period as f64
+            }
+            ClockModel::Random { p, .. } => *p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_activations() {
+        let c = ClockModel::Periodic { period: 3, phase: 1 };
+        assert_eq!(c.activations(10), vec![1, 4, 7]);
+        assert!((c.rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_shorthand_starts_at_zero() {
+        assert_eq!(ClockModel::periodic(4).activations(9), vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn jittered_is_deterministic_and_increasing() {
+        let c = ClockModel::Jittered { period: 5, jitter: 3, seed: 7 };
+        let a = c.activations(50);
+        let b = c.activations(50);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // roughly one activation per period
+        assert!((a.len() as i64 - 10).abs() <= 2, "got {} activations", a.len());
+    }
+
+    #[test]
+    fn jitter_zero_equals_periodic() {
+        let j = ClockModel::Jittered { period: 4, jitter: 0, seed: 1 };
+        let p = ClockModel::periodic(4);
+        assert_eq!(j.activations(20), p.activations(20));
+    }
+
+    #[test]
+    fn random_respects_extremes() {
+        let always = ClockModel::Random { p: 1.0, seed: 3 };
+        assert_eq!(always.activations(5), vec![0, 1, 2, 3, 4]);
+        let never = ClockModel::Random { p: 0.0, seed: 3 };
+        assert!(never.activations(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = ClockModel::periodic(0).activations(5);
+    }
+}

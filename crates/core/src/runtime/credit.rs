@@ -1,0 +1,280 @@
+//! Credit-based flow control across threads.
+//!
+//! The paper's Section 5.2 points at "different service levels … in which
+//! the rate of production and consumption of data items can be tuned",
+//! citing the latency-insensitive GALS literature (its reference [15]).
+//! Credit-based flow control is the canonical such scheme: the producer
+//! holds a credit counter initialized to the buffer depth, spends one
+//! credit per send, and regains one when the consumer acknowledges a
+//! processed item. Unlike global clock masking it needs no shared state —
+//! only a second (ack) channel in the reverse direction — and unlike the
+//! lossy policy it never drops: the producer *locally* decides to stall.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use polysig_lang::{Program, Role};
+use polysig_sim::{Reactor, Scenario};
+use polysig_tagged::{SigName, Value};
+
+use crate::error::GalsError;
+use crate::partition::channels_of_program;
+use crate::runtime::threaded::ThreadedComponent;
+
+/// Result of a credit-based threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct CreditRun {
+    /// `flows[component][signal]` = values in activation order.
+    pub flows: BTreeMap<String, BTreeMap<SigName, Vec<Value>>>,
+    /// Activations each producer spent stalled waiting for credit.
+    pub stalls: BTreeMap<String, usize>,
+}
+
+impl CreditRun {
+    /// The flow one component observed/produced on one signal.
+    pub fn flow(&self, component: &str, signal: &SigName) -> Vec<Value> {
+        self.flows
+            .get(component)
+            .and_then(|m| m.get(signal))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// What one component thread reports back: its name, per-signal flows, and
+/// activations spent stalled.
+type CreditReport = (String, BTreeMap<SigName, Vec<Value>>, usize);
+
+struct Endpoint {
+    data_tx: Option<Sender<Value>>,
+    data_rx: Option<Receiver<Value>>,
+    ack_tx: Option<Sender<()>>,
+    ack_rx: Option<Receiver<()>>,
+}
+
+/// Runs the program's components on OS threads with per-channel credits.
+///
+/// Every channel gets `credits` initial credits: the bound on in-flight
+/// items (the `n` of an `nFifo`). A producer whose credit is exhausted
+/// *stalls its activation* (retrying until an ack arrives or the consumer
+/// is gone), so no data is ever lost — the thread-level equivalent of
+/// Lemma 2's rate condition, enforced at runtime.
+///
+/// # Errors
+///
+/// Surfaces language errors, the single-consumer restriction, and any
+/// reaction error raised inside a component thread.
+///
+/// # Panics
+///
+/// Panics if a component thread panics.
+pub fn run_threaded_credit(
+    program: &Program,
+    components: Vec<ThreadedComponent>,
+    credits: usize,
+) -> Result<CreditRun, GalsError> {
+    assert!(credits > 0, "credit-based flow control needs at least one credit");
+    let chans = channels_of_program(program)?;
+
+    let mut endpoints: BTreeMap<SigName, Endpoint> = BTreeMap::new();
+    for c in &chans {
+        let (data_tx, data_rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded();
+        endpoints.insert(
+            c.signal.clone(),
+            Endpoint {
+                data_tx: Some(data_tx),
+                data_rx: Some(data_rx),
+                ack_tx: Some(ack_tx),
+                ack_rx: Some(ack_rx),
+            },
+        );
+    }
+
+    let mut handles = Vec::new();
+    for spec in components {
+        let comp = program
+            .component(&spec.name)
+            .ok_or_else(|| GalsError::UnknownSignal { signal: SigName::from(spec.name.as_str()) })?
+            .clone();
+        let mut reactor = Reactor::for_component(&comp)?;
+        // producer side: data sender + ack receiver, with a credit counter
+        let mut out_links: BTreeMap<SigName, (Sender<Value>, Receiver<()>, usize)> =
+            BTreeMap::new();
+        // consumer side: data receiver + ack sender
+        let mut in_links: BTreeMap<SigName, (Receiver<Value>, Sender<()>)> = BTreeMap::new();
+        for d in comp.signals_with_role(Role::Output) {
+            if let Some(ep) = endpoints.get_mut(&d.name) {
+                out_links.insert(
+                    d.name.clone(),
+                    (
+                        ep.data_tx.take().expect("single producer"),
+                        ep.ack_rx.take().expect("single producer"),
+                        credits,
+                    ),
+                );
+            }
+        }
+        for d in comp.signals_with_role(Role::Input) {
+            if let Some(ep) = endpoints.get_mut(&d.name) {
+                in_links.insert(
+                    d.name.clone(),
+                    (
+                        ep.data_rx.take().expect("single consumer"),
+                        ep.ack_tx.take().expect("single consumer"),
+                    ),
+                );
+            }
+        }
+
+        let environment: Scenario = spec.environment;
+        let activations = spec.activations;
+        let name = spec.name;
+        let handle = thread::spawn(move || -> Result<CreditReport, GalsError> {
+            let mut flows: BTreeMap<SigName, Vec<Value>> = BTreeMap::new();
+            let mut stalls = 0usize;
+            let mut k = 0usize;
+            let mut done = 0usize;
+            while done < activations {
+                // refresh credits from acks (non-blocking drain); a
+                // disconnected ack channel means the consumer is gone —
+                // stop stalling on it (its data channel becomes /dev/null)
+                let mut consumer_gone = false;
+                for (_, ack_rx, credit) in out_links.values_mut() {
+                    loop {
+                        use crossbeam::channel::TryRecvError;
+                        match ack_rx.try_recv() {
+                            Ok(()) => *credit += 1,
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => {
+                                consumer_gone = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                // a producer activation that would send without credit
+                // stalls (the local masking decision)
+                let would_send = !out_links.is_empty()
+                    && environment.step(k).is_some_and(|m| !m.is_empty());
+                if would_send
+                    && !consumer_gone
+                    && out_links.values().any(|(_, _, credit)| *credit == 0)
+                {
+                    stalls += 1;
+                    thread::yield_now();
+                    continue;
+                }
+                let mut inputs: BTreeMap<SigName, Value> =
+                    environment.step(k).cloned().unwrap_or_default();
+                k += 1;
+                for (signal, (data_rx, ack_tx)) in &in_links {
+                    if let Ok(v) = data_rx.try_recv() {
+                        inputs.insert(signal.clone(), v);
+                        let _ = ack_tx.send(());
+                    }
+                }
+                let present = reactor.react(&inputs)?;
+                for (signal, value) in &present {
+                    flows.entry(signal.clone()).or_default().push(*value);
+                    if let Some((data_tx, _, credit)) = out_links.get_mut(signal) {
+                        let _ = data_tx.send(*value);
+                        // saturating: a gone consumer leaves credit pinned
+                        *credit = credit.saturating_sub(1);
+                    }
+                }
+                done += 1;
+                if done % 8 == 7 {
+                    thread::yield_now();
+                }
+            }
+            Ok((name, flows, stalls))
+        });
+        handles.push(handle);
+    }
+
+    let mut run = CreditRun::default();
+    for handle in handles {
+        let (name, flows, stalls) = handle.join().expect("component thread panicked")?;
+        run.stalls.insert(name.clone(), stalls);
+        run.flows.insert(name, flows);
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+    use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+    use polysig_tagged::ValueType;
+
+    fn pipe() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x * 2; }",
+        )
+        .unwrap()
+    }
+
+    fn env(n: usize) -> Scenario {
+        PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(n)
+    }
+
+    #[test]
+    fn credits_bound_in_flight_items_without_loss() {
+        let n = 150;
+        let run = run_threaded_credit(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: 30 * n,
+                    environment: Scenario::new(),
+                },
+            ],
+            3,
+        )
+        .unwrap();
+        let sent = run.flow("P", &"x".into());
+        let received = run.flow("Q", &"x".into());
+        assert_eq!(sent.len(), n, "every activation eventually sends");
+        // nothing lost or reordered: received is a prefix of sent
+        assert_eq!(&sent[..received.len()], received.as_slice());
+        assert!(received.len() >= n - 3, "at most `credits` items in flight at the end");
+    }
+
+    #[test]
+    fn slow_consumer_forces_stalls() {
+        let n = 60;
+        let run = run_threaded_credit(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                // consumer does the minimum number of activations that can
+                // still drain everything
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: 40 * n,
+                    environment: Scenario::new(),
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        // with a single credit the producer must stall at least once while
+        // each ack makes the round trip
+        assert!(run.stalls["P"] > 0, "single-credit producer should stall");
+        let sent = run.flow("P", &"x".into());
+        assert_eq!(sent.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one credit")]
+    fn zero_credits_rejected() {
+        let _ = run_threaded_credit(&pipe(), vec![], 0);
+    }
+}

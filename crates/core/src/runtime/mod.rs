@@ -1,0 +1,29 @@
+//! The GALS *deployment* runtime.
+//!
+//! Where [`crate::desync`] builds the paper's fully synchronous multi-clock
+//! *model* of an asynchronous design, this module plays the other end of the
+//! story: it actually runs the components on independent local clocks,
+//! coupled only by FIFO queues — the target the validated model is deployed
+//! onto. The test-suite closes the loop by checking that the flows observed
+//! here are flow-equivalent to the synchronous model's flows, which is the
+//! paper's notion of a correct deployment.
+//!
+//! * [`clock`] — local activation patterns: periodic, jittered, random;
+//! * [`channel`] — runtime queues with the [`crate::ChannelPolicy`]
+//!   overflow policies and occupancy statistics;
+//! * [`executor`] — a deterministic single-threaded event loop over global
+//!   time;
+//! * [`threaded`] — the same system on OS threads with crossbeam channels,
+//!   where the asynchrony is real.
+
+pub mod channel;
+pub mod clock;
+pub mod credit;
+pub mod executor;
+pub mod threaded;
+
+pub use channel::{ChannelStats, RuntimeChannel};
+pub use clock::ClockModel;
+pub use credit::{run_threaded_credit, CreditRun};
+pub use executor::{ComponentSpec, GalsExecutor, GalsRun};
+pub use threaded::run_threaded;

@@ -1,0 +1,285 @@
+//! GALS execution on OS threads: real asynchrony.
+//!
+//! Each component runs on its own thread at its own pace; channels are
+//! crossbeam queues. Unlike [`crate::runtime::executor`], the relative
+//! interleaving here is genuinely nondeterministic — which is exactly the
+//! point: per-channel FIFO order is the *only* coordination, so the flow
+//! invariants validated on the synchronous model must (and do) survive.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use polysig_lang::{Program, Role};
+use polysig_sim::{Reactor, Scenario};
+use polysig_tagged::{SigName, Value};
+
+use crate::error::GalsError;
+use crate::partition::channels_of_program;
+use crate::policy::ChannelPolicy;
+
+/// Configuration of one threaded component.
+#[derive(Debug, Clone)]
+pub struct ThreadedComponent {
+    /// The component's name in the program.
+    pub name: String,
+    /// How many activations the thread performs.
+    pub activations: usize,
+    /// Environment inputs per activation.
+    pub environment: Scenario,
+}
+
+/// Result of a threaded run: per component, the flow of values it produced
+/// or consumed per signal, in activation order.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedRun {
+    /// `flows[component][signal]` = values in activation order.
+    pub flows: BTreeMap<String, BTreeMap<SigName, Vec<Value>>>,
+    /// Values dropped per channel (lossy policy only).
+    pub drops: BTreeMap<SigName, usize>,
+}
+
+impl ThreadedRun {
+    /// The flow one component observed/produced on one signal.
+    pub fn flow(&self, component: &str, signal: &SigName) -> Vec<Value> {
+        self.flows
+            .get(component)
+            .and_then(|m| m.get(signal))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// What one component thread reports back: its name, its per-signal flows,
+/// and how many values it dropped.
+type ThreadReport = (String, BTreeMap<SigName, Vec<Value>>, usize);
+
+enum Tx {
+    Bounded(Sender<Value>),
+    Unbounded(Sender<Value>),
+}
+
+/// Runs the program's components on OS threads coupled by crossbeam
+/// channels.
+///
+/// `capacity` bounds every channel under the bounded policies
+/// ([`ChannelPolicy::Blocking`] uses a blocking `send`, so nothing is lost;
+/// [`ChannelPolicy::Lossy`] uses `try_send` and counts drops).
+///
+/// # Errors
+///
+/// Surfaces language errors, the single-consumer restriction, and any
+/// reaction error raised inside a component thread.
+pub fn run_threaded(
+    program: &Program,
+    components: Vec<ThreadedComponent>,
+    policy: ChannelPolicy,
+    capacity: usize,
+) -> Result<ThreadedRun, GalsError> {
+    let chans = channels_of_program(program)?;
+
+    // build endpoints
+    let mut senders: BTreeMap<SigName, Tx> = BTreeMap::new();
+    let mut receivers: BTreeMap<SigName, Receiver<Value>> = BTreeMap::new();
+    for c in &chans {
+        let (tx, rx) = match policy {
+            ChannelPolicy::Unbounded => {
+                let (tx, rx) = unbounded();
+                (Tx::Unbounded(tx), rx)
+            }
+            _ => {
+                let (tx, rx) = bounded(capacity.max(1));
+                (Tx::Bounded(tx), rx)
+            }
+        };
+        senders.insert(c.signal.clone(), tx);
+        receivers.insert(c.signal.clone(), rx);
+    }
+
+    // spawn one thread per component
+    let mut handles = Vec::new();
+    for spec in components {
+        let comp = program
+            .component(&spec.name)
+            .ok_or_else(|| GalsError::UnknownSignal { signal: SigName::from(spec.name.as_str()) })?
+            .clone();
+        let mut reactor = Reactor::for_component(&comp)?;
+        let outs: Vec<SigName> = comp
+            .signals_with_role(Role::Output)
+            .filter(|d| senders.contains_key(&d.name))
+            .map(|d| d.name.clone())
+            .collect();
+        let ins: Vec<SigName> = comp
+            .signals_with_role(Role::Input)
+            .filter(|d| receivers.contains_key(&d.name))
+            .map(|d| d.name.clone())
+            .collect();
+        let my_txs: BTreeMap<SigName, Tx> = outs
+            .iter()
+            .map(|n| (n.clone(), senders.remove(n).expect("single producer")))
+            .collect();
+        let my_rxs: BTreeMap<SigName, Receiver<Value>> = ins
+            .iter()
+            .map(|n| (n.clone(), receivers.remove(n).expect("single consumer")))
+            .collect();
+
+        let handle = thread::spawn(move || -> Result<ThreadReport, GalsError> {
+            let mut flows: BTreeMap<SigName, Vec<Value>> = BTreeMap::new();
+            let mut drops = 0usize;
+            for k in 0..spec.activations {
+                let mut inputs: BTreeMap<SigName, Value> =
+                    spec.environment.step(k).cloned().unwrap_or_default();
+                for (name, rx) in &my_rxs {
+                    if let Ok(v) = rx.try_recv() {
+                        inputs.insert(name.clone(), v);
+                    }
+                }
+                let present = reactor.react(&inputs)?;
+                for (name, value) in &present {
+                    flows.entry(name.clone()).or_default().push(*value);
+                    if let Some(tx) = my_txs.get(name) {
+                        match tx {
+                            Tx::Unbounded(tx) => {
+                                let _ = tx.send(*value);
+                            }
+                            Tx::Bounded(tx) => match policy {
+                                ChannelPolicy::Blocking => {
+                                    // true backpressure: the thread stalls
+                                    let _ = tx.send(*value);
+                                }
+                                _ => {
+                                    if let Err(TrySendError::Full(_)) = tx.try_send(*value) {
+                                        drops += 1;
+                                    }
+                                }
+                            },
+                        }
+                    }
+                }
+                // give the other side a chance to make progress
+                if k % 8 == 7 {
+                    thread::yield_now();
+                }
+            }
+            Ok((spec.name, flows, drops))
+        });
+        handles.push((handle, outs));
+    }
+
+    let mut run = ThreadedRun::default();
+    for (handle, outs) in handles {
+        let (name, flows, drops) = handle
+            .join()
+            .expect("component thread panicked")?;
+        for out in outs {
+            *run.drops.entry(out).or_default() += drops;
+        }
+        run.flows.insert(name, flows);
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+    use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+    use polysig_tagged::ValueType;
+
+    fn pipe() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x + 100; }",
+        )
+        .unwrap()
+    }
+
+    fn env(n: usize) -> Scenario {
+        PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(n)
+    }
+
+    #[test]
+    fn blocking_threads_lose_nothing() {
+        let n = 200;
+        let run = run_threaded(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                // consumer gets plenty of activations to drain everything
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: 20 * n,
+                    environment: Scenario::new(),
+                },
+            ],
+            ChannelPolicy::Blocking,
+            4,
+        )
+        .unwrap();
+        let sent = run.flow("P", &"x".into());
+        let received = run.flow("Q", &"x".into());
+        assert_eq!(sent.len(), n);
+        // the consumer may stop before the tail arrives, but what arrived
+        // is a prefix in order
+        assert!(received.len() >= n - 4, "received only {}", received.len());
+        assert_eq!(&sent[..received.len()], received.as_slice());
+        // and Q's outputs reflect its inputs
+        let y = run.flow("Q", &"y".into());
+        assert_eq!(y.len(), received.len());
+        assert!(y.iter().zip(&received).all(|(y, x)| {
+            y.as_int().unwrap() == x.as_int().unwrap() + 100
+        }));
+    }
+
+    #[test]
+    fn lossy_threads_preserve_subsequence_order() {
+        let n = 300;
+        let run = run_threaded(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: n / 3,
+                    environment: Scenario::new(),
+                },
+            ],
+            ChannelPolicy::Lossy,
+            2,
+        )
+        .unwrap();
+        let sent = run.flow("P", &"x".into());
+        let received = run.flow("Q", &"x".into());
+        // received is a subsequence of sent
+        let mut it = sent.iter();
+        for r in &received {
+            assert!(it.any(|s| s == r), "value {r} received out of order");
+        }
+    }
+
+    #[test]
+    fn unbounded_threads_deliver_everything_eventually() {
+        let n = 100;
+        let run = run_threaded(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: 50 * n,
+                    environment: Scenario::new(),
+                },
+            ],
+            ChannelPolicy::Unbounded,
+            0,
+        )
+        .unwrap();
+        let sent = run.flow("P", &"x".into());
+        let received = run.flow("Q", &"x".into());
+        assert_eq!(sent.len(), n);
+        assert!(received.len() >= n - 2, "received only {}", received.len());
+        assert_eq!(&sent[..received.len()], received.as_slice());
+        assert_eq!(run.drops.get(&SigName::from("x")).copied().unwrap_or(0), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Decomposing one synchronous component into a two-component program.
+//!
+//! Section 3 of the paper: "Decomposition of a Signal program can be the
+//! result of reusing a number of COTS components or decomposition
+//! techniques based on graph partitioning [12, 16]". This module provides
+//! the partitioning step: given (or having heuristically chosen) a
+//! two-coloring of a component's defined signals, [`split_component`]
+//! produces a semantically equivalent two-component program whose
+//! cross-partition signals become explicit data dependencies — ready to be
+//! cut by [`crate::desynchronize`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polysig_lang::ast::Declaration;
+use polysig_lang::{Component, Program, Role, Statement};
+use polysig_tagged::SigName;
+
+use crate::error::GalsError;
+
+/// Which of the two parts a defined signal goes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SplitSide {
+    /// The first part.
+    Left,
+    /// The second part.
+    Right,
+}
+
+/// Splits `component` into two components according to `assignment`, which
+/// must map every *defined* signal (output or local) to a side. Inputs are
+/// shared freely (each side declares the inputs it reads); a signal defined
+/// on one side and read on the other is exported (promoted to output) and
+/// imported (declared as input) — an explicit data dependency in the sense
+/// of Definition 7.
+///
+/// The resulting program is synchronously equivalent to the original: its
+/// merged reaction system has exactly the same equations.
+///
+/// # Errors
+///
+/// * [`GalsError::UnknownSignal`] if the assignment misses a defined signal
+///   or names an unknown one;
+/// * resolution errors if the input component is malformed.
+pub fn split_component(
+    component: &Component,
+    left_name: &str,
+    right_name: &str,
+    assignment: &BTreeMap<SigName, SplitSide>,
+) -> Result<Program, GalsError> {
+    polysig_lang::resolve::resolve_component(component)?;
+    let defined: BTreeSet<SigName> = component
+        .decls
+        .iter()
+        .filter(|d| d.role != Role::Input)
+        .map(|d| d.name.clone())
+        .collect();
+    for name in assignment.keys() {
+        if !defined.contains(name) {
+            return Err(GalsError::UnknownSignal { signal: name.clone() });
+        }
+    }
+    for name in &defined {
+        if !assignment.contains_key(name) {
+            return Err(GalsError::UnknownSignal { signal: name.clone() });
+        }
+    }
+    let side_of = |name: &SigName| assignment.get(name).copied();
+
+    // reads per side
+    let mut reads = BTreeMap::from([(SplitSide::Left, BTreeSet::new()), (SplitSide::Right, BTreeSet::new())]);
+    let mut stmts = BTreeMap::from([
+        (SplitSide::Left, Vec::<Statement>::new()),
+        (SplitSide::Right, Vec::<Statement>::new()),
+    ]);
+    for stmt in &component.stmts {
+        match stmt {
+            Statement::Eq(eq) => {
+                let side = side_of(&eq.lhs).expect("checked: every defined signal is assigned");
+                reads.get_mut(&side).expect("seeded").extend(eq.rhs.free_vars());
+                stmts.get_mut(&side).expect("seeded").push(stmt.clone());
+            }
+            Statement::Sync(names) => {
+                // a sync constraint lives where its first *defined* member
+                // lives (inputs alone don't own constraints); its members
+                // must be visible there
+                let side = names
+                    .iter()
+                    .find_map(side_of)
+                    .unwrap_or(SplitSide::Left);
+                reads.get_mut(&side).expect("seeded").extend(names.iter().cloned());
+                stmts.get_mut(&side).expect("seeded").push(stmt.clone());
+            }
+        }
+    }
+
+    let build_side = |side: SplitSide, name: &str| -> Component {
+        let mut c = Component::new(name);
+        let my_reads = &reads[&side];
+        for d in &component.decls {
+            let mine = side_of(&d.name) == Some(side);
+            let read_here = my_reads.contains(&d.name);
+            let read_there = reads[&match side {
+                SplitSide::Left => SplitSide::Right,
+                SplitSide::Right => SplitSide::Left,
+            }]
+                .contains(&d.name);
+            match d.role {
+                Role::Input => {
+                    if read_here {
+                        c.decls.push(Declaration { name: d.name.clone(), role: Role::Input, ty: d.ty });
+                    }
+                }
+                Role::Output | Role::Local => {
+                    if mine {
+                        // exported if the original role was Output, or the
+                        // other side reads it
+                        let role = if d.role == Role::Output || read_there {
+                            Role::Output
+                        } else {
+                            Role::Local
+                        };
+                        c.decls.push(Declaration { name: d.name.clone(), role, ty: d.ty });
+                    } else if read_here {
+                        c.decls.push(Declaration { name: d.name.clone(), role: Role::Input, ty: d.ty });
+                    }
+                }
+            }
+        }
+        c.stmts = stmts[&side].clone();
+        c
+    };
+
+    let mut program = Program::new(format!("{}_split", component.name));
+    program.components.push(build_side(SplitSide::Left, left_name));
+    program.components.push(build_side(SplitSide::Right, right_name));
+    polysig_lang::resolve::resolve_program(&program)?;
+    Ok(program)
+}
+
+/// A simple graph-partitioning heuristic in the spirit of the paper's
+/// reference \[12\]: grow the left side greedily from the first defined
+/// signal, always absorbing the unassigned defined signal with the most
+/// dependency edges into the current left side, until half the defined
+/// signals are taken. Minimizing crossing edges keeps the number of
+/// channels (and hence FIFOs) small.
+pub fn suggest_split(component: &Component) -> BTreeMap<SigName, SplitSide> {
+    let defined: Vec<SigName> = component
+        .decls
+        .iter()
+        .filter(|d| d.role != Role::Input)
+        .map(|d| d.name.clone())
+        .collect();
+    // adjacency over defined signals (dependency edges, both directions)
+    let mut adj: BTreeMap<SigName, BTreeSet<SigName>> =
+        defined.iter().map(|n| (n.clone(), BTreeSet::new())).collect();
+    for eq in component.equations() {
+        for read in eq.rhs.free_vars() {
+            if adj.contains_key(&read) && read != eq.lhs {
+                adj.get_mut(&eq.lhs).expect("defined").insert(read.clone());
+                adj.get_mut(&read).expect("defined").insert(eq.lhs.clone());
+            }
+        }
+    }
+    let target = defined.len().div_ceil(2);
+    let mut left: BTreeSet<SigName> = BTreeSet::new();
+    if let Some(seed) = defined.first() {
+        left.insert(seed.clone());
+    }
+    while left.len() < target {
+        let candidate = defined
+            .iter()
+            .filter(|n| !left.contains(*n))
+            .max_by_key(|n| adj[*n].intersection(&left).count());
+        match candidate {
+            Some(c) => {
+                left.insert(c.clone());
+            }
+            None => break,
+        }
+    }
+    defined
+        .into_iter()
+        .map(|n| {
+            let side = if left.contains(&n) { SplitSide::Left } else { SplitSide::Right };
+            (n, side)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_component;
+    use polysig_sim::{PeriodicInputs, ScenarioGenerator, Simulator};
+    use polysig_tagged::ValueType;
+
+    fn sample() -> Component {
+        parse_component(
+            "process Whole { input a: int; output y: int; local m: int, k: int; \
+             m := a + 1; k := m * 2; y := k + (pre 0 m); }",
+        )
+        .unwrap()
+    }
+
+    fn manual_assignment() -> BTreeMap<SigName, SplitSide> {
+        BTreeMap::from([
+            ("m".into(), SplitSide::Left),
+            ("k".into(), SplitSide::Right),
+            ("y".into(), SplitSide::Right),
+        ])
+    }
+
+    #[test]
+    fn split_exports_cross_signals() {
+        let p = split_component(&sample(), "Front", "Back", &manual_assignment()).unwrap();
+        let front = p.component("Front").unwrap();
+        let back = p.component("Back").unwrap();
+        // m crosses: output of Front, input of Back
+        assert_eq!(front.decl(&"m".into()).unwrap().role, Role::Output);
+        assert_eq!(back.decl(&"m".into()).unwrap().role, Role::Input);
+        // k stays local to Back
+        assert_eq!(back.decl(&"k".into()).unwrap().role, Role::Local);
+        // shared-signal discovery sees exactly one channel
+        let channels = crate::partition::channels_of_program(&p).unwrap();
+        assert_eq!(channels.len(), 1);
+        assert_eq!(channels[0].signal.as_str(), "m");
+    }
+
+    #[test]
+    fn split_program_is_synchronously_equivalent() {
+        let whole = sample();
+        let p = split_component(&whole, "Front", "Back", &manual_assignment()).unwrap();
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(12);
+        let mut sim_whole = Simulator::for_component(&whole).unwrap();
+        let mut sim_split = Simulator::for_program(&p).unwrap();
+        let rw = sim_whole.run(&scenario).unwrap();
+        let rs = sim_split.run(&scenario).unwrap();
+        assert_eq!(rw.flow(&"y".into()), rs.flow(&"y".into()));
+    }
+
+    #[test]
+    fn split_then_desynchronize_end_to_end() {
+        let p = split_component(&sample(), "Front", "Back", &manual_assignment()).unwrap();
+        let d = crate::desync::desynchronize(&p, &crate::desync::DesyncOptions::with_size(2))
+            .unwrap();
+        assert!(d.program.component("Fifo_m").is_some());
+        assert!(d.program.shared_signals("Front", "Back").is_empty());
+    }
+
+    #[test]
+    fn missing_assignment_rejected() {
+        let mut partial = manual_assignment();
+        partial.remove(&SigName::from("k"));
+        let err = split_component(&sample(), "F", "B", &partial).unwrap_err();
+        assert!(matches!(err, GalsError::UnknownSignal { .. }));
+    }
+
+    #[test]
+    fn unknown_assignment_rejected() {
+        let mut extra = manual_assignment();
+        extra.insert("ghost".into(), SplitSide::Left);
+        let err = split_component(&sample(), "F", "B", &extra).unwrap_err();
+        assert!(matches!(err, GalsError::UnknownSignal { .. }));
+    }
+
+    #[test]
+    fn suggested_split_covers_all_defined_signals_and_resolves() {
+        let whole = sample();
+        let assignment = suggest_split(&whole);
+        assert_eq!(assignment.len(), 3);
+        let p = split_component(&whole, "L", "R", &assignment).unwrap();
+        assert!(polysig_lang::resolve::resolve_program(&p).is_ok());
+        // and it behaves identically
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 2, 0).generate(10);
+        let mut sim_whole = Simulator::for_component(&whole).unwrap();
+        let mut sim_split = Simulator::for_program(&p).unwrap();
+        assert_eq!(
+            sim_whole.run(&scenario).unwrap().flow(&"y".into()),
+            sim_split.run(&scenario).unwrap().flow(&"y".into())
+        );
+    }
+
+    #[test]
+    fn suggested_split_keeps_connected_signals_together() {
+        // a component with two independent halves: the heuristic should not
+        // cut inside a connected half
+        let c = parse_component(
+            "process Two { input a: int, b: int; output u: int, v: int; \
+             local ua: int, vb: int; \
+             ua := a + 1; u := ua * 2; vb := b + 1; v := vb * 2; }",
+        )
+        .unwrap();
+        let assignment = suggest_split(&c);
+        let p = split_component(&c, "L", "R", &assignment).unwrap();
+        // a perfect split has no crossing channels at all
+        let channels = crate::partition::channels_of_program(&p).unwrap();
+        assert!(
+            channels.len() <= 1,
+            "independent halves should yield at most one crossing, got {channels:?}"
+        );
+    }
+}

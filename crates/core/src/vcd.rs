@@ -1,0 +1,160 @@
+//! VCD (Value Change Dump, IEEE 1364) export of recorded behaviors.
+//!
+//! The Polychrony toolset renders simulations as waveforms; we export any
+//! [`Behavior`] to VCD so runs can be inspected in GTKWave or any other
+//! standard viewer. Polychronous absence is encoded the usual way for
+//! event-like signals: a signal is *strobed* — it carries its value only at
+//! its instants and returns to `x` (unknown) in between, so presence is
+//! visible in the waveform, not just value changes.
+
+use std::fmt::Write as _;
+
+use polysig_tagged::{Behavior, SigName, Tag, Value};
+
+/// Renders selected signals of a behavior as a VCD document.
+///
+/// One VCD time unit per logical instant; two VCD ticks are emitted per
+/// instant (value, then return-to-`x`) so repeated equal values remain
+/// visible as separate events.
+///
+/// ```
+/// use polysig_gals::vcd::to_vcd;
+/// use polysig_tagged::{Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(3));
+/// let doc = to_vcd(&b, &["x".into()], "polysig");
+/// assert!(doc.contains("$var"));
+/// assert!(doc.contains("b11 "));
+/// ```
+pub fn to_vcd(behavior: &Behavior, signals: &[SigName], module: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date polysig export $end");
+    let _ = writeln!(out, "$version polysig 0.1.0 $end");
+    let _ = writeln!(out, "$timescale 1 ns $end");
+    let _ = writeln!(out, "$scope module {module} $end");
+
+    // identifier codes: printable ASCII starting at '!'
+    let code = |i: usize| -> String {
+        let mut n = i;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    };
+    for (i, name) in signals.iter().enumerate() {
+        // 64-bit vector covers both value kinds; booleans still render
+        // readably as b0/b1
+        let _ = writeln!(out, "$var wire 64 {} {} $end", code(i), name);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // initial state: everything unknown
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    for i in 0..signals.len() {
+        let _ = writeln!(out, "bx {}", code(i));
+    }
+    let _ = writeln!(out, "$end");
+
+    let last_tag = behavior.all_tags().last().map(|t| t.as_u64()).unwrap_or(0);
+    for t in 1..=last_tag {
+        let tag = Tag::new(t);
+        let mut assertions = String::new();
+        let mut releases = String::new();
+        for (i, name) in signals.iter().enumerate() {
+            if let Some(v) = behavior.value_at(name, tag) {
+                let bits = match v {
+                    Value::Bool(b) => format!("b{} ", u8::from(b)),
+                    Value::Int(k) => format!("b{:b} ", k as u64),
+                };
+                let _ = writeln!(assertions, "{bits}{}", code(i));
+                let _ = writeln!(releases, "bx {}", code(i));
+            }
+        }
+        if !assertions.is_empty() {
+            let _ = writeln!(out, "#{}", 2 * t - 1);
+            out.push_str(&assertions);
+            let _ = writeln!(out, "#{}", 2 * t);
+            out.push_str(&releases);
+        }
+    }
+    let _ = writeln!(out, "#{}", 2 * last_tag + 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Behavior {
+        let mut b = Behavior::new();
+        b.push_event("x", 1, Value::Int(3));
+        b.push_event("c", 1, Value::Bool(true));
+        b.push_event("x", 3, Value::Int(3)); // same value again — must show
+        b
+    }
+
+    #[test]
+    fn header_declares_all_signals() {
+        let doc = to_vcd(&sample(), &["x".into(), "c".into()], "m");
+        assert!(doc.contains("$scope module m $end"));
+        assert_eq!(doc.matches("$var wire 64").count(), 2);
+        assert!(doc.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn events_are_strobed() {
+        let doc = to_vcd(&sample(), &["x".into()], "m");
+        // value 3 asserted at odd ticks of instants 1 and 3…
+        assert!(doc.contains("#1\nb11 !"));
+        assert!(doc.contains("#5\nb11 !"));
+        // …and released to x right after
+        assert!(doc.contains("#2\nbx !"));
+        assert!(doc.contains("#6\nbx !"));
+    }
+
+    #[test]
+    fn booleans_render_as_single_bits() {
+        let doc = to_vcd(&sample(), &["c".into()], "m");
+        assert!(doc.contains("b1 !"));
+    }
+
+    #[test]
+    fn silent_instants_emit_nothing() {
+        let doc = to_vcd(&sample(), &["x".into()], "m");
+        // instant 2 is silent for x: no #3 block
+        assert!(!doc.contains("#3\n"));
+    }
+
+    #[test]
+    fn empty_behavior_is_a_valid_header_only_document() {
+        let b = Behavior::new();
+        let doc = to_vcd(&b, &[], "m");
+        assert!(doc.contains("$enddefinitions"));
+        assert!(doc.trim_end().ends_with("#1"));
+    }
+
+    #[test]
+    fn identifier_codes_stay_unique_for_many_signals() {
+        let mut b = Behavior::new();
+        let names: Vec<SigName> = (0..200).map(|i| SigName::from(format!("s{i}"))).collect();
+        for n in &names {
+            b.declare(n.clone());
+        }
+        let doc = to_vcd(&b, &names, "m");
+        let codes: Vec<&str> = doc
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        let unique: std::collections::BTreeSet<&str> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), 200);
+    }
+}

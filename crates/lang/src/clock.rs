@@ -1,0 +1,391 @@
+//! Clock calculus: synchronization constraints, clock-equivalence classes
+//! and the clock-dominance hierarchy.
+//!
+//! Each Signal operator induces constraints between the *clocks* (sets of
+//! presence instants) of the signals it touches:
+//!
+//! * `x := pre v y`, `x := f(y, z)` — `x`, `y`, `z` share one clock;
+//! * `x := y when c` — `clk(x) = clk(y) ∩ [c]`, so `clk(x) ⊆ clk(y)` and
+//!   `clk(x) ⊆ clk(c)`;
+//! * `x := y default z` — `clk(x) = clk(y) ∪ clk(z)`, so `clk(y) ⊆ clk(x)`
+//!   and `clk(z) ⊆ clk(x)`;
+//! * `x ^= y` — `clk(x) = clk(y)`.
+//!
+//! [`analyze_component`] computes the clock-equivalence classes (union-find
+//! over equality constraints), the dominance preorder between classes
+//! (`⊆` edges from `when`/`default`), and reports the *master* classes —
+//! the maximal elements of the hierarchy. A component whose hierarchy has a
+//! single master rooted above every class is flagged by the endochrony
+//! heuristic: its reactions can be driven deterministically from one clock
+//! plus values, the classical sufficient condition for safe
+//! desynchronization (Benveniste et al., "From synchrony to asynchrony").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polysig_tagged::SigName;
+
+use crate::ast::{Component, Expr, Statement};
+
+/// A clock-equivalence class: signals provably sharing one clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockClass {
+    /// Stable class identifier (index into [`ClockAnalysis::classes`]).
+    pub id: usize,
+    /// The member signals, sorted.
+    pub members: Vec<SigName>,
+}
+
+/// Result of the clock calculus on one component.
+#[derive(Debug, Clone)]
+pub struct ClockAnalysis {
+    /// The clock-equivalence classes.
+    pub classes: Vec<ClockClass>,
+    class_of: BTreeMap<SigName, usize>,
+    /// `(a, b)` means class `a`'s clock is included in class `b`'s clock.
+    edges: BTreeSet<(usize, usize)>,
+    /// Transitive closure of `edges`.
+    closure: BTreeSet<(usize, usize)>,
+}
+
+impl ClockAnalysis {
+    /// The class id of a signal, if analyzed.
+    pub fn class_of(&self, name: &SigName) -> Option<usize> {
+        self.class_of.get(name).copied()
+    }
+
+    /// `true` iff two signals provably share a clock.
+    pub fn same_clock(&self, a: &SigName, b: &SigName) -> bool {
+        match (self.class_of(a), self.class_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// `true` iff `a`'s clock is provably included in `b`'s
+    /// (`clk(a) ⊆ clk(b)`), including equality.
+    pub fn dominated_by(&self, a: &SigName, b: &SigName) -> bool {
+        match (self.class_of(a), self.class_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb || self.closure.contains(&(ca, cb)),
+            _ => false,
+        }
+    }
+
+    /// Direct `⊆` edges between class ids.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The master classes: classes not strictly dominated by any other —
+    /// roots of the clock hierarchy.
+    pub fn masters(&self) -> Vec<usize> {
+        (0..self.classes.len())
+            .filter(|&c| {
+                !(0..self.classes.len())
+                    .any(|d| d != c && self.closure.contains(&(c, d)) && !self.closure.contains(&(d, c)))
+            })
+            .collect()
+    }
+
+    /// Endochrony heuristic: the hierarchy has exactly one master class and
+    /// every other class is (transitively) dominated by it. Programs passing
+    /// this test have a deterministic reaction schedule driven by the master
+    /// clock, the sufficient condition the paper relies on for replacing
+    /// synchronous links with FIFOs.
+    pub fn is_rooted(&self) -> bool {
+        // a root dominates every class; several mutually-included roots are
+        // one clock in disguise (the union-find only merges *syntactic*
+        // equalities, while cyclic ⊆ edges prove semantic equality)
+        self.classes.len() <= 1
+            || (0..self.classes.len()).any(|m| {
+                (0..self.classes.len()).all(|c| c == m || self.closure.contains(&(c, m)))
+            })
+    }
+}
+
+/// Internal symbolic clock of an expression.
+enum ClockTerm {
+    /// Same clock as a signal.
+    Sig(SigName),
+    /// Sampled: included in the clocks of `uppers`.
+    Sampled { uppers: BTreeSet<SigName> },
+    /// Union: includes the clocks of `lowers`; included in nothing known.
+    Union { lowers: BTreeSet<SigName>, uppers: BTreeSet<SigName> },
+    /// Adapts to context (constants).
+    Context,
+}
+
+impl ClockTerm {
+    fn uppers(&self) -> BTreeSet<SigName> {
+        match self {
+            ClockTerm::Sig(s) => [s.clone()].into(),
+            ClockTerm::Sampled { uppers } | ClockTerm::Union { uppers, .. } => uppers.clone(),
+            ClockTerm::Context => BTreeSet::new(),
+        }
+    }
+
+    fn lowers(&self) -> BTreeSet<SigName> {
+        match self {
+            ClockTerm::Sig(s) => [s.clone()].into(),
+            ClockTerm::Union { lowers, .. } => lowers.clone(),
+            ClockTerm::Sampled { .. } | ClockTerm::Context => BTreeSet::new(),
+        }
+    }
+}
+
+struct Analyzer {
+    parent: BTreeMap<SigName, SigName>,
+    /// subset edges between signals: (sub, sup)
+    subset: BTreeSet<(SigName, SigName)>,
+}
+
+impl Analyzer {
+    fn find(&mut self, x: &SigName) -> SigName {
+        let p = self.parent.get(x).cloned().unwrap_or_else(|| x.clone());
+        if &p == x {
+            return p;
+        }
+        let root = self.find(&p);
+        self.parent.insert(x.clone(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &SigName, b: &SigName) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    /// Clock of an expression; emits equality/subset constraints as a side
+    /// effect.
+    fn clock_of(&mut self, e: &Expr) -> ClockTerm {
+        match e {
+            Expr::Var(x) => ClockTerm::Sig(x.clone()),
+            Expr::Const(_) => ClockTerm::Context,
+            Expr::Pre { body, .. } => self.clock_of(body),
+            Expr::Unary { arg, .. } => self.clock_of(arg),
+            Expr::When { body, cond } => {
+                let tb = self.clock_of(body);
+                let tc = self.clock_of(cond);
+                let mut uppers = tb.uppers();
+                uppers.extend(tc.uppers());
+                ClockTerm::Sampled { uppers }
+            }
+            Expr::Default { left, right } => {
+                let tl = self.clock_of(left);
+                let tr = self.clock_of(right);
+                let lowers: BTreeSet<SigName> = tl.lowers().union(&tr.lowers()).cloned().collect();
+                let uppers: BTreeSet<SigName> =
+                    tl.uppers().intersection(&tr.uppers()).cloned().collect();
+                ClockTerm::Union { lowers, uppers }
+            }
+            Expr::Binary { left, right, .. } => {
+                let tl = self.clock_of(left);
+                let tr = self.clock_of(right);
+                // synchronous arguments: unify when both sides name a signal
+                if let (ClockTerm::Sig(a), ClockTerm::Sig(b)) = (&tl, &tr) {
+                    self.union(&a.clone(), &b.clone());
+                }
+                match (&tl, &tr) {
+                    (ClockTerm::Context, _) => tr,
+                    _ => tl,
+                }
+            }
+        }
+    }
+}
+
+/// Runs the clock calculus on a component.
+///
+/// ```
+/// use polysig_lang::{clock::analyze_component, parse_component};
+///
+/// let c = parse_component(
+///     "process P { input a: int, c: bool; output x: int, y: int; \
+///      x := a when c; y := a + a; }",
+/// )?;
+/// let analysis = analyze_component(&c);
+/// assert!(analysis.same_clock(&"y".into(), &"a".into()));
+/// assert!(analysis.dominated_by(&"x".into(), &"a".into()));
+/// # Ok::<(), polysig_lang::LangError>(())
+/// ```
+pub fn analyze_component(c: &Component) -> ClockAnalysis {
+    let mut az = Analyzer { parent: BTreeMap::new(), subset: BTreeSet::new() };
+    for d in &c.decls {
+        az.parent.insert(d.name.clone(), d.name.clone());
+    }
+    for stmt in &c.stmts {
+        match stmt {
+            Statement::Eq(eq) => {
+                let term = az.clock_of(&eq.rhs);
+                match &term {
+                    ClockTerm::Sig(y) => az.union(&eq.lhs, &y.clone()),
+                    ClockTerm::Context => {}
+                    _ => {
+                        for u in term.uppers() {
+                            az.subset.insert((eq.lhs.clone(), u));
+                        }
+                        for l in term.lowers() {
+                            az.subset.insert((l, eq.lhs.clone()));
+                        }
+                    }
+                }
+            }
+            Statement::Sync(names) => {
+                for w in names.windows(2) {
+                    az.union(&w[0], &w[1]);
+                }
+            }
+        }
+    }
+
+    // build classes
+    let mut rep_to_class: BTreeMap<SigName, usize> = BTreeMap::new();
+    let mut classes: Vec<ClockClass> = Vec::new();
+    let mut class_of: BTreeMap<SigName, usize> = BTreeMap::new();
+    let names: Vec<SigName> = c.decls.iter().map(|d| d.name.clone()).collect();
+    for name in &names {
+        let rep = az.find(name);
+        let id = *rep_to_class.entry(rep).or_insert_with(|| {
+            classes.push(ClockClass { id: classes.len(), members: Vec::new() });
+            classes.len() - 1
+        });
+        classes[id].members.push(name.clone());
+        class_of.insert(name.clone(), id);
+    }
+
+    // subset edges between classes
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (sub, sup) in &az.subset {
+        let (Some(&a), Some(&b)) = (class_of.get(sub), class_of.get(sup)) else {
+            continue;
+        };
+        if a != b {
+            edges.insert((a, b));
+        }
+    }
+
+    // transitive closure (tiny graphs — Floyd-Warshall style)
+    let n = classes.len();
+    let mut closure = edges.clone();
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<(usize, usize)> = closure.iter().copied().collect();
+        for &(a, b) in &snapshot {
+            for k in 0..n {
+                if closure.contains(&(b, k)) && a != k && closure.insert((a, k)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    ClockAnalysis { classes, class_of, edges, closure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_component;
+
+    fn analyze(src: &str) -> ClockAnalysis {
+        analyze_component(&parse_component(src).unwrap())
+    }
+
+    #[test]
+    fn pre_and_pointwise_ops_synchronize() {
+        let a = analyze(
+            "process P { input y: int; output x: int, z: int; x := pre 0 y; z := x + y; }",
+        );
+        assert!(a.same_clock(&"x".into(), &"y".into()));
+        assert!(a.same_clock(&"z".into(), &"y".into()));
+    }
+
+    #[test]
+    fn when_gives_subset() {
+        let a = analyze(
+            "process P { input y: int, c: bool; output x: int; x := y when c; }",
+        );
+        assert!(a.dominated_by(&"x".into(), &"y".into()));
+        assert!(a.dominated_by(&"x".into(), &"c".into()));
+        assert!(!a.same_clock(&"x".into(), &"y".into()));
+    }
+
+    #[test]
+    fn default_gives_superset() {
+        let a = analyze(
+            "process P { input y: int, z: int; output x: int; x := y default z; }",
+        );
+        assert!(a.dominated_by(&"y".into(), &"x".into()));
+        assert!(a.dominated_by(&"z".into(), &"x".into()));
+    }
+
+    #[test]
+    fn sync_constraints_unify() {
+        let a = analyze(
+            "process P { input y: int, z: int; output x: int; x := y default z; x ^= y; }",
+        );
+        assert!(a.same_clock(&"x".into(), &"y".into()));
+        // z ⊆ x = y
+        assert!(a.dominated_by(&"z".into(), &"y".into()));
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let a = analyze(
+            "process P { input y: int, c: bool, d: bool; output x: int, w: int; \
+             x := y when c; w := x when d; }",
+        );
+        assert!(a.dominated_by(&"w".into(), &"x".into()));
+        assert!(a.dominated_by(&"w".into(), &"y".into()));
+        assert!(!a.dominated_by(&"y".into(), &"w".into()));
+    }
+
+    #[test]
+    fn masters_of_flat_component() {
+        let a = analyze(
+            "process P { input y: int; output x: int; x := pre 0 y; }",
+        );
+        // single class → single master → rooted
+        assert_eq!(a.classes.len(), 1);
+        assert_eq!(a.masters().len(), 1);
+        assert!(a.is_rooted());
+    }
+
+    #[test]
+    fn rooted_hierarchy_detected() {
+        let a = analyze(
+            "process P { input y: int, c: bool; output x: int; x := y when c; y ^= c; }",
+        );
+        // y = c is the unique master; x below it
+        assert!(a.is_rooted());
+    }
+
+    #[test]
+    fn unrooted_when_two_independent_inputs() {
+        let a = analyze(
+            "process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }",
+        );
+        // y-class and z-class are unrelated maximal classes
+        assert!(!a.is_rooted());
+        assert!(a.masters().len() >= 2);
+    }
+
+    #[test]
+    fn clock_of_has_operand_clock() {
+        let a = analyze("process P { input y: int; output k: bool; k := ^y; }");
+        assert!(a.same_clock(&"k".into(), &"y".into()));
+    }
+
+    #[test]
+    fn constants_adapt_to_context() {
+        let a = analyze(
+            "process P { input y: int; output x: int; x := y + 1; }",
+        );
+        assert!(a.same_clock(&"x".into(), &"y".into()));
+    }
+}

@@ -1,0 +1,231 @@
+//! Instantaneous data dependencies and causality-cycle detection.
+//!
+//! Within one reaction, the value of `x := e` depends on the current values
+//! of the signals `e` reads *outside* any `pre` (a `pre` delivers last
+//! instant's value, breaking the instantaneous dependency — this is how
+//! Signal programs close feedback loops). A cycle in this graph means no
+//! constructive evaluation order exists and the component is rejected.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polysig_tagged::SigName;
+
+use crate::ast::{Component, Statement};
+use crate::error::LangError;
+
+/// The instantaneous dependency graph of a component.
+///
+/// ```
+/// use polysig_lang::{deps::DependencyGraph, parse_component};
+///
+/// let c = parse_component(
+///     "process P { input a: int; output x: int, y: int; x := a + 1; y := x * 2; }",
+/// )?;
+/// let g = DependencyGraph::of_component(&c);
+/// let order = g.topological_order()?;
+/// let xi = order.iter().position(|s| s.as_str() == "x").unwrap();
+/// let yi = order.iter().position(|s| s.as_str() == "y").unwrap();
+/// assert!(xi < yi);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    component: String,
+    /// `deps[x]` = signals whose current value `x` needs.
+    deps: BTreeMap<SigName, BTreeSet<SigName>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for a component. Every declared signal appears as a
+    /// node; inputs have no dependencies.
+    pub fn of_component(c: &Component) -> Self {
+        let mut deps: BTreeMap<SigName, BTreeSet<SigName>> = BTreeMap::new();
+        for d in &c.decls {
+            deps.entry(d.name.clone()).or_default();
+        }
+        for stmt in &c.stmts {
+            if let Statement::Eq(eq) = stmt {
+                let mut vars = BTreeSet::new();
+                eq.rhs.collect_instant_vars(&mut vars);
+                deps.entry(eq.lhs.clone()).or_default().extend(vars);
+            }
+        }
+        DependencyGraph { component: c.name.clone(), deps }
+    }
+
+    /// The direct dependencies of a signal.
+    pub fn deps_of(&self, name: &SigName) -> impl Iterator<Item = &SigName> + '_ {
+        self.deps.get(name).into_iter().flatten()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// `true` iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Returns an evaluation order in which every signal comes after its
+    /// instantaneous dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::CausalityCycle`] naming the signals on a cycle
+    /// when the graph is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<SigName>, LangError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<&SigName, Mark> =
+            self.deps.keys().map(|k| (k, Mark::White)).collect();
+        let mut order = Vec::new();
+        let mut stack_trace: Vec<SigName> = Vec::new();
+
+        fn visit<'a>(
+            node: &'a SigName,
+            deps: &'a BTreeMap<SigName, BTreeSet<SigName>>,
+            marks: &mut BTreeMap<&'a SigName, Mark>,
+            order: &mut Vec<SigName>,
+            trace: &mut Vec<SigName>,
+        ) -> Result<(), Vec<SigName>> {
+            match marks.get(node).copied() {
+                Some(Mark::Black) => return Ok(()),
+                Some(Mark::Grey) => {
+                    // found a cycle: cut the trace at the first occurrence
+                    let start = trace.iter().position(|s| s == node).unwrap_or(0);
+                    let mut cycle = trace[start..].to_vec();
+                    cycle.push(node.clone());
+                    return Err(cycle);
+                }
+                _ => {}
+            }
+            marks.insert(node, Mark::Grey);
+            trace.push(node.clone());
+            if let Some(ds) = deps.get(node) {
+                for d in ds {
+                    if deps.contains_key(d) {
+                        visit(d, deps, marks, order, trace)?;
+                    }
+                }
+            }
+            trace.pop();
+            marks.insert(node, Mark::Black);
+            order.push(node.clone());
+            Ok(())
+        }
+
+        let keys: Vec<&SigName> = self.deps.keys().collect();
+        for node in keys {
+            visit(node, &self.deps, &mut marks, &mut order, &mut stack_trace).map_err(|cycle| {
+                LangError::CausalityCycle { component: self.component.clone(), cycle }
+            })?;
+        }
+        Ok(order)
+    }
+
+    /// Convenience: `true` iff the component has no instantaneous cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_component;
+
+    fn graph(src: &str) -> DependencyGraph {
+        DependencyGraph::of_component(&parse_component(src).unwrap())
+    }
+
+    #[test]
+    fn chain_orders_correctly() {
+        let g = graph(
+            "process P { input a: int; output x: int, y: int, z: int; \
+             x := a; y := x; z := y + x; }",
+        );
+        let order = g.topological_order().unwrap();
+        let pos = |n: &str| order.iter().position(|s| s.as_str() == n).unwrap();
+        assert!(pos("a") < pos("x"));
+        assert!(pos("x") < pos("y"));
+        assert!(pos("y") < pos("z"));
+    }
+
+    #[test]
+    fn pre_breaks_cycles() {
+        // the classic accumulator: n depends on its own previous value
+        let g = graph("process P { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }");
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn instantaneous_self_loop_is_a_cycle() {
+        let g = graph("process P { output n: int; n := n + 1; }");
+        let err = g.topological_order().unwrap_err();
+        match err {
+            LangError::CausalityCycle { cycle, .. } => {
+                assert!(cycle.iter().any(|s| s.as_str() == "n"));
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_signal_cycle_detected_with_members() {
+        let g = graph(
+            "process P { output a: int, b: int; a := b + 1; b := a - 1; }",
+        );
+        let err = g.topological_order().unwrap_err();
+        match err {
+            LangError::CausalityCycle { cycle, .. } => {
+                let names: Vec<&str> = cycle.iter().map(|s| s.as_str()).collect();
+                assert!(names.contains(&"a"));
+                assert!(names.contains(&"b"));
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_through_when_and_default_detected() {
+        let g = graph(
+            "process P { input c: bool; output a: int, b: int; \
+             a := b when c; b := a default 0; }",
+        );
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn paper_one_place_buffer_is_acyclic() {
+        // `full` reads only pre values of in/out/full — no instantaneous cycle
+        let g = graph(
+            r#"
+            process OneFifo {
+                input msgin: int, rd: bool;
+                output msgout: int;
+                local data: int, full: bool, inw: bool, outw: bool;
+                data := (msgin when (not full)) default (pre 0 data);
+                msgout := data when rd;
+                inw := (^msgin) default false;
+                outw := (^msgout) default false;
+                full := ((pre false inw) and (not (pre false outw))) default (pre false full);
+            }
+            "#,
+        );
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn inputs_have_no_dependencies() {
+        let g = graph("process P { input a: int; output x: int; x := a; }");
+        assert_eq!(g.deps_of(&"a".into()).count(), 0);
+        assert_eq!(g.deps_of(&"x".into()).count(), 1);
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Pretty-printer: renders ASTs back to parseable concrete syntax.
+//!
+//! The printer round-trips: `parse(pretty(p))` yields an equal AST (up to
+//! redundant parentheses), which the test-suite checks.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Component, Expr, Program, Role, Statement, Unop};
+
+/// Renders an expression with explicit parentheses around every compound
+/// sub-expression, guaranteeing the round-trip property.
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Var(x) => x.to_string(),
+        Expr::Const(v) => v.to_string(),
+        Expr::Pre { init, body } => format!("(pre {init} {})", pretty_expr(body)),
+        Expr::When { body, cond } => {
+            format!("({} when {})", pretty_expr(body), pretty_expr(cond))
+        }
+        Expr::Default { left, right } => {
+            format!("({} default {})", pretty_expr(left), pretty_expr(right))
+        }
+        Expr::Unary { op, arg } => match op {
+            Unop::Not => format!("(not {})", pretty_expr(arg)),
+            Unop::Neg => format!("(- {})", pretty_expr(arg)),
+            Unop::ClockOf => format!("(^ {})", pretty_expr(arg)),
+        },
+        Expr::Binary { op, left, right } => {
+            format!("({} {op} {})", pretty_expr(left), pretty_expr(right))
+        }
+    }
+}
+
+/// Renders a component.
+pub fn pretty_component(c: &Component) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "process {} {{", c.name);
+    for role in [Role::Input, Role::Output, Role::Local] {
+        let decls: Vec<String> = c
+            .signals_with_role(role)
+            .map(|d| format!("{}: {}", d.name, d.ty))
+            .collect();
+        if !decls.is_empty() {
+            let _ = writeln!(out, "    {role} {};", decls.join(", "));
+        }
+    }
+    for stmt in &c.stmts {
+        match stmt {
+            Statement::Eq(eq) => {
+                let _ = writeln!(out, "    {} := {};", eq.lhs, pretty_expr(&eq.rhs));
+            }
+            Statement::Sync(names) => {
+                let joined: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+                let _ = writeln!(out, "    sync {};", joined.join(", "));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole program.
+///
+/// ```
+/// use polysig_lang::{parse_program, pretty_program};
+/// let p = parse_program("process P { output x: int; x := 1 when true; }")?;
+/// let text = pretty_program(&p);
+/// let reparsed = parse_program(&text)?;
+/// assert_eq!(p, reparsed);
+/// # Ok::<(), polysig_lang::LangError>(())
+/// ```
+pub fn pretty_program(p: &Program) -> String {
+    p.components.iter().map(pretty_component).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_component, parse_expr, parse_program};
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "a when b default c",
+            "pre 0 x",
+            "not (^ y)",
+            "(a + b) * c",
+            "a < b and c = d",
+            "(msgin when (not full)) default (pre 0 data)",
+            "1 when true",
+            "a /= b or a >= c",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = pretty_expr(&e);
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(e, reparsed, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn component_round_trips() {
+        let src = r#"
+        process OneFifo {
+            input msgin: int, rd: bool;
+            output msgout: int;
+            local data: int, full: bool;
+            data := (msgin when (not full)) default (pre 0 data);
+            msgout := data when rd;
+            full := (^msgin) default (pre false full);
+            sync data, full;
+        }
+        "#;
+        let c = parse_component(src).unwrap();
+        let printed = pretty_component(&c);
+        let reparsed = parse_component(&printed).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let src = "process A { output x: int; x := 1 when true; } \
+                   process B { input x: int; output y: int; y := x + 1; }";
+        let p = parse_program(src).unwrap();
+        let reparsed = parse_program(&pretty_program(&p)).unwrap();
+        assert_eq!(p.components, reparsed.components);
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        let e = parse_expr("pre -3 x").unwrap();
+        let reparsed = parse_expr(&pretty_expr(&e)).unwrap();
+        assert_eq!(e, reparsed);
+    }
+}

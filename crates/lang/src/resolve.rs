@@ -1,0 +1,205 @@
+//! Name resolution and single-writer checking.
+//!
+//! Enforces the static sanity rules the paper assumes:
+//!
+//! * every used signal is declared;
+//! * inputs are never defined; outputs and locals are defined exactly once;
+//! * across components, a signal has at most one writer (the paper's
+//!   single-producer assumption below Theorem 2 — multi-producer designs
+//!   must go through explicit fork/merge components).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polysig_tagged::SigName;
+
+use crate::ast::{Component, Program, Role, Statement};
+use crate::error::LangError;
+
+/// Resolves one component.
+///
+/// # Errors
+///
+/// Returns the first violated rule as a [`LangError`].
+pub fn resolve_component(c: &Component) -> Result<(), LangError> {
+    // no duplicate declarations
+    let mut seen: BTreeSet<&SigName> = BTreeSet::new();
+    for d in &c.decls {
+        if !seen.insert(&d.name) {
+            return Err(LangError::DuplicateDeclaration {
+                component: c.name.clone(),
+                name: d.name.clone(),
+            });
+        }
+    }
+    let declared: BTreeSet<SigName> = c.names();
+
+    let mut defined: BTreeSet<SigName> = BTreeSet::new();
+    for stmt in &c.stmts {
+        match stmt {
+            Statement::Eq(eq) => {
+                if !declared.contains(&eq.lhs) {
+                    return Err(LangError::UndeclaredSignal {
+                        component: c.name.clone(),
+                        name: eq.lhs.clone(),
+                    });
+                }
+                if c.decl(&eq.lhs).expect("declared").role == Role::Input {
+                    return Err(LangError::InputDefined {
+                        component: c.name.clone(),
+                        name: eq.lhs.clone(),
+                    });
+                }
+                if !defined.insert(eq.lhs.clone()) {
+                    return Err(LangError::MultipleDefinitions {
+                        component: c.name.clone(),
+                        name: eq.lhs.clone(),
+                    });
+                }
+                for v in eq.rhs.free_vars() {
+                    if !declared.contains(&v) {
+                        return Err(LangError::UndeclaredSignal {
+                            component: c.name.clone(),
+                            name: v,
+                        });
+                    }
+                }
+            }
+            Statement::Sync(names) => {
+                for n in names {
+                    if !declared.contains(n) {
+                        return Err(LangError::UndeclaredSignal {
+                            component: c.name.clone(),
+                            name: n.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // outputs and locals must be defined
+    for d in &c.decls {
+        if d.role != Role::Input && !defined.contains(&d.name) {
+            return Err(LangError::MissingDefinition {
+                component: c.name.clone(),
+                name: d.name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a whole program: each component individually, plus the
+/// program-level single-writer rule.
+///
+/// # Errors
+///
+/// Returns the first violated rule as a [`LangError`].
+pub fn resolve_program(p: &Program) -> Result<(), LangError> {
+    let mut writer: BTreeMap<SigName, String> = BTreeMap::new();
+    for c in &p.components {
+        resolve_component(c)?;
+        for d in c.signals_with_role(Role::Output) {
+            if let Some(prev) = writer.insert(d.name.clone(), c.name.clone()) {
+                return Err(LangError::MultipleWriters {
+                    name: d.name.clone(),
+                    components: (prev, c.name.clone()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_component, parse_program};
+
+    #[test]
+    fn accepts_well_formed_component() {
+        let c = parse_component(
+            "process P { input a: int; output b: int; local c: int; c := a; b := c + 1; }",
+        )
+        .unwrap();
+        assert!(resolve_component(&c).is_ok());
+    }
+
+    #[test]
+    fn rejects_undeclared_use() {
+        let c = parse_component("process P { output b: int; b := mystery; }").unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::UndeclaredSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undeclared_lhs() {
+        let c = parse_component("process P { output b: int; b := 1 when true; ghost := b; }").unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::UndeclaredSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_defined_input() {
+        let c = parse_component("process P { input a: int; a := 1 when true; }").unwrap();
+        assert!(matches!(resolve_component(&c), Err(LangError::InputDefined { .. })));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let c =
+            parse_component("process P { output b: int; b := 1 when true; b := 2 when true; }")
+                .unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::MultipleDefinitions { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_definition() {
+        let c = parse_component("process P { output b: int; }").unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::MissingDefinition { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let c = parse_component("process P { input a: int; local a: int; a := 1 when true; }")
+            .unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::DuplicateDeclaration { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undeclared_in_sync() {
+        let c = parse_component("process P { input a: int; a ^= nothere; }").unwrap();
+        assert!(matches!(
+            resolve_component(&c),
+            Err(LangError::UndeclaredSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn program_single_writer_rule() {
+        let good = parse_program(
+            "process A { output x: int; x := 1 when true; } process B { input x: int; }",
+        )
+        .unwrap();
+        assert!(resolve_program(&good).is_ok());
+
+        let bad = parse_program(
+            "process A { output x: int; x := 1 when true; } process B { output x: int; x := 2 when true; }",
+        )
+        .unwrap();
+        assert!(matches!(resolve_program(&bad), Err(LangError::MultipleWriters { .. })));
+    }
+}

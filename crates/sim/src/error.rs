@@ -1,0 +1,152 @@
+//! Simulator errors.
+
+use std::fmt;
+
+use polysig_tagged::SigName;
+
+use crate::status::Status;
+
+/// Errors raised during elaboration or execution of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A static language error surfaced during elaboration.
+    Lang(polysig_lang::LangError),
+    /// The scenario drives a signal that is not an external input.
+    NotAnInput {
+        /// The offending name.
+        name: SigName,
+    },
+    /// The scenario provides a value of the wrong type for an input.
+    InputType {
+        /// The offending input.
+        name: SigName,
+        /// What the declaration says.
+        expected: polysig_tagged::ValueType,
+        /// What the scenario provided.
+        found: polysig_tagged::ValueType,
+    },
+    /// After the constructive fixpoint, a signal's presence is still
+    /// undetermined: the program has a free clock the scenario did not pin
+    /// down (the polychronous analogue of a causality error).
+    UndeterminedClock {
+        /// Reaction index (0-based).
+        step: usize,
+        /// The undetermined signals.
+        signals: Vec<SigName>,
+    },
+    /// Two constraints force contradictory statuses on a signal.
+    Contradiction {
+        /// Reaction index (0-based).
+        step: usize,
+        /// The signal.
+        name: SigName,
+        /// Status already established.
+        old: Status,
+        /// Status that clashed with it.
+        new: Status,
+    },
+    /// A synchronous operator received one present and one absent operand
+    /// (a clock mismatch the static calculus could not rule out).
+    ClockMismatch {
+        /// Reaction index (0-based).
+        step: usize,
+        /// The equation's left-hand side.
+        signal: SigName,
+    },
+    /// A runtime type error (e.g. `+` over booleans) — impossible for
+    /// programs accepted by the type checker.
+    ValueType {
+        /// Reaction index (0-based).
+        step: usize,
+        /// The equation's left-hand side.
+        signal: SigName,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Lang(e) => write!(f, "{e}"),
+            SimError::NotAnInput { name } => {
+                write!(f, "scenario drives `{name}`, which is not an external input")
+            }
+            SimError::InputType { name, expected, found } => {
+                write!(f, "input `{name}` expects {expected}, scenario provided {found}")
+            }
+            SimError::UndeterminedClock { step, signals } => {
+                write!(f, "reaction {step}: undetermined clock for ")?;
+                for (i, s) in signals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{s}`")?;
+                }
+                write!(f, " (free clock not pinned by the scenario)")
+            }
+            SimError::Contradiction { step, name, old, new } => {
+                write!(f, "reaction {step}: contradictory statuses for `{name}`: {old} vs {new}")
+            }
+            SimError::ClockMismatch { step, signal } => {
+                write!(f, "reaction {step}: clock mismatch in equation for `{signal}`")
+            }
+            SimError::ValueType { step, signal } => {
+                write!(f, "reaction {step}: runtime type error in equation for `{signal}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<polysig_lang::LangError> for SimError {
+    fn from(e: polysig_lang::LangError) -> Self {
+        SimError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let errs: Vec<SimError> = vec![
+            SimError::NotAnInput { name: "x".into() },
+            SimError::InputType {
+                name: "x".into(),
+                expected: polysig_tagged::ValueType::Int,
+                found: polysig_tagged::ValueType::Bool,
+            },
+            SimError::UndeterminedClock { step: 3, signals: vec!["a".into(), "b".into()] },
+            SimError::Contradiction {
+                step: 0,
+                name: "x".into(),
+                old: Status::Absent,
+                new: Status::PresentUnvalued,
+            },
+            SimError::ClockMismatch { step: 1, signal: "x".into() },
+            SimError::ValueType { step: 2, signal: "x".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wraps_lang_errors() {
+        let lang = polysig_lang::LangError::UndeclaredSignal {
+            component: "C".into(),
+            name: "x".into(),
+        };
+        let sim: SimError = lang.clone().into();
+        assert_eq!(sim.to_string(), lang.to_string());
+        assert!(std::error::Error::source(&sim).is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! Scenario generators: periodic, random and bursty input patterns.
+//!
+//! These model the *environments* of the paper's Section 5.2 methodology:
+//! the designer feeds a set of behaviors into the instrumented design to
+//! estimate buffer sizes. Rate mismatch, jitter and burstiness are exactly
+//! the knobs that drive how much buffering a desynchronized link needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use polysig_tagged::{SigName, Value, ValueType};
+
+use crate::scenario::Scenario;
+
+/// Something that can produce an input [`Scenario`] of a given length.
+pub trait ScenarioGenerator {
+    /// Generates a scenario with `steps` reactions.
+    fn generate(&self, steps: usize) -> Scenario;
+}
+
+/// A strictly periodic input: present every `period` reactions (starting at
+/// `phase`), carrying consecutive integers or a constant boolean.
+///
+/// ```
+/// use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+/// use polysig_tagged::ValueType;
+///
+/// let g = PeriodicInputs::new("msgin", ValueType::Int, 2, 0);
+/// let s = g.generate(4);
+/// assert_eq!(s.len(), 4);
+/// assert!(!s.step(0).unwrap().is_empty());
+/// assert!(s.step(1).unwrap().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicInputs {
+    name: SigName,
+    ty: ValueType,
+    period: usize,
+    phase: usize,
+}
+
+impl PeriodicInputs {
+    /// Creates a periodic generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(name: impl Into<SigName>, ty: ValueType, period: usize, phase: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        PeriodicInputs { name: name.into(), ty, period, phase }
+    }
+}
+
+impl ScenarioGenerator for PeriodicInputs {
+    fn generate(&self, steps: usize) -> Scenario {
+        let mut s = Scenario::new();
+        let mut k = 0i64;
+        for i in 0..steps {
+            let mut step = std::collections::BTreeMap::new();
+            if i >= self.phase && (i - self.phase).is_multiple_of(self.period) {
+                k += 1;
+                let v = match self.ty {
+                    ValueType::Int => Value::Int(k),
+                    ValueType::Bool => Value::TRUE,
+                };
+                step.insert(self.name.clone(), v);
+            }
+            s.push_step(step);
+        }
+        s
+    }
+}
+
+/// A Bernoulli input: present with probability `p` each reaction, carrying
+/// consecutive integers or a constant boolean. Deterministic for a fixed
+/// seed.
+#[derive(Debug, Clone)]
+pub struct RandomInputs {
+    name: SigName,
+    ty: ValueType,
+    probability: f64,
+    seed: u64,
+}
+
+impl RandomInputs {
+    /// Creates a random generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    pub fn new(name: impl Into<SigName>, ty: ValueType, probability: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability must be in [0, 1]");
+        RandomInputs { name: name.into(), ty, probability, seed }
+    }
+}
+
+impl ScenarioGenerator for RandomInputs {
+    fn generate(&self, steps: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut s = Scenario::new();
+        let mut k = 0i64;
+        for _ in 0..steps {
+            let mut step = std::collections::BTreeMap::new();
+            if rng.gen_bool(self.probability) {
+                k += 1;
+                let v = match self.ty {
+                    ValueType::Int => Value::Int(k),
+                    ValueType::Bool => Value::TRUE,
+                };
+                step.insert(self.name.clone(), v);
+            }
+            s.push_step(step);
+        }
+        s
+    }
+}
+
+/// A bursty input: `burst_len` consecutive present reactions every
+/// `period` reactions — the worst case for buffer sizing, since a burst of
+/// writes can pile up before the consumer drains them.
+#[derive(Debug, Clone)]
+pub struct BurstyInputs {
+    name: SigName,
+    ty: ValueType,
+    burst_len: usize,
+    period: usize,
+}
+
+impl BurstyInputs {
+    /// Creates a bursty generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < burst_len <= period`.
+    pub fn new(name: impl Into<SigName>, ty: ValueType, burst_len: usize, period: usize) -> Self {
+        assert!(burst_len > 0 && burst_len <= period, "need 0 < burst_len <= period");
+        BurstyInputs { name: name.into(), ty, burst_len, period }
+    }
+}
+
+impl ScenarioGenerator for BurstyInputs {
+    fn generate(&self, steps: usize) -> Scenario {
+        let mut s = Scenario::new();
+        let mut k = 0i64;
+        for i in 0..steps {
+            let mut step = std::collections::BTreeMap::new();
+            if i % self.period < self.burst_len {
+                k += 1;
+                let v = match self.ty {
+                    ValueType::Int => Value::Int(k),
+                    ValueType::Bool => Value::TRUE,
+                };
+                step.insert(self.name.clone(), v);
+            }
+            s.push_step(step);
+        }
+        s
+    }
+}
+
+/// Convenience: a boolean `tick` input present at every reaction — the
+/// master clock used by the endochronized components in `polysig-gals`.
+pub fn master_clock(name: impl Into<SigName>, steps: usize) -> Scenario {
+    PeriodicInputs::new(name, ValueType::Bool, 1, 0).generate(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_counts_events() {
+        let s = PeriodicInputs::new("x", ValueType::Int, 3, 1).generate(10);
+        let present: Vec<usize> =
+            (0..10).filter(|&i| !s.step(i).unwrap().is_empty()).collect();
+        assert_eq!(present, vec![1, 4, 7]);
+        // values are consecutive integers
+        assert_eq!(s.step(1).unwrap()[&SigName::from("x")], Value::Int(1));
+        assert_eq!(s.step(4).unwrap()[&SigName::from("x")], Value::Int(2));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = RandomInputs::new("x", ValueType::Int, 0.5, 42).generate(50);
+        let b = RandomInputs::new("x", ValueType::Int, 0.5, 42).generate(50);
+        assert_eq!(a, b);
+        let c = RandomInputs::new("x", ValueType::Int, 0.5, 43).generate(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_respects_extremes() {
+        let all = RandomInputs::new("x", ValueType::Bool, 1.0, 1).generate(20);
+        assert!(all.iter().all(|m| !m.is_empty()));
+        let none = RandomInputs::new("x", ValueType::Bool, 0.0, 1).generate(20);
+        assert!(none.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn bursty_shapes_bursts() {
+        let s = BurstyInputs::new("x", ValueType::Int, 2, 5).generate(10);
+        let mask: Vec<bool> = (0..10).map(|i| !s.step(i).unwrap().is_empty()).collect();
+        assert_eq!(mask, vec![true, true, false, false, false, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn master_clock_is_always_on() {
+        let s = master_clock("tick", 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|m| m[&SigName::from("tick")] == Value::TRUE));
+    }
+}

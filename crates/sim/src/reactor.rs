@@ -1,0 +1,811 @@
+//! The constructive reaction engine.
+//!
+//! A [`Reactor`] elaborates a program into dense signal indices, compiled
+//! equations, `pre` registers and clock-propagation groups, then executes it
+//! one reaction at a time: statuses start [`Status::Unknown`] and the
+//! operators' firing rules plus clock constraints are applied until a
+//! fixpoint. See the crate docs for the semantic conventions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use polysig_lang::clock::analyze_component;
+use polysig_lang::{Binop, Component, Program, Statement, Unop};
+use polysig_tagged::{SigName, Value, ValueType};
+
+use crate::error::SimError;
+use crate::ir::{compile, CExpr};
+use crate::status::Status;
+
+/// Result of evaluating an expression, extended with "present but value not
+/// yet known" (needed to close feedback loops through `pre`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Unknown,
+    Absent,
+    PresentUnvalued,
+    Present(Value),
+    Ubiquitous(Value),
+}
+
+impl Ev {
+    fn of_status(s: Status) -> Ev {
+        match s {
+            Status::Unknown => Ev::Unknown,
+            Status::Absent => Ev::Absent,
+            Status::PresentUnvalued => Ev::PresentUnvalued,
+            Status::Present(v) => Ev::Present(v),
+        }
+    }
+
+}
+
+/// An elaborated, executable program.
+#[derive(Debug, Clone)]
+pub struct Reactor {
+    names: Vec<SigName>,
+    index: BTreeMap<SigName, usize>,
+    types: Vec<ValueType>,
+    /// Indices of the program's external inputs.
+    inputs: BTreeSet<usize>,
+    equations: Vec<(usize, CExpr)>,
+    /// Clock-equality groups (from sync constraints and the clock calculus).
+    groups: Vec<Vec<usize>>,
+    /// `(sub, sup)` group pairs: sub's clock ⊆ sup's clock.
+    subset_edges: BTreeSet<(usize, usize)>,
+    registers: Vec<Value>,
+    initial_registers: Vec<Value>,
+    step: usize,
+    /// Cumulative fixpoint passes across reactions (scheduling statistics).
+    passes: usize,
+}
+
+impl Reactor {
+    /// Elaborates a single component.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution or type errors from the language passes.
+    pub fn for_component(c: &Component) -> Result<Reactor, SimError> {
+        Reactor::for_program(&Program::single(c.clone()))
+    }
+
+    /// Elaborates a program (all components merged into one synchronous
+    /// reaction system; shared names connect them).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution or type errors from the language passes.
+    pub fn for_program(p: &Program) -> Result<Reactor, SimError> {
+        Reactor::build(p, true)
+    }
+
+    /// Like [`Reactor::for_program`] but *without* the static equation
+    /// scheduling — the naive fixpoint evaluates equations in declaration
+    /// order and needs more passes to converge. Exists for the
+    /// `sim_scheduling` ablation; behavior is identical.
+    pub fn for_program_unscheduled(p: &Program) -> Result<Reactor, SimError> {
+        Reactor::build(p, false)
+    }
+
+    fn build(p: &Program, schedule: bool) -> Result<Reactor, SimError> {
+        let p = &disambiguate_locals(p);
+        polysig_lang::resolve::resolve_program(p)?;
+        polysig_lang::types::check_program(p)?;
+
+        // dense indices over all declared names
+        let mut names: Vec<SigName> = Vec::new();
+        let mut index: BTreeMap<SigName, usize> = BTreeMap::new();
+        let mut types: Vec<ValueType> = Vec::new();
+        for c in &p.components {
+            for d in &c.decls {
+                if !index.contains_key(&d.name) {
+                    index.insert(d.name.clone(), names.len());
+                    names.push(d.name.clone());
+                    types.push(d.ty);
+                }
+            }
+        }
+
+        let inputs: BTreeSet<usize> =
+            p.external_inputs().iter().map(|n| index[n]).collect();
+
+        // compile equations, allocating registers
+        let mut registers: Vec<Value> = Vec::new();
+        let mut equations: Vec<(usize, CExpr)> = Vec::new();
+        for c in &p.components {
+            for stmt in &c.stmts {
+                if let Statement::Eq(eq) = stmt {
+                    let rhs = compile(&eq.rhs, &|n| index[n], &mut registers);
+                    equations.push((index[&eq.lhs], rhs));
+                }
+            }
+        }
+
+        // clock groups: union-find over indices, seeded by each component's
+        // clock analysis (which already folds in sync constraints)
+        let mut parent: Vec<usize> = (0..names.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        let mut sig_subset: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for c in &p.components {
+            let analysis = analyze_component(c);
+            for class in &analysis.classes {
+                for w in class.members.windows(2) {
+                    union(&mut parent, index[&w[0]], index[&w[1]]);
+                }
+            }
+            for (sub, sup) in analysis.edges() {
+                let sm = &analysis.classes[sub].members;
+                let pm = &analysis.classes[sup].members;
+                if let (Some(a), Some(b)) = (sm.first(), pm.first()) {
+                    sig_subset.insert((index[a], index[b]));
+                }
+            }
+        }
+
+        // groups from union-find roots
+        let mut root_to_group: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_of = vec![0usize; names.len()];
+        for (i, slot) in group_of.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            let g = *root_to_group.entry(r).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+            *slot = g;
+        }
+        let subset_edges: BTreeSet<(usize, usize)> = sig_subset
+            .into_iter()
+            .map(|(a, b)| (group_of[a], group_of[b]))
+            .filter(|(a, b)| a != b)
+            .collect();
+
+        // statically schedule the equations: evaluating each signal after
+        // its instantaneous dependencies lets most reactions converge in a
+        // single fixpoint pass (the classic Signal compilation step; the
+        // `sim_scheduling` ablation bench measures the win)
+        let equations =
+            if schedule { schedule_equations(equations, p, &index) } else { equations };
+
+        Ok(Reactor {
+            names,
+            index,
+            types,
+            inputs,
+            equations,
+            groups,
+            subset_edges,
+            initial_registers: registers.clone(),
+            registers,
+            step: 0,
+            passes: 0,
+        })
+    }
+
+    /// Cumulative number of fixpoint passes executed since the last reset —
+    /// `passes / steps_taken` is the average convergence cost per reaction.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// The program's external input names.
+    pub fn input_names(&self) -> Vec<SigName> {
+        self.inputs.iter().map(|&i| self.names[i].clone()).collect()
+    }
+
+    /// All signal names, in dense-index order.
+    pub fn signal_names(&self) -> &[SigName] {
+        &self.names
+    }
+
+    /// Number of `pre` registers.
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Current values of the `pre` registers (the program state).
+    pub fn registers(&self) -> &[Value] {
+        &self.registers
+    }
+
+    /// Overwrites the program state (used by the model checker to explore
+    /// arbitrary states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from [`Reactor::register_count`].
+    pub fn set_registers(&mut self, regs: &[Value]) {
+        assert_eq!(regs.len(), self.registers.len(), "register file size mismatch");
+        self.registers.copy_from_slice(regs);
+    }
+
+    /// Resets state and step counter.
+    pub fn reset(&mut self) {
+        self.registers.copy_from_slice(&self.initial_registers);
+        self.step = 0;
+        self.passes = 0;
+    }
+
+    /// Number of reactions executed since the last reset.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// Executes one reaction.
+    ///
+    /// `inputs` maps *external input* names to values for inputs present this
+    /// instant; inputs not mentioned are absent. Returns the signals present
+    /// in the reaction with their values (sorted by name).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]: non-input driven, type mismatch, undetermined
+    /// clocks, contradictions.
+    pub fn react(
+        &mut self,
+        inputs: &BTreeMap<SigName, Value>,
+    ) -> Result<Vec<(SigName, Value)>, SimError> {
+        let step = self.step;
+        let mut status: Vec<Status> = vec![Status::Unknown; self.names.len()];
+
+        // seed inputs
+        for (name, value) in inputs {
+            let Some(&i) = self.index.get(name) else {
+                return Err(SimError::NotAnInput { name: name.clone() });
+            };
+            if !self.inputs.contains(&i) {
+                return Err(SimError::NotAnInput { name: name.clone() });
+            }
+            if value.ty() != self.types[i] {
+                return Err(SimError::InputType {
+                    name: name.clone(),
+                    expected: self.types[i],
+                    found: value.ty(),
+                });
+            }
+            status[i] = Status::Present(*value);
+        }
+        // inputs not mentioned are absent
+        for &i in &self.inputs {
+            if !inputs.contains_key(&self.names[i]) {
+                status[i] = Status::Absent;
+            }
+        }
+
+        // constructive fixpoint
+        loop {
+            self.passes += 1;
+            let mut changed = false;
+            for (lhs, rhs) in &self.equations {
+                let result = self.eval(rhs, &status, *lhs, step)?;
+                let joined = match result {
+                    Ev::Unknown => Status::Unknown,
+                    Ev::Absent => Status::Absent,
+                    Ev::PresentUnvalued => Status::PresentUnvalued,
+                    Ev::Present(v) => Status::Present(v),
+                    Ev::Ubiquitous(v) => {
+                        // constants adapt to the defined signal's clock
+                        match status[*lhs] {
+                            Status::Present(_) | Status::PresentUnvalued => Status::Present(v),
+                            _ => Status::Unknown,
+                        }
+                    }
+                };
+                changed |= join_status(&mut status, *lhs, joined, step, &self.names)?;
+            }
+            // clock-group propagation: presence/absence is shared
+            for group in &self.groups {
+                let mut decided: Option<Status> = None;
+                for &i in group {
+                    match status[i] {
+                        Status::Absent => decided = Some(Status::Absent),
+                        Status::Present(_) | Status::PresentUnvalued => {
+                            if decided != Some(Status::Absent) {
+                                decided = Some(Status::PresentUnvalued);
+                            }
+                        }
+                        Status::Unknown => {}
+                    }
+                }
+                if let Some(d) = decided {
+                    for &i in group {
+                        if status[i] == Status::Unknown {
+                            changed |= join_status(&mut status, i, d, step, &self.names)?;
+                        }
+                    }
+                }
+            }
+            // subset edges: sub present ⇒ sup present; sup absent ⇒ sub absent
+            for &(sub, sup) in &self.subset_edges {
+                let sub_present =
+                    self.groups[sub].iter().any(|&i| status[i].is_present());
+                let sup_absent =
+                    self.groups[sup].iter().any(|&i| status[i] == Status::Absent);
+                if sub_present {
+                    for &i in &self.groups[sup] {
+                        if status[i] == Status::Unknown {
+                            changed |=
+                                join_status(&mut status, i, Status::PresentUnvalued, step, &self.names)?;
+                        }
+                    }
+                }
+                if sup_absent {
+                    for &i in &self.groups[sub] {
+                        if status[i] == Status::Unknown {
+                            changed |= join_status(&mut status, i, Status::Absent, step, &self.names)?;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // everything must be decided and valued
+        let undecided: Vec<SigName> = status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Unknown | Status::PresentUnvalued))
+            .map(|(i, _)| self.names[i].clone())
+            .collect();
+        if !undecided.is_empty() {
+            return Err(SimError::UndeterminedClock { step, signals: undecided });
+        }
+
+        // advance registers: a `pre` advances when its body is present
+        let mut updates: Vec<(usize, Value)> = Vec::new();
+        for (lhs, rhs) in &self.equations {
+            self.collect_register_updates(rhs, &status, *lhs, step, &mut updates)?;
+        }
+        for (reg, v) in updates {
+            self.registers[reg] = v;
+        }
+        self.step += 1;
+
+        Ok(status
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.value().map(|v| (self.names[i].clone(), v)))
+            .collect())
+    }
+
+    /// Evaluates a compiled expression under the current statuses.
+    fn eval(
+        &self,
+        e: &CExpr,
+        status: &[Status],
+        signal: usize,
+        step: usize,
+    ) -> Result<Ev, SimError> {
+        let name = || self.names[signal].clone();
+        Ok(match e {
+            CExpr::Var(i) => Ev::of_status(status[*i]),
+            CExpr::Const(v) => Ev::Ubiquitous(*v),
+            CExpr::Pre { reg, body } => match self.eval(body, status, signal, step)? {
+                Ev::Unknown => Ev::Unknown,
+                Ev::Absent => Ev::Absent,
+                Ev::PresentUnvalued | Ev::Present(_) => Ev::Present(self.registers[*reg]),
+                Ev::Ubiquitous(_) => Ev::Ubiquitous(self.registers[*reg]),
+            },
+            CExpr::When { body, cond } => {
+                let b = self.eval(body, status, signal, step)?;
+                let c = self.eval(cond, status, signal, step)?;
+                match (b, c) {
+                    (Ev::Absent, _) => Ev::Absent,
+                    (_, Ev::Absent) => Ev::Absent,
+                    (_, Ev::Present(Value::Bool(false))) => Ev::Absent,
+                    (_, Ev::Ubiquitous(Value::Bool(false))) => Ev::Absent,
+                    (b, Ev::Present(Value::Bool(true))) => match b {
+                        // a true condition anchors a constant's clock
+                        Ev::Ubiquitous(v) => Ev::Present(v),
+                        other => other,
+                    },
+                    (b, Ev::Ubiquitous(Value::Bool(true))) => b,
+                    (_, Ev::Present(_)) | (_, Ev::Ubiquitous(_)) => {
+                        return Err(SimError::ValueType { step, signal: name() })
+                    }
+                    (_, Ev::Unknown | Ev::PresentUnvalued) => Ev::Unknown,
+                }
+            }
+            CExpr::Default { left, right } => {
+                let l = self.eval(left, status, signal, step)?;
+                match l {
+                    Ev::Present(v) => Ev::Present(v),
+                    Ev::Ubiquitous(v) => Ev::Ubiquitous(v),
+                    Ev::PresentUnvalued => Ev::PresentUnvalued,
+                    Ev::Absent => self.eval(right, status, signal, step)?,
+                    Ev::Unknown => {
+                        // presence is monotone: if the fallback is already
+                        // known present, the merge is present (value TBD)
+                        match self.eval(right, status, signal, step)? {
+                            Ev::Present(_) | Ev::PresentUnvalued => Ev::PresentUnvalued,
+                            _ => Ev::Unknown,
+                        }
+                    }
+                }
+            }
+            CExpr::Unary { op, arg } => {
+                let a = self.eval(arg, status, signal, step)?;
+                match op {
+                    Unop::ClockOf => match a {
+                        Ev::Absent => Ev::Absent,
+                        Ev::Present(_) | Ev::PresentUnvalued => Ev::Present(Value::TRUE),
+                        Ev::Ubiquitous(_) => Ev::Ubiquitous(Value::TRUE),
+                        Ev::Unknown => Ev::Unknown,
+                    },
+                    Unop::Not | Unop::Neg => {
+                        let f = |v: Value| -> Result<Value, SimError> {
+                            match (op, v) {
+                                (Unop::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                                (Unop::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                                _ => Err(SimError::ValueType { step, signal: name() }),
+                            }
+                        };
+                        match a {
+                            Ev::Present(v) => Ev::Present(f(v)?),
+                            Ev::Ubiquitous(v) => Ev::Ubiquitous(f(v)?),
+                            other => other,
+                        }
+                    }
+                }
+            }
+            CExpr::Binary { op, left, right } => {
+                let l = self.eval(left, status, signal, step)?;
+                let r = self.eval(right, status, signal, step)?;
+                self.eval_binary(*op, l, r, signal, step)?
+            }
+        })
+    }
+
+    fn eval_binary(
+        &self,
+        op: Binop,
+        l: Ev,
+        r: Ev,
+        signal: usize,
+        step: usize,
+    ) -> Result<Ev, SimError> {
+        use Ev::*;
+        let name = || self.names[signal].clone();
+        Ok(match (l, r) {
+            (Absent, Absent) => Absent,
+            (Absent, Ubiquitous(_)) | (Ubiquitous(_), Absent) => Absent,
+            (Absent, Present(_) | PresentUnvalued) | (Present(_) | PresentUnvalued, Absent) => {
+                return Err(SimError::ClockMismatch { step, signal: name() })
+            }
+            // synchronous operands share one clock: a decided side decides
+            // the other (this is what lets `pre` feedback loops converge)
+            (Absent, Unknown) | (Unknown, Absent) => Absent,
+            (Unknown, Present(_) | PresentUnvalued) | (Present(_) | PresentUnvalued, Unknown) => {
+                PresentUnvalued
+            }
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (PresentUnvalued, _) | (_, PresentUnvalued) => PresentUnvalued,
+            (Present(a), Present(b)) | (Present(a), Ubiquitous(b)) | (Ubiquitous(a), Present(b)) => {
+                Present(op.apply(a, b).ok_or_else(|| SimError::ValueType { step, signal: name() })?)
+            }
+            (Ubiquitous(a), Ubiquitous(b)) => Ubiquitous(
+                op.apply(a, b).ok_or_else(|| SimError::ValueType { step, signal: name() })?,
+            ),
+        })
+    }
+
+    /// Collects `pre` register updates after a decided reaction.
+    fn collect_register_updates(
+        &self,
+        e: &CExpr,
+        status: &[Status],
+        signal: usize,
+        step: usize,
+        out: &mut Vec<(usize, Value)>,
+    ) -> Result<(), SimError> {
+        match e {
+            CExpr::Var(_) | CExpr::Const(_) => Ok(()),
+            CExpr::Pre { reg, body } => {
+                if let Ev::Present(v) = self.eval(body, status, signal, step)? {
+                    out.push((*reg, v));
+                }
+                self.collect_register_updates(body, status, signal, step, out)
+            }
+            CExpr::When { body, cond } => {
+                self.collect_register_updates(body, status, signal, step, out)?;
+                self.collect_register_updates(cond, status, signal, step, out)
+            }
+            CExpr::Default { left, right } | CExpr::Binary { left, right, .. } => {
+                self.collect_register_updates(left, status, signal, step, out)?;
+                self.collect_register_updates(right, status, signal, step, out)
+            }
+            CExpr::Unary { arg, .. } => {
+                self.collect_register_updates(arg, status, signal, step, out)
+            }
+        }
+    }
+}
+
+/// Orders the compiled equations so that each signal's equation comes after
+/// the equations of its instantaneous dependencies (merged across
+/// components). Cyclic programs (which the language layer rejects for
+/// single components but a merged program could theoretically exhibit via
+/// clock feedback) keep their original order — the fixpoint still handles
+/// them, just in more passes.
+fn schedule_equations(
+    equations: Vec<(usize, CExpr)>,
+    p: &Program,
+    index: &BTreeMap<SigName, usize>,
+) -> Vec<(usize, CExpr)> {
+    use std::collections::BTreeSet;
+    // instantaneous deps per defined index
+    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for c in &p.components {
+        for eq in c.equations() {
+            let mut vars = BTreeSet::new();
+            eq.rhs.collect_instant_vars(&mut vars);
+            let entry = deps.entry(index[&eq.lhs]).or_default();
+            for v in vars {
+                entry.insert(index[&v]);
+            }
+        }
+    }
+    // Kahn's algorithm over the defined signals only
+    let defined: BTreeSet<usize> = equations.iter().map(|(lhs, _)| *lhs).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(defined.len());
+    let mut remaining: BTreeSet<usize> = defined.clone();
+    loop {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|i| {
+                deps.get(i)
+                    .map(|ds| ds.iter().all(|d| !remaining.contains(d)))
+                    .unwrap_or(true)
+            })
+            .collect();
+        if ready.is_empty() {
+            break;
+        }
+        for i in ready {
+            remaining.remove(&i);
+            order.push(i);
+        }
+    }
+    if !remaining.is_empty() {
+        // cycle: keep the original order
+        return equations;
+    }
+    let rank: BTreeMap<usize, usize> = order.iter().enumerate().map(|(r, i)| (*i, r)).collect();
+    let mut scheduled = equations;
+    scheduled.sort_by_key(|(lhs, _)| rank[lhs]);
+    scheduled
+}
+
+/// Renames component locals whose names collide with declarations in other
+/// components to `<component>.<name>`: in the merged reaction system, two
+/// components' private state must never alias (shared inputs/outputs keep
+/// their names — that sharing is the wiring).
+fn disambiguate_locals(p: &Program) -> Program {
+    use std::collections::btree_map::Entry;
+    let mut owners: BTreeMap<SigName, usize> = BTreeMap::new();
+    for c in &p.components {
+        for d in &c.decls {
+            match owners.entry(d.name.clone()) {
+                Entry::Vacant(e) => {
+                    e.insert(1);
+                }
+                Entry::Occupied(mut e) => *e.get_mut() += 1,
+            }
+        }
+    }
+    let mut out = p.clone();
+    for c in &mut out.components {
+        let colliding: Vec<SigName> = c
+            .decls
+            .iter()
+            .filter(|d| {
+                d.role == polysig_lang::Role::Local && owners.get(&d.name).copied().unwrap_or(0) > 1
+            })
+            .map(|d| d.name.clone())
+            .collect();
+        for l in colliding {
+            let fresh = SigName::from(format!("{}.{}", c.name, l));
+            *c = c.rename_signal(&l, &fresh);
+        }
+    }
+    out
+}
+
+fn join_status(
+    status: &mut [Status],
+    i: usize,
+    new: Status,
+    step: usize,
+    names: &[SigName],
+) -> Result<bool, SimError> {
+    let old = status[i];
+    status[i]
+        .join(new)
+        .map_err(|()| SimError::Contradiction { step, name: names[i].clone(), old, new })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+
+    fn reactor(src: &str) -> Reactor {
+        Reactor::for_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn present(inputs: &[(&str, Value)]) -> BTreeMap<SigName, Value> {
+        inputs.iter().map(|(n, v)| (SigName::from(*n), *v)).collect()
+    }
+
+    #[test]
+    fn identity_passes_values_through() {
+        let mut r = reactor("process P { input a: int; output x: int; x := a; }");
+        let out = r.react(&present(&[("a", Value::Int(5))])).unwrap();
+        assert_eq!(out, vec![("a".into(), Value::Int(5)), ("x".into(), Value::Int(5))]);
+        // absent input → silent reaction
+        let out = r.react(&present(&[])).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn accumulator_with_pre_feedback() {
+        let mut r = reactor(
+            "process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }",
+        );
+        for expected in 1..=3 {
+            let out = r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+            let n = out.iter().find(|(name, _)| name.as_str() == "n").unwrap().1;
+            assert_eq!(n, Value::Int(expected));
+        }
+        // a silent instant does not advance the accumulator
+        r.react(&present(&[])).unwrap();
+        let out = r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+        assert_eq!(out.iter().find(|(n, _)| n.as_str() == "n").unwrap().1, Value::Int(4));
+    }
+
+    #[test]
+    fn when_filters_by_condition_value() {
+        let mut r = reactor(
+            "process P { input a: int, c: bool; output x: int; x := a when c; }",
+        );
+        let out = r.react(&present(&[("a", Value::Int(1)), ("c", Value::TRUE)])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(1)));
+        let out = r.react(&present(&[("a", Value::Int(2)), ("c", Value::FALSE)])).unwrap();
+        assert!(!out.iter().any(|(n, _)| n.as_str() == "x"));
+        let out = r.react(&present(&[("a", Value::Int(3))])).unwrap();
+        assert!(!out.iter().any(|(n, _)| n.as_str() == "x"));
+    }
+
+    #[test]
+    fn default_prefers_left() {
+        let mut r = reactor(
+            "process P { input a: int, b: int; output x: int; x := a default b; }",
+        );
+        let out = r.react(&present(&[("a", Value::Int(1)), ("b", Value::Int(2))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(1)));
+        let out = r.react(&present(&[("b", Value::Int(2))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(2)));
+    }
+
+    #[test]
+    fn pre_register_advances_only_on_body_ticks() {
+        let mut r = reactor("process P { input a: int; output x: int; x := pre 9 a; }");
+        let out = r.react(&present(&[("a", Value::Int(1))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(9)));
+        r.react(&present(&[])).unwrap();
+        let out = r.react(&present(&[("a", Value::Int(2))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(1)));
+    }
+
+    #[test]
+    fn state_loop_with_sync_constraint() {
+        // classic register at an explicit master clock
+        let mut r = reactor(
+            "process P { input tick: bool, set: int; output s: int; \
+             s := set default (pre 0 s); s ^= tick; }",
+        );
+        let out = r.react(&present(&[("tick", Value::TRUE), ("set", Value::Int(7))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "s" && *v == Value::Int(7)));
+        let out = r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "s" && *v == Value::Int(7)));
+    }
+
+    #[test]
+    fn free_clock_is_rejected() {
+        // s's clock is unconstrained when `set` is absent
+        let mut r = reactor(
+            "process P { input set: int; output s: int; s := set default (pre 0 s); }",
+        );
+        let err = r.react(&present(&[])).unwrap_err();
+        assert!(matches!(err, SimError::UndeterminedClock { .. }));
+    }
+
+    #[test]
+    fn clock_mismatch_detected_dynamically() {
+        let mut r = reactor(
+            "process P { input a: int, b: int; output x: int; x := a + b; }",
+        );
+        let err = r.react(&present(&[("a", Value::Int(1))])).unwrap_err();
+        // class propagation forces b present; scenario says absent
+        assert!(matches!(
+            err,
+            SimError::ClockMismatch { .. } | SimError::Contradiction { .. }
+        ));
+    }
+
+    #[test]
+    fn scenario_type_checked() {
+        let mut r = reactor("process P { input a: int; output x: int; x := a; }");
+        let err = r.react(&present(&[("a", Value::TRUE)])).unwrap_err();
+        assert!(matches!(err, SimError::InputType { .. }));
+    }
+
+    #[test]
+    fn driving_non_input_rejected() {
+        let mut r = reactor("process P { input a: int; output x: int; x := a; }");
+        let err = r.react(&present(&[("x", Value::Int(1))])).unwrap_err();
+        assert!(matches!(err, SimError::NotAnInput { .. }));
+    }
+
+    #[test]
+    fn two_components_share_signals() {
+        let mut r = reactor(
+            "process A { input a: int; output x: int; x := a + 1; } \
+             process B { input x: int; output y: int; y := x * 2; }",
+        );
+        let out = r.react(&present(&[("a", Value::Int(3))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "y" && *v == Value::Int(8)));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut r = reactor(
+            "process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }",
+        );
+        r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+        assert_eq!(r.steps_taken(), 1);
+        r.reset();
+        assert_eq!(r.steps_taken(), 0);
+        let out = r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "n" && *v == Value::Int(1)));
+    }
+
+    #[test]
+    fn clock_of_yields_true_at_operand_instants() {
+        let mut r = reactor(
+            "process P { input a: int, tick: bool; output k: bool; \
+             k := (^a) default (false when tick); }",
+        );
+        let out = r.react(&present(&[("a", Value::Int(1)), ("tick", Value::TRUE)])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "k" && *v == Value::TRUE));
+        let out = r.react(&present(&[("tick", Value::TRUE)])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "k" && *v == Value::FALSE));
+    }
+
+    #[test]
+    fn registers_are_inspectable_and_settable() {
+        let mut r = reactor("process P { input a: int; output x: int; x := pre 0 a; }");
+        assert_eq!(r.register_count(), 1);
+        r.set_registers(&[Value::Int(42)]);
+        let out = r.react(&present(&[("a", Value::Int(1))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(42)));
+        assert_eq!(r.registers(), &[Value::Int(1)]);
+    }
+}

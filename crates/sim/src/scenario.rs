@@ -1,0 +1,266 @@
+//! Input scenarios: which inputs tick, with which values, at each reaction.
+
+use std::collections::BTreeMap;
+
+use polysig_tagged::{SigName, Value};
+
+/// A finite input scenario: one map of present inputs per reaction.
+///
+/// Built fluently: [`Scenario::on`] stages a present input for the reaction
+/// being built, [`Scenario::tick`] closes it (an empty staged reaction means
+/// "all inputs absent").
+///
+/// ```
+/// use polysig_sim::Scenario;
+/// use polysig_tagged::Value;
+///
+/// let s = Scenario::new()
+///     .on("a", Value::Int(1))
+///     .tick() // reaction 0: a present
+///     .tick() // reaction 1: silence
+///     .on("a", Value::Int(2))
+///     .on("b", Value::Bool(true))
+///     .tick(); // reaction 2: a and b present
+/// assert_eq!(s.len(), 3);
+/// assert!(s.step(1).unwrap().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scenario {
+    steps: Vec<BTreeMap<SigName, Value>>,
+    staged: BTreeMap<SigName, Value>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Stages input `name` present with `value` for the reaction being
+    /// built.
+    #[must_use]
+    pub fn on(mut self, name: impl Into<SigName>, value: Value) -> Self {
+        self.staged.insert(name.into(), value);
+        self
+    }
+
+    /// Closes the reaction being built (possibly with no inputs present).
+    #[must_use]
+    pub fn tick(mut self) -> Self {
+        let staged = std::mem::take(&mut self.staged);
+        self.steps.push(staged);
+        self
+    }
+
+    /// Appends `n` silent reactions.
+    #[must_use]
+    pub fn silence(mut self, n: usize) -> Self {
+        assert!(self.staged.is_empty(), "close the staged reaction with tick() first");
+        for _ in 0..n {
+            self.steps.push(BTreeMap::new());
+        }
+        self
+    }
+
+    /// Appends an already-built reaction.
+    pub fn push_step(&mut self, step: BTreeMap<SigName, Value>) {
+        self.steps.push(step);
+    }
+
+    /// Number of reactions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the scenario has no reactions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The inputs present at reaction `i`.
+    pub fn step(&self, i: usize) -> Option<&BTreeMap<SigName, Value>> {
+        self.steps.get(i)
+    }
+
+    /// Iterates over the reactions.
+    pub fn iter(&self) -> impl Iterator<Item = &BTreeMap<SigName, Value>> + '_ {
+        self.steps.iter()
+    }
+
+    /// Concatenates two scenarios.
+    #[must_use]
+    pub fn then(mut self, other: Scenario) -> Scenario {
+        assert!(self.staged.is_empty() && other.staged.is_empty(), "unclosed staged reaction");
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// Merges two scenarios instant-by-instant (union of present inputs; the
+    /// result has the longer length). Useful to drive different inputs from
+    /// independently generated patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both scenarios drive the same input at the same reaction
+    /// with different values.
+    #[must_use]
+    pub fn zip_union(self, other: &Scenario) -> Scenario {
+        assert!(self.staged.is_empty(), "unclosed staged reaction");
+        let len = self.steps.len().max(other.steps.len());
+        let mut steps = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut m = self.steps.get(i).cloned().unwrap_or_default();
+            if let Some(o) = other.steps.get(i) {
+                for (k, v) in o {
+                    if let Some(prev) = m.insert(k.clone(), *v) {
+                        assert_eq!(prev, *v, "conflicting values for `{k}` at reaction {i}");
+                    }
+                }
+            }
+            steps.push(m);
+        }
+        Scenario { steps, staged: BTreeMap::new() }
+    }
+}
+
+impl Scenario {
+    /// Parses the plain-text scenario format: one reaction per line, each a
+    /// whitespace-separated list of `name=value` events (`true`/`false` for
+    /// booleans, decimal integers otherwise); blank content means a silent
+    /// reaction; `#` starts a comment.
+    ///
+    /// ```text
+    /// # write then read
+    /// tick=true msgin=3
+    /// tick=true
+    /// tick=true rd=true
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_text(text: &str) -> Result<Scenario, String> {
+        let mut s = Scenario::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if raw.trim().starts_with('#') && line.is_empty() {
+                continue; // pure comment line, no reaction
+            }
+            // a fully empty line is a silent reaction
+            let mut step = BTreeMap::new();
+            for token in line.split_whitespace() {
+                let (name, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: expected name=value, got `{token}`", lineno + 1))?;
+                let v = match value {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    other => Value::Int(other.parse::<i64>().map_err(|_| {
+                        format!("line {}: `{other}` is neither a boolean nor an integer", lineno + 1)
+                    })?),
+                };
+                step.insert(SigName::from(name), v);
+            }
+            s.push_step(step);
+        }
+        Ok(s)
+    }
+
+    /// Renders the scenario in the [`Scenario::from_text`] format
+    /// (round-trips exactly).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            let mut first = true;
+            for (name, value) in step {
+                if !first {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{name}={value}"));
+                first = false;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips() {
+        let s = Scenario::new()
+            .on("tick", Value::TRUE)
+            .on("msgin", Value::Int(-3))
+            .tick()
+            .tick()
+            .on("rd", Value::FALSE)
+            .tick();
+        let text = s.to_text();
+        let parsed = Scenario::from_text(&text).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn text_parses_comments_and_silence() {
+        let s = Scenario::from_text(
+            "# a comment line\ntick=true msgin=3\n\ntick=true rd=true # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.step(1).unwrap().is_empty());
+        assert_eq!(s.step(2).unwrap()[&SigName::from("rd")], Value::TRUE);
+    }
+
+    #[test]
+    fn text_rejects_malformed_tokens() {
+        assert!(Scenario::from_text("novalue\n").unwrap_err().contains("line 1"));
+        assert!(Scenario::from_text("x=maybe\n").unwrap_err().contains("neither"));
+    }
+
+    #[test]
+    fn builder_stages_and_ticks() {
+        let s = Scenario::new().on("a", Value::Int(1)).on("b", Value::TRUE).tick().tick();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.step(0).unwrap().len(), 2);
+        assert!(s.step(1).unwrap().is_empty());
+        assert!(s.step(2).is_none());
+    }
+
+    #[test]
+    fn silence_appends_empty_steps() {
+        let s = Scenario::new().silence(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Scenario::new().on("x", Value::Int(1)).tick();
+        let b = Scenario::new().on("x", Value::Int(2)).tick();
+        let c = a.then(b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.step(1).unwrap()[&SigName::from("x")], Value::Int(2));
+    }
+
+    #[test]
+    fn zip_union_merges_by_instant() {
+        let a = Scenario::new().on("x", Value::Int(1)).tick().tick();
+        let b = Scenario::new().tick().on("y", Value::Int(2)).tick().on("y", Value::Int(3)).tick();
+        let c = a.zip_union(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.step(0).unwrap().len(), 1);
+        assert_eq!(c.step(1).unwrap()[&SigName::from("y")], Value::Int(2));
+        assert_eq!(c.step(2).unwrap()[&SigName::from("y")], Value::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting values")]
+    fn zip_union_rejects_conflicts() {
+        let a = Scenario::new().on("x", Value::Int(1)).tick();
+        let b = Scenario::new().on("x", Value::Int(2)).tick();
+        let _ = a.zip_union(&b);
+    }
+}

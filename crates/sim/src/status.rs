@@ -1,0 +1,159 @@
+//! Per-reaction signal statuses and expression evaluation results.
+
+use std::fmt;
+
+use polysig_tagged::Value;
+
+/// The status of a signal within one reaction of the constructive fixpoint.
+///
+/// The lattice is `Unknown < {Absent, PresentUnvalued < Present(v)}`:
+/// statuses only ever gain information during a reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Status {
+    /// Not yet determined.
+    #[default]
+    Unknown,
+    /// The signal does not tick in this reaction.
+    Absent,
+    /// The signal ticks, value not yet computed (presence forced by a clock
+    /// constraint).
+    PresentUnvalued,
+    /// The signal ticks with this value.
+    Present(Value),
+}
+
+impl Status {
+    /// `true` iff presence/absence has been decided.
+    pub fn is_decided(self) -> bool {
+        !matches!(self, Status::Unknown)
+    }
+
+    /// `true` iff the signal is known to tick.
+    pub fn is_present(self) -> bool {
+        matches!(self, Status::Present(_) | Status::PresentUnvalued)
+    }
+
+    /// The value, if fully determined.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            Status::Present(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Joins new information into the status.
+    ///
+    /// Returns `Ok(true)` if the status gained information, `Ok(false)` if
+    /// nothing changed, and `Err(())` on a contradiction (present vs absent,
+    /// or two different values).
+    #[allow(clippy::result_unit_err)]
+    pub fn join(&mut self, other: Status) -> Result<bool, ()> {
+        use Status::*;
+        let merged = match (*self, other) {
+            (a, Unknown) => a,
+            (Unknown, b) => b,
+            (Absent, Absent) => Absent,
+            (Absent, _) | (_, Absent) => return Err(()),
+            (PresentUnvalued, PresentUnvalued) => PresentUnvalued,
+            (PresentUnvalued, Present(v)) | (Present(v), PresentUnvalued) => Present(v),
+            (Present(a), Present(b)) => {
+                if a == b {
+                    Present(a)
+                } else {
+                    return Err(());
+                }
+            }
+        };
+        let changed = merged != *self;
+        *self = merged;
+        Ok(changed)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Unknown => write!(f, "?"),
+            Status::Absent => write!(f, "⊥"),
+            Status::PresentUnvalued => write!(f, "!?"),
+            Status::Present(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The result of evaluating an expression under the current statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalResult {
+    /// Not yet determined.
+    Unknown,
+    /// The expression does not produce an event this reaction.
+    Absent,
+    /// The expression produces this value.
+    Present(Value),
+    /// A constant (or derived constant): present *whenever the context
+    /// demands*, with this value. Anchored to a concrete clock by `when`,
+    /// by a synchronous operator with a concrete operand, or by the
+    /// left-hand side's presence.
+    Ubiquitous(Value),
+}
+
+impl EvalResult {
+    /// Converts a signal status to an evaluation result.
+    pub fn from_status(s: Status) -> EvalResult {
+        match s {
+            Status::Unknown | Status::PresentUnvalued => EvalResult::Unknown,
+            Status::Absent => EvalResult::Absent,
+            Status::Present(v) => EvalResult::Present(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_gains_information_monotonically() {
+        let mut s = Status::Unknown;
+        assert_eq!(s.join(Status::PresentUnvalued), Ok(true));
+        assert_eq!(s.join(Status::PresentUnvalued), Ok(false));
+        assert_eq!(s.join(Status::Present(Value::Int(3))), Ok(true));
+        assert_eq!(s, Status::Present(Value::Int(3)));
+        assert_eq!(s.join(Status::Unknown), Ok(false));
+    }
+
+    #[test]
+    fn join_detects_contradictions() {
+        let mut s = Status::Present(Value::Int(1));
+        assert!(s.join(Status::Present(Value::Int(2))).is_err());
+        assert!(s.join(Status::Absent).is_err());
+        let mut a = Status::Absent;
+        assert!(a.join(Status::PresentUnvalued).is_err());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(!Status::Unknown.is_decided());
+        assert!(Status::Absent.is_decided());
+        assert!(Status::PresentUnvalued.is_present());
+        assert_eq!(Status::Present(Value::TRUE).value(), Some(Value::TRUE));
+        assert_eq!(Status::PresentUnvalued.value(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Status::Unknown.to_string(), "?");
+        assert_eq!(Status::Absent.to_string(), "⊥");
+        assert_eq!(Status::Present(Value::Int(2)).to_string(), "2");
+    }
+
+    #[test]
+    fn from_status_conversion() {
+        assert_eq!(EvalResult::from_status(Status::Absent), EvalResult::Absent);
+        assert_eq!(
+            EvalResult::from_status(Status::Present(Value::TRUE)),
+            EvalResult::Present(Value::TRUE)
+        );
+        assert_eq!(EvalResult::from_status(Status::PresentUnvalued), EvalResult::Unknown);
+    }
+}

@@ -1,0 +1,299 @@
+//! Behaviors: partial maps from signal names to traces (Definition 1).
+//!
+//! A behavior `b : X ⇀ S` assigns a [`SignalTrace`] to each of its variables.
+//! Projection (`b|var`), hiding (`b\var`) and renaming (`b[y/x]`,
+//! Definition 5) are provided as methods.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::TaggedError;
+use crate::signal::SignalTrace;
+use crate::tag::Tag;
+use crate::value::{SigName, Value};
+
+/// A finite-prefix behavior over a set of signal names.
+///
+/// ```
+/// use polysig_tagged::{Behavior, SigName, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("y", 1, Value::Bool(true)); // synchronous with x's event
+/// b.push_event("x", 2, Value::Int(2));
+///
+/// let only_x = b.restrict_to([SigName::from("x")]);
+/// assert_eq!(only_x.vars().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Behavior {
+    signals: BTreeMap<SigName, SignalTrace>,
+}
+
+impl Behavior {
+    /// Creates an empty behavior (no variables).
+    pub fn new() -> Self {
+        Behavior { signals: BTreeMap::new() }
+    }
+
+    /// Declares a variable with an empty trace if not present. A signal that
+    /// never ticks is still part of `vars(b)`.
+    pub fn declare(&mut self, name: impl Into<SigName>) {
+        self.signals.entry(name.into()).or_default();
+    }
+
+    /// Adds an event on `name` at instant `tag` (declaring the variable if
+    /// needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag does not strictly follow the signal's last event —
+    /// use [`Behavior::try_push_event`] for a fallible variant.
+    pub fn push_event(&mut self, name: impl Into<SigName>, tag: impl Into<Tag>, value: Value) {
+        self.try_push_event(name, tag, value).expect("non-monotone tag pushed on behavior");
+    }
+
+    /// Fallible variant of [`Behavior::push_event`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaggedError::NonMonotoneTag`] when the tag does not strictly
+    /// follow the last event of the signal.
+    pub fn try_push_event(
+        &mut self,
+        name: impl Into<SigName>,
+        tag: impl Into<Tag>,
+        value: Value,
+    ) -> Result<(), TaggedError> {
+        let name = name.into();
+        let tag = tag.into();
+        let trace = self.signals.entry(name.clone()).or_default();
+        trace
+            .push(tag, value)
+            .map_err(|(last, pushed)| TaggedError::NonMonotoneTag { signal: name, last, pushed })
+    }
+
+    /// Inserts (or replaces) a whole trace for a variable.
+    pub fn insert_trace(&mut self, name: impl Into<SigName>, trace: SignalTrace) {
+        self.signals.insert(name.into(), trace);
+    }
+
+    /// The variables of the behavior — the paper's `vars(b)`.
+    pub fn vars(&self) -> impl Iterator<Item = &SigName> + '_ {
+        self.signals.keys()
+    }
+
+    /// The variables as an owned set.
+    pub fn var_set(&self) -> BTreeSet<SigName> {
+        self.signals.keys().cloned().collect()
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The trace of one variable, if declared.
+    pub fn trace(&self, name: &SigName) -> Option<&SignalTrace> {
+        self.signals.get(name)
+    }
+
+    /// Iterates over `(name, trace)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SigName, &SignalTrace)> + '_ {
+        self.signals.iter()
+    }
+
+    /// Total number of events across all signals.
+    pub fn event_count(&self) -> usize {
+        self.signals.values().map(SignalTrace::len).sum()
+    }
+
+    /// Projection `b|var`: restricts the domain to the given variables.
+    /// Variables not present in the behavior are ignored.
+    pub fn restrict_to(&self, vars: impl IntoIterator<Item = SigName>) -> Behavior {
+        let keep: BTreeSet<SigName> = vars.into_iter().collect();
+        Behavior {
+            signals: self
+                .signals
+                .iter()
+                .filter(|(k, _)| keep.contains(*k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Hiding `b\var`: removes the given variables from the domain (the
+    /// paper's dual of projection).
+    pub fn hide(&self, vars: impl IntoIterator<Item = SigName>) -> Behavior {
+        let drop: BTreeSet<SigName> = vars.into_iter().collect();
+        Behavior {
+            signals: self
+                .signals
+                .iter()
+                .filter(|(k, _)| !drop.contains(*k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renaming `b[y/x]` (Definition 5): replaces variable `x` by the fresh
+    /// name `y`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `x` is not a variable of the behavior or `y` is not fresh.
+    pub fn rename(&self, x: &SigName, y: &SigName) -> Result<Behavior, TaggedError> {
+        if !self.signals.contains_key(x) {
+            return Err(TaggedError::RenameSourceMissing { source: x.clone() });
+        }
+        if self.signals.contains_key(y) {
+            return Err(TaggedError::RenameTargetExists { target: y.clone() });
+        }
+        let mut signals = self.signals.clone();
+        let trace = signals.remove(x).expect("checked above");
+        signals.insert(y.clone(), trace);
+        Ok(Behavior { signals })
+    }
+
+    /// All tags used anywhere in the behavior, in increasing order.
+    pub fn all_tags(&self) -> Vec<Tag> {
+        let mut tags: BTreeSet<Tag> = BTreeSet::new();
+        for trace in self.signals.values() {
+            tags.extend(trace.tags());
+        }
+        tags.into_iter().collect()
+    }
+
+    /// The value of `name` at `tag`, if present.
+    pub fn value_at(&self, name: &SigName, tag: Tag) -> Option<Value> {
+        self.signals.get(name).and_then(|s| s.value_at(tag))
+    }
+
+    /// `true` iff no signal ever ticks.
+    pub fn is_silent(&self) -> bool {
+        self.signals.values().all(SignalTrace::is_empty)
+    }
+
+    /// Merges another behavior over *disjoint* variables into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable sets overlap; use composition operators for
+    /// overlapping merges.
+    pub fn union_disjoint(&self, other: &Behavior) -> Behavior {
+        let mut signals = self.signals.clone();
+        for (k, v) in &other.signals {
+            let prev = signals.insert(k.clone(), v.clone());
+            assert!(prev.is_none(), "union_disjoint called with shared variable {k}");
+        }
+        Behavior { signals }
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, trace) in &self.signals {
+            writeln!(f, "{name}: {trace}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Behavior {
+        let mut b = Behavior::new();
+        b.push_event("x", 1, Value::Int(1));
+        b.push_event("x", 3, Value::Int(2));
+        b.push_event("y", 2, Value::Bool(true));
+        b.declare("z");
+        b
+    }
+
+    #[test]
+    fn vars_include_silent_signals() {
+        let b = sample();
+        let vars: Vec<String> = b.vars().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn try_push_event_reports_non_monotone() {
+        let mut b = sample();
+        let err = b.try_push_event("x", 3, Value::Int(9)).unwrap_err();
+        assert!(matches!(err, TaggedError::NonMonotoneTag { .. }));
+    }
+
+    #[test]
+    fn restrict_and_hide_are_dual() {
+        let b = sample();
+        let x = SigName::from("x");
+        let proj = b.restrict_to([x.clone()]);
+        let hid = b.hide([x.clone()]);
+        assert_eq!(proj.var_count(), 1);
+        assert_eq!(hid.var_count(), 2);
+        assert!(proj.trace(&x).is_some());
+        assert!(hid.trace(&x).is_none());
+    }
+
+    #[test]
+    fn rename_moves_trace() {
+        let b = sample();
+        let x = SigName::from("x");
+        let w = SigName::from("w");
+        let r = b.rename(&x, &w).unwrap();
+        assert!(r.trace(&x).is_none());
+        assert_eq!(r.trace(&w).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rename_requires_freshness_and_presence() {
+        let b = sample();
+        let x = SigName::from("x");
+        let y = SigName::from("y");
+        let nope = SigName::from("nope");
+        assert!(matches!(b.rename(&x, &y), Err(TaggedError::RenameTargetExists { .. })));
+        assert!(matches!(b.rename(&nope, &SigName::from("w")), Err(TaggedError::RenameSourceMissing { .. })));
+    }
+
+    #[test]
+    fn all_tags_is_sorted_union() {
+        let b = sample();
+        let tags: Vec<u64> = b.all_tags().into_iter().map(Tag::as_u64).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_disjoint_merges() {
+        let b = sample();
+        let mut c = Behavior::new();
+        c.push_event("w", 5, Value::Int(0));
+        let u = b.union_disjoint(&c);
+        assert_eq!(u.var_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared variable")]
+    fn union_disjoint_panics_on_overlap() {
+        let b = sample();
+        let mut c = Behavior::new();
+        c.push_event("x", 5, Value::Int(0));
+        let _ = b.union_disjoint(&c);
+    }
+
+    #[test]
+    fn event_count_sums() {
+        assert_eq!(sample().event_count(), 3);
+    }
+
+    #[test]
+    fn silent_behavior() {
+        let mut b = Behavior::new();
+        b.declare("a");
+        assert!(b.is_silent());
+        b.push_event("a", 1, Value::Int(0));
+        assert!(!b.is_silent());
+    }
+}

@@ -1,0 +1,132 @@
+//! Canonical forms under stretching and relaxation.
+//!
+//! Stretching (Definition 2) changes the time scale of a behavior while
+//! preserving causal order and event synchronization. Two behaviors are
+//! stretch-equivalent iff a common "compressed" ancestor exists; for finite
+//! prefixes that ancestor is unique: renumber the union of used tags to
+//! `1..=k` in order. [`stretch_canonical`] computes it, so
+//! *stretch-equivalence is equality of canonical forms* — the workhorse of
+//! every equivalence check in the crate.
+//!
+//! Relaxation (Definition 4) additionally forgets inter-signal
+//! synchronization; its canonical form [`flow_canonical`] keeps only the
+//! per-signal value sequences (the *flows*).
+
+use std::collections::BTreeMap;
+
+use crate::behavior::Behavior;
+use crate::flow::FlowClass;
+use crate::tag::Tag;
+
+/// Computes the canonical representative of a behavior's stretch-equivalence
+/// class: tags are renumbered to `1..=k` preserving order and co-occurrence.
+///
+/// ```
+/// use polysig_tagged::{stretch_canonical, Behavior, Value};
+///
+/// let mut sparse = Behavior::new();
+/// sparse.push_event("x", 10, Value::Int(1));
+/// sparse.push_event("x", 99, Value::Int(2));
+///
+/// let mut dense = Behavior::new();
+/// dense.push_event("x", 1, Value::Int(1));
+/// dense.push_event("x", 2, Value::Int(2));
+///
+/// assert_eq!(stretch_canonical(&sparse), dense);
+/// ```
+pub fn stretch_canonical(behavior: &Behavior) -> Behavior {
+    let tags = behavior.all_tags();
+    let map: BTreeMap<Tag, Tag> = tags
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (*t, Tag::new(i as u64 + 1)))
+        .collect();
+    let mut out = Behavior::new();
+    for (name, trace) in behavior.iter() {
+        let retagged = trace
+            .retag(|t| map[&t])
+            .expect("order-preserving renumbering keeps chains strictly increasing");
+        out.insert_trace(name.clone(), retagged);
+    }
+    out
+}
+
+/// Computes the canonical representative of a behavior's flow-equivalence
+/// class: the per-signal value sequences (Definition 4 forgets
+/// synchronization between distinct signals).
+///
+/// ```
+/// use polysig_tagged::{flow_canonical, Behavior, Value};
+///
+/// let mut a = Behavior::new();
+/// a.push_event("x", 1, Value::Int(1));
+/// a.push_event("y", 1, Value::Int(9)); // synchronous with x
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("y", 5, Value::Int(9)); // later than x — same flows
+///
+/// assert_eq!(flow_canonical(&a), flow_canonical(&b));
+/// ```
+pub fn flow_canonical(behavior: &Behavior) -> FlowClass {
+    FlowClass::of(behavior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn b(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let x = b(&[("x", 3, 1), ("y", 3, 2), ("x", 7, 3)]);
+        let c = stretch_canonical(&x);
+        assert_eq!(stretch_canonical(&c), c);
+    }
+
+    #[test]
+    fn canonical_preserves_synchronization() {
+        let x = b(&[("x", 3, 1), ("y", 3, 2)]);
+        let c = stretch_canonical(&x);
+        // both events must still share a tag
+        assert_eq!(c.all_tags().len(), 1);
+        assert_eq!(c.all_tags()[0], Tag::new(1));
+    }
+
+    #[test]
+    fn canonical_distinguishes_desynchronized_events() {
+        let sync = b(&[("x", 1, 1), ("y", 1, 2)]);
+        let split = b(&[("x", 1, 1), ("y", 2, 2)]);
+        assert_ne!(stretch_canonical(&sync), stretch_canonical(&split));
+        // ...but the flows agree
+        assert_eq!(flow_canonical(&sync), flow_canonical(&split));
+    }
+
+    #[test]
+    fn canonical_keeps_silent_variables() {
+        let mut x = b(&[("x", 4, 1)]);
+        x.declare("quiet");
+        let c = stretch_canonical(&x);
+        assert_eq!(c.var_count(), 2);
+        assert!(c.trace(&"quiet".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flow_canonical_orders_per_signal() {
+        let interleaved = b(&[("x", 1, 1), ("y", 2, 10), ("x", 3, 2)]);
+        let flows = flow_canonical(&interleaved);
+        assert_eq!(
+            flows.values(&"x".into()).unwrap(),
+            &[Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(flows.values(&"y".into()).unwrap(), &[Value::Int(10)]);
+    }
+}

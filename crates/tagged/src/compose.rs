@@ -1,0 +1,612 @@
+//! Parallel composition operators (Definitions 3, 6 and 7).
+//!
+//! All three operators are implemented as *generators* on finite processes:
+//! they enumerate every canonical behavior of the composite, which makes
+//! exhaustive validation of the paper's Theorem 1 possible on small models.
+//!
+//! * [`sync_compose`] — synchronous composition `P ∥s Q` (Definition 3):
+//!   shared signals must carry identical event chains; private instants of
+//!   the two components interleave freely (including coinciding), because
+//!   Signal processes are stretch-closed (Lemma 1).
+//! * [`async_compose`] — asynchronous composition `P ∥a Q` (Definition 6):
+//!   each component's *private* instant structure is preserved up to
+//!   stretching, while shared signals only keep their value *flows*; shared
+//!   events are re-timed arbitrarily.
+//! * [`causal_async_compose`] — asynchronous *causal* composition
+//!   `P ∥→,a Q` (Definition 7): as `∥a`, but every shared variable has a
+//!   declared producer, the composite keeps the shared events synchronized
+//!   with the producer's instants, and a consumer instant that reads the
+//!   `i`-th value may never precede the instant that wrote it.
+//!
+//! ## Finite-prefix conventions
+//!
+//! The paper's definitions quantify over infinite behaviors. On finite
+//! prefixes we adopt (and test) these conventions, documented in DESIGN.md:
+//!
+//! * `∥a` requires shared flows to be *equal* (Definition 6 is symmetric).
+//! * `∥→,a` allows the consumer's observed flow to be a *prefix* of the
+//!   producer's flow: messages may still be in flight at the end of the
+//!   prefix. With complete delivery the two operators' flow conditions
+//!   coincide.
+//!
+//! All generators are exponential in the number of instants — they exist for
+//! validation on small models, not for large-scale simulation (that is
+//! `polysig-sim`'s and `polysig-gals`'s job).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::behavior::Behavior;
+use crate::instant::Instant;
+use crate::process::Process;
+use crate::signal::SignalTrace;
+use crate::tag::Tag;
+use crate::value::{SigName, Value};
+
+/// Which side of a composition produces a shared variable (Definition 7's
+/// `P →x Q` / `Q →x P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrder {
+    /// The left process writes the variable, the right one reads it.
+    LeftProduces,
+    /// The right process writes the variable, the left one reads it.
+    RightProduces,
+}
+
+/// Synchronous parallel composition `P ∥s Q` (Definition 3).
+///
+/// Enumerates all canonical behaviors `d` over `vars(P) ∪ vars(Q)` such that
+/// `d|vars(P) ∈ P` and `d|vars(Q) ∈ Q` (both up to stretching, which is
+/// exact for Signal programs by Lemma 1).
+///
+/// ```
+/// use polysig_tagged::{sync_compose, Behavior, Process, Value};
+///
+/// let mut p = Process::over(["x".into()]);
+/// let mut bx = Behavior::new();
+/// bx.push_event("x", 1, Value::Int(1));
+/// p.insert(bx).unwrap();
+///
+/// let mut q = Process::over(["y".into()]);
+/// let mut by = Behavior::new();
+/// by.push_event("y", 1, Value::Int(2));
+/// q.insert(by).unwrap();
+///
+/// let pq = sync_compose(&p, &q);
+/// // x before y, y before x, or simultaneous: three interleavings
+/// assert_eq!(pq.len(), 3);
+/// ```
+pub fn sync_compose(p: &Process, q: &Process) -> Process {
+    let shared: BTreeSet<SigName> = p.vars().intersection(q.vars()).cloned().collect();
+    let all_vars: BTreeSet<SigName> = p.vars().union(q.vars()).cloned().collect();
+    let mut out = Process::over(all_vars.iter().cloned());
+    for b in p.iter() {
+        for c in q.iter() {
+            let bi = Instant::instants_of(b);
+            let ci = Instant::instants_of(c);
+            let mut acc = Vec::new();
+            merge_sync(&bi, &ci, &shared, &mut Vec::new(), &mut acc);
+            for seq in acc {
+                let d = instants_to_behavior(&seq, all_vars.iter().cloned());
+                out.insert(d).expect("composite ranges over union of vars");
+            }
+        }
+    }
+    out
+}
+
+/// Recursive enumeration of synchronized merges for [`sync_compose`].
+///
+/// At each step we may (a) emit the next left instant alone if it touches no
+/// shared signal, (b) emit the next right instant alone under the same
+/// condition, or (c) merge the two next instants when their shared-signal
+/// events agree exactly.
+fn merge_sync(
+    left: &[Instant],
+    right: &[Instant],
+    shared: &BTreeSet<SigName>,
+    prefix: &mut Vec<Instant>,
+    acc: &mut Vec<Vec<Instant>>,
+) {
+    if left.is_empty() && right.is_empty() {
+        acc.push(prefix.clone());
+        return;
+    }
+    let touches_shared =
+        |i: &Instant| i.iter().any(|(name, _)| shared.contains(name));
+    if let Some((head, rest)) = left.split_first() {
+        if !touches_shared(head) {
+            prefix.push(head.at(Tag::new(prefix.len() as u64 + 1)));
+            merge_sync(rest, right, shared, prefix, acc);
+            prefix.pop();
+        }
+    }
+    if let Some((head, rest)) = right.split_first() {
+        if !touches_shared(head) {
+            prefix.push(head.at(Tag::new(prefix.len() as u64 + 1)));
+            merge_sync(left, rest, shared, prefix, acc);
+            prefix.pop();
+        }
+    }
+    if let (Some((lh, lrest)), Some((rh, rrest))) = (left.split_first(), right.split_first()) {
+        if shared_agree(lh, rh, shared) {
+            if let Some(merged) = lh.merge(rh, Tag::new(prefix.len() as u64 + 1)) {
+                prefix.push(merged);
+                merge_sync(lrest, rrest, shared, prefix, acc);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Shared-signal agreement for merging two instants in `∥s`: every shared
+/// signal is present on one side iff it is present on the other, with equal
+/// values.
+fn shared_agree(a: &Instant, b: &Instant, shared: &BTreeSet<SigName>) -> bool {
+    shared.iter().all(|s| a.value(s) == b.value(s))
+}
+
+fn instants_to_behavior(
+    seq: &[Instant],
+    declared: impl IntoIterator<Item = SigName>,
+) -> Behavior {
+    // drop empty instants (hiding may have emptied them upstream)
+    let filtered: Vec<Instant> = seq
+        .iter()
+        .filter(|i| !i.is_empty())
+        .enumerate()
+        .map(|(k, i)| i.at(Tag::new(k as u64 + 1)))
+        .collect();
+    Instant::behavior_of(&filtered, declared)
+}
+
+/// One side (or shared-variable chain) participating in an asynchronous
+/// merge: an ordered instant sequence plus, per instant, the read indices it
+/// carries for each consumed shared variable.
+struct AsyncSeq {
+    instants: Vec<Instant>,
+    /// `reads[k][v] = i` — the `k`-th instant consumes the `i`-th (0-based)
+    /// value of shared variable `v`.
+    reads: Vec<BTreeMap<SigName, usize>>,
+    /// `writes[k][v] = i` — the `k`-th instant produces the `i`-th value of
+    /// shared variable `v`.
+    writes: Vec<BTreeMap<SigName, usize>>,
+}
+
+impl AsyncSeq {
+    fn stripped(
+        behavior: &Behavior,
+        produced: &BTreeSet<SigName>,
+        consumed: &BTreeSet<SigName>,
+        keep_produced_events: bool,
+    ) -> AsyncSeq {
+        let mut write_idx: BTreeMap<SigName, usize> = BTreeMap::new();
+        let mut read_idx: BTreeMap<SigName, usize> = BTreeMap::new();
+        let mut instants = Vec::new();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for inst in Instant::instants_of(behavior) {
+            let mut kept = Instant::new(inst.tag());
+            let mut r = BTreeMap::new();
+            let mut w = BTreeMap::new();
+            for (name, value) in inst.iter() {
+                if consumed.contains(name) {
+                    let i = read_idx.entry(name.clone()).or_insert(0);
+                    r.insert(name.clone(), *i);
+                    *i += 1;
+                } else if produced.contains(name) {
+                    let i = write_idx.entry(name.clone()).or_insert(0);
+                    w.insert(name.clone(), *i);
+                    *i += 1;
+                    if keep_produced_events {
+                        kept.set(name.clone(), value);
+                    }
+                } else {
+                    kept.set(name.clone(), value);
+                }
+            }
+            // an instant that carried only stripped events still counts as a
+            // synchronization point of the component only if it kept events
+            // or carries read/write bookkeeping; fully empty rows vanish.
+            if !kept.is_empty() || !r.is_empty() || !w.is_empty() {
+                instants.push(kept);
+                reads.push(r);
+                writes.push(w);
+            }
+        }
+        AsyncSeq { instants, reads, writes }
+    }
+
+    fn len(&self) -> usize {
+        self.instants.len()
+    }
+}
+
+/// Asynchronous parallel composition `P ∥a Q` (Definition 6).
+///
+/// Shared flows must be identical on both sides; shared events are detached
+/// from both components and re-timed arbitrarily (each shared variable keeps
+/// its own value order). Private instant structures are preserved up to
+/// stretching.
+pub fn async_compose(p: &Process, q: &Process) -> Process {
+    let shared: BTreeSet<SigName> = p.vars().intersection(q.vars()).cloned().collect();
+    let all_vars: BTreeSet<SigName> = p.vars().union(q.vars()).cloned().collect();
+    let mut out = Process::over(all_vars.iter().cloned());
+    for b in p.iter() {
+        for c in q.iter() {
+            // Definition 6: equal flows on every shared variable.
+            if !shared.iter().all(|s| {
+                flow_of(b, s) == flow_of(c, s)
+            }) {
+                continue;
+            }
+            let left = AsyncSeq::stripped(b, &shared, &BTreeSet::new(), false);
+            let right = AsyncSeq::stripped(c, &shared, &BTreeSet::new(), false);
+            let mut seqs = vec![left, right];
+            // one detached chain per shared variable
+            for s in &shared {
+                seqs.push(detached_chain(s, &flow_of(b, s)));
+            }
+            enumerate_async(&seqs, &all_vars, &mut out, /*causal*/ false);
+        }
+    }
+    out
+}
+
+/// Asynchronous *causal* parallel composition `P ∥→,a Q` (Definition 7).
+///
+/// `orders` must name a producer for every shared variable. Shared events
+/// stay synchronized with the producer's instants; the consumer's `i`-th
+/// read of a variable may not be scheduled before its `i`-th write, and the
+/// consumer's observed flow must be a prefix of the producer's flow
+/// (messages may be in flight at the end of a finite prefix).
+///
+/// # Panics
+///
+/// Panics if a shared variable has no declared causal order.
+pub fn causal_async_compose(
+    p: &Process,
+    q: &Process,
+    orders: &BTreeMap<SigName, CausalOrder>,
+) -> Process {
+    let shared: BTreeSet<SigName> = p.vars().intersection(q.vars()).cloned().collect();
+    for s in &shared {
+        assert!(orders.contains_key(s), "shared variable {s} has no causal order");
+    }
+    let left_produced: BTreeSet<SigName> = shared
+        .iter()
+        .filter(|s| orders[*s] == CausalOrder::LeftProduces)
+        .cloned()
+        .collect();
+    let right_produced: BTreeSet<SigName> = shared
+        .iter()
+        .filter(|s| orders[*s] == CausalOrder::RightProduces)
+        .cloned()
+        .collect();
+    let all_vars: BTreeSet<SigName> = p.vars().union(q.vars()).cloned().collect();
+    let mut out = Process::over(all_vars.iter().cloned());
+    for b in p.iter() {
+        for c in q.iter() {
+            // consumer flow must be a prefix of producer flow
+            let flows_ok = left_produced.iter().all(|s| is_prefix(&flow_of(c, s), &flow_of(b, s)))
+                && right_produced.iter().all(|s| is_prefix(&flow_of(b, s), &flow_of(c, s)));
+            if !flows_ok {
+                continue;
+            }
+            let left = AsyncSeq::stripped(b, &left_produced, &right_produced, true);
+            let right = AsyncSeq::stripped(c, &right_produced, &left_produced, true);
+            enumerate_async(&[left, right], &all_vars, &mut out, /*causal*/ true);
+        }
+    }
+    out
+}
+
+fn flow_of(b: &Behavior, s: &SigName) -> Vec<Value> {
+    b.trace(s).map(SignalTrace::values).unwrap_or_default()
+}
+
+fn is_prefix(shorter: &[Value], longer: &[Value]) -> bool {
+    shorter.len() <= longer.len() && &longer[..shorter.len()] == shorter
+}
+
+/// Builds a detached single-variable chain for `∥a`: each event is its own
+/// instant, writing successive values of the shared variable.
+fn detached_chain(name: &SigName, flow: &[Value]) -> AsyncSeq {
+    let mut instants = Vec::new();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (i, v) in flow.iter().enumerate() {
+        let mut inst = Instant::new(Tag::new(i as u64 + 1));
+        inst.set(name.clone(), *v);
+        instants.push(inst);
+        reads.push(BTreeMap::new());
+        let mut w = BTreeMap::new();
+        w.insert(name.clone(), i);
+        writes.push(w);
+    }
+    AsyncSeq { instants, reads, writes }
+}
+
+/// Enumerates every interleaving-with-coincidence of the given sequences and
+/// inserts the resulting canonical behaviors into `out`.
+///
+/// When `causal` is set, an instant that reads index `i` of a variable can
+/// only be scheduled once `i + 1` writes of that variable have been placed
+/// (writes in the same step count, modeling same-instant passthrough).
+fn enumerate_async(
+    seqs: &[AsyncSeq],
+    all_vars: &BTreeSet<SigName>,
+    out: &mut Process,
+    causal: bool,
+) {
+    let mut positions = vec![0usize; seqs.len()];
+    let mut writes_placed: BTreeMap<SigName, usize> = BTreeMap::new();
+    let mut prefix: Vec<Instant> = Vec::new();
+    recurse_async(seqs, &mut positions, &mut writes_placed, &mut prefix, all_vars, out, causal);
+}
+
+fn recurse_async(
+    seqs: &[AsyncSeq],
+    positions: &mut Vec<usize>,
+    writes_placed: &mut BTreeMap<SigName, usize>,
+    prefix: &mut Vec<Instant>,
+    all_vars: &BTreeSet<SigName>,
+    out: &mut Process,
+    causal: bool,
+) {
+    let available: Vec<usize> = (0..seqs.len()).filter(|&k| positions[k] < seqs[k].len()).collect();
+    if available.is_empty() {
+        let d = instants_to_behavior(prefix, all_vars.iter().cloned());
+        out.insert(d).expect("composite ranges over union of vars");
+        return;
+    }
+    // every nonempty subset of available heads may fire simultaneously
+    let n = available.len();
+    for mask in 1u32..(1 << n) {
+        let chosen: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| available[i]).collect();
+        // compute writes contributed by this step
+        let mut step_writes: BTreeMap<SigName, usize> = BTreeMap::new();
+        for &k in &chosen {
+            for v in seqs[k].writes[positions[k]].keys() {
+                *step_writes.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        if causal {
+            // check all reads in the step against writes placed so far plus
+            // this step's writes (same-instant passthrough allowed)
+            let ok = chosen.iter().all(|&k| {
+                seqs[k].reads[positions[k]].iter().all(|(v, &i)| {
+                    let placed = writes_placed.get(v).copied().unwrap_or(0)
+                        + step_writes.get(v).copied().unwrap_or(0);
+                    placed > i
+                })
+            });
+            if !ok {
+                continue;
+            }
+        }
+        // merge chosen heads into one instant
+        let tag = Tag::new(prefix.len() as u64 + 1);
+        let mut merged = Instant::new(tag);
+        let mut conflict = false;
+        for &k in &chosen {
+            match merged.merge(&seqs[k].instants[positions[k]], tag) {
+                Some(m) => merged = m,
+                None => {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        if conflict {
+            continue;
+        }
+        // apply
+        for &k in &chosen {
+            positions[k] += 1;
+        }
+        for (v, n) in &step_writes {
+            *writes_placed.entry(v.clone()).or_insert(0) += n;
+        }
+        prefix.push(merged);
+
+        recurse_async(seqs, positions, writes_placed, prefix, all_vars, out, causal);
+
+        prefix.pop();
+        for (v, n) in &step_writes {
+            *writes_placed.get_mut(v).expect("present") -= n;
+        }
+        for &k in &chosen {
+            positions[k] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn beh(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    fn proc_of(vars: &[&str], behaviors: &[&[(&str, u64, i64)]]) -> Process {
+        let mut p = Process::over(vars.iter().map(|v| SigName::from(*v)));
+        for b in behaviors {
+            p.insert(beh(b)).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn sync_disjoint_vars_enumerates_interleavings() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q = proc_of(&["y"], &[&[("y", 1, 2)]]);
+        let pq = sync_compose(&p, &q);
+        // x<y, y<x, x=y
+        assert_eq!(pq.len(), 3);
+        assert!(pq.contains(&beh(&[("x", 1, 1), ("y", 1, 2)])));
+        assert!(pq.contains(&beh(&[("x", 1, 1), ("y", 2, 2)])));
+        assert!(pq.contains(&beh(&[("y", 1, 2), ("x", 2, 1)])));
+    }
+
+    #[test]
+    fn sync_shared_vars_must_agree() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let pq = sync_compose(&p, &q);
+        assert_eq!(pq.len(), 1);
+
+        let q_bad = proc_of(&["x"], &[&[("x", 1, 9)]]);
+        let none = sync_compose(&p, &q_bad);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn sync_shared_var_with_private_context() {
+        // P emits x then a; Q sees x then emits b. x must align.
+        let p = proc_of(&["x", "a"], &[&[("x", 1, 5), ("a", 2, 0)]]);
+        let q = proc_of(&["x", "b"], &[&[("x", 1, 5), ("b", 2, 0)]]);
+        let pq = sync_compose(&p, &q);
+        // x aligned; a and b interleave after x: a<b, b<a, a=b → 3
+        assert_eq!(pq.len(), 3);
+        for d in pq.iter() {
+            // x must be the first instant in every composite
+            assert_eq!(d.trace(&"x".into()).unwrap().get(0).unwrap().tag(), Tag::new(1));
+        }
+    }
+
+    #[test]
+    fn sync_projection_recovers_components() {
+        let p = proc_of(&["x", "a"], &[&[("x", 1, 5), ("a", 2, 0)]]);
+        let q = proc_of(&["x", "b"], &[&[("x", 1, 5), ("b", 1, 0)]]);
+        let pq = sync_compose(&p, &q);
+        assert!(!pq.is_empty());
+        for d in pq.iter() {
+            assert!(p.contains(&d.restrict_to(["x".into(), "a".into()])));
+            assert!(q.contains(&d.restrict_to(["x".into(), "b".into()])));
+        }
+    }
+
+    #[test]
+    fn async_requires_equal_flows() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q_match = proc_of(&["x"], &[&[("x", 3, 1)]]);
+        let q_clash = proc_of(&["x"], &[&[("x", 3, 2)]]);
+        assert!(!async_compose(&p, &q_match).is_empty());
+        assert!(async_compose(&p, &q_clash).is_empty());
+    }
+
+    #[test]
+    fn async_forgets_synchronization_with_private_events() {
+        // P: x synchronous with a. Q: only x.
+        let p = proc_of(&["x", "a"], &[&[("x", 1, 5), ("a", 1, 0)]]);
+        let q = proc_of(&["x"], &[&[("x", 1, 5)]]);
+        let pq = async_compose(&p, &q);
+        // the detached x may land before, on, or after the private instant
+        // {a}: three canonical forms
+        assert_eq!(pq.len(), 3);
+        assert!(pq.contains(&beh(&[("x", 1, 5), ("a", 2, 0)])));
+        assert!(pq.contains(&beh(&[("x", 1, 5), ("a", 1, 0)])));
+        assert!(pq.contains(&beh(&[("a", 1, 0), ("x", 2, 5)])));
+    }
+
+    #[test]
+    fn corollary1_sync_equals_async_on_disjoint_vars() {
+        // Corollary 1 of the paper.
+        let p = proc_of(&["x"], &[&[("x", 1, 1), ("x", 2, 2)]]);
+        let q = proc_of(&["y"], &[&[("y", 1, 7)]]);
+        let s = sync_compose(&p, &q);
+        let a = async_compose(&p, &q);
+        assert!(s.equivalent(&a), "∥s = ∥a for disjoint variables");
+    }
+
+    #[test]
+    fn causal_keeps_reads_after_writes() {
+        // P writes x once (synchronously with nothing else);
+        // Q reads x and then emits b in the same instant as the read.
+        let p = proc_of(&["x"], &[&[("x", 1, 5)]]);
+        let q = proc_of(&["x", "b"], &[&[("x", 1, 5), ("b", 1, 0)]]);
+        let mut orders = BTreeMap::new();
+        orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+        let pq = causal_async_compose(&p, &q, &orders);
+        // composite: {x} then {b}, or {x,b} merged (same-instant passthrough);
+        // b strictly before x is forbidden by causality.
+        assert_eq!(pq.len(), 2);
+        assert!(pq.contains(&beh(&[("x", 1, 5), ("b", 2, 0)])));
+        assert!(pq.contains(&beh(&[("x", 1, 5), ("b", 1, 0)])));
+        assert!(!pq.contains(&beh(&[("b", 1, 0), ("x", 2, 5)])));
+    }
+
+    #[test]
+    fn causal_allows_in_flight_messages() {
+        // producer wrote twice, consumer has only read once so far
+        let p = proc_of(&["x"], &[&[("x", 1, 1), ("x", 2, 2)]]);
+        let q = proc_of(&["x", "b"], &[&[("x", 1, 1), ("b", 2, 0)]]);
+        let mut orders = BTreeMap::new();
+        orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+        let pq = causal_async_compose(&p, &q, &orders);
+        assert!(!pq.is_empty());
+        // every composite carries the full producer flow
+        for d in pq.iter() {
+            assert_eq!(
+                d.trace(&"x".into()).unwrap().values(),
+                vec![Value::Int(1), Value::Int(2)]
+            );
+        }
+    }
+
+    #[test]
+    fn causal_rejects_non_prefix_consumer_flow() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q = proc_of(&["x"], &[&[("x", 1, 9)]]);
+        let mut orders = BTreeMap::new();
+        orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+        assert!(causal_async_compose(&p, &q, &orders).is_empty());
+    }
+
+    #[test]
+    fn causal_is_contained_in_async_after_hiding_timing() {
+        // With complete delivery, every causal composite's flows appear in
+        // the plain asynchronous composition as well.
+        let p = proc_of(&["x", "a"], &[&[("x", 1, 1), ("a", 2, 0)]]);
+        let q = proc_of(&["x", "b"], &[&[("x", 1, 1), ("b", 2, 0)]]);
+        let mut orders = BTreeMap::new();
+        orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+        let causal = causal_async_compose(&p, &q, &orders);
+        let plain = async_compose(&p, &q);
+        assert!(!causal.is_empty());
+        for d in causal.iter() {
+            assert!(plain.contains(d), "causal behavior missing from ∥a:\n{d}");
+        }
+    }
+
+    #[test]
+    fn corollary2_causal_equals_async_on_disjoint_vars() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q = proc_of(&["y"], &[&[("y", 1, 7), ("y", 2, 8)]]);
+        let causal = causal_async_compose(&p, &q, &BTreeMap::new());
+        let plain = async_compose(&p, &q);
+        assert!(causal.equivalent(&plain), "∥→,a = ∥a for disjoint variables");
+    }
+
+    #[test]
+    #[should_panic(expected = "no causal order")]
+    fn causal_requires_declared_orders() {
+        let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let q = proc_of(&["x"], &[&[("x", 1, 1)]]);
+        let _ = causal_async_compose(&p, &q, &BTreeMap::new());
+    }
+
+    #[test]
+    fn empty_processes_compose_to_empty() {
+        let p = Process::over(["x".into()]);
+        let q = proc_of(&["y"], &[&[("y", 1, 1)]]);
+        assert!(sync_compose(&p, &q).is_empty());
+        assert!(async_compose(&p, &q).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Denotations of the primitive Signal equations (Table 1).
+//!
+//! For each primitive this module provides both a *generator* (the primitives
+//! are deterministic functions of their argument traces, so the denotation of
+//! an equation is computable) and a *checker* that validates an alleged
+//! output trace against the set-theoretic definition of Table 1. The
+//! simulator in `polysig-sim` is validated against these functions.
+
+use crate::signal::SignalTrace;
+use crate::value::Value;
+
+/// Denotation of `x = pre val y` (Table 1, first row): `x` is synchronous
+/// with `y`, carries `val` at `y`'s first tag and afterwards `y`'s previous
+/// value.
+///
+/// ```
+/// use polysig_tagged::denotation::eval_pre;
+/// use polysig_tagged::{SignalTrace, Tag, Value};
+///
+/// let mut y = SignalTrace::new();
+/// y.push(Tag::new(1), Value::Int(10)).unwrap();
+/// y.push(Tag::new(4), Value::Int(20)).unwrap();
+///
+/// let x = eval_pre(Value::Int(0), &y);
+/// assert_eq!(x.values(), vec![Value::Int(0), Value::Int(10)]);
+/// assert_eq!(x.tags().collect::<Vec<_>>(), y.tags().collect::<Vec<_>>());
+/// ```
+pub fn eval_pre(init: Value, y: &SignalTrace) -> SignalTrace {
+    let mut out = SignalTrace::new();
+    let mut prev = init;
+    for e in y.iter() {
+        out.push(e.tag(), prev).expect("y is a chain");
+        prev = e.value();
+    }
+    out
+}
+
+/// Checks Table 1's `pre` denotation: is `x` a legal output for
+/// `x = pre init y`?
+pub fn satisfies_pre(x: &SignalTrace, init: Value, y: &SignalTrace) -> bool {
+    x == &eval_pre(init, y)
+}
+
+/// Denotation of `x = y when z` (Table 1, second row): `x` ticks exactly when
+/// `y` ticks *and* `z` ticks with value `true`, carrying `y`'s value.
+///
+/// ```
+/// use polysig_tagged::denotation::eval_when;
+/// use polysig_tagged::{SignalTrace, Tag, Value};
+///
+/// let mut y = SignalTrace::new();
+/// y.push(Tag::new(1), Value::Int(10)).unwrap();
+/// y.push(Tag::new(2), Value::Int(20)).unwrap();
+/// let mut z = SignalTrace::new();
+/// z.push(Tag::new(2), Value::Bool(true)).unwrap();
+///
+/// let x = eval_when(&y, &z);
+/// assert_eq!(x.values(), vec![Value::Int(20)]);
+/// ```
+pub fn eval_when(y: &SignalTrace, z: &SignalTrace) -> SignalTrace {
+    let mut out = SignalTrace::new();
+    for e in y.iter() {
+        if z.value_at(e.tag()) == Some(Value::TRUE) {
+            out.push(e.tag(), e.value()).expect("y is a chain");
+        }
+    }
+    out
+}
+
+/// Checks Table 1's `when` denotation.
+pub fn satisfies_when(x: &SignalTrace, y: &SignalTrace, z: &SignalTrace) -> bool {
+    x == &eval_when(y, z)
+}
+
+/// Denotation of `x = y default z` (Table 1, third row): `x` ticks when `y`
+/// or `z` ticks, preferring `y`'s value when both do.
+///
+/// ```
+/// use polysig_tagged::denotation::eval_default;
+/// use polysig_tagged::{SignalTrace, Tag, Value};
+///
+/// let mut y = SignalTrace::new();
+/// y.push(Tag::new(2), Value::Int(10)).unwrap();
+/// let mut z = SignalTrace::new();
+/// z.push(Tag::new(1), Value::Int(-1)).unwrap();
+/// z.push(Tag::new(2), Value::Int(-2)).unwrap();
+///
+/// let x = eval_default(&y, &z);
+/// assert_eq!(x.values(), vec![Value::Int(-1), Value::Int(10)]);
+/// ```
+pub fn eval_default(y: &SignalTrace, z: &SignalTrace) -> SignalTrace {
+    let mut tags: Vec<crate::tag::Tag> = y.tags().chain(z.tags()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    let mut out = SignalTrace::new();
+    for t in tags {
+        let v = y.value_at(t).or_else(|| z.value_at(t)).expect("t came from y or z");
+        out.push(t, v).expect("tags sorted and deduped");
+    }
+    out
+}
+
+/// Checks Table 1's `default` denotation.
+pub fn satisfies_default(x: &SignalTrace, y: &SignalTrace, z: &SignalTrace) -> bool {
+    x == &eval_default(y, z)
+}
+
+/// Denotation of a synchronous pointwise operator `x = f(y₁, …, yₙ)`: all
+/// arguments must be synchronous (identical tag chains); `x` ticks with them
+/// carrying `f` of the argument values.
+///
+/// Returns `None` when the arguments are not synchronous (a clock violation)
+/// or when `f` itself fails (e.g. a type error), mirroring the paper's
+/// assumption that `f` "performs a computation on synchronously available
+/// arguments".
+pub fn eval_app(
+    args: &[&SignalTrace],
+    mut f: impl FnMut(&[Value]) -> Option<Value>,
+) -> Option<SignalTrace> {
+    let Some(first) = args.first() else {
+        return Some(SignalTrace::new());
+    };
+    let tags: Vec<crate::tag::Tag> = first.tags().collect();
+    for a in args {
+        if a.tags().collect::<Vec<_>>() != tags {
+            return None;
+        }
+    }
+    let mut out = SignalTrace::new();
+    for (i, t) in tags.iter().enumerate() {
+        let row: Vec<Value> = args
+            .iter()
+            .map(|a| a.get(i).expect("synchronized lengths").value())
+            .collect();
+        out.push(*t, f(&row)?).expect("tags are a chain");
+    }
+    Some(out)
+}
+
+/// Checks the pointwise-operator denotation.
+pub fn satisfies_app(
+    x: &SignalTrace,
+    args: &[&SignalTrace],
+    f: impl FnMut(&[Value]) -> Option<Value>,
+) -> bool {
+    eval_app(args, f).as_ref() == Some(x)
+}
+
+/// Denotation of the paper's clock shorthand `^x` = `true when (x == x)`: a
+/// boolean `true` at exactly the tags of `x`.
+pub fn eval_clock(x: &SignalTrace) -> SignalTrace {
+    let mut out = SignalTrace::new();
+    for e in x.iter() {
+        out.push(e.tag(), Value::TRUE).expect("x is a chain");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+
+    fn tr(pairs: &[(u64, Value)]) -> SignalTrace {
+        let mut s = SignalTrace::new();
+        for &(t, v) in pairs {
+            s.push(Tag::new(t), v).unwrap();
+        }
+        s
+    }
+
+    fn ints(pairs: &[(u64, i64)]) -> SignalTrace {
+        tr(&pairs.iter().map(|&(t, v)| (t, Value::Int(v))).collect::<Vec<_>>())
+    }
+
+    fn bools(pairs: &[(u64, bool)]) -> SignalTrace {
+        tr(&pairs.iter().map(|&(t, v)| (t, Value::Bool(v))).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn pre_shifts_by_one_with_initial_value() {
+        let y = ints(&[(1, 10), (3, 20), (9, 30)]);
+        let x = eval_pre(Value::Int(0), &y);
+        assert_eq!(x.values(), vec![Value::Int(0), Value::Int(10), Value::Int(20)]);
+        assert!(satisfies_pre(&x, Value::Int(0), &y));
+        assert!(!satisfies_pre(&y, Value::Int(0), &y));
+    }
+
+    #[test]
+    fn pre_of_empty_is_empty() {
+        let y = SignalTrace::new();
+        assert!(eval_pre(Value::Int(0), &y).is_empty());
+    }
+
+    #[test]
+    fn when_filters_on_true_condition() {
+        let y = ints(&[(1, 10), (2, 20), (3, 30)]);
+        let z = bools(&[(1, false), (3, true), (4, true)]);
+        let x = eval_when(&y, &z);
+        assert_eq!(x.values(), vec![Value::Int(30)]);
+        assert_eq!(x.get(0).unwrap().tag(), Tag::new(3));
+        assert!(satisfies_when(&x, &y, &z));
+    }
+
+    #[test]
+    fn when_requires_condition_presence() {
+        // z absent at y's tags → x never ticks
+        let y = ints(&[(1, 10)]);
+        let z = bools(&[(2, true)]);
+        assert!(eval_when(&y, &z).is_empty());
+    }
+
+    #[test]
+    fn default_is_left_biased_union() {
+        let y = ints(&[(2, 10), (4, 40)]);
+        let z = ints(&[(1, -1), (2, -2)]);
+        let x = eval_default(&y, &z);
+        assert_eq!(
+            x.values(),
+            vec![Value::Int(-1), Value::Int(10), Value::Int(40)]
+        );
+        assert!(satisfies_default(&x, &y, &z));
+    }
+
+    #[test]
+    fn default_with_empty_argument_is_identity() {
+        let y = ints(&[(1, 1)]);
+        let empty = SignalTrace::new();
+        assert_eq!(eval_default(&y, &empty), y);
+        assert_eq!(eval_default(&empty, &y), y);
+    }
+
+    #[test]
+    fn app_requires_synchronous_arguments() {
+        let y = ints(&[(1, 1), (2, 2)]);
+        let z = ints(&[(1, 10), (2, 20)]);
+        let sum = eval_app(&[&y, &z], |vs| {
+            Some(Value::Int(vs[0].as_int()? + vs[1].as_int()?))
+        })
+        .unwrap();
+        assert_eq!(sum.values(), vec![Value::Int(11), Value::Int(22)]);
+
+        let skewed = ints(&[(1, 10), (3, 20)]);
+        assert!(eval_app(&[&y, &skewed], |vs| Some(vs[0])).is_none());
+    }
+
+    #[test]
+    fn app_propagates_operator_failure() {
+        let y = bools(&[(1, true)]);
+        // integer addition over a boolean fails
+        assert!(eval_app(&[&y], |vs| Some(Value::Int(vs[0].as_int()? + 1))).is_none());
+    }
+
+    #[test]
+    fn app_of_no_arguments_is_empty() {
+        assert!(eval_app(&[], |_| Some(Value::TRUE)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clock_is_true_at_signal_tags() {
+        let x = ints(&[(1, 5), (7, 6)]);
+        let c = eval_clock(&x);
+        assert_eq!(c.values(), vec![Value::TRUE, Value::TRUE]);
+        assert_eq!(c.tags().collect::<Vec<_>>(), x.tags().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn satisfies_app_checker() {
+        let y = ints(&[(1, 2)]);
+        let x = ints(&[(1, 4)]);
+        assert!(satisfies_app(&x, &[&y], |vs| {
+            Some(Value::Int(vs[0].as_int()? * 2))
+        }));
+    }
+}

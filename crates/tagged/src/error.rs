@@ -1,0 +1,86 @@
+//! Error type for tagged-model operations.
+
+use std::fmt;
+
+use crate::tag::Tag;
+use crate::value::SigName;
+
+/// Errors raised when constructing or combining tagged-model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaggedError {
+    /// An event was pushed at a tag not strictly after the last event of the
+    /// signal's chain (chains must be discrete and well-founded, Def. 1).
+    NonMonotoneTag {
+        /// The signal whose chain was violated.
+        signal: SigName,
+        /// Tag of the last event already in the chain.
+        last: Tag,
+        /// Offending tag.
+        pushed: Tag,
+    },
+    /// Behaviors combined in a process did not range over the same variables
+    /// (a process is a set of behaviors over a *common* set of names).
+    VariableMismatch {
+        /// Variables of the process.
+        expected: Vec<SigName>,
+        /// Variables of the offending behavior.
+        found: Vec<SigName>,
+    },
+    /// A renaming target already exists in the behavior (Definition 5
+    /// requires the new name to be fresh).
+    RenameTargetExists {
+        /// The non-fresh target name.
+        target: SigName,
+    },
+    /// A renaming source is not a variable of the behavior.
+    RenameSourceMissing {
+        /// The missing source name.
+        source: SigName,
+    },
+}
+
+impl fmt::Display for TaggedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaggedError::NonMonotoneTag { signal, last, pushed } => write!(
+                f,
+                "event pushed on signal `{signal}` at {pushed} does not follow last event at {last}"
+            ),
+            TaggedError::VariableMismatch { expected, found } => write!(
+                f,
+                "behavior variables {found:?} do not match process variables {expected:?}"
+            ),
+            TaggedError::RenameTargetExists { target } => {
+                write!(f, "rename target `{target}` is not fresh in the behavior")
+            }
+            TaggedError::RenameSourceMissing { source } => {
+                write!(f, "rename source `{source}` is not a variable of the behavior")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaggedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TaggedError::NonMonotoneTag {
+            signal: SigName::from("x"),
+            last: Tag::new(4),
+            pushed: Tag::new(4),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x"));
+        assert!(msg.contains("t4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<TaggedError>();
+    }
+}

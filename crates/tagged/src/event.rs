@@ -1,0 +1,82 @@
+//! Events: tag/value pairs (the paper's `ε = T × V`).
+
+use std::fmt;
+
+use crate::tag::Tag;
+use crate::value::Value;
+
+/// A single event of a signal: a [`Value`] observed at a [`Tag`].
+///
+/// ```
+/// use polysig_tagged::{Event, Tag, Value};
+/// let e = Event::new(Tag::new(2), Value::Int(7));
+/// assert_eq!(e.tag(), Tag::new(2));
+/// assert_eq!(e.value(), Value::Int(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    tag: Tag,
+    value: Value,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(tag: Tag, value: Value) -> Self {
+        Event { tag, value }
+    }
+
+    /// The time of the event — the paper's `t(e)`.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// The value carried by the event.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// Returns a copy of this event moved to a different tag (used when
+    /// stretching or canonicalizing behaviors).
+    pub fn at(&self, tag: Tag) -> Event {
+        Event { tag, value: self.value }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = Event::new(Tag::new(5), Value::Bool(true));
+        assert_eq!(e.tag().as_u64(), 5);
+        assert_eq!(e.value(), Value::TRUE);
+    }
+
+    #[test]
+    fn retag_preserves_value() {
+        let e = Event::new(Tag::new(1), Value::Int(3));
+        let moved = e.at(Tag::new(9));
+        assert_eq!(moved.tag(), Tag::new(9));
+        assert_eq!(moved.value(), Value::Int(3));
+    }
+
+    #[test]
+    fn order_is_tag_major() {
+        let early = Event::new(Tag::new(1), Value::Int(100));
+        let late = Event::new(Tag::new(2), Value::Int(-100));
+        assert!(early < late);
+    }
+
+    #[test]
+    fn display() {
+        let e = Event::new(Tag::new(4), Value::Int(2));
+        assert_eq!(e.to_string(), "2@t4");
+    }
+}

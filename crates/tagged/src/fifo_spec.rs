@@ -1,0 +1,332 @@
+//! Semantic FIFO-channel specifications (Definitions 8 and 9, Lemma 2).
+//!
+//! * [`is_afifo_behavior`] — membership in the *unbounded* asynchronous FIFO
+//!   `AFifo x→y` (Definition 8): the output carries the input's value
+//!   sequence (a prefix of it on finite trace prefixes, for messages still in
+//!   flight), each delivery at-or-after its emission.
+//! * [`is_nfifo_behavior`] — membership in the *bounded* `nFifo` (Definition
+//!   9): additionally, at every point in time the number of writes exceeds
+//!   the number of reads by at most `n`.
+//! * [`lemma2_bound_holds`] — the rate-matching side condition of Lemma 2:
+//!   the consumer's `i`-th read happens no later than the producer's
+//!   `(i+n)`-th write, which is exactly what prevents overflow of an
+//!   `n`-place buffer.
+//! * [`afifo_process_for_flow`] — generates the finite slice of the `AFifo`
+//!   process for a fixed input flow, used to validate Theorem 1 by explicit
+//!   enumeration.
+
+use crate::behavior::Behavior;
+use crate::process::Process;
+use crate::signal::SignalTrace;
+use crate::tag::Tag;
+use crate::value::{SigName, Value};
+
+/// Checks membership of `b` in the unbounded FIFO process `AFifo x→y`
+/// (Definition 8) on a finite prefix.
+///
+/// Requires `vars(b) = {x, y}`; the value sequence of `y` must be a prefix
+/// of the value sequence of `x` (equal flows once all messages are
+/// delivered) and the `i`-th delivery may not precede the `i`-th emission
+/// (`t(y_i) ≥ t(x_i)`, same-instant passthrough allowed).
+///
+/// ```
+/// use polysig_tagged::{is_afifo_behavior, Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("y", 2, Value::Int(1));
+/// assert!(is_afifo_behavior(&b, &"x".into(), &"y".into()));
+/// ```
+pub fn is_afifo_behavior(b: &Behavior, x: &SigName, y: &SigName) -> bool {
+    if b.var_set() != [x.clone(), y.clone()].into_iter().collect() {
+        return false;
+    }
+    let (Some(xs), Some(ys)) = (b.trace(x), b.trace(y)) else {
+        return false;
+    };
+    if ys.len() > xs.len() {
+        return false;
+    }
+    ys.iter().enumerate().all(|(i, read)| {
+        let write = xs.get(i).expect("ys.len() <= xs.len()");
+        read.value() == write.value() && read.tag() >= write.tag()
+    })
+}
+
+/// Checks membership of `b` in the bounded FIFO process `nFifo x→y`
+/// (Definition 9): `AFifo` membership plus the occupancy bound
+/// `|[b(x)]_t| ≤ n + |[b(y)]_t|` at every tag `t`.
+///
+/// ```
+/// use polysig_tagged::{is_nfifo_behavior, Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("x", 2, Value::Int(2));
+/// b.push_event("y", 3, Value::Int(1));
+/// assert!(is_nfifo_behavior(&b, &"x".into(), &"y".into(), 2));
+/// assert!(!is_nfifo_behavior(&b, &"x".into(), &"y".into(), 1));
+/// ```
+pub fn is_nfifo_behavior(b: &Behavior, x: &SigName, y: &SigName, n: usize) -> bool {
+    if !is_afifo_behavior(b, x, y) {
+        return false;
+    }
+    let xs = b.trace(x).expect("checked by is_afifo_behavior");
+    let ys = b.trace(y).expect("checked by is_afifo_behavior");
+    b.all_tags()
+        .into_iter()
+        .all(|t| xs.count_up_to(t) <= n + ys.count_up_to(t))
+}
+
+/// The rate-matching side condition of Lemma 2 between a producer-side and a
+/// consumer-side view of the same variable: for every `i`, if the producer's
+/// `(i+n)`-th write exists, the consumer's `i`-th read exists and happens at
+/// or before it (`t(reader_i) ≤ t(writer_{i+n})`).
+///
+/// This is precisely the condition under which an `n`-place buffer between
+/// the two never overflows.
+pub fn lemma2_bound_holds(writer: &SignalTrace, reader: &SignalTrace, n: usize) -> bool {
+    (0..writer.len()).all(|j| {
+        // j is the index of a write; when j >= n, read j - n must have
+        // happened at or before this write.
+        if j < n {
+            return true;
+        }
+        let i = j - n;
+        match (reader.get(i), writer.get(j)) {
+            (Some(read), Some(write)) => read.tag() <= write.tag(),
+            (None, Some(_)) => false,
+            _ => true,
+        }
+    })
+}
+
+/// Generates the finite slice of the `AFifo x→y` process for one fixed input
+/// flow: every canonical interleaving of the write chain and a read chain
+/// delivering a prefix of it, with each read at-or-after its write.
+///
+/// Used to validate Theorem 1: the right-hand side composes components with
+/// this process under `∥s`.
+///
+/// With `complete_delivery`, only behaviors where every written value is also
+/// read are produced (the infinite-behavior reading of Definition 8).
+pub fn afifo_process_for_flow(
+    x: &SigName,
+    y: &SigName,
+    flow: &[Value],
+    complete_delivery: bool,
+) -> Process {
+    let mut out = Process::over([x.clone(), y.clone()]);
+    let min_reads = if complete_delivery { flow.len() } else { 0 };
+    for reads in min_reads..=flow.len() {
+        let mut prefix: Vec<(bool, usize)> = Vec::new(); // (is_write, index)
+        enumerate_fifo_timings(flow.len(), reads, 0, 0, &mut prefix, &mut |schedule| {
+            let b = schedule_to_behavior(x, y, flow, schedule);
+            out.insert(b).expect("fifo behaviors range over {x, y}");
+        });
+    }
+    out
+}
+
+/// Recursively enumerates schedules: sequences of steps, each step doing a
+/// write, a read, or both simultaneously, with reads never overtaking
+/// writes.
+fn enumerate_fifo_timings(
+    writes: usize,
+    reads: usize,
+    w: usize,
+    r: usize,
+    prefix: &mut Vec<(bool, usize)>,
+    emit: &mut impl FnMut(&[(bool, usize)]),
+) {
+    if w == writes && r == reads {
+        emit(prefix);
+        return;
+    }
+    // The step encoding: (true, k) = instant with write k only;
+    // (false, k) = instant with read k only; a simultaneous write+read pair
+    // is encoded as a write immediately followed by a read at the same
+    // *schedule slot*, which `schedule_to_behavior` detects via sentinel
+    // usize::MAX marking. To keep things simple we enumerate three step
+    // kinds explicitly below.
+    if w < writes {
+        prefix.push((true, w));
+        enumerate_fifo_timings(writes, reads, w + 1, r, prefix, emit);
+        prefix.pop();
+    }
+    if r < reads && r < w {
+        prefix.push((false, r));
+        enumerate_fifo_timings(writes, reads, w, r + 1, prefix, emit);
+        prefix.pop();
+    }
+    // simultaneous write w and read r (same-instant passthrough needs r == w;
+    // simultaneous write with an *older* pending read is also a single
+    // instant doing both)
+    if w < writes && r < reads && r <= w {
+        prefix.push((true, usize::MAX)); // marker: next read shares the instant
+        prefix.push((false, r));
+        enumerate_fifo_timings(writes, reads, w + 1, r + 1, prefix, emit);
+        prefix.pop();
+        prefix.pop();
+    }
+}
+
+fn schedule_to_behavior(
+    x: &SigName,
+    y: &SigName,
+    flow: &[Value],
+    schedule: &[(bool, usize)],
+) -> Behavior {
+    let mut b = Behavior::new();
+    b.declare(x.clone());
+    b.declare(y.clone());
+    let mut tag = Tag::ZERO;
+    let mut w = 0usize;
+    let mut i = 0usize;
+    while i < schedule.len() {
+        let (is_write, idx) = schedule[i];
+        tag = tag.next();
+        if is_write && idx == usize::MAX {
+            // simultaneous write + read instant
+            b.push_event(x.clone(), tag, flow[w]);
+            let (_, r) = schedule[i + 1];
+            b.push_event(y.clone(), tag, flow[r]);
+            w += 1;
+            i += 2;
+        } else if is_write {
+            b.push_event(x.clone(), tag, flow[w]);
+            w += 1;
+            i += 1;
+        } else {
+            b.push_event(y.clone(), tag, flow[idx]);
+            i += 1;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beh(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    fn x() -> SigName {
+        "x".into()
+    }
+    fn y() -> SigName {
+        "y".into()
+    }
+
+    #[test]
+    fn afifo_accepts_delayed_delivery() {
+        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("y", 3, 1), ("y", 4, 2)]);
+        assert!(is_afifo_behavior(&b, &x(), &y()));
+    }
+
+    #[test]
+    fn afifo_accepts_same_instant_passthrough() {
+        let b = beh(&[("x", 1, 1), ("y", 1, 1)]);
+        assert!(is_afifo_behavior(&b, &x(), &y()));
+    }
+
+    #[test]
+    fn afifo_accepts_in_flight_prefix() {
+        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("y", 3, 1)]);
+        assert!(is_afifo_behavior(&b, &x(), &y()));
+    }
+
+    #[test]
+    fn afifo_rejects_reordering_and_invention() {
+        // reordered values
+        let swapped = beh(&[("x", 1, 1), ("x", 2, 2), ("y", 3, 2), ("y", 4, 1)]);
+        assert!(!is_afifo_behavior(&swapped, &x(), &y()));
+        // read before write
+        let early = beh(&[("y", 1, 1), ("x", 2, 1)]);
+        assert!(!is_afifo_behavior(&early, &x(), &y()));
+        // more reads than writes
+        let invent = beh(&[("x", 1, 1), ("y", 2, 1), ("y", 3, 1)]);
+        assert!(!is_afifo_behavior(&invent, &x(), &y()));
+    }
+
+    #[test]
+    fn afifo_requires_exact_variable_set() {
+        let mut b = beh(&[("x", 1, 1), ("y", 2, 1)]);
+        b.declare("z");
+        assert!(!is_afifo_behavior(&b, &x(), &y()));
+    }
+
+    #[test]
+    fn nfifo_occupancy_bound() {
+        // three writes before any read: needs n >= 3
+        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("x", 3, 3), ("y", 4, 1), ("y", 5, 2), ("y", 6, 3)]);
+        assert!(is_nfifo_behavior(&b, &x(), &y(), 3));
+        assert!(!is_nfifo_behavior(&b, &x(), &y(), 2));
+        // alternate write/read: 1-place buffer suffices
+        let alt = beh(&[("x", 1, 1), ("y", 2, 1), ("x", 3, 2), ("y", 4, 2)]);
+        assert!(is_nfifo_behavior(&alt, &x(), &y(), 1));
+    }
+
+    #[test]
+    fn nfifo_same_instant_counts_as_handover() {
+        let b = beh(&[("x", 1, 1), ("y", 1, 1), ("x", 2, 2), ("y", 2, 2)]);
+        // at each tag: writes == reads, so occupancy bound 1 holds
+        assert!(is_nfifo_behavior(&b, &x(), &y(), 1));
+    }
+
+    #[test]
+    fn lemma2_bound() {
+        // writer at 1,2,3; reader at 2,3 — reads lag exactly one write
+        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("x", 3, 3), ("y", 2, 1), ("y", 3, 2)]);
+        let w = b.trace(&x()).unwrap();
+        let r = b.trace(&y()).unwrap();
+        assert!(lemma2_bound_holds(w, r, 1));
+        // with n = 0 the reader would need to read at-or-before every write
+        assert!(!lemma2_bound_holds(w, r, 0));
+    }
+
+    #[test]
+    fn lemma2_bound_fails_when_reads_missing() {
+        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("x", 3, 3)]);
+        let w = b.trace(&x()).unwrap();
+        let empty = SignalTrace::new();
+        assert!(!lemma2_bound_holds(w, &empty, 2));
+        assert!(lemma2_bound_holds(w, &empty, 3));
+    }
+
+    #[test]
+    fn generated_afifo_slice_members_satisfy_spec() {
+        let flow = vec![Value::Int(1), Value::Int(2)];
+        let p = afifo_process_for_flow(&x(), &y(), &flow, false);
+        assert!(!p.is_empty());
+        for b in p.iter() {
+            assert!(is_afifo_behavior(b, &x(), &y()), "not an AFifo behavior:\n{b}");
+        }
+    }
+
+    #[test]
+    fn generated_afifo_slice_is_exhaustive_for_tiny_flow() {
+        let flow = vec![Value::Int(7)];
+        let p = afifo_process_for_flow(&x(), &y(), &flow, false);
+        // one write; schedules: write only; write then read; write+read same
+        // instant → 3 canonical behaviors
+        assert_eq!(p.len(), 3);
+        let complete = afifo_process_for_flow(&x(), &y(), &flow, true);
+        assert_eq!(complete.len(), 2);
+    }
+
+    #[test]
+    fn generated_complete_slices_deliver_everything() {
+        let flow = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let p = afifo_process_for_flow(&x(), &y(), &flow, true);
+        for b in p.iter() {
+            assert_eq!(b.trace(&y()).unwrap().len(), flow.len());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Relaxation and flow-equivalence (Definition 4).
+//!
+//! Relaxation stretches each signal of a behavior *independently*, which may
+//! break inter-signal synchronization; flow-equivalence keeps only the value
+//! sequence carried by each signal. This is the equivalence preserved by
+//! asynchronous communication media and the one in which the paper's
+//! Theorems 1 and 2 are stated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::behavior::Behavior;
+use crate::value::{SigName, Value};
+
+/// The flow-equivalence class of a behavior: each signal's value sequence,
+/// with synchronization between signals forgotten.
+///
+/// ```
+/// use polysig_tagged::{Behavior, FlowClass, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// b.push_event("x", 2, Value::Int(2));
+/// let f = FlowClass::of(&b);
+/// assert_eq!(f.values(&"x".into()).unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowClass {
+    flows: BTreeMap<SigName, Vec<Value>>,
+}
+
+impl FlowClass {
+    /// Computes the flow class of a behavior.
+    pub fn of(behavior: &Behavior) -> Self {
+        FlowClass {
+            flows: behavior
+                .iter()
+                .map(|(name, trace)| (name.clone(), trace.values()))
+                .collect(),
+        }
+    }
+
+    /// The value sequence of a signal, if the signal is a variable.
+    pub fn values(&self, name: &SigName) -> Option<&[Value]> {
+        self.flows.get(name).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(name, flow)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SigName, &[Value])> + '_ {
+        self.flows.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Variables covered by this flow class.
+    pub fn vars(&self) -> impl Iterator<Item = &SigName> + '_ {
+        self.flows.keys()
+    }
+
+    /// `true` iff for every signal, `self`'s flow is a prefix of `other`'s.
+    ///
+    /// Useful when comparing a consumer-side prefix against a producer-side
+    /// flow while messages are still in flight.
+    pub fn is_prefix_of(&self, other: &FlowClass) -> bool {
+        self.flows.iter().all(|(name, flow)| {
+            other
+                .flows
+                .get(name)
+                .is_some_and(|longer| longer.len() >= flow.len() && &longer[..flow.len()] == flow.as_slice())
+        })
+    }
+}
+
+impl fmt::Display for FlowClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, flow) in &self.flows {
+            write!(f, "{name}: ")?;
+            for (i, v) in flow.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks Definition 4 directly: is `c` a relaxation of `b`?
+///
+/// `b ⊑ c` iff `vars(b) = vars(c)` and for every variable `x`, `c|{x}` is a
+/// stretching of `b|{x}`. Since single-signal stretching can only delay
+/// events while preserving the value sequence, this reduces to equal flows
+/// with per-event delay `t_b(x_i) ≤ t_c(x_i)`.
+pub fn is_relaxation_of(b: &Behavior, c: &Behavior) -> bool {
+    if b.var_set() != c.var_set() {
+        return false;
+    }
+    b.iter().all(|(name, tb)| {
+        let tc = c.trace(name).expect("var sets equal");
+        tb.len() == tc.len()
+            && tb.iter().zip(tc.iter()).all(|(eb, ec)| {
+                eb.value() == ec.value() && eb.tag() <= ec.tag()
+            })
+    })
+}
+
+/// Flow-equivalence `b ≈ c` (Definition 4): some behavior relaxes into both,
+/// i.e. the per-signal value sequences coincide.
+///
+/// ```
+/// use polysig_tagged::{flow_equivalent, Behavior, Value};
+///
+/// let mut sync = Behavior::new();
+/// sync.push_event("x", 1, Value::Int(1));
+/// sync.push_event("y", 1, Value::Int(2));
+///
+/// let mut skewed = Behavior::new();
+/// skewed.push_event("y", 1, Value::Int(2));
+/// skewed.push_event("x", 3, Value::Int(1));
+///
+/// assert!(flow_equivalent(&sync, &skewed));
+/// ```
+pub fn flow_equivalent(b: &Behavior, c: &Behavior) -> bool {
+    b.var_set() == c.var_set() && FlowClass::of(b) == FlowClass::of(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    #[test]
+    fn relaxation_allows_independent_delays() {
+        let tight = b(&[("x", 1, 1), ("y", 1, 2)]);
+        let loose = b(&[("x", 2, 1), ("y", 5, 2)]);
+        assert!(is_relaxation_of(&tight, &loose));
+        assert!(!is_relaxation_of(&loose, &tight));
+    }
+
+    #[test]
+    fn relaxation_preserves_per_signal_order_and_values() {
+        let a = b(&[("x", 1, 1), ("x", 2, 2)]);
+        let swapped = b(&[("x", 1, 2), ("x", 2, 1)]);
+        assert!(!is_relaxation_of(&a, &swapped));
+    }
+
+    #[test]
+    fn flow_equivalence_forgets_synchronization() {
+        let sync = b(&[("x", 1, 1), ("y", 1, 2)]);
+        let seq = b(&[("y", 1, 2), ("x", 2, 1)]);
+        assert!(flow_equivalent(&sync, &seq));
+        // but stretch-equivalence does not
+        assert!(!crate::stretch::stretch_equivalent(&sync, &seq));
+    }
+
+    #[test]
+    fn flow_equivalence_distinguishes_flows() {
+        let a = b(&[("x", 1, 1)]);
+        let c = b(&[("x", 1, 2)]);
+        assert!(!flow_equivalent(&a, &c));
+        let longer = b(&[("x", 1, 1), ("x", 2, 2)]);
+        assert!(!flow_equivalent(&a, &longer));
+    }
+
+    #[test]
+    fn stretch_equivalence_implies_flow_equivalence() {
+        let a = b(&[("x", 1, 1), ("y", 3, 2)]);
+        let c = b(&[("x", 10, 1), ("y", 30, 2)]);
+        assert!(crate::stretch::stretch_equivalent(&a, &c));
+        assert!(flow_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn prefix_check() {
+        let short = FlowClass::of(&b(&[("x", 1, 1)]));
+        let long = FlowClass::of(&b(&[("x", 1, 1), ("x", 2, 2)]));
+        assert!(short.is_prefix_of(&long));
+        assert!(!long.is_prefix_of(&short));
+        assert!(short.is_prefix_of(&short));
+    }
+
+    #[test]
+    fn display_flows() {
+        let f = FlowClass::of(&b(&[("x", 1, 1), ("x", 2, 2)]));
+        assert!(f.to_string().contains("x: 1 2"));
+    }
+}

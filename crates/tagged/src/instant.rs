@@ -1,0 +1,231 @@
+//! Instant view of behaviors.
+//!
+//! An *instant* groups every event of a behavior that shares one tag. The
+//! sequence of instants of a behavior is exactly what stretching
+//! (Definition 2) preserves, which makes it the natural representation for
+//! canonical forms and for interleaving-based composition.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::behavior::Behavior;
+use crate::tag::Tag;
+use crate::value::{SigName, Value};
+
+/// One synchronous instant: the set of signals present at a tag, with their
+/// values.
+///
+/// ```
+/// use polysig_tagged::{Behavior, Instant, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 4, Value::Int(1));
+/// b.push_event("y", 4, Value::Bool(true));
+/// let instants = Instant::instants_of(&b);
+/// assert_eq!(instants.len(), 1);
+/// assert_eq!(instants[0].arity(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    tag: Tag,
+    events: BTreeMap<SigName, Value>,
+}
+
+impl Instant {
+    /// Creates an empty instant at a tag.
+    pub fn new(tag: Tag) -> Self {
+        Instant { tag, events: BTreeMap::new() }
+    }
+
+    /// The instant's tag.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Adds or replaces the value of a signal at this instant.
+    pub fn set(&mut self, name: impl Into<SigName>, value: Value) {
+        self.events.insert(name.into(), value);
+    }
+
+    /// The value of a signal at this instant, if present.
+    pub fn value(&self, name: &SigName) -> Option<Value> {
+        self.events.get(name).copied()
+    }
+
+    /// `true` iff the signal is present at this instant.
+    pub fn is_present(&self, name: &SigName) -> bool {
+        self.events.contains_key(name)
+    }
+
+    /// Number of signals present at this instant.
+    pub fn arity(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no signal is present.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SigName, Value)> + '_ {
+        self.events.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// The *synchronization pattern*: which signals tick, ignoring tag. Two
+    /// instants with equal patterns and values are interchangeable under
+    /// stretching.
+    pub fn pattern(&self) -> &BTreeMap<SigName, Value> {
+        &self.events
+    }
+
+    /// Returns this instant moved to another tag.
+    pub fn at(&self, tag: Tag) -> Instant {
+        Instant { tag, events: self.events.clone() }
+    }
+
+    /// Restricts the instant to the given variables; may become empty.
+    pub fn restrict_to(&self, keep: &std::collections::BTreeSet<SigName>) -> Instant {
+        Instant {
+            tag: self.tag,
+            events: self
+                .events
+                .iter()
+                .filter(|(k, _)| keep.contains(*k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Merges two instants over disjoint signal sets into one (used by
+    /// synchronous composition when aligning component instants).
+    ///
+    /// Returns `None` if the instants disagree on a shared signal's value;
+    /// shared signals with equal values merge fine.
+    pub fn merge(&self, other: &Instant, tag: Tag) -> Option<Instant> {
+        let mut events = self.events.clone();
+        for (k, v) in &other.events {
+            if let Some(prev) = events.insert(k.clone(), *v) {
+                if prev != *v {
+                    return None;
+                }
+            }
+        }
+        Some(Instant { tag, events })
+    }
+
+    /// Decomposes a behavior into its sequence of instants, in tag order.
+    pub fn instants_of(behavior: &Behavior) -> Vec<Instant> {
+        let mut map: BTreeMap<Tag, Instant> = BTreeMap::new();
+        for (name, trace) in behavior.iter() {
+            for event in trace.iter() {
+                map.entry(event.tag())
+                    .or_insert_with(|| Instant::new(event.tag()))
+                    .set(name.clone(), event.value());
+            }
+        }
+        map.into_values().collect()
+    }
+
+    /// Rebuilds a behavior from a sequence of instants (tags must be strictly
+    /// increasing). `declared` lists variables that must exist even if they
+    /// never tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instants are not strictly tag-increasing.
+    pub fn behavior_of(
+        instants: &[Instant],
+        declared: impl IntoIterator<Item = SigName>,
+    ) -> Behavior {
+        let mut b = Behavior::new();
+        for name in declared {
+            b.declare(name);
+        }
+        for inst in instants {
+            for (name, value) in inst.iter() {
+                b.push_event(name.clone(), inst.tag(), value);
+            }
+        }
+        b
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.tag)?;
+        for (i, (name, value)) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Behavior {
+        let mut b = Behavior::new();
+        b.push_event("x", 1, Value::Int(1));
+        b.push_event("y", 1, Value::Bool(false));
+        b.push_event("x", 3, Value::Int(2));
+        b
+    }
+
+    #[test]
+    fn decompose_groups_by_tag() {
+        let instants = Instant::instants_of(&sample());
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].arity(), 2);
+        assert_eq!(instants[1].arity(), 1);
+        assert_eq!(instants[0].value(&SigName::from("y")), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn round_trip_behavior() {
+        let b = sample();
+        let instants = Instant::instants_of(&b);
+        let rebuilt = Instant::behavior_of(&instants, b.var_set());
+        assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn merge_disjoint_and_agreeing() {
+        let mut a = Instant::new(Tag::new(1));
+        a.set("x", Value::Int(1));
+        let mut c = Instant::new(Tag::new(2));
+        c.set("y", Value::Int(2));
+        let m = a.merge(&c, Tag::new(5)).unwrap();
+        assert_eq!(m.tag(), Tag::new(5));
+        assert_eq!(m.arity(), 2);
+
+        let mut agree = Instant::new(Tag::new(2));
+        agree.set("x", Value::Int(1));
+        assert!(a.merge(&agree, Tag::new(1)).is_some());
+
+        let mut clash = Instant::new(Tag::new(2));
+        clash.set("x", Value::Int(9));
+        assert!(a.merge(&clash, Tag::new(1)).is_none());
+    }
+
+    #[test]
+    fn restrict_drops_other_signals() {
+        let instants = Instant::instants_of(&sample());
+        let keep: std::collections::BTreeSet<SigName> = [SigName::from("y")].into();
+        let r = instants[0].restrict_to(&keep);
+        assert_eq!(r.arity(), 1);
+        assert!(r.is_present(&SigName::from("y")));
+    }
+
+    #[test]
+    fn display_mentions_signals() {
+        let instants = Instant::instants_of(&sample());
+        let s = instants[0].to_string();
+        assert!(s.contains("x=1"));
+        assert!(s.contains("y=false"));
+    }
+}

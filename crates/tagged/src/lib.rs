@@ -1,0 +1,72 @@
+//! # `polysig-tagged` — the tagged (polychronous) model of computation
+//!
+//! This crate implements the denotational substrate of the Signal language as
+//! used in *"Modeling and Validating Globally Asynchronous Design in
+//! Synchronous Frameworks"* (Mousavi, Le Guernic, Talpin, Shukla, Basten —
+//! DATE 2004), Section 3:
+//!
+//! * [`Tag`]s — logical time stamps forming a chain per signal,
+//! * [`Value`]s and [`Event`]s — what a signal carries at a tag,
+//! * [`SignalTrace`]s — discrete chains of events (Definition 1),
+//! * [`Behavior`]s — partial maps from signal names to traces,
+//! * [`Process`]es — finite sets of behaviors over a common variable set,
+//! * the denotations of the primitive Signal equations (Table 1),
+//! * *stretching* and *stretch-equivalence* (Definition 2),
+//! * *relaxation* and *flow-equivalence* (Definition 4),
+//! * synchronous, asynchronous, and asynchronous-causal parallel composition
+//!   (Definitions 3, 6 and 7),
+//! * the semantic FIFO-channel specifications `AFifo` and `nFifo`
+//!   (Definitions 8 and 9) together with the rate-matching side conditions of
+//!   Lemma 2.
+//!
+//! Everything here works on **finite trace prefixes**: the paper's statements
+//! about infinite reactive behaviors are validated on finite prefixes by the
+//! higher layers (`polysig-sim`, `polysig-gals`, `polysig-verify`).
+//!
+//! ## Example
+//!
+//! ```
+//! use polysig_tagged::{Behavior, SigName, Value};
+//!
+//! // A behavior where `x` ticks twice and `y` once, interleaved.
+//! let mut b = Behavior::new();
+//! b.push_event("x", 1, Value::Int(10));
+//! b.push_event("y", 2, Value::Bool(true));
+//! b.push_event("x", 3, Value::Int(20));
+//!
+//! let x = SigName::from("x");
+//! assert_eq!(b.trace(&x).unwrap().len(), 2);
+//! assert_eq!(b.vars().count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod canonical;
+pub mod compose;
+pub mod denotation;
+pub mod error;
+pub mod event;
+pub mod fifo_spec;
+pub mod flow;
+pub mod instant;
+pub mod process;
+pub mod signal;
+pub mod stretch;
+pub mod tag;
+pub mod value;
+
+pub use behavior::Behavior;
+pub use canonical::{flow_canonical, stretch_canonical};
+pub use compose::{async_compose, causal_async_compose, sync_compose, CausalOrder};
+pub use error::TaggedError;
+pub use event::Event;
+pub use fifo_spec::{is_afifo_behavior, is_nfifo_behavior, lemma2_bound_holds};
+pub use flow::{flow_equivalent, is_relaxation_of, FlowClass};
+pub use instant::Instant;
+pub use process::Process;
+pub use signal::SignalTrace;
+pub use stretch::{is_stretching_of, stretch_equivalent};
+pub use tag::Tag;
+pub use value::{SigName, Value, ValueType};

@@ -1,0 +1,319 @@
+//! Processes: sets of behaviors over a common variable set (Definition 1).
+//!
+//! The paper works with stretch-closed, generally infinite sets of infinite
+//! behaviors. [`Process`] is the finite-prefix counterpart: a finite set of
+//! behaviors stored *in canonical form* (one representative per
+//! stretch-equivalence class), so that set operations implement "equality up
+//! to stretching" — exactly what Lemma 1 licenses for Signal programs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::behavior::Behavior;
+use crate::canonical::stretch_canonical;
+use crate::error::TaggedError;
+use crate::stretch::stretch_equivalent;
+use crate::value::SigName;
+
+/// A finite set of behaviors over a common variable set, quotiented by
+/// stretching.
+///
+/// ```
+/// use polysig_tagged::{Behavior, Process, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 5, Value::Int(1));
+/// let mut p = Process::over([ "x".into() ]);
+/// p.insert(b.clone()).unwrap();
+///
+/// // membership is up to stretching
+/// let mut later = Behavior::new();
+/// later.push_event("x", 99, Value::Int(1));
+/// assert!(p.contains(&later));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    vars: BTreeSet<SigName>,
+    behaviors: BTreeSet<Behavior>,
+}
+
+impl Process {
+    /// Creates an empty process over the given variables.
+    pub fn over(vars: impl IntoIterator<Item = SigName>) -> Self {
+        Process { vars: vars.into_iter().collect(), behaviors: BTreeSet::new() }
+    }
+
+    /// Creates a process from behaviors; all must range over the same
+    /// variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaggedError::VariableMismatch`] when a behavior's variables
+    /// differ from the first behavior's.
+    pub fn from_behaviors(
+        behaviors: impl IntoIterator<Item = Behavior>,
+    ) -> Result<Self, TaggedError> {
+        let mut iter = behaviors.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Process::over([]));
+        };
+        let mut p = Process::over(first.var_set());
+        p.insert(first)?;
+        for b in iter {
+            p.insert(b)?;
+        }
+        Ok(p)
+    }
+
+    /// The variable set — the paper's `vars(P)`.
+    pub fn vars(&self) -> &BTreeSet<SigName> {
+        &self.vars
+    }
+
+    /// Adds a behavior (canonicalized) to the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaggedError::VariableMismatch`] if the behavior does not
+    /// range over `vars(P)`. A behavior may omit a declared variable only by
+    /// declaring it silent; callers should [`Behavior::declare`] silent
+    /// variables explicitly.
+    pub fn insert(&mut self, behavior: Behavior) -> Result<bool, TaggedError> {
+        let mut behavior = behavior;
+        // Auto-declare silent variables so processes are easy to build.
+        for v in &self.vars {
+            behavior.declare(v.clone());
+        }
+        if behavior.var_set() != self.vars {
+            return Err(TaggedError::VariableMismatch {
+                expected: self.vars.iter().cloned().collect(),
+                found: behavior.vars().cloned().collect(),
+            });
+        }
+        Ok(self.behaviors.insert(stretch_canonical(&behavior)))
+    }
+
+    /// Number of stretch-equivalence classes in the process.
+    pub fn len(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// `true` iff the process has no behaviors (the empty process, not to be
+    /// confused with the process containing only the silent behavior).
+    pub fn is_empty(&self) -> bool {
+        self.behaviors.is_empty()
+    }
+
+    /// Iterates over canonical representatives.
+    pub fn iter(&self) -> impl Iterator<Item = &Behavior> + '_ {
+        self.behaviors.iter()
+    }
+
+    /// Membership up to stretching.
+    pub fn contains(&self, behavior: &Behavior) -> bool {
+        if behavior.var_set() != self.vars {
+            // tolerate behaviors that just forgot to declare silent vars
+            let mut padded = behavior.clone();
+            for v in &self.vars {
+                padded.declare(v.clone());
+            }
+            if padded.var_set() != self.vars {
+                return false;
+            }
+            return self.behaviors.contains(&stretch_canonical(&padded));
+        }
+        self.behaviors.contains(&stretch_canonical(behavior))
+    }
+
+    /// Projection `P|var` (element-wise).
+    pub fn restrict_to(&self, vars: impl IntoIterator<Item = SigName> + Clone) -> Process {
+        let keep: BTreeSet<SigName> = vars.into_iter().collect();
+        let mut out = Process::over(self.vars.intersection(&keep).cloned());
+        for b in &self.behaviors {
+            out.insert(b.restrict_to(keep.iter().cloned()))
+                .expect("projection keeps variables consistent");
+        }
+        out
+    }
+
+    /// Hiding `P\var` (element-wise).
+    pub fn hide(&self, vars: impl IntoIterator<Item = SigName>) -> Process {
+        let drop: BTreeSet<SigName> = vars.into_iter().collect();
+        let mut out = Process::over(self.vars.difference(&drop).cloned());
+        for b in &self.behaviors {
+            out.insert(b.hide(drop.iter().cloned()))
+                .expect("hiding keeps variables consistent");
+        }
+        out
+    }
+
+    /// Renaming `P[y/x]` (Definition 5, element-wise).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `x` is not a variable or `y` is not fresh.
+    pub fn rename(&self, x: &SigName, y: &SigName) -> Result<Process, TaggedError> {
+        if !self.vars.contains(x) {
+            return Err(TaggedError::RenameSourceMissing { source: x.clone() });
+        }
+        if self.vars.contains(y) {
+            return Err(TaggedError::RenameTargetExists { target: y.clone() });
+        }
+        let mut vars = self.vars.clone();
+        vars.remove(x);
+        vars.insert(y.clone());
+        let mut out = Process::over(vars);
+        for b in &self.behaviors {
+            out.insert(b.rename(x, y)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Process equality up to stretching (the paper's `P = Q` between
+    /// stretch closures): same variables and same canonical behavior sets.
+    pub fn equivalent(&self, other: &Process) -> bool {
+        self.vars == other.vars && self.behaviors == other.behaviors
+    }
+
+    /// `true` iff every behavior of `self` belongs to `other` (up to
+    /// stretching).
+    pub fn subset_of(&self, other: &Process) -> bool {
+        self.vars == other.vars && self.behaviors.is_subset(&other.behaviors)
+    }
+
+    /// Checks that every stored representative really is canonical and that
+    /// two distinct representatives are never stretch-equivalent — the
+    /// internal invariant backing [`Process::equivalent`].
+    pub fn check_invariants(&self) -> bool {
+        let all_canonical = self
+            .behaviors
+            .iter()
+            .all(|b| &stretch_canonical(b) == b && b.var_set() == self.vars);
+        let all_distinct = self
+            .behaviors
+            .iter()
+            .enumerate()
+            .all(|(i, b)| {
+                self.behaviors
+                    .iter()
+                    .skip(i + 1)
+                    .all(|c| !stretch_equivalent(b, c))
+            });
+        all_canonical && all_distinct
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "process over {{{}}} with {} behavior(s):",
+            self.vars.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(", "),
+            self.behaviors.len()
+        )?;
+        for (i, b) in self.behaviors.iter().enumerate() {
+            writeln!(f, "-- behavior {i} --")?;
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn b(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    #[test]
+    fn insert_canonicalizes_and_dedups() {
+        let mut p = Process::over(["x".into()]);
+        assert!(p.insert(b(&[("x", 5, 1)])).unwrap());
+        // stretch-equivalent duplicate is not re-inserted
+        assert!(!p.insert(b(&[("x", 77, 1)])).unwrap());
+        assert_eq!(p.len(), 1);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn insert_rejects_foreign_variables() {
+        let mut p = Process::over(["x".into()]);
+        let err = p.insert(b(&[("y", 1, 1)])).unwrap_err();
+        assert!(matches!(err, TaggedError::VariableMismatch { .. }));
+    }
+
+    #[test]
+    fn silent_variables_are_auto_declared() {
+        let mut p = Process::over(["x".into(), "y".into()]);
+        p.insert(b(&[("x", 1, 1)])).unwrap();
+        assert_eq!(p.len(), 1);
+        let stored = p.iter().next().unwrap();
+        assert!(stored.trace(&"y".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn contains_is_up_to_stretching() {
+        let mut p = Process::over(["x".into()]);
+        p.insert(b(&[("x", 1, 1), ("x", 2, 2)])).unwrap();
+        assert!(p.contains(&b(&[("x", 10, 1), ("x", 30, 2)])));
+        assert!(!p.contains(&b(&[("x", 10, 2), ("x", 30, 1)])));
+    }
+
+    #[test]
+    fn projection_and_hiding() {
+        let mut p = Process::over(["x".into(), "y".into()]);
+        p.insert(b(&[("x", 1, 1), ("y", 2, 2)])).unwrap();
+        let px = p.restrict_to(["x".into()]);
+        assert_eq!(px.vars().len(), 1);
+        assert!(px.contains(&b(&[("x", 1, 1)])));
+        let py = p.hide(["x".into()]);
+        assert!(py.contains(&b(&[("y", 1, 2)])));
+    }
+
+    #[test]
+    fn renaming_round_trips() {
+        let mut p = Process::over(["x".into()]);
+        p.insert(b(&[("x", 1, 7)])).unwrap();
+        let q = p.rename(&"x".into(), &"z".into()).unwrap();
+        assert!(q.contains(&b(&[("z", 1, 7)])));
+        let back = q.rename(&"z".into(), &"x".into()).unwrap();
+        assert!(back.equivalent(&p));
+    }
+
+    #[test]
+    fn equivalence_and_subset() {
+        let mut p = Process::over(["x".into()]);
+        p.insert(b(&[("x", 1, 1)])).unwrap();
+        let mut q = p.clone();
+        q.insert(b(&[("x", 1, 2)])).unwrap();
+        assert!(p.subset_of(&q));
+        assert!(!q.subset_of(&p));
+        assert!(!p.equivalent(&q));
+    }
+
+    #[test]
+    fn from_behaviors_checks_consistency() {
+        let ok = Process::from_behaviors([b(&[("x", 1, 1)]), b(&[("x", 1, 2)])]).unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = Process::from_behaviors([b(&[("x", 1, 1)]), b(&[("y", 1, 2)])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lemma1_shape_all_signal_denotations_are_stretch_closed() {
+        // A process built from canonical forms contains each class's every
+        // stretching by construction of `contains` — spot-check the claim.
+        let mut p = Process::over(["x".into(), "y".into()]);
+        p.insert(b(&[("x", 1, 1), ("y", 1, 5)])).unwrap();
+        for scale in [1u64, 3, 10] {
+            assert!(p.contains(&b(&[("x", scale, 1), ("y", scale, 5)])));
+        }
+    }
+}

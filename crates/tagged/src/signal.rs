@@ -1,0 +1,256 @@
+//! Signal traces: discrete chains of events (Definition 1).
+//!
+//! A signal `s : T ⇀ V` is a partial function over a discrete, well-founded
+//! chain of tags. [`SignalTrace`] stores the finite prefix of such a chain as
+//! a strictly tag-increasing event vector.
+
+use std::fmt;
+
+use crate::event::Event;
+use crate::tag::Tag;
+use crate::value::Value;
+
+/// A finite prefix of a signal: strictly tag-increasing events.
+///
+/// ```
+/// use polysig_tagged::{SignalTrace, Tag, Value};
+///
+/// let mut s = SignalTrace::new();
+/// s.push(Tag::new(1), Value::Int(10)).unwrap();
+/// s.push(Tag::new(3), Value::Int(20)).unwrap();
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.value_at(Tag::new(3)), Some(Value::Int(20)));
+/// assert_eq!(s.value_at(Tag::new(2)), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalTrace {
+    events: Vec<Event>,
+}
+
+impl SignalTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        SignalTrace { events: Vec::new() }
+    }
+
+    /// Creates a trace from events that are already strictly tag-increasing.
+    ///
+    /// Returns `None` if the chain condition is violated.
+    pub fn from_events(events: Vec<Event>) -> Option<Self> {
+        for w in events.windows(2) {
+            if w[0].tag() >= w[1].tag() {
+                return None;
+            }
+        }
+        Some(SignalTrace { events })
+    }
+
+    /// Appends an event; its tag must be strictly greater than the last one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending tags when monotonicity would be violated.
+    pub fn push(&mut self, tag: Tag, value: Value) -> Result<(), (Tag, Tag)> {
+        if let Some(last) = self.events.last() {
+            if last.tag() >= tag {
+                return Err((last.tag(), tag));
+            }
+        }
+        self.events.push(Event::new(tag, value));
+        Ok(())
+    }
+
+    /// Number of events in the prefix (the paper's `|s|` for finite chains).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the signal never ticks in this prefix.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The `i`-th event (0-based; the paper writes `s_i` 1-based).
+    pub fn get(&self, i: usize) -> Option<Event> {
+        self.events.get(i).copied()
+    }
+
+    /// Iterates over events in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// The tags at which the signal is present — the paper's `tags(s)`.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.events.iter().map(Event::tag)
+    }
+
+    /// The value sequence of the signal, forgetting tags (the *flow*).
+    pub fn values(&self) -> Vec<Value> {
+        self.events.iter().map(Event::value).collect()
+    }
+
+    /// The value at a given tag, if the signal is present there.
+    pub fn value_at(&self, tag: Tag) -> Option<Value> {
+        self.events
+            .binary_search_by_key(&tag, Event::tag)
+            .ok()
+            .map(|i| self.events[i].value())
+    }
+
+    /// `true` iff the signal ticks at `tag`.
+    pub fn is_present_at(&self, tag: Tag) -> bool {
+        self.value_at(tag).is_some()
+    }
+
+    /// Number of events with tag `<= t` — the paper's `|[s]_t|`.
+    pub fn count_up_to(&self, t: Tag) -> usize {
+        self.events.partition_point(|e| e.tag() <= t)
+    }
+
+    /// The last event, if any.
+    pub fn last(&self) -> Option<Event> {
+        self.events.last().copied()
+    }
+
+    /// Sub-chain `s_{i..i+n}` of at most `n` events starting at index `i`.
+    pub fn window(&self, i: usize, n: usize) -> &[Event] {
+        let end = (i + n).min(self.events.len());
+        if i >= self.events.len() {
+            &[]
+        } else {
+            &self.events[i..end]
+        }
+    }
+
+    /// Returns a copy whose tags are replaced by `f(tag)`; `f` must be
+    /// strictly monotone or the result is `None`.
+    pub fn retag(&self, mut f: impl FnMut(Tag) -> Tag) -> Option<SignalTrace> {
+        let events: Vec<Event> = self.events.iter().map(|e| e.at(f(e.tag()))).collect();
+        SignalTrace::from_events(events)
+    }
+}
+
+impl FromIterator<Event> for SignalTrace {
+    /// Collects events into a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not strictly tag-increasing.
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        SignalTrace::from_events(iter.into_iter().collect())
+            .expect("events must be strictly tag-increasing")
+    }
+}
+
+impl Extend<Event> for SignalTrace {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e.tag(), e.value())
+                .expect("extended events must be strictly tag-increasing");
+        }
+    }
+}
+
+impl fmt::Display for SignalTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(pairs: &[(u64, i64)]) -> SignalTrace {
+        let mut s = SignalTrace::new();
+        for &(t, v) in pairs {
+            s.push(Tag::new(t), Value::Int(v)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn push_enforces_strict_monotonicity() {
+        let mut s = trace(&[(1, 10)]);
+        assert_eq!(s.push(Tag::new(1), Value::Int(11)), Err((Tag::new(1), Tag::new(1))));
+        assert_eq!(s.push(Tag::new(0), Value::Int(11)), Err((Tag::new(1), Tag::new(0))));
+        assert!(s.push(Tag::new(2), Value::Int(11)).is_ok());
+    }
+
+    #[test]
+    fn from_events_rejects_bad_chains() {
+        let good = vec![
+            Event::new(Tag::new(1), Value::Int(1)),
+            Event::new(Tag::new(2), Value::Int(2)),
+        ];
+        assert!(SignalTrace::from_events(good).is_some());
+        let bad = vec![
+            Event::new(Tag::new(2), Value::Int(1)),
+            Event::new(Tag::new(2), Value::Int(2)),
+        ];
+        assert!(SignalTrace::from_events(bad).is_none());
+    }
+
+    #[test]
+    fn value_at_and_presence() {
+        let s = trace(&[(1, 10), (4, 40)]);
+        assert_eq!(s.value_at(Tag::new(4)), Some(Value::Int(40)));
+        assert!(!s.is_present_at(Tag::new(2)));
+        assert!(s.is_present_at(Tag::new(1)));
+    }
+
+    #[test]
+    fn count_up_to_matches_paper_prefix_notation() {
+        let s = trace(&[(1, 1), (3, 2), (5, 3)]);
+        assert_eq!(s.count_up_to(Tag::new(0)), 0);
+        assert_eq!(s.count_up_to(Tag::new(1)), 1);
+        assert_eq!(s.count_up_to(Tag::new(4)), 2);
+        assert_eq!(s.count_up_to(Tag::new(100)), 3);
+    }
+
+    #[test]
+    fn values_gives_the_flow() {
+        let s = trace(&[(2, 7), (9, 8)]);
+        assert_eq!(s.values(), vec![Value::Int(7), Value::Int(8)]);
+    }
+
+    #[test]
+    fn window_clamps() {
+        let s = trace(&[(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(s.window(1, 5).len(), 2);
+        assert_eq!(s.window(3, 1).len(), 0);
+        assert_eq!(s.window(0, 2)[1].value(), Value::Int(2));
+    }
+
+    #[test]
+    fn retag_requires_monotone_map() {
+        let s = trace(&[(1, 1), (2, 2)]);
+        let shifted = s.retag(|t| Tag::new(t.as_u64() + 10)).unwrap();
+        assert_eq!(shifted.get(0).unwrap().tag(), Tag::new(11));
+        // collapsing map breaks the chain
+        assert!(s.retag(|_| Tag::new(5)).is_none());
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let s = trace(&[(1, 10)]);
+        assert_eq!(s.to_string(), "[10@t1]");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: SignalTrace = vec![Event::new(Tag::new(1), Value::Int(4))].into_iter().collect();
+        let mut s2 = s.clone();
+        s2.extend([Event::new(Tag::new(8), Value::Int(5))]);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Stretching and stretch-equivalence (Definition 2).
+//!
+//! `b ≤ c` ("c is a stretching of b") iff a monotone bijection `f` on tags
+//! with `t ≤ f(t)` maps every event of `b` onto the corresponding event of
+//! `c`, preserving per-signal tag sets and values. Stretch-equivalence
+//! `b ≍ c` holds iff some `d` stretches into both; for finite prefixes this
+//! is equivalent to equality of canonical forms (see
+//! [`crate::canonical::stretch_canonical`]), and the two implementations are
+//! cross-checked in the test-suite.
+
+use crate::behavior::Behavior;
+use crate::canonical::stretch_canonical;
+use crate::instant::Instant;
+
+/// Checks Definition 2 directly: is `c` a stretching of `b`?
+///
+/// Requires `vars(b) = vars(c)`, identical instant structure (same number of
+/// instants, same signals and values at the i-th instant) and the *delay
+/// direction* `t ≤ f(t)`: the i-th instant of `c` may not be earlier than the
+/// i-th instant of `b`.
+///
+/// ```
+/// use polysig_tagged::{is_stretching_of, Behavior, Value};
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 1, Value::Int(1));
+/// let mut c = Behavior::new();
+/// c.push_event("x", 8, Value::Int(1));
+///
+/// assert!(is_stretching_of(&b, &c)); // c delays b
+/// assert!(!is_stretching_of(&c, &b)); // b would need to move c earlier
+/// ```
+pub fn is_stretching_of(b: &Behavior, c: &Behavior) -> bool {
+    if b.var_set() != c.var_set() {
+        return false;
+    }
+    let bi = Instant::instants_of(b);
+    let ci = Instant::instants_of(c);
+    if bi.len() != ci.len() {
+        return false;
+    }
+    bi.iter().zip(ci.iter()).all(|(x, y)| {
+        x.pattern() == y.pattern() && x.tag() <= y.tag()
+    })
+}
+
+/// Stretch-equivalence `b ≍ c` (Definition 2): equality up to time-scale
+/// changes that preserve causal order and synchronization.
+///
+/// Implemented as equality of canonical forms, which coincides with the
+/// existence of a common behavior `d` with `d ≤ b` and `d ≤ c` on finite
+/// prefixes (the canonical form itself is such a `d`).
+///
+/// ```
+/// use polysig_tagged::{stretch_equivalent, Behavior, Value};
+///
+/// let mut a = Behavior::new();
+/// a.push_event("x", 2, Value::Int(1));
+/// a.push_event("y", 2, Value::Int(5));
+///
+/// let mut b = Behavior::new();
+/// b.push_event("x", 7, Value::Int(1));
+/// b.push_event("y", 7, Value::Int(5));
+///
+/// assert!(stretch_equivalent(&a, &b));
+/// ```
+pub fn stretch_equivalent(b: &Behavior, c: &Behavior) -> bool {
+    b.var_set() == c.var_set() && stretch_canonical(b) == stretch_canonical(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn b(evts: &[(&str, u64, i64)]) -> Behavior {
+        let mut out = Behavior::new();
+        for &(name, tag, v) in evts {
+            out.push_event(name, tag, Value::Int(v));
+        }
+        out
+    }
+
+    #[test]
+    fn stretching_requires_same_vars() {
+        let x = b(&[("x", 1, 1)]);
+        let y = b(&[("y", 1, 1)]);
+        assert!(!is_stretching_of(&x, &y));
+        assert!(!stretch_equivalent(&x, &y));
+    }
+
+    #[test]
+    fn stretching_is_reflexive() {
+        let x = b(&[("x", 1, 1), ("y", 2, 2)]);
+        assert!(is_stretching_of(&x, &x));
+    }
+
+    #[test]
+    fn stretching_preserves_synchronization() {
+        // x and y synchronous in b, desynchronized in c: not a stretching.
+        let sync = b(&[("x", 1, 1), ("y", 1, 2)]);
+        let split = b(&[("x", 1, 1), ("y", 2, 2)]);
+        assert!(!is_stretching_of(&sync, &split));
+        assert!(!stretch_equivalent(&sync, &split));
+    }
+
+    #[test]
+    fn stretching_respects_delay_direction() {
+        let early = b(&[("x", 1, 1), ("x", 2, 2)]);
+        let late = b(&[("x", 5, 1), ("x", 9, 2)]);
+        assert!(is_stretching_of(&early, &late));
+        assert!(!is_stretching_of(&late, &early));
+        // equivalence is symmetric regardless
+        assert!(stretch_equivalent(&early, &late));
+        assert!(stretch_equivalent(&late, &early));
+    }
+
+    #[test]
+    fn stretching_distinguishes_values() {
+        let a = b(&[("x", 1, 1)]);
+        let c = b(&[("x", 1, 2)]);
+        assert!(!is_stretching_of(&a, &c));
+        assert!(!stretch_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn stretching_distinguishes_order() {
+        let ab = b(&[("x", 1, 1), ("y", 2, 2)]);
+        let ba = b(&[("y", 1, 2), ("x", 2, 1)]);
+        assert!(!stretch_equivalent(&ab, &ba));
+    }
+
+    #[test]
+    fn canonical_form_is_minimal_stretching() {
+        let x = b(&[("x", 4, 1), ("y", 9, 2)]);
+        let canon = crate::canonical::stretch_canonical(&x);
+        assert!(is_stretching_of(&canon, &x));
+        assert!(stretch_equivalent(&canon, &x));
+    }
+}

@@ -1,0 +1,87 @@
+//! Logical time tags (Definition 1 of the paper).
+//!
+//! The paper draws tags from a partially ordered set `T`. For finite trace
+//! prefixes a totally ordered `u64` suffices: only the *relative* order of
+//! tags inside one behavior is ever observable, and the stretching relation
+//! (Definition 2) quotients absolute tag values away — see
+//! [`crate::canonical::stretch_canonical`].
+
+use std::fmt;
+
+/// A logical time stamp.
+///
+/// Tags order events within a behavior. Two events in *different* signals of
+/// the same behavior are synchronous iff they carry the same tag.
+///
+/// ```
+/// use polysig_tagged::Tag;
+/// assert!(Tag::new(1) < Tag::new(2));
+/// assert_eq!(Tag::new(3).as_u64(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// The smallest tag.
+    pub const ZERO: Tag = Tag(0);
+
+    /// Creates a tag from a raw instant number.
+    pub fn new(t: u64) -> Self {
+        Tag(t)
+    }
+
+    /// Returns the raw instant number.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow, which cannot occur for realistic traces.
+    pub fn next(self) -> Tag {
+        Tag(self.0.checked_add(1).expect("tag overflow"))
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(t: u64) -> Self {
+        Tag(t)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_instant_numbers() {
+        assert!(Tag::new(0) < Tag::new(1));
+        assert!(Tag::new(7) > Tag::new(3));
+        assert_eq!(Tag::new(5), Tag::new(5));
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Tag::ZERO.next(), Tag::new(1));
+        assert_eq!(Tag::new(41).next().as_u64(), 42);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Tag::new(9).to_string(), "t9");
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        let t: Tag = 17u64.into();
+        assert_eq!(t.as_u64(), 17);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based laws of the composition operators and FIFO slices.
+//!
+//! These are the algebraic facts the paper's proofs lean on, checked over
+//! randomized small processes: commutativity of `∥s` and `∥a`,
+//! idempotence-style projection laws, the Corollary 1/2 coincidences on
+//! disjoint variables, and soundness of every generated composite (its
+//! projections belong to the operands).
+
+use proptest::prelude::*;
+
+use polysig_tagged::{
+    async_compose, causal_async_compose, fifo_spec::afifo_process_for_flow, is_afifo_behavior,
+    stretch_canonical, sync_compose, Behavior, CausalOrder, Process, SigName, Tag, Value,
+};
+
+/// A random behavior over the given variable names, ≤ 4 instants.
+fn arb_behavior(vars: &'static [&'static str]) -> impl Strategy<Value = Behavior> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::option::of(0i64..3), vars.len()),
+        0..4,
+    )
+    .prop_map(move |rows| {
+        let mut b = Behavior::new();
+        for v in vars {
+            b.declare(*v);
+        }
+        for (i, row) in rows.into_iter().enumerate() {
+            for (k, cell) in row.into_iter().enumerate() {
+                if let Some(v) = cell {
+                    b.push_event(vars[k], Tag::new(i as u64 + 1), Value::Int(v));
+                }
+            }
+        }
+        b
+    })
+}
+
+/// A random process with 1–2 behaviors over the given variables.
+fn arb_process(vars: &'static [&'static str]) -> impl Strategy<Value = Process> {
+    proptest::collection::vec(arb_behavior(vars), 1..3).prop_map(move |bs| {
+        let mut p = Process::over(vars.iter().map(|v| SigName::from(*v)));
+        for b in bs {
+            p.insert(b).unwrap();
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `P ∥s Q = Q ∥s P` (as canonical behavior sets).
+    #[test]
+    fn sync_compose_commutes(p in arb_process(&["x", "a"]), q in arb_process(&["x", "b"])) {
+        let pq = sync_compose(&p, &q);
+        let qp = sync_compose(&q, &p);
+        prop_assert!(pq.equivalent(&qp));
+    }
+
+    /// Every behavior of `P ∥s Q` projects back into P and Q.
+    #[test]
+    fn sync_compose_projections_sound(
+        p in arb_process(&["x", "a"]),
+        q in arb_process(&["x", "b"]),
+    ) {
+        let pq = sync_compose(&p, &q);
+        for d in pq.iter() {
+            prop_assert!(p.contains(&d.restrict_to([SigName::from("x"), SigName::from("a")])));
+            prop_assert!(q.contains(&d.restrict_to([SigName::from("x"), SigName::from("b")])));
+        }
+    }
+
+    /// Corollary 1: on disjoint variables, `∥s = ∥a`.
+    #[test]
+    fn corollary1_random(p in arb_process(&["a"]), q in arb_process(&["b"])) {
+        let s = sync_compose(&p, &q);
+        let a = async_compose(&p, &q);
+        prop_assert!(s.equivalent(&a));
+    }
+
+    /// Corollary 2: on disjoint variables, `∥→,a = ∥a`.
+    #[test]
+    fn corollary2_random(p in arb_process(&["a"]), q in arb_process(&["b"])) {
+        let causal = causal_async_compose(&p, &q, &Default::default());
+        let plain = async_compose(&p, &q);
+        prop_assert!(causal.equivalent(&plain));
+    }
+
+    /// `∥a` commutes.
+    #[test]
+    fn async_compose_commutes(p in arb_process(&["x", "a"]), q in arb_process(&["x", "b"])) {
+        let pq = async_compose(&p, &q);
+        let qp = async_compose(&q, &p);
+        prop_assert!(pq.equivalent(&qp));
+    }
+
+    /// Every causal composite preserves the producer's shared flow, and its
+    /// private projections stay (flow-)faithful to some operand behavior.
+    #[test]
+    fn causal_composites_sound(
+        p in arb_process(&["x", "a"]),
+        q in arb_process(&["x", "b"]),
+    ) {
+        let mut orders = std::collections::BTreeMap::new();
+        orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+        let c = causal_async_compose(&p, &q, &orders);
+        for d in c.iter() {
+            let flow = d.trace(&"x".into()).unwrap().values();
+            // the composite's x-flow is exactly some P-behavior's x-flow
+            prop_assert!(p.iter().any(|b| b.trace(&"x".into()).unwrap().values() == flow));
+            // the P-private projection (with x) is stretch-equivalent to a
+            // member of P — x stays anchored at the producer
+            let proj = d.restrict_to([SigName::from("x"), SigName::from("a")]);
+            prop_assert!(p.contains(&proj), "producer projection escaped P:\n{proj}");
+        }
+    }
+
+    /// Every behavior in a generated AFifo slice satisfies the Definition-8
+    /// predicate, and the slice is closed under canonicalization.
+    #[test]
+    fn afifo_slice_sound(flow in proptest::collection::vec(0i64..3, 0..4)) {
+        let xp = SigName::from("w");
+        let xq = SigName::from("r");
+        let values: Vec<Value> = flow.iter().map(|&v| Value::Int(v)).collect();
+        let slice = afifo_process_for_flow(&xp, &xq, &values, false);
+        for b in slice.iter() {
+            prop_assert!(is_afifo_behavior(b, &xp, &xq));
+            prop_assert_eq!(&stretch_canonical(b), b);
+        }
+        // complete-delivery slices are subsets
+        let complete = afifo_process_for_flow(&xp, &xq, &values, true);
+        prop_assert!(complete.subset_of(&slice) || values.is_empty());
+    }
+
+    /// Hiding after composition equals composing pre-hidden processes when
+    /// the hidden variables are private to one side.
+    #[test]
+    fn hide_commutes_with_sync_compose_on_private_vars(
+        p in arb_process(&["x", "a"]),
+        q in arb_process(&["x", "b"]),
+    ) {
+        let b_name = SigName::from("b");
+        let left = sync_compose(&p, &q).hide([b_name.clone()]);
+        let right = sync_compose(&p, &q.hide([b_name.clone()]));
+        // hiding q's private b before composing yields the same set
+        prop_assert!(left.equivalent(&right));
+    }
+}

@@ -1,0 +1,150 @@
+//! Edge-case coverage for the tagged layer: empty and degenerate inputs to
+//! every operator, and the corners of the equivalence checks.
+
+use std::collections::BTreeMap;
+
+use polysig_tagged::{
+    async_compose, causal_async_compose, flow_equivalent, is_afifo_behavior, stretch_canonical,
+    stretch_equivalent, sync_compose, Behavior, CausalOrder, Instant, Process, SigName, Tag,
+    Value,
+};
+
+fn beh(evts: &[(&str, u64, i64)]) -> Behavior {
+    let mut out = Behavior::new();
+    for &(name, tag, v) in evts {
+        out.push_event(name, tag, Value::Int(v));
+    }
+    out
+}
+
+#[test]
+fn silent_behaviors_are_equivalent_to_each_other() {
+    let mut a = Behavior::new();
+    a.declare("x");
+    let mut b = Behavior::new();
+    b.declare("x");
+    assert!(stretch_equivalent(&a, &b));
+    assert!(flow_equivalent(&a, &b));
+    assert_eq!(stretch_canonical(&a), a);
+}
+
+#[test]
+fn composing_with_the_silent_process_interleaves_nothing() {
+    let mut p = Process::over(["x".into()]);
+    p.insert(beh(&[("x", 1, 1)])).unwrap();
+    let mut silent = Process::over(["y".into()]);
+    silent.insert(Behavior::new()).unwrap();
+    let s = sync_compose(&p, &silent);
+    assert_eq!(s.len(), 1);
+    let d = s.iter().next().unwrap();
+    assert_eq!(d.trace(&"x".into()).unwrap().len(), 1);
+    assert!(d.trace(&"y".into()).unwrap().is_empty());
+}
+
+#[test]
+fn hiding_everything_leaves_one_silent_class() {
+    let mut p = Process::over(["x".into(), "y".into()]);
+    p.insert(beh(&[("x", 1, 1), ("y", 2, 2)])).unwrap();
+    p.insert(beh(&[("y", 1, 2), ("x", 2, 1)])).unwrap();
+    let hidden = p.hide(["x".into(), "y".into()]);
+    // all behaviors collapse to the empty behavior over no variables
+    assert_eq!(hidden.len(), 1);
+    assert!(hidden.vars().is_empty());
+}
+
+#[test]
+fn projection_to_nothing_is_the_silent_process() {
+    let mut p = Process::over(["x".into()]);
+    p.insert(beh(&[("x", 1, 1)])).unwrap();
+    let nothing = p.restrict_to(std::iter::empty::<SigName>());
+    assert_eq!(nothing.len(), 1);
+    assert!(nothing.iter().next().unwrap().var_count() == 0);
+}
+
+#[test]
+fn composing_identical_processes_over_same_vars_is_intersection_like() {
+    // P ∥s P over fully shared variables: every behavior must agree with
+    // itself — result is P again
+    let mut p = Process::over(["x".into()]);
+    p.insert(beh(&[("x", 1, 1), ("x", 2, 2)])).unwrap();
+    let pp = sync_compose(&p, &p);
+    assert!(pp.equivalent(&p));
+}
+
+#[test]
+fn async_compose_with_self_preserves_flows() {
+    let mut p = Process::over(["x".into()]);
+    p.insert(beh(&[("x", 1, 1), ("x", 2, 2)])).unwrap();
+    let pp = async_compose(&p, &p);
+    // one shared variable with equal flows: the composite re-times it but
+    // keeps the flow
+    assert!(!pp.is_empty());
+    for d in pp.iter() {
+        assert_eq!(d.trace(&"x".into()).unwrap().values(), vec![Value::Int(1), Value::Int(2)]);
+    }
+}
+
+#[test]
+fn causal_compose_empty_flow_channel() {
+    // producer never writes; consumer never reads: composition is just the
+    // private interleavings
+    let mut p = Process::over(["x".into(), "a".into()]);
+    p.insert(beh(&[("a", 1, 0)])).unwrap();
+    let mut q = Process::over(["x".into(), "b".into()]);
+    q.insert(beh(&[("b", 1, 0)])).unwrap();
+    let mut orders = BTreeMap::new();
+    orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+    let c = causal_async_compose(&p, &q, &orders);
+    assert_eq!(c.len(), 3); // a<b, b<a, a=b
+    for d in c.iter() {
+        assert!(d.trace(&"x".into()).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn afifo_membership_edge_cases() {
+    let x = SigName::from("x");
+    let y = SigName::from("y");
+    // completely silent channel is a valid AFifo behavior
+    let mut silent = Behavior::new();
+    silent.declare(x.clone());
+    silent.declare(y.clone());
+    assert!(is_afifo_behavior(&silent, &x, &y));
+    // read strictly at the write instant is allowed; before is not
+    let same = beh(&[("x", 5, 9), ("y", 5, 9)]);
+    assert!(is_afifo_behavior(&same, &x, &y));
+}
+
+#[test]
+fn instants_of_empty_behavior() {
+    let mut b = Behavior::new();
+    b.declare("x");
+    assert!(Instant::instants_of(&b).is_empty());
+    let rebuilt = Instant::behavior_of(&[], b.var_set());
+    assert_eq!(rebuilt, b);
+}
+
+#[test]
+fn canonical_form_of_single_instant_starts_at_one() {
+    let b = beh(&[("x", 77, 5)]);
+    let c = stretch_canonical(&b);
+    assert_eq!(c.all_tags(), vec![Tag::new(1)]);
+}
+
+#[test]
+fn large_tag_values_do_not_overflow_canonicalization() {
+    let mut b = Behavior::new();
+    b.push_event("x", u64::MAX - 1, Value::Int(1));
+    let c = stretch_canonical(&b);
+    assert_eq!(c.all_tags(), vec![Tag::new(1)]);
+}
+
+#[test]
+fn process_insert_is_idempotent_across_stretchings() {
+    let mut p = Process::over(["x".into(), "y".into()]);
+    for scale in 1..=5u64 {
+        p.insert(beh(&[("x", scale, 1), ("y", 2 * scale, 2)])).unwrap();
+    }
+    assert_eq!(p.len(), 1, "all stretchings are one class");
+    assert!(p.check_invariants());
+}

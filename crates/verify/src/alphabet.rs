@@ -1,0 +1,256 @@
+//! Finite input alphabets and environment automata.
+//!
+//! A *letter* is one reaction's worth of environment input: which external
+//! inputs are present, with which values. [`Alphabet::exhaustive`]
+//! enumerates every combination over a finite integer domain (booleans get
+//! both values); an [`EnvAutomaton`] restricts which letters the
+//! environment may emit in which order — this is how rate assumptions
+//! ("the writer ticks at most every other instant") enter the verification,
+//! mirroring Lemma 2's rate-matching side condition.
+
+use std::collections::BTreeMap;
+
+use polysig_lang::Program;
+use polysig_tagged::{SigName, Value, ValueType};
+
+use crate::error::VerifyError;
+
+/// One reaction's environment input: present inputs with values.
+pub type Letter = BTreeMap<SigName, Value>;
+
+/// A finite set of input letters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    letters: Vec<Letter>,
+}
+
+impl Alphabet {
+    /// Builds the exhaustive alphabet of a program: each external input is
+    /// absent or present with a value from its domain (`int_values` for
+    /// integers, both booleans for bools). Inputs named `tick` are treated
+    /// as the always-present master clock (never absent), which keeps the
+    /// alphabet aligned with the endochronized components of
+    /// `polysig-gals`.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::EmptyAlphabet`] if `int_values` is empty while the
+    /// program has integer inputs.
+    pub fn exhaustive(program: &Program, int_values: &[i64]) -> Result<Alphabet, VerifyError> {
+        let inputs: Vec<(SigName, ValueType)> = {
+            let names = program.external_inputs();
+            names
+                .into_iter()
+                .map(|n| {
+                    let ty = program
+                        .components
+                        .iter()
+                        .find_map(|c| c.decl(&n))
+                        .map(|d| d.ty)
+                        .expect("external input is declared somewhere");
+                    (n, ty)
+                })
+                .collect()
+        };
+        let mut letters: Vec<Letter> = vec![BTreeMap::new()];
+        for (name, ty) in inputs {
+            let mut choices: Vec<Option<Value>> = Vec::new();
+            if name.as_str() == "tick" {
+                choices.push(Some(Value::TRUE));
+            } else {
+                choices.push(None);
+                match ty {
+                    ValueType::Bool => {
+                        choices.push(Some(Value::TRUE));
+                        choices.push(Some(Value::FALSE));
+                    }
+                    ValueType::Int => {
+                        if int_values.is_empty() {
+                            return Err(VerifyError::EmptyAlphabet);
+                        }
+                        for v in int_values {
+                            choices.push(Some(Value::Int(*v)));
+                        }
+                    }
+                }
+            }
+            let mut next = Vec::with_capacity(letters.len() * choices.len());
+            for letter in &letters {
+                for choice in &choices {
+                    let mut l = letter.clone();
+                    if let Some(v) = choice {
+                        l.insert(name.clone(), *v);
+                    }
+                    next.push(l);
+                }
+            }
+            letters = next;
+        }
+        Ok(Alphabet { letters })
+    }
+
+    /// Builds an alphabet from explicit letters.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::EmptyAlphabet`] when no letters are given.
+    pub fn from_letters(letters: Vec<Letter>) -> Result<Alphabet, VerifyError> {
+        if letters.is_empty() {
+            return Err(VerifyError::EmptyAlphabet);
+        }
+        Ok(Alphabet { letters })
+    }
+
+    /// The letters.
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// `true` iff there are no letters.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+}
+
+/// A finite automaton over alphabet letters, restricting what the
+/// environment can do — the verification-side model of rate assumptions.
+///
+/// State `0` is initial. A transition `(state, letter_index) → state`
+/// permits the letter in that state; letters without a transition are
+/// forbidden there.
+#[derive(Debug, Clone, Default)]
+pub struct EnvAutomaton {
+    transitions: BTreeMap<(usize, usize), usize>,
+    state_count: usize,
+}
+
+impl EnvAutomaton {
+    /// The unrestricted environment: every letter allowed at all times.
+    pub fn free(alphabet: &Alphabet) -> EnvAutomaton {
+        let mut a = EnvAutomaton { transitions: BTreeMap::new(), state_count: 1 };
+        for li in 0..alphabet.len() {
+            a.transitions.insert((0, li), 0);
+        }
+        a
+    }
+
+    /// Creates an empty automaton with `state_count` states.
+    pub fn with_states(state_count: usize) -> EnvAutomaton {
+        EnvAutomaton { transitions: BTreeMap::new(), state_count }
+    }
+
+    /// Permits `letter_index` in `from`, moving to `to`.
+    pub fn allow(&mut self, from: usize, letter_index: usize, to: usize) {
+        assert!(from < self.state_count && to < self.state_count, "state out of range");
+        self.transitions.insert((from, letter_index), to);
+    }
+
+    /// The permitted letters in a state, with successor states.
+    pub fn moves(&self, state: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.transitions
+            .range((state, 0)..(state + 1, 0))
+            .map(|((_, li), to)| (*li, *to))
+    }
+
+    /// Number of environment states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// A convenience builder: a cyclic environment that emits the given
+    /// letter sequence forever (deterministic periodic input).
+    ///
+    /// The letters are appended to `alphabet` if not already present;
+    /// returns the automaton.
+    pub fn cycle(alphabet: &mut Alphabet, sequence: &[Letter]) -> EnvAutomaton {
+        let n = sequence.len().max(1);
+        let mut a = EnvAutomaton::with_states(n);
+        for (i, letter) in sequence.iter().enumerate() {
+            let li = match alphabet.letters.iter().position(|l| l == letter) {
+                Some(li) => li,
+                None => {
+                    alphabet.letters.push(letter.clone());
+                    alphabet.letters.len() - 1
+                }
+            };
+            a.allow(i, li, (i + 1) % n);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+
+    #[test]
+    fn exhaustive_alphabet_counts() {
+        let p = parse_program(
+            "process P { input a: int, c: bool; output x: int; x := a when c; }",
+        )
+        .unwrap();
+        // a: absent | 1 | 2  (3) × c: absent | true | false (3) = 9
+        let a = Alphabet::exhaustive(&p, &[1, 2]).unwrap();
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn tick_is_always_present() {
+        let p = parse_program(
+            "process P { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }",
+        )
+        .unwrap();
+        let a = Alphabet::exhaustive(&p, &[]).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.letters()[0][&SigName::from("tick")], Value::TRUE);
+    }
+
+    #[test]
+    fn empty_int_domain_rejected_only_when_needed() {
+        let p = parse_program("process P { input a: int; output x: int; x := a; }").unwrap();
+        assert!(matches!(
+            Alphabet::exhaustive(&p, &[]),
+            Err(VerifyError::EmptyAlphabet)
+        ));
+    }
+
+    #[test]
+    fn explicit_letters() {
+        let mut l = Letter::new();
+        l.insert("a".into(), Value::Int(1));
+        let a = Alphabet::from_letters(vec![l]).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(Alphabet::from_letters(vec![]).is_err());
+    }
+
+    #[test]
+    fn free_automaton_allows_everything() {
+        let p = parse_program("process P { input c: bool; output x: bool; x := c; }").unwrap();
+        let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let env = EnvAutomaton::free(&alphabet);
+        assert_eq!(env.state_count(), 1);
+        assert_eq!(env.moves(0).count(), alphabet.len());
+    }
+
+    #[test]
+    fn cycle_automaton_follows_sequence() {
+        let p = parse_program("process P { input c: bool; output x: bool; x := c; }").unwrap();
+        let mut alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let mut on = Letter::new();
+        on.insert("c".into(), Value::TRUE);
+        let off = Letter::new();
+        let env = EnvAutomaton::cycle(&mut alphabet, &[on.clone(), off.clone()]);
+        assert_eq!(env.state_count(), 2);
+        // state 0 permits exactly the `on` letter, moving to state 1
+        let moves0: Vec<(usize, usize)> = env.moves(0).collect();
+        assert_eq!(moves0.len(), 1);
+        assert_eq!(alphabet.letters()[moves0[0].0], on);
+        assert_eq!(moves0[0].1, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Counterexample traces.
+//!
+//! When the checker finds a reachable property violation it reconstructs
+//! the shortest input sequence leading to it. Per Section 5.2, "the error
+//! trace may help us finding the input sequence resulting in alarm. This
+//! input can be added to our simulation data" — [`Counterexample::to_scenario`]
+//! does exactly that conversion, closing the verify → simulate loop.
+
+use std::fmt;
+
+use polysig_sim::Scenario;
+
+use crate::alphabet::Letter;
+
+/// The shortest input sequence driving the program into a violating
+/// reaction (the last letter causes the violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    letters: Vec<Letter>,
+}
+
+impl Counterexample {
+    /// Wraps a letter sequence.
+    pub fn new(letters: Vec<Letter>) -> Self {
+        Counterexample { letters }
+    }
+
+    /// Number of reactions in the trace.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// `true` iff the initial state itself violates (no inputs needed).
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The letters in order.
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
+    }
+
+    /// Converts the trace into a [`Scenario`] for the simulator — the
+    /// feedback edge of the paper's estimate/verify loop.
+    pub fn to_scenario(&self) -> Scenario {
+        let mut s = Scenario::new();
+        for letter in &self.letters {
+            s.push_step(letter.clone());
+        }
+        s
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample ({} reactions):", self.letters.len())?;
+        for (i, letter) in self.letters.iter().enumerate() {
+            write!(f, "  step {i}: ")?;
+            if letter.is_empty() {
+                write!(f, "(silence)")?;
+            }
+            for (j, (name, value)) in letter.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}={value}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_tagged::Value;
+
+    #[test]
+    fn converts_to_scenario() {
+        let mut l1 = Letter::new();
+        l1.insert("a".into(), Value::Int(1));
+        let l2 = Letter::new();
+        let cx = Counterexample::new(vec![l1.clone(), l2]);
+        let s = cx.to_scenario();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.step(0), Some(&l1));
+        assert!(s.step(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_shows_steps() {
+        let mut l = Letter::new();
+        l.insert("msgin".into(), Value::Int(2));
+        let cx = Counterexample::new(vec![Letter::new(), l]);
+        let text = cx.to_string();
+        assert!(text.contains("step 0: (silence)"));
+        assert!(text.contains("msgin=2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Verifier errors.
+
+use std::fmt;
+
+/// Errors raised while building alphabets or exploring state spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A static language error.
+    Lang(polysig_lang::LangError),
+    /// A simulation error that is not an environment-constraint violation
+    /// (those are pruned during exploration).
+    Sim(polysig_sim::SimError),
+    /// The exploration hit its state cap before exhausting the reachable
+    /// space; the verdict would be unsound.
+    StateCapExceeded {
+        /// The cap that was hit.
+        cap: usize,
+    },
+    /// The alphabet is empty — nothing to explore.
+    EmptyAlphabet,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Lang(e) => write!(f, "{e}"),
+            VerifyError::Sim(e) => write!(f, "{e}"),
+            VerifyError::StateCapExceeded { cap } => {
+                write!(f, "state cap of {cap} exceeded before exhausting the reachable space")
+            }
+            VerifyError::EmptyAlphabet => write!(f, "input alphabet is empty"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Lang(e) => Some(e),
+            VerifyError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<polysig_lang::LangError> for VerifyError {
+    fn from(e: polysig_lang::LangError) -> Self {
+        VerifyError::Lang(e)
+    }
+}
+
+impl From<polysig_sim::SimError> for VerifyError {
+    fn from(e: polysig_sim::SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VerifyError::StateCapExceeded { cap: 10 }.to_string().contains("10"));
+        assert!(!VerifyError::EmptyAlphabet.to_string().is_empty());
+    }
+
+    #[test]
+    fn conversion_from_sim() {
+        let e: VerifyError = polysig_sim::SimError::NotAnInput { name: "x".into() }.into();
+        assert!(matches!(e, VerifyError::Sim(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

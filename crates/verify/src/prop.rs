@@ -1,0 +1,112 @@
+//! Safety properties over reactions.
+//!
+//! A [`Property`] examines one reaction's present signals. The paper's
+//! verification step needs exactly one shape — "the alarm signal is never
+//! raised" — but the checker accepts any reaction predicate.
+
+use std::fmt;
+
+use polysig_tagged::{SigName, Value};
+
+/// A reaction as the checker sees it: present signals with their values,
+/// sorted by name.
+pub type Reaction = [(SigName, Value)];
+
+/// A named safety property over reactions.
+pub struct Property {
+    name: String,
+    check: Box<dyn Fn(&Reaction) -> bool + Send + Sync>,
+}
+
+impl Property {
+    /// Builds a property from a predicate (`true` = reaction is fine).
+    pub fn new(
+        name: impl Into<String>,
+        check: impl Fn(&Reaction) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Property { name: name.into(), check: Box::new(check) }
+    }
+
+    /// The paper's property: `signal` is never present with value `true`
+    /// (no alarm is ever raised).
+    pub fn never_true(signal: impl Into<SigName>) -> Property {
+        let signal = signal.into();
+        Property::new(format!("never {signal}=true"), move |reaction| {
+            !reaction.iter().any(|(n, v)| n == &signal && *v == Value::TRUE)
+        })
+    }
+
+    /// `signal` never ticks at all.
+    pub fn never_present(signal: impl Into<SigName>) -> Property {
+        let signal = signal.into();
+        Property::new(format!("never {signal} present"), move |reaction| {
+            !reaction.iter().any(|(n, _)| n == &signal)
+        })
+    }
+
+    /// An integer signal stays within `lo..=hi` whenever present.
+    pub fn always_in_range(signal: impl Into<SigName>, lo: i64, hi: i64) -> Property {
+        let signal = signal.into();
+        Property::new(format!("{signal} in [{lo}, {hi}]"), move |reaction| {
+            reaction.iter().all(|(n, v)| {
+                n != &signal || v.as_int().is_none_or(|i| lo <= i && i <= hi)
+            })
+        })
+    }
+
+    /// The property's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the property on a reaction.
+    pub fn holds_on(&self, reaction: &Reaction) -> bool {
+        (self.check)(reaction)
+    }
+}
+
+impl fmt::Debug for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Property").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reaction(pairs: &[(&str, Value)]) -> Vec<(SigName, Value)> {
+        pairs.iter().map(|(n, v)| (SigName::from(*n), *v)).collect()
+    }
+
+    #[test]
+    fn never_true_fires_only_on_true() {
+        let p = Property::never_true("alarm");
+        assert!(p.holds_on(&reaction(&[])));
+        assert!(p.holds_on(&reaction(&[("alarm", Value::FALSE)])));
+        assert!(p.holds_on(&reaction(&[("other", Value::TRUE)])));
+        assert!(!p.holds_on(&reaction(&[("alarm", Value::TRUE)])));
+    }
+
+    #[test]
+    fn never_present_fires_on_any_tick() {
+        let p = Property::never_present("x");
+        assert!(p.holds_on(&reaction(&[])));
+        assert!(!p.holds_on(&reaction(&[("x", Value::FALSE)])));
+        assert!(!p.holds_on(&reaction(&[("x", Value::Int(0))])));
+    }
+
+    #[test]
+    fn range_property() {
+        let p = Property::always_in_range("n", 0, 3);
+        assert!(p.holds_on(&reaction(&[("n", Value::Int(3))])));
+        assert!(!p.holds_on(&reaction(&[("n", Value::Int(4))])));
+        assert!(p.holds_on(&reaction(&[("m", Value::Int(100))])));
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(Property::never_true("alarm").name(), "never alarm=true");
+        assert!(Property::always_in_range("n", 0, 3).name().contains("[0, 3]"));
+    }
+}

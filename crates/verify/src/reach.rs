@@ -1,0 +1,299 @@
+//! Explicit-state reachability checking.
+//!
+//! The state of a Signal program is its `pre` register file; the checker
+//! explores `(registers, env_state)` pairs breadth-first over the letters an
+//! [`EnvAutomaton`] permits, checking a [`Property`] on every reaction.
+//! BFS yields the *shortest* counterexample, which is what the estimation
+//! loop wants to replay.
+//!
+//! Letters whose reaction fails with a clock error are pruned: they are
+//! environment moves the program's clock constraints forbid (e.g. a write
+//! without the master tick). Genuine program errors still surface.
+
+use std::collections::{HashMap, VecDeque};
+
+use polysig_lang::Program;
+use polysig_sim::{Reactor, SimError};
+use polysig_tagged::Value;
+
+use crate::alphabet::{Alphabet, EnvAutomaton};
+use crate::counterexample::Counterexample;
+use crate::error::VerifyError;
+use crate::prop::Property;
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Abort (with [`VerifyError::StateCapExceeded`]) beyond this many
+    /// distinct states.
+    pub max_states: usize,
+    /// Stop exploring paths longer than this many reactions (`None` =
+    /// unbounded; the verdict is then exact rather than bounded).
+    pub max_depth: Option<usize>,
+    /// Environment automaton; `None` means unrestricted.
+    pub env: Option<EnvAutomaton>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { max_states: 1_000_000, max_depth: None, env: None }
+    }
+}
+
+/// The verdict of a reachability check.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// `true` iff no reachable reaction violates the property (within
+    /// `max_depth`, when bounded).
+    pub holds: bool,
+    /// Shortest violating input sequence, when `!holds`.
+    pub counterexample: Option<Counterexample>,
+    /// Distinct `(registers, env_state)` states visited.
+    pub states_explored: usize,
+    /// Reactions executed.
+    pub transitions: usize,
+    /// Letters pruned because the program's clocks rejected them.
+    pub pruned: usize,
+    /// `true` iff exploration was cut off by `max_depth` before closure
+    /// (a `holds` verdict is then only valid up to that bound).
+    pub depth_bounded: bool,
+}
+
+/// Runs the breadth-first check of `property` on `program` under
+/// `alphabet` (shaped by `options.env` when given).
+///
+/// # Errors
+///
+/// * [`VerifyError::EmptyAlphabet`] — nothing to explore;
+/// * [`VerifyError::StateCapExceeded`] — the reachable space is larger than
+///   `options.max_states`;
+/// * [`VerifyError::Sim`] — a non-clock program error during a reaction.
+pub fn check(
+    program: &Program,
+    alphabet: &Alphabet,
+    property: &Property,
+    options: &CheckOptions,
+) -> Result<CheckResult, VerifyError> {
+    if alphabet.is_empty() {
+        return Err(VerifyError::EmptyAlphabet);
+    }
+    let mut reactor = Reactor::for_program(program)?;
+    let free_env;
+    let env = match &options.env {
+        Some(e) => e,
+        None => {
+            free_env = EnvAutomaton::free(alphabet);
+            &free_env
+        }
+    };
+
+    type State = (Vec<Value>, usize);
+    let initial: State = (reactor.registers().to_vec(), 0);
+
+    // parent[state_id] = (pred_id, letter_index); state 0 is initial
+    let mut ids: HashMap<State, usize> = HashMap::new();
+    let mut states: Vec<State> = vec![initial.clone()];
+    let mut parents: Vec<Option<(usize, usize)>> = vec![None];
+    let mut depths: Vec<usize> = vec![0];
+    ids.insert(initial, 0);
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let mut transitions = 0usize;
+    let mut pruned = 0usize;
+    let mut depth_bounded = false;
+
+    let rebuild = |violating_letter: usize,
+                   from: usize,
+                   parents: &[Option<(usize, usize)>],
+                   alphabet: &Alphabet| {
+        let mut letters = vec![alphabet.letters()[violating_letter].clone()];
+        let mut cur = from;
+        while let Some((pred, li)) = parents[cur] {
+            letters.push(alphabet.letters()[li].clone());
+            cur = pred;
+        }
+        letters.reverse();
+        Counterexample::new(letters)
+    };
+
+    while let Some(id) = queue.pop_front() {
+        if let Some(max) = options.max_depth {
+            if depths[id] >= max {
+                depth_bounded = true;
+                continue;
+            }
+        }
+        let (regs, env_state) = states[id].clone();
+        for (letter_index, env_next) in env.moves(env_state) {
+            let letter = &alphabet.letters()[letter_index];
+            reactor.set_registers(&regs);
+            match reactor.react(letter) {
+                Ok(reaction) => {
+                    transitions += 1;
+                    if !property.holds_on(&reaction) {
+                        return Ok(CheckResult {
+                            holds: false,
+                            counterexample: Some(rebuild(letter_index, id, &parents, alphabet)),
+                            states_explored: states.len(),
+                            transitions,
+                            pruned,
+                            depth_bounded,
+                        });
+                    }
+                    let next: State = (reactor.registers().to_vec(), env_next);
+                    if !ids.contains_key(&next) {
+                        if states.len() >= options.max_states {
+                            return Err(VerifyError::StateCapExceeded {
+                                cap: options.max_states,
+                            });
+                        }
+                        let nid = states.len();
+                        ids.insert(next.clone(), nid);
+                        states.push(next);
+                        parents.push(Some((id, letter_index)));
+                        depths.push(depths[id] + 1);
+                        queue.push_back(nid);
+                    }
+                }
+                // clock-constraint violations are environment moves the
+                // program forbids — prune them
+                Err(SimError::ClockMismatch { .. })
+                | Err(SimError::Contradiction { .. })
+                | Err(SimError::UndeterminedClock { .. }) => {
+                    pruned += 1;
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+    }
+
+    Ok(CheckResult {
+        holds: true,
+        counterexample: None,
+        states_explored: states.len(),
+        transitions,
+        pruned,
+        depth_bounded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_gals::nfifo::nfifo_component;
+    use polysig_lang::parse_program;
+    use polysig_sim::Simulator;
+    use polysig_tagged::SigName;
+
+    #[test]
+    fn counter_range_property_holds_with_reset() {
+        // a mod-4 counter stays within [0, 3]
+        let p = parse_program(
+            "process C { input tick: bool; output n: int; local np: int; \
+             np := (pre 0 n) when tick; \
+             n := (0 when (np = 3)) default (np + 1); n ^= tick; }",
+        )
+        .unwrap();
+        let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let r = check(&p, &alphabet, &Property::always_in_range("n", 0, 4), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds);
+        assert_eq!(r.states_explored, 4, "mod-4 counter has 4 states");
+        assert!(!r.depth_bounded);
+    }
+
+    #[test]
+    fn violation_found_with_shortest_trace() {
+        let p = parse_program(
+            "process C { input tick: bool; output n: int; \
+             n := ((pre 0 n) when tick) + 1; n ^= tick; }",
+        )
+        .unwrap();
+        let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let r = check(&p, &alphabet, &Property::always_in_range("n", 0, 2), &CheckOptions::default())
+            .unwrap();
+        assert!(!r.holds);
+        // n reaches 3 at the third tick
+        assert_eq!(r.counterexample.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fifo_overflow_alarm_reachable_and_replayable() {
+        let p = polysig_lang::Program::single(nfifo_component("ch", 2));
+        let alphabet = Alphabet::exhaustive(&p, &[1]).unwrap();
+        let r = check(&p, &alphabet, &Property::never_true("ch_alarm"), &CheckOptions::default())
+            .unwrap();
+        assert!(!r.holds);
+        let cx = r.counterexample.unwrap();
+        // three consecutive writes overflow depth 2
+        assert_eq!(cx.len(), 3);
+
+        // Section 5.2 feedback: replay the counterexample in the simulator
+        // and observe the alarm it predicts
+        let mut sim = Simulator::for_program(&p).unwrap();
+        let run = sim.run(&cx.to_scenario()).unwrap();
+        assert!(run.flow(&SigName::from("ch_alarm")).contains(&Value::TRUE));
+    }
+
+    #[test]
+    fn environment_automaton_rules_out_the_overflow() {
+        // depth-1 FIFO, but the environment alternates write / read —
+        // Lemma 2's rate condition with n = 1 — so no alarm is reachable
+        let p = polysig_lang::Program::single(nfifo_component("ch", 1));
+        let mut alphabet = Alphabet::exhaustive(&p, &[1]).unwrap();
+        let mut write = crate::alphabet::Letter::new();
+        write.insert("tick".into(), Value::TRUE);
+        write.insert("ch_in".into(), Value::Int(1));
+        let mut read = crate::alphabet::Letter::new();
+        read.insert("tick".into(), Value::TRUE);
+        read.insert("ch_rd".into(), Value::TRUE);
+        let env = EnvAutomaton::cycle(&mut alphabet, &[write, read]);
+        let r = check(
+            &p,
+            &alphabet,
+            &Property::never_true("ch_alarm"),
+            &CheckOptions { env: Some(env), ..Default::default() },
+        )
+        .unwrap();
+        assert!(r.holds, "alternating write/read never overflows a 1-place buffer");
+    }
+
+    #[test]
+    fn depth_bound_limits_exploration() {
+        let p = parse_program(
+            "process C { input tick: bool; output n: int; \
+             n := ((pre 0 n) when tick) + 1; n ^= tick; }",
+        )
+        .unwrap();
+        let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let r = check(
+            &p,
+            &alphabet,
+            &Property::always_in_range("n", 0, 1000),
+            &CheckOptions { max_depth: Some(10), ..Default::default() },
+        )
+        .unwrap();
+        assert!(r.holds);
+        assert!(r.depth_bounded);
+        assert!(r.states_explored <= 12);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let p = parse_program(
+            "process C { input tick: bool; output n: int; \
+             n := ((pre 0 n) when tick) + 1; n ^= tick; }",
+        )
+        .unwrap();
+        let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
+        let err = check(
+            &p,
+            &alphabet,
+            &Property::always_in_range("n", 0, 1_000_000),
+            &CheckOptions { max_states: 50, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::StateCapExceeded { cap: 50 }));
+    }
+}

@@ -1,0 +1,9 @@
+-- a saturating accumulator
+process Acc {
+    input tick: bool;
+    output n: int;
+    local np: int;
+    np := (pre 0 n) when tick;
+    n := (0 when (np = 3)) default (np + 1);
+    n ^= tick;
+}

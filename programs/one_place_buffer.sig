@@ -1,0 +1,14 @@
+process B {
+    input msgin: int, rd: bool, tick: bool;
+    output msgout: int, full: bool, alarm: bool, ok: bool;
+    local inw: bool, rdw: bool, fullprev: bool, data: int;
+    sync tick, full, data;
+    inw := (^msgin) default (false when tick);
+    rdw := rd default (false when tick);
+    fullprev := (pre false full) when tick;
+    full := (fullprev and not (rdw and fullprev)) or (inw and not fullprev);
+    data := (msgin when (not fullprev)) default ((pre 0 data) when tick);
+    msgout := (pre 0 data) when (rdw and fullprev);
+    alarm := fullprev when inw;
+    ok := (not fullprev) when inw;
+}

@@ -1,0 +1,2 @@
+process P { input a: int; output x: int; x := a + 1; }
+process Q { input x: int; output y: int; y := x * 2; }

@@ -1,0 +1,226 @@
+//! `polysig-cli` — command-line front end for the polysig toolchain.
+//!
+//! ```text
+//! polysig-cli check    FILE              parse + resolve + type-check
+//! polysig-cli clocks   FILE              clock classes, hierarchy, endochrony
+//! polysig-cli simulate FILE N [SEED]     run N reactions under random inputs
+//! polysig-cli simulate FILE @SCENARIO    run a scenario file (name=value lines)
+//! polysig-cli desync   FILE [SIZE]       print the desynchronized program
+//! polysig-cli estimate FILE N            size buffers for a random environment
+//! polysig-cli verify   FILE SIGNAL       prove SIGNAL never true (exhaustive)
+//! polysig-cli dump     FILE N OUT.vcd    simulate N reactions, export VCD
+//! ```
+//!
+//! Programs are written in the concrete syntax of `polysig-lang` (see the
+//! repository README); every command reads the file, reports errors with
+//! positions, and exits non-zero on failure.
+
+use std::process::ExitCode;
+
+use polysig::gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+use polysig::gals::report::trace_table;
+use polysig::gals::{desynchronize, DesyncOptions};
+use polysig::lang::clock::analyze_component;
+use polysig::lang::{check_program, pretty_program, DependencyGraph, Program, Role};
+use polysig::sim::generator::master_clock;
+use polysig::sim::{RandomInputs, Scenario, ScenarioGenerator, Simulator};
+use polysig::tagged::ValueType;
+use polysig::verify::{check, Alphabet, CheckOptions, Property};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    check_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: polysig-cli <check|clocks|simulate|desync|estimate|verify> FILE [ARGS]";
+    let cmd = args.first().ok_or(usage)?;
+    let file = args.get(1).ok_or(usage)?;
+    let program = load(file)?;
+
+    match cmd.as_str() {
+        "check" => {
+            for c in &program.components {
+                let deps = DependencyGraph::of_component(c);
+                deps.topological_order().map_err(|e| e.to_string())?;
+                println!(
+                    "component `{}`: {} signals, {} equations — ok",
+                    c.name,
+                    c.decls.len(),
+                    c.equations().count()
+                );
+            }
+            println!("program `{}` checks", program.name);
+            Ok(())
+        }
+        "clocks" => {
+            for c in &program.components {
+                let a = analyze_component(c);
+                println!("component `{}`:", c.name);
+                for class in &a.classes {
+                    let members: Vec<&str> =
+                        class.members.iter().map(|m| m.as_str()).collect();
+                    println!("  clock class {}: {}", class.id, members.join(", "));
+                }
+                for (sub, sup) in a.edges() {
+                    println!("  class {sub} ⊆ class {sup}");
+                }
+                println!(
+                    "  hierarchy {} rooted (endochrony heuristic)",
+                    if a.is_rooted() { "IS" } else { "is NOT" }
+                );
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let arg2 = args.get(2).ok_or("simulate needs a step count or @scenario-file")?;
+            let scenario = if let Some(path) = arg2.strip_prefix('@') {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                Scenario::from_text(&text)?
+            } else {
+                let steps: usize =
+                    arg2.parse().map_err(|_| "step count must be a number")?;
+                let seed: u64 = args.get(3).map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
+                random_environment(&program, steps, seed)
+            };
+            let steps = scenario.len();
+            let mut sim = Simulator::for_program(&program).map_err(|e| e.to_string())?;
+            let run = sim.run(&scenario).map_err(|e| e.to_string())?;
+            let signals: Vec<polysig::tagged::SigName> =
+                program.all_names().into_iter().collect();
+            println!("{}", trace_table(&run.behavior, &signals, steps.min(24)));
+            println!("{} reactions, {} events", run.steps, run.events);
+            Ok(())
+        }
+        "desync" => {
+            let size: usize = args.get(2).map(|s| s.parse().unwrap_or(1)).unwrap_or(1);
+            let d = desynchronize(&program, &DesyncOptions::with_size(size).instrumented())
+                .map_err(|e| e.to_string())?;
+            println!("{}", pretty_program(&d.program));
+            eprintln!(
+                "-- {} channel(s): {}",
+                d.channels.len(),
+                d.channels
+                    .iter()
+                    .map(|c| format!("{} (depth {})", c.spec.signal, c.size))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            Ok(())
+        }
+        "estimate" => {
+            let steps: usize = args
+                .get(2)
+                .ok_or("estimate needs a step count")?
+                .parse()
+                .map_err(|_| "step count must be a number")?;
+            let probe = desynchronize(&program, &DesyncOptions::with_size(1))
+                .map_err(|e| e.to_string())?;
+            let mut scenario = random_environment(&program, steps, 42);
+            // full-rate read requests and master tick for every channel
+            for ch in &probe.channels {
+                let rd = polysig::sim::PeriodicInputs::new(
+                    ch.rd_signal.clone(),
+                    ValueType::Bool,
+                    1,
+                    0,
+                )
+                .generate(steps);
+                scenario = scenario.zip_union(&rd);
+            }
+            scenario = scenario.zip_union(&master_clock("tick", steps));
+            let report = estimate_buffer_sizes(&program, &scenario, &EstimationOptions::default())
+                .map_err(|e| e.to_string())?;
+            for (i, round) in report.history.iter().enumerate() {
+                println!(
+                    "round {i}: sizes {:?}, alarms {:?}",
+                    round.sizes.values().collect::<Vec<_>>(),
+                    round.alarms.values().collect::<Vec<_>>()
+                );
+            }
+            if report.converged {
+                println!("converged: {:?}", report.final_sizes);
+                Ok(())
+            } else {
+                Err("estimation did not converge".into())
+            }
+        }
+        "verify" => {
+            let signal = args.get(2).ok_or("verify needs a signal name")?;
+            let alphabet = Alphabet::exhaustive(&program, &[0, 1]).map_err(|e| e.to_string())?;
+            let result = check(
+                &program,
+                &alphabet,
+                &Property::never_true(signal.as_str()),
+                &CheckOptions { max_states: 200_000, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "property `never {signal}=true`: {} ({} states, {} transitions)",
+                if result.holds { "HOLDS" } else { "VIOLATED" },
+                result.states_explored,
+                result.transitions
+            );
+            if let Some(cx) = result.counterexample {
+                print!("{cx}");
+            }
+            if result.holds {
+                Ok(())
+            } else {
+                Err("property violated".into())
+            }
+        }
+        "dump" => {
+            let steps: usize = args
+                .get(2)
+                .ok_or("dump needs a step count")?
+                .parse()
+                .map_err(|_| "step count must be a number")?;
+            let out_path = args.get(3).ok_or("dump needs an output path")?;
+            let scenario = random_environment(&program, steps, 42);
+            let mut sim = Simulator::for_program(&program).map_err(|e| e.to_string())?;
+            let run = sim.run(&scenario).map_err(|e| e.to_string())?;
+            let signals: Vec<polysig::tagged::SigName> =
+                program.all_names().into_iter().collect();
+            let doc = polysig::gals::vcd::to_vcd(&run.behavior, &signals, &program.name);
+            std::fs::write(out_path, doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+            println!("wrote {out_path} ({} signals, {} reactions)", signals.len(), steps);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+/// A Bernoulli environment over the program's external inputs (`tick`
+/// always on; integers drawn per input with independent seeds).
+fn random_environment(program: &Program, steps: usize, seed: u64) -> Scenario {
+    let mut scenario = Scenario::new().silence(steps);
+    for (k, name) in program.external_inputs().into_iter().enumerate() {
+        if name.as_str() == "tick" {
+            scenario = scenario.zip_union(&master_clock("tick", steps));
+            continue;
+        }
+        let ty = program
+            .components
+            .iter()
+            .find_map(|c| c.decl(&name))
+            .map(|d| d.ty)
+            .unwrap_or(ValueType::Int);
+        let gen = RandomInputs::new(name, ty, 0.5, seed.wrapping_add(k as u64));
+        scenario = scenario.zip_union(&gen.generate(steps));
+    }
+    let _ = program.components.iter().flat_map(|c| c.signals_with_role(Role::Input));
+    scenario
+}

@@ -1,0 +1,55 @@
+//! # `polysig` — modeling and validating GALS designs in a synchronous framework
+//!
+//! A from-scratch Rust reproduction of *"Modeling and Validating Globally
+//! Asynchronous Design in Synchronous Frameworks"* (Mousavi, Le Guernic,
+//! Talpin, Shukla, Basten — DATE 2004): a polychronous (Signal-style)
+//! language kernel, a constructive simulator, the GALS desynchronization
+//! transformation with FIFO instrumentation and buffer-size estimation, an
+//! explicit-state model checker, and a GALS deployment runtime.
+//!
+//! This facade crate re-exports the layer crates:
+//!
+//! * [`tagged`] — the tagged (polychronous) model: behaviors, processes,
+//!   stretch/flow equivalence, composition operators, FIFO specifications;
+//! * [`lang`] — the Signal language kernel: AST, parser, clock calculus,
+//!   causality analysis;
+//! * [`sim`] — the constructive reaction-by-reaction simulator;
+//! * [`gals`] — the paper's contribution: desynchronization, instrumented
+//!   FIFOs, buffer-size estimation, GALS executors;
+//! * [`verify`] — reachability checking ("no alarm is ever raised") and
+//!   differential flow-equivalence oracles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use polysig::gals::{desynchronize, DesyncOptions};
+//! use polysig::lang::parse_program;
+//! use polysig::sim::{Scenario, Simulator};
+//! use polysig::tagged::Value;
+//!
+//! // two synchronous components talking through shared signal `x`…
+//! let program = parse_program(
+//!     "process P { input a: int; output x: int; x := a + 1; } \
+//!      process Q { input x: int; output y: int; y := x * 2; }",
+//! )?;
+//! // …become a GALS design with a 2-place FIFO on the link
+//! let gals = desynchronize(&program, &DesyncOptions::with_size(2))?;
+//! let mut sim = Simulator::for_program(&gals.program)?;
+//! let run = sim.run(
+//!     &Scenario::new()
+//!         .on("tick", Value::Bool(true)).on("a", Value::Int(1)).tick()
+//!         .on("tick", Value::Bool(true)).tick()
+//!         .on("tick", Value::Bool(true)).on("x_rd", Value::Bool(true)).tick(),
+//! )?;
+//! assert_eq!(run.flow(&"y".into()), vec![Value::Int(4)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use polysig_gals as gals;
+pub use polysig_lang as lang;
+pub use polysig_sim as sim;
+pub use polysig_tagged as tagged;
+pub use polysig_verify as verify;

@@ -1,0 +1,165 @@
+//! E6 — Section 5.2: the buffer-size estimation loop across a workload grid.
+//!
+//! The experiment the paper describes narratively: for a grid of
+//! environments (rate mismatch × burstiness), run the simulate → read
+//! counters → grow loop and record iterations and final sizes. The series
+//! asserted here are the paper's qualitative claims: estimated sizes grow
+//! with backlog, converged designs are alarm-free, and re-running the same
+//! environment on the estimated design stays clean (the loop's guarantee
+//! "for a set of (normal) behaviors, no buffer overflow will happen").
+
+use polysig::gals::estimate::{estimate_buffer_sizes, EstimationOptions, GrowthPolicy};
+use polysig::gals::{desynchronize, DesyncOptions};
+use polysig::lang::parse_program;
+use polysig::sim::generator::master_clock;
+use polysig::sim::{BurstyInputs, PeriodicInputs, RandomInputs, Scenario, ScenarioGenerator, Simulator};
+use polysig::tagged::{SigName, Value, ValueType};
+
+fn pipe() -> polysig::lang::Program {
+    parse_program(
+        "process P { input a: int; output x: int; x := a; } \
+         process Q { input x: int; output y: int; y := x; }",
+    )
+    .unwrap()
+}
+
+fn env(steps: usize, write: &dyn Fn(usize) -> Scenario, read_period: usize) -> Scenario {
+    write(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, read_period, 0).generate(steps))
+        .zip_union(&master_clock("tick", steps))
+}
+
+#[test]
+fn estimated_size_grows_with_burst_length() {
+    let mut previous = 0usize;
+    for burst in [1usize, 2, 4, 6] {
+        let scenario = env(
+            60,
+            &|steps| BurstyInputs::new("a", ValueType::Int, burst, 12).generate(steps),
+            2,
+        );
+        let report =
+            estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+        assert!(report.converged, "burst {burst} must converge");
+        let size = report.size_of(&"x".into()).unwrap();
+        assert!(
+            size >= previous,
+            "size must be monotone in burst length: burst {burst} got {size} < {previous}"
+        );
+        previous = size;
+    }
+    assert!(previous >= 3, "6-bursts need substantial buffering, got {previous}");
+}
+
+#[test]
+fn estimated_size_grows_with_rate_mismatch() {
+    let mut previous = 0usize;
+    for read_period in [1usize, 2, 4] {
+        // writer every tick for a fixed horizon, reader slower and slower
+        let scenario = env(
+            16,
+            &|steps| PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(steps),
+            read_period,
+        );
+        let report =
+            estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+        assert!(report.converged);
+        let size = report.size_of(&"x".into()).unwrap();
+        assert!(size >= previous, "slower readers need bigger buffers");
+        previous = size;
+    }
+}
+
+#[test]
+fn converged_design_stays_clean_on_its_environment() {
+    // the loop's guarantee, re-checked independently
+    let scenario = env(
+        48,
+        &|steps| RandomInputs::new("a", ValueType::Int, 0.7, 99).generate(steps),
+        2,
+    );
+    let report =
+        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    assert!(report.converged);
+    let size = report.size_of(&"x".into()).unwrap();
+    let d = desynchronize(&pipe(), &DesyncOptions::with_size(size).instrumented()).unwrap();
+    let mut sim = Simulator::for_program(&d.program).unwrap();
+    let run = sim.run(&scenario).unwrap();
+    assert!(run.flow(&"x_alarm".into()).iter().all(|v| *v != Value::TRUE));
+    // and the monitor's registers all read zero, the paper's "design is
+    // correct for those inputs" criterion
+    assert_eq!(run.flow(&"x_maxmiss".into()).last(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn history_alarm_counts_decrease_to_zero() {
+    let scenario = env(
+        36,
+        &|steps| BurstyInputs::new("a", ValueType::Int, 5, 9).generate(steps),
+        2,
+    );
+    let report =
+        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    assert!(report.converged);
+    let alarms: Vec<usize> = report
+        .history
+        .iter()
+        .map(|h| h.alarms[&SigName::from("x")])
+        .collect();
+    assert!(alarms.len() >= 2, "should take multiple rounds: {alarms:?}");
+    assert_eq!(*alarms.last().unwrap(), 0);
+    assert!(alarms[0] > 0);
+    // alarm counts never increase as buffers grow
+    assert!(alarms.windows(2).all(|w| w[1] <= w[0]), "alarms not monotone: {alarms:?}");
+}
+
+#[test]
+fn growth_policies_reach_clean_designs_with_different_costs() {
+    let scenario = env(
+        40,
+        &|steps| BurstyInputs::new("a", ValueType::Int, 6, 10).generate(steps),
+        2,
+    );
+    let by_miss = estimate_buffer_sizes(
+        &pipe(),
+        &scenario,
+        &EstimationOptions { growth: GrowthPolicy::ByMaxMiss, ..Default::default() },
+    )
+    .unwrap();
+    let doubling = estimate_buffer_sizes(
+        &pipe(),
+        &scenario,
+        &EstimationOptions { growth: GrowthPolicy::Doubling, ..Default::default() },
+    )
+    .unwrap();
+    assert!(by_miss.converged && doubling.converged);
+    // doubling converges in at most as many rounds, possibly overshooting
+    assert!(doubling.iterations() <= by_miss.iterations() + 1);
+    let a = by_miss.size_of(&"x".into()).unwrap();
+    let b = doubling.size_of(&"x".into()).unwrap();
+    assert!(a <= b * 2 && b <= a * 4, "policies should land in the same ballpark ({a} vs {b})");
+}
+
+#[test]
+fn two_channel_program_estimates_each_link_independently() {
+    let p = parse_program(
+        "process A { input a: int; output x: int; x := a; } \
+         process B { input x: int; output y: int; y := x; } \
+         process C { input y: int; output z: int; z := y; }",
+    )
+    .unwrap();
+    let steps = 36;
+    // x drained every 2 ticks (light backlog), y every 4 (heavier)
+    let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+        .generate(12)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 0).generate(steps))
+        .zip_union(&PeriodicInputs::new("y_rd", ValueType::Bool, 4, 0).generate(steps))
+        .zip_union(&master_clock("tick", steps));
+    let report = estimate_buffer_sizes(&p, &scenario, &EstimationOptions::default()).unwrap();
+    assert!(report.converged, "history: {:#?}", report.history);
+    let x = report.size_of(&"x".into()).unwrap();
+    let y = report.size_of(&"y".into()).unwrap();
+    assert!(x >= 1 && y >= 1);
+    // both links clean on the final round
+    assert!(report.history.last().unwrap().is_clean());
+}

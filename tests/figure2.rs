@@ -1,0 +1,88 @@
+//! E1 — Figure 2: the one-place buffer's sample behavior.
+//!
+//! Regenerates the paper's trace table for the Example-1 buffer and checks
+//! the semantic content the figure illustrates: FIFO causality between
+//! reads and writes, persistence of `full`, and the independence (and later
+//! forced causality) of the read/write rates.
+
+use polysig::gals::onefifo::{memory_cell_component, one_place_buffer_component};
+use polysig::gals::report::trace_table;
+use polysig::sim::{Scenario, Simulator};
+use polysig::tagged::{denotation, SigName, Value};
+
+fn stimulus() -> Scenario {
+    // write 1 / idle / write 2 / read / write 3 / read — six instants, as in
+    // the shape of the paper's sample behavior
+    Scenario::new()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(1)).tick()
+        .on("tick", Value::TRUE).tick()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(2)).tick()
+        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+        .on("tick", Value::TRUE).on("msgin", Value::Int(3)).tick()
+        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+}
+
+#[test]
+fn figure2_trace_table_regenerates() {
+    let mut sim = Simulator::for_component(&one_place_buffer_component("OneFifo")).unwrap();
+    let run = sim.run(&stimulus()).unwrap();
+    let table = trace_table(
+        &run.behavior,
+        &["msgin".into(), "inw".into(), "full".into(), "rdw".into(), "msgout".into()],
+        6,
+    );
+    // the table renders six instants for each of the five signals
+    assert_eq!(table.lines().count(), 7);
+    // figure content: the buffer holds 1 across the idle instant, rejects 2,
+    // delivers 1, accepts 3, delivers 3
+    assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(1), Value::Int(3)]);
+    assert_eq!(
+        run.flow(&"full".into()),
+        vec![Value::TRUE, Value::TRUE, Value::TRUE, Value::FALSE, Value::TRUE, Value::FALSE]
+    );
+}
+
+#[test]
+fn figure2_boolean_attempt_rows_match_paper_shorthand() {
+    // the paper defines `in = ^msgin default false`, `out = ^msgout default
+    // false`: our inw/rdw rows must equal that denotation
+    let mut sim = Simulator::for_component(&one_place_buffer_component("OneFifo")).unwrap();
+    let run = sim.run(&stimulus()).unwrap();
+    let msgin = run.behavior.trace(&SigName::from("msgin")).unwrap();
+    let tick = run.behavior.trace(&SigName::from("tick")).unwrap();
+    let inw = run.behavior.trace(&SigName::from("inw")).unwrap();
+    // ^msgin default (false at master): true exactly at write instants
+    let clock = denotation::eval_clock(msgin);
+    let falses = denotation::eval_app(&[tick], |_| Some(Value::FALSE)).unwrap();
+    let expected = denotation::eval_default(&clock, &falses);
+    assert_eq!(inw, &expected);
+}
+
+#[test]
+fn memory_cell_vs_buffer_shows_the_refinement() {
+    // Example 1's narrative: the memory cell loses data under overlapping
+    // writes; the refined buffer does not
+    let mut mem = Simulator::for_component(&memory_cell_component("Mem")).unwrap();
+    let mut buf = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+    let mem_out = mem.run(&stimulus()).unwrap().flow(&"msgout".into());
+    let buf_out = buf.run(&stimulus()).unwrap().flow(&"msgout".into());
+    // memory: second write overwrote the first → first read sees 2
+    assert_eq!(mem_out, vec![Value::Int(2), Value::Int(3)]);
+    // buffer: FIFO causality → first read sees 1
+    assert_eq!(buf_out, vec![Value::Int(1), Value::Int(3)]);
+}
+
+#[test]
+fn buffer_read_write_rate_independence_until_full() {
+    // polychrony: reads and writes have independent clocks; the buffer only
+    // constrains them through `full`
+    let mut sim = Simulator::for_component(&one_place_buffer_component("B")).unwrap();
+    // many idle ticks between a write and its read: value survives
+    let mut s = Scenario::new().on("tick", Value::TRUE).on("msgin", Value::Int(9)).tick();
+    for _ in 0..10 {
+        s = s.on("tick", Value::TRUE).tick();
+    }
+    s = s.on("tick", Value::TRUE).on("rd", Value::TRUE).tick();
+    let run = sim.run(&s).unwrap();
+    assert_eq!(run.flow(&"msgout".into()), vec![Value::Int(9)]);
+}

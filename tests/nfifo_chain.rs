@@ -1,0 +1,257 @@
+//! E5 — Section 5.1: the n-FIFO chain versus reference models.
+//!
+//! The paper builds the n-place FIFO as a composition of n one-place
+//! buffers. We validate the Signal-equation chain against two independent
+//! Rust models:
+//!
+//! * an **imperative shift register** with the same ripple discipline —
+//!   must match *exactly* (accepted writes, delivered values, alarms) on
+//!   every workload, including randomized ones;
+//! * an **idealized queue** (no ripple latency) — an upper bound: the chain
+//!   accepts a subsequence of what the ideal queue accepts, and coincides
+//!   with it on alternating workloads. This quantifies the cost of the
+//!   paper's chain construction relative to a flat ring buffer (the
+//!   `fifo_impl` ablation bench measures the same gap).
+
+use polysig::gals::nfifo::nfifo_component;
+use polysig::sim::{Scenario, Simulator};
+use polysig::tagged::{SigName, Value};
+
+/// Exact imperative model of the chain: one stage per place, items ripple
+/// one stage per tick with bubble collapsing, reads deliver the tail
+/// stage's previous value.
+struct ShiftRegister {
+    full: Vec<bool>,
+    data: Vec<i64>,
+    accepted: Vec<i64>,
+    delivered: Vec<i64>,
+    alarms: Vec<bool>,
+}
+
+impl ShiftRegister {
+    fn new(n: usize) -> Self {
+        ShiftRegister {
+            full: vec![false; n],
+            data: vec![0; n],
+            accepted: Vec::new(),
+            delivered: Vec::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, write: Option<i64>, read: bool) {
+        let n = self.full.len();
+        let fp = self.full.clone();
+        let dp = self.data.clone();
+        // movement chain, back to front
+        let mut mv = vec![false; n];
+        mv[n - 1] = read && fp[n - 1];
+        for i in (0..n - 1).rev() {
+            mv[i] = fp[i] && (!fp[i + 1] || mv[i + 1]);
+        }
+        if mv[n - 1] {
+            self.delivered.push(dp[n - 1]);
+        }
+        let put = write.is_some() && (!fp[0] || mv[0]);
+        if let Some(v) = write {
+            if put {
+                self.accepted.push(v);
+                self.alarms.push(false);
+            } else {
+                self.alarms.push(true);
+            }
+        }
+        for i in 0..n {
+            let incoming = if i == 0 { put } else { mv[i - 1] };
+            self.full[i] = (fp[i] && !mv[i]) || incoming;
+            if incoming {
+                self.data[i] = if i == 0 { write.expect("put implies write") } else { dp[i - 1] };
+            }
+        }
+    }
+}
+
+/// Idealized queue: accepts whenever occupancy < capacity, delivers
+/// immediately from the head.
+struct IdealQueue {
+    capacity: usize,
+    queue: std::collections::VecDeque<i64>,
+    accepted: Vec<i64>,
+    delivered: Vec<i64>,
+}
+
+impl IdealQueue {
+    fn new(capacity: usize) -> Self {
+        IdealQueue { capacity, queue: Default::default(), accepted: Vec::new(), delivered: Vec::new() }
+    }
+
+    fn step(&mut self, write: Option<i64>, read: bool) {
+        if read {
+            if let Some(v) = self.queue.pop_front() {
+                self.delivered.push(v);
+            }
+        }
+        if let Some(v) = write {
+            if self.queue.len() < self.capacity {
+                self.queue.push_back(v);
+                self.accepted.push(v);
+            }
+        }
+    }
+}
+
+fn run_chain(n: usize, cmds: &[(Option<i64>, bool)]) -> polysig::sim::Run {
+    let mut scenario = Scenario::new();
+    for &(w, r) in cmds {
+        let mut s = scenario.on("tick", Value::TRUE);
+        if let Some(v) = w {
+            s = s.on("ch_in", Value::Int(v));
+        }
+        if r {
+            s = s.on("ch_rd", Value::TRUE);
+        }
+        scenario = s.tick();
+    }
+    let mut sim = Simulator::for_component(&nfifo_component("ch", n)).unwrap();
+    sim.run(&scenario).unwrap()
+}
+
+fn accepted_of(run: &polysig::sim::Run) -> Vec<Value> {
+    let ok = run.behavior.trace(&SigName::from("ch_ok")).unwrap().clone();
+    run.behavior
+        .trace(&SigName::from("ch_in"))
+        .unwrap()
+        .iter()
+        .filter(|e| ok.value_at(e.tag()) == Some(Value::TRUE))
+        .map(|e| e.value())
+        .collect()
+}
+
+fn ints(v: &[i64]) -> Vec<Value> {
+    v.iter().map(|&i| Value::Int(i)).collect()
+}
+
+/// Chain vs shift-register: exact agreement on accepted/delivered/alarms.
+fn compare_exact(n: usize, cmds: &[(Option<i64>, bool)]) {
+    let mut sr = ShiftRegister::new(n);
+    for &(w, r) in cmds {
+        sr.step(w, r);
+    }
+    let run = run_chain(n, cmds);
+    assert_eq!(accepted_of(&run), ints(&sr.accepted), "depth {n}: accepted diverge");
+    assert_eq!(run.flow(&"ch_out".into()), ints(&sr.delivered), "depth {n}: delivered diverge");
+    let chain_alarms: Vec<bool> = run
+        .flow(&"ch_alarm".into())
+        .iter()
+        .map(|v| *v == Value::TRUE)
+        .collect();
+    assert_eq!(chain_alarms, sr.alarms, "depth {n}: alarm patterns diverge");
+}
+
+#[test]
+fn chain_matches_shift_register_on_spaced_workloads() {
+    for n in 1..=4usize {
+        let cmds: Vec<(Option<i64>, bool)> = (0..24)
+            .map(|i| {
+                let w = if i % 2 == 0 { Some(i as i64 + 1) } else { None };
+                (w, i % 3 == 2)
+            })
+            .collect();
+        compare_exact(n, &cmds);
+    }
+}
+
+#[test]
+fn chain_matches_shift_register_on_dense_workloads() {
+    for n in 1..=4usize {
+        // write and read on every tick: maximum ripple pressure
+        let cmds: Vec<(Option<i64>, bool)> =
+            (0..20).map(|i| (Some(i as i64), true)).collect();
+        compare_exact(n, &cmds);
+    }
+}
+
+#[test]
+fn chain_matches_shift_register_on_randomized_workloads() {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for n in 1..=3usize {
+        for _ in 0..8 {
+            let cmds: Vec<(Option<i64>, bool)> = (0..40)
+                .map(|i| {
+                    let r = next();
+                    let w = if r % 3 == 0 { Some(i as i64 + 100) } else { None };
+                    (w, r % 5 < 2)
+                })
+                .collect();
+            compare_exact(n, &cmds);
+        }
+    }
+}
+
+#[test]
+fn chain_accepts_a_subsequence_of_the_ideal_queue() {
+    // the ripple discipline is conservative: everything the chain accepts,
+    // the ideal queue accepts too, in the same order
+    for n in 2..=4usize {
+        let cmds: Vec<(Option<i64>, bool)> = (0..30)
+            .map(|i| {
+                let w = if i % 2 == 0 { Some(i as i64 + 1) } else { None };
+                (w, i % 3 == 2)
+            })
+            .collect();
+        let mut ideal = IdealQueue::new(n);
+        for &(w, r) in &cmds {
+            ideal.step(w, r);
+        }
+        let run = run_chain(n, &cmds);
+        let chain_accepted = accepted_of(&run);
+        let ideal_accepted = ints(&ideal.accepted);
+        let mut it = ideal_accepted.iter();
+        for v in &chain_accepted {
+            assert!(it.any(|u| u == v), "chain accepted {v} that the ideal queue refused");
+        }
+        assert!(chain_accepted.len() <= ideal_accepted.len());
+    }
+}
+
+#[test]
+fn chain_equals_ideal_queue_under_alternation() {
+    // with alternating write/read the ripple never bites: the two models
+    // coincide (and n = 1 always coincides)
+    for n in 1..=4usize {
+        let cmds: Vec<(Option<i64>, bool)> = (0..20)
+            .map(|i| if i % 2 == 0 { (Some(i as i64), false) } else { (None, true) })
+            .collect();
+        let mut cmds = cmds;
+        // drain fully
+        for _ in 0..n + 2 {
+            cmds.push((None, true));
+        }
+        let mut ideal = IdealQueue::new(n);
+        for &(w, r) in &cmds {
+            ideal.step(w, r);
+        }
+        let run = run_chain(n, &cmds);
+        assert_eq!(run.flow(&"ch_out".into()), ints(&ideal.delivered), "depth {n}");
+    }
+}
+
+#[test]
+fn deep_chain_latency_is_depth_ticks() {
+    for n in 1..=5usize {
+        let mut cmds = vec![(Some(42i64), false)];
+        for _ in 0..n + 1 {
+            cmds.push((None, true));
+        }
+        let run = run_chain(n, &cmds);
+        let presence = run.presence(&"ch_out".into());
+        assert_eq!(presence.len(), 1);
+        assert_eq!(presence[0], n, "depth {n}: item must surface at tick {n}");
+    }
+}

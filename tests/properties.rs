@@ -1,0 +1,237 @@
+//! Property-based tests over the core invariants, with `proptest`.
+//!
+//! Each property is a law the paper's formal development relies on:
+//! equivalence-relation laws for stretching and relaxation, congruence of
+//! projection/renaming, the denotational identities of Table 1, FIFO-spec
+//! monotonicity, and operational/denotational agreement of the simulator.
+
+use proptest::prelude::*;
+
+use polysig::lang::{parse_program, Program};
+use polysig::sim::{Scenario, Simulator};
+use polysig::tagged::{
+    denotation, flow_equivalent, is_nfifo_behavior, is_stretching_of, lemma2_bound_holds,
+    stretch_canonical, stretch_equivalent, Behavior, SigName, SignalTrace, Tag, Value,
+};
+
+/// Strategy: a behavior over up to three signals, up to eight instants,
+/// small integer values.
+fn arb_behavior() -> impl Strategy<Value = Behavior> {
+    // per instant: for each of three signals, an option of a small value
+    proptest::collection::vec(
+        (
+            proptest::option::of(-3i64..4),
+            proptest::option::of(-3i64..4),
+            proptest::option::of(proptest::bool::ANY),
+        ),
+        0..8,
+    )
+    .prop_map(|rows| {
+        let mut b = Behavior::new();
+        b.declare("x");
+        b.declare("y");
+        b.declare("c");
+        for (i, (x, y, c)) in rows.into_iter().enumerate() {
+            let tag = Tag::new(i as u64 + 1);
+            if let Some(v) = x {
+                b.push_event("x", tag, Value::Int(v));
+            }
+            if let Some(v) = y {
+                b.push_event("y", tag, Value::Int(v));
+            }
+            if let Some(v) = c {
+                b.push_event("c", tag, Value::Bool(v));
+            }
+        }
+        b
+    })
+}
+
+/// Strategy: a strictly increasing stretching of the tags `1..=k`.
+fn arb_stretch(k: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..4, k).prop_map(|gaps| {
+        let mut tags = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for g in gaps {
+            t += g;
+            tags.push(t);
+        }
+        tags
+    })
+}
+
+/// Applies a tag substitution (old instants `1..=k` → given tags).
+fn stretched(b: &Behavior, tags: &[u64]) -> Behavior {
+    let mut out = Behavior::new();
+    for v in b.vars() {
+        out.declare(v.clone());
+    }
+    for (name, trace) in b.iter() {
+        for e in trace.iter() {
+            let idx = (e.tag().as_u64() - 1) as usize;
+            out.push_event(name.clone(), Tag::new(tags[idx]), e.value());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalization is idempotent and canonical forms are stretchings'
+    /// least elements.
+    #[test]
+    fn canonical_idempotent(b in arb_behavior()) {
+        let c = stretch_canonical(&b);
+        prop_assert_eq!(stretch_canonical(&c), c.clone());
+        prop_assert!(is_stretching_of(&c, &b));
+    }
+
+    /// Any monotone re-timing of instants is stretch-equivalent to the
+    /// original, and flows are invariant under it.
+    #[test]
+    fn stretching_preserves_equivalence(b in arb_behavior(), gaps in arb_stretch(8)) {
+        let s = stretched(&b, &gaps);
+        prop_assert!(stretch_equivalent(&b, &s));
+        prop_assert!(flow_equivalent(&b, &s));
+    }
+
+    /// Stretch equivalence refines flow equivalence.
+    #[test]
+    fn stretch_implies_flow(a in arb_behavior(), b in arb_behavior()) {
+        if stretch_equivalent(&a, &b) {
+            prop_assert!(flow_equivalent(&a, &b));
+        }
+    }
+
+    /// Projection commutes with canonicalization up to stretching.
+    #[test]
+    fn projection_respects_equivalence(b in arb_behavior(), gaps in arb_stretch(8)) {
+        let s = stretched(&b, &gaps);
+        let x: SigName = "x".into();
+        prop_assert!(stretch_equivalent(
+            &b.restrict_to([x.clone()]),
+            &s.restrict_to([x.clone()]),
+        ));
+    }
+
+    /// Table 1 identities: `when true` is identity on the sampled signal's
+    /// tags; `default` with an empty branch is identity; `pre` then shift
+    /// recovers the original values.
+    #[test]
+    fn table1_identities(b in arb_behavior()) {
+        let x = b.trace(&"x".into()).unwrap().clone();
+        // when over its own clock: x when ^x = x
+        let clock = denotation::eval_clock(&x);
+        prop_assert_eq!(denotation::eval_when(&x, &clock), x.clone());
+        // default with empty
+        let empty = SignalTrace::new();
+        prop_assert_eq!(denotation::eval_default(&x, &empty), x.clone());
+        prop_assert_eq!(denotation::eval_default(&empty, &x), x.clone());
+        // pre shifts: values(pre v x) = v :: values(x) without the last
+        let pre = denotation::eval_pre(Value::Int(-9), &x);
+        let mut expected = vec![Value::Int(-9)];
+        expected.extend(x.values());
+        expected.pop();
+        if x.is_empty() {
+            prop_assert!(pre.is_empty());
+        } else {
+            prop_assert_eq!(pre.values(), expected);
+        }
+    }
+
+    /// Definition 9 is monotone in `n`, and Lemma 2's bound is anti-monotone
+    /// in lag.
+    #[test]
+    fn nfifo_monotone_in_n(b in arb_behavior()) {
+        // reinterpret x as writes and y as reads of matching prefixes: build
+        // a fifo-shaped behavior from x's values
+        let values = b.trace(&"x".into()).unwrap().values();
+        let mut fifo = Behavior::new();
+        fifo.declare("w");
+        fifo.declare("r");
+        let mut t = 1u64;
+        for v in &values {
+            fifo.push_event("w", Tag::new(t), *v);
+            t += 1;
+        }
+        for v in &values {
+            fifo.push_event("r", Tag::new(t), *v);
+            t += 1;
+        }
+        let w: SigName = "w".into();
+        let r: SigName = "r".into();
+        for n in 1..=4usize {
+            if is_nfifo_behavior(&fifo, &w, &r, n) {
+                prop_assert!(is_nfifo_behavior(&fifo, &w, &r, n + 1));
+            }
+            let wt = fifo.trace(&w).unwrap();
+            let rt = fifo.trace(&r).unwrap();
+            if lemma2_bound_holds(wt, rt, n) {
+                prop_assert!(lemma2_bound_holds(wt, rt, n + 1));
+            }
+        }
+    }
+}
+
+/// The simulator agrees with the Table-1 denotations on randomized
+/// scenarios for a program exercising all four primitives.
+fn primitive_program() -> Program {
+    parse_program(
+        "process Prim { input a: int, c: bool; \
+         output w: int, d: int, p: int, f: int; \
+         w := a when c; \
+         d := a default (0 when c); \
+         p := pre 7 a; \
+         f := a + a; }",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_matches_denotations(
+        rows in proptest::collection::vec(
+            (proptest::option::of(-3i64..4), proptest::option::of(proptest::bool::ANY)),
+            1..12,
+        )
+    ) {
+        let mut scenario = Scenario::new();
+        for (a, c) in &rows {
+            let mut s = scenario;
+            if let Some(v) = a {
+                s = s.on("a", Value::Int(*v));
+            }
+            if let Some(v) = c {
+                s = s.on("c", Value::Bool(*v));
+            }
+            scenario = s.tick();
+        }
+        let mut sim = Simulator::for_program(&primitive_program()).unwrap();
+        let run = sim.run(&scenario).unwrap();
+        let beh = &run.behavior;
+        let a = beh.trace(&"a".into()).unwrap();
+        let c = beh.trace(&"c".into()).unwrap();
+        prop_assert!(denotation::satisfies_when(beh.trace(&"w".into()).unwrap(), a, c));
+        // `0 when c` = the constant 0 sampled at c-true instants
+        let const_at_c = denotation::eval_app(&[c], |_| Some(Value::Int(0))).unwrap();
+        let zeros = denotation::eval_when(&const_at_c, c);
+        prop_assert!(denotation::satisfies_default(beh.trace(&"d".into()).unwrap(), a, &zeros));
+        prop_assert!(denotation::satisfies_pre(beh.trace(&"p".into()).unwrap(), Value::Int(7), a));
+        let doubled = denotation::satisfies_app(beh.trace(&"f".into()).unwrap(), &[a, a], |vs| {
+            Some(Value::Int(vs[0].as_int()? + vs[1].as_int()?))
+        });
+        prop_assert!(doubled);
+    }
+
+    /// Pretty-print / parse round-trip on generated buffer-like programs.
+    #[test]
+    fn pretty_parse_round_trip(n in 1usize..5) {
+        let component = polysig::gals::nfifo::nfifo_component("ch", n);
+        let printed = polysig::lang::pretty_program(&Program::single(component.clone()));
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(reparsed.components[0].clone(), component);
+    }
+}

@@ -1,0 +1,188 @@
+//! E2 — Theorem 1: desynchronizing with an unbounded FIFO is exact.
+//!
+//! The theorem:
+//!
+//! ```text
+//! (P ∥→,a Q)\{x}  =  ((P[x_P/x] ∥→,a Q[x_Q/x]) ∥s AFifo_{x_P→x_Q}) \{x_P, x_Q}
+//! ```
+//!
+//! Both sides are computed *independently* on finite processes: the left by
+//! the causal-asynchronous composition generator, the right by synchronous
+//! composition with an explicitly enumerated `AFifo` slice (Definition 8) —
+//! note `∥→,a` degenerates to `∥s` on the renamed, variable-disjoint
+//! components by Corollaries 1 and 2. The resulting canonical behavior sets
+//! must be equal, exactly, for every test model.
+
+use std::collections::BTreeMap;
+
+use polysig::tagged::{
+    causal_async_compose, fifo_spec::afifo_process_for_flow, sync_compose, Behavior, CausalOrder,
+    Process, SigName, Value,
+};
+
+/// Builds a behavior from `(signal, tag, value)` triples.
+fn beh(evts: &[(&str, u64, i64)]) -> Behavior {
+    let mut out = Behavior::new();
+    for &(name, tag, v) in evts {
+        out.push_event(name, tag, Value::Int(v));
+    }
+    out
+}
+
+fn proc_of(vars: &[&str], behaviors: &[&[(&str, u64, i64)]]) -> Process {
+    let mut p = Process::over(vars.iter().map(|v| SigName::from(*v)));
+    for b in behaviors {
+        p.insert(beh(b)).unwrap();
+    }
+    p
+}
+
+/// Left-hand side: `(P ∥→,a Q)\{x}`.
+fn lhs(p: &Process, q: &Process, x: &SigName) -> Process {
+    let mut orders = BTreeMap::new();
+    orders.insert(x.clone(), CausalOrder::LeftProduces);
+    causal_async_compose(p, q, &orders).hide([x.clone()])
+}
+
+/// Right-hand side: `((P[x_P/x] ∥s Q[x_Q/x]) ∥s AFifo_{x_P→x_Q})\{x_P, x_Q}`.
+fn rhs(p: &Process, q: &Process, x: &SigName) -> Process {
+    let xp = x.suffixed("_p");
+    let xq = x.suffixed("_q");
+    let p2 = p.rename(x, &xp).unwrap();
+    let q2 = q.rename(x, &xq).unwrap();
+    // variable-disjoint: ∥→,a = ∥a = ∥s (Corollaries 1 and 2)
+    let pq = sync_compose(&p2, &q2);
+    // the AFifo slice for every producer flow present in P
+    let mut afifo = Process::over([xp.clone(), xq.clone()]);
+    for b in p.iter() {
+        let flow = b.trace(x).map(|t| t.values()).unwrap_or_default();
+        for fb in afifo_process_for_flow(&xp, &xq, &flow, false).iter() {
+            afifo.insert(fb.clone()).unwrap();
+        }
+    }
+    sync_compose(&pq, &afifo).hide([xp, xq])
+}
+
+/// The core assertion of the experiment.
+fn assert_theorem1(p: &Process, q: &Process, label: &str) {
+    let x = SigName::from("x");
+    let l = lhs(p, q, &x);
+    let r = rhs(p, q, &x);
+    assert!(
+        l.equivalent(&r),
+        "Theorem 1 violated on model `{label}`:\nLHS ({} behaviors):\n{l}\nRHS ({} behaviors):\n{r}",
+        l.len(),
+        r.len(),
+    );
+    assert!(!l.is_empty(), "model `{label}` must not be vacuous");
+}
+
+#[test]
+fn single_message_with_private_context() {
+    // P writes x once synchronously with private a; Q reads x then emits b
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 5), ("a", 1, 0)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 1, 5), ("b", 2, 0)]]);
+    assert_theorem1(&p, &q, "single message");
+}
+
+#[test]
+fn two_messages_pipelined() {
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 1), ("x", 2, 2), ("a", 3, 0)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 1, 1), ("b", 2, 0), ("x", 3, 2)]]);
+    assert_theorem1(&p, &q, "two messages");
+}
+
+#[test]
+fn in_flight_messages_at_prefix_end() {
+    // producer wrote twice, consumer read only once: the second message is
+    // still in the channel at the end of the finite prefix
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 1), ("x", 2, 2), ("a", 2, 0)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 1, 1), ("b", 1, 7)]]);
+    assert_theorem1(&p, &q, "in-flight");
+}
+
+#[test]
+fn multiple_behaviors_per_process() {
+    let p = proc_of(
+        &["x", "a"],
+        &[
+            &[("x", 1, 1), ("a", 2, 0)],
+            &[("a", 1, 0), ("x", 2, 2)],
+        ],
+    );
+    let q = proc_of(
+        &["x", "b"],
+        &[
+            &[("x", 1, 1), ("b", 1, 0)],
+            &[("x", 1, 2), ("b", 2, 0)],
+        ],
+    );
+    assert_theorem1(&p, &q, "multiple behaviors");
+}
+
+#[test]
+fn producer_only_silence_on_consumer() {
+    // the consumer never reads: only in-flight placements survive
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 3), ("a", 2, 0)]]);
+    let mut q = Process::over(["x".into(), "b".into()]);
+    q.insert(beh(&[("b", 1, 0)])).unwrap();
+    assert_theorem1(&p, &q, "consumer silent");
+}
+
+#[test]
+fn value_mismatch_empties_both_sides() {
+    // consumer expects a different value: no composite behavior exists —
+    // on either side
+    let p = proc_of(&["x"], &[&[("x", 1, 1)]]);
+    let q = proc_of(&["x"], &[&[("x", 1, 2)]]);
+    let x = SigName::from("x");
+    assert!(lhs(&p, &q, &x).is_empty());
+    assert!(rhs(&p, &q, &x).is_empty());
+}
+
+#[test]
+fn causality_is_what_makes_the_theorem_tick() {
+    // Sanity check that the equality is not vacuous: a "prophetic" channel
+    // (reads may precede writes) yields a strictly larger right-hand side.
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 5), ("a", 1, 0)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 1, 5), ("b", 1, 0)]]);
+    let x = SigName::from("x");
+    let xp = x.suffixed("_p");
+    let xq = x.suffixed("_q");
+    let p2 = p.rename(&x, &xp).unwrap();
+    let q2 = q.rename(&x, &xq).unwrap();
+    let pq = sync_compose(&p2, &q2);
+    // prophetic channel: read strictly before the write
+    let mut bad_fifo = Process::over([xp.clone(), xq.clone()]);
+    let mut prophecy = Behavior::new();
+    prophecy.push_event(xq.clone(), 1, Value::Int(5));
+    prophecy.push_event(xp.clone(), 2, Value::Int(5));
+    bad_fifo.insert(prophecy).unwrap();
+    let bad_rhs = sync_compose(&pq, &bad_fifo).hide([xp, xq]);
+    let good_lhs = lhs(&p, &q, &x);
+    // the prophetic composite contains b-before-a orderings the causal
+    // composition forbids
+    assert!(!bad_rhs.subset_of(&good_lhs) || !good_lhs.subset_of(&bad_rhs));
+    for d in bad_rhs.iter() {
+        // consumer's b fires at the read instant, producer's a at the write
+        let b_tag = d.trace(&"b".into()).unwrap().get(0).unwrap().tag();
+        let a_tag = d.trace(&"a".into()).unwrap().get(0).unwrap().tag();
+        assert!(b_tag < a_tag, "prophetic channel lets the read overtake the write");
+    }
+}
+
+#[test]
+fn desynchronization_chain_iterates_over_channels() {
+    // the paper iterates Theorem 1 over every shared variable; check two
+    // channels x (P→Q) and the theorem applied to each in sequence gives a
+    // consistent, non-empty result
+    let p = proc_of(&["x", "y"], &[&[("x", 1, 1), ("y", 2, 9)]]);
+    let q = proc_of(&["x", "y"], &[&[("x", 1, 1), ("y", 2, 9)]]);
+    let mut orders = BTreeMap::new();
+    orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+    orders.insert(SigName::from("y"), CausalOrder::LeftProduces);
+    let both = causal_async_compose(&p, &q, &orders)
+        .hide([SigName::from("x"), SigName::from("y")]);
+    // all variables hidden: the silent behavior remains
+    assert_eq!(both.len(), 1);
+}

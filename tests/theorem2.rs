@@ -1,0 +1,171 @@
+//! E3 — Lemma 2 / Theorem 2: when do *bounded* FIFOs suffice?
+//!
+//! Lemma 2: replacing the shared variable with an `nFifo` is exact iff
+//! (1) the dependency is causally ordered and (2) the consumer's `i`-th
+//! read never lags the producer's `(i+n)`-th write. We validate both
+//! directions: the bounded right-hand side equals the full causal
+//! composition restricted to behaviors meeting the rate bound, and the
+//! executable [`lemma2_bound_holds`] predicate discriminates exactly the
+//! behaviors the bounded network can produce.
+
+use std::collections::BTreeMap;
+
+use polysig::tagged::{
+    causal_async_compose, fifo_spec::afifo_process_for_flow, is_nfifo_behavior,
+    lemma2_bound_holds, sync_compose, Behavior, CausalOrder, Process, SigName, Value,
+};
+
+fn beh(evts: &[(&str, u64, i64)]) -> Behavior {
+    let mut out = Behavior::new();
+    for &(name, tag, v) in evts {
+        out.push_event(name, tag, Value::Int(v));
+    }
+    out
+}
+
+fn proc_of(vars: &[&str], behaviors: &[&[(&str, u64, i64)]]) -> Process {
+    let mut p = Process::over(vars.iter().map(|v| SigName::from(*v)));
+    for b in behaviors {
+        p.insert(beh(b)).unwrap();
+    }
+    p
+}
+
+/// `(P ∥→,a Q)\{x}` — the unbounded reference (Theorem 1's left side).
+fn reference(p: &Process, q: &Process) -> Process {
+    let x = SigName::from("x");
+    let mut orders = BTreeMap::new();
+    orders.insert(x.clone(), CausalOrder::LeftProduces);
+    causal_async_compose(p, q, &orders).hide([x])
+}
+
+/// `(P' ∥s Q' ∥s nFifo)\{x_P, x_Q}` — the bounded network.
+fn bounded(p: &Process, q: &Process, n: usize) -> Process {
+    let x = SigName::from("x");
+    let xp = x.suffixed("_p");
+    let xq = x.suffixed("_q");
+    let p2 = p.rename(&x, &xp).unwrap();
+    let q2 = q.rename(&x, &xq).unwrap();
+    let pq = sync_compose(&p2, &q2);
+    // nFifo slice: the AFifo slice filtered by the Definition-9 bound
+    let mut nfifo = Process::over([xp.clone(), xq.clone()]);
+    for b in p.iter() {
+        let flow = b.trace(&x).map(|t| t.values()).unwrap_or_default();
+        for fb in afifo_process_for_flow(&xp, &xq, &flow, false).iter() {
+            if is_nfifo_behavior(fb, &xp, &xq, n) {
+                nfifo.insert(fb.clone()).unwrap();
+            }
+        }
+    }
+    sync_compose(&pq, &nfifo).hide([xp, xq])
+}
+
+#[test]
+fn bounded_network_is_a_restriction_of_the_reference() {
+    // three writes/reads, each synchronous with a private event so the
+    // schedule stays observable after hiding the channel ends
+    let p = proc_of(
+        &["x", "a"],
+        &[&[("x", 1, 1), ("a", 1, 1), ("x", 2, 2), ("a", 2, 2), ("x", 3, 3), ("a", 3, 3)]],
+    );
+    let q = proc_of(
+        &["x", "b"],
+        &[&[("x", 1, 1), ("b", 1, 1), ("x", 2, 2), ("b", 2, 2), ("x", 3, 3), ("b", 3, 3)]],
+    );
+    let full = reference(&p, &q);
+    for n in 1..=3 {
+        let bn = bounded(&p, &q, n);
+        assert!(bn.subset_of(&full), "nFifo behaviors must be causal behaviors (n={n})");
+        assert!(!bn.is_empty(), "n={n} must admit the lock-step schedule");
+    }
+    // monotone in n, reaching the reference at n = #messages
+    let b1 = bounded(&p, &q, 1);
+    let b2 = bounded(&p, &q, 2);
+    let b3 = bounded(&p, &q, 3);
+    assert!(b1.subset_of(&b2) && b2.subset_of(&b3));
+    assert!(b1.len() < b3.len(), "larger buffers admit strictly more schedules");
+    assert!(b3.equivalent(&full), "n = message count recovers the unbounded channel");
+}
+
+#[test]
+fn lemma2_bound_characterizes_the_bounded_behaviors() {
+    // For every behavior of the *unbounded* channel slice, membership in
+    // the n-bounded slice coincides with the Lemma-2 predicate.
+    let xp = SigName::from("w");
+    let xq = SigName::from("r");
+    let flow = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+    let afifo = afifo_process_for_flow(&xp, &xq, &flow, false);
+    assert!(afifo.len() > 10, "slice should be rich");
+    for b in afifo.iter() {
+        let w = b.trace(&xp).unwrap();
+        let r = b.trace(&xq).unwrap();
+        for n in 1..=3 {
+            assert_eq!(
+                is_nfifo_behavior(b, &xp, &xq, n),
+                lemma2_bound_holds(w, r, n),
+                "Definition 9 and Lemma 2 must agree (n={n}) on:\n{b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lock_step_rates_need_only_one_place() {
+    // write/read strictly alternating: Lemma 2 with n = 1 holds, so the
+    // 1-bounded network already equals every achievable schedule under
+    // that alternation
+    let p = proc_of(&["x"], &[&[("x", 1, 1), ("x", 3, 2)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 2, 1), ("x", 4, 2), ("b", 4, 0)]]);
+    let b1 = bounded(&p, &q, 1);
+    assert!(!b1.is_empty());
+    // a burst consumer (reads only at the very end) is NOT representable
+    // with n = 1 when two writes pile up first: check via the predicate
+    let burst = beh(&[("w", 1, 1), ("w", 2, 2), ("r", 3, 1), ("r", 4, 2)]);
+    let w = burst.trace(&"w".into()).unwrap();
+    let r = burst.trace(&"r".into()).unwrap();
+    assert!(!lemma2_bound_holds(w, r, 1));
+    assert!(lemma2_bound_holds(w, r, 2));
+}
+
+#[test]
+fn crossover_point_tracks_burst_length() {
+    // E3's headline series: minimal sufficient n equals the worst-case
+    // backlog of the write/read pattern
+    for burst in 1..=4usize {
+        // `burst` writes, then `burst` reads
+        let mut b = Behavior::new();
+        let mut t = 1u64;
+        for i in 0..burst {
+            b.push_event("w", t, Value::Int(i as i64));
+            t += 1;
+        }
+        for i in 0..burst {
+            b.push_event("r", t, Value::Int(i as i64));
+            t += 1;
+        }
+        let w = b.trace(&"w".into()).unwrap();
+        let r = b.trace(&"r".into()).unwrap();
+        let minimal = (1..=burst)
+            .find(|&n| lemma2_bound_holds(w, r, n))
+            .expect("burst-sized buffer always suffices");
+        assert_eq!(minimal, burst, "backlog of a {burst}-burst is {burst}");
+    }
+}
+
+#[test]
+fn theorem2_bidirectional_channels() {
+    // Theorem 2 generalizes to channels in both directions (I and O): the
+    // causal composition with two opposite dependencies stays consistent
+    let p = proc_of(&["x", "y"], &[&[("x", 1, 1), ("y", 2, 9)]]);
+    let q = proc_of(&["x", "y"], &[&[("x", 1, 1), ("y", 2, 9)]]);
+    let mut orders = BTreeMap::new();
+    orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
+    orders.insert(SigName::from("y"), CausalOrder::RightProduces);
+    let both = causal_async_compose(&p, &q, &orders);
+    assert!(!both.is_empty());
+    for d in both.iter() {
+        // flows preserved on both channels
+        assert_eq!(d.trace(&"x".into()).unwrap().values(), vec![Value::Int(1)]);
+        assert_eq!(d.trace(&"y".into()).unwrap().values(), vec![Value::Int(9)]);
+    }
+}
