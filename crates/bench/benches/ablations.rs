@@ -98,8 +98,7 @@ fn bench_fifo_impl(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("native_ring", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let mut ch =
-                    RuntimeChannel::new("ch".into(), Some(depth), ChannelPolicy::Lossy);
+                let mut ch = RuntimeChannel::new("ch".into(), Some(depth), ChannelPolicy::Lossy);
                 let mut delivered = 0usize;
                 for i in 0..steps {
                     if i % 2 == 0 {

@@ -44,9 +44,7 @@ fn bench(c: &mut Criterion) {
         let delivered = run.flow("Q", &"x".into()).len();
         eprintln!(
             "{policy:>10} | {produced:>8} | {delivered:>9} | {:>6} | {:>6} | {:>13}",
-            stats.drops,
-            run.masked["P"],
-            stats.max_occupancy,
+            stats.drops, run.masked["P"], stats.max_occupancy,
         );
     }
 

@@ -15,12 +15,23 @@ use polysig_tagged::Value;
 
 fn figure2_stimulus() -> Scenario {
     Scenario::new()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(1)).tick()
-        .on("tick", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(2)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(3)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(1))
+        .tick()
+        .on("tick", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(2))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(3))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick()
 }
 
 fn long_workload(steps: usize) -> Scenario {
@@ -46,7 +57,14 @@ fn bench(c: &mut Criterion) {
         "{}",
         trace_table(
             &run.behavior,
-            &["msgin".into(), "inw".into(), "full".into(), "rdw".into(), "msgout".into(), "alarm".into()],
+            &[
+                "msgin".into(),
+                "inw".into(),
+                "full".into(),
+                "rdw".into(),
+                "msgout".into(),
+                "alarm".into()
+            ],
             6,
         )
     );

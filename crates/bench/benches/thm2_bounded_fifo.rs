@@ -80,9 +80,8 @@ fn bench(c: &mut Criterion) {
         let w = b.trace(&SigName::from("w")).unwrap().clone();
         let r = b.trace(&SigName::from("r")).unwrap().clone();
         group.bench_with_input(BenchmarkId::new("lemma2_predicate", burst), &burst, |bench, _| {
-            bench.iter(|| {
-                std::hint::black_box((1..=burst).find(|&n| lemma2_bound_holds(&w, &r, n)))
-            })
+            bench
+                .iter(|| std::hint::black_box((1..=burst).find(|&n| lemma2_bound_holds(&w, &r, n))))
         });
     }
     // bounded slice construction: filter the AFifo slice by Definition 9
@@ -93,10 +92,7 @@ fn bench(c: &mut Criterion) {
             let xq = SigName::from("r");
             bench.iter(|| {
                 let slice = afifo_process_for_flow(&xp, &xq, &flow, false);
-                let bounded = slice
-                    .iter()
-                    .filter(|b| is_nfifo_behavior(b, &xp, &xq, 2))
-                    .count();
+                let bounded = slice.iter().filter(|b| is_nfifo_behavior(b, &xp, &xq, 2)).count();
                 std::hint::black_box(bounded)
             })
         });

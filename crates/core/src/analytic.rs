@@ -186,8 +186,7 @@ mod tests {
             .generate(steps)
             .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, rp, 0).generate(steps))
             .zip_union(&master_clock("tick", steps));
-        let report =
-            estimate_buffer_sizes(&p, &scenario, &EstimationOptions::default()).unwrap();
+        let report = estimate_buffer_sizes(&p, &scenario, &EstimationOptions::default()).unwrap();
         assert!(report.converged);
         let estimated = report.size_of(&"x".into()).unwrap();
         let analytic = bursty_bound(burst, period, PeriodicRate { period: rp, phase: 0 }, steps);

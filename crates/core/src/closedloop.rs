@@ -124,15 +124,13 @@ pub fn run_masked(d: &Desynchronized, scenario: &Scenario) -> Result<MaskedRun, 
         // update fullness (conjunction over the producer's channels would
         // under-mask; any-full is the safe disjunction) and count alarms
         for producer in producers.values_mut() {
-            producer.full_prev = producer.full_signals.iter().any(|fs| {
-                present.iter().any(|(n, v)| n == fs && *v == Value::TRUE)
-            });
+            producer.full_prev = producer
+                .full_signals
+                .iter()
+                .any(|fs| present.iter().any(|(n, v)| n == fs && *v == Value::TRUE));
         }
         for ch in &d.channels {
-            if present
-                .iter()
-                .any(|(n, v)| n == &ch.alarm_signal && *v == Value::TRUE)
-            {
+            if present.iter().any(|(n, v)| n == &ch.alarm_signal && *v == Value::TRUE) {
                 alarms += 1;
             }
         }
@@ -190,11 +188,7 @@ mod tests {
         let run = run_masked(&d, &overload_env(steps)).unwrap();
         // everything eventually delivered in order: the consumer's received
         // flow is a prefix of the natural numbers sequence 1..
-        let received: Vec<Value> = run
-            .behavior
-            .trace(&SigName::from("x_out"))
-            .unwrap()
-            .values();
+        let received: Vec<Value> = run.behavior.trace(&SigName::from("x_out")).unwrap().values();
         assert!(!received.is_empty());
         for (i, v) in received.iter().enumerate() {
             assert_eq!(*v, Value::Int(i as i64 + 1), "reordered/lost at {i}");
@@ -226,11 +220,7 @@ mod tests {
         let d = fifo_only();
         let mut sim = Simulator::for_program(&d.program).unwrap();
         let run = sim.run(&overload_env(60)).unwrap();
-        let alarms = run
-            .flow(&"x_alarm".into())
-            .iter()
-            .filter(|v| **v == Value::TRUE)
-            .count();
+        let alarms = run.flow(&"x_alarm".into()).iter().filter(|v| **v == Value::TRUE).count();
         assert!(alarms > 0, "without masking the overload must overflow");
     }
 }

@@ -181,11 +181,8 @@ pub fn desynchronize(
     }
 
     let mut out = Program::new(format!("{}_gals", program.name));
-    let mut components: BTreeMap<String, polysig_lang::Component> = program
-        .components
-        .iter()
-        .map(|c| (c.name.clone(), c.clone()))
-        .collect();
+    let mut components: BTreeMap<String, polysig_lang::Component> =
+        program.components.iter().map(|c| (c.name.clone(), c.clone())).collect();
     let mut channels = Vec::new();
 
     for spec in specs {
@@ -212,9 +209,7 @@ pub fn desynchronize(
             ok_signal: SigName::from(format!("{base}_ok")),
             count_signal: SigName::from(format!("{base}_count")),
             full_signal: SigName::from(format!("{base}_full")),
-            maxmiss_signal: options
-                .instrument
-                .then(|| SigName::from(format!("{base}_maxmiss"))),
+            maxmiss_signal: options.instrument.then(|| SigName::from(format!("{base}_maxmiss"))),
             spec,
             size: n,
             in_signal,
@@ -280,9 +275,9 @@ mod tests {
     fn read_requests_become_external_inputs() {
         let d = desynchronize(&sample(), &DesyncOptions::default()).unwrap();
         let inputs = d.program.external_inputs();
-        assert!(inputs.contains(&"x_rd".into()));
-        assert!(inputs.contains(&"a".into()));
-        assert!(inputs.contains(&"tick".into()));
+        assert!(inputs.contains("x_rd"));
+        assert!(inputs.contains("a"));
+        assert!(inputs.contains("tick"));
     }
 
     #[test]
@@ -290,10 +285,7 @@ mod tests {
         let d = desynchronize(&sample(), &DesyncOptions::with_size(1).instrumented()).unwrap();
         assert_eq!(d.program.components.len(), 4);
         assert!(d.program.component("Monitor_x").is_some());
-        assert_eq!(
-            d.channels[0].maxmiss_signal.as_ref().map(|s| s.as_str()),
-            Some("x_maxmiss")
-        );
+        assert_eq!(d.channels[0].maxmiss_signal.as_ref().map(|s| s.as_str()), Some("x_maxmiss"));
         assert!(polysig_lang::resolve::resolve_program(&d.program).is_ok());
     }
 
@@ -308,8 +300,8 @@ mod tests {
 
     #[test]
     fn unknown_channel_in_options_rejected() {
-        let err = desynchronize(&sample(), &DesyncOptions::default().size_of("ghost", 2))
-            .unwrap_err();
+        let err =
+            desynchronize(&sample(), &DesyncOptions::default().size_of("ghost", 2)).unwrap_err();
         assert!(matches!(err, GalsError::UnknownChannel { .. }));
     }
 

@@ -105,10 +105,7 @@ mod tests {
                 consumers: vec!["B".into(), "C".into()],
             },
             GalsError::UnknownChannel { signal: "x".into() },
-            GalsError::EstimationDiverged {
-                iterations: 10,
-                sizes: vec![("x".into(), 64)],
-            },
+            GalsError::EstimationDiverged { iterations: 10, sizes: vec![("x".into(), 64)] },
             GalsError::UnknownSignal { signal: "x".into() },
         ];
         for e in errs {

@@ -190,11 +190,7 @@ fn measure(
     let mut alarms = BTreeMap::new();
     let mut max_miss = BTreeMap::new();
     for ch in &d.channels {
-        let alarm_count = run
-            .flow(&ch.alarm_signal)
-            .iter()
-            .filter(|v| **v == Value::TRUE)
-            .count();
+        let alarm_count = run.flow(&ch.alarm_signal).iter().filter(|v| **v == Value::TRUE).count();
         alarms.insert(ch.spec.signal.clone(), alarm_count);
         let register = ch
             .maxmiss_signal

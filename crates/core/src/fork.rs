@@ -109,9 +109,7 @@ mod tests {
     fn fork_copies_values_and_clock() {
         let f = fork_component(&"x".into(), ValueType::Int, 3);
         let mut sim = Simulator::for_component(&f).unwrap();
-        let run = sim
-            .run(&Scenario::new().on("x", Value::Int(7)).tick().tick())
-            .unwrap();
+        let run = sim.run(&Scenario::new().on("x", Value::Int(7)).tick().tick()).unwrap();
         for i in 1..=3 {
             assert_eq!(run.flow(&fork_branch(&"x".into(), i)), vec![Value::Int(7)]);
             assert_eq!(run.presence(&fork_branch(&"x".into(), i)), vec![0]);
@@ -159,7 +157,7 @@ mod tests {
         assert!(forked.component("Fork_x").is_some());
         let channels = channels_of_program(&forked).unwrap();
         assert_eq!(channels.len(), 3); // A→Fork, Fork→B, Fork→C
-        // behavior: both consumers see the producer's values
+                                       // behavior: both consumers see the producer's values
         let mut sim = Simulator::for_program(&forked).unwrap();
         let run = sim.run(&Scenario::new().on("a", Value::Int(5)).tick()).unwrap();
         assert_eq!(run.flow(&"y".into()), vec![Value::Int(6)]);

@@ -51,9 +51,7 @@ pub fn monitor_component(name: &str) -> Component {
                 .binop(Binop::Add, Expr::int(1))
                 .when(Expr::var(alarm.as_str()))
                 .default(
-                    Expr::int(0)
-                        .when(Expr::var(ok.as_str()))
-                        .default(Expr::var(mprev.as_str())),
+                    Expr::int(0).when(Expr::var(ok.as_str())).default(Expr::var(mprev.as_str())),
                 ),
         )
         // register: maximum the counter ever reached
@@ -127,10 +125,7 @@ mod tests {
                 Value::Int(0), // reset by the successful write
             ]
         );
-        assert_eq!(
-            run.flow(&"ch_maxmiss".into()).last(),
-            Some(&Value::Int(3))
-        );
+        assert_eq!(run.flow(&"ch_maxmiss".into()).last(), Some(&Value::Int(3)));
     }
 
     #[test]

@@ -113,9 +113,7 @@ pub fn nfifo_component(name: &str, n: usize) -> Component {
             mv(i).as_str(),
             Expr::var(fp(i).as_str()).binop(
                 Binop::And,
-                Expr::var(fp(i + 1).as_str())
-                    .not()
-                    .binop(Binop::Or, Expr::var(mv(i + 1).as_str())),
+                Expr::var(fp(i + 1).as_str()).not().binop(Binop::Or, Expr::var(mv(i + 1).as_str())),
             ),
         );
     }
@@ -240,13 +238,7 @@ mod tests {
     fn preserves_fifo_order() {
         let run = drive(
             2,
-            &[
-                (Some(1), false),
-                (Some(2), false),
-                (None, true),
-                (None, true),
-                (None, true),
-            ],
+            &[(Some(1), false), (Some(2), false), (None, true), (None, true), (None, true)],
         );
         assert_eq!(run.flow(&"ch_out".into()), vec![Value::Int(1), Value::Int(2)]);
     }
@@ -263,15 +255,10 @@ mod tests {
     #[test]
     fn capacity_matches_depth() {
         // depth 3 absorbs a 3-burst without alarms; the 4th write trips
-        let run = drive(
-            3,
-            &[(Some(1), false), (Some(2), false), (Some(3), false), (Some(4), false)],
-        );
+        let run =
+            drive(3, &[(Some(1), false), (Some(2), false), (Some(3), false), (Some(4), false)]);
         let alarms = run.flow(&"ch_alarm".into());
-        assert_eq!(
-            alarms,
-            vec![Value::FALSE, Value::FALSE, Value::FALSE, Value::TRUE]
-        );
+        assert_eq!(alarms, vec![Value::FALSE, Value::FALSE, Value::FALSE, Value::TRUE]);
     }
 
     #[test]
@@ -289,20 +276,14 @@ mod tests {
                 (None, true),
             ],
         );
-        assert_eq!(
-            run.flow(&"ch_out".into()),
-            (1..=4).map(Value::Int).collect::<Vec<_>>()
-        );
+        assert_eq!(run.flow(&"ch_out".into()), (1..=4).map(Value::Int).collect::<Vec<_>>());
         assert!(run.flow(&"ch_alarm".into()).iter().all(|v| *v == Value::FALSE));
     }
 
     #[test]
     fn count_reports_previous_occupancy() {
         let run = drive(2, &[(Some(1), false), (Some(2), false), (None, false)]);
-        assert_eq!(
-            run.flow(&"ch_count".into()),
-            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(run.flow(&"ch_count".into()), vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
     }
 
     #[test]

@@ -77,10 +77,7 @@ pub fn one_place_buffer_component(name: &str) -> Component {
             "inw",
             Expr::var("msgin").clock().default(Expr::bool(false).when(Expr::var("tick"))),
         )
-        .equation(
-            "rdw",
-            Expr::var("rd").default(Expr::bool(false).when(Expr::var("tick"))),
-        )
+        .equation("rdw", Expr::var("rd").default(Expr::bool(false).when(Expr::var("tick"))))
         .equation("fullprev", Expr::var("full").pre(Value::FALSE).when(Expr::var("tick")))
         // full' = (full ∧ ¬take) ∨ put  — the paper's `full = (pre in ∧ ¬pre out) default pre full`
         .equation(

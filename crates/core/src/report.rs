@@ -123,11 +123,7 @@ mod tests {
         b.push_event("full", 1, Value::Bool(true));
         b.push_event("full", 2, Value::Bool(true));
         b.push_event("msgout", 3, Value::Int(1));
-        let t = trace_table(
-            &b,
-            &["msgin".into(), "full".into(), "msgout".into()],
-            3,
-        );
+        let t = trace_table(&b, &["msgin".into(), "full".into(), "msgout".into()], 3);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 5); // header + rule + 3 rows
         assert!(lines[2].contains('1'));

@@ -16,8 +16,8 @@ use std::thread;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use polysig_lang::{Program, Role};
-use polysig_sim::{Reactor, Scenario};
-use polysig_tagged::{SigName, Value};
+use polysig_sim::{DenseEnv, Reactor, Scenario, SimError};
+use polysig_tagged::{SigId, SigName, Value};
 
 use crate::error::GalsError;
 use crate::partition::channels_of_program;
@@ -35,11 +35,7 @@ pub struct CreditRun {
 impl CreditRun {
     /// The flow one component observed/produced on one signal.
     pub fn flow(&self, component: &str, signal: &SigName) -> Vec<Value> {
-        self.flows
-            .get(component)
-            .and_then(|m| m.get(signal))
-            .cloned()
-            .unwrap_or_default()
+        self.flows.get(component).and_then(|m| m.get(signal)).cloned().unwrap_or_default()
     }
 }
 
@@ -100,40 +96,53 @@ pub fn run_threaded_credit(
             .ok_or_else(|| GalsError::UnknownSignal { signal: SigName::from(spec.name.as_str()) })?
             .clone();
         let mut reactor = Reactor::for_component(&comp)?;
+        // endpoints resolved to reactor-local ids once; the activation loop
+        // below runs entirely on dense indices.
         // producer side: data sender + ack receiver, with a credit counter
-        let mut out_links: BTreeMap<SigName, (Sender<Value>, Receiver<()>, usize)> =
-            BTreeMap::new();
+        let mut out_links: Vec<(SigId, Sender<Value>, Receiver<()>, usize)> = Vec::new();
         // consumer side: data receiver + ack sender
-        let mut in_links: BTreeMap<SigName, (Receiver<Value>, Sender<()>)> = BTreeMap::new();
+        let mut in_links: Vec<(SigId, Receiver<Value>, Sender<()>)> = Vec::new();
         for d in comp.signals_with_role(Role::Output) {
             if let Some(ep) = endpoints.get_mut(&d.name) {
-                out_links.insert(
-                    d.name.clone(),
-                    (
-                        ep.data_tx.take().expect("single producer"),
-                        ep.ack_rx.take().expect("single producer"),
-                        credits,
-                    ),
-                );
+                let id = reactor.sig_id(&d.name).expect("declared signal is interned");
+                out_links.push((
+                    id,
+                    ep.data_tx.take().expect("single producer"),
+                    ep.ack_rx.take().expect("single producer"),
+                    credits,
+                ));
             }
         }
         for d in comp.signals_with_role(Role::Input) {
             if let Some(ep) = endpoints.get_mut(&d.name) {
-                in_links.insert(
-                    d.name.clone(),
-                    (
-                        ep.data_rx.take().expect("single consumer"),
-                        ep.ack_tx.take().expect("single consumer"),
-                    ),
-                );
+                let id = reactor.sig_id(&d.name).expect("declared signal is interned");
+                in_links.push((
+                    id,
+                    ep.data_rx.take().expect("single consumer"),
+                    ep.ack_tx.take().expect("single consumer"),
+                ));
             }
         }
 
         let environment: Scenario = spec.environment;
+        let n_sigs = reactor.signal_count();
+        let mut env_steps: Vec<(DenseEnv, bool)> = Vec::with_capacity(environment.len());
+        for inputs in environment.iter() {
+            let mut env = DenseEnv::new(n_sigs);
+            for (name, value) in inputs {
+                let Some(id) = reactor.sig_id(name) else {
+                    return Err(SimError::NotAnInput { name: name.clone() }.into());
+                };
+                env.set(id, *value);
+            }
+            env_steps.push((env, !inputs.is_empty()));
+        }
         let activations = spec.activations;
         let name = spec.name;
         let handle = thread::spawn(move || -> Result<CreditReport, GalsError> {
-            let mut flows: BTreeMap<SigName, Vec<Value>> = BTreeMap::new();
+            let names = reactor.signal_names().to_vec();
+            let mut dense_flows: Vec<Vec<Value>> = vec![Vec::new(); n_sigs];
+            let mut in_buf = DenseEnv::new(n_sigs);
             let mut stalls = 0usize;
             let mut k = 0usize;
             let mut done = 0usize;
@@ -142,7 +151,7 @@ pub fn run_threaded_credit(
                 // disconnected ack channel means the consumer is gone —
                 // stop stalling on it (its data channel becomes /dev/null)
                 let mut consumer_gone = false;
-                for (_, ack_rx, credit) in out_links.values_mut() {
+                for (_, _, ack_rx, credit) in &mut out_links {
                     loop {
                         use crossbeam::channel::TryRecvError;
                         match ack_rx.try_recv() {
@@ -158,38 +167,47 @@ pub fn run_threaded_credit(
                 // a producer activation that would send without credit
                 // stalls (the local masking decision)
                 let would_send = !out_links.is_empty()
-                    && environment.step(k).is_some_and(|m| !m.is_empty());
+                    && env_steps.get(k).is_some_and(|(_, nonempty)| *nonempty);
                 if would_send
                     && !consumer_gone
-                    && out_links.values().any(|(_, _, credit)| *credit == 0)
+                    && out_links.iter().any(|(_, _, _, credit)| *credit == 0)
                 {
                     stalls += 1;
                     thread::yield_now();
                     continue;
                 }
-                let mut inputs: BTreeMap<SigName, Value> =
-                    environment.step(k).cloned().unwrap_or_default();
+                in_buf.reset(n_sigs);
+                if let Some((step, _)) = env_steps.get(k) {
+                    for (id, v) in step.iter() {
+                        in_buf.set(id, v);
+                    }
+                }
                 k += 1;
-                for (signal, (data_rx, ack_tx)) in &in_links {
+                for (id, data_rx, ack_tx) in &in_links {
                     if let Ok(v) = data_rx.try_recv() {
-                        inputs.insert(signal.clone(), v);
+                        in_buf.set(*id, v);
                         let _ = ack_tx.send(());
                     }
                 }
-                let present = reactor.react(&inputs)?;
-                for (signal, value) in &present {
-                    flows.entry(signal.clone()).or_default().push(*value);
-                    if let Some((data_tx, _, credit)) = out_links.get_mut(signal) {
-                        let _ = data_tx.send(*value);
-                        // saturating: a gone consumer leaves credit pinned
-                        *credit = credit.saturating_sub(1);
-                    }
+                let present = reactor.react_dense(&in_buf)?;
+                for (id, value) in present.iter() {
+                    dense_flows[id.index()].push(value);
+                }
+                for (id, data_tx, _, credit) in &mut out_links {
+                    let Some(value) = present.get(*id) else { continue };
+                    let _ = data_tx.send(value);
+                    // saturating: a gone consumer leaves credit pinned
+                    *credit = credit.saturating_sub(1);
                 }
                 done += 1;
                 if done % 8 == 7 {
                     thread::yield_now();
                 }
             }
+            // render the dense per-signal flows back to names, only for
+            // signals that ever ticked (matching the name-keyed behavior)
+            let flows: BTreeMap<SigName, Vec<Value>> =
+                names.into_iter().zip(dense_flows).filter(|(_, f)| !f.is_empty()).collect();
             Ok((name, flows, stalls))
         });
         handles.push(handle);

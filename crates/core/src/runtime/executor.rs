@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use polysig_lang::{Program, Role};
-use polysig_sim::{Reactor, Scenario};
-use polysig_tagged::{Behavior, SigName, Tag, Value};
+use polysig_sim::{DenseEnv, Reactor, Scenario};
+use polysig_tagged::{Behavior, SigId, SigName, Tag, Value};
 
 use crate::error::GalsError;
 use crate::partition::channels_of_program;
@@ -86,12 +86,26 @@ impl GalsRun {
     }
 }
 
+/// One component's runtime state: its reactor plus channel endpoints
+/// resolved, at build time, to `(local SigId, channel index)` pairs — the
+/// per-instant exchange loop never looks anything up by name.
+#[derive(Debug)]
+struct ComponentState {
+    spec: ComponentSpec,
+    reactor: Reactor,
+    /// Channel-fed inputs: reactor-local id ← channel index.
+    in_links: Vec<(SigId, usize)>,
+    /// Channel-fed outputs: reactor-local id → channel index.
+    out_links: Vec<(SigId, usize)>,
+}
+
 /// The single-threaded GALS executor.
 #[derive(Debug)]
 pub struct GalsExecutor {
-    components: Vec<(ComponentSpec, Reactor, Vec<SigName>, Vec<SigName>)>,
-    /// channel keyed by its signal name
-    channels: BTreeMap<SigName, RuntimeChannel>,
+    components: Vec<ComponentState>,
+    /// Channels addressed by index; names live on the channels themselves
+    /// and are only consulted when reports are assembled.
+    channels: Vec<RuntimeChannel>,
 }
 
 impl GalsExecutor {
@@ -110,33 +124,33 @@ impl GalsExecutor {
         capacities: &BTreeMap<SigName, usize>,
     ) -> Result<GalsExecutor, GalsError> {
         let chans = channels_of_program(program)?;
-        let mut channels = BTreeMap::new();
+        let mut channels: Vec<RuntimeChannel> = Vec::with_capacity(chans.len());
+        let mut channel_index: BTreeMap<SigName, usize> = BTreeMap::new();
         for c in &chans {
             let cap = capacities.get(&c.signal).copied().unwrap_or(1);
-            channels.insert(
-                c.signal.clone(),
-                RuntimeChannel::new(c.signal.clone(), Some(cap), policy),
-            );
+            channel_index.insert(c.signal.clone(), channels.len());
+            channels.push(RuntimeChannel::new(c.signal.clone(), Some(cap), policy));
         }
 
         let mut components = Vec::new();
         for spec in specs {
-            let comp = program
-                .component(&spec.name)
-                .ok_or_else(|| GalsError::UnknownSignal { signal: SigName::from(spec.name.as_str()) })?;
+            let comp = program.component(&spec.name).ok_or_else(|| GalsError::UnknownSignal {
+                signal: SigName::from(spec.name.as_str()),
+            })?;
             let reactor = Reactor::for_component(comp)?;
-            // channel-fed inputs vs channel-fed outputs of this component
-            let in_channels: Vec<SigName> = comp
-                .signals_with_role(Role::Input)
-                .filter(|d| channels.contains_key(&d.name))
-                .map(|d| d.name.clone())
-                .collect();
-            let out_channels: Vec<SigName> = comp
-                .signals_with_role(Role::Output)
-                .filter(|d| channels.contains_key(&d.name))
-                .map(|d| d.name.clone())
-                .collect();
-            components.push((spec, reactor, in_channels, out_channels));
+            // resolve channel endpoints to (local id, channel index) once
+            let resolve = |role: Role| -> Vec<(SigId, usize)> {
+                comp.signals_with_role(role)
+                    .filter_map(|d| {
+                        let ci = *channel_index.get(&d.name)?;
+                        let id = reactor.sig_id(&d.name).expect("declared signal is interned");
+                        Some((id, ci))
+                    })
+                    .collect()
+            };
+            let in_links = resolve(Role::Input);
+            let out_links = resolve(Role::Output);
+            components.push(ComponentState { spec, reactor, in_links, out_links });
         }
         Ok(GalsExecutor { components, channels })
     }
@@ -147,51 +161,63 @@ impl GalsExecutor {
     ///
     /// Surfaces reaction errors of any component.
     pub fn run(&mut self, horizon: u64) -> Result<GalsRun, GalsError> {
-        // precompute activation sets and reset counters
+        // precompute activation sets, dense environment steps and name
+        // tables; reset counters — all boundary work, once per run
         let mut activation_sets: Vec<Vec<u64>> = Vec::new();
-        for (spec, reactor, _, _) in &mut self.components {
-            activation_sets.push(spec.clock.activations(horizon));
-            reactor.reset();
+        let mut env_steps: Vec<Vec<DenseEnv>> = Vec::new();
+        let mut name_tables: Vec<Vec<SigName>> = Vec::new();
+        for c in &mut self.components {
+            activation_sets.push(c.spec.clock.activations(horizon));
+            c.reactor.reset();
+            let n = c.reactor.signal_count();
+            let mut steps = Vec::with_capacity(c.spec.environment.len());
+            for inputs in c.spec.environment.iter() {
+                let mut env = DenseEnv::new(n);
+                for (name, value) in inputs {
+                    let Some(id) = c.reactor.sig_id(name) else {
+                        return Err(polysig_sim::SimError::NotAnInput { name: name.clone() }.into());
+                    };
+                    env.set(id, *value);
+                }
+                steps.push(env);
+            }
+            env_steps.push(steps);
+            name_tables.push(c.reactor.signal_names().to_vec());
         }
         let mut activation_index = vec![0usize; self.components.len()];
         let mut behaviors: BTreeMap<String, Behavior> = self
             .components
             .iter()
-            .map(|(spec, reactor, _, _)| {
+            .map(|c| {
                 let mut b = Behavior::new();
-                for n in reactor.signal_names() {
+                for n in c.reactor.signal_names() {
                     b.declare(n.clone());
                 }
-                (spec.name.clone(), b)
+                (c.spec.name.clone(), b)
             })
             .collect();
-        let mut masked: BTreeMap<String, usize> =
-            self.components.iter().map(|(s, _, _, _)| (s.name.clone(), 0)).collect();
-        let mut occupancy: BTreeMap<SigName, Vec<usize>> = self
-            .channels
-            .keys()
-            .map(|k| (k.clone(), Vec::with_capacity(horizon as usize)))
-            .collect();
+        let mut masked_counts = vec![0usize; self.components.len()];
+        let mut occupancy_series: Vec<Vec<usize>> =
+            self.channels.iter().map(|_| Vec::with_capacity(horizon as usize)).collect();
+        let mut in_buf = DenseEnv::default();
 
         for t in 0..horizon {
-            for (k, (spec, reactor, in_chs, out_chs)) in self.components.iter_mut().enumerate() {
+            for (k, c) in self.components.iter_mut().enumerate() {
                 // an activation masked at its scheduled instant stays due
                 // until it can fire (the producer's clock is stretched, in
                 // the paper's terms — not skipped)
-                let due = activation_sets[k]
-                    .get(activation_index[k])
-                    .is_some_and(|&at| at <= t);
+                let due = activation_sets[k].get(activation_index[k]).is_some_and(|&at| at <= t);
                 if !due {
                     continue;
                 }
                 // blocking policy: mask the activation when any outbound
                 // channel is full (Section 5.2's clock masking)
-                let blocked = out_chs.iter().any(|name| {
-                    let ch = &self.channels[name];
+                let blocked = c.out_links.iter().any(|&(_, ci)| {
+                    let ch = &self.channels[ci];
                     ch.policy() == ChannelPolicy::Blocking && ch.is_full()
                 });
                 if blocked {
-                    *masked.get_mut(&spec.name).expect("seeded") += 1;
+                    masked_counts[k] += 1;
                     // the activation is deferred, not skipped: local inputs
                     // stay aligned with activation count
                     continue;
@@ -201,23 +227,28 @@ impl GalsExecutor {
 
                 // assemble inputs: local environment + one value per
                 // non-empty inbound channel
-                let mut inputs: BTreeMap<SigName, Value> =
-                    spec.environment.step(idx).cloned().unwrap_or_default();
-                for name in in_chs.iter() {
-                    if let Some(v) = self.channels.get_mut(name).expect("wired").pop() {
-                        inputs.insert(name.clone(), v);
+                in_buf.reset(c.reactor.signal_count());
+                if let Some(step) = env_steps[k].get(idx) {
+                    for (id, v) in step.iter() {
+                        in_buf.set(id, v);
+                    }
+                }
+                for &(id, ci) in &c.in_links {
+                    if let Some(v) = self.channels[ci].pop() {
+                        in_buf.set(id, v);
                     }
                 }
 
-                let present = reactor.react(&inputs)?;
-                let behavior = behaviors.get_mut(&spec.name).expect("seeded");
-                for (name, value) in &present {
-                    behavior.push_event(name.clone(), Tag::new(t + 1), *value);
+                let present = c.reactor.react_dense(&in_buf)?;
+                let behavior = behaviors.get_mut(&c.spec.name).expect("seeded");
+                let names = &name_tables[k];
+                for (id, value) in present.iter() {
+                    behavior.push_event(names[id.index()].clone(), Tag::new(t + 1), value);
                 }
                 // route outputs into outbound channels
-                for name in out_chs.iter() {
-                    if let Some((_, v)) = present.iter().find(|(n, _)| n == name) {
-                        let outcome = self.channels.get_mut(name).expect("wired").push(*v);
+                for &(id, ci) in &c.out_links {
+                    if let Some(v) = present.get(id) {
+                        let outcome = self.channels[ci].push(v);
                         debug_assert!(
                             outcome != PushOutcome::WouldBlock,
                             "blocking mask should have prevented this push"
@@ -226,18 +257,26 @@ impl GalsExecutor {
                 }
             }
 
-            for (name, series) in &mut occupancy {
-                series.push(self.channels[name].occupancy());
+            for (ci, ch) in self.channels.iter().enumerate() {
+                occupancy_series[ci].push(ch.occupancy());
             }
         }
 
+        let masked = self
+            .components
+            .iter()
+            .zip(&masked_counts)
+            .map(|(c, &m)| (c.spec.name.clone(), m))
+            .collect();
+        let occupancy = self
+            .channels
+            .iter()
+            .zip(occupancy_series)
+            .map(|(ch, series)| (ch.name().clone(), series))
+            .collect();
         Ok(GalsRun {
             behaviors,
-            channel_stats: self
-                .channels
-                .iter()
-                .map(|(k, v)| (k.clone(), v.stats()))
-                .collect(),
+            channel_stats: self.channels.iter().map(|ch| (ch.name().clone(), ch.stats())).collect(),
             masked,
             occupancy,
             horizon,
@@ -270,10 +309,8 @@ mod tests {
             &pipe(),
             vec![
                 ComponentSpec::periodic("P", 2).with_environment(producer_env(10)),
-                ComponentSpec::periodic("Q", 2).with_clock(ClockModel::Periodic {
-                    period: 2,
-                    phase: 1,
-                }),
+                ComponentSpec::periodic("Q", 2)
+                    .with_clock(ClockModel::Periodic { period: 2, phase: 1 }),
             ],
             ChannelPolicy::Lossy,
             &BTreeMap::new(),
@@ -385,8 +422,11 @@ mod tests {
                 ComponentSpec::periodic("P", 2)
                     .with_environment(producer_env(20))
                     .with_clock(ClockModel::Jittered { period: 2, jitter: 1, seed: 9 }),
-                ComponentSpec::periodic("Q", 2)
-                    .with_clock(ClockModel::Jittered { period: 2, jitter: 1, seed: 10 }),
+                ComponentSpec::periodic("Q", 2).with_clock(ClockModel::Jittered {
+                    period: 2,
+                    jitter: 1,
+                    seed: 10,
+                }),
             ],
             ChannelPolicy::Unbounded,
             &BTreeMap::new(),

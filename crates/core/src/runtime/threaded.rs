@@ -12,8 +12,8 @@ use std::thread;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use polysig_lang::{Program, Role};
-use polysig_sim::{Reactor, Scenario};
-use polysig_tagged::{SigName, Value};
+use polysig_sim::{DenseEnv, Reactor, Scenario, SimError};
+use polysig_tagged::{SigId, SigName, Value};
 
 use crate::error::GalsError;
 use crate::partition::channels_of_program;
@@ -43,11 +43,7 @@ pub struct ThreadedRun {
 impl ThreadedRun {
     /// The flow one component observed/produced on one signal.
     pub fn flow(&self, component: &str, signal: &SigName) -> Vec<Value> {
-        self.flows
-            .get(component)
-            .and_then(|m| m.get(signal))
-            .cloned()
-            .unwrap_or_default()
+        self.flows.get(component).and_then(|m| m.get(signal)).cloned().unwrap_or_default()
     }
 }
 
@@ -115,46 +111,73 @@ pub fn run_threaded(
             .filter(|d| receivers.contains_key(&d.name))
             .map(|d| d.name.clone())
             .collect();
-        let my_txs: BTreeMap<SigName, Tx> = outs
+        // resolve endpoints to reactor-local ids once; the activation loop
+        // below runs entirely on dense indices
+        let my_txs: Vec<(SigId, Tx)> = outs
             .iter()
-            .map(|n| (n.clone(), senders.remove(n).expect("single producer")))
+            .map(|n| {
+                let id = reactor.sig_id(n).expect("declared signal is interned");
+                (id, senders.remove(n).expect("single producer"))
+            })
             .collect();
-        let my_rxs: BTreeMap<SigName, Receiver<Value>> = ins
+        let my_rxs: Vec<(SigId, Receiver<Value>)> = ins
             .iter()
-            .map(|n| (n.clone(), receivers.remove(n).expect("single consumer")))
+            .map(|n| {
+                let id = reactor.sig_id(n).expect("declared signal is interned");
+                (id, receivers.remove(n).expect("single consumer"))
+            })
             .collect();
+        let n_sigs = reactor.signal_count();
+        let mut env_steps: Vec<DenseEnv> = Vec::with_capacity(spec.environment.len());
+        for inputs in spec.environment.iter() {
+            let mut env = DenseEnv::new(n_sigs);
+            for (name, value) in inputs {
+                let Some(id) = reactor.sig_id(name) else {
+                    return Err(SimError::NotAnInput { name: name.clone() }.into());
+                };
+                env.set(id, *value);
+            }
+            env_steps.push(env);
+        }
 
         let handle = thread::spawn(move || -> Result<ThreadReport, GalsError> {
-            let mut flows: BTreeMap<SigName, Vec<Value>> = BTreeMap::new();
+            let names = reactor.signal_names().to_vec();
+            let mut dense_flows: Vec<Vec<Value>> = vec![Vec::new(); n_sigs];
             let mut drops = 0usize;
+            let mut in_buf = DenseEnv::new(n_sigs);
             for k in 0..spec.activations {
-                let mut inputs: BTreeMap<SigName, Value> =
-                    spec.environment.step(k).cloned().unwrap_or_default();
-                for (name, rx) in &my_rxs {
-                    if let Ok(v) = rx.try_recv() {
-                        inputs.insert(name.clone(), v);
+                in_buf.reset(n_sigs);
+                if let Some(step) = env_steps.get(k) {
+                    for (id, v) in step.iter() {
+                        in_buf.set(id, v);
                     }
                 }
-                let present = reactor.react(&inputs)?;
-                for (name, value) in &present {
-                    flows.entry(name.clone()).or_default().push(*value);
-                    if let Some(tx) = my_txs.get(name) {
-                        match tx {
-                            Tx::Unbounded(tx) => {
-                                let _ = tx.send(*value);
-                            }
-                            Tx::Bounded(tx) => match policy {
-                                ChannelPolicy::Blocking => {
-                                    // true backpressure: the thread stalls
-                                    let _ = tx.send(*value);
-                                }
-                                _ => {
-                                    if let Err(TrySendError::Full(_)) = tx.try_send(*value) {
-                                        drops += 1;
-                                    }
-                                }
-                            },
+                for (id, rx) in &my_rxs {
+                    if let Ok(v) = rx.try_recv() {
+                        in_buf.set(*id, v);
+                    }
+                }
+                let present = reactor.react_dense(&in_buf)?;
+                for (id, value) in present.iter() {
+                    dense_flows[id.index()].push(value);
+                }
+                for (id, tx) in &my_txs {
+                    let Some(value) = present.get(*id) else { continue };
+                    match tx {
+                        Tx::Unbounded(tx) => {
+                            let _ = tx.send(value);
                         }
+                        Tx::Bounded(tx) => match policy {
+                            ChannelPolicy::Blocking => {
+                                // true backpressure: the thread stalls
+                                let _ = tx.send(value);
+                            }
+                            _ => {
+                                if let Err(TrySendError::Full(_)) = tx.try_send(value) {
+                                    drops += 1;
+                                }
+                            }
+                        },
                     }
                 }
                 // give the other side a chance to make progress
@@ -162,6 +185,10 @@ pub fn run_threaded(
                     thread::yield_now();
                 }
             }
+            // render the dense per-signal flows back to names, only for
+            // signals that ever ticked (matching the name-keyed behavior)
+            let flows: BTreeMap<SigName, Vec<Value>> =
+                names.into_iter().zip(dense_flows).filter(|(_, f)| !f.is_empty()).collect();
             Ok((spec.name, flows, drops))
         });
         handles.push((handle, outs));
@@ -169,9 +196,7 @@ pub fn run_threaded(
 
     let mut run = ThreadedRun::default();
     for (handle, outs) in handles {
-        let (name, flows, drops) = handle
-            .join()
-            .expect("component thread panicked")?;
+        let (name, flows, drops) = handle.join().expect("component thread panicked")?;
         for out in outs {
             *run.drops.entry(out).or_default() += drops;
         }
@@ -227,9 +252,10 @@ mod tests {
         // and Q's outputs reflect its inputs
         let y = run.flow("Q", &"y".into());
         assert_eq!(y.len(), received.len());
-        assert!(y.iter().zip(&received).all(|(y, x)| {
-            y.as_int().unwrap() == x.as_int().unwrap() + 100
-        }));
+        assert!(y
+            .iter()
+            .zip(&received)
+            .all(|(y, x)| { y.as_int().unwrap() == x.as_int().unwrap() + 100 }));
     }
 
     #[test]

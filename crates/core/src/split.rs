@@ -48,12 +48,8 @@ pub fn split_component(
     assignment: &BTreeMap<SigName, SplitSide>,
 ) -> Result<Program, GalsError> {
     polysig_lang::resolve::resolve_component(component)?;
-    let defined: BTreeSet<SigName> = component
-        .decls
-        .iter()
-        .filter(|d| d.role != Role::Input)
-        .map(|d| d.name.clone())
-        .collect();
+    let defined: BTreeSet<SigName> =
+        component.decls.iter().filter(|d| d.role != Role::Input).map(|d| d.name.clone()).collect();
     for name in assignment.keys() {
         if !defined.contains(name) {
             return Err(GalsError::UnknownSignal { signal: name.clone() });
@@ -67,7 +63,8 @@ pub fn split_component(
     let side_of = |name: &SigName| assignment.get(name).copied();
 
     // reads per side
-    let mut reads = BTreeMap::from([(SplitSide::Left, BTreeSet::new()), (SplitSide::Right, BTreeSet::new())]);
+    let mut reads =
+        BTreeMap::from([(SplitSide::Left, BTreeSet::new()), (SplitSide::Right, BTreeSet::new())]);
     let mut stmts = BTreeMap::from([
         (SplitSide::Left, Vec::<Statement>::new()),
         (SplitSide::Right, Vec::<Statement>::new()),
@@ -83,10 +80,7 @@ pub fn split_component(
                 // a sync constraint lives where its first *defined* member
                 // lives (inputs alone don't own constraints); its members
                 // must be visible there
-                let side = names
-                    .iter()
-                    .find_map(side_of)
-                    .unwrap_or(SplitSide::Left);
+                let side = names.iter().find_map(side_of).unwrap_or(SplitSide::Left);
                 reads.get_mut(&side).expect("seeded").extend(names.iter().cloned());
                 stmts.get_mut(&side).expect("seeded").push(stmt.clone());
             }
@@ -107,7 +101,11 @@ pub fn split_component(
             match d.role {
                 Role::Input => {
                     if read_here {
-                        c.decls.push(Declaration { name: d.name.clone(), role: Role::Input, ty: d.ty });
+                        c.decls.push(Declaration {
+                            name: d.name.clone(),
+                            role: Role::Input,
+                            ty: d.ty,
+                        });
                     }
                 }
                 Role::Output | Role::Local => {
@@ -121,7 +119,11 @@ pub fn split_component(
                         };
                         c.decls.push(Declaration { name: d.name.clone(), role, ty: d.ty });
                     } else if read_here {
-                        c.decls.push(Declaration { name: d.name.clone(), role: Role::Input, ty: d.ty });
+                        c.decls.push(Declaration {
+                            name: d.name.clone(),
+                            role: Role::Input,
+                            ty: d.ty,
+                        });
                     }
                 }
             }
@@ -144,12 +146,8 @@ pub fn split_component(
 /// signals are taken. Minimizing crossing edges keeps the number of
 /// channels (and hence FIFOs) small.
 pub fn suggest_split(component: &Component) -> BTreeMap<SigName, SplitSide> {
-    let defined: Vec<SigName> = component
-        .decls
-        .iter()
-        .filter(|d| d.role != Role::Input)
-        .map(|d| d.name.clone())
-        .collect();
+    let defined: Vec<SigName> =
+        component.decls.iter().filter(|d| d.role != Role::Input).map(|d| d.name.clone()).collect();
     // adjacency over defined signals (dependency edges, both directions)
     let mut adj: BTreeMap<SigName, BTreeSet<SigName>> =
         defined.iter().map(|n| (n.clone(), BTreeSet::new())).collect();
@@ -241,8 +239,8 @@ mod tests {
     #[test]
     fn split_then_desynchronize_end_to_end() {
         let p = split_component(&sample(), "Front", "Back", &manual_assignment()).unwrap();
-        let d = crate::desync::desynchronize(&p, &crate::desync::DesyncOptions::with_size(2))
-            .unwrap();
+        let d =
+            crate::desync::desynchronize(&p, &crate::desync::DesyncOptions::with_size(2)).unwrap();
         assert!(d.program.component("Fifo_m").is_some());
         assert!(d.program.shared_signals("Front", "Back").is_empty());
     }

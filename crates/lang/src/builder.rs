@@ -62,9 +62,7 @@ impl ComponentBuilder {
         I: IntoIterator<Item = N>,
         N: Into<SigName>,
     {
-        self.component
-            .stmts
-            .push(Statement::Sync(names.into_iter().map(Into::into).collect()));
+        self.component.stmts.push(Statement::Sync(names.into_iter().map(Into::into).collect()));
         self
     }
 

@@ -80,8 +80,9 @@ impl ClockAnalysis {
     pub fn masters(&self) -> Vec<usize> {
         (0..self.classes.len())
             .filter(|&c| {
-                !(0..self.classes.len())
-                    .any(|d| d != c && self.closure.contains(&(c, d)) && !self.closure.contains(&(d, c)))
+                !(0..self.classes.len()).any(|d| {
+                    d != c && self.closure.contains(&(c, d)) && !self.closure.contains(&(d, c))
+                })
             })
             .collect()
     }
@@ -96,9 +97,8 @@ impl ClockAnalysis {
         // one clock in disguise (the union-find only merges *syntactic*
         // equalities, while cyclic ⊆ edges prove semantic equality)
         self.classes.len() <= 1
-            || (0..self.classes.len()).any(|m| {
-                (0..self.classes.len()).all(|c| c == m || self.closure.contains(&(c, m)))
-            })
+            || (0..self.classes.len())
+                .any(|m| (0..self.classes.len()).all(|c| c == m || self.closure.contains(&(c, m))))
     }
 }
 
@@ -298,18 +298,15 @@ mod tests {
 
     #[test]
     fn pre_and_pointwise_ops_synchronize() {
-        let a = analyze(
-            "process P { input y: int; output x: int, z: int; x := pre 0 y; z := x + y; }",
-        );
+        let a =
+            analyze("process P { input y: int; output x: int, z: int; x := pre 0 y; z := x + y; }");
         assert!(a.same_clock(&"x".into(), &"y".into()));
         assert!(a.same_clock(&"z".into(), &"y".into()));
     }
 
     #[test]
     fn when_gives_subset() {
-        let a = analyze(
-            "process P { input y: int, c: bool; output x: int; x := y when c; }",
-        );
+        let a = analyze("process P { input y: int, c: bool; output x: int; x := y when c; }");
         assert!(a.dominated_by(&"x".into(), &"y".into()));
         assert!(a.dominated_by(&"x".into(), &"c".into()));
         assert!(!a.same_clock(&"x".into(), &"y".into()));
@@ -317,18 +314,15 @@ mod tests {
 
     #[test]
     fn default_gives_superset() {
-        let a = analyze(
-            "process P { input y: int, z: int; output x: int; x := y default z; }",
-        );
+        let a = analyze("process P { input y: int, z: int; output x: int; x := y default z; }");
         assert!(a.dominated_by(&"y".into(), &"x".into()));
         assert!(a.dominated_by(&"z".into(), &"x".into()));
     }
 
     #[test]
     fn sync_constraints_unify() {
-        let a = analyze(
-            "process P { input y: int, z: int; output x: int; x := y default z; x ^= y; }",
-        );
+        let a =
+            analyze("process P { input y: int, z: int; output x: int; x := y default z; x ^= y; }");
         assert!(a.same_clock(&"x".into(), &"y".into()));
         // z ⊆ x = y
         assert!(a.dominated_by(&"z".into(), &"y".into()));
@@ -347,9 +341,7 @@ mod tests {
 
     #[test]
     fn masters_of_flat_component() {
-        let a = analyze(
-            "process P { input y: int; output x: int; x := pre 0 y; }",
-        );
+        let a = analyze("process P { input y: int; output x: int; x := pre 0 y; }");
         // single class → single master → rooted
         assert_eq!(a.classes.len(), 1);
         assert_eq!(a.masters().len(), 1);
@@ -358,18 +350,16 @@ mod tests {
 
     #[test]
     fn rooted_hierarchy_detected() {
-        let a = analyze(
-            "process P { input y: int, c: bool; output x: int; x := y when c; y ^= c; }",
-        );
+        let a =
+            analyze("process P { input y: int, c: bool; output x: int; x := y when c; y ^= c; }");
         // y = c is the unique master; x below it
         assert!(a.is_rooted());
     }
 
     #[test]
     fn unrooted_when_two_independent_inputs() {
-        let a = analyze(
-            "process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }",
-        );
+        let a =
+            analyze("process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }");
         // y-class and z-class are unrelated maximal classes
         assert!(!a.is_rooted());
         assert!(a.masters().len() >= 2);
@@ -383,9 +373,7 @@ mod tests {
 
     #[test]
     fn constants_adapt_to_context() {
-        let a = analyze(
-            "process P { input y: int; output x: int; x := y + 1; }",
-        );
+        let a = analyze("process P { input y: int; output x: int; x := y + 1; }");
         assert!(a.same_clock(&"x".into(), &"y".into()));
     }
 }

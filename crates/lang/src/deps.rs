@@ -160,7 +160,8 @@ mod tests {
     #[test]
     fn pre_breaks_cycles() {
         // the classic accumulator: n depends on its own previous value
-        let g = graph("process P { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }");
+        let g =
+            graph("process P { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }");
         assert!(g.is_acyclic());
     }
 
@@ -178,9 +179,7 @@ mod tests {
 
     #[test]
     fn two_signal_cycle_detected_with_members() {
-        let g = graph(
-            "process P { output a: int, b: int; a := b + 1; b := a - 1; }",
-        );
+        let g = graph("process P { output a: int, b: int; a := b + 1; b := a - 1; }");
         let err = g.topological_order().unwrap_err();
         match err {
             LangError::CausalityCycle { cycle, .. } => {

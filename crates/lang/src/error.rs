@@ -168,7 +168,10 @@ mod tests {
                 found: ValueType::Bool,
                 context: "left operand of +".into(),
             },
-            LangError::CausalityCycle { component: "C".into(), cycle: vec!["a".into(), "b".into()] },
+            LangError::CausalityCycle {
+                component: "C".into(),
+                cycle: vec!["a".into(), "b".into()],
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

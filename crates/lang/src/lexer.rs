@@ -258,7 +258,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LangError> {
                 out.push(Spanned { token: Token::Eq, pos });
             }
             other => {
-                return Err(LangError::Lex { pos, message: format!("unexpected character `{other}`") })
+                return Err(LangError::Lex {
+                    pos,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -314,10 +317,10 @@ mod tests {
 
     #[test]
     fn skips_comments() {
-        assert_eq!(toks("x -- the rest is ignored ;;;\ny"), vec![
-            Token::Ident("x".into()),
-            Token::Ident("y".into())
-        ]);
+        assert_eq!(
+            toks("x -- the rest is ignored ;;;\ny"),
+            vec![Token::Ident("x".into()), Token::Ident("y".into())]
+        );
     }
 
     #[test]

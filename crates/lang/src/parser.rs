@@ -96,9 +96,10 @@ impl<'a> Parser<'a> {
     }
 
     fn pos(&self) -> Pos {
-        self.tokens.get(self.i).map(|s| s.pos).unwrap_or_else(|| {
-            self.tokens.last().map(|s| s.pos).unwrap_or_default()
-        })
+        self.tokens
+            .get(self.i)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.pos).unwrap_or_default())
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -467,11 +468,7 @@ mod tests {
             "process S { local a: bool, b: bool, c: bool; a ^= b ^= c; sync a, b; a := b; b := c; c := true when a; }",
         )
         .unwrap();
-        let syncs: Vec<_> = c
-            .stmts
-            .iter()
-            .filter(|s| matches!(s, Statement::Sync(_)))
-            .collect();
+        let syncs: Vec<_> = c.stmts.iter().filter(|s| matches!(s, Statement::Sync(_))).collect();
         assert_eq!(syncs.len(), 2);
         match syncs[0] {
             Statement::Sync(names) => assert_eq!(names.len(), 3),

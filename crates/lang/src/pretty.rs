@@ -36,10 +36,8 @@ pub fn pretty_component(c: &Component) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "process {} {{", c.name);
     for role in [Role::Input, Role::Output, Role::Local] {
-        let decls: Vec<String> = c
-            .signals_with_role(role)
-            .map(|d| format!("{}: {}", d.name, d.ty))
-            .collect();
+        let decls: Vec<String> =
+            c.signals_with_role(role).map(|d| format!("{}: {}", d.name, d.ty)).collect();
         if !decls.is_empty() {
             let _ = writeln!(out, "    {role} {};", decls.join(", "));
         }

@@ -128,19 +128,14 @@ mod tests {
     #[test]
     fn rejects_undeclared_use() {
         let c = parse_component("process P { output b: int; b := mystery; }").unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::UndeclaredSignal { .. })
-        ));
+        assert!(matches!(resolve_component(&c), Err(LangError::UndeclaredSignal { .. })));
     }
 
     #[test]
     fn rejects_undeclared_lhs() {
-        let c = parse_component("process P { output b: int; b := 1 when true; ghost := b; }").unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::UndeclaredSignal { .. })
-        ));
+        let c =
+            parse_component("process P { output b: int; b := 1 when true; ghost := b; }").unwrap();
+        assert!(matches!(resolve_component(&c), Err(LangError::UndeclaredSignal { .. })));
     }
 
     #[test]
@@ -151,41 +146,28 @@ mod tests {
 
     #[test]
     fn rejects_double_definition() {
-        let c =
-            parse_component("process P { output b: int; b := 1 when true; b := 2 when true; }")
-                .unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::MultipleDefinitions { .. })
-        ));
+        let c = parse_component("process P { output b: int; b := 1 when true; b := 2 when true; }")
+            .unwrap();
+        assert!(matches!(resolve_component(&c), Err(LangError::MultipleDefinitions { .. })));
     }
 
     #[test]
     fn rejects_missing_definition() {
         let c = parse_component("process P { output b: int; }").unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::MissingDefinition { .. })
-        ));
+        assert!(matches!(resolve_component(&c), Err(LangError::MissingDefinition { .. })));
     }
 
     #[test]
     fn rejects_duplicate_declaration() {
-        let c = parse_component("process P { input a: int; local a: int; a := 1 when true; }")
-            .unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::DuplicateDeclaration { .. })
-        ));
+        let c =
+            parse_component("process P { input a: int; local a: int; a := 1 when true; }").unwrap();
+        assert!(matches!(resolve_component(&c), Err(LangError::DuplicateDeclaration { .. })));
     }
 
     #[test]
     fn rejects_undeclared_in_sync() {
         let c = parse_component("process P { input a: int; a ^= nothere; }").unwrap();
-        assert!(matches!(
-            resolve_component(&c),
-            Err(LangError::UndeclaredSignal { .. })
-        ));
+        assert!(matches!(resolve_component(&c), Err(LangError::UndeclaredSignal { .. })));
     }
 
     #[test]

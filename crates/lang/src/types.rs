@@ -25,10 +25,10 @@ pub fn infer_expr(
         context: context.to_string(),
     };
     match e {
-        Expr::Var(x) => c
-            .decl(x)
-            .map(|d| d.ty)
-            .ok_or_else(|| LangError::UndeclaredSignal { component: c.name.clone(), name: x.clone() }),
+        Expr::Var(x) => c.decl(x).map(|d| d.ty).ok_or_else(|| LangError::UndeclaredSignal {
+            component: c.name.clone(),
+            name: x.clone(),
+        }),
         Expr::Const(v) => Ok(v.ty()),
         Expr::Pre { init, body } => {
             let t = infer_expr(c, signal, body)?;
@@ -214,8 +214,8 @@ mod tests {
 
     #[test]
     fn rejects_pre_init_mismatch() {
-        let c = parse_component("process P { input a: int; output x: int; x := pre true a; }")
-            .unwrap();
+        let c =
+            parse_component("process P { input a: int; output x: int; x := pre true a; }").unwrap();
         let err = check_component(&c).unwrap_err();
         match err {
             LangError::Type { context, .. } => assert!(context.contains("pre")),
@@ -237,10 +237,8 @@ mod tests {
 
     #[test]
     fn comparison_requires_equal_types() {
-        let c = parse_component(
-            "process P { input a: int, b: bool; output x: bool; x := a = b; }",
-        )
-        .unwrap();
+        let c = parse_component("process P { input a: int, b: bool; output x: bool; x := a = b; }")
+            .unwrap();
         assert!(matches!(check_component(&c), Err(LangError::Type { .. })));
     }
 

@@ -4,6 +4,7 @@
 use polysig_lang::{Component, Program};
 use polysig_tagged::{Behavior, SigName, Tag, Value};
 
+use crate::env::DenseEnv;
 use crate::error::SimError;
 use crate::reactor::Reactor;
 use crate::scenario::Scenario;
@@ -86,21 +87,40 @@ impl Simulator {
     /// Runs a scenario from the current state, recording a behavior. The
     /// reactor state advances; call [`Simulator::reset`] to start over.
     ///
+    /// The scenario's name-keyed steps are converted to [`DenseEnv`]s once,
+    /// up front; the per-reaction loop then drives
+    /// [`Reactor::react_dense`] and never touches a name-keyed map.
+    /// (Consequently, a scenario mentioning an undeclared name is rejected
+    /// before any reaction executes.)
+    ///
     /// # Errors
     ///
     /// Stops at the first reaction error (see [`SimError`]).
     pub fn run(&mut self, scenario: &Scenario) -> Result<Run, SimError> {
         let start = self.reactor.steps_taken();
+        let names = self.reactor.signal_names().to_vec();
         let mut behavior = Behavior::new();
-        for name in self.reactor.signal_names() {
+        for name in &names {
             behavior.declare(name.clone());
         }
+        let n = self.reactor.signal_count();
+        let mut dense_steps: Vec<DenseEnv> = Vec::with_capacity(scenario.len());
+        for inputs in scenario.iter() {
+            let mut env = DenseEnv::new(n);
+            for (name, value) in inputs {
+                let Some(id) = self.reactor.sig_id(name) else {
+                    return Err(SimError::NotAnInput { name: name.clone() });
+                };
+                env.set(id, *value);
+            }
+            dense_steps.push(env);
+        }
         let mut events = 0usize;
-        for (k, inputs) in scenario.iter().enumerate() {
-            let present = self.reactor.react(inputs)?;
+        for (k, env) in dense_steps.iter().enumerate() {
+            let present = self.reactor.react_dense(env)?;
             let tag = Tag::new((start + k) as u64 + 1);
-            for (name, value) in present {
-                behavior.push_event(name, tag, value);
+            for (id, value) in present.iter() {
+                behavior.push_event(names[id.index()].clone(), tag, value);
                 events += 1;
             }
         }
@@ -128,12 +148,7 @@ mod tests {
         let mut s = sim("process P { input a: int; output x: int; x := a; }");
         let run = s
             .run(
-                &Scenario::new()
-                    .on("a", Value::Int(1))
-                    .tick()
-                    .tick()
-                    .on("a", Value::Int(2))
-                    .tick(),
+                &Scenario::new().on("a", Value::Int(1)).tick().tick().on("a", Value::Int(2)).tick(),
             )
             .unwrap();
         assert_eq!(run.steps, 3);
@@ -144,9 +159,8 @@ mod tests {
 
     #[test]
     fn consecutive_runs_continue_the_state() {
-        let mut s = sim(
-            "process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }",
-        );
+        let mut s =
+            sim("process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }");
         let one = Scenario::new().on("tick", Value::TRUE).tick();
         let r1 = s.run(&one).unwrap();
         let r2 = s.run(&one).unwrap();
@@ -160,9 +174,7 @@ mod tests {
     #[test]
     fn operational_run_matches_denotational_when() {
         // simulator output for `x := a when c` must satisfy Table 1
-        let mut s = sim(
-            "process P { input a: int, c: bool; output x: int; x := a when c; }",
-        );
+        let mut s = sim("process P { input a: int, c: bool; output x: int; x := a when c; }");
         let run = s
             .run(
                 &Scenario::new()
@@ -185,10 +197,8 @@ mod tests {
 
     #[test]
     fn operational_run_matches_denotational_pre_and_default() {
-        let mut s = sim(
-            "process P { input a: int, b: int; output x: int, y: int; \
-             x := pre 0 a; y := a default b; }",
-        );
+        let mut s = sim("process P { input a: int, b: int; output x: int, y: int; \
+             x := pre 0 a; y := a default b; }");
         let run = s
             .run(
                 &Scenario::new()
@@ -208,11 +218,7 @@ mod tests {
             Value::Int(0),
             a
         ));
-        assert!(denotation::satisfies_default(
-            run.behavior.trace(&"y".into()).unwrap(),
-            a,
-            b
-        ));
+        assert!(denotation::satisfies_default(run.behavior.trace(&"y".into()).unwrap(), a, b));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Dense, index-addressed signal environments.
+//!
+//! A [`DenseEnv`] is the hot-path representation of "which signals are
+//! present this instant, with what values": one slot per interned signal,
+//! addressed by [`SigId`]. It replaces `BTreeMap<SigName, Value>` in every
+//! per-instant loop; the map form survives only at API boundaries
+//! (scenarios, reports, counterexamples), converted once per run rather
+//! than once per instant.
+
+use polysig_tagged::{SigId, Value};
+
+/// One instant's signal values, slot-addressed by [`SigId`].
+///
+/// ```
+/// use polysig_sim::DenseEnv;
+/// use polysig_tagged::{SigId, Value};
+///
+/// let mut env = DenseEnv::new(3);
+/// env.set(SigId(1), Value::Int(7));
+/// assert_eq!(env.get(SigId(1)), Some(Value::Int(7)));
+/// assert_eq!(env.get(SigId(0)), None);
+/// assert_eq!(env.iter().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseEnv {
+    slots: Vec<Option<Value>>,
+}
+
+impl DenseEnv {
+    /// An environment with `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        DenseEnv { slots: vec![None; len] }
+    }
+
+    /// Number of slots (the interner's signal count, not the present count).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` iff there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Clears every slot and resizes to `len`, reusing the allocation.
+    pub fn reset(&mut self, len: usize) {
+        self.slots.clear();
+        self.slots.resize(len, None);
+    }
+
+    /// Marks `id` present with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for this environment.
+    #[inline]
+    pub fn set(&mut self, id: SigId, value: Value) {
+        self.slots[id.index()] = Some(value);
+    }
+
+    /// Marks `id` absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for this environment.
+    #[inline]
+    pub fn unset(&mut self, id: SigId) {
+        self.slots[id.index()] = None;
+    }
+
+    /// The value at `id`, or `None` when absent (out-of-range ids are
+    /// absent, so a smaller environment can be probed with a larger
+    /// interner's ids).
+    #[inline]
+    pub fn get(&self, id: SigId) -> Option<Value> {
+        self.slots.get(id.index()).copied().flatten()
+    }
+
+    /// `true` iff `id` is present.
+    #[inline]
+    pub fn is_present(&self, id: SigId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of present signals.
+    pub fn present_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates the present `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SigId, Value)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.map(|v| (SigId(i as u32), v)))
+    }
+}
+
+impl FromIterator<(SigId, Value)> for DenseEnv {
+    /// Builds an environment just large enough for the highest id seen.
+    fn from_iter<I: IntoIterator<Item = (SigId, Value)>>(iter: I) -> Self {
+        let mut env = DenseEnv::default();
+        for (id, value) in iter {
+            if id.index() >= env.slots.len() {
+                env.slots.resize(id.index() + 1, None);
+            }
+            env.set(id, value);
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset_roundtrip() {
+        let mut env = DenseEnv::new(4);
+        assert!(env.iter().next().is_none());
+        env.set(SigId(2), Value::TRUE);
+        env.set(SigId(0), Value::Int(-1));
+        assert_eq!(
+            env.iter().collect::<Vec<_>>(),
+            vec![(SigId(0), Value::Int(-1)), (SigId(2), Value::TRUE)]
+        );
+        assert_eq!(env.present_count(), 2);
+        env.unset(SigId(2));
+        assert_eq!(env.get(SigId(2)), None);
+    }
+
+    #[test]
+    fn reset_reuses_and_resizes() {
+        let mut env = DenseEnv::new(2);
+        env.set(SigId(1), Value::Int(5));
+        env.reset(5);
+        assert_eq!(env.len(), 5);
+        assert_eq!(env.present_count(), 0);
+        assert_eq!(env.get(SigId(1)), None);
+    }
+
+    #[test]
+    fn out_of_range_probes_read_as_absent() {
+        let env = DenseEnv::new(1);
+        assert_eq!(env.get(SigId(9)), None);
+        assert!(!env.is_present(SigId(9)));
+    }
+
+    #[test]
+    fn from_iter_sizes_to_highest_id() {
+        let env: DenseEnv = [(SigId(3), Value::TRUE)].into_iter().collect();
+        assert_eq!(env.len(), 4);
+        assert_eq!(env.get(SigId(3)), Some(Value::TRUE));
+    }
+}

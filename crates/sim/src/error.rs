@@ -141,10 +141,8 @@ mod tests {
 
     #[test]
     fn wraps_lang_errors() {
-        let lang = polysig_lang::LangError::UndeclaredSignal {
-            component: "C".into(),
-            name: "x".into(),
-        };
+        let lang =
+            polysig_lang::LangError::UndeclaredSignal { component: "C".into(), name: "x".into() };
         let sim: SimError = lang.clone().into();
         assert_eq!(sim.to_string(), lang.to_string());
         assert!(std::error::Error::source(&sim).is_some());

@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn periodic_counts_events() {
         let s = PeriodicInputs::new("x", ValueType::Int, 3, 1).generate(10);
-        let present: Vec<usize> =
-            (0..10).filter(|&i| !s.step(i).unwrap().is_empty()).collect();
+        let present: Vec<usize> = (0..10).filter(|&i| !s.step(i).unwrap().is_empty()).collect();
         assert_eq!(present, vec![1, 4, 7]);
         // values are consecutive integers
         assert_eq!(s.step(1).unwrap()[&SigName::from("x")], Value::Int(1));

@@ -110,11 +110,7 @@ mod tests {
     fn compile_resolves_names() {
         let e = parse_expr("a default b").unwrap();
         let mut regs = Vec::new();
-        let c = compile(
-            &e,
-            &|n| if n.as_str() == "a" { 10 } else { 20 },
-            &mut regs,
-        );
+        let c = compile(&e, &|n| if n.as_str() == "a" { 10 } else { 20 }, &mut regs);
         match c {
             CExpr::Default { left, right } => {
                 assert_eq!(*left, CExpr::Var(10));

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod env;
 pub mod error;
 pub mod generator;
 pub mod ir;
@@ -50,6 +51,7 @@ pub mod scenario;
 pub mod status;
 
 pub use engine::{Run, Simulator};
+pub use env::DenseEnv;
 pub use error::SimError;
 pub use generator::{BurstyInputs, PeriodicInputs, RandomInputs, ScenarioGenerator};
 pub use reactor::Reactor;

@@ -1,17 +1,28 @@
 //! The constructive reaction engine.
 //!
-//! A [`Reactor`] elaborates a program into dense signal indices, compiled
-//! equations, `pre` registers and clock-propagation groups, then executes it
-//! one reaction at a time: statuses start [`Status::Unknown`] and the
-//! operators' firing rules plus clock constraints are applied until a
-//! fixpoint. See the crate docs for the semantic conventions.
+//! A [`Reactor`] elaborates a program into interned signal ids ([`SigId`]),
+//! compiled equations, `pre` registers and clock-propagation groups, then
+//! executes it one reaction at a time: statuses start [`Status::Unknown`]
+//! and the operators' firing rules plus clock constraints are applied until
+//! a fixpoint. See the crate docs for the semantic conventions.
+//!
+//! Two entry points run a reaction:
+//!
+//! * [`Reactor::react_dense`] — the hot path. Inputs and outputs are
+//!   [`DenseEnv`]s addressed by the reactor's own [`SigId`]s; a steady-state
+//!   reaction allocates nothing (status, update and output buffers are
+//!   reused across calls, names are only materialized on error paths).
+//! * [`Reactor::react`] — a compatibility wrapper for name-keyed callers:
+//!   it converts a `BTreeMap<SigName, Value>` through the interner, runs
+//!   [`Reactor::react_dense`], and renders the result back to names.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use polysig_lang::clock::analyze_component;
 use polysig_lang::{Binop, Component, Program, Statement, Unop};
-use polysig_tagged::{SigName, Value, ValueType};
+use polysig_tagged::{Interner, SigId, SigName, Value, ValueType};
 
+use crate::env::DenseEnv;
 use crate::error::SimError;
 use crate::ir::{compile, CExpr};
 use crate::status::Status;
@@ -36,17 +47,26 @@ impl Ev {
             Status::Present(v) => Ev::Present(v),
         }
     }
+}
 
+/// Reusable per-reaction buffers; taken out of the reactor for the duration
+/// of a reaction so the fixpoint can borrow `self` freely.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    status: Vec<Status>,
+    updates: Vec<(usize, Value)>,
 }
 
 /// An elaborated, executable program.
 #[derive(Debug, Clone)]
 pub struct Reactor {
-    names: Vec<SigName>,
-    index: BTreeMap<SigName, usize>,
+    /// `SigName ↔ SigId` table; ids are dense indices in declaration order.
+    interner: Interner,
     types: Vec<ValueType>,
-    /// Indices of the program's external inputs.
-    inputs: BTreeSet<usize>,
+    /// The program's external inputs, in id order.
+    input_ids: Vec<SigId>,
+    /// `is_input[id] == true` iff the signal is an external input.
+    is_input: Vec<bool>,
     equations: Vec<(usize, CExpr)>,
     /// Clock-equality groups (from sync constraints and the clock calculus).
     groups: Vec<Vec<usize>>,
@@ -57,6 +77,11 @@ pub struct Reactor {
     step: usize,
     /// Cumulative fixpoint passes across reactions (scheduling statistics).
     passes: usize,
+    scratch: Scratch,
+    /// Last reaction's outputs (the buffer `react_dense` hands back).
+    out_env: DenseEnv,
+    /// Input-conversion buffer for the name-keyed `react` wrapper.
+    in_env: DenseEnv,
 }
 
 impl Reactor {
@@ -92,22 +117,33 @@ impl Reactor {
         polysig_lang::resolve::resolve_program(p)?;
         polysig_lang::types::check_program(p)?;
 
-        // dense indices over all declared names
-        let mut names: Vec<SigName> = Vec::new();
-        let mut index: BTreeMap<SigName, usize> = BTreeMap::new();
+        // intern all declared names; ids are dense indices in declaration
+        // order, so a SigId doubles as a slot-vector index everywhere below
+        let mut interner = Interner::new();
         let mut types: Vec<ValueType> = Vec::new();
         for c in &p.components {
             for d in &c.decls {
-                if !index.contains_key(&d.name) {
-                    index.insert(d.name.clone(), names.len());
-                    names.push(d.name.clone());
+                let before = interner.len();
+                let id = interner.intern(&d.name);
+                if id.index() == before {
                     types.push(d.ty);
                 }
             }
         }
 
-        let inputs: BTreeSet<usize> =
-            p.external_inputs().iter().map(|n| index[n]).collect();
+        let mut input_ids: Vec<SigId> = p
+            .external_inputs()
+            .iter()
+            .map(|n| interner.lookup(n).expect("external input is declared"))
+            .collect();
+        input_ids.sort_unstable();
+        input_ids.dedup();
+        let mut is_input = vec![false; interner.len()];
+        for &id in &input_ids {
+            is_input[id.index()] = true;
+        }
+
+        let idx = |n: &SigName| interner.lookup(n).expect("resolved name is declared").index();
 
         // compile equations, allocating registers
         let mut registers: Vec<Value> = Vec::new();
@@ -115,15 +151,15 @@ impl Reactor {
         for c in &p.components {
             for stmt in &c.stmts {
                 if let Statement::Eq(eq) = stmt {
-                    let rhs = compile(&eq.rhs, &|n| index[n], &mut registers);
-                    equations.push((index[&eq.lhs], rhs));
+                    let rhs = compile(&eq.rhs, &|n| idx(n), &mut registers);
+                    equations.push((idx(&eq.lhs), rhs));
                 }
             }
         }
 
         // clock groups: union-find over indices, seeded by each component's
         // clock analysis (which already folds in sync constraints)
-        let mut parent: Vec<usize> = (0..names.len()).collect();
+        let mut parent: Vec<usize> = (0..interner.len()).collect();
         fn find(parent: &mut Vec<usize>, i: usize) -> usize {
             if parent[i] != i {
                 let r = find(parent, parent[i]);
@@ -143,14 +179,14 @@ impl Reactor {
             let analysis = analyze_component(c);
             for class in &analysis.classes {
                 for w in class.members.windows(2) {
-                    union(&mut parent, index[&w[0]], index[&w[1]]);
+                    union(&mut parent, idx(&w[0]), idx(&w[1]));
                 }
             }
             for (sub, sup) in analysis.edges() {
                 let sm = &analysis.classes[sub].members;
                 let pm = &analysis.classes[sup].members;
                 if let (Some(a), Some(b)) = (sm.first(), pm.first()) {
-                    sig_subset.insert((index[a], index[b]));
+                    sig_subset.insert((idx(a), idx(b)));
                 }
             }
         }
@@ -158,7 +194,7 @@ impl Reactor {
         // groups from union-find roots
         let mut root_to_group: BTreeMap<usize, usize> = BTreeMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut group_of = vec![0usize; names.len()];
+        let mut group_of = vec![0usize; interner.len()];
         for (i, slot) in group_of.iter_mut().enumerate() {
             let r = find(&mut parent, i);
             let g = *root_to_group.entry(r).or_insert_with(|| {
@@ -179,13 +215,14 @@ impl Reactor {
         // single fixpoint pass (the classic Signal compilation step; the
         // `sim_scheduling` ablation bench measures the win)
         let equations =
-            if schedule { schedule_equations(equations, p, &index) } else { equations };
+            if schedule { schedule_equations(equations, p, &interner) } else { equations };
 
+        let n = interner.len();
         Ok(Reactor {
-            names,
-            index,
+            interner,
             types,
-            inputs,
+            input_ids,
+            is_input,
             equations,
             groups,
             subset_edges,
@@ -193,6 +230,9 @@ impl Reactor {
             registers,
             step: 0,
             passes: 0,
+            scratch: Scratch::default(),
+            out_env: DenseEnv::new(n),
+            in_env: DenseEnv::new(n),
         })
     }
 
@@ -202,14 +242,35 @@ impl Reactor {
         self.passes
     }
 
-    /// The program's external input names.
-    pub fn input_names(&self) -> Vec<SigName> {
-        self.inputs.iter().map(|&i| self.names[i].clone()).collect()
+    /// The signal-name table; ids are dense indices in declaration order.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
-    /// All signal names, in dense-index order.
+    /// The id of a declared signal name, if any.
+    pub fn sig_id(&self, name: impl AsRef<str>) -> Option<SigId> {
+        self.interner.lookup(name)
+    }
+
+    /// Number of declared signals (the slot count of every [`DenseEnv`]
+    /// this reactor consumes or produces).
+    pub fn signal_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The program's external input ids, in id order.
+    pub fn input_ids(&self) -> &[SigId] {
+        &self.input_ids
+    }
+
+    /// The program's external input names.
+    pub fn input_names(&self) -> Vec<SigName> {
+        self.input_ids.iter().map(|&id| self.interner.name(id).clone()).collect()
+    }
+
+    /// All signal names, in id order.
     pub fn signal_names(&self) -> &[SigName] {
-        &self.names
+        self.interner.names()
     }
 
     /// Number of `pre` registers.
@@ -245,11 +306,36 @@ impl Reactor {
         self.step
     }
 
-    /// Executes one reaction.
+    /// Executes one reaction on dense environments — the hot path.
     ///
-    /// `inputs` maps *external input* names to values for inputs present this
-    /// instant; inputs not mentioned are absent. Returns the signals present
-    /// in the reaction with their values (sorted by name).
+    /// `inputs` is addressed by this reactor's [`SigId`]s: a present slot
+    /// supplies an external input for this instant, an empty slot means the
+    /// input is absent (slots beyond [`Reactor::signal_count`] are ignored).
+    /// Returns the borrowed output environment: every signal present in the
+    /// reaction, with its value. The buffer is reused by the next reaction,
+    /// so copy out anything that must survive.
+    ///
+    /// A steady-state call performs no heap allocation; signal names are
+    /// only materialized when constructing an error.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]: non-input driven, type mismatch, undetermined
+    /// clocks, contradictions.
+    pub fn react_dense(&mut self, inputs: &DenseEnv) -> Result<&DenseEnv, SimError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.react_core(inputs, &mut scratch);
+        self.scratch = scratch;
+        result.map(|()| &self.out_env)
+    }
+
+    /// Executes one reaction on name-keyed maps — the compatibility
+    /// boundary over [`Reactor::react_dense`].
+    ///
+    /// `inputs` maps *external input* names to values for inputs present
+    /// this instant; inputs not mentioned are absent. Returns the signals
+    /// present in the reaction with their values, in declaration (id)
+    /// order.
     ///
     /// # Errors
     ///
@@ -259,30 +345,58 @@ impl Reactor {
         &mut self,
         inputs: &BTreeMap<SigName, Value>,
     ) -> Result<Vec<(SigName, Value)>, SimError> {
-        let step = self.step;
-        let mut status: Vec<Status> = vec![Status::Unknown; self.names.len()];
-
-        // seed inputs
+        let mut env = std::mem::take(&mut self.in_env);
+        env.reset(self.interner.len());
+        let mut unknown: Option<SigName> = None;
         for (name, value) in inputs {
-            let Some(&i) = self.index.get(name) else {
-                return Err(SimError::NotAnInput { name: name.clone() });
-            };
-            if !self.inputs.contains(&i) {
-                return Err(SimError::NotAnInput { name: name.clone() });
+            match self.interner.lookup(name) {
+                Some(id) => env.set(id, *value),
+                None => {
+                    unknown = Some(name.clone());
+                    break;
+                }
             }
-            if value.ty() != self.types[i] {
-                return Err(SimError::InputType {
-                    name: name.clone(),
-                    expected: self.types[i],
-                    found: value.ty(),
-                });
-            }
-            status[i] = Status::Present(*value);
         }
-        // inputs not mentioned are absent
-        for &i in &self.inputs {
-            if !inputs.contains_key(&self.names[i]) {
-                status[i] = Status::Absent;
+        let result = match unknown {
+            Some(name) => Err(SimError::NotAnInput { name }),
+            None => self.react_dense(&env).map(|_| ()),
+        };
+        self.in_env = env;
+        result?;
+        Ok(self.out_env.iter().map(|(id, v)| (self.interner.name(id).clone(), v)).collect())
+    }
+
+    /// The body of a reaction; `scratch` is taken out of `self` so the
+    /// fixpoint below can borrow `self` immutably while mutating statuses.
+    fn react_core(&mut self, inputs: &DenseEnv, scratch: &mut Scratch) -> Result<(), SimError> {
+        let step = self.step;
+        let n = self.interner.len();
+        let status = &mut scratch.status;
+        status.clear();
+        status.resize(n, Status::Unknown);
+
+        // seed inputs: present slots drive inputs, every other input is
+        // absent this instant
+        for (i, slot) in status.iter_mut().enumerate() {
+            match inputs.get(SigId(i as u32)) {
+                Some(value) => {
+                    if !self.is_input[i] {
+                        return Err(SimError::NotAnInput { name: self.sig_name(i) });
+                    }
+                    if value.ty() != self.types[i] {
+                        return Err(SimError::InputType {
+                            name: self.sig_name(i),
+                            expected: self.types[i],
+                            found: value.ty(),
+                        });
+                    }
+                    *slot = Status::Present(value);
+                }
+                None => {
+                    if self.is_input[i] {
+                        *slot = Status::Absent;
+                    }
+                }
             }
         }
 
@@ -291,7 +405,7 @@ impl Reactor {
             self.passes += 1;
             let mut changed = false;
             for (lhs, rhs) in &self.equations {
-                let result = self.eval(rhs, &status, *lhs, step)?;
+                let result = self.eval(rhs, status, *lhs, step)?;
                 let joined = match result {
                     Ev::Unknown => Status::Unknown,
                     Ev::Absent => Status::Absent,
@@ -305,7 +419,7 @@ impl Reactor {
                         }
                     }
                 };
-                changed |= join_status(&mut status, *lhs, joined, step, &self.names)?;
+                changed |= join_status(status, *lhs, joined, step, &self.interner)?;
             }
             // clock-group propagation: presence/absence is shared
             for group in &self.groups {
@@ -324,29 +438,33 @@ impl Reactor {
                 if let Some(d) = decided {
                     for &i in group {
                         if status[i] == Status::Unknown {
-                            changed |= join_status(&mut status, i, d, step, &self.names)?;
+                            changed |= join_status(status, i, d, step, &self.interner)?;
                         }
                     }
                 }
             }
             // subset edges: sub present ⇒ sup present; sup absent ⇒ sub absent
             for &(sub, sup) in &self.subset_edges {
-                let sub_present =
-                    self.groups[sub].iter().any(|&i| status[i].is_present());
-                let sup_absent =
-                    self.groups[sup].iter().any(|&i| status[i] == Status::Absent);
+                let sub_present = self.groups[sub].iter().any(|&i| status[i].is_present());
+                let sup_absent = self.groups[sup].iter().any(|&i| status[i] == Status::Absent);
                 if sub_present {
                     for &i in &self.groups[sup] {
                         if status[i] == Status::Unknown {
-                            changed |=
-                                join_status(&mut status, i, Status::PresentUnvalued, step, &self.names)?;
+                            changed |= join_status(
+                                status,
+                                i,
+                                Status::PresentUnvalued,
+                                step,
+                                &self.interner,
+                            )?;
                         }
                     }
                 }
                 if sup_absent {
                     for &i in &self.groups[sub] {
                         if status[i] == Status::Unknown {
-                            changed |= join_status(&mut status, i, Status::Absent, step, &self.names)?;
+                            changed |=
+                                join_status(status, i, Status::Absent, step, &self.interner)?;
                         }
                     }
                 }
@@ -357,31 +475,40 @@ impl Reactor {
         }
 
         // everything must be decided and valued
-        let undecided: Vec<SigName> = status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches!(s, Status::Unknown | Status::PresentUnvalued))
-            .map(|(i, _)| self.names[i].clone())
-            .collect();
-        if !undecided.is_empty() {
-            return Err(SimError::UndeterminedClock { step, signals: undecided });
+        if status.iter().any(|s| matches!(s, Status::Unknown | Status::PresentUnvalued)) {
+            let signals: Vec<SigName> = status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Status::Unknown | Status::PresentUnvalued))
+                .map(|(i, _)| self.sig_name(i))
+                .collect();
+            return Err(SimError::UndeterminedClock { step, signals });
         }
 
         // advance registers: a `pre` advances when its body is present
-        let mut updates: Vec<(usize, Value)> = Vec::new();
+        let updates = &mut scratch.updates;
+        updates.clear();
         for (lhs, rhs) in &self.equations {
-            self.collect_register_updates(rhs, &status, *lhs, step, &mut updates)?;
+            self.collect_register_updates(rhs, status, *lhs, step, updates)?;
         }
-        for (reg, v) in updates {
+        for &(reg, v) in updates.iter() {
             self.registers[reg] = v;
         }
         self.step += 1;
 
-        Ok(status
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.value().map(|v| (self.names[i].clone(), v)))
-            .collect())
+        self.out_env.reset(n);
+        for (i, s) in status.iter().enumerate() {
+            if let Some(v) = s.value() {
+                self.out_env.set(SigId(i as u32), v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes a signal's name for an error; never on the happy path.
+    #[cold]
+    fn sig_name(&self, signal: usize) -> SigName {
+        self.interner.names()[signal].clone()
     }
 
     /// Evaluates a compiled expression under the current statuses.
@@ -392,7 +519,6 @@ impl Reactor {
         signal: usize,
         step: usize,
     ) -> Result<Ev, SimError> {
-        let name = || self.names[signal].clone();
         Ok(match e {
             CExpr::Var(i) => Ev::of_status(status[*i]),
             CExpr::Const(v) => Ev::Ubiquitous(*v),
@@ -417,7 +543,7 @@ impl Reactor {
                     },
                     (b, Ev::Ubiquitous(Value::Bool(true))) => b,
                     (_, Ev::Present(_)) | (_, Ev::Ubiquitous(_)) => {
-                        return Err(SimError::ValueType { step, signal: name() })
+                        return Err(SimError::ValueType { step, signal: self.sig_name(signal) })
                     }
                     (_, Ev::Unknown | Ev::PresentUnvalued) => Ev::Unknown,
                 }
@@ -453,7 +579,9 @@ impl Reactor {
                             match (op, v) {
                                 (Unop::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
                                 (Unop::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
-                                _ => Err(SimError::ValueType { step, signal: name() }),
+                                _ => {
+                                    Err(SimError::ValueType { step, signal: self.sig_name(signal) })
+                                }
                             }
                         };
                         match a {
@@ -481,12 +609,11 @@ impl Reactor {
         step: usize,
     ) -> Result<Ev, SimError> {
         use Ev::*;
-        let name = || self.names[signal].clone();
         Ok(match (l, r) {
             (Absent, Absent) => Absent,
             (Absent, Ubiquitous(_)) | (Ubiquitous(_), Absent) => Absent,
             (Absent, Present(_) | PresentUnvalued) | (Present(_) | PresentUnvalued, Absent) => {
-                return Err(SimError::ClockMismatch { step, signal: name() })
+                return Err(SimError::ClockMismatch { step, signal: self.sig_name(signal) })
             }
             // synchronous operands share one clock: a decided side decides
             // the other (this is what lets `pre` feedback loops converge)
@@ -496,11 +623,15 @@ impl Reactor {
             }
             (Unknown, _) | (_, Unknown) => Unknown,
             (PresentUnvalued, _) | (_, PresentUnvalued) => PresentUnvalued,
-            (Present(a), Present(b)) | (Present(a), Ubiquitous(b)) | (Ubiquitous(a), Present(b)) => {
-                Present(op.apply(a, b).ok_or_else(|| SimError::ValueType { step, signal: name() })?)
-            }
+            (Present(a), Present(b))
+            | (Present(a), Ubiquitous(b))
+            | (Ubiquitous(a), Present(b)) => Present(
+                op.apply(a, b)
+                    .ok_or_else(|| SimError::ValueType { step, signal: self.sig_name(signal) })?,
+            ),
             (Ubiquitous(a), Ubiquitous(b)) => Ubiquitous(
-                op.apply(a, b).ok_or_else(|| SimError::ValueType { step, signal: name() })?,
+                op.apply(a, b)
+                    .ok_or_else(|| SimError::ValueType { step, signal: self.sig_name(signal) })?,
             ),
         })
     }
@@ -546,18 +677,19 @@ impl Reactor {
 fn schedule_equations(
     equations: Vec<(usize, CExpr)>,
     p: &Program,
-    index: &BTreeMap<SigName, usize>,
+    interner: &Interner,
 ) -> Vec<(usize, CExpr)> {
     use std::collections::BTreeSet;
+    let idx = |n: &SigName| interner.lookup(n).expect("resolved name is declared").index();
     // instantaneous deps per defined index
     let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
     for c in &p.components {
         for eq in c.equations() {
             let mut vars = BTreeSet::new();
             eq.rhs.collect_instant_vars(&mut vars);
-            let entry = deps.entry(index[&eq.lhs]).or_default();
+            let entry = deps.entry(idx(&eq.lhs)).or_default();
             for v in vars {
-                entry.insert(index[&v]);
+                entry.insert(idx(&v));
             }
         }
     }
@@ -570,9 +702,7 @@ fn schedule_equations(
             .iter()
             .copied()
             .filter(|i| {
-                deps.get(i)
-                    .map(|ds| ds.iter().all(|d| !remaining.contains(d)))
-                    .unwrap_or(true)
+                deps.get(i).map(|ds| ds.iter().all(|d| !remaining.contains(d))).unwrap_or(true)
             })
             .collect();
         if ready.is_empty() {
@@ -633,12 +763,15 @@ fn join_status(
     i: usize,
     new: Status,
     step: usize,
-    names: &[SigName],
+    interner: &Interner,
 ) -> Result<bool, SimError> {
     let old = status[i];
-    status[i]
-        .join(new)
-        .map_err(|()| SimError::Contradiction { step, name: names[i].clone(), old, new })
+    status[i].join(new).map_err(|()| SimError::Contradiction {
+        step,
+        name: interner.names()[i].clone(),
+        old,
+        new,
+    })
 }
 
 #[cfg(test)]
@@ -682,9 +815,7 @@ mod tests {
 
     #[test]
     fn when_filters_by_condition_value() {
-        let mut r = reactor(
-            "process P { input a: int, c: bool; output x: int; x := a when c; }",
-        );
+        let mut r = reactor("process P { input a: int, c: bool; output x: int; x := a when c; }");
         let out = r.react(&present(&[("a", Value::Int(1)), ("c", Value::TRUE)])).unwrap();
         assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(1)));
         let out = r.react(&present(&[("a", Value::Int(2)), ("c", Value::FALSE)])).unwrap();
@@ -695,9 +826,7 @@ mod tests {
 
     #[test]
     fn default_prefers_left() {
-        let mut r = reactor(
-            "process P { input a: int, b: int; output x: int; x := a default b; }",
-        );
+        let mut r = reactor("process P { input a: int, b: int; output x: int; x := a default b; }");
         let out = r.react(&present(&[("a", Value::Int(1)), ("b", Value::Int(2))])).unwrap();
         assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(1)));
         let out = r.react(&present(&[("b", Value::Int(2))])).unwrap();
@@ -730,24 +859,18 @@ mod tests {
     #[test]
     fn free_clock_is_rejected() {
         // s's clock is unconstrained when `set` is absent
-        let mut r = reactor(
-            "process P { input set: int; output s: int; s := set default (pre 0 s); }",
-        );
+        let mut r =
+            reactor("process P { input set: int; output s: int; s := set default (pre 0 s); }");
         let err = r.react(&present(&[])).unwrap_err();
         assert!(matches!(err, SimError::UndeterminedClock { .. }));
     }
 
     #[test]
     fn clock_mismatch_detected_dynamically() {
-        let mut r = reactor(
-            "process P { input a: int, b: int; output x: int; x := a + b; }",
-        );
+        let mut r = reactor("process P { input a: int, b: int; output x: int; x := a + b; }");
         let err = r.react(&present(&[("a", Value::Int(1))])).unwrap_err();
         // class propagation forces b present; scenario says absent
-        assert!(matches!(
-            err,
-            SimError::ClockMismatch { .. } | SimError::Contradiction { .. }
-        ));
+        assert!(matches!(err, SimError::ClockMismatch { .. } | SimError::Contradiction { .. }));
     }
 
     #[test]
@@ -762,6 +885,13 @@ mod tests {
         let mut r = reactor("process P { input a: int; output x: int; x := a; }");
         let err = r.react(&present(&[("x", Value::Int(1))])).unwrap_err();
         assert!(matches!(err, SimError::NotAnInput { .. }));
+    }
+
+    #[test]
+    fn driving_undeclared_name_rejected() {
+        let mut r = reactor("process P { input a: int; output x: int; x := a; }");
+        let err = r.react(&present(&[("ghost", Value::Int(1))])).unwrap_err();
+        assert!(matches!(err, SimError::NotAnInput { name } if name.as_str() == "ghost"));
     }
 
     #[test]
@@ -807,5 +937,40 @@ mod tests {
         let out = r.react(&present(&[("a", Value::Int(1))])).unwrap();
         assert!(out.iter().any(|(n, v)| n.as_str() == "x" && *v == Value::Int(42)));
         assert_eq!(r.registers(), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn dense_and_name_keyed_paths_agree() {
+        let src =
+            "process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }";
+        let mut by_name = reactor(src);
+        let mut by_id = reactor(src);
+        let tick = by_id.sig_id("tick").unwrap();
+        for instant in 0..6 {
+            let mut env = DenseEnv::new(by_id.signal_count());
+            let mut map = BTreeMap::new();
+            if instant % 3 != 2 {
+                env.set(tick, Value::TRUE);
+                map.insert(SigName::from("tick"), Value::TRUE);
+            }
+            let named = by_name.react(&map).unwrap();
+            let dense = by_id.react_dense(&env).unwrap();
+            let rendered: Vec<(SigName, Value)> =
+                dense.iter().map(|(id, v)| (by_name.interner().name(id).clone(), v)).collect();
+            assert_eq!(named, rendered);
+        }
+        assert_eq!(by_name.registers(), by_id.registers());
+    }
+
+    #[test]
+    fn dense_output_buffer_is_rewritten_each_reaction() {
+        let mut r = reactor("process P { input a: int; output x: int; x := a; }");
+        let a = r.sig_id("a").unwrap();
+        let x = r.sig_id("x").unwrap();
+        let mut env = DenseEnv::new(r.signal_count());
+        env.set(a, Value::Int(1));
+        assert_eq!(r.react_dense(&env).unwrap().get(x), Some(Value::Int(1)));
+        env.unset(a);
+        assert_eq!(r.react_dense(&env).unwrap().present_count(), 0);
     }
 }

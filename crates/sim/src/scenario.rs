@@ -149,14 +149,17 @@ impl Scenario {
             // a fully empty line is a silent reaction
             let mut step = BTreeMap::new();
             for token in line.split_whitespace() {
-                let (name, value) = token
-                    .split_once('=')
-                    .ok_or_else(|| format!("line {}: expected name=value, got `{token}`", lineno + 1))?;
+                let (name, value) = token.split_once('=').ok_or_else(|| {
+                    format!("line {}: expected name=value, got `{token}`", lineno + 1)
+                })?;
                 let v = match value {
                     "true" => Value::Bool(true),
                     "false" => Value::Bool(false),
                     other => Value::Int(other.parse::<i64>().map_err(|_| {
-                        format!("line {}: `{other}` is neither a boolean nor an integer", lineno + 1)
+                        format!(
+                            "line {}: `{other}` is neither a boolean nor an integer",
+                            lineno + 1
+                        )
                     })?),
                 };
                 step.insert(SigName::from(name), v);

@@ -17,16 +17,21 @@ fn flow(run: &polysig_sim::Run, name: &str) -> Vec<Value> {
 #[test]
 fn if_then_else_encoding() {
     // the classic mux: out = a when c default b (both branches anchored)
-    let mut s = sim(
-        "process Mux { input a: int, b: int, c: bool; output o: int; \
-         o := (a when c) default b; }",
-    );
+    let mut s = sim("process Mux { input a: int, b: int, c: bool; output o: int; \
+         o := (a when c) default b; }");
     let run = s
         .run(
             &Scenario::new()
-                .on("a", Value::Int(1)).on("b", Value::Int(2)).on("c", Value::TRUE).tick()
-                .on("a", Value::Int(3)).on("b", Value::Int(4)).on("c", Value::FALSE).tick()
-                .on("b", Value::Int(5)).tick(),
+                .on("a", Value::Int(1))
+                .on("b", Value::Int(2))
+                .on("c", Value::TRUE)
+                .tick()
+                .on("a", Value::Int(3))
+                .on("b", Value::Int(4))
+                .on("c", Value::FALSE)
+                .tick()
+                .on("b", Value::Int(5))
+                .tick(),
         )
         .unwrap();
     assert_eq!(flow(&run, "o"), vec![Value::Int(1), Value::Int(4), Value::Int(5)]);
@@ -35,17 +40,18 @@ fn if_then_else_encoding() {
 #[test]
 fn bool_to_int_encoding_via_when_cascade() {
     // (1 when c) default (0 when not c): present exactly at c's instants
-    let mut s = sim(
-        "process B2I { input c: bool; output o: int; \
-         o := (1 when c) default (0 when (not c)); }",
-    );
+    let mut s = sim("process B2I { input c: bool; output o: int; \
+         o := (1 when c) default (0 when (not c)); }");
     let run = s
         .run(
             &Scenario::new()
-                .on("c", Value::TRUE).tick()
-                .on("c", Value::FALSE).tick()
+                .on("c", Value::TRUE)
                 .tick()
-                .on("c", Value::TRUE).tick(),
+                .on("c", Value::FALSE)
+                .tick()
+                .tick()
+                .on("c", Value::TRUE)
+                .tick(),
         )
         .unwrap();
     assert_eq!(flow(&run, "o"), vec![Value::Int(1), Value::Int(0), Value::Int(1)]);
@@ -54,10 +60,8 @@ fn bool_to_int_encoding_via_when_cascade() {
 
 #[test]
 fn toggler_state_machine() {
-    let mut s = sim(
-        "process Toggle { input tick: bool; output t: bool; \
-         t := not ((pre false t) when tick); t ^= tick; }",
-    );
+    let mut s = sim("process Toggle { input tick: bool; output t: bool; \
+         t := not ((pre false t) when tick); t ^= tick; }");
     let mut scenario = Scenario::new();
     for _ in 0..5 {
         scenario = scenario.on("tick", Value::TRUE).tick();
@@ -72,11 +76,9 @@ fn toggler_state_machine() {
 #[test]
 fn three_stage_instantaneous_pipeline_in_one_reaction() {
     // values flow through three components within one instant
-    let mut s = sim(
-        "process A { input a: int; output x: int; x := a + 1; } \
+    let mut s = sim("process A { input a: int; output x: int; x := a + 1; } \
          process B { input x: int; output y: int; y := x * 10; } \
-         process C { input y: int; output z: int; z := y - 5; }",
-    );
+         process C { input y: int; output z: int; z := y - 5; }");
     let run = s.run(&Scenario::new().on("a", Value::Int(3)).tick()).unwrap();
     assert_eq!(flow(&run, "z"), vec![Value::Int(35)]);
 }
@@ -85,16 +87,17 @@ fn three_stage_instantaneous_pipeline_in_one_reaction() {
 fn feedback_across_components_through_pre() {
     // A feeds B; B's previous output feeds back into A — legal because the
     // loop goes through a pre
-    let mut s = sim(
-        "process A { input a: int, fb: int; output x: int; x := a + (pre 0 fb); } \
-         process B { input x: int; output fb: int; fb := x * 2; }",
-    );
+    let mut s = sim("process A { input a: int, fb: int; output x: int; x := a + (pre 0 fb); } \
+         process B { input x: int; output fb: int; fb := x * 2; }");
     let run = s
         .run(
             &Scenario::new()
-                .on("a", Value::Int(1)).tick()
-                .on("a", Value::Int(1)).tick()
-                .on("a", Value::Int(1)).tick(),
+                .on("a", Value::Int(1))
+                .tick()
+                .on("a", Value::Int(1))
+                .tick()
+                .on("a", Value::Int(1))
+                .tick(),
         )
         .unwrap();
     // x: 1, 1+2=3, 1+6=7 ; fb: 2, 6, 14
@@ -107,9 +110,14 @@ fn simulation_is_deterministic() {
     let src = "process D { input a: int, c: bool; output o: int; \
                o := ((a when c) default (pre 0 o)) + 1; o ^= a; }";
     let scenario = Scenario::new()
-        .on("a", Value::Int(5)).on("c", Value::TRUE).tick()
-        .on("a", Value::Int(6)).tick()
-        .on("a", Value::Int(7)).on("c", Value::FALSE).tick();
+        .on("a", Value::Int(5))
+        .on("c", Value::TRUE)
+        .tick()
+        .on("a", Value::Int(6))
+        .tick()
+        .on("a", Value::Int(7))
+        .on("c", Value::FALSE)
+        .tick();
     let mut s1 = sim(src);
     let mut s2 = sim(src);
     let r1 = s1.run(&scenario).unwrap();
@@ -119,13 +127,9 @@ fn simulation_is_deterministic() {
 
 #[test]
 fn comparison_chain_and_negation() {
-    let mut s = sim(
-        "process Cmp { input a: int, b: int; output lt: bool, ge: bool, n: int; \
-         lt := a < b; ge := a >= b; n := -a; }",
-    );
-    let run = s
-        .run(&Scenario::new().on("a", Value::Int(2)).on("b", Value::Int(5)).tick())
-        .unwrap();
+    let mut s = sim("process Cmp { input a: int, b: int; output lt: bool, ge: bool, n: int; \
+         lt := a < b; ge := a >= b; n := -a; }");
+    let run = s.run(&Scenario::new().on("a", Value::Int(2)).on("b", Value::Int(5)).tick()).unwrap();
     assert_eq!(flow(&run, "lt"), vec![Value::TRUE]);
     assert_eq!(flow(&run, "ge"), vec![Value::FALSE]);
     assert_eq!(flow(&run, "n"), vec![Value::Int(-2)]);
@@ -135,14 +139,11 @@ fn comparison_chain_and_negation() {
 fn error_when_condition_clock_strictly_smaller() {
     // o := a when c with c absent while a present: o is absent — fine.
     // but o := a + (a when c) mixes clocks → runtime clock mismatch
-    let mut s = sim(
-        "process M { input a: int, c: bool; output o: int; o := a + (a when c); }",
-    );
+    let mut s = sim("process M { input a: int, c: bool; output o: int; o := a + (a when c); }");
     let ok = s.run(&Scenario::new().on("a", Value::Int(1)).on("c", Value::TRUE).tick());
     assert!(ok.is_ok());
-    let err = s
-        .run(&Scenario::new().on("a", Value::Int(1)).on("c", Value::FALSE).tick())
-        .unwrap_err();
+    let err =
+        s.run(&Scenario::new().on("a", Value::Int(1)).on("c", Value::FALSE).tick()).unwrap_err();
     assert!(matches!(err, SimError::ClockMismatch { .. }));
 }
 
@@ -158,12 +159,10 @@ fn silent_scenario_produces_silent_behavior() {
 fn local_name_collision_between_components_is_disambiguated() {
     // both components use a local named `tmp` — the merged reactor must not
     // alias them
-    let mut s = sim(
-        "process A { input a: int; output x: int; local tmp: int; \
+    let mut s = sim("process A { input a: int; output x: int; local tmp: int; \
          tmp := a * 2; x := tmp + 1; } \
          process B { input x: int; output y: int; local tmp: int; \
-         tmp := x * 10; y := tmp + 2; }",
-    );
+         tmp := x * 10; y := tmp + 2; }");
     let run = s.run(&Scenario::new().on("a", Value::Int(1)).tick()).unwrap();
     assert_eq!(flow(&run, "x"), vec![Value::Int(3)]);
     assert_eq!(flow(&run, "y"), vec![Value::Int(32)]);
@@ -172,16 +171,19 @@ fn local_name_collision_between_components_is_disambiguated() {
 #[test]
 fn clock_of_composes_with_logic() {
     // presence detector: fired when either input ticks
-    let mut s = sim(
-        "process P { input a: int, b: int, tick: bool; output any: bool; \
-         any := ((^a) default (^b)) default (false when tick); }",
-    );
+    let mut s = sim("process P { input a: int, b: int, tick: bool; output any: bool; \
+         any := ((^a) default (^b)) default (false when tick); }");
     let run = s
         .run(
             &Scenario::new()
-                .on("tick", Value::TRUE).on("a", Value::Int(1)).tick()
-                .on("tick", Value::TRUE).on("b", Value::Int(2)).tick()
-                .on("tick", Value::TRUE).tick(),
+                .on("tick", Value::TRUE)
+                .on("a", Value::Int(1))
+                .tick()
+                .on("tick", Value::TRUE)
+                .on("b", Value::Int(2))
+                .tick()
+                .on("tick", Value::TRUE)
+                .tick(),
         )
         .unwrap();
     assert_eq!(flow(&run, "any"), vec![Value::TRUE, Value::TRUE, Value::FALSE]);

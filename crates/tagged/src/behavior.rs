@@ -68,9 +68,11 @@ impl Behavior {
         let name = name.into();
         let tag = tag.into();
         let trace = self.signals.entry(name.clone()).or_default();
-        trace
-            .push(tag, value)
-            .map_err(|(last, pushed)| TaggedError::NonMonotoneTag { signal: name, last, pushed })
+        trace.push(tag, value).map_err(|(last, pushed)| TaggedError::NonMonotoneTag {
+            signal: name,
+            last,
+            pushed,
+        })
     }
 
     /// Inserts (or replaces) a whole trace for a variable.
@@ -255,7 +257,10 @@ mod tests {
         let y = SigName::from("y");
         let nope = SigName::from("nope");
         assert!(matches!(b.rename(&x, &y), Err(TaggedError::RenameTargetExists { .. })));
-        assert!(matches!(b.rename(&nope, &SigName::from("w")), Err(TaggedError::RenameSourceMissing { .. })));
+        assert!(matches!(
+            b.rename(&nope, &SigName::from("w")),
+            Err(TaggedError::RenameSourceMissing { .. })
+        ));
     }
 
     #[test]

@@ -36,11 +36,8 @@ use crate::tag::Tag;
 /// ```
 pub fn stretch_canonical(behavior: &Behavior) -> Behavior {
     let tags = behavior.all_tags();
-    let map: BTreeMap<Tag, Tag> = tags
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (*t, Tag::new(i as u64 + 1)))
-        .collect();
+    let map: BTreeMap<Tag, Tag> =
+        tags.iter().enumerate().map(|(i, t)| (*t, Tag::new(i as u64 + 1))).collect();
     let mut out = Behavior::new();
     for (name, trace) in behavior.iter() {
         let retagged = trace
@@ -123,10 +120,7 @@ mod tests {
     fn flow_canonical_orders_per_signal() {
         let interleaved = b(&[("x", 1, 1), ("y", 2, 10), ("x", 3, 2)]);
         let flows = flow_canonical(&interleaved);
-        assert_eq!(
-            flows.values(&"x".into()).unwrap(),
-            &[Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(flows.values(&"x".into()).unwrap(), &[Value::Int(1), Value::Int(2)]);
         assert_eq!(flows.values(&"y".into()).unwrap(), &[Value::Int(10)]);
     }
 }

@@ -111,8 +111,7 @@ fn merge_sync(
         acc.push(prefix.clone());
         return;
     }
-    let touches_shared =
-        |i: &Instant| i.iter().any(|(name, _)| shared.contains(name));
+    let touches_shared = |i: &Instant| i.iter().any(|(name, _)| shared.contains(name));
     if let Some((head, rest)) = left.split_first() {
         if !touches_shared(head) {
             prefix.push(head.at(Tag::new(prefix.len() as u64 + 1)));
@@ -145,10 +144,7 @@ fn shared_agree(a: &Instant, b: &Instant, shared: &BTreeSet<SigName>) -> bool {
     shared.iter().all(|s| a.value(s) == b.value(s))
 }
 
-fn instants_to_behavior(
-    seq: &[Instant],
-    declared: impl IntoIterator<Item = SigName>,
-) -> Behavior {
+fn instants_to_behavior(seq: &[Instant], declared: impl IntoIterator<Item = SigName>) -> Behavior {
     // drop empty instants (hiding may have emptied them upstream)
     let filtered: Vec<Instant> = seq
         .iter()
@@ -234,9 +230,7 @@ pub fn async_compose(p: &Process, q: &Process) -> Process {
     for b in p.iter() {
         for c in q.iter() {
             // Definition 6: equal flows on every shared variable.
-            if !shared.iter().all(|s| {
-                flow_of(b, s) == flow_of(c, s)
-            }) {
+            if !shared.iter().all(|s| flow_of(b, s) == flow_of(c, s)) {
                 continue;
             }
             let left = AsyncSeq::stripped(b, &shared, &BTreeSet::new(), false);
@@ -272,16 +266,10 @@ pub fn causal_async_compose(
     for s in &shared {
         assert!(orders.contains_key(s), "shared variable {s} has no causal order");
     }
-    let left_produced: BTreeSet<SigName> = shared
-        .iter()
-        .filter(|s| orders[*s] == CausalOrder::LeftProduces)
-        .cloned()
-        .collect();
-    let right_produced: BTreeSet<SigName> = shared
-        .iter()
-        .filter(|s| orders[*s] == CausalOrder::RightProduces)
-        .cloned()
-        .collect();
+    let left_produced: BTreeSet<SigName> =
+        shared.iter().filter(|s| orders[*s] == CausalOrder::LeftProduces).cloned().collect();
+    let right_produced: BTreeSet<SigName> =
+        shared.iter().filter(|s| orders[*s] == CausalOrder::RightProduces).cloned().collect();
     let all_vars: BTreeSet<SigName> = p.vars().union(q.vars()).cloned().collect();
     let mut out = Process::over(all_vars.iter().cloned());
     for b in p.iter() {
@@ -362,7 +350,8 @@ fn recurse_async(
     // every nonempty subset of available heads may fire simultaneously
     let n = available.len();
     for mask in 1u32..(1 << n) {
-        let chosen: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| available[i]).collect();
+        let chosen: Vec<usize> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| available[i]).collect();
         // compute writes contributed by this step
         let mut step_writes: BTreeMap<SigName, usize> = BTreeMap::new();
         for &k in &chosen {
@@ -553,10 +542,7 @@ mod tests {
         assert!(!pq.is_empty());
         // every composite carries the full producer flow
         for d in pq.iter() {
-            assert_eq!(
-                d.trace(&"x".into()).unwrap().values(),
-                vec![Value::Int(1), Value::Int(2)]
-            );
+            assert_eq!(d.trace(&"x".into()).unwrap().values(), vec![Value::Int(1), Value::Int(2)]);
         }
     }
 

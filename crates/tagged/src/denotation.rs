@@ -128,10 +128,8 @@ pub fn eval_app(
     }
     let mut out = SignalTrace::new();
     for (i, t) in tags.iter().enumerate() {
-        let row: Vec<Value> = args
-            .iter()
-            .map(|a| a.get(i).expect("synchronized lengths").value())
-            .collect();
+        let row: Vec<Value> =
+            args.iter().map(|a| a.get(i).expect("synchronized lengths").value()).collect();
         out.push(*t, f(&row)?).expect("tags are a chain");
     }
     Some(out)
@@ -215,10 +213,7 @@ mod tests {
         let y = ints(&[(2, 10), (4, 40)]);
         let z = ints(&[(1, -1), (2, -2)]);
         let x = eval_default(&y, &z);
-        assert_eq!(
-            x.values(),
-            vec![Value::Int(-1), Value::Int(10), Value::Int(40)]
-        );
+        assert_eq!(x.values(), vec![Value::Int(-1), Value::Int(10), Value::Int(40)]);
         assert!(satisfies_default(&x, &y, &z));
     }
 
@@ -234,10 +229,8 @@ mod tests {
     fn app_requires_synchronous_arguments() {
         let y = ints(&[(1, 1), (2, 2)]);
         let z = ints(&[(1, 10), (2, 20)]);
-        let sum = eval_app(&[&y, &z], |vs| {
-            Some(Value::Int(vs[0].as_int()? + vs[1].as_int()?))
-        })
-        .unwrap();
+        let sum =
+            eval_app(&[&y, &z], |vs| Some(Value::Int(vs[0].as_int()? + vs[1].as_int()?))).unwrap();
         assert_eq!(sum.values(), vec![Value::Int(11), Value::Int(22)]);
 
         let skewed = ints(&[(1, 10), (3, 20)]);
@@ -268,8 +261,6 @@ mod tests {
     fn satisfies_app_checker() {
         let y = ints(&[(1, 2)]);
         let x = ints(&[(1, 4)]);
-        assert!(satisfies_app(&x, &[&y], |vs| {
-            Some(Value::Int(vs[0].as_int()? * 2))
-        }));
+        assert!(satisfies_app(&x, &[&y], |vs| { Some(Value::Int(vs[0].as_int()? * 2)) }));
     }
 }

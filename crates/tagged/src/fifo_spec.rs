@@ -73,9 +73,7 @@ pub fn is_nfifo_behavior(b: &Behavior, x: &SigName, y: &SigName, n: usize) -> bo
     }
     let xs = b.trace(x).expect("checked by is_afifo_behavior");
     let ys = b.trace(y).expect("checked by is_afifo_behavior");
-    b.all_tags()
-        .into_iter()
-        .all(|t| xs.count_up_to(t) <= n + ys.count_up_to(t))
+    b.all_tags().into_iter().all(|t| xs.count_up_to(t) <= n + ys.count_up_to(t))
 }
 
 /// The rate-matching side condition of Lemma 2 between a producer-side and a
@@ -265,7 +263,8 @@ mod tests {
     #[test]
     fn nfifo_occupancy_bound() {
         // three writes before any read: needs n >= 3
-        let b = beh(&[("x", 1, 1), ("x", 2, 2), ("x", 3, 3), ("y", 4, 1), ("y", 5, 2), ("y", 6, 3)]);
+        let b =
+            beh(&[("x", 1, 1), ("x", 2, 2), ("x", 3, 3), ("y", 4, 1), ("y", 5, 2), ("y", 6, 3)]);
         assert!(is_nfifo_behavior(&b, &x(), &y(), 3));
         assert!(!is_nfifo_behavior(&b, &x(), &y(), 2));
         // alternate write/read: 1-place buffer suffices

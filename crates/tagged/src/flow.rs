@@ -33,10 +33,7 @@ impl FlowClass {
     /// Computes the flow class of a behavior.
     pub fn of(behavior: &Behavior) -> Self {
         FlowClass {
-            flows: behavior
-                .iter()
-                .map(|(name, trace)| (name.clone(), trace.values()))
-                .collect(),
+            flows: behavior.iter().map(|(name, trace)| (name.clone(), trace.values())).collect(),
         }
     }
 
@@ -61,10 +58,9 @@ impl FlowClass {
     /// flow while messages are still in flight.
     pub fn is_prefix_of(&self, other: &FlowClass) -> bool {
         self.flows.iter().all(|(name, flow)| {
-            other
-                .flows
-                .get(name)
-                .is_some_and(|longer| longer.len() >= flow.len() && &longer[..flow.len()] == flow.as_slice())
+            other.flows.get(name).is_some_and(|longer| {
+                longer.len() >= flow.len() && &longer[..flow.len()] == flow.as_slice()
+            })
         })
     }
 }
@@ -98,9 +94,10 @@ pub fn is_relaxation_of(b: &Behavior, c: &Behavior) -> bool {
     b.iter().all(|(name, tb)| {
         let tc = c.trace(name).expect("var sets equal");
         tb.len() == tc.len()
-            && tb.iter().zip(tc.iter()).all(|(eb, ec)| {
-                eb.value() == ec.value() && eb.tag() <= ec.tag()
-            })
+            && tb
+                .iter()
+                .zip(tc.iter())
+                .all(|(eb, ec)| eb.value() == ec.value() && eb.tag() <= ec.tag())
     })
 }
 

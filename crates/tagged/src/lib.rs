@@ -51,6 +51,7 @@ pub mod event;
 pub mod fifo_spec;
 pub mod flow;
 pub mod instant;
+pub mod intern;
 pub mod process;
 pub mod signal;
 pub mod stretch;
@@ -65,6 +66,7 @@ pub use event::Event;
 pub use fifo_spec::{is_afifo_behavior, is_nfifo_behavior, lemma2_bound_holds};
 pub use flow::{flow_equivalent, is_relaxation_of, FlowClass};
 pub use instant::Instant;
+pub use intern::{Interner, SigId};
 pub use process::Process;
 pub use signal::SignalTrace;
 pub use stretch::{is_stretching_of, stretch_equivalent};

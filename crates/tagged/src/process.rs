@@ -141,8 +141,7 @@ impl Process {
         let drop: BTreeSet<SigName> = vars.into_iter().collect();
         let mut out = Process::over(self.vars.difference(&drop).cloned());
         for b in &self.behaviors {
-            out.insert(b.hide(drop.iter().cloned()))
-                .expect("hiding keeps variables consistent");
+            out.insert(b.hide(drop.iter().cloned())).expect("hiding keeps variables consistent");
         }
         out
     }
@@ -185,20 +184,13 @@ impl Process {
     /// two distinct representatives are never stretch-equivalent — the
     /// internal invariant backing [`Process::equivalent`].
     pub fn check_invariants(&self) -> bool {
-        let all_canonical = self
-            .behaviors
-            .iter()
-            .all(|b| &stretch_canonical(b) == b && b.var_set() == self.vars);
+        let all_canonical =
+            self.behaviors.iter().all(|b| &stretch_canonical(b) == b && b.var_set() == self.vars);
         let all_distinct = self
             .behaviors
             .iter()
             .enumerate()
-            .all(|(i, b)| {
-                self.behaviors
-                    .iter()
-                    .skip(i + 1)
-                    .all(|c| !stretch_equivalent(b, c))
-            });
+            .all(|(i, b)| self.behaviors.iter().skip(i + 1).all(|c| !stretch_equivalent(b, c)));
         all_canonical && all_distinct
     }
 }

@@ -92,10 +92,7 @@ impl SignalTrace {
 
     /// The value at a given tag, if the signal is present there.
     pub fn value_at(&self, tag: Tag) -> Option<Value> {
-        self.events
-            .binary_search_by_key(&tag, Event::tag)
-            .ok()
-            .map(|i| self.events[i].value())
+        self.events.binary_search_by_key(&tag, Event::tag).ok().map(|i| self.events[i].value())
     }
 
     /// `true` iff the signal ticks at `tag`.
@@ -146,8 +143,7 @@ impl FromIterator<Event> for SignalTrace {
 impl Extend<Event> for SignalTrace {
     fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
         for e in iter {
-            self.push(e.tag(), e.value())
-                .expect("extended events must be strictly tag-increasing");
+            self.push(e.tag(), e.value()).expect("extended events must be strictly tag-increasing");
         }
     }
 }
@@ -187,15 +183,11 @@ mod tests {
 
     #[test]
     fn from_events_rejects_bad_chains() {
-        let good = vec![
-            Event::new(Tag::new(1), Value::Int(1)),
-            Event::new(Tag::new(2), Value::Int(2)),
-        ];
+        let good =
+            vec![Event::new(Tag::new(1), Value::Int(1)), Event::new(Tag::new(2), Value::Int(2))];
         assert!(SignalTrace::from_events(good).is_some());
-        let bad = vec![
-            Event::new(Tag::new(2), Value::Int(1)),
-            Event::new(Tag::new(2), Value::Int(2)),
-        ];
+        let bad =
+            vec![Event::new(Tag::new(2), Value::Int(1)), Event::new(Tag::new(2), Value::Int(2))];
         assert!(SignalTrace::from_events(bad).is_none());
     }
 

@@ -39,9 +39,7 @@ pub fn is_stretching_of(b: &Behavior, c: &Behavior) -> bool {
     if bi.len() != ci.len() {
         return false;
     }
-    bi.iter().zip(ci.iter()).all(|(x, y)| {
-        x.pattern() == y.pattern() && x.tag() <= y.tag()
-    })
+    bi.iter().zip(ci.iter()).all(|(x, y)| x.pattern() == y.pattern() && x.tag() <= y.tag())
 }
 
 /// Stretch-equivalence `b ≍ c` (Definition 2): equality up to time-scale

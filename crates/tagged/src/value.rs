@@ -149,6 +149,15 @@ impl AsRef<str> for SigName {
     }
 }
 
+// `Arc<str>` hashes/compares as the pointed-to `str`, so borrowing a
+// `SigName` as `&str` satisfies the `Borrow` contract — this is what lets
+// name-keyed maps be probed by `&str` without allocating a temporary.
+impl std::borrow::Borrow<str> for SigName {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
 impl fmt::Display for SigName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.0)

@@ -5,8 +5,7 @@ use std::collections::BTreeMap;
 
 use polysig_tagged::{
     async_compose, causal_async_compose, flow_equivalent, is_afifo_behavior, stretch_canonical,
-    stretch_equivalent, sync_compose, Behavior, CausalOrder, Instant, Process, SigName, Tag,
-    Value,
+    stretch_equivalent, sync_compose, Behavior, CausalOrder, Instant, Process, SigName, Tag, Value,
 };
 
 fn beh(evts: &[(&str, u64, i64)]) -> Behavior {

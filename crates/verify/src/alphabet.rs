@@ -152,9 +152,7 @@ impl EnvAutomaton {
 
     /// The permitted letters in a state, with successor states.
     pub fn moves(&self, state: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.transitions
-            .range((state, 0)..(state + 1, 0))
-            .map(|((_, li), to)| (*li, *to))
+        self.transitions.range((state, 0)..(state + 1, 0)).map(|((_, li), to)| (*li, *to))
     }
 
     /// Number of environment states.
@@ -191,10 +189,8 @@ mod tests {
 
     #[test]
     fn exhaustive_alphabet_counts() {
-        let p = parse_program(
-            "process P { input a: int, c: bool; output x: int; x := a when c; }",
-        )
-        .unwrap();
+        let p = parse_program("process P { input a: int, c: bool; output x: int; x := a when c; }")
+            .unwrap();
         // a: absent | 1 | 2  (3) × c: absent | true | false (3) = 9
         let a = Alphabet::exhaustive(&p, &[1, 2]).unwrap();
         assert_eq!(a.len(), 9);
@@ -214,10 +210,7 @@ mod tests {
     #[test]
     fn empty_int_domain_rejected_only_when_needed() {
         let p = parse_program("process P { input a: int; output x: int; x := a; }").unwrap();
-        assert!(matches!(
-            Alphabet::exhaustive(&p, &[]),
-            Err(VerifyError::EmptyAlphabet)
-        ));
+        assert!(matches!(Alphabet::exhaustive(&p, &[]), Err(VerifyError::EmptyAlphabet)));
     }
 
     #[test]

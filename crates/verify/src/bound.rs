@@ -7,10 +7,10 @@
 //! signal ever takes — applied to a channel's occupancy `count`, that is a
 //! *proof* of the worst-case buffer requirement, not an estimate.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use polysig_lang::Program;
-use polysig_sim::{Reactor, SimError};
+use polysig_sim::{DenseEnv, Reactor, SimError};
 use polysig_tagged::{SigName, Value};
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
@@ -61,42 +61,64 @@ pub fn max_signal_value(
         }
     };
 
-    type State = (Vec<Value>, usize);
-    let initial: State = (reactor.registers().to_vec(), 0);
-    let mut seen: HashSet<State> = HashSet::new();
-    let mut queue: VecDeque<State> = VecDeque::new();
-    seen.insert(initial.clone());
-    queue.push_back(initial);
+    // boundary work, once: dense letters, the watched signal's id (an
+    // undeclared signal never ticks, so `None` just leaves `max` empty),
+    // and the per-env-state move table
+    let n = reactor.signal_count();
+    let mut dense_letters: Vec<DenseEnv> = Vec::with_capacity(alphabet.len());
+    for letter in alphabet.letters() {
+        let mut le = DenseEnv::new(n);
+        for (name, value) in letter {
+            let Some(id) = reactor.sig_id(name) else {
+                return Err(SimError::NotAnInput { name: name.clone() }.into());
+            };
+            le.set(id, *value);
+        }
+        dense_letters.push(le);
+    }
+    let watched = reactor.sig_id(signal);
+    let moves_of: Vec<Vec<(usize, usize)>> =
+        (0..env.state_count()).map(|s| env.moves(s).collect()).collect();
+
+    // canonical states in an indexed arena; frontier holds u32 ids
+    type StateKey = (Vec<Value>, u32);
+    let initial: StateKey = (reactor.registers().to_vec(), 0);
+    let mut ids: HashMap<StateKey, u32> = HashMap::new();
+    let mut states: Vec<(Box<[Value]>, u32)> = vec![(initial.0.clone().into_boxed_slice(), 0)];
+    ids.insert(initial, 0);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(0);
 
     let mut max: Option<i64> = None;
     let mut transitions = 0usize;
-    // memoize env moves per env state for speed
-    let mut moves_cache: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    let mut cur_regs: Vec<Value> = Vec::new();
+    let mut probe: StateKey = (Vec::new(), 0);
 
-    while let Some((regs, env_state)) = queue.pop_front() {
-        let moves = moves_cache
-            .entry(env_state)
-            .or_insert_with(|| env.moves(env_state).collect())
-            .clone();
-        for (letter_index, env_next) in moves {
-            let letter = &alphabet.letters()[letter_index];
-            reactor.set_registers(&regs);
-            match reactor.react(letter) {
+    while let Some(id) = queue.pop_front() {
+        cur_regs.clear();
+        cur_regs.extend_from_slice(&states[id as usize].0);
+        let env_state = states[id as usize].1;
+        for &(letter_index, env_next) in &moves_of[env_state as usize] {
+            reactor.set_registers(&cur_regs);
+            match reactor.react_dense(&dense_letters[letter_index]) {
                 Ok(reaction) => {
                     transitions += 1;
-                    for (name, value) in &reaction {
-                        if name == signal {
-                            if let Some(v) = value.as_int() {
-                                max = Some(max.map_or(v, |m| m.max(v)));
-                            }
+                    if let Some(watched) = watched {
+                        if let Some(v) = reaction.get(watched).and_then(Value::as_int) {
+                            max = Some(max.map_or(v, |m| m.max(v)));
                         }
                     }
-                    let next: State = (reactor.registers().to_vec(), env_next);
-                    if seen.insert(next.clone()) {
-                        if seen.len() > max_states {
+                    probe.0.clear();
+                    probe.0.extend_from_slice(reactor.registers());
+                    probe.1 = env_next as u32;
+                    if !ids.contains_key(&probe) {
+                        if states.len() >= max_states {
                             return Err(VerifyError::StateCapExceeded { cap: max_states });
                         }
-                        queue.push_back(next);
+                        let nid = states.len() as u32;
+                        states.push((probe.0.clone().into_boxed_slice(), probe.1));
+                        ids.insert(std::mem::take(&mut probe), nid);
+                        queue.push_back(nid);
                     }
                 }
                 Err(SimError::ClockMismatch { .. })
@@ -106,7 +128,7 @@ pub fn max_signal_value(
             }
         }
     }
-    Ok(BoundResult { max, states_explored: seen.len(), transitions })
+    Ok(BoundResult { max, states_explored: states.len(), transitions })
 }
 
 #[cfg(test)]
@@ -144,8 +166,7 @@ mod tests {
             (&[("tick", Value::TRUE), ("ch_rd", Value::TRUE)], 0),
             (&[("tick", Value::TRUE), ("ch_rd", Value::TRUE)], 0),
         ]);
-        let r =
-            max_signal_value(&p, &alphabet, Some(&env), &"ch_count".into(), 100_000).unwrap();
+        let r = max_signal_value(&p, &alphabet, Some(&env), &"ch_count".into(), 100_000).unwrap();
         assert_eq!(r.max, Some(3), "ideal bound 2 + one in-ripple item");
         assert!(r.states_explored > 1);
         // sanity: the bound can never exceed the declared depth
@@ -169,8 +190,9 @@ mod tests {
             (&[("tick", Value::TRUE), ("x_rd", Value::TRUE)], 0),
             (&[("tick", Value::TRUE), ("x_rd", Value::TRUE)], 0),
         ]);
-        let r = max_signal_value(&generous.program, &alphabet, Some(&env), &"x_count".into(), 100_000)
-            .unwrap();
+        let r =
+            max_signal_value(&generous.program, &alphabet, Some(&env), &"x_count".into(), 100_000)
+                .unwrap();
         let bound = r.max.unwrap() as usize;
         // at least the ideal backlog of 2; bounded by the generous depth
         assert!((2..=6).contains(&bound), "got {bound}");

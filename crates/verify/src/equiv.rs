@@ -83,9 +83,7 @@ pub fn compare_flows(
             let rf = rrun.flow(rsig);
             let ok = match relation {
                 FlowRelation::Equal => lf == rf,
-                FlowRelation::PrefixOfLeft => {
-                    rf.len() <= lf.len() && lf[..rf.len()] == rf[..]
-                }
+                FlowRelation::PrefixOfLeft => rf.len() <= lf.len() && lf[..rf.len()] == rf[..],
             };
             if ok {
                 report.matches += 1;
@@ -130,14 +128,9 @@ mod tests {
     fn identical_programs_match() {
         let a = doubler("A", 0);
         let b = doubler("B", 0);
-        let report = compare_flows(
-            &a,
-            &b,
-            &scenarios(5),
-            &[("x".into(), "x".into())],
-            FlowRelation::Equal,
-        )
-        .unwrap();
+        let report =
+            compare_flows(&a, &b, &scenarios(5), &[("x".into(), "x".into())], FlowRelation::Equal)
+                .unwrap();
         assert!(report.all_match());
         assert_eq!(report.matches, 5);
     }
@@ -146,14 +139,9 @@ mod tests {
     fn different_programs_mismatch_with_diagnostics() {
         let a = doubler("A", 0);
         let b = doubler("B", 1);
-        let report = compare_flows(
-            &a,
-            &b,
-            &scenarios(3),
-            &[("x".into(), "x".into())],
-            FlowRelation::Equal,
-        )
-        .unwrap();
+        let report =
+            compare_flows(&a, &b, &scenarios(3), &[("x".into(), "x".into())], FlowRelation::Equal)
+                .unwrap();
         assert!(!report.all_match());
         assert_eq!(report.mismatches.len(), 3);
         let m = &report.mismatches[0];

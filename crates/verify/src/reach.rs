@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use polysig_lang::Program;
-use polysig_sim::{Reactor, SimError};
+use polysig_sim::{DenseEnv, Reactor, SimError};
 use polysig_tagged::Value;
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
@@ -87,72 +87,98 @@ pub fn check(
         }
     };
 
-    type State = (Vec<Value>, usize);
-    let initial: State = (reactor.registers().to_vec(), 0);
+    // one-time boundary work: compile letters to dense environments, bind
+    // the property to signal ids, snapshot the id-ordered name table — the
+    // BFS below never touches a name-keyed map
+    let n = reactor.signal_count();
+    let mut dense_letters: Vec<DenseEnv> = Vec::with_capacity(alphabet.len());
+    for letter in alphabet.letters() {
+        let mut le = DenseEnv::new(n);
+        for (name, value) in letter {
+            let Some(id) = reactor.sig_id(name) else {
+                return Err(SimError::NotAnInput { name: name.clone() }.into());
+            };
+            le.set(id, *value);
+        }
+        dense_letters.push(le);
+    }
+    let dense_prop = property.bind(&reactor);
+    let names = reactor.signal_names().to_vec();
 
-    // parent[state_id] = (pred_id, letter_index); state 0 is initial
-    let mut ids: HashMap<State, usize> = HashMap::new();
-    let mut states: Vec<State> = vec![initial.clone()];
-    let mut parents: Vec<Option<(usize, usize)>> = vec![None];
-    let mut depths: Vec<usize> = vec![0];
+    // canonical states live in an indexed arena; the BFS frontier, parent
+    // pointers and depths are all u32 ids into it
+    type StateKey = (Vec<Value>, u32);
+    let initial: StateKey = (reactor.registers().to_vec(), 0);
+    let mut ids: HashMap<StateKey, u32> = HashMap::new();
+    let mut states: Vec<(Box<[Value]>, u32)> = vec![(initial.0.clone().into_boxed_slice(), 0)];
+    let mut parents: Vec<Option<(u32, u32)>> = vec![None];
+    let mut depths: Vec<u32> = vec![0];
     ids.insert(initial, 0);
 
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
     queue.push_back(0);
     let mut transitions = 0usize;
     let mut pruned = 0usize;
     let mut depth_bounded = false;
+    // reusable buffers: the popped state's registers, and the successor
+    // probe key (its Vec only reallocates right after a new-state insert)
+    let mut cur_regs: Vec<Value> = Vec::new();
+    let mut probe: StateKey = (Vec::new(), 0);
 
-    let rebuild = |violating_letter: usize,
-                   from: usize,
-                   parents: &[Option<(usize, usize)>],
-                   alphabet: &Alphabet| {
-        let mut letters = vec![alphabet.letters()[violating_letter].clone()];
-        let mut cur = from;
-        while let Some((pred, li)) = parents[cur] {
-            letters.push(alphabet.letters()[li].clone());
-            cur = pred;
-        }
-        letters.reverse();
-        Counterexample::new(letters)
-    };
+    let rebuild =
+        |violating_letter: u32, from: u32, parents: &[Option<(u32, u32)>], alphabet: &Alphabet| {
+            let mut letters = vec![alphabet.letters()[violating_letter as usize].clone()];
+            let mut cur = from;
+            while let Some((pred, li)) = parents[cur as usize] {
+                letters.push(alphabet.letters()[li as usize].clone());
+                cur = pred;
+            }
+            letters.reverse();
+            Counterexample::new(letters)
+        };
 
     while let Some(id) = queue.pop_front() {
         if let Some(max) = options.max_depth {
-            if depths[id] >= max {
+            if depths[id as usize] as usize >= max {
                 depth_bounded = true;
                 continue;
             }
         }
-        let (regs, env_state) = states[id].clone();
-        for (letter_index, env_next) in env.moves(env_state) {
-            let letter = &alphabet.letters()[letter_index];
-            reactor.set_registers(&regs);
-            match reactor.react(letter) {
+        cur_regs.clear();
+        cur_regs.extend_from_slice(&states[id as usize].0);
+        let env_state = states[id as usize].1;
+        for (letter_index, env_next) in env.moves(env_state as usize) {
+            reactor.set_registers(&cur_regs);
+            match reactor.react_dense(&dense_letters[letter_index]) {
                 Ok(reaction) => {
                     transitions += 1;
-                    if !property.holds_on(&reaction) {
+                    if !dense_prop.holds_dense(reaction, &names) {
                         return Ok(CheckResult {
                             holds: false,
-                            counterexample: Some(rebuild(letter_index, id, &parents, alphabet)),
+                            counterexample: Some(rebuild(
+                                letter_index as u32,
+                                id,
+                                &parents,
+                                alphabet,
+                            )),
                             states_explored: states.len(),
                             transitions,
                             pruned,
                             depth_bounded,
                         });
                     }
-                    let next: State = (reactor.registers().to_vec(), env_next);
-                    if !ids.contains_key(&next) {
+                    probe.0.clear();
+                    probe.0.extend_from_slice(reactor.registers());
+                    probe.1 = env_next as u32;
+                    if !ids.contains_key(&probe) {
                         if states.len() >= options.max_states {
-                            return Err(VerifyError::StateCapExceeded {
-                                cap: options.max_states,
-                            });
+                            return Err(VerifyError::StateCapExceeded { cap: options.max_states });
                         }
-                        let nid = states.len();
-                        ids.insert(next.clone(), nid);
-                        states.push(next);
-                        parents.push(Some((id, letter_index)));
-                        depths.push(depths[id] + 1);
+                        let nid = states.len() as u32;
+                        states.push((probe.0.clone().into_boxed_slice(), probe.1));
+                        ids.insert(std::mem::take(&mut probe), nid);
+                        parents.push(Some((id, letter_index as u32)));
+                        depths.push(depths[id as usize] + 1);
                         queue.push_back(nid);
                     }
                 }
@@ -196,8 +222,9 @@ mod tests {
         )
         .unwrap();
         let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
-        let r = check(&p, &alphabet, &Property::always_in_range("n", 0, 4), &CheckOptions::default())
-            .unwrap();
+        let r =
+            check(&p, &alphabet, &Property::always_in_range("n", 0, 4), &CheckOptions::default())
+                .unwrap();
         assert!(r.holds);
         assert_eq!(r.states_explored, 4, "mod-4 counter has 4 states");
         assert!(!r.depth_bounded);
@@ -211,8 +238,9 @@ mod tests {
         )
         .unwrap();
         let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
-        let r = check(&p, &alphabet, &Property::always_in_range("n", 0, 2), &CheckOptions::default())
-            .unwrap();
+        let r =
+            check(&p, &alphabet, &Property::always_in_range("n", 0, 2), &CheckOptions::default())
+                .unwrap();
         assert!(!r.holds);
         // n reaches 3 at the third tick
         assert_eq!(r.counterexample.unwrap().len(), 3);

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_environment(env.clone())
                 .with_clock(ClockModel::Jittered { period: 2, jitter: 1, seed: 11 }),
             ComponentSpec::periodic("Filter", 3),
-            ComponentSpec::periodic("Sink", 2)
-                .with_clock(ClockModel::Random { p: 0.5, seed: 12 }),
+            ComponentSpec::periodic("Sink", 2).with_clock(ClockModel::Random { p: 0.5, seed: 12 }),
         ],
         ChannelPolicy::Blocking,
         &BTreeMap::new(),
@@ -49,12 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sent = run.flow("Source", &"x".into());
     let filtered = run.flow("Filter", &"y".into());
     let received = run.flow("Sink", &"y".into());
-    println!("source emitted {} values, filter produced {}, sink consumed {}",
-        sent.len(), filtered.len(), received.len());
+    println!(
+        "source emitted {} values, filter produced {}, sink consumed {}",
+        sent.len(),
+        filtered.len(),
+        received.len()
+    );
     for (sig, st) in &run.channel_stats {
         println!(
             "  channel {sig}: pushes={} pops={} max-occupancy={} masked-producer-activations={}",
-            st.pushes, st.pops, st.max_occupancy,
+            st.pushes,
+            st.pops,
+            st.max_occupancy,
             run.masked.values().sum::<usize>(),
         );
     }
@@ -84,8 +89,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tsent = trun.flow("Source", &"x".into());
     let tfiltered = trun.flow("Filter", &"y".into());
     let treceived = trun.flow("Sink", &"y".into());
-    println!("threads: source {} values, filter {}, sink {}",
-        tsent.len(), tfiltered.len(), treceived.len());
+    println!(
+        "threads: source {} values, filter {}, sink {}",
+        tsent.len(),
+        tfiltered.len(),
+        treceived.len()
+    );
     assert_eq!(&tfiltered[..treceived.len()], treceived.as_slice());
     // both deployments carry the same source flow (the deterministic run may
     // stop mid-stream at its horizon: prefix relation, Definition 4 on a

@@ -48,18 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "desynchronized program has {} components: {}",
         gals.program.components.len(),
-        gals.program
-            .components
-            .iter()
-            .map(|c| c.name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
+        gals.program.components.iter().map(|c| c.name.as_str()).collect::<Vec<_>>().join(", ")
     );
     let mut sim = Simulator::for_program(&gals.program)?;
     let run = sim.run(&scenario)?;
     let alarms = run.flow(&"x_alarm".into()).iter().filter(|v| **v == Value::TRUE).count();
     println!("alarms during the sized run: {alarms}");
-    println!("consumer saw {} values; final sum = {:?}",
+    println!(
+        "consumer saw {} values; final sum = {:?}",
         run.flow(&"x_out".into()).len(),
         run.flow(&"sum".into()).last(),
     );

@@ -16,25 +16,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The stimulus: write 1, idle, write 2 (buffer still full → rejected),
     // read (→ 1), write 3, read (→ 3).
     let stimulus = Scenario::new()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(1)).tick()
-        .on("tick", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(2)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(3)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick();
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(1))
+        .tick()
+        .on("tick", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(2))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(3))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick();
 
     println!("== single-cell memory (no flow control) ==");
     let mut mem = Simulator::for_component(&memory_cell_component("Mem"))?;
     let run = mem.run(&stimulus)?;
     println!(
         "{}",
-        trace_table(
-            &run.behavior,
-            &["msgin".into(), "rd".into(), "msgout".into()],
-            stimulus.len(),
-        )
+        trace_table(&run.behavior, &["msgin".into(), "rd".into(), "msgout".into()], stimulus.len(),)
     );
-    println!("note: the second write overwrote the first — reads saw {:?}\n", run.flow(&"msgout".into()));
+    println!(
+        "note: the second write overwrote the first — reads saw {:?}\n",
+        run.flow(&"msgout".into())
+    );
 
     println!("== one-place buffer (Figure 2) ==");
     let mut buf = Simulator::for_component(&one_place_buffer_component("OneFifo"))?;

@@ -69,8 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let a = analyze_component(c);
                 println!("component `{}`:", c.name);
                 for class in &a.classes {
-                    let members: Vec<&str> =
-                        class.members.iter().map(|m| m.as_str()).collect();
+                    let members: Vec<&str> = class.members.iter().map(|m| m.as_str()).collect();
                     println!("  clock class {}: {}", class.id, members.join(", "));
                 }
                 for (sub, sup) in a.edges() {
@@ -90,16 +89,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("cannot read `{path}`: {e}"))?;
                 Scenario::from_text(&text)?
             } else {
-                let steps: usize =
-                    arg2.parse().map_err(|_| "step count must be a number")?;
+                let steps: usize = arg2.parse().map_err(|_| "step count must be a number")?;
                 let seed: u64 = args.get(3).map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
                 random_environment(&program, steps, seed)
             };
             let steps = scenario.len();
             let mut sim = Simulator::for_program(&program).map_err(|e| e.to_string())?;
             let run = sim.run(&scenario).map_err(|e| e.to_string())?;
-            let signals: Vec<polysig::tagged::SigName> =
-                program.all_names().into_iter().collect();
+            let signals: Vec<polysig::tagged::SigName> = program.all_names().into_iter().collect();
             println!("{}", trace_table(&run.behavior, &signals, steps.min(24)));
             println!("{} reactions, {} events", run.steps, run.events);
             Ok(())
@@ -126,18 +123,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("estimate needs a step count")?
                 .parse()
                 .map_err(|_| "step count must be a number")?;
-            let probe = desynchronize(&program, &DesyncOptions::with_size(1))
-                .map_err(|e| e.to_string())?;
+            let probe =
+                desynchronize(&program, &DesyncOptions::with_size(1)).map_err(|e| e.to_string())?;
             let mut scenario = random_environment(&program, steps, 42);
             // full-rate read requests and master tick for every channel
             for ch in &probe.channels {
-                let rd = polysig::sim::PeriodicInputs::new(
-                    ch.rd_signal.clone(),
-                    ValueType::Bool,
-                    1,
-                    0,
-                )
-                .generate(steps);
+                let rd =
+                    polysig::sim::PeriodicInputs::new(ch.rd_signal.clone(), ValueType::Bool, 1, 0)
+                        .generate(steps);
                 scenario = scenario.zip_union(&rd);
             }
             scenario = scenario.zip_union(&master_clock("tick", steps));
@@ -192,8 +185,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let scenario = random_environment(&program, steps, 42);
             let mut sim = Simulator::for_program(&program).map_err(|e| e.to_string())?;
             let run = sim.run(&scenario).map_err(|e| e.to_string())?;
-            let signals: Vec<polysig::tagged::SigName> =
-                program.all_names().into_iter().collect();
+            let signals: Vec<polysig::tagged::SigName> = program.all_names().into_iter().collect();
             let doc = polysig::gals::vcd::to_vcd(&run.behavior, &signals, &program.name);
             std::fs::write(out_path, doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
             println!("wrote {out_path} ({} signals, {} reactions)", signals.len(), steps);

@@ -194,10 +194,6 @@ fn whole_pipeline_sensor_to_alert_with_verification() {
             &CheckOptions { env: Some(env.clone()), ..Default::default() },
         )
         .unwrap();
-        assert!(
-            r.holds,
-            "channel {} must be alarm-free under alternation",
-            ch.spec.signal
-        );
+        assert!(r.holds, "channel {} must be alarm-free under alternation", ch.spec.signal);
     }
 }

@@ -8,7 +8,8 @@ fn cli() -> Command {
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("polysig_cli_test_{name}_{}.sig", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("polysig_cli_test_{name}_{}.sig", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(contents.as_bytes()).unwrap();
     path

@@ -80,11 +80,7 @@ fn io_flows_match_the_synchronous_original() {
         FlowRelation::Equal,
     )
     .unwrap();
-    assert!(
-        report.all_match(),
-        "desynchronized flows diverged: {:#?}",
-        report.mismatches
-    );
+    assert!(report.all_match(), "desynchronized flows diverged: {:#?}", report.mismatches);
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! E4 — differential validation of the dense-reaction path.
+//!
+//! The refactor that introduced [`polysig::sim::Reactor::react_dense`]
+//! claims behavior preservation: the legacy name-keyed `react` and the new
+//! index-addressed `react_dense` must produce flow-equivalent behaviors on
+//! every program. This suite drives both entry points — the name-keyed map
+//! boundary and a hand-built [`DenseEnv`] — over the same pseudo-random
+//! scenario ensembles and asserts instant-by-instant equality of present
+//! signals, values, errors, and register files.
+//!
+//! Coverage: every program under `programs/`, every component builder
+//! realizing the theorem constructions validated by `tests/theorem1.rs` and
+//! `tests/theorem2.rs` (the `AFifo`/`nFifo` network components: `nFifo` of
+//! Definition 9, the one-place buffer and memory cell of Figure 2, the
+//! fork/merge fan-out), and the desynchronized pipe the paper's Section 5
+//! workflow produces.
+
+use std::collections::BTreeMap;
+
+use polysig::gals::instrument::monitor_component;
+use polysig::gals::nfifo::nfifo_component;
+use polysig::gals::onefifo::{memory_cell_component, one_place_buffer_component};
+use polysig::gals::{desynchronize, fork_component, merge_component, DesyncOptions};
+use polysig::lang::{parse_program, Program, Role};
+use polysig::sim::{DenseEnv, Reactor, Scenario};
+use polysig::tagged::{SigName, Value, ValueType};
+
+/// Deterministic splitmix-style generator: the ensembles must be identical
+/// on every run and platform.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+    z ^ (z >> 33)
+}
+
+/// The program's external inputs with their declared types.
+fn input_decls(program: &Program) -> Vec<(SigName, ValueType)> {
+    program
+        .external_inputs()
+        .into_iter()
+        .map(|n| {
+            let ty = program
+                .components
+                .iter()
+                .find_map(|c| c.decl(&n).map(|d| d.ty))
+                .expect("external input is declared");
+            (n, ty)
+        })
+        .collect()
+}
+
+/// One pseudo-random scenario over `inputs`: each signal is independently
+/// present about 3 of 4 instants, with small values so `when`/`default`
+/// branches and register feedback all get exercised.
+fn ensemble(inputs: &[(SigName, ValueType)], seed: u64, len: usize) -> Scenario {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut scenario = Scenario::new();
+    for _ in 0..len {
+        let mut step: BTreeMap<SigName, Value> = BTreeMap::new();
+        for (name, ty) in inputs {
+            if next(&mut state).is_multiple_of(4) {
+                continue; // absent this instant
+            }
+            let v = match ty {
+                ValueType::Bool => Value::Bool(next(&mut state).is_multiple_of(2)),
+                ValueType::Int => Value::Int((next(&mut state) % 5) as i64),
+            };
+            step.insert(name.clone(), v);
+        }
+        scenario.push_step(step);
+    }
+    scenario
+}
+
+/// Drives `scenario` through two fresh reactors — one via the name-keyed
+/// `react`, one via `react_dense` — asserting flow-equivalence at every
+/// instant: same present signals and values, same error on rejected
+/// instants, same register file afterwards.
+fn assert_flow_equivalent(label: &str, program: &Program, scenario: &Scenario, tag: &str) {
+    let mut legacy = Reactor::for_program(program).expect("program compiles");
+    let mut dense = Reactor::for_program(program).expect("program compiles");
+    let names = dense.signal_names().to_vec();
+    let n = dense.signal_count();
+    let mut env = DenseEnv::new(n);
+
+    for (k, step) in scenario.iter().enumerate() {
+        let legacy_out = legacy.react(step);
+        env.reset(n);
+        for (name, value) in step {
+            let id = dense.sig_id(name).expect("scenario drives declared signals");
+            env.set(id, *value);
+        }
+        match (legacy_out, dense.react_dense(&env)) {
+            (Ok(l), Ok(d)) => {
+                let d: Vec<(SigName, Value)> =
+                    d.iter().map(|(id, v)| (names[id.index()].clone(), v)).collect();
+                assert_eq!(l, d, "{label}/{tag}: present sets diverge at instant {k}");
+            }
+            (Err(l), Err(d)) => {
+                assert_eq!(
+                    l.to_string(),
+                    d.to_string(),
+                    "{label}/{tag}: errors diverge at instant {k}"
+                );
+            }
+            (l, d) => panic!(
+                "{label}/{tag}: one path rejected instant {k}: legacy {l:?}, dense {}",
+                match d {
+                    Ok(env) => format!("accepted {} present", env.present_count()),
+                    Err(e) => format!("rejected ({e})"),
+                }
+            ),
+        }
+        assert_eq!(
+            legacy.registers(),
+            dense.registers(),
+            "{label}/{tag}: register files diverge after instant {k}"
+        );
+    }
+}
+
+/// The full differential drill for one program: eight pseudo-random
+/// ensembles of 24 instants each.
+fn drill(label: &str, program: &Program) {
+    let inputs = input_decls(program);
+    assert!(!inputs.is_empty(), "{label}: nothing to drive");
+    for seed in 0..8u64 {
+        let scenario = ensemble(&inputs, seed, 24);
+        assert_flow_equivalent(label, program, &scenario, &format!("seed{seed}"));
+    }
+}
+
+fn program_file(name: &str) -> Program {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_program(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+// --- every program shipped under `programs/` -----------------------------
+
+#[test]
+fn programs_accumulator_is_flow_equivalent() {
+    drill("programs/accumulator.sig", &program_file("accumulator.sig"));
+}
+
+#[test]
+fn programs_pipe_is_flow_equivalent() {
+    drill("programs/pipe.sig", &program_file("pipe.sig"));
+}
+
+#[test]
+fn programs_one_place_buffer_is_flow_equivalent() {
+    let program = program_file("one_place_buffer.sig");
+    drill("programs/one_place_buffer.sig", &program);
+    // and the scenario file shipped beside it, verbatim
+    let path = format!("{}/programs/one_place_buffer.scn", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let scenario = Scenario::from_text(&text).unwrap();
+    assert_flow_equivalent("programs/one_place_buffer.sig", &program, &scenario, "scn");
+}
+
+// --- the theorem networks' component builders ----------------------------
+
+#[test]
+fn nfifo_builders_are_flow_equivalent() {
+    for depth in 1..=3usize {
+        let program = Program::single(nfifo_component("ch", depth));
+        drill(&format!("nfifo(depth={depth})"), &program);
+    }
+}
+
+#[test]
+fn one_place_buffer_builder_is_flow_equivalent() {
+    drill("one_place_buffer_component", &Program::single(one_place_buffer_component("b")));
+}
+
+#[test]
+fn memory_cell_builder_is_flow_equivalent() {
+    drill("memory_cell_component", &Program::single(memory_cell_component("m")));
+}
+
+#[test]
+fn fork_and_merge_builders_are_flow_equivalent() {
+    let x = SigName::from("x");
+    for n in 2..=3usize {
+        drill(&format!("fork(n={n})"), &Program::single(fork_component(&x, ValueType::Int, n)));
+        drill(&format!("merge(n={n})"), &Program::single(merge_component(&x, ValueType::Int, n)));
+    }
+}
+
+#[test]
+fn monitor_builder_is_flow_equivalent() {
+    drill("monitor_component", &Program::single(monitor_component("ch")));
+}
+
+// --- the Section 5 workflow output ---------------------------------------
+
+#[test]
+fn desynchronized_pipe_is_flow_equivalent() {
+    let pipe = program_file("pipe.sig");
+    for size in 1..=3usize {
+        let gals =
+            desynchronize(&pipe, &DesyncOptions::with_size(size)).expect("pipe desynchronizes");
+        drill(&format!("desync(pipe, size={size})"), &gals.program);
+    }
+}
+
+// --- composed multi-component programs go through the same boundary ------
+
+#[test]
+fn composed_components_agree_with_their_product() {
+    // the per-component reactors used by the GALS runtimes must see the
+    // same dense/name-keyed agreement as whole programs
+    let pipe = program_file("pipe.sig");
+    for c in &pipe.components {
+        let inputs: Vec<(SigName, ValueType)> =
+            c.signals_with_role(Role::Input).map(|d| (d.name.clone(), d.ty)).collect();
+        for seed in 0..4u64 {
+            let scenario = ensemble(&inputs, seed, 16);
+            assert_flow_equivalent(
+                &format!("component {}", c.name),
+                &Program::single(c.clone()),
+                &scenario,
+                &format!("seed{seed}"),
+            );
+        }
+    }
+}

@@ -46,8 +46,7 @@ fn synchronous_model_to_gals_deployment() {
         .clone()
         .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 0).generate(gals_steps))
         .zip_union(&master_clock("tick", gals_steps));
-    let report =
-        estimate_buffer_sizes(&p, &model_env, &EstimationOptions::default()).unwrap();
+    let report = estimate_buffer_sizes(&p, &model_env, &EstimationOptions::default()).unwrap();
     assert!(report.converged);
     let size = report.size_of(&"x".into()).unwrap();
 
@@ -65,8 +64,11 @@ fn synchronous_model_to_gals_deployment() {
         &p,
         vec![
             ComponentSpec::periodic("Producer", 1).with_environment(producer_env.clone()),
-            ComponentSpec::periodic("Consumer", 2)
-                .with_clock(ClockModel::Jittered { period: 2, jitter: 1, seed: 5 }),
+            ComponentSpec::periodic("Consumer", 2).with_clock(ClockModel::Jittered {
+                period: 2,
+                jitter: 1,
+                seed: 5,
+            }),
         ],
         ChannelPolicy::Blocking,
         &caps,

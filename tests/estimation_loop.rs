@@ -12,7 +12,9 @@ use polysig::gals::estimate::{estimate_buffer_sizes, EstimationOptions, GrowthPo
 use polysig::gals::{desynchronize, DesyncOptions};
 use polysig::lang::parse_program;
 use polysig::sim::generator::master_clock;
-use polysig::sim::{BurstyInputs, PeriodicInputs, RandomInputs, Scenario, ScenarioGenerator, Simulator};
+use polysig::sim::{
+    BurstyInputs, PeriodicInputs, RandomInputs, Scenario, ScenarioGenerator, Simulator,
+};
 use polysig::tagged::{SigName, Value, ValueType};
 
 fn pipe() -> polysig::lang::Program {
@@ -33,11 +35,8 @@ fn env(steps: usize, write: &dyn Fn(usize) -> Scenario, read_period: usize) -> S
 fn estimated_size_grows_with_burst_length() {
     let mut previous = 0usize;
     for burst in [1usize, 2, 4, 6] {
-        let scenario = env(
-            60,
-            &|steps| BurstyInputs::new("a", ValueType::Int, burst, 12).generate(steps),
-            2,
-        );
+        let scenario =
+            env(60, &|steps| BurstyInputs::new("a", ValueType::Int, burst, 12).generate(steps), 2);
         let report =
             estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
         assert!(report.converged, "burst {burst} must converge");
@@ -73,13 +72,9 @@ fn estimated_size_grows_with_rate_mismatch() {
 #[test]
 fn converged_design_stays_clean_on_its_environment() {
     // the loop's guarantee, re-checked independently
-    let scenario = env(
-        48,
-        &|steps| RandomInputs::new("a", ValueType::Int, 0.7, 99).generate(steps),
-        2,
-    );
-    let report =
-        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    let scenario =
+        env(48, &|steps| RandomInputs::new("a", ValueType::Int, 0.7, 99).generate(steps), 2);
+    let report = estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
     assert!(report.converged);
     let size = report.size_of(&"x".into()).unwrap();
     let d = desynchronize(&pipe(), &DesyncOptions::with_size(size).instrumented()).unwrap();
@@ -93,19 +88,11 @@ fn converged_design_stays_clean_on_its_environment() {
 
 #[test]
 fn history_alarm_counts_decrease_to_zero() {
-    let scenario = env(
-        36,
-        &|steps| BurstyInputs::new("a", ValueType::Int, 5, 9).generate(steps),
-        2,
-    );
-    let report =
-        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    let scenario =
+        env(36, &|steps| BurstyInputs::new("a", ValueType::Int, 5, 9).generate(steps), 2);
+    let report = estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
     assert!(report.converged);
-    let alarms: Vec<usize> = report
-        .history
-        .iter()
-        .map(|h| h.alarms[&SigName::from("x")])
-        .collect();
+    let alarms: Vec<usize> = report.history.iter().map(|h| h.alarms[&SigName::from("x")]).collect();
     assert!(alarms.len() >= 2, "should take multiple rounds: {alarms:?}");
     assert_eq!(*alarms.last().unwrap(), 0);
     assert!(alarms[0] > 0);
@@ -115,11 +102,8 @@ fn history_alarm_counts_decrease_to_zero() {
 
 #[test]
 fn growth_policies_reach_clean_designs_with_different_costs() {
-    let scenario = env(
-        40,
-        &|steps| BurstyInputs::new("a", ValueType::Int, 6, 10).generate(steps),
-        2,
-    );
+    let scenario =
+        env(40, &|steps| BurstyInputs::new("a", ValueType::Int, 6, 10).generate(steps), 2);
     let by_miss = estimate_buffer_sizes(
         &pipe(),
         &scenario,

@@ -14,12 +14,23 @@ fn stimulus() -> Scenario {
     // write 1 / idle / write 2 / read / write 3 / read — six instants, as in
     // the shape of the paper's sample behavior
     Scenario::new()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(1)).tick()
-        .on("tick", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(2)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
-        .on("tick", Value::TRUE).on("msgin", Value::Int(3)).tick()
-        .on("tick", Value::TRUE).on("rd", Value::TRUE).tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(1))
+        .tick()
+        .on("tick", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(2))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("msgin", Value::Int(3))
+        .tick()
+        .on("tick", Value::TRUE)
+        .on("rd", Value::TRUE)
+        .tick()
 }
 
 #[test]

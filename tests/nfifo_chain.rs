@@ -82,7 +82,12 @@ struct IdealQueue {
 
 impl IdealQueue {
     fn new(capacity: usize) -> Self {
-        IdealQueue { capacity, queue: Default::default(), accepted: Vec::new(), delivered: Vec::new() }
+        IdealQueue {
+            capacity,
+            queue: Default::default(),
+            accepted: Vec::new(),
+            delivered: Vec::new(),
+        }
     }
 
     fn step(&mut self, write: Option<i64>, read: bool) {
@@ -140,11 +145,8 @@ fn compare_exact(n: usize, cmds: &[(Option<i64>, bool)]) {
     let run = run_chain(n, cmds);
     assert_eq!(accepted_of(&run), ints(&sr.accepted), "depth {n}: accepted diverge");
     assert_eq!(run.flow(&"ch_out".into()), ints(&sr.delivered), "depth {n}: delivered diverge");
-    let chain_alarms: Vec<bool> = run
-        .flow(&"ch_alarm".into())
-        .iter()
-        .map(|v| *v == Value::TRUE)
-        .collect();
+    let chain_alarms: Vec<bool> =
+        run.flow(&"ch_alarm".into()).iter().map(|v| *v == Value::TRUE).collect();
     assert_eq!(chain_alarms, sr.alarms, "depth {n}: alarm patterns diverge");
 }
 
@@ -165,8 +167,7 @@ fn chain_matches_shift_register_on_spaced_workloads() {
 fn chain_matches_shift_register_on_dense_workloads() {
     for n in 1..=4usize {
         // write and read on every tick: maximum ripple pressure
-        let cmds: Vec<(Option<i64>, bool)> =
-            (0..20).map(|i| (Some(i as i64), true)).collect();
+        let cmds: Vec<(Option<i64>, bool)> = (0..20).map(|i| (Some(i as i64), true)).collect();
         compare_exact(n, &cmds);
     }
 }

@@ -103,20 +103,8 @@ fn in_flight_messages_at_prefix_end() {
 
 #[test]
 fn multiple_behaviors_per_process() {
-    let p = proc_of(
-        &["x", "a"],
-        &[
-            &[("x", 1, 1), ("a", 2, 0)],
-            &[("a", 1, 0), ("x", 2, 2)],
-        ],
-    );
-    let q = proc_of(
-        &["x", "b"],
-        &[
-            &[("x", 1, 1), ("b", 1, 0)],
-            &[("x", 1, 2), ("b", 2, 0)],
-        ],
-    );
+    let p = proc_of(&["x", "a"], &[&[("x", 1, 1), ("a", 2, 0)], &[("a", 1, 0), ("x", 2, 2)]]);
+    let q = proc_of(&["x", "b"], &[&[("x", 1, 1), ("b", 1, 0)], &[("x", 1, 2), ("b", 2, 0)]]);
     assert_theorem1(&p, &q, "multiple behaviors");
 }
 
@@ -181,8 +169,7 @@ fn desynchronization_chain_iterates_over_channels() {
     let mut orders = BTreeMap::new();
     orders.insert(SigName::from("x"), CausalOrder::LeftProduces);
     orders.insert(SigName::from("y"), CausalOrder::LeftProduces);
-    let both = causal_async_compose(&p, &q, &orders)
-        .hide([SigName::from("x"), SigName::from("y")]);
+    let both = causal_async_compose(&p, &q, &orders).hide([SigName::from("x"), SigName::from("y")]);
     // all variables hidden: the silent behavior remains
     assert_eq!(both.len(), 1);
 }

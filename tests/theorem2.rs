@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use polysig::tagged::{
-    causal_async_compose, fifo_spec::afifo_process_for_flow, is_nfifo_behavior,
-    lemma2_bound_holds, sync_compose, Behavior, CausalOrder, Process, SigName, Value,
+    causal_async_compose, fifo_spec::afifo_process_for_flow, is_nfifo_behavior, lemma2_bound_holds,
+    sync_compose, Behavior, CausalOrder, Process, SigName, Value,
 };
 
 fn beh(evts: &[(&str, u64, i64)]) -> Behavior {

@@ -95,8 +95,7 @@ fn counterexample_feeds_the_estimation_loop() {
         l.insert("x_rd".into(), Value::TRUE);
         scenario.push_step(l);
     }
-    let report =
-        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    let report = estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
     assert!(report.converged);
     let size = report.size_of(&"x".into()).unwrap();
     assert!(size >= 2);
@@ -110,9 +109,8 @@ fn burst_length_vs_required_size_series() {
     // E7's series: for w-write frames (fully drained), the minimal proved-
     // safe size equals w
     for w in 1..=3usize {
-        let minimal = (1..=w)
-            .find(|&n| alarm_check(n, w, w).holds)
-            .expect("w places always suffice");
+        let minimal =
+            (1..=w).find(|&n| alarm_check(n, w, w).holds).expect("w places always suffice");
         assert_eq!(minimal, w, "{w}-write frames need exactly {w} places");
         if w > 1 {
             assert!(!alarm_check(w - 1, w, w).holds);
@@ -129,8 +127,7 @@ fn estimated_and_verified_sizes_agree() {
         .generate(steps)
         .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 1, 0).generate(steps))
         .zip_union(&master_clock("tick", steps));
-    let report =
-        estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
+    let report = estimate_buffer_sizes(&pipe(), &scenario, &EstimationOptions::default()).unwrap();
     assert!(report.converged);
     let estimated = report.size_of(&"x".into()).unwrap();
     // the same 1:1 write/read pattern as an automaton
@@ -145,10 +142,7 @@ fn verification_scales_with_buffer_depth() {
     for n in 1..=4usize {
         let r = alarm_check(n, 1, 1);
         assert!(r.holds);
-        assert!(
-            r.states_explored >= previous,
-            "state space should not shrink with depth"
-        );
+        assert!(r.states_explored >= previous, "state space should not shrink with depth");
         previous = r.states_explored;
     }
 }

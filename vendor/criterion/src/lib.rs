@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface polysig's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], `criterion_group!` / `criterion_main!` — with a simple
+//! warmup + sampled-median measurement instead of the real crate's
+//! statistics machinery.
+//!
+//! Two extras tailored to this repository:
+//!
+//! * **test mode**: when the binary is run without `--bench` (as `cargo
+//!   test` does for bench targets), every benchmark body executes exactly
+//!   once as a smoke test and nothing is measured;
+//! * **machine-readable summary**: under `--bench`, the median ns/iter of
+//!   every benchmark is merged into `BENCH_summary.json` at the workspace
+//!   root (override the path with `BENCH_SUMMARY_PATH`, the section written
+//!   with `BENCH_SUMMARY_SECTION`, default `"current"`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub mod summary;
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark manager: hands out groups and knows whether we are
+/// measuring (`--bench`) or smoke-testing (`cargo test`).
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), measure: self.measure, _criterion: self }
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units-of-work declaration; accepted and ignored (the summary records raw
+/// ns/iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measure: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the group's throughput (ignored).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Hints the sample count (ignored; sampling is time-budgeted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut |b| f(b));
+    }
+
+    /// Runs one benchmark that borrows an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b| f(b, input));
+    }
+
+    /// Closes the group (bookkeeping happens per-benchmark, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher { measure: self.measure, median_ns: None };
+        f(&mut bencher);
+        if self.measure {
+            let ns = bencher.median_ns.unwrap_or(f64::NAN);
+            eprintln!("bench {full:<48} {ns:>14.1} ns/iter");
+            summary::record(&full, ns);
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    measure: bool,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per call.
+    ///
+    /// In test mode (no `--bench` argument) `f` runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        // Warmup + calibration: find roughly how long one call takes.
+        let calib_start = Instant::now();
+        black_box(f());
+        let mut per_call = calib_start.elapsed();
+        let warmup_budget = Duration::from_millis(40);
+        let mut warm_elapsed = per_call;
+        while warm_elapsed < warmup_budget {
+            let t = Instant::now();
+            black_box(f());
+            per_call = t.elapsed();
+            warm_elapsed += per_call;
+        }
+        // Choose iterations per sample aiming at ~4ms samples, and take a
+        // fixed odd number of samples under a global time cap.
+        let per_call_ns = per_call.as_nanos().max(1) as u64;
+        let iters = (4_000_000 / per_call_ns).clamp(1, 1_000_000);
+        let samples = 11usize;
+        let cap = Duration::from_millis(1500);
+        let mut medians: Vec<f64> = Vec::with_capacity(samples);
+        let total_start = Instant::now();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            medians.push(ns);
+            if total_start.elapsed() > cap {
+                break;
+            }
+        }
+        medians.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = Some(medians[medians.len() / 2]);
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups and flushing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::summary::flush();
+        }
+    };
+}

@@ -1,0 +1,191 @@
+//! The machine-readable bench summary: `BENCH_summary.json`.
+//!
+//! The file is a two-level object, `section → benchmark id → median
+//! ns/iter`, e.g.
+//!
+//! ```json
+//! {
+//!   "baseline": { "fig2/scheduled_run": 104224.2 },
+//!   "current":  { "fig2/scheduled_run": 61210.9 }
+//! }
+//! ```
+//!
+//! Each bench binary records into a process-wide map and merges it into the
+//! file on exit ([`flush`]), so consecutive binaries of one `cargo bench`
+//! run accumulate instead of clobbering each other. The section written is
+//! `BENCH_SUMMARY_SECTION` (default `"current"`); the path is
+//! `BENCH_SUMMARY_PATH` (default `BENCH_summary.json` at the workspace
+//! root). Parsing is a tiny recursive-descent reader for exactly this
+//! shape — no JSON dependency.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+type Sections = BTreeMap<String, BTreeMap<String, f64>>;
+
+fn pending() -> &'static Mutex<BTreeMap<String, f64>> {
+    static PENDING: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    PENDING.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records one measurement for the next [`flush`].
+pub fn record(id: &str, median_ns: f64) {
+    pending().lock().expect("summary lock").insert(id.to_owned(), median_ns);
+}
+
+fn summary_path() -> PathBuf {
+    match std::env::var_os("BENCH_SUMMARY_PATH") {
+        Some(p) => PathBuf::from(p),
+        // vendor/criterion/../../ = the workspace root
+        None => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_summary.json")),
+    }
+}
+
+/// Merges everything recorded by this process into the summary file.
+pub fn flush() {
+    let recorded = std::mem::take(&mut *pending().lock().expect("summary lock"));
+    if recorded.is_empty() {
+        return;
+    }
+    let section = std::env::var("BENCH_SUMMARY_SECTION").unwrap_or_else(|_| "current".to_owned());
+    let path = summary_path();
+    let mut sections: Sections =
+        std::fs::read_to_string(&path).ok().and_then(|text| parse(&text)).unwrap_or_default();
+    sections.entry(section).or_default().extend(recorded);
+    if let Err(e) = std::fs::write(&path, render(&sections)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("bench summary merged into {}", path.display());
+    }
+}
+
+fn render(sections: &Sections) -> String {
+    let mut out = String::from("{\n");
+    let mut first_section = true;
+    for (section, entries) in sections {
+        if !first_section {
+            out.push_str(",\n");
+        }
+        first_section = false;
+        out.push_str(&format!("  {:?}: {{\n", section));
+        let mut first_entry = true;
+        for (id, ns) in entries {
+            if !first_entry {
+                out.push_str(",\n");
+            }
+            first_entry = false;
+            out.push_str(&format!("    {:?}: {:.1}", id, ns));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses the restricted `{str: {str: number}}` shape; `None` on anything
+/// else.
+fn parse(text: &str) -> Option<Sections> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let sections = p.object(|p| p.object(Parser::number))?;
+    p.skip_ws();
+    p.at_end().then_some(sections)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        (self.bytes.get(self.pos) == Some(&b)).then(|| self.pos += 1)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                // summary keys never contain escapes; reject files that do
+                if s.contains('\\') {
+                    return None;
+                }
+                self.pos += 1;
+                return Some(s.to_owned());
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+    }
+
+    fn object<T>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Option<T>,
+    ) -> Option<BTreeMap<String, T>> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.eat(b'}').is_some() {
+            return Some(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            map.insert(key, value(self)?);
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b'}')?;
+            return Some(map);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut sections = Sections::new();
+        sections.entry("baseline".into()).or_default().insert("fig2/run".into(), 104224.2);
+        sections.entry("current".into()).or_default().insert("fig2/run".into(), 61210.9);
+        sections.entry("current".into()).or_default().insert("verify/alarm-size/3".into(), 12.5);
+        let text = render(&sections);
+        assert_eq!(parse(&text), Some(sections));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse("not json"), None);
+        assert_eq!(parse("{\"a\": [1,2]}"), None);
+        assert!(parse("{}").is_some());
+    }
+}

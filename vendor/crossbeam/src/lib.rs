@@ -1,0 +1,292 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] subset polysig's threaded runtime uses: MPMC
+//! bounded/unbounded channels with blocking `send`/`recv`, non-blocking
+//! `try_send`/`try_recv`, and disconnection detection on both ends. Built on
+//! `Mutex` + `Condvar`; not lock-free like the real crate, but semantically
+//! faithful for the channel counts and message rates in this repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), capacity, senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Creates an unbounded channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Creates a bounded channel holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (the real crate's rendezvous channel
+    /// is not needed here, so it is not implemented).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "zero-capacity channels are not supported by this stand-in");
+        make(Some(capacity))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Full`] when the channel is at capacity and
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.capacity {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Receives a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when nothing is queued and
+        /// [`TryRecvError::Disconnected`] when additionally every sender is
+        /// gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // wake receivers blocked on an empty queue so they observe
+                // the disconnection
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..100).map(|_| rx.try_recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnection_both_ways() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let producer = thread::spawn(move || {
+            for i in 1..50 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert!(rx.recv().is_err(), "producer dropped, channel drained");
+    }
+}

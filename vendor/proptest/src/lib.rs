@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the slice of the proptest API the test-suite uses: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! range and tuple strategies, [`collection::vec`], [`option::of`],
+//! [`bool::ANY`], and the `proptest!` / `prop_oneof!` / `prop_assert!`
+//! macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the panic
+//!   message (strategies generate `Debug`-free values, so the assertion text
+//!   is what you get);
+//! * **deterministic seeding** — every test derives its RNG stream from the
+//!   test's name, so failures reproduce exactly on re-run;
+//! * `prop_recursive` unrolls eagerly to the requested depth instead of
+//!   lazily growing, which bounds recursion depth the same way in practice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy generating `Option<T>` from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` (with probability one half) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Strategies for `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy generating either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generates `#[test]` functions running a property over many generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());)*
+                $body
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property (here: a plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (here: a plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (here: a plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly (or by weight, with `w => strategy` arms) among several
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$(($weight, $crate::strategy::Strategy::boxed($arm))),+],
+        )
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($arm)),+],
+        )
+    };
+}

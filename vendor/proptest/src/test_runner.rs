@@ -1,0 +1,55 @@
+//! Test configuration and the per-test runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: owns the RNG stream for all of its cases.
+///
+/// Seeding is a hash of the test's fully qualified name, so every run of the
+/// same test replays the same cases — failures are reproducible without a
+/// persistence file.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates the runner for the named test.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed seed
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { rng: TestRng::seed_from_u64(seed) }
+    }
+
+    /// The RNG stream for this property's cases.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
