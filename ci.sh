@@ -9,7 +9,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q --workspace"
+echo "==> cargo test -q --workspace (POLYSIG_TEST_THREADS=1: sequential exploration path)"
+POLYSIG_TEST_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace (detected parallelism)"
 cargo test -q --workspace
 
 echo "CI green."

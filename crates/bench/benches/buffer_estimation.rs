@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use polysig_bench::{banner, pipe};
-use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+use polysig_gals::estimate::{
+    estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EstimationOptions,
+};
 use polysig_sim::generator::master_clock;
 use polysig_sim::{BurstyInputs, PeriodicInputs, Scenario, ScenarioGenerator};
 use polysig_tagged::ValueType;
@@ -54,6 +56,23 @@ fn bench(c: &mut Criterion) {
                     estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default())
                         .unwrap()
                         .iterations(),
+                )
+            })
+        });
+    }
+    // the scenario-ensemble entry point: independent per-scenario loops
+    // fanned across workers
+    let ensemble: Vec<Scenario> =
+        [2usize, 4, 8].iter().map(|&b| bursty_env(80, b, 16, 2)).collect();
+    for threads in [1usize, 2, 4] {
+        let opts = EstimationOptions { threads, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("full_loop_par", threads), &threads, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes_ensemble(&pipe(), &ensemble, &opts)
+                        .unwrap()
+                        .reports
+                        .len(),
                 )
             })
         });

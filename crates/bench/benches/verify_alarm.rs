@@ -30,7 +30,7 @@ fn frame(w: usize) -> Vec<Letter> {
     seq
 }
 
-fn run_check(size: usize, w: usize) -> polysig_verify::CheckResult {
+fn run_check(size: usize, w: usize, threads: usize) -> polysig_verify::CheckResult {
     let d = desynchronize(&pipe(), &DesyncOptions::with_size(size)).unwrap();
     let seq = frame(w);
     let mut alphabet = Alphabet::from_letters(seq.clone()).unwrap();
@@ -39,7 +39,7 @@ fn run_check(size: usize, w: usize) -> polysig_verify::CheckResult {
         &d.program,
         &alphabet,
         &Property::never_true("x_alarm"),
-        &CheckOptions { env: Some(env), ..Default::default() },
+        &CheckOptions { env: Some(env), threads, ..Default::default() },
     )
     .unwrap()
 }
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
     banner("E7 / Section 5.2", "alarm reachability vs buffer depth (2-write frames)");
     eprintln!("{:>6} | {:>8} | {:>12} | verdict", "depth", "states", "transitions");
     for size in 1..=5usize {
-        let r = run_check(size, 2);
+        let r = run_check(size, 2, 1);
         eprintln!(
             "{size:>6} | {:>8} | {:>12} | {}",
             r.states_explored,
@@ -58,15 +58,34 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("verify");
+    // sequential path (threads = 1): comparable with the pre-parallel
+    // baseline sections
     for size in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("check_frame2", size), &size, |b, _| {
-            b.iter(|| std::hint::black_box(run_check(size, 2).states_explored))
+            b.iter(|| std::hint::black_box(run_check(size, 2, 1).states_explored))
         });
     }
     for w in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::new("check_depth3_framew", w), &w, |b, _| {
-            b.iter(|| std::hint::black_box(run_check(3, w).states_explored))
+            b.iter(|| std::hint::black_box(run_check(3, w, 1).states_explored))
         });
+    }
+    // layer-parallel exploration at fixed worker counts
+    for threads in [2usize, 4] {
+        for size in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("check_frame2_par{threads}"), size),
+                &size,
+                |b, _| b.iter(|| std::hint::black_box(run_check(size, 2, threads).states_explored)),
+            );
+        }
+        for w in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("check_depth3_framew_par{threads}"), w),
+                &w,
+                |b, _| b.iter(|| std::hint::black_box(run_check(3, w, threads).states_explored)),
+            );
+        }
     }
     group.finish();
 }

@@ -43,6 +43,12 @@ pub struct EstimationOptions {
     pub max_size: usize,
     /// Growth rule.
     pub growth: GrowthPolicy,
+    /// Worker threads for [`estimate_buffer_sizes_ensemble`] (a single
+    /// loop is inherently sequential round-to-round, so
+    /// [`estimate_buffer_sizes`] ignores this). Per-scenario results are
+    /// identical for every value. Defaults to the detected parallelism
+    /// (`POLYSIG_TEST_THREADS` overrides it).
+    pub threads: usize,
 }
 
 impl Default for EstimationOptions {
@@ -52,6 +58,7 @@ impl Default for EstimationOptions {
             max_iterations: 32,
             max_size: 4096,
             growth: GrowthPolicy::ByMaxMiss,
+            threads: crossbeam::pool::default_threads(),
         }
     }
 }
@@ -179,6 +186,60 @@ pub fn estimate_buffer_sizes(
     Ok(EstimationReport { converged: false, final_sizes: sizes, history })
 }
 
+/// The outcome of an ensemble estimation: one report per scenario plus the
+/// per-channel worst case over the whole ensemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleReport {
+    /// One [`EstimationReport`] per input scenario, in input order.
+    pub reports: Vec<EstimationReport>,
+    /// Per channel, the largest final size any scenario demanded — the
+    /// sizing that covers the whole ensemble.
+    pub merged_sizes: BTreeMap<SigName, usize>,
+    /// `true` iff every scenario's loop converged.
+    pub converged: bool,
+}
+
+/// Scenarios per worker below which fanning out isn't worth the spawn
+/// latency (each scenario already amortizes several desynchronize +
+/// simulate rounds).
+const MIN_SCENARIOS_PER_CHUNK: usize = 1;
+
+/// Runs the Section-5.2 estimation loop once per scenario and merges the
+/// results: the paper's "set of behaviors" workflow.
+///
+/// Scenarios are independent, so the loops are fanned out across
+/// `options.threads` scoped workers (chunked contiguously, results merged
+/// in input order) — every report, and therefore the merged sizing, is
+/// identical for every thread count. An error aborts the whole ensemble,
+/// surfacing the earliest-indexed scenario's failure.
+pub fn estimate_buffer_sizes_ensemble(
+    program: &Program,
+    scenarios: &[Scenario],
+    options: &EstimationOptions,
+) -> Result<EnsembleReport, GalsError> {
+    let outs = crossbeam::pool::map_chunks(
+        options.threads,
+        scenarios,
+        MIN_SCENARIOS_PER_CHUNK,
+        |_start, chunk| -> Result<Vec<EstimationReport>, GalsError> {
+            chunk.iter().map(|s| estimate_buffer_sizes(program, s, options)).collect()
+        },
+    );
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for out in outs {
+        reports.extend(out?);
+    }
+    let mut merged_sizes: BTreeMap<SigName, usize> = BTreeMap::new();
+    for report in &reports {
+        for (signal, &size) in &report.final_sizes {
+            let slot = merged_sizes.entry(signal.clone()).or_insert(size);
+            *slot = (*slot).max(size);
+        }
+    }
+    let converged = reports.iter().all(|r| r.converged);
+    Ok(EnsembleReport { reports, merged_sizes, converged })
+}
+
 /// Simulates one instrumented round and collects alarms and miss registers.
 fn measure(
     d: &Desynchronized,
@@ -300,6 +361,38 @@ mod tests {
         let final_size = report.final_sizes[&SigName::from("x")];
         assert!(final_size > 8, "growth should have tripped the cap, got {final_size}");
         assert!(!report.history.is_empty());
+    }
+
+    #[test]
+    fn ensemble_merges_worst_case_and_is_thread_count_invariant() {
+        // three read rates: the merged sizing must cover the slowest reader
+        let scenarios = vec![env(24, 2, 2), env(12, 1, 3), env(18, 1, 2)];
+        let seq = estimate_buffer_sizes_ensemble(
+            &pipe(),
+            &scenarios,
+            &EstimationOptions { threads: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(seq.converged);
+        assert_eq!(seq.reports.len(), 3);
+        let worst = seq.reports.iter().map(|r| r.final_sizes[&SigName::from("x")]).max().unwrap();
+        assert_eq!(seq.merged_sizes[&SigName::from("x")], worst);
+        // per-scenario reports equal the single-scenario entry point
+        for (s, r) in scenarios.iter().zip(&seq.reports) {
+            assert_eq!(
+                r,
+                &estimate_buffer_sizes(&pipe(), s, &EstimationOptions::default()).unwrap()
+            );
+        }
+        for threads in [2, 4, 8] {
+            let par = estimate_buffer_sizes_ensemble(
+                &pipe(),
+                &scenarios,
+                &EstimationOptions { threads, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub mod vcd;
 pub use closedloop::{run_masked, MaskedRun};
 pub use desync::{desynchronize, DesyncOptions, Desynchronized};
 pub use error::GalsError;
-pub use estimate::{estimate_buffer_sizes, EstimationOptions, EstimationReport};
+pub use estimate::{
+    estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EnsembleReport, EstimationOptions,
+    EstimationReport,
+};
 pub use fork::{fork_component, fork_shared_signals, merge_component};
 pub use partition::{channels_of_program, ChannelSpec};
 pub use policy::ChannelPolicy;

@@ -54,6 +54,6 @@ pub use engine::{Run, Simulator};
 pub use env::DenseEnv;
 pub use error::SimError;
 pub use generator::{BurstyInputs, PeriodicInputs, RandomInputs, ScenarioGenerator};
-pub use reactor::Reactor;
+pub use reactor::{Reactor, ReactorState};
 pub use scenario::Scenario;
 pub use status::Status;

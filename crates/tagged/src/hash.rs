@@ -1,0 +1,121 @@
+//! A fast, non-cryptographic hasher for trusted keys.
+//!
+//! The explicit-state checkers probe a visited-map once per transition and
+//! the interner hashes every name lookup at elaboration time; both operate
+//! on keys the program itself produced, so SipHash's DoS resistance is pure
+//! overhead there. [`FxHasher`] reimplements the classic `FxHash` mix used
+//! by rustc (multiply by a golden-ratio-derived odd constant after a
+//! rotate-xor): one multiply per word, no finalization, excellent
+//! distribution on the short register-file and name keys this workspace
+//! hashes. Do **not** use it on attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `std::collections::HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `std::collections::HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// The zero-sized build-hasher producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 2^64 / φ, forced odd — the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHash` word mixer. One state word; each input word is
+/// folded in with `rotate-xor-multiply`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(hash_of(&(vec![1i64, 2, 3], 7u32)), hash_of(&(vec![1i64, 2, 3], 7u32)));
+        assert_eq!(hash_of(&"signal_name"), hash_of(&"signal_name"));
+    }
+
+    #[test]
+    fn tail_bytes_and_length_matter() {
+        // short strings differing only in the tail must not collide via the
+        // zero-padding; the length tag in the top byte disambiguates
+        assert_ne!(hash_of(&"a"), hash_of(&"a\0"));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: FxHashMap<(Vec<i64>, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((vec![i as i64, -(i as i64)], i), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(vec![i as i64, -(i as i64)], i)), Some(&(i as usize)));
+        }
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("x");
+        assert!(s.contains("x"));
+    }
+}

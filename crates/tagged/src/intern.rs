@@ -7,9 +7,9 @@
 //! representation (parser, CLI, reports, VCD); the interner is the bridge,
 //! built once per program/reactor and shared via its handle.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use crate::hash::FxHashMap;
 use crate::value::SigName;
 
 /// A dense, interner-scoped signal identifier.
@@ -50,7 +50,7 @@ impl fmt::Display for SigId {
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
     names: Vec<SigName>,
-    ids: HashMap<SigName, SigId>,
+    ids: FxHashMap<SigName, SigId>,
 }
 
 impl Interner {

@@ -50,6 +50,7 @@ pub mod error;
 pub mod event;
 pub mod fifo_spec;
 pub mod flow;
+pub mod hash;
 pub mod instant;
 pub mod intern;
 pub mod process;
@@ -65,6 +66,7 @@ pub use error::TaggedError;
 pub use event::Event;
 pub use fifo_spec::{is_afifo_behavior, is_nfifo_behavior, lemma2_bound_holds};
 pub use flow::{flow_equivalent, is_relaxation_of, FlowClass};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use instant::Instant;
 pub use intern::{Interner, SigId};
 pub use process::Process;

@@ -6,15 +6,19 @@
 //! the *entire* reachable space and returns the largest value an integer
 //! signal ever takes — applied to a channel's occupancy `count`, that is a
 //! *proof* of the worst-case buffer requirement, not an estimate.
-
-use std::collections::{HashMap, VecDeque};
+//!
+//! The exploration runs on the same layer-synchronous engine as
+//! [`crate::reach::check`]; [`max_signal_value_with`] exposes the worker
+//! thread count (the maximum is a commutative fold, so the result is
+//! identical at any thread count).
 
 use polysig_lang::Program;
-use polysig_sim::{DenseEnv, Reactor, SimError};
-use polysig_tagged::{SigName, Value};
+use polysig_sim::{DenseEnv, Reactor};
+use polysig_tagged::{SigId, SigName, Value};
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
 use crate::error::VerifyError;
+use crate::frontier::{self, Inspect};
 
 /// Result of a bound computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,12 +32,40 @@ pub struct BoundResult {
     pub transitions: usize,
 }
 
+/// Tracks the running maximum of the watched signal across reactions.
+struct MaxInspect {
+    watched: Option<SigId>,
+}
+
+impl Inspect for MaxInspect {
+    type Acc = Option<i64>;
+
+    #[inline]
+    fn inspect(&self, reaction: &DenseEnv, acc: &mut Option<i64>) -> bool {
+        if let Some(watched) = self.watched {
+            if let Some(v) = reaction.get(watched).and_then(Value::as_int) {
+                *acc = Some(acc.map_or(v, |m| m.max(v)));
+            }
+        }
+        false
+    }
+
+    fn merge(into: &mut Option<i64>, from: Option<i64>) {
+        if let Some(v) = from {
+            *into = Some(into.map_or(v, |m| m.max(v)));
+        }
+    }
+}
+
 /// Explores every reachable state of `program` under `alphabet`/`env` and
 /// returns the maximum value ever carried by integer signal `signal`.
 ///
 /// Because the exploration is exhaustive (it aborts rather than truncate),
 /// the returned maximum is a proven invariant: `signal ≤ max` on every
 /// execution the environment permits.
+///
+/// Uses the workspace default worker count; see [`max_signal_value_with`]
+/// to pin it.
 ///
 /// # Errors
 ///
@@ -48,6 +80,29 @@ pub fn max_signal_value(
     signal: &SigName,
     max_states: usize,
 ) -> Result<BoundResult, VerifyError> {
+    max_signal_value_with(
+        program,
+        alphabet,
+        env,
+        signal,
+        max_states,
+        crossbeam::pool::default_threads(),
+    )
+}
+
+/// [`max_signal_value`] with an explicit worker thread count.
+///
+/// `threads == 1` never spawns; larger values fan each sufficiently large
+/// BFS layer across scoped workers. The proven bound and every counter are
+/// identical for every `threads` value.
+pub fn max_signal_value_with(
+    program: &Program,
+    alphabet: &Alphabet,
+    env: Option<&EnvAutomaton>,
+    signal: &SigName,
+    max_states: usize,
+    threads: usize,
+) -> Result<BoundResult, VerifyError> {
     if alphabet.is_empty() {
         return Err(VerifyError::EmptyAlphabet);
     }
@@ -61,74 +116,11 @@ pub fn max_signal_value(
         }
     };
 
-    // boundary work, once: dense letters, the watched signal's id (an
-    // undeclared signal never ticks, so `None` just leaves `max` empty),
-    // and the per-env-state move table
-    let n = reactor.signal_count();
-    let mut dense_letters: Vec<DenseEnv> = Vec::with_capacity(alphabet.len());
-    for letter in alphabet.letters() {
-        let mut le = DenseEnv::new(n);
-        for (name, value) in letter {
-            let Some(id) = reactor.sig_id(name) else {
-                return Err(SimError::NotAnInput { name: name.clone() }.into());
-            };
-            le.set(id, *value);
-        }
-        dense_letters.push(le);
-    }
-    let watched = reactor.sig_id(signal);
-    let moves_of: Vec<Vec<(usize, usize)>> =
-        (0..env.state_count()).map(|s| env.moves(s).collect()).collect();
-
-    // canonical states in an indexed arena; frontier holds u32 ids
-    type StateKey = (Vec<Value>, u32);
-    let initial: StateKey = (reactor.registers().to_vec(), 0);
-    let mut ids: HashMap<StateKey, u32> = HashMap::new();
-    let mut states: Vec<(Box<[Value]>, u32)> = vec![(initial.0.clone().into_boxed_slice(), 0)];
-    ids.insert(initial, 0);
-    let mut queue: VecDeque<u32> = VecDeque::new();
-    queue.push_back(0);
-
-    let mut max: Option<i64> = None;
-    let mut transitions = 0usize;
-    let mut cur_regs: Vec<Value> = Vec::new();
-    let mut probe: StateKey = (Vec::new(), 0);
-
-    while let Some(id) = queue.pop_front() {
-        cur_regs.clear();
-        cur_regs.extend_from_slice(&states[id as usize].0);
-        let env_state = states[id as usize].1;
-        for &(letter_index, env_next) in &moves_of[env_state as usize] {
-            reactor.set_registers(&cur_regs);
-            match reactor.react_dense(&dense_letters[letter_index]) {
-                Ok(reaction) => {
-                    transitions += 1;
-                    if let Some(watched) = watched {
-                        if let Some(v) = reaction.get(watched).and_then(Value::as_int) {
-                            max = Some(max.map_or(v, |m| m.max(v)));
-                        }
-                    }
-                    probe.0.clear();
-                    probe.0.extend_from_slice(reactor.registers());
-                    probe.1 = env_next as u32;
-                    if !ids.contains_key(&probe) {
-                        if states.len() >= max_states {
-                            return Err(VerifyError::StateCapExceeded { cap: max_states });
-                        }
-                        let nid = states.len() as u32;
-                        states.push((probe.0.clone().into_boxed_slice(), probe.1));
-                        ids.insert(std::mem::take(&mut probe), nid);
-                        queue.push_back(nid);
-                    }
-                }
-                Err(SimError::ClockMismatch { .. })
-                | Err(SimError::Contradiction { .. })
-                | Err(SimError::UndeterminedClock { .. }) => {}
-                Err(other) => return Err(other.into()),
-            }
-        }
-    }
-    Ok(BoundResult { max, states_explored: states.len(), transitions })
+    let compiled = frontier::compile_boundary(&reactor, alphabet, env)?;
+    // an undeclared signal never ticks, so `None` just leaves `max` empty
+    let inspect = MaxInspect { watched: reactor.sig_id(signal) };
+    let e = frontier::explore(&mut reactor, &compiled, &inspect, max_states, None, threads)?;
+    Ok(BoundResult { max: e.acc, states_explored: e.states.len(), transitions: e.transitions })
 }
 
 #[cfg(test)]
@@ -241,5 +233,28 @@ mod tests {
         let alphabet = Alphabet::exhaustive(&p, &[]).unwrap();
         let err = max_signal_value(&p, &alphabet, None, &"n".into(), 10).unwrap_err();
         assert!(matches!(err, VerifyError::StateCapExceeded { .. }));
+    }
+
+    #[test]
+    fn bound_is_thread_count_invariant() {
+        let p = polysig_lang::Program::single(nfifo_component("ch", 3));
+        let (alphabet, env) = letters(&[
+            (&[("tick", Value::TRUE), ("ch_in", Value::Int(1))], 0),
+            (&[("tick", Value::TRUE), ("ch_rd", Value::TRUE)], 0),
+        ]);
+        let seq = max_signal_value_with(&p, &alphabet, Some(&env), &"ch_count".into(), 100_000, 1)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let par = max_signal_value_with(
+                &p,
+                &alphabet,
+                Some(&env),
+                &"ch_count".into(),
+                100_000,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 }

@@ -56,8 +56,13 @@ impl ComparisonReport {
     }
 }
 
+/// Scenario pairs per worker below which the fan-out isn't worth the two
+/// extra program elaborations a parallel chunk pays for its simulators.
+const MIN_PAIRS_PER_CHUNK: usize = 4;
+
 /// Runs `left` and `right` over paired scenarios and compares the flows of
-/// the mapped signals under `relation`.
+/// the mapped signals under `relation`, using the workspace default worker
+/// count (see [`compare_flows_with`]).
 ///
 /// # Errors
 ///
@@ -69,11 +74,79 @@ pub fn compare_flows(
     signal_map: &[(SigName, SigName)],
     relation: FlowRelation,
 ) -> Result<ComparisonReport, VerifyError> {
+    compare_flows_with(
+        left,
+        right,
+        scenario_pairs,
+        signal_map,
+        relation,
+        crossbeam::pool::default_threads(),
+    )
+}
+
+/// [`compare_flows`] with an explicit worker thread count.
+///
+/// Scenario pairs are independent, so large ensembles are split into
+/// contiguous chunks, each executed on its own pair of simulators; chunk
+/// results are merged in scenario order, so the report (and, on failure,
+/// the surfaced error — always the earliest-indexed one) is identical for
+/// every `threads` value.
+pub fn compare_flows_with(
+    left: &Program,
+    right: &Program,
+    scenario_pairs: &[(Scenario, Scenario)],
+    signal_map: &[(SigName, SigName)],
+    relation: FlowRelation,
+    threads: usize,
+) -> Result<ComparisonReport, VerifyError> {
+    // elaborate both programs up front: static errors surface even for an
+    // empty ensemble, and the sequential path reuses these simulators
     let mut left_sim = Simulator::for_program(left)?;
     let mut right_sim = Simulator::for_program(right)?;
     let mut report =
         ComparisonReport { scenarios: scenario_pairs.len(), matches: 0, mismatches: Vec::new() };
-    for (i, (ls, rs)) in scenario_pairs.iter().enumerate() {
+
+    if threads <= 1 || scenario_pairs.len() < 2 * MIN_PAIRS_PER_CHUNK {
+        let (matches, mismatches) =
+            run_pairs(&mut left_sim, &mut right_sim, 0, scenario_pairs, signal_map, relation)?;
+        report.matches = matches;
+        report.mismatches = mismatches;
+        return Ok(report);
+    }
+
+    let outs = crossbeam::pool::map_chunks(
+        threads,
+        scenario_pairs,
+        MIN_PAIRS_PER_CHUNK,
+        |start, chunk| -> Result<(usize, Vec<Mismatch>), VerifyError> {
+            let mut ls = Simulator::for_program(left)?;
+            let mut rs = Simulator::for_program(right)?;
+            run_pairs(&mut ls, &mut rs, start, chunk, signal_map, relation)
+        },
+    );
+    // merge in chunk (= scenario) order; the first error in order is the
+    // one the sequential run would have hit first
+    for out in outs {
+        let (matches, mismatches) = out?;
+        report.matches += matches;
+        report.mismatches.extend(mismatches);
+    }
+    Ok(report)
+}
+
+/// Runs one contiguous slice of the ensemble on the given simulators;
+/// `first_index` is the slice's offset into the full ensemble.
+fn run_pairs(
+    left_sim: &mut Simulator,
+    right_sim: &mut Simulator,
+    first_index: usize,
+    pairs: &[(Scenario, Scenario)],
+    signal_map: &[(SigName, SigName)],
+    relation: FlowRelation,
+) -> Result<(usize, Vec<Mismatch>), VerifyError> {
+    let mut matches = 0usize;
+    let mut mismatches = Vec::new();
+    for (offset, (ls, rs)) in pairs.iter().enumerate() {
         left_sim.reset();
         right_sim.reset();
         let lrun = left_sim.run(ls)?;
@@ -86,10 +159,10 @@ pub fn compare_flows(
                 FlowRelation::PrefixOfLeft => rf.len() <= lf.len() && lf[..rf.len()] == rf[..],
             };
             if ok {
-                report.matches += 1;
+                matches += 1;
             } else {
-                report.mismatches.push(Mismatch {
-                    scenario: i,
+                mismatches.push(Mismatch {
+                    scenario: first_index + offset,
                     left_signal: lsig.clone(),
                     right_signal: rsig.clone(),
                     left_flow: lf,
@@ -98,7 +171,7 @@ pub fn compare_flows(
             }
         }
     }
-    Ok(report)
+    Ok((matches, mismatches))
 }
 
 #[cfg(test)]
@@ -147,6 +220,23 @@ mod tests {
         let m = &report.mismatches[0];
         assert_ne!(m.left_flow, m.right_flow);
         assert_eq!(m.left_flow.len(), m.right_flow.len());
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        // large enough ensemble to actually fan out; mismatch indices and
+        // order must match the sequential report exactly
+        let a = doubler("A", 0);
+        let b = doubler("B", 1);
+        let pairs = scenarios(16);
+        let map = [(SigName::from("x"), SigName::from("x"))];
+        let seq = compare_flows_with(&a, &b, &pairs, &map, FlowRelation::Equal, 1).unwrap();
+        assert_eq!(seq.mismatches.len(), 16);
+        for threads in [2, 4, 8] {
+            let par =
+                compare_flows_with(&a, &b, &pairs, &map, FlowRelation::Equal, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Layer-synchronous frontier exploration — the shared BFS engine behind
+//! [`crate::reach::check`] and [`crate::bound::max_signal_value`].
+//!
+//! The engine explores the `(registers, env_state)` space breadth-first,
+//! one depth **layer** at a time. Because global deduplication assigns
+//! every state its minimal depth, each layer is a contiguous range of the
+//! u32-indexed state arena, and the plain FIFO checker's processing order
+//! is exactly: layers in order, states within a layer in arena order,
+//! moves within a state in letter order. The engine exploits that: a layer
+//! is split into balanced contiguous chunks, each chunk is expanded by a
+//! worker owning its own [`Reactor`], and the barrier merge replays the
+//! workers' per-chunk outputs *in chunk order* — so state ids, counters
+//! and the first (= shortest, lexicographically-least) violation are
+//! bit-identical to the sequential exploration at any thread count.
+//!
+//! Determinism hinges on three invariants:
+//!
+//! 1. **Frozen visited-map during expansion.** Workers probe the visited
+//!    map read-only (it only grows at the barrier), so which successors a
+//!    worker reports depends on the layer's *starting* state set, never on
+//!    worker interleaving. Candidates rediscovered within the same layer
+//!    are deduplicated at the merge, first-in-canonical-order wins — the
+//!    same winner the sequential checker picks.
+//! 2. **Prefix semantics on terminal events.** A worker stops its chunk at
+//!    the first violation or hard error, so a chunk's counters and
+//!    candidate list are exactly the sequential prefix up to that event.
+//!    The merge consumes chunks in order and returns at the first chunk
+//!    carrying a terminal event; later chunks' work is discarded, which is
+//!    precisely what the sequential checker never computed.
+//! 3. **Canonical append order.** New states are appended to the arena in
+//!    `(parent position, letter index)` order, so ids, parent pointers,
+//!    the `max_states` abort point and counterexample reconstruction all
+//!    match the sequential run.
+
+use polysig_sim::{DenseEnv, Reactor, SimError};
+use polysig_tagged::hash::FxHashMap;
+use polysig_tagged::Value;
+
+use crate::alphabet::{Alphabet, EnvAutomaton};
+use crate::error::VerifyError;
+
+/// A canonical state: the `pre` register file plus the environment
+/// automaton's state.
+pub(crate) type StateKey = (Vec<Value>, u32);
+
+/// Workers only fan out when a layer has at least this many states per
+/// chunk — below that, spawn latency dominates the expansion work and the
+/// layer runs inline (the sequential path and the parallel path share all
+/// code either way).
+const MIN_STATES_PER_CHUNK: usize = 8;
+
+/// The alphabet and environment compiled to the dense, id-addressed form
+/// the per-reaction hot loop consumes.
+pub(crate) struct Compiled {
+    /// `letters[i]` as a dense environment addressed by the reactor's ids.
+    pub dense_letters: Vec<DenseEnv>,
+    /// Per env-automaton state: permitted `(letter index, successor)`
+    /// moves, in letter order.
+    pub moves_of: Vec<Vec<(u32, u32)>>,
+}
+
+/// One-time boundary work shared by the checkers: compile every letter to
+/// a [`DenseEnv`] addressed by the reactor's ids, tabulate the environment
+/// automaton's moves.
+pub(crate) fn compile_boundary(
+    reactor: &Reactor,
+    alphabet: &Alphabet,
+    env: &EnvAutomaton,
+) -> Result<Compiled, VerifyError> {
+    let n = reactor.signal_count();
+    let mut dense_letters: Vec<DenseEnv> = Vec::with_capacity(alphabet.len());
+    for letter in alphabet.letters() {
+        let mut le = DenseEnv::new(n);
+        for (name, value) in letter {
+            let Some(id) = reactor.sig_id(name) else {
+                return Err(SimError::NotAnInput { name: name.clone() }.into());
+            };
+            le.set(id, *value);
+        }
+        dense_letters.push(le);
+    }
+    let moves_of: Vec<Vec<(u32, u32)>> = (0..env.state_count())
+        .map(|s| env.moves(s).map(|(li, to)| (li as u32, to as u32)).collect())
+        .collect();
+    Ok(Compiled { dense_letters, moves_of })
+}
+
+/// What a checker does with each successful reaction.
+///
+/// Implementations must be order-insensitive in `Acc` (merging is done in
+/// chunk order, but a violation truncates later chunks), and `inspect`
+/// returning `true` marks the reaction as a terminal violation.
+pub(crate) trait Inspect: Sync {
+    /// Per-worker accumulator, merged at every layer barrier.
+    type Acc: Send + Default;
+    /// Examines one reaction; `true` = property violated, stop here.
+    fn inspect(&self, reaction: &DenseEnv, acc: &mut Self::Acc) -> bool;
+    /// Folds a worker's accumulator into the global one.
+    fn merge(into: &mut Self::Acc, from: Self::Acc);
+}
+
+/// The outcome of an exploration that did not error out.
+pub(crate) struct Exploration<A> {
+    /// `Some((state id, letter index))` when a reaction violated; the
+    /// first violation in canonical order, i.e. the sequential one.
+    pub violation: Option<(u32, u32)>,
+    /// The state arena, in discovery order.
+    pub states: Vec<(Box<[Value]>, u32)>,
+    /// `parents[i]` = the `(predecessor id, letter index)` that first
+    /// discovered state `i` (`None` for the initial state).
+    pub parents: Vec<Option<(u32, u32)>>,
+    /// Reactions executed (up to and including a violating one).
+    pub transitions: usize,
+    /// Letters pruned because the program's clocks rejected them.
+    pub pruned: usize,
+    /// `true` iff a non-empty layer was cut off by the depth bound.
+    pub depth_bounded: bool,
+    /// The merged accumulator.
+    pub acc: A,
+}
+
+/// A terminal event inside a chunk; the worker stopped right after it.
+enum Terminal {
+    Violation { state: u32, letter: u32 },
+    Error(SimError),
+}
+
+/// A newly discovered candidate successor, pending barrier dedup.
+struct Succ {
+    parent: u32,
+    letter: u32,
+    env_next: u32,
+    regs: Vec<Value>,
+}
+
+/// Everything one worker produced for its chunk. When `terminal` is set,
+/// every other field holds exactly the prefix up to the terminal event.
+struct ChunkOut<A> {
+    transitions: usize,
+    pruned: usize,
+    succs: Vec<Succ>,
+    terminal: Option<Terminal>,
+    acc: A,
+}
+
+/// Runs the layer-synchronous exploration, starting from `reactor`'s
+/// current registers.
+///
+/// `threads == 1` never spawns (and never clones the reactor); larger
+/// values fan each sufficiently large layer out across scoped workers,
+/// cloning worker reactors lazily on the first layer that needs them.
+/// Results are identical for every `threads` value — see the module docs
+/// for the argument.
+pub(crate) fn explore<I: Inspect>(
+    reactor: &mut Reactor,
+    compiled: &Compiled,
+    inspect: &I,
+    max_states: usize,
+    max_depth: Option<usize>,
+    threads: usize,
+) -> Result<Exploration<I::Acc>, VerifyError> {
+    let threads = threads.max(1);
+    let initial: StateKey = (reactor.registers().to_vec(), 0);
+    let mut ids: FxHashMap<StateKey, u32> = FxHashMap::default();
+    let mut states: Vec<(Box<[Value]>, u32)> = vec![(initial.0.clone().into_boxed_slice(), 0)];
+    let mut parents: Vec<Option<(u32, u32)>> = vec![None];
+    ids.insert(initial, 0);
+
+    // worker reactors beyond the caller's own; cloned only when a layer
+    // actually fans out (the sequential path never pays for a clone)
+    let mut extra_workers: Vec<Reactor> = Vec::new();
+    let mut transitions = 0usize;
+    let mut pruned = 0usize;
+    let mut acc = I::Acc::default();
+    let mut depth_bounded = false;
+    let mut layer = 0usize..1usize;
+    let mut depth = 0usize;
+
+    while !layer.is_empty() {
+        if let Some(max) = max_depth {
+            if depth >= max {
+                depth_bounded = true;
+                break;
+            }
+        }
+        let wanted = threads.min(layer.len() / MIN_STATES_PER_CHUNK).max(1);
+        while extra_workers.len() + 1 < wanted {
+            extra_workers.push(reactor.clone());
+        }
+        let layer_start = layer.start;
+        let layer_slice = &states[layer.clone()];
+        let mut workers: Vec<&mut Reactor> = Vec::with_capacity(wanted);
+        workers.push(&mut *reactor);
+        workers.extend(extra_workers.iter_mut().take(wanted - 1));
+        let outs = crossbeam::pool::map_chunks_mut(
+            &mut workers,
+            layer_slice,
+            MIN_STATES_PER_CHUNK,
+            |reactor, start, chunk| {
+                expand_chunk(reactor, (layer_start + start) as u32, chunk, &ids, compiled, inspect)
+            },
+        );
+
+        // barrier: replay per-chunk outputs in chunk (= canonical) order
+        let next_start = states.len();
+        for out in outs {
+            transitions += out.transitions;
+            pruned += out.pruned;
+            I::merge(&mut acc, out.acc);
+            for succ in out.succs {
+                let key: StateKey = (succ.regs, succ.env_next);
+                if ids.contains_key(&key) {
+                    continue; // rediscovered within this layer; first wins
+                }
+                if states.len() >= max_states {
+                    return Err(VerifyError::StateCapExceeded { cap: max_states });
+                }
+                let nid = states.len() as u32;
+                states.push((key.0.clone().into_boxed_slice(), key.1));
+                ids.insert(key, nid);
+                parents.push(Some((succ.parent, succ.letter)));
+            }
+            if let Some(terminal) = out.terminal {
+                return match terminal {
+                    Terminal::Violation { state, letter } => Ok(Exploration {
+                        violation: Some((state, letter)),
+                        states,
+                        parents,
+                        transitions,
+                        pruned,
+                        depth_bounded,
+                        acc,
+                    }),
+                    Terminal::Error(e) => Err(e.into()),
+                };
+            }
+        }
+        layer = next_start..states.len();
+        depth += 1;
+    }
+
+    Ok(Exploration { violation: None, states, parents, transitions, pruned, depth_bounded, acc })
+}
+
+/// Expands one contiguous chunk of a layer on one worker-owned reactor.
+/// Stops at the chunk's first terminal event, leaving prefix-exact
+/// counters and candidates (see module docs).
+fn expand_chunk<I: Inspect>(
+    reactor: &mut Reactor,
+    first_id: u32,
+    chunk: &[(Box<[Value]>, u32)],
+    ids: &FxHashMap<StateKey, u32>,
+    compiled: &Compiled,
+    inspect: &I,
+) -> ChunkOut<I::Acc> {
+    let mut out = ChunkOut {
+        transitions: 0,
+        pruned: 0,
+        succs: Vec::new(),
+        terminal: None,
+        acc: I::Acc::default(),
+    };
+    let mut cur_regs: Vec<Value> = Vec::new();
+    let mut probe: StateKey = (Vec::new(), 0);
+
+    'states: for (offset, (regs, env_state)) in chunk.iter().enumerate() {
+        let id = first_id + offset as u32;
+        cur_regs.clear();
+        cur_regs.extend_from_slice(regs);
+        for &(letter_index, env_next) in &compiled.moves_of[*env_state as usize] {
+            reactor.set_registers(&cur_regs);
+            match reactor.react_dense(&compiled.dense_letters[letter_index as usize]) {
+                Ok(reaction) => {
+                    out.transitions += 1;
+                    if inspect.inspect(reaction, &mut out.acc) {
+                        out.terminal =
+                            Some(Terminal::Violation { state: id, letter: letter_index });
+                        break 'states;
+                    }
+                    probe.0.clear();
+                    probe.0.extend_from_slice(reactor.registers());
+                    probe.1 = env_next;
+                    if !ids.contains_key(&probe) {
+                        out.succs.push(Succ {
+                            parent: id,
+                            letter: letter_index,
+                            env_next,
+                            regs: probe.0.clone(),
+                        });
+                    }
+                }
+                // clock-constraint violations are environment moves the
+                // program forbids — prune them
+                Err(SimError::ClockMismatch { .. })
+                | Err(SimError::Contradiction { .. })
+                | Err(SimError::UndeterminedClock { .. }) => {
+                    out.pruned += 1;
+                }
+                Err(other) => {
+                    out.terminal = Some(Terminal::Error(other));
+                    break 'states;
+                }
+            }
+        }
+    }
+    out
+}

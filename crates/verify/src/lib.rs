@@ -47,13 +47,14 @@ pub mod bound;
 pub mod counterexample;
 pub mod equiv;
 pub mod error;
+mod frontier;
 pub mod prop;
 pub mod reach;
 
 pub use alphabet::{Alphabet, EnvAutomaton};
-pub use bound::{max_signal_value, BoundResult};
+pub use bound::{max_signal_value, max_signal_value_with, BoundResult};
 pub use counterexample::Counterexample;
-pub use equiv::{compare_flows, ComparisonReport};
+pub use equiv::{compare_flows, compare_flows_with, ComparisonReport};
 pub use error::VerifyError;
 pub use prop::Property;
 pub use reach::{check, CheckOptions, CheckResult};

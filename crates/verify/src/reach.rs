@@ -6,20 +6,26 @@
 //! BFS yields the *shortest* counterexample, which is what the estimation
 //! loop wants to replay.
 //!
+//! Exploration runs on the crate's layer-synchronous frontier engine:
+//! with [`CheckOptions::threads`] `> 1`, each depth layer is fanned out
+//! across scoped worker threads, and the barrier merge keeps every result
+//! field — state ids, counters, the shortest counterexample — bit-identical
+//! to the sequential run.
+//!
 //! Letters whose reaction fails with a clock error are pruned: they are
 //! environment moves the program's clock constraints forbid (e.g. a write
 //! without the master tick). Genuine program errors still surface.
 
-use std::collections::{HashMap, VecDeque};
+use polysig_sim::{DenseEnv, Reactor};
+use polysig_tagged::SigName;
 
 use polysig_lang::Program;
-use polysig_sim::{DenseEnv, Reactor, SimError};
-use polysig_tagged::Value;
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
 use crate::counterexample::Counterexample;
 use crate::error::VerifyError;
-use crate::prop::Property;
+use crate::frontier::{self, Inspect};
+use crate::prop::{DenseCheck, Property};
 
 /// Exploration limits.
 #[derive(Debug, Clone)]
@@ -32,11 +38,22 @@ pub struct CheckOptions {
     pub max_depth: Option<usize>,
     /// Environment automaton; `None` means unrestricted.
     pub env: Option<EnvAutomaton>,
+    /// Worker threads for layer-parallel exploration. `1` never spawns;
+    /// larger values split each sufficiently large BFS layer across scoped
+    /// workers. The verdict, every counter and the counterexample are
+    /// identical for every value — only wall-clock time changes. Defaults
+    /// to the detected parallelism (`POLYSIG_TEST_THREADS` overrides it).
+    pub threads: usize,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { max_states: 1_000_000, max_depth: None, env: None }
+        CheckOptions {
+            max_states: 1_000_000,
+            max_depth: None,
+            env: None,
+            threads: crossbeam::pool::default_threads(),
+        }
     }
 }
 
@@ -57,6 +74,24 @@ pub struct CheckResult {
     /// `true` iff exploration was cut off by `max_depth` before closure
     /// (a `holds` verdict is then only valid up to that bound).
     pub depth_bounded: bool,
+}
+
+/// The property check as the frontier engine sees it: a bound dense check
+/// plus the id-ordered name table for the `Custom` fallback.
+struct PropInspect<'p> {
+    check: DenseCheck<'p>,
+    names: &'p [SigName],
+}
+
+impl Inspect for PropInspect<'_> {
+    type Acc = ();
+
+    #[inline]
+    fn inspect(&self, reaction: &DenseEnv, _acc: &mut ()) -> bool {
+        !self.check.holds_dense(reaction, self.names)
+    }
+
+    fn merge(_into: &mut (), _from: ()) {}
 }
 
 /// Runs the breadth-first check of `property` on `program` under
@@ -87,120 +122,38 @@ pub fn check(
         }
     };
 
-    // one-time boundary work: compile letters to dense environments, bind
-    // the property to signal ids, snapshot the id-ordered name table — the
-    // BFS below never touches a name-keyed map
-    let n = reactor.signal_count();
-    let mut dense_letters: Vec<DenseEnv> = Vec::with_capacity(alphabet.len());
-    for letter in alphabet.letters() {
-        let mut le = DenseEnv::new(n);
-        for (name, value) in letter {
-            let Some(id) = reactor.sig_id(name) else {
-                return Err(SimError::NotAnInput { name: name.clone() }.into());
-            };
-            le.set(id, *value);
-        }
-        dense_letters.push(le);
-    }
-    let dense_prop = property.bind(&reactor);
+    let compiled = frontier::compile_boundary(&reactor, alphabet, env)?;
     let names = reactor.signal_names().to_vec();
+    let inspect = PropInspect { check: property.bind(&reactor), names: &names };
+    let e = frontier::explore(
+        &mut reactor,
+        &compiled,
+        &inspect,
+        options.max_states,
+        options.max_depth,
+        options.threads,
+    )?;
 
-    // canonical states live in an indexed arena; the BFS frontier, parent
-    // pointers and depths are all u32 ids into it
-    type StateKey = (Vec<Value>, u32);
-    let initial: StateKey = (reactor.registers().to_vec(), 0);
-    let mut ids: HashMap<StateKey, u32> = HashMap::new();
-    let mut states: Vec<(Box<[Value]>, u32)> = vec![(initial.0.clone().into_boxed_slice(), 0)];
-    let mut parents: Vec<Option<(u32, u32)>> = vec![None];
-    let mut depths: Vec<u32> = vec![0];
-    ids.insert(initial, 0);
-
-    let mut queue: VecDeque<u32> = VecDeque::new();
-    queue.push_back(0);
-    let mut transitions = 0usize;
-    let mut pruned = 0usize;
-    let mut depth_bounded = false;
-    // reusable buffers: the popped state's registers, and the successor
-    // probe key (its Vec only reallocates right after a new-state insert)
-    let mut cur_regs: Vec<Value> = Vec::new();
-    let mut probe: StateKey = (Vec::new(), 0);
-
-    let rebuild =
-        |violating_letter: u32, from: u32, parents: &[Option<(u32, u32)>], alphabet: &Alphabet| {
-            let mut letters = vec![alphabet.letters()[violating_letter as usize].clone()];
-            let mut cur = from;
-            while let Some((pred, li)) = parents[cur as usize] {
-                letters.push(alphabet.letters()[li as usize].clone());
-                cur = pred;
-            }
-            letters.reverse();
-            Counterexample::new(letters)
-        };
-
-    while let Some(id) = queue.pop_front() {
-        if let Some(max) = options.max_depth {
-            if depths[id as usize] as usize >= max {
-                depth_bounded = true;
-                continue;
-            }
+    let counterexample = e.violation.map(|(state, letter)| {
+        // walk the parent pointers back to the root, then append the
+        // violating letter
+        let mut letters = vec![alphabet.letters()[letter as usize].clone()];
+        let mut cur = state;
+        while let Some((pred, li)) = e.parents[cur as usize] {
+            letters.push(alphabet.letters()[li as usize].clone());
+            cur = pred;
         }
-        cur_regs.clear();
-        cur_regs.extend_from_slice(&states[id as usize].0);
-        let env_state = states[id as usize].1;
-        for (letter_index, env_next) in env.moves(env_state as usize) {
-            reactor.set_registers(&cur_regs);
-            match reactor.react_dense(&dense_letters[letter_index]) {
-                Ok(reaction) => {
-                    transitions += 1;
-                    if !dense_prop.holds_dense(reaction, &names) {
-                        return Ok(CheckResult {
-                            holds: false,
-                            counterexample: Some(rebuild(
-                                letter_index as u32,
-                                id,
-                                &parents,
-                                alphabet,
-                            )),
-                            states_explored: states.len(),
-                            transitions,
-                            pruned,
-                            depth_bounded,
-                        });
-                    }
-                    probe.0.clear();
-                    probe.0.extend_from_slice(reactor.registers());
-                    probe.1 = env_next as u32;
-                    if !ids.contains_key(&probe) {
-                        if states.len() >= options.max_states {
-                            return Err(VerifyError::StateCapExceeded { cap: options.max_states });
-                        }
-                        let nid = states.len() as u32;
-                        states.push((probe.0.clone().into_boxed_slice(), probe.1));
-                        ids.insert(std::mem::take(&mut probe), nid);
-                        parents.push(Some((id, letter_index as u32)));
-                        depths.push(depths[id as usize] + 1);
-                        queue.push_back(nid);
-                    }
-                }
-                // clock-constraint violations are environment moves the
-                // program forbids — prune them
-                Err(SimError::ClockMismatch { .. })
-                | Err(SimError::Contradiction { .. })
-                | Err(SimError::UndeterminedClock { .. }) => {
-                    pruned += 1;
-                }
-                Err(other) => return Err(other.into()),
-            }
-        }
-    }
+        letters.reverse();
+        Counterexample::new(letters)
+    });
 
     Ok(CheckResult {
-        holds: true,
-        counterexample: None,
-        states_explored: states.len(),
-        transitions,
-        pruned,
-        depth_bounded,
+        holds: counterexample.is_none(),
+        counterexample,
+        states_explored: e.states.len(),
+        transitions: e.transitions,
+        pruned: e.pruned,
+        depth_bounded: e.depth_bounded,
     })
 }
 
@@ -210,7 +163,7 @@ mod tests {
     use polysig_gals::nfifo::nfifo_component;
     use polysig_lang::parse_program;
     use polysig_sim::Simulator;
-    use polysig_tagged::SigName;
+    use polysig_tagged::{SigName, Value};
 
     #[test]
     fn counter_range_property_holds_with_reset() {

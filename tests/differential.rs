@@ -206,6 +206,68 @@ fn desynchronized_pipe_is_flow_equivalent() {
     }
 }
 
+// --- the checkers are thread-count invariant on random environments ------
+
+mod thread_invariance {
+    use super::*;
+    use polysig::verify::alphabet::Letter;
+    use polysig::verify::reach::{check, CheckOptions};
+    use polysig::verify::{max_signal_value_with, Alphabet, EnvAutomaton, Property};
+    use proptest::prelude::*;
+
+    /// Builds the FIFO write/read letter a `(write, read)` choice denotes.
+    fn letter(write: bool, read: bool) -> Letter {
+        let mut l = Letter::new();
+        l.insert("tick".into(), Value::TRUE);
+        if write {
+            l.insert("ch_in".into(), Value::Int(1));
+        }
+        if read {
+            l.insert("ch_rd".into(), Value::TRUE);
+        }
+        l
+    }
+
+    proptest! {
+        /// Random FIFO depths, random cyclic environment automata, random
+        /// depth bounds: the parallel checker must agree with the
+        /// sequential one on every result field, and the bound prover on
+        /// the proven maximum.
+        #[test]
+        fn random_envs_give_identical_verdicts_across_thread_counts(
+            depth in 1usize..4,
+            moves in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 1..6),
+            max_depth in proptest::option::of(2usize..10),
+        ) {
+            let p = Program::single(nfifo_component("ch", depth));
+            let letters: Vec<Letter> =
+                moves.iter().map(|&(w, r)| letter(w, r)).collect();
+            let mut alphabet = Alphabet::from_letters(letters.clone()).unwrap();
+            let env = EnvAutomaton::cycle(&mut alphabet, &letters);
+            let base = CheckOptions { env: Some(env.clone()), max_depth, ..Default::default() };
+            let property = Property::never_true("ch_alarm");
+
+            let seq = check(&p, &alphabet, &property,
+                &CheckOptions { threads: 1, ..base.clone() }).unwrap();
+            let seq_bound = max_signal_value_with(
+                &p, &alphabet, Some(&env), &"ch_count".into(), 1_000_000, 1).unwrap();
+            for threads in [2usize, 8] {
+                let par = check(&p, &alphabet, &property,
+                    &CheckOptions { threads, ..base.clone() }).unwrap();
+                prop_assert_eq!(seq.holds, par.holds);
+                prop_assert_eq!(&seq.counterexample, &par.counterexample);
+                prop_assert_eq!(seq.states_explored, par.states_explored);
+                prop_assert_eq!(seq.transitions, par.transitions);
+                prop_assert_eq!(seq.pruned, par.pruned);
+                prop_assert_eq!(seq.depth_bounded, par.depth_bounded);
+                let par_bound = max_signal_value_with(
+                    &p, &alphabet, Some(&env), &"ch_count".into(), 1_000_000, threads).unwrap();
+                prop_assert_eq!(&seq_bound, &par_bound);
+            }
+        }
+    }
+}
+
 // --- composed multi-component programs go through the same boundary ------
 
 #[test]

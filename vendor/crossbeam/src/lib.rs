@@ -5,9 +5,132 @@
 //! `try_send`/`try_recv`, and disconnection detection on both ends. Built on
 //! `Mutex` + `Condvar`; not lock-free like the real crate, but semantically
 //! faithful for the channel counts and message rates in this repository.
+//!
+//! Beyond the real crate's API, the [`pool`] module hosts the workspace's
+//! shared fork/join helpers (scoped worker fan-out over contiguous chunks),
+//! used by the parallel model checkers and the concurrent estimation loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Fork/join helpers: scoped worker fan-out over contiguous chunks.
+///
+/// Every parallel path in the workspace funnels through these two entry
+/// points so that chunking (and therefore result *order*) is decided in one
+/// place: items are split into at most `threads` balanced contiguous
+/// chunks, each chunk runs on its own scoped thread, and per-chunk results
+/// come back **in chunk order** — callers merge deterministically
+/// regardless of which worker finished first.
+pub mod pool {
+    use std::num::NonZeroUsize;
+    use std::sync::OnceLock;
+
+    /// The workspace-wide default worker count.
+    ///
+    /// `POLYSIG_TEST_THREADS` (a positive integer) overrides the detected
+    /// parallelism — CI sets it to `1` to keep the sequential fallback path
+    /// covered; otherwise [`std::thread::available_parallelism`] decides
+    /// (falling back to `1` when undetectable). Computed once per process:
+    /// the detection reads procfs/cgroup files, far too slow for callers
+    /// that build an options struct per check.
+    pub fn default_threads() -> usize {
+        static DEFAULT: OnceLock<usize> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            match std::env::var("POLYSIG_TEST_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => n,
+                _ => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            }
+        })
+    }
+
+    /// Splits `0..len` into `chunks` balanced contiguous ranges (sizes
+    /// differ by at most one, in order).
+    fn ranges(len: usize, chunks: usize) -> impl Iterator<Item = (usize, usize)> {
+        let base = len / chunks;
+        let rem = len % chunks;
+        let mut start = 0usize;
+        (0..chunks).map(move |i| {
+            let size = base + usize::from(i < rem);
+            let r = (start, size);
+            start += size;
+            r
+        })
+    }
+
+    /// Maps balanced contiguous chunks of `items` across up to `threads`
+    /// scoped workers; returns one result per chunk, **in chunk order**.
+    ///
+    /// `min_per_chunk` bounds the fan-out: no more chunks are cut than
+    /// `items.len() / min_per_chunk` (at least one), so tiny inputs run
+    /// inline on the caller's thread instead of paying spawn latency. The
+    /// closure receives each chunk's starting index into `items` alongside
+    /// the chunk itself. With one chunk the call degenerates to a plain
+    /// inline invocation — the sequential path and the parallel path are
+    /// the same code.
+    pub fn map_chunks<T, R, F>(threads: usize, items: &[T], min_per_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let chunks = threads.max(1).min(items.len() / min_per_chunk.max(1)).max(1);
+        if chunks == 1 {
+            return vec![f(0, items)];
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges(items.len(), chunks)
+                .map(|(start, size)| {
+                    let f = &f;
+                    let chunk = &items[start..start + size];
+                    s.spawn(move || f(start, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        })
+    }
+
+    /// Like [`map_chunks`], but each chunk also gets exclusive access to
+    /// one element of `workers` — persistent per-worker scratch state
+    /// (e.g. a cloned reactor) that survives across successive calls.
+    ///
+    /// At most `workers.len()` chunks are cut; chunk `i` runs with
+    /// `workers[i]`. Results come back in chunk order.
+    pub fn map_chunks_mut<W, T, R, F>(
+        workers: &mut [W],
+        items: &[T],
+        min_per_chunk: usize,
+        f: F,
+    ) -> Vec<R>
+    where
+        W: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut W, usize, &[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        assert!(!workers.is_empty(), "map_chunks_mut needs at least one worker");
+        let chunks = workers.len().min(items.len() / min_per_chunk.max(1)).max(1);
+        if chunks == 1 {
+            return vec![f(&mut workers[0], 0, items)];
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges(items.len(), chunks)
+                .zip(workers.iter_mut())
+                .map(|((start, size), worker)| {
+                    let f = &f;
+                    let chunk = &items[start..start + size];
+                    s.spawn(move || f(worker, start, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        })
+    }
+}
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
@@ -232,6 +355,44 @@ pub mod channel {
                 self.chan.not_full.notify_all();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::pool::{map_chunks, map_chunks_mut};
+
+    #[test]
+    fn chunk_results_come_back_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let outs = map_chunks(4, &items, 1, |start, chunk| (start, chunk.to_vec()));
+        let mut flat = Vec::new();
+        let mut expected_start = 0;
+        for (start, chunk) in outs {
+            assert_eq!(start, expected_start);
+            expected_start += chunk.len();
+            flat.extend(chunk);
+        }
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn small_inputs_run_inline_as_one_chunk() {
+        let items = [1, 2, 3];
+        let outs = map_chunks(8, &items, 16, |start, chunk| (start, chunk.len()));
+        assert_eq!(outs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn workers_keep_per_chunk_state() {
+        let items: Vec<u64> = (1..=40).collect();
+        let mut workers = vec![0u64; 4];
+        let outs = map_chunks_mut(&mut workers, &items, 1, |acc, _start, chunk| {
+            *acc += chunk.iter().sum::<u64>();
+            chunk.len()
+        });
+        assert_eq!(outs.iter().sum::<usize>(), 40);
+        assert_eq!(workers.iter().sum::<u64>(), (1..=40).sum::<u64>());
     }
 }
 
