@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Local CI gate: run exactly what .github/workflows/ci.yml runs.
+# Local CI gate: run exactly what .github/workflows/ci.yml runs, plus the
+# local-only bench regression gate (hosted runners are too noisy for
+# wall-clock assertions, so the gate lives here; POLYSIG_BENCH_GATE=skip
+# bypasses it, e.g. on a loaded machine).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +17,18 @@ POLYSIG_TEST_THREADS=1 cargo test -q --workspace
 
 echo "==> cargo test -q --workspace (detected parallelism)"
 cargo test -q --workspace
+
+if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
+  echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
+else
+  echo "==> bench regression gate (>15% vs BENCH_summary.json baseline fails)"
+  scratch="$(mktemp -u)"
+  trap 'rm -f "$scratch"' EXIT
+  for bench in verify_alarm fig2_one_place_buffer buffer_estimation; do
+    BENCH_SUMMARY_PATH="$scratch" cargo bench -q -p polysig-bench --bench "$bench" \
+      > /dev/null
+  done
+  python3 tools/bench_gate.py BENCH_summary.json "$scratch"
+fi
 
 echo "CI green."

@@ -13,6 +13,20 @@ use polysig_sim::generator::master_clock;
 use polysig_sim::{BurstyInputs, PeriodicInputs, Scenario, ScenarioGenerator};
 use polysig_tagged::ValueType;
 
+/// Shared workload parameters: every measured id below drives the
+/// two-process pipe for `STEPS` reactions with writer bursts every
+/// `PERIOD` instants (starting at instant 0) and a reader enabled every
+/// `READ_PERIOD` instants. `estimation/full_loop/{burst}` runs one loop on
+/// one such scenario; `estimation/ensemble_par/{threads}` runs the
+/// *ensemble* entry point over the three scenarios `burst ∈ ENSEMBLE_BURSTS`
+/// — its workload is the sum of the three sequential ids, so
+/// `ensemble_par/1` is comparable with `full_loop/2 + full_loop/4 +
+/// full_loop/8`, not with any single one.
+const STEPS: usize = 80;
+const PERIOD: usize = 16;
+const READ_PERIOD: usize = 2;
+const ENSEMBLE_BURSTS: [usize; 3] = [2, 4, 8];
+
 fn bursty_env(steps: usize, burst: usize, period: usize, read_period: usize) -> Scenario {
     BurstyInputs::new("a", ValueType::Int, burst, period)
         .generate(steps)
@@ -24,7 +38,7 @@ fn bench(c: &mut Criterion) {
     banner("E6 / Section 5.2", "estimation convergence vs burstiness");
     eprintln!("{:>6} | {:>10} | {:>10}", "burst", "iterations", "final size");
     for burst in [1usize, 2, 4, 6, 8] {
-        let env = bursty_env(80, burst, 16, 2);
+        let env = bursty_env(STEPS, burst, PERIOD, READ_PERIOD);
         let report = estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default()).unwrap();
         assert!(report.converged);
         eprintln!(
@@ -48,8 +62,8 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("estimation");
-    for burst in [2usize, 4, 8] {
-        let env = bursty_env(80, burst, 16, 2);
+    for burst in ENSEMBLE_BURSTS {
+        let env = bursty_env(STEPS, burst, PERIOD, READ_PERIOD);
         group.bench_with_input(BenchmarkId::new("full_loop", burst), &burst, |b, _| {
             b.iter(|| {
                 std::hint::black_box(
@@ -61,12 +75,15 @@ fn bench(c: &mut Criterion) {
         });
     }
     // the scenario-ensemble entry point: independent per-scenario loops
-    // fanned across workers
+    // fanned across workers. One iteration runs all three `full_loop`
+    // scenarios, so the 1-thread id measures the sum of the sequential
+    // workloads (plus ensemble dispatch); higher thread counts measure the
+    // fan-out's scaling on that same fixed workload.
     let ensemble: Vec<Scenario> =
-        [2usize, 4, 8].iter().map(|&b| bursty_env(80, b, 16, 2)).collect();
+        ENSEMBLE_BURSTS.iter().map(|&b| bursty_env(STEPS, b, PERIOD, READ_PERIOD)).collect();
     for threads in [1usize, 2, 4] {
         let opts = EstimationOptions { threads, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new("full_loop_par", threads), &threads, |b, _| {
+        group.bench_with_input(BenchmarkId::new("ensemble_par", threads), &threads, |b, _| {
             b.iter(|| {
                 std::hint::black_box(
                     estimate_buffer_sizes_ensemble(&pipe(), &ensemble, &opts)

@@ -17,7 +17,8 @@
 
 use std::collections::BTreeMap;
 
-use polysig_lang::Program;
+use polysig_lang::{Component, Program};
+use polysig_tagged::hash::FxHashMap;
 use polysig_tagged::SigName;
 
 use crate::error::GalsError;
@@ -173,64 +174,192 @@ pub fn desynchronize(
     program: &Program,
     options: &DesyncOptions,
 ) -> Result<Desynchronized, GalsError> {
-    let specs = channels_of_program(program)?;
-    for named in options.sizes.keys() {
-        if !specs.iter().any(|s| &s.signal == named) {
-            return Err(GalsError::UnknownChannel { signal: named.clone() });
+    DesyncCache::new(program, options.instrument)?.build(&options.sizes, options.default_size)
+}
+
+/// Builds desynchronized programs for many size maps without re-deriving
+/// the shared skeleton.
+///
+/// [`desynchronize`] derives the channel specs, renames the producer and
+/// consumer components and fabricates every FIFO (and monitor) on each
+/// call. The Section-5.2 estimation loop calls it once per round with only
+/// the FIFO depths changed, so the cache splits the work: the *skeleton* —
+/// specs, renamed components, monitors, channel signal names — is derived
+/// once at construction, and [`DesyncCache::build`] assembles a round's
+/// program from clones, fabricating a FIFO component only for `(channel,
+/// depth)` pairs never seen before.
+///
+/// `build` produces exactly what [`desynchronize`] produces for the same
+/// options ([`desynchronize`] is itself a one-shot cache).
+///
+/// ```
+/// use polysig_gals::{desynchronize, DesyncCache, DesyncOptions};
+/// use polysig_lang::parse_program;
+///
+/// let p = parse_program(
+///     "process P { input a: int; output x: int; x := a + 1; } \
+///      process Q { input x: int; output y: int; y := x * 2; }",
+/// )?;
+/// let mut cache = DesyncCache::new(&p, false)?;
+/// let d2 = cache.build(&[("x".into(), 2)].into(), 1)?;
+/// let d3 = cache.build(&[("x".into(), 3)].into(), 1)?;
+/// assert_eq!(d2.program, desynchronize(&p, &DesyncOptions::with_size(2))?.program);
+/// assert_eq!(d3.channels[0].size, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesyncCache {
+    /// The transformed program's name (`<original>_gals`).
+    name: String,
+    /// Renamed original components, in original order.
+    skeleton: Vec<Component>,
+    /// Channel metadata with the generated signal names; the `size` field
+    /// is a placeholder filled in per build.
+    channels: Vec<ChannelInstance>,
+    /// Insert the Figure-4 monitors?
+    instrument: bool,
+    /// One monitor per channel (empty when not instrumenting).
+    monitors: Vec<Component>,
+    /// Memoized FIFO components keyed by `(channel index, depth)`.
+    fifos: FxHashMap<(usize, usize), Component>,
+    /// `true` iff the source program declares a signal that looks like a
+    /// generated channel signal (`<channel>_…`) — see
+    /// [`DesyncCache::has_generated_name_collision`].
+    name_collision: bool,
+}
+
+impl DesyncCache {
+    /// Derives the skeleton: channel specs, renamed producer/consumer
+    /// components and (when `instrument` is set) the per-channel monitors.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`channels_of_program`] rejects (unresolved program,
+    /// multi-consumer signals).
+    pub fn new(program: &Program, instrument: bool) -> Result<DesyncCache, GalsError> {
+        let specs = channels_of_program(program)?;
+        let mut components: BTreeMap<String, Component> =
+            program.components.iter().map(|c| (c.name.clone(), c.clone())).collect();
+        let mut channels = Vec::new();
+
+        for spec in specs {
+            let base = spec.signal.as_str();
+            let in_signal = SigName::from(format!("{base}_in"));
+            let out_signal = SigName::from(format!("{base}_out"));
+            let rd_signal = SigName::from(format!("{base}_rd"));
+
+            // rename producer's output x → x_in, consumer's input x → x_out
+            let producer = components
+                .get(&spec.producer)
+                .expect("producer exists by construction")
+                .rename_signal(&spec.signal, &in_signal);
+            components.insert(spec.producer.clone(), producer);
+            let consumer = components
+                .get(&spec.consumer)
+                .expect("consumer exists by construction")
+                .rename_signal(&spec.signal, &out_signal);
+            components.insert(spec.consumer.clone(), consumer);
+
+            channels.push(ChannelInstance {
+                alarm_signal: SigName::from(format!("{base}_alarm")),
+                ok_signal: SigName::from(format!("{base}_ok")),
+                count_signal: SigName::from(format!("{base}_count")),
+                full_signal: SigName::from(format!("{base}_full")),
+                maxmiss_signal: instrument.then(|| SigName::from(format!("{base}_maxmiss"))),
+                spec,
+                size: 0, // placeholder; every build fills it in
+                in_signal,
+                out_signal,
+                rd_signal,
+            });
         }
-    }
 
-    let mut out = Program::new(format!("{}_gals", program.name));
-    let mut components: BTreeMap<String, polysig_lang::Component> =
-        program.components.iter().map(|c| (c.name.clone(), c.clone())).collect();
-    let mut channels = Vec::new();
+        let skeleton: Vec<Component> = program
+            .components
+            .iter()
+            .map(|c| components.remove(&c.name).expect("component preserved"))
+            .collect();
+        let monitors: Vec<Component> = if instrument {
+            channels.iter().map(|ch| monitor_component(ch.spec.signal.as_str())).collect()
+        } else {
+            Vec::new()
+        };
 
-    for spec in specs {
-        let n = options.sizes.get(&spec.signal).copied().unwrap_or(options.default_size);
-        let base = spec.signal.as_str();
-        let in_signal = SigName::from(format!("{base}_in"));
-        let out_signal = SigName::from(format!("{base}_out"));
-        let rd_signal = SigName::from(format!("{base}_rd"));
-
-        // rename producer's output x → x_in, consumer's input x → x_out
-        let producer = components
-            .get(&spec.producer)
-            .expect("producer exists by construction")
-            .rename_signal(&spec.signal, &in_signal);
-        components.insert(spec.producer.clone(), producer);
-        let consumer = components
-            .get(&spec.consumer)
-            .expect("consumer exists by construction")
-            .rename_signal(&spec.signal, &out_signal);
-        components.insert(spec.consumer.clone(), consumer);
-
-        channels.push(ChannelInstance {
-            alarm_signal: SigName::from(format!("{base}_alarm")),
-            ok_signal: SigName::from(format!("{base}_ok")),
-            count_signal: SigName::from(format!("{base}_count")),
-            full_signal: SigName::from(format!("{base}_full")),
-            maxmiss_signal: options.instrument.then(|| SigName::from(format!("{base}_maxmiss"))),
-            spec,
-            size: n,
-            in_signal,
-            out_signal,
-            rd_signal,
+        // a source declaration named like a generated channel signal
+        // (`x_alarm`, `x_d3`, …) could alias the channel machinery — the
+        // estimation loop's warm start refuses to assume prefix equivalence
+        // for such programs (conservative: any `<channel>_` prefix counts)
+        let name_collision = program.components.iter().flat_map(|c| &c.decls).any(|d| {
+            channels.iter().any(|ch| {
+                d.name
+                    .as_str()
+                    .strip_prefix(ch.spec.signal.as_str())
+                    .is_some_and(|rest| rest.starts_with('_'))
+            })
         });
+
+        Ok(DesyncCache {
+            name: format!("{}_gals", program.name),
+            skeleton,
+            channels,
+            instrument,
+            monitors,
+            fifos: FxHashMap::default(),
+            name_collision,
+        })
     }
 
-    // original components (renamed), in original order
-    for c in &program.components {
-        out.components.push(components.remove(&c.name).expect("component preserved"));
+    /// The original signal of every channel, in channel order.
+    pub fn signals(&self) -> impl Iterator<Item = &SigName> {
+        self.channels.iter().map(|c| &c.spec.signal)
     }
-    // one FIFO (and optionally one monitor) per channel
-    for ch in &channels {
-        out.components.push(nfifo_component(ch.spec.signal.as_str(), ch.size));
-        if options.instrument {
-            out.components.push(monitor_component(ch.spec.signal.as_str()));
+
+    /// Number of channels the transformation will cut.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` iff the source program declares a name that collides with the
+    /// generated channel-signal namespace (`<channel>_…`) — the generated
+    /// machinery could then feed back into the source components, voiding
+    /// the prefix-equivalence argument the estimation warm start rests on.
+    pub fn has_generated_name_collision(&self) -> bool {
+        self.name_collision
+    }
+
+    /// Assembles the desynchronized program for one size map (channels not
+    /// in `sizes` use `default_size`).
+    ///
+    /// # Errors
+    ///
+    /// [`GalsError::UnknownChannel`] if `sizes` names a signal that is not
+    /// a cut dependency.
+    pub fn build(
+        &mut self,
+        sizes: &BTreeMap<SigName, usize>,
+        default_size: usize,
+    ) -> Result<Desynchronized, GalsError> {
+        for named in sizes.keys() {
+            if !self.channels.iter().any(|c| &c.spec.signal == named) {
+                return Err(GalsError::UnknownChannel { signal: named.clone() });
+            }
         }
+        let mut out = Program::new(self.name.clone());
+        out.components.extend(self.skeleton.iter().cloned());
+        let mut channels = self.channels.clone();
+        for (i, ch) in channels.iter_mut().enumerate() {
+            ch.size = sizes.get(&ch.spec.signal).copied().unwrap_or(default_size);
+            let fifo = self
+                .fifos
+                .entry((i, ch.size))
+                .or_insert_with(|| nfifo_component(ch.spec.signal.as_str(), ch.size));
+            out.components.push(fifo.clone());
+            if self.instrument {
+                out.components.push(self.monitors[i].clone());
+            }
+        }
+        Ok(Desynchronized { program: out, channels })
     }
-
-    Ok(Desynchronized { program: out, channels })
 }
 
 #[cfg(test)]
@@ -303,6 +432,45 @@ mod tests {
         let err =
             desynchronize(&sample(), &DesyncOptions::default().size_of("ghost", 2)).unwrap_err();
         assert!(matches!(err, GalsError::UnknownChannel { .. }));
+    }
+
+    #[test]
+    fn cache_builds_match_fresh_desynchronize_exactly() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x + 1; } \
+             process C { input y: int; output z: int; z := y * 2; }",
+        )
+        .unwrap();
+        let mut cache = DesyncCache::new(&p, true).unwrap();
+        // several rounds with changing sizes, including a repeat that hits
+        // the FIFO memo
+        for sizes in [vec![("x", 1), ("y", 1)], vec![("x", 3), ("y", 1)], vec![("x", 3), ("y", 2)]]
+        {
+            let map: BTreeMap<SigName, usize> =
+                sizes.iter().map(|(s, n)| (SigName::from(*s), *n)).collect();
+            let opts = DesyncOptions { sizes: map.clone(), default_size: 1, instrument: true };
+            let fresh = desynchronize(&p, &opts).unwrap();
+            let cached = cache.build(&map, 1).unwrap();
+            assert_eq!(cached.program, fresh.program);
+            assert_eq!(cached.channels, fresh.channels);
+        }
+    }
+
+    #[test]
+    fn generated_name_collision_detected() {
+        let clean = DesyncCache::new(&sample(), true).unwrap();
+        assert!(!clean.has_generated_name_collision());
+
+        // `x_probe` lives inside the generated `x_…` namespace
+        let p = parse_program(
+            "process P { input a: int; output x: int; local x_probe: int; \
+                         x := a + 1; x_probe := x; } \
+             process Q { input x: int; output y: int; y := x * 2; }",
+        )
+        .unwrap();
+        let tainted = DesyncCache::new(&p, true).unwrap();
+        assert!(tainted.has_generated_name_collision());
     }
 
     #[test]

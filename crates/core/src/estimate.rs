@@ -12,15 +12,42 @@
 //! environment, read each channel's max-consecutive-miss register and alarm
 //! count, grow the buffers, and repeat until a run raises no alarm (or a
 //! cap is hit).
+//!
+//! ## The incremental engine
+//!
+//! Consecutive rounds differ only in FIFO depths, so by default
+//! ([`EstimationOptions::incremental`]) the loop avoids repeating work the
+//! rounds share:
+//!
+//! * the desynchronization skeleton is derived once per loop via
+//!   [`DesyncCache`] and each round's network assembled from clones;
+//! * each round compiles straight to a [`Reactor`] and is measured on dense
+//!   per-instant environments — alarms and miss registers are read off the
+//!   reaction outputs directly, skipping the full trace recording a
+//!   [`Simulator`] run would do;
+//! * compiled rounds are memoized by their depth vector, so an ensemble
+//!   worker revisiting the same sizes (every scenario starts at the same
+//!   depths) reuses the compiled reactor;
+//! * when a round only *grew* buffers, the next round resumes from the
+//!   instant of the earliest write attempt on any grown channel instead of
+//!   replaying the whole prefix — see `DESIGN.md` §9 for the soundness
+//!   argument and the conditions that force a cold start.
+//!
+//! The incremental engine is observationally identical to the plain loop
+//! (`incremental: false`): same [`EstimationReport`], field for field — the
+//! differential suite in `tests/differential.rs` holds it to that.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 use polysig_lang::Program;
-use polysig_sim::{Scenario, Simulator};
-use polysig_tagged::{SigName, Value};
+use polysig_sim::{DenseEnv, Reactor, ReactorState, Scenario, SimError, Simulator};
+use polysig_tagged::hash::FxHashMap;
+use polysig_tagged::{SigId, SigName, Value};
 
-use crate::desync::{desynchronize, DesyncOptions, Desynchronized};
+use crate::desync::{desynchronize, DesyncCache, DesyncOptions, Desynchronized};
 use crate::error::GalsError;
+use crate::nfifo::fifo_component_name;
 
 /// How to grow a channel that missed writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +76,12 @@ pub struct EstimationOptions {
     /// identical for every value. Defaults to the detected parallelism
     /// (`POLYSIG_TEST_THREADS` overrides it).
     pub threads: usize,
+    /// Use the incremental engine (cached desynchronization, dense
+    /// measurement, warm-started rounds — see the module docs). The report
+    /// is identical either way; `false` forces the plain
+    /// desynchronize-simulate-grow loop, kept as the reference
+    /// implementation the differential tests compare against.
+    pub incremental: bool,
 }
 
 impl Default for EstimationOptions {
@@ -59,6 +92,7 @@ impl Default for EstimationOptions {
             max_size: 4096,
             growth: GrowthPolicy::ByMaxMiss,
             threads: crossbeam::pool::default_threads(),
+            incremental: true,
         }
     }
 }
@@ -143,20 +177,42 @@ pub fn estimate_buffer_sizes(
     scenario: &Scenario,
     options: &EstimationOptions,
 ) -> Result<EstimationReport, GalsError> {
-    // discover channels once to seed sizes
-    let probe = desynchronize(program, &DesyncOptions::with_size(1))?;
-    let mut sizes: BTreeMap<SigName, usize> = probe
-        .channels
-        .iter()
-        .map(|c| (c.spec.signal.clone(), options.initial_size.max(1)))
-        .collect();
+    if options.incremental {
+        estimate_with_ctx(&mut EstimationCtx::new(program)?, scenario, options)
+    } else {
+        estimate_cold(program, scenario, options)
+    }
+}
+
+/// The reference loop: desynchronize from scratch and simulate through a
+/// [`Simulator`] every round. The incremental engine must match this
+/// observation for observation.
+fn estimate_cold(
+    program: &Program,
+    scenario: &Scenario,
+    options: &EstimationOptions,
+) -> Result<EstimationReport, GalsError> {
+    // the size-1 probe that discovers the channels is built instrumented:
+    // when the loop starts at depth 1 (the default) it *is* round 1's
+    // transform, so it is reused rather than discarded
+    let probe = desynchronize(
+        program,
+        &DesyncOptions { sizes: BTreeMap::new(), default_size: 1, instrument: true },
+    )?;
+    let initial = options.initial_size.max(1);
+    let mut sizes: BTreeMap<SigName, usize> =
+        probe.channels.iter().map(|c| (c.spec.signal.clone(), initial)).collect();
+    let mut probe = (initial == 1).then_some(probe);
 
     let mut history = Vec::new();
     for _ in 0..options.max_iterations {
-        let d = desynchronize(
-            program,
-            &DesyncOptions { sizes: sizes.clone(), default_size: 1, instrument: true },
-        )?;
+        let d = match probe.take() {
+            Some(d) => d,
+            None => desynchronize(
+                program,
+                &DesyncOptions { sizes: sizes.clone(), default_size: 1, instrument: true },
+            )?,
+        };
         let iteration = measure(&d, scenario, &sizes)?;
         let clean = iteration.is_clean();
         let max_miss = iteration.max_miss.clone();
@@ -184,6 +240,355 @@ pub fn estimate_buffer_sizes(
         }
     }
     Ok(EstimationReport { converged: false, final_sizes: sizes, history })
+}
+
+/// Dense signal ids of one channel's observables, resolved against a
+/// compiled round's interner (ids are *not* stable across rounds: deeper
+/// FIFOs intern extra stage signals).
+struct ChannelIds {
+    /// The producer-side write signal (`x_in`) — a write attempt is this
+    /// signal being present.
+    in_id: SigId,
+    /// The alarm output (true = rejected write).
+    alarm_id: SigId,
+    /// The max-consecutive-miss register output.
+    maxmiss_id: SigId,
+}
+
+/// One fully-elaborated round: the desynchronized network compiled to a
+/// reactor, plus each channel's signal ids.
+struct CompiledRound {
+    reactor: Reactor,
+    ids: Vec<ChannelIds>,
+}
+
+/// What one measured round observed, in channel order.
+struct RoundObs {
+    /// Alarm-true events per channel.
+    alarms: Vec<usize>,
+    /// Final max-consecutive-miss register value per channel.
+    max_miss: Vec<usize>,
+    /// Per channel: the instant of its first write attempt together with
+    /// the register file as it stood *before* that instant (`None` = the
+    /// channel never saw a write). The next round resumes from the earliest
+    /// of these over its grown channels.
+    first_write: Vec<Option<(usize, Box<[Value]>)>>,
+}
+
+/// The donor state a warm start transplants from: the previous round's
+/// depth vector, register layout and first-write records. Spans and initial
+/// values are copied out of the previous reactor so the donor stays valid
+/// even if the compiled-round cache evicts it.
+struct PrevRound {
+    key: Vec<usize>,
+    spans: Vec<(String, usize, usize)>,
+    initial: Vec<Value>,
+    first_write: Vec<Option<(usize, Box<[Value]>)>>,
+}
+
+/// A planned warm start for one round.
+struct WarmPlan {
+    /// First instant to actually simulate; `[0, start)` is inherited.
+    start: usize,
+    /// The new reactor's register file at `start`, transplanted from the
+    /// donor.
+    registers: Box<[Value]>,
+    /// First-write records for channels that already wrote inside the
+    /// shared prefix, their snapshots re-expressed in the new layout.
+    carried: Vec<Option<(usize, Box<[Value]>)>>,
+}
+
+/// Compiled rounds kept per context before the memo is wholesale cleared.
+/// Estimation loops visit few distinct depth vectors (an ensemble worker
+/// revisits mostly the early ones), so a small bound with dumb eviction is
+/// plenty — the bound only guards pathological non-converging ensembles.
+const MAX_COMPILED_ROUNDS: usize = 64;
+
+/// Per-loop (or per-ensemble-worker) state of the incremental engine.
+struct EstimationCtx {
+    cache: DesyncCache,
+    /// Channel signals, fixing the channel order all dense vectors use.
+    signals: Vec<SigName>,
+    /// `Fifo_<x>` component name per channel (the register spans to swap on
+    /// growth).
+    fifo_names: Vec<String>,
+    /// Compiled rounds memoized by depth vector (in `signals` order).
+    compiled: FxHashMap<Vec<usize>, CompiledRound>,
+    /// Warm starts allowed? False when the source program declares names in
+    /// the generated channel namespace — such a program could read the
+    /// channel machinery, voiding the prefix-equivalence argument.
+    warm_ok: bool,
+}
+
+impl EstimationCtx {
+    fn new(program: &Program) -> Result<EstimationCtx, GalsError> {
+        let cache = DesyncCache::new(program, true)?;
+        let signals: Vec<SigName> = cache.signals().cloned().collect();
+        let fifo_names = signals.iter().map(|s| fifo_component_name(s.as_str())).collect();
+        let warm_ok = !cache.has_generated_name_collision();
+        Ok(EstimationCtx { cache, signals, fifo_names, compiled: FxHashMap::default(), warm_ok })
+    }
+
+    /// The compiled round for one depth vector, building it on a miss.
+    fn round(
+        &mut self,
+        sizes: &BTreeMap<SigName, usize>,
+        key: &[usize],
+    ) -> Result<&mut CompiledRound, GalsError> {
+        if !self.compiled.contains_key(key) {
+            if self.compiled.len() >= MAX_COMPILED_ROUNDS {
+                self.compiled.clear();
+            }
+            let d = self.cache.build(sizes, 1)?;
+            let reactor = Reactor::for_program(&d.program)?;
+            let ids = d
+                .channels
+                .iter()
+                .map(|ch| {
+                    let id = |s: &SigName| {
+                        reactor.sig_id(s.as_str()).expect("channel signal is interned")
+                    };
+                    ChannelIds {
+                        in_id: id(&ch.in_signal),
+                        alarm_id: id(&ch.alarm_signal),
+                        maxmiss_id: id(ch.maxmiss_signal.as_ref().expect("instrumented build")),
+                    }
+                })
+                .collect();
+            self.compiled.insert(key.to_vec(), CompiledRound { reactor, ids });
+        }
+        Ok(self.compiled.get_mut(key).expect("just inserted"))
+    }
+}
+
+/// The incremental estimation loop. Same observable behavior as
+/// [`estimate_cold`], round for round.
+fn estimate_with_ctx(
+    ctx: &mut EstimationCtx,
+    scenario: &Scenario,
+    options: &EstimationOptions,
+) -> Result<EstimationReport, GalsError> {
+    let signals = ctx.signals.clone();
+    let fifo_names = ctx.fifo_names.clone();
+    let warm_ok = ctx.warm_ok;
+    let initial = options.initial_size.max(1);
+    let mut sizes: BTreeMap<SigName, usize> =
+        signals.iter().map(|s| (s.clone(), initial)).collect();
+
+    let mut history = Vec::new();
+    let mut prev: Option<PrevRound> = None;
+    for _ in 0..options.max_iterations {
+        let key: Vec<usize> = signals.iter().map(|s| sizes[s]).collect();
+        let round = ctx.round(&sizes, &key)?;
+        let dense = dense_scenario(&round.reactor, scenario)?;
+        let plan = if warm_ok {
+            prev.as_ref().and_then(|p| plan_warm_start(p, &key, &fifo_names, &round.reactor))
+        } else {
+            None
+        };
+        let obs = measure_round(round, &dense, plan)?;
+        let iteration = EstimationIteration {
+            sizes: sizes.clone(),
+            alarms: signals.iter().cloned().zip(obs.alarms.iter().copied()).collect(),
+            max_miss: signals.iter().cloned().zip(obs.max_miss.iter().copied()).collect(),
+        };
+        let clean = iteration.is_clean();
+        history.push(iteration);
+        if clean {
+            return Ok(EstimationReport { converged: true, final_sizes: sizes, history });
+        }
+        prev = Some(PrevRound {
+            key,
+            spans: round.reactor.register_spans().to_vec(),
+            initial: round.reactor.initial_registers().to_vec(),
+            first_write: obs.first_write,
+        });
+        // grow the channels that missed
+        let mut capped = false;
+        for (signal, &miss) in signals.iter().zip(&obs.max_miss) {
+            if miss == 0 {
+                continue;
+            }
+            let size = sizes.get_mut(signal).expect("channel seeded");
+            *size = match options.growth {
+                GrowthPolicy::ByMaxMiss => *size + miss,
+                GrowthPolicy::Doubling => (*size * 2).max(*size + 1),
+            };
+            if *size > options.max_size {
+                capped = true;
+            }
+        }
+        if capped {
+            return Ok(EstimationReport { converged: false, final_sizes: sizes, history });
+        }
+    }
+    Ok(EstimationReport { converged: false, final_sizes: sizes, history })
+}
+
+/// Decides whether the new round (depth vector `key`, compiled to
+/// `reactor`) can resume from `prev` instead of starting cold, and builds
+/// the transplanted state if so.
+///
+/// Soundness (DESIGN.md §9): an untouched FIFO is observationally
+/// depth-independent — until its first write attempt its outputs and
+/// registers are what an empty FIFO of *any* depth produces. So up to
+/// `start` = the earliest first write attempt on any *grown* channel, the
+/// old and new networks behave identically, and the old round's register
+/// file at `start` is the new round's — modulo the grown FIFOs' registers,
+/// which are still at their initial values (validated here; any mismatch
+/// falls back to a cold start rather than trusting the assumption).
+fn plan_warm_start(
+    prev: &PrevRound,
+    key: &[usize],
+    fifo_names: &[String],
+    reactor: &Reactor,
+) -> Option<WarmPlan> {
+    let mut grown = Vec::new();
+    for (i, (&new, &old)) in key.iter().zip(&prev.key).enumerate() {
+        match new.cmp(&old) {
+            // a shrunken channel invalidates the prefix argument wholesale
+            Ordering::Less => return None,
+            Ordering::Greater => grown.push(i),
+            Ordering::Equal => {}
+        }
+    }
+    if grown.is_empty() {
+        return None;
+    }
+    let mut start = usize::MAX;
+    let mut donor: Option<&[Value]> = None;
+    for &i in &grown {
+        // a grown channel must have alarmed, hence written; `None` here
+        // means the bookkeeping lost its first write — start cold
+        let (t, regs) = prev.first_write[i].as_ref()?;
+        if *t < start {
+            start = *t;
+            donor = Some(regs);
+        }
+    }
+    if start == 0 {
+        return None;
+    }
+    let grown_fifos: Vec<&str> = grown.iter().map(|&i| fifo_names[i].as_str()).collect();
+    let registers = transplant(prev, donor?, reactor, &grown_fifos)?;
+    // channels that first wrote inside the shared prefix keep their record
+    // (the new round will not replay those instants), snapshots
+    // re-expressed in the new register layout
+    let mut carried: Vec<Option<(usize, Box<[Value]>)>> = vec![None; key.len()];
+    for (slot, fw) in carried.iter_mut().zip(&prev.first_write) {
+        if let Some((t, regs)) = fw {
+            if *t < start {
+                *slot = Some((*t, transplant(prev, regs, reactor, &grown_fifos)?));
+            }
+        }
+    }
+    Some(WarmPlan { start, registers, carried })
+}
+
+/// Re-expresses a donor register file in the new reactor's layout:
+/// unchanged components copy their span verbatim; grown FIFOs keep the new
+/// initial block, *provided* the donor still had them at their initial
+/// values (i.e. genuinely untouched). Any structural surprise returns
+/// `None` — the caller starts cold.
+fn transplant(
+    prev: &PrevRound,
+    old_regs: &[Value],
+    reactor: &Reactor,
+    grown_fifos: &[&str],
+) -> Option<Box<[Value]>> {
+    let new_spans = reactor.register_spans();
+    if prev.spans.len() != new_spans.len() {
+        return None;
+    }
+    let mut regs: Vec<Value> = reactor.initial_registers().to_vec();
+    for ((oname, ostart, olen), (nname, nstart, nlen)) in prev.spans.iter().zip(new_spans) {
+        if oname != nname {
+            return None;
+        }
+        if grown_fifos.contains(&nname.as_str()) {
+            if old_regs[*ostart..*ostart + *olen] != prev.initial[*ostart..*ostart + *olen] {
+                return None;
+            }
+        } else {
+            if olen != nlen {
+                return None;
+            }
+            regs[*nstart..*nstart + *nlen].copy_from_slice(&old_regs[*ostart..*ostart + *olen]);
+        }
+    }
+    Some(regs.into_boxed_slice())
+}
+
+/// Runs one round on dense environments, cold (`plan: None`) or resuming a
+/// warm plan, and reads the observables straight off each reaction's
+/// output.
+///
+/// Observation equivalence with the cold [`measure`]: a warm prefix
+/// contributes no alarms (non-grown channels had none all round, grown ones
+/// had not yet written) and holds every miss register at 0, so counting
+/// from `start` with zeroed accumulators is exact.
+fn measure_round(
+    round: &mut CompiledRound,
+    dense: &[DenseEnv],
+    plan: Option<WarmPlan>,
+) -> Result<RoundObs, GalsError> {
+    let nch = round.ids.len();
+    let (start, mut first_write) = match plan {
+        Some(WarmPlan { start, registers, carried }) => {
+            round.reactor.restore(&ReactorState::new(registers, start));
+            (start, carried)
+        }
+        None => {
+            round.reactor.reset();
+            (0, vec![None; nch])
+        }
+    };
+    let mut alarms = vec![0usize; nch];
+    let mut max_miss = vec![0i64; nch];
+    let mut pending = first_write.iter().filter(|f| f.is_none()).count();
+    for (k, env) in dense.iter().enumerate().skip(start) {
+        // registers as they stand before this instant: the donor state a
+        // later round resumes from if some channel first writes now
+        let snap: Option<Box<[Value]>> =
+            (pending > 0).then(|| round.reactor.registers().to_vec().into_boxed_slice());
+        let out = round.reactor.react_dense(env)?;
+        for (i, ids) in round.ids.iter().enumerate() {
+            if first_write[i].is_none() && out.get(ids.in_id).is_some() {
+                first_write[i] = Some((k, snap.clone().expect("snapshot taken while pending")));
+                pending -= 1;
+            }
+            if out.get(ids.alarm_id) == Some(Value::TRUE) {
+                alarms[i] += 1;
+            }
+            if let Some(v) = out.get(ids.maxmiss_id).and_then(|v| v.as_int()) {
+                max_miss[i] = v;
+            }
+        }
+    }
+    Ok(RoundObs {
+        alarms,
+        max_miss: max_miss.into_iter().map(|v| v.max(0) as usize).collect(),
+        first_write,
+    })
+}
+
+/// Converts a scenario to dense per-instant environments against one
+/// reactor's interner, mirroring [`Simulator::run`]'s conversion (including
+/// its reject-unknown-names-before-reacting behavior).
+fn dense_scenario(reactor: &Reactor, scenario: &Scenario) -> Result<Vec<DenseEnv>, GalsError> {
+    let n = reactor.signal_count();
+    let mut steps = Vec::with_capacity(scenario.len());
+    for inputs in scenario.iter() {
+        let mut env = DenseEnv::new(n);
+        for (name, value) in inputs {
+            let Some(id) = reactor.sig_id(name) else {
+                return Err(SimError::NotAnInput { name: name.clone() }.into());
+            };
+            env.set(id, *value);
+        }
+        steps.push(env);
+    }
+    Ok(steps)
 }
 
 /// The outcome of an ensemble estimation: one report per scenario plus the
@@ -222,7 +627,15 @@ pub fn estimate_buffer_sizes_ensemble(
         scenarios,
         MIN_SCENARIOS_PER_CHUNK,
         |_start, chunk| -> Result<Vec<EstimationReport>, GalsError> {
-            chunk.iter().map(|s| estimate_buffer_sizes(program, s, options)).collect()
+            if options.incremental {
+                // one skeleton + compiled-round memo per worker: every
+                // scenario starts from the same depth vector, so later
+                // scenarios in the chunk hit the compiled cache
+                let mut ctx = EstimationCtx::new(program)?;
+                chunk.iter().map(|s| estimate_with_ctx(&mut ctx, s, options)).collect()
+            } else {
+                chunk.iter().map(|s| estimate_cold(program, s, options)).collect()
+            }
         },
     );
     let mut reports = Vec::with_capacity(scenarios.len());
@@ -393,6 +806,99 @@ mod tests {
             .unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    /// Writer starting at `wphase` (then every tick), reader every
+    /// `rd_period` from instant 0 — a nonzero `wphase` delays the first
+    /// write attempt, which is what lets a warm start skip a prefix.
+    fn phased_env(steps: usize, wphase: usize, rd_period: usize) -> Scenario {
+        PeriodicInputs::new("a", ValueType::Int, 1, wphase)
+            .generate(steps)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, rd_period, 0).generate(steps))
+            .zip_union(&master_clock("tick", steps))
+    }
+
+    #[test]
+    fn incremental_matches_cold_reference() {
+        let cold_opts = EstimationOptions { incremental: false, ..Default::default() };
+        for scenario in [env(24, 2, 2), env(12, 1, 3), phased_env(16, 3, 4), phased_env(30, 5, 2)] {
+            let warm = estimate_buffer_sizes(&pipe(), &scenario, &Default::default()).unwrap();
+            let cold = estimate_buffer_sizes(&pipe(), &scenario, &cold_opts).unwrap();
+            assert_eq!(warm, cold);
+        }
+    }
+
+    #[test]
+    fn warm_start_plan_engages_at_first_write_instant() {
+        // drive the internals by hand: round 1 at depth 1, then check the
+        // grown round's plan resumes at the first write attempt (instant 3)
+        let scenario = phased_env(16, 3, 4);
+        let mut ctx = EstimationCtx::new(&pipe()).unwrap();
+        assert!(ctx.warm_ok);
+
+        let sizes1: BTreeMap<SigName, usize> = [(SigName::from("x"), 1)].into();
+        let round1 = ctx.round(&sizes1, &[1]).unwrap();
+        let dense = dense_scenario(&round1.reactor, &scenario).unwrap();
+        let obs = measure_round(round1, &dense, None).unwrap();
+        let (t, _) = obs.first_write[0].as_ref().expect("the writer wrote");
+        assert_eq!(*t, 3);
+        let miss = obs.max_miss[0];
+        assert!(miss > 0, "depth 1 must overflow under this workload");
+        let prev = PrevRound {
+            key: vec![1],
+            spans: round1.reactor.register_spans().to_vec(),
+            initial: round1.reactor.initial_registers().to_vec(),
+            first_write: obs.first_write,
+        };
+
+        let key2 = vec![1 + miss];
+        let sizes2: BTreeMap<SigName, usize> = [(SigName::from("x"), 1 + miss)].into();
+        let round2 = ctx.round(&sizes2, &key2).unwrap();
+        let plan = plan_warm_start(&prev, &key2, &[fifo_component_name("x")], &round2.reactor)
+            .expect("growth after a delayed first write must warm start");
+        assert_eq!(plan.start, 3);
+        assert_eq!(plan.registers.len(), round2.reactor.register_count());
+
+        // a shrink, an equal key, or a zero-instant prefix must refuse
+        assert!(
+            plan_warm_start(&prev, &[0], &[fifo_component_name("x")], &round2.reactor).is_none()
+        );
+        assert!(
+            plan_warm_start(&prev, &[1], &[fifo_component_name("x")], &round2.reactor).is_none()
+        );
+    }
+
+    #[test]
+    fn generated_namespace_collision_disables_warm_start_but_matches() {
+        // `x_probe` sits in the channel's generated namespace: the engine
+        // must refuse warm starts yet still produce the reference report
+        let p = parse_program(
+            "process P { input a: int; output x: int; local x_probe: int; \
+                         x := a; x_probe := x; } \
+             process Q { input x: int; output y: int; y := x; }",
+        )
+        .unwrap();
+        assert!(!EstimationCtx::new(&p).unwrap().warm_ok);
+        let scenario = phased_env(16, 3, 4);
+        let warm = estimate_buffer_sizes(&p, &scenario, &Default::default()).unwrap();
+        let cold = estimate_buffer_sizes(
+            &p,
+            &scenario,
+            &EstimationOptions { incremental: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn nondefault_initial_size_matches_cold() {
+        let opts = EstimationOptions { initial_size: 2, ..Default::default() };
+        let cold_opts = EstimationOptions { initial_size: 2, incremental: false, ..opts.clone() };
+        let scenario = phased_env(20, 2, 3);
+        assert_eq!(
+            estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap(),
+            estimate_buffer_sizes(&pipe(), &scenario, &cold_opts).unwrap(),
+        );
     }
 
     #[test]

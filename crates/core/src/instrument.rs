@@ -9,6 +9,11 @@
 use polysig_lang::{Binop, Component, ComponentBuilder, Expr};
 use polysig_tagged::{SigName, Value, ValueType};
 
+/// The component name [`monitor_component`] generates for channel `name`.
+pub fn monitor_component_name(name: &str) -> String {
+    format!("Monitor_{name}")
+}
+
 /// Builds the monitor component for channel `name`.
 ///
 /// Interface:
@@ -26,7 +31,7 @@ pub fn monitor_component(name: &str) -> Component {
     let mprev = format!("{name}_mprev");
     let xprev = format!("{name}_xprev");
 
-    ComponentBuilder::new(format!("Monitor_{name}"))
+    ComponentBuilder::new(monitor_component_name(name))
         .input(alarm.as_str(), ValueType::Bool)
         .input(ok.as_str(), ValueType::Bool)
         .input("tick", ValueType::Bool)

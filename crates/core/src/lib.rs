@@ -67,7 +67,7 @@ pub mod split;
 pub mod vcd;
 
 pub use closedloop::{run_masked, MaskedRun};
-pub use desync::{desynchronize, DesyncOptions, Desynchronized};
+pub use desync::{desynchronize, DesyncCache, DesyncOptions, Desynchronized};
 pub use error::GalsError;
 pub use estimate::{
     estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EnsembleReport, EstimationOptions,

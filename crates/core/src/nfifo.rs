@@ -21,6 +21,11 @@
 use polysig_lang::{Binop, Component, ComponentBuilder, Expr};
 use polysig_tagged::{Value, ValueType};
 
+/// The component name [`nfifo_component`] generates for channel `name`.
+pub fn fifo_component_name(name: &str) -> String {
+    format!("Fifo_{name}")
+}
+
 /// Builds the `n`-place FIFO component for channel `name`.
 ///
 /// Interface (all clocked by the master input `tick`):
@@ -57,7 +62,7 @@ pub fn nfifo_component(name: &str, n: usize) -> Component {
     let fp = |i: usize| format!("{name}_fp{i}");
     let mv = |i: usize| format!("{name}_mv{i}");
 
-    let mut b = ComponentBuilder::new(format!("Fifo_{name}"))
+    let mut b = ComponentBuilder::new(fifo_component_name(name))
         .input(input.as_str(), ValueType::Int)
         .input(rd.as_str(), ValueType::Bool)
         .input("tick", ValueType::Bool)

@@ -102,30 +102,31 @@ impl ClockAnalysis {
     }
 }
 
-/// Internal symbolic clock of an expression.
+/// Internal symbolic clock of an expression, over the analyzer's dense
+/// signal indices (the hot path never touches a name).
 enum ClockTerm {
     /// Same clock as a signal.
-    Sig(SigName),
+    Sig(u32),
     /// Sampled: included in the clocks of `uppers`.
-    Sampled { uppers: BTreeSet<SigName> },
+    Sampled { uppers: BTreeSet<u32> },
     /// Union: includes the clocks of `lowers`; included in nothing known.
-    Union { lowers: BTreeSet<SigName>, uppers: BTreeSet<SigName> },
+    Union { lowers: BTreeSet<u32>, uppers: BTreeSet<u32> },
     /// Adapts to context (constants).
     Context,
 }
 
 impl ClockTerm {
-    fn uppers(&self) -> BTreeSet<SigName> {
+    fn uppers(&self) -> BTreeSet<u32> {
         match self {
-            ClockTerm::Sig(s) => [s.clone()].into(),
+            ClockTerm::Sig(s) => [*s].into(),
             ClockTerm::Sampled { uppers } | ClockTerm::Union { uppers, .. } => uppers.clone(),
             ClockTerm::Context => BTreeSet::new(),
         }
     }
 
-    fn lowers(&self) -> BTreeSet<SigName> {
+    fn lowers(&self) -> BTreeSet<u32> {
         match self {
-            ClockTerm::Sig(s) => [s.clone()].into(),
+            ClockTerm::Sig(s) => [*s].into(),
             ClockTerm::Union { lowers, .. } => lowers.clone(),
             ClockTerm::Sampled { .. } | ClockTerm::Context => BTreeSet::new(),
         }
@@ -133,27 +134,47 @@ impl ClockTerm {
 }
 
 struct Analyzer {
-    parent: BTreeMap<SigName, SigName>,
+    /// Dense index per signal name, grown lazily for names the component
+    /// never declares (resolution may not have run yet).
+    index: polysig_tagged::hash::FxHashMap<SigName, u32>,
+    names: Vec<SigName>,
+    parent: Vec<u32>,
     /// subset edges between signals: (sub, sup)
-    subset: BTreeSet<(SigName, SigName)>,
+    subset: BTreeSet<(u32, u32)>,
 }
 
 impl Analyzer {
-    fn find(&mut self, x: &SigName) -> SigName {
-        let p = self.parent.get(x).cloned().unwrap_or_else(|| x.clone());
-        if &p == x {
-            return p;
+    fn id(&mut self, x: &SigName) -> u32 {
+        if let Some(&i) = self.index.get(x) {
+            return i;
         }
-        let root = self.find(&p);
-        self.parent.insert(x.clone(), root.clone());
+        let i = self.names.len() as u32;
+        self.index.insert(x.clone(), i);
+        self.names.push(x.clone());
+        self.parent.push(i);
+        i
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // path compression
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
         root
     }
 
-    fn union(&mut self, a: &SigName, b: &SigName) {
+    fn union(&mut self, a: u32, b: u32) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
-            self.parent.insert(ra, rb);
+            self.parent[ra as usize] = rb;
         }
     }
 
@@ -161,7 +182,7 @@ impl Analyzer {
     /// effect.
     fn clock_of(&mut self, e: &Expr) -> ClockTerm {
         match e {
-            Expr::Var(x) => ClockTerm::Sig(x.clone()),
+            Expr::Var(x) => ClockTerm::Sig(self.id(x)),
             Expr::Const(_) => ClockTerm::Context,
             Expr::Pre { body, .. } => self.clock_of(body),
             Expr::Unary { arg, .. } => self.clock_of(arg),
@@ -175,9 +196,9 @@ impl Analyzer {
             Expr::Default { left, right } => {
                 let tl = self.clock_of(left);
                 let tr = self.clock_of(right);
-                let lowers: BTreeSet<SigName> = tl.lowers().union(&tr.lowers()).cloned().collect();
-                let uppers: BTreeSet<SigName> =
-                    tl.uppers().intersection(&tr.uppers()).cloned().collect();
+                let lowers: BTreeSet<u32> = tl.lowers().union(&tr.lowers()).copied().collect();
+                let uppers: BTreeSet<u32> =
+                    tl.uppers().intersection(&tr.uppers()).copied().collect();
                 ClockTerm::Union { lowers, uppers }
             }
             Expr::Binary { left, right, .. } => {
@@ -185,7 +206,7 @@ impl Analyzer {
                 let tr = self.clock_of(right);
                 // synchronous arguments: unify when both sides name a signal
                 if let (ClockTerm::Sig(a), ClockTerm::Sig(b)) = (&tl, &tr) {
-                    self.union(&a.clone(), &b.clone());
+                    self.union(*a, *b);
                 }
                 match (&tl, &tr) {
                     (ClockTerm::Context, _) => tr,
@@ -211,57 +232,62 @@ impl Analyzer {
 /// # Ok::<(), polysig_lang::LangError>(())
 /// ```
 pub fn analyze_component(c: &Component) -> ClockAnalysis {
-    let mut az = Analyzer { parent: BTreeMap::new(), subset: BTreeSet::new() };
-    for d in &c.decls {
-        az.parent.insert(d.name.clone(), d.name.clone());
-    }
+    let mut az = Analyzer {
+        index: polysig_tagged::hash::FxHashMap::default(),
+        names: Vec::with_capacity(c.decls.len()),
+        parent: Vec::with_capacity(c.decls.len()),
+        subset: BTreeSet::new(),
+    };
+    let decl_ids: Vec<u32> = c.decls.iter().map(|d| az.id(&d.name)).collect();
     for stmt in &c.stmts {
         match stmt {
             Statement::Eq(eq) => {
                 let term = az.clock_of(&eq.rhs);
+                let lhs = az.id(&eq.lhs);
                 match &term {
-                    ClockTerm::Sig(y) => az.union(&eq.lhs, &y.clone()),
+                    ClockTerm::Sig(y) => az.union(lhs, *y),
                     ClockTerm::Context => {}
                     _ => {
                         for u in term.uppers() {
-                            az.subset.insert((eq.lhs.clone(), u));
+                            az.subset.insert((lhs, u));
                         }
                         for l in term.lowers() {
-                            az.subset.insert((l, eq.lhs.clone()));
+                            az.subset.insert((l, lhs));
                         }
                     }
                 }
             }
             Statement::Sync(names) => {
                 for w in names.windows(2) {
-                    az.union(&w[0], &w[1]);
+                    let (a, b) = (az.id(&w[0]), az.id(&w[1]));
+                    az.union(a, b);
                 }
             }
         }
     }
 
-    // build classes
-    let mut rep_to_class: BTreeMap<SigName, usize> = BTreeMap::new();
+    // build classes over the declared signals, in declaration order
+    let mut rep_to_class: Vec<usize> = vec![usize::MAX; az.names.len()];
     let mut classes: Vec<ClockClass> = Vec::new();
     let mut class_of: BTreeMap<SigName, usize> = BTreeMap::new();
-    let names: Vec<SigName> = c.decls.iter().map(|d| d.name.clone()).collect();
-    for name in &names {
-        let rep = az.find(name);
-        let id = *rep_to_class.entry(rep).or_insert_with(|| {
+    let mut class_of_id: Vec<usize> = vec![usize::MAX; az.names.len()];
+    for (&sid, d) in decl_ids.iter().zip(&c.decls) {
+        let rep = az.find(sid) as usize;
+        if rep_to_class[rep] == usize::MAX {
+            rep_to_class[rep] = classes.len();
             classes.push(ClockClass { id: classes.len(), members: Vec::new() });
-            classes.len() - 1
-        });
-        classes[id].members.push(name.clone());
-        class_of.insert(name.clone(), id);
+        }
+        let id = rep_to_class[rep];
+        classes[id].members.push(d.name.clone());
+        class_of.insert(d.name.clone(), id);
+        class_of_id[sid as usize] = id;
     }
 
     // subset edges between classes
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for (sub, sup) in &az.subset {
-        let (Some(&a), Some(&b)) = (class_of.get(sub), class_of.get(sup)) else {
-            continue;
-        };
-        if a != b {
+    for &(sub, sup) in &az.subset {
+        let (a, b) = (class_of_id[sub as usize], class_of_id[sup as usize]);
+        if a != b && a != usize::MAX && b != usize::MAX {
             edges.insert((a, b));
         }
     }

@@ -51,6 +51,22 @@ pub enum CExpr {
     },
 }
 
+impl CExpr {
+    /// `true` iff the expression contains a `pre` anywhere — equations
+    /// without one own no registers, so the post-reaction register-update
+    /// walk can skip them entirely.
+    pub fn has_pre(&self) -> bool {
+        match self {
+            CExpr::Var(_) | CExpr::Const(_) => false,
+            CExpr::Pre { .. } => true,
+            CExpr::When { body: left, cond: right }
+            | CExpr::Default { left, right }
+            | CExpr::Binary { left, right, .. } => left.has_pre() || right.has_pre(),
+            CExpr::Unary { arg, .. } => arg.has_pre(),
+        }
+    }
+}
+
 /// Compiles an AST expression, resolving names through `index_of` and
 /// allocating a register (recording its initial value in `registers`) for
 /// every `pre`.

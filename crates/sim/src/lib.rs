@@ -50,7 +50,7 @@ pub mod reactor;
 pub mod scenario;
 pub mod status;
 
-pub use engine::{Run, Simulator};
+pub use engine::{Run, SimCheckpoint, Simulator};
 pub use env::DenseEnv;
 pub use error::SimError;
 pub use generator::{BurstyInputs, PeriodicInputs, RandomInputs, ScenarioGenerator};

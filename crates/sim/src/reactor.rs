@@ -16,6 +16,7 @@
 //!   it converts a `BTreeMap<SigName, Value>` through the interner, runs
 //!   [`Reactor::react_dense`], and renders the result back to names.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 use polysig_lang::clock::analyze_component;
@@ -55,6 +56,9 @@ impl Ev {
 struct Scratch {
     status: Vec<Status>,
     updates: Vec<(usize, Value)>,
+    /// `eq_done[i]` = equation `i`'s result is final for this reaction;
+    /// later fixpoint passes skip it.
+    eq_done: Vec<bool>,
 }
 
 /// A captured execution state of a [`Reactor`]: the `pre` register file
@@ -63,6 +67,26 @@ struct Scratch {
 pub struct ReactorState {
     registers: Box<[Value]>,
     step: usize,
+}
+
+impl ReactorState {
+    /// Builds a state from raw parts — for callers that assemble a state
+    /// from pieces of other snapshots (e.g. the estimation loop's
+    /// warm-start transplant, which splices per-component register spans
+    /// across reactors with different layouts).
+    pub fn new(registers: impl Into<Box<[Value]>>, step: usize) -> ReactorState {
+        ReactorState { registers: registers.into(), step }
+    }
+
+    /// The captured `pre` register file.
+    pub fn registers(&self) -> &[Value] {
+        &self.registers
+    }
+
+    /// The captured step counter.
+    pub fn step(&self) -> usize {
+        self.step
+    }
 }
 
 /// An elaborated, executable program.
@@ -76,8 +100,18 @@ pub struct Reactor {
     /// `is_input[id] == true` iff the signal is an external input.
     is_input: Vec<bool>,
     equations: Vec<(usize, CExpr)>,
+    /// `eq_has_pre[i]` = equation `i` owns at least one `pre` register (the
+    /// register-update walk skips the others).
+    eq_has_pre: Vec<bool>,
+    /// Per source component, the contiguous register span `(name, start,
+    /// len)` its `pre`s occupy — registers are allocated in component ×
+    /// statement order, so a component's state is one slice of the file.
+    register_spans: Vec<(String, usize, usize)>,
     /// Clock-equality groups (from sync constraints and the clock calculus).
     groups: Vec<Vec<usize>>,
+    /// Indices into `groups` with ≥ 2 members — the only ones whose sweep
+    /// can ever decide a signal.
+    prop_groups: Vec<usize>,
     /// `(sub, sup)` group pairs: sub's clock ⊆ sup's clock.
     subset_edges: BTreeSet<(usize, usize)>,
     registers: Vec<Value>,
@@ -85,6 +119,9 @@ pub struct Reactor {
     step: usize,
     /// Cumulative fixpoint passes across reactions (scheduling statistics).
     passes: usize,
+    /// Cumulative equation evaluations across reactions — `evals / passes`
+    /// shows how much of each pass the decided-equation skip saves.
+    evals: usize,
     scratch: Scratch,
     /// Last reaction's outputs (the buffer `react_dense` hands back).
     out_env: DenseEnv,
@@ -121,7 +158,8 @@ impl Reactor {
     }
 
     fn build(p: &Program, schedule: bool) -> Result<Reactor, SimError> {
-        let p = &disambiguate_locals(p);
+        let disambiguated = disambiguate_locals(p);
+        let p: &Program = &disambiguated;
         polysig_lang::resolve::resolve_program(p)?;
         polysig_lang::types::check_program(p)?;
 
@@ -153,16 +191,20 @@ impl Reactor {
 
         let idx = |n: &SigName| interner.lookup(n).expect("resolved name is declared").index();
 
-        // compile equations, allocating registers
+        // compile equations, allocating registers; record each component's
+        // contiguous register span for cross-layout state transplants
         let mut registers: Vec<Value> = Vec::new();
         let mut equations: Vec<(usize, CExpr)> = Vec::new();
+        let mut register_spans: Vec<(String, usize, usize)> = Vec::new();
         for c in &p.components {
+            let span_start = registers.len();
             for stmt in &c.stmts {
                 if let Statement::Eq(eq) = stmt {
                     let rhs = compile(&eq.rhs, &|n| idx(n), &mut registers);
                     equations.push((idx(&eq.lhs), rhs));
                 }
             }
+            register_spans.push((c.name.clone(), span_start, registers.len() - span_start));
         }
 
         // clock groups: union-find over indices, seeded by each component's
@@ -217,6 +259,11 @@ impl Reactor {
             .map(|(a, b)| (group_of[a], group_of[b]))
             .filter(|(a, b)| a != b)
             .collect();
+        // a singleton group can never propagate anything — joining a signal
+        // with itself is a no-op — so the per-pass sweep only visits groups
+        // with at least two members
+        let prop_groups: Vec<usize> =
+            groups.iter().enumerate().filter(|(_, g)| g.len() > 1).map(|(i, _)| i).collect();
 
         // statically schedule the equations: evaluating each signal after
         // its instantaneous dependencies lets most reactions converge in a
@@ -224,6 +271,7 @@ impl Reactor {
         // `sim_scheduling` ablation bench measures the win)
         let equations =
             if schedule { schedule_equations(equations, p, &interner) } else { equations };
+        let eq_has_pre: Vec<bool> = equations.iter().map(|(_, rhs)| rhs.has_pre()).collect();
 
         let n = interner.len();
         Ok(Reactor {
@@ -232,12 +280,16 @@ impl Reactor {
             input_ids,
             is_input,
             equations,
+            eq_has_pre,
+            register_spans,
             groups,
+            prop_groups,
             subset_edges,
             initial_registers: registers.clone(),
             registers,
             step: 0,
             passes: 0,
+            evals: 0,
             scratch: Scratch::default(),
             out_env: DenseEnv::new(n),
             in_env: DenseEnv::new(n),
@@ -248,6 +300,13 @@ impl Reactor {
     /// `passes / steps_taken` is the average convergence cost per reaction.
     pub fn passes(&self) -> usize {
         self.passes
+    }
+
+    /// Cumulative number of equation right-hand-side evaluations since the
+    /// last reset (decided equations are skipped, so this undershoots
+    /// `passes * equation_count`).
+    pub fn evals(&self) -> usize {
+        self.evals
     }
 
     /// The signal-name table; ids are dense indices in declaration order.
@@ -291,6 +350,20 @@ impl Reactor {
         &self.registers
     }
 
+    /// Per source component, the contiguous `(name, start, len)` register
+    /// span its `pre`s occupy. Registers are allocated in component ×
+    /// statement order, so two reactors that share a component (by name and
+    /// definition) can splice each other's state span-by-span — the
+    /// estimation loop's warm start relies on this.
+    pub fn register_spans(&self) -> &[(String, usize, usize)] {
+        &self.register_spans
+    }
+
+    /// Initial values of the `pre` registers.
+    pub fn initial_registers(&self) -> &[Value] {
+        &self.initial_registers
+    }
+
     /// Overwrites the program state (used by the model checker to explore
     /// arbitrary states).
     ///
@@ -307,6 +380,7 @@ impl Reactor {
         self.registers.copy_from_slice(&self.initial_registers);
         self.step = 0;
         self.passes = 0;
+        self.evals = 0;
     }
 
     /// Captures the mutable execution state — registers and step counter —
@@ -427,11 +501,26 @@ impl Reactor {
             }
         }
 
+        // seed clock propagation: with the inputs decided, the sync groups
+        // (and subset edges) already fix the presence of most derived
+        // signals — deciding them *before* the first equation sweep lets
+        // that sweep produce values instead of Unknowns, typically saving a
+        // whole fixpoint pass per reaction
+        self.propagate_clocks(status, step)?;
+
         // constructive fixpoint
+        let eq_done = &mut scratch.eq_done;
+        eq_done.clear();
+        eq_done.resize(self.equations.len(), false);
         loop {
             self.passes += 1;
             let mut changed = false;
-            for (lhs, rhs) in &self.equations {
+            let mut all_done = true;
+            for (ei, (lhs, rhs)) in self.equations.iter().enumerate() {
+                if eq_done[ei] {
+                    continue;
+                }
+                self.evals += 1;
                 let result = self.eval(rhs, status, *lhs, step)?;
                 let joined = match result {
                     Ev::Unknown => Status::Unknown,
@@ -447,55 +536,27 @@ impl Reactor {
                     }
                 };
                 changed |= join_status(status, *lhs, joined, step, &self.interner)?;
+                // statuses only move up the lattice and registers are fixed
+                // within a reaction, so evaluation is monotone: a decided
+                // result (or a ubiquitous one joined against a decided lhs)
+                // can never change — later passes skip the equation
+                eq_done[ei] = match result {
+                    Ev::Present(_) | Ev::Absent => true,
+                    Ev::Ubiquitous(_) => {
+                        matches!(status[*lhs], Status::Present(_) | Status::Absent)
+                    }
+                    Ev::Unknown | Ev::PresentUnvalued => false,
+                };
+                all_done &= eq_done[ei];
             }
-            // clock-group propagation: presence/absence is shared
-            for group in &self.groups {
-                let mut decided: Option<Status> = None;
-                for &i in group {
-                    match status[i] {
-                        Status::Absent => decided = Some(Status::Absent),
-                        Status::Present(_) | Status::PresentUnvalued => {
-                            if decided != Some(Status::Absent) {
-                                decided = Some(Status::PresentUnvalued);
-                            }
-                        }
-                        Status::Unknown => {}
-                    }
-                }
-                if let Some(d) = decided {
-                    for &i in group {
-                        if status[i] == Status::Unknown {
-                            changed |= join_status(status, i, d, step, &self.interner)?;
-                        }
-                    }
-                }
+            // every equation is final and every status is fully decided:
+            // statuses only move up the lattice, so neither another sweep
+            // nor clock propagation has anything left to do — skip the
+            // confirming pass entirely
+            if all_done && status.iter().all(|s| matches!(s, Status::Absent | Status::Present(_))) {
+                break;
             }
-            // subset edges: sub present ⇒ sup present; sup absent ⇒ sub absent
-            for &(sub, sup) in &self.subset_edges {
-                let sub_present = self.groups[sub].iter().any(|&i| status[i].is_present());
-                let sup_absent = self.groups[sup].iter().any(|&i| status[i] == Status::Absent);
-                if sub_present {
-                    for &i in &self.groups[sup] {
-                        if status[i] == Status::Unknown {
-                            changed |= join_status(
-                                status,
-                                i,
-                                Status::PresentUnvalued,
-                                step,
-                                &self.interner,
-                            )?;
-                        }
-                    }
-                }
-                if sup_absent {
-                    for &i in &self.groups[sub] {
-                        if status[i] == Status::Unknown {
-                            changed |=
-                                join_status(status, i, Status::Absent, step, &self.interner)?;
-                        }
-                    }
-                }
-            }
+            changed |= self.propagate_clocks(status, step)?;
             if !changed {
                 break;
             }
@@ -515,7 +576,10 @@ impl Reactor {
         // advance registers: a `pre` advances when its body is present
         let updates = &mut scratch.updates;
         updates.clear();
-        for (lhs, rhs) in &self.equations {
+        for (ei, (lhs, rhs)) in self.equations.iter().enumerate() {
+            if !self.eq_has_pre[ei] {
+                continue;
+            }
             self.collect_register_updates(rhs, status, *lhs, step, updates)?;
         }
         for &(reg, v) in updates.iter() {
@@ -530,6 +594,56 @@ impl Reactor {
             }
         }
         Ok(())
+    }
+
+    /// One sweep of clock-group and subset-edge propagation over the
+    /// statuses; returns whether anything changed. Only `Unknown` slots are
+    /// ever joined, so a sweep can never contradict a decided signal.
+    fn propagate_clocks(&self, status: &mut [Status], step: usize) -> Result<bool, SimError> {
+        let mut changed = false;
+        // clock-group propagation: presence/absence is shared
+        for group in self.prop_groups.iter().map(|&g| &self.groups[g]) {
+            let mut decided: Option<Status> = None;
+            for &i in group {
+                match status[i] {
+                    Status::Absent => decided = Some(Status::Absent),
+                    Status::Present(_) | Status::PresentUnvalued => {
+                        if decided != Some(Status::Absent) {
+                            decided = Some(Status::PresentUnvalued);
+                        }
+                    }
+                    Status::Unknown => {}
+                }
+            }
+            if let Some(d) = decided {
+                for &i in group {
+                    if status[i] == Status::Unknown {
+                        changed |= join_status(status, i, d, step, &self.interner)?;
+                    }
+                }
+            }
+        }
+        // subset edges: sub present ⇒ sup present; sup absent ⇒ sub absent
+        for &(sub, sup) in &self.subset_edges {
+            let sub_present = self.groups[sub].iter().any(|&i| status[i].is_present());
+            let sup_absent = self.groups[sup].iter().any(|&i| status[i] == Status::Absent);
+            if sub_present {
+                for &i in &self.groups[sup] {
+                    if status[i] == Status::Unknown {
+                        changed |=
+                            join_status(status, i, Status::PresentUnvalued, step, &self.interner)?;
+                    }
+                }
+            }
+            if sup_absent {
+                for &i in &self.groups[sub] {
+                    if status[i] == Status::Unknown {
+                        changed |= join_status(status, i, Status::Absent, step, &self.interner)?;
+                    }
+                }
+            }
+        }
+        Ok(changed)
     }
 
     /// Materializes a signal's name for an error; never on the happy path.
@@ -707,46 +821,56 @@ fn schedule_equations(
     interner: &Interner,
 ) -> Vec<(usize, CExpr)> {
     use std::collections::BTreeSet;
+    let n = interner.len();
     let idx = |n: &SigName| interner.lookup(n).expect("resolved name is declared").index();
-    // instantaneous deps per defined index
-    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    // instantaneous deps per defined index, as dense adjacency over SigIds
+    let mut is_defined = vec![false; n];
+    for (lhs, _) in &equations {
+        is_defined[*lhs] = true;
+    }
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut vars = BTreeSet::new();
     for c in &p.components {
         for eq in c.equations() {
-            let mut vars = BTreeSet::new();
+            vars.clear();
             eq.rhs.collect_instant_vars(&mut vars);
-            let entry = deps.entry(idx(&eq.lhs)).or_default();
-            for v in vars {
-                entry.insert(idx(&v));
+            let lhs = idx(&eq.lhs);
+            // only deps on *defined* signals can delay an equation; inputs
+            // are always decided before the first sweep
+            deps[lhs].extend(vars.iter().map(&idx).filter(|&d| is_defined[d]));
+        }
+    }
+    // Kahn's algorithm over the defined signals only, queue-based: O(V + E)
+    let mut indegree = vec![0usize; n];
+    let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (lhs, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            indegree[lhs] += 1;
+            rdeps[d].push(lhs);
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| is_defined[i] && indegree[i] == 0).collect();
+    let mut rank = vec![usize::MAX; n];
+    let mut next_rank = 0usize;
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        rank[i] = next_rank;
+        next_rank += 1;
+        for &r in &rdeps[i] {
+            indegree[r] -= 1;
+            if indegree[r] == 0 {
+                queue.push(r);
             }
         }
     }
-    // Kahn's algorithm over the defined signals only
-    let defined: BTreeSet<usize> = equations.iter().map(|(lhs, _)| *lhs).collect();
-    let mut order: Vec<usize> = Vec::with_capacity(defined.len());
-    let mut remaining: BTreeSet<usize> = defined.clone();
-    loop {
-        let ready: Vec<usize> = remaining
-            .iter()
-            .copied()
-            .filter(|i| {
-                deps.get(i).map(|ds| ds.iter().all(|d| !remaining.contains(d))).unwrap_or(true)
-            })
-            .collect();
-        if ready.is_empty() {
-            break;
-        }
-        for i in ready {
-            remaining.remove(&i);
-            order.push(i);
-        }
-    }
-    if !remaining.is_empty() {
+    if queue.len() < is_defined.iter().filter(|&&d| d).count() {
         // cycle: keep the original order
         return equations;
     }
-    let rank: BTreeMap<usize, usize> = order.iter().enumerate().map(|(r, i)| (*i, r)).collect();
     let mut scheduled = equations;
-    scheduled.sort_by_key(|(lhs, _)| rank[lhs]);
+    scheduled.sort_by_key(|(lhs, _)| rank[*lhs]);
     scheduled
 }
 
@@ -754,7 +878,7 @@ fn schedule_equations(
 /// components to `<component>.<name>`: in the merged reaction system, two
 /// components' private state must never alias (shared inputs/outputs keep
 /// their names — that sharing is the wiring).
-fn disambiguate_locals(p: &Program) -> Program {
+fn disambiguate_locals(p: &Program) -> Cow<'_, Program> {
     use std::collections::btree_map::Entry;
     let mut owners: BTreeMap<SigName, usize> = BTreeMap::new();
     for c in &p.components {
@@ -766,6 +890,16 @@ fn disambiguate_locals(p: &Program) -> Program {
                 Entry::Occupied(mut e) => *e.get_mut() += 1,
             }
         }
+    }
+    // collision-free programs (the common case — and every program the
+    // estimation loop compiles) are passed through without cloning
+    let clashes = |c: &polysig_lang::Component| {
+        c.decls.iter().any(|d| {
+            d.role == polysig_lang::Role::Local && owners.get(&d.name).copied().unwrap_or(0) > 1
+        })
+    };
+    if !p.components.iter().any(clashes) {
+        return Cow::Borrowed(p);
     }
     let mut out = p.clone();
     for c in &mut out.components {
@@ -782,7 +916,7 @@ fn disambiguate_locals(p: &Program) -> Program {
             *c = c.rename_signal(&l, &fresh);
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 fn join_status(

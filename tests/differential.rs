@@ -268,6 +268,187 @@ mod thread_invariance {
     }
 }
 
+// --- the incremental estimation engine matches the cold reference --------
+
+mod estimation_differential {
+    use super::*;
+    use polysig::gals::estimate::{
+        estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EstimationOptions, GrowthPolicy,
+    };
+    use polysig::gals::{channels_of_program, GalsError};
+    use proptest::prelude::*;
+
+    /// Three producer/consumer stages — two channels, so rounds grow a
+    /// *vector* of depths and the warm-start planner sees mixed
+    /// grown/untouched channels.
+    fn chain3() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a + 1; } \
+             process Q { input x: int; output y: int; y := x * 2; } \
+             process R { input y: int; output z: int; z := y - 1; }",
+        )
+        .unwrap()
+    }
+
+    /// A pseudo-random estimation environment for `program`: drives the
+    /// program's own external inputs, every channel's read-enable and the
+    /// monitor clock. The writer inputs stay silent before `wphase`, so
+    /// first writes land at a nonzero instant and the warm-start path
+    /// (resume from the recorded checkpoint) actually engages.
+    fn estimation_env(program: &Program, seed: u64, len: usize, wphase: usize) -> Scenario {
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let channels = channels_of_program(program).expect("program partitions");
+        let writers = input_decls(program);
+        let mut scenario = Scenario::new();
+        for k in 0..len {
+            let mut step: BTreeMap<SigName, Value> = BTreeMap::new();
+            step.insert("tick".into(), Value::TRUE);
+            for (name, ty) in &writers {
+                if name.as_str() == "tick" {
+                    continue;
+                }
+                if k < wphase || next(&mut state).is_multiple_of(4) {
+                    continue; // silent before the phase, then ~3/4 present
+                }
+                let v = match ty {
+                    ValueType::Bool => Value::Bool(next(&mut state).is_multiple_of(2)),
+                    ValueType::Int => Value::Int((next(&mut state) % 5) as i64),
+                };
+                step.insert(name.clone(), v);
+            }
+            for ch in &channels {
+                if next(&mut state).is_multiple_of(3) {
+                    step.insert(format!("{}_rd", ch.signal).as_str().into(), Value::TRUE);
+                }
+            }
+            scenario.push_step(step);
+        }
+        scenario
+    }
+
+    /// Runs both engines on one (program, scenario, options) point and
+    /// asserts the reports — every field of every iteration — are equal.
+    fn assert_reports_match(
+        label: &str,
+        program: &Program,
+        scenario: &Scenario,
+        options: &EstimationOptions,
+    ) {
+        let warm = estimate_buffer_sizes(
+            program,
+            scenario,
+            &EstimationOptions { incremental: true, ..options.clone() },
+        );
+        let cold = estimate_buffer_sizes(
+            program,
+            scenario,
+            &EstimationOptions { incremental: false, ..options.clone() },
+        );
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => {
+                assert_eq!(w.converged, c.converged, "{label}: convergence diverges");
+                assert_eq!(w.final_sizes, c.final_sizes, "{label}: final sizes diverge");
+                assert_eq!(w.history.len(), c.history.len(), "{label}: round counts diverge");
+                for (round, (wi, ci)) in w.history.iter().zip(&c.history).enumerate() {
+                    assert_eq!(wi.sizes, ci.sizes, "{label}: sizes diverge in round {round}");
+                    assert_eq!(wi.alarms, ci.alarms, "{label}: alarms diverge in round {round}");
+                    assert_eq!(
+                        wi.max_miss, ci.max_miss,
+                        "{label}: max-miss diverges in round {round}"
+                    );
+                }
+            }
+            (Err(w), Err(c)) => {
+                assert_eq!(w.to_string(), c.to_string(), "{label}: errors diverge");
+            }
+            (w, c) => panic!(
+                "{label}: one engine failed: incremental {}, cold {}",
+                describe(&w),
+                describe(&c)
+            ),
+        }
+    }
+
+    fn describe(r: &Result<polysig::gals::estimate::EstimationReport, GalsError>) -> String {
+        match r {
+            Ok(rep) => format!("ok ({} rounds)", rep.iterations()),
+            Err(e) => format!("err ({e})"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random phased environments over the single-channel pipe and the
+        /// two-channel chain, both growth policies, non-default initial
+        /// sizes: the incremental engine must reproduce the cold reports
+        /// bit for bit.
+        #[test]
+        fn incremental_estimation_matches_cold_reference(
+            seed in 0u64..1_000_000,
+            len in 24usize..56,
+            wphase in 0usize..8,
+            doubling in proptest::bool::ANY,
+            initial_size in 1usize..3,
+        ) {
+            let growth =
+                if doubling { GrowthPolicy::Doubling } else { GrowthPolicy::ByMaxMiss };
+            let options =
+                EstimationOptions { growth, initial_size, ..Default::default() };
+            for (label, program) in
+                [("pipe", program_file("pipe.sig")), ("chain3", chain3())]
+            {
+                let scenario = estimation_env(&program, seed, len, wphase);
+                assert_reports_match(label, &program, &scenario, &options);
+            }
+        }
+
+        /// The ensemble entry point at every worker count must return the
+        /// same per-scenario reports as one-at-a-time sequential loops.
+        #[test]
+        fn ensemble_matches_sequential_at_every_thread_count(
+            seed in 0u64..1_000_000,
+            wphase in 0usize..6,
+        ) {
+            let program = program_file("pipe.sig");
+            let scenarios: Vec<Scenario> = (0..5)
+                .map(|i| estimation_env(&program, seed.wrapping_add(i), 32, wphase))
+                .collect();
+            let reference: Vec<_> = scenarios
+                .iter()
+                .map(|s| {
+                    estimate_buffer_sizes(
+                        &program,
+                        s,
+                        &EstimationOptions { incremental: false, ..Default::default() },
+                    )
+                    .unwrap()
+                })
+                .collect();
+            for threads in [1usize, 2, 4, 8] {
+                let opts = EstimationOptions { threads, ..Default::default() };
+                let ensemble =
+                    estimate_buffer_sizes_ensemble(&program, &scenarios, &opts).unwrap();
+                prop_assert_eq!(
+                    &ensemble.reports, &reference,
+                    "ensemble with {} threads diverges", threads
+                );
+            }
+        }
+    }
+
+    /// Channel-free programs go through the same two engines (the loop
+    /// converges immediately — but both paths must agree on that too).
+    #[test]
+    fn channel_free_programs_match() {
+        for name in ["accumulator.sig", "one_place_buffer.sig"] {
+            let program = program_file(name);
+            let scenario = estimation_env(&program, 7, 24, 0);
+            assert_reports_match(name, &program, &scenario, &EstimationOptions::default());
+        }
+    }
+}
+
 // --- composed multi-component programs go through the same boundary ------
 
 #[test]

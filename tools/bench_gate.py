@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh bench run against the committed reference medians and
+fails (exit 1) when any gated id regressed by more than the threshold.
+
+    bench_gate.py <committed.json> <fresh.json> [threshold]
+
+`committed.json` is the repo's `BENCH_summary.json`; its `baseline`
+section holds the reference medians. `fresh.json` is a scratch summary
+produced by running the benches with `BENCH_SUMMARY_PATH` pointing at it;
+its `current` section holds the new medians. Only ids under the gated
+prefixes that appear in *both* sections are compared — renamed or new ids
+are reported but never fail the gate. `threshold` is the allowed relative
+regression (default 0.15).
+"""
+
+import json
+import sys
+
+GATED_PREFIXES = ("verify/", "fig2/", "estimation/")
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    committed = json.load(open(sys.argv[1]))
+    fresh = json.load(open(sys.argv[2]))
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+
+    reference = committed.get("baseline", {})
+    measured = fresh.get("current", {})
+
+    failures = []
+    skipped = []
+    print(f"{'id':<44} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for bench_id in sorted(measured):
+        if not bench_id.startswith(GATED_PREFIXES):
+            continue
+        if bench_id not in reference:
+            skipped.append(bench_id)
+            continue
+        base = reference[bench_id]
+        new = measured[bench_id]
+        delta = (new - base) / base
+        flag = " FAIL" if delta > threshold else ""
+        print(f"{bench_id:<44} {base:>12.0f} {new:>12.0f} {delta:>+7.1%}{flag}")
+        if delta > threshold:
+            failures.append((bench_id, delta))
+    for bench_id in skipped:
+        print(f"{bench_id:<44} {'(no baseline — skipped)':>34}")
+
+    if failures:
+        print(
+            f"\nbench gate: {len(failures)} id(s) regressed more than "
+            f"{threshold:.0%} vs the committed baseline"
+        )
+        return 1
+    print(f"\nbench gate: ok ({threshold:.0%} threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
