@@ -18,6 +18,14 @@ POLYSIG_TEST_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q --workspace (detected parallelism)"
 cargo test -q --workspace
 
+echo "==> fuzz smoke: corpus replay + 200 generated cases per shape, fixed seed (sequential)"
+POLYSIG_TEST_THREADS=1 POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
+  cargo test -q --release --test fuzz_conformance
+
+echo "==> fuzz smoke: corpus replay + 200 generated cases per shape, fixed seed (parallel)"
+POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
+  cargo test -q --release --test fuzz_conformance
+
 if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
   echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
 else

@@ -869,6 +869,107 @@ mod tests {
     }
 
     #[test]
+    fn transplant_rejects_structural_mismatches() {
+        // exercise every cold-fallback branch of `transplant` directly: a
+        // donor that disagrees with the new reactor's layout in any way must
+        // return None (the loop then starts cold) rather than guess
+        let mut ctx = EstimationCtx::new(&pipe()).unwrap();
+        let sizes1: BTreeMap<SigName, usize> = [(SigName::from("x"), 1)].into();
+        let (spans, initial) = {
+            let r1 = ctx.round(&sizes1, &[1]).unwrap();
+            (r1.reactor.register_spans().to_vec(), r1.reactor.initial_registers().to_vec())
+        };
+        let sizes2: BTreeMap<SigName, usize> = [(SigName::from("x"), 3)].into();
+        let fifo = fifo_component_name("x");
+        let fifo_span = spans
+            .iter()
+            .find(|(n, _, len)| *n == fifo && *len > 0)
+            .cloned()
+            .expect("the FIFO component has registers");
+        let round2 = ctx.round(&sizes2, &[3]).unwrap();
+        let prev = |spans: Vec<(String, usize, usize)>, initial: Vec<Value>| PrevRound {
+            key: vec![1],
+            spans,
+            initial,
+            first_write: vec![None],
+        };
+
+        // healthy donor at initial values: accepted
+        let healthy = prev(spans.clone(), initial.clone());
+        assert!(transplant(&healthy, &initial, &round2.reactor, &[fifo.as_str()]).is_some());
+
+        // span-count mismatch: donor recorded one span fewer
+        let mut fewer = spans.clone();
+        fewer.pop();
+        assert!(transplant(
+            &prev(fewer, initial.clone()),
+            &initial,
+            &round2.reactor,
+            &[fifo.as_str()]
+        )
+        .is_none());
+
+        // component-name mismatch in one span
+        let mut renamed = spans.clone();
+        renamed[0].0 = "NotAComponent".to_string();
+        assert!(transplant(
+            &prev(renamed, initial.clone()),
+            &initial,
+            &round2.reactor,
+            &[fifo.as_str()]
+        )
+        .is_none());
+
+        // span-length mismatch: the grown FIFO's span differs between
+        // depths, so failing to list it as grown trips the length check
+        assert!(transplant(&healthy, &initial, &round2.reactor, &[]).is_none());
+
+        // grown FIFO whose donor registers are NOT at their initial values:
+        // the "genuinely untouched" precondition fails
+        let mut touched = initial.clone();
+        touched[fifo_span.1] = Value::Int(99);
+        assert!(
+            transplant(&healthy, &touched, &round2.reactor, &[fifo.as_str()]).is_none(),
+            "a written-to grown FIFO must force a cold start"
+        );
+    }
+
+    #[test]
+    fn missing_first_write_record_refuses_warm_start() {
+        // a grown channel whose first-write bookkeeping is empty cannot
+        // anchor a resume point: the plan must refuse
+        let mut ctx = EstimationCtx::new(&pipe()).unwrap();
+        let sizes1: BTreeMap<SigName, usize> = [(SigName::from("x"), 1)].into();
+        let (spans, initial) = {
+            let r1 = ctx.round(&sizes1, &[1]).unwrap();
+            (r1.reactor.register_spans().to_vec(), r1.reactor.initial_registers().to_vec())
+        };
+        let prev = PrevRound { key: vec![1], spans, initial, first_write: vec![None] };
+        let sizes2: BTreeMap<SigName, usize> = [(SigName::from("x"), 2)].into();
+        let round2 = ctx.round(&sizes2, &[2]).unwrap();
+        assert!(
+            plan_warm_start(&prev, &[2], &[fifo_component_name("x")], &round2.reactor).is_none()
+        );
+    }
+
+    #[test]
+    fn shrunken_depth_between_loops_stays_cold_and_matches() {
+        // run the public loop at initial_size 4 then 1 against the same
+        // context-free entry point: each must match its own cold reference
+        // (the depth drop between the two calls shares no warm state)
+        let scenario = phased_env(16, 3, 4);
+        for initial_size in [4usize, 1] {
+            let opts = EstimationOptions { initial_size, ..Default::default() };
+            let cold = EstimationOptions { incremental: false, ..opts.clone() };
+            assert_eq!(
+                estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap(),
+                estimate_buffer_sizes(&pipe(), &scenario, &cold).unwrap(),
+                "initial_size={initial_size}"
+            );
+        }
+    }
+
+    #[test]
     fn generated_namespace_collision_disables_warm_start_but_matches() {
         // `x_probe` sits in the channel's generated namespace: the engine
         // must refuse warm starts yet still produce the reference report

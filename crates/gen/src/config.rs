@@ -1,0 +1,70 @@
+//! Generator knobs.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which program family a case is drawn from.
+///
+/// The two shapes cover the two halves of the paper: `Free` exercises the
+/// synchronous semantics (multi-clock components, derived clocks, sporadic
+/// inputs), `Pipeline` exercises the asynchronous story (cross-component
+/// channels that desynchronization cuts, with every consumer a flow
+/// function of its channel input so Theorems 1–2 apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Independent components with derived clock tiers; no cross-component
+    /// channel is required to exist.
+    Free,
+    /// A producer→stage→…→stage chain with one channel per adjacent pair.
+    Pipeline,
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Free => write!(f, "free"),
+            Shape::Pipeline => write!(f, "pipeline"),
+        }
+    }
+}
+
+impl FromStr for Shape {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "free" => Ok(Shape::Free),
+            "pipeline" => Ok(Shape::Pipeline),
+            other => Err(format!("unknown shape `{other}` (expected `free` or `pipeline`)")),
+        }
+    }
+}
+
+/// Size bounds for generated programs and scenarios.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Components per free-shape program (at least 1).
+    pub max_components: usize,
+    /// Defined signals (locals + outputs) per component (at least 1).
+    pub max_signals: usize,
+    /// Expression nesting depth.
+    pub max_expr_depth: usize,
+    /// Derived clock tiers below the root (0 = single-clock components).
+    pub max_clock_tiers: usize,
+    /// Stages in a pipeline-shape program (at least 2: writer + consumer).
+    pub max_stages: usize,
+    /// Instants per simulation scenario.
+    pub scenario_steps: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_components: 3,
+            max_signals: 4,
+            max_expr_depth: 3,
+            max_clock_tiers: 2,
+            max_stages: 3,
+            scenario_steps: 24,
+        }
+    }
+}

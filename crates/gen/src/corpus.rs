@@ -1,0 +1,168 @@
+//! The on-disk corpus format: shrunk regression cases the smoke tier
+//! replays deterministically.
+//!
+//! An entry is a plain-text file:
+//!
+//! ```text
+//! # optional comment lines
+//! oracle: DenseEquiv
+//! shape: free
+//! == program ==
+//! process C0 { … }
+//! == scenario ==
+//! g0_r=1 g0_b=true
+//! == estimation-scenario ==   (pipeline entries only)
+//! a0=1 tick=true s0_rd=true
+//! ```
+//!
+//! The `oracle:` header records which oracle the case originally violated —
+//! replay asserts that **every** oracle applicable to the shape now passes,
+//! because a committed entry is a fixed regression.
+
+use std::fmt::Write as _;
+
+use polysig_lang::{parse_program, pretty_program};
+use polysig_sim::Scenario;
+
+use crate::config::Shape;
+use crate::oracle::{check_case, Failure, OracleKind};
+use crate::program::GenCase;
+
+/// A parsed corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The oracle the case originally violated.
+    pub oracle: OracleKind,
+    /// The case to replay.
+    pub case: GenCase,
+}
+
+/// Renders a failing (already shrunk) case as a ready-to-commit corpus
+/// file.
+pub fn entry_text(oracle: OracleKind, case: &GenCase) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "oracle: {oracle}");
+    let _ = writeln!(out, "shape: {}", case.shape);
+    let _ = writeln!(out, "== program ==");
+    out.push_str(&pretty_program(&case.program));
+    let _ = writeln!(out, "== scenario ==");
+    out.push_str(&case.scenario.to_text());
+    if let Some(est) = &case.est_scenario {
+        let _ = writeln!(out, "== estimation-scenario ==");
+        out.push_str(&est.to_text());
+    }
+    out
+}
+
+/// Parses a corpus entry.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed header or section.
+pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
+    let mut oracle: Option<OracleKind> = None;
+    let mut shape: Option<Shape> = None;
+    let mut section: Option<&str> = None;
+    let mut program_text = String::new();
+    let mut scenario_text = String::new();
+    let mut est_text: Option<String> = None;
+
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(marker) = trimmed.strip_prefix("== ").and_then(|r| r.strip_suffix(" ==")) {
+            section = Some(match marker {
+                "program" => "program",
+                "scenario" => "scenario",
+                "estimation-scenario" => {
+                    est_text = Some(String::new());
+                    "estimation-scenario"
+                }
+                other => return Err(format!("unknown section `{other}`")),
+            });
+            continue;
+        }
+        match section {
+            None => {
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                if let Some(v) = trimmed.strip_prefix("oracle:") {
+                    oracle = Some(v.trim().parse()?);
+                } else if let Some(v) = trimmed.strip_prefix("shape:") {
+                    shape = Some(v.trim().parse()?);
+                } else {
+                    return Err(format!("unexpected header line `{trimmed}`"));
+                }
+            }
+            Some("program") => {
+                program_text.push_str(line);
+                program_text.push('\n');
+            }
+            Some("scenario") => {
+                scenario_text.push_str(line);
+                scenario_text.push('\n');
+            }
+            Some(_) => {
+                let est = est_text.as_mut().expect("section set together with buffer");
+                est.push_str(line);
+                est.push('\n');
+            }
+        }
+    }
+
+    let oracle = oracle.ok_or("missing `oracle:` header")?;
+    let shape = shape.ok_or("missing `shape:` header")?;
+    let program = parse_program(&program_text).map_err(|e| format!("program section: {e}"))?;
+    let scenario =
+        Scenario::from_text(&scenario_text).map_err(|e| format!("scenario section: {e}"))?;
+    let est_scenario = match est_text {
+        Some(t) => Some(Scenario::from_text(&t).map_err(|e| format!("estimation section: {e}"))?),
+        None => None,
+    };
+    Ok(CorpusEntry { oracle, case: GenCase { shape, program, scenario, est_scenario } })
+}
+
+/// Replays one committed entry: every oracle applicable to its shape must
+/// pass (committed entries are fixed regressions).
+///
+/// # Errors
+///
+/// The first [`Failure`] of any oracle.
+pub fn replay(entry: &CorpusEntry) -> Result<(), Failure> {
+    check_case(&entry.case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use crate::program::generate_case;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn entries_round_trip_for_both_shapes() {
+        let config = GenConfig::default();
+        for (seed, shape) in [(3u64, Shape::Free), (4, Shape::Pipeline)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = generate_case(&mut rng, &config, shape);
+            let text = entry_text(OracleKind::DenseEquiv, &case);
+            let entry = parse_entry(&text).expect("rendered entry parses");
+            assert_eq!(entry.oracle, OracleKind::DenseEquiv);
+            assert_eq!(entry.case.shape, shape);
+            assert_eq!(entry.case.program, case.program, "program changed across corpus text");
+            assert_eq!(entry.case.scenario, case.scenario);
+            assert_eq!(entry.case.est_scenario, case.est_scenario);
+        }
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected_with_context() {
+        assert!(parse_entry("").unwrap_err().contains("oracle"));
+        assert!(parse_entry("oracle: DenseEquiv\n").unwrap_err().contains("shape"));
+        assert!(parse_entry("oracle: Nope\nshape: free\n").unwrap_err().contains("Nope"));
+        assert!(parse_entry("oracle: DenseEquiv\nshape: free\n== wat ==\n")
+            .unwrap_err()
+            .contains("wat"));
+    }
+}

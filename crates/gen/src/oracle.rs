@@ -1,0 +1,551 @@
+//! The differential oracle catalogue.
+//!
+//! Each oracle states a conformance property two independent implementations
+//! (or two runs of one implementation under different configurations) must
+//! agree on. A generated case passes when every oracle applicable to its
+//! shape passes; the first failing oracle is reported with enough context to
+//! replay and shrink the case.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+use polysig_gals::{desynchronize, DesyncOptions};
+use polysig_lang::resolve::resolve_program;
+use polysig_lang::types::check_program;
+use polysig_lang::{parse_program, pretty_program, Program, Role};
+use polysig_sim::{DenseEnv, Reactor, Scenario, SimError, Simulator};
+use polysig_tagged::{SigName, Value};
+use polysig_verify::alphabet::Letter;
+use polysig_verify::equiv::FlowRelation;
+use polysig_verify::reach::CheckResult;
+use polysig_verify::{check, compare_flows_with, Alphabet, CheckOptions, EnvAutomaton, Property};
+
+use crate::config::Shape;
+use crate::program::{external_inputs, GenCase};
+
+/// The conformance properties the harness checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Generated programs must resolve, typecheck and simulate without any
+    /// clock error — well-clockedness is a generator invariant, so a
+    /// violation is a bug in the generator (or in the analyses it trusts).
+    /// Checked arithmetic overflow (`SimError::ValueType`) is a legal
+    /// runtime outcome, not a violation.
+    WellClocked,
+    /// `pretty_program` → `parse_program` must reproduce the program
+    /// structurally, and the reparse must still resolve.
+    RoundTrip,
+    /// The name-keyed `react` and the index-addressed `react_dense` must
+    /// agree instant by instant: present sets, values, errors, registers.
+    DenseEquiv,
+    /// Explicit-state checking and flow comparison must return identical
+    /// results at 1, 2, 4 and 8 worker threads.
+    ThreadInvariance,
+    /// The incremental estimation engine must produce a report identical to
+    /// the cold reference engine.
+    EstimateEquiv,
+    /// After desynchronizing with converged estimated sizes, every channel
+    /// flow and final output flow of the GALS model must be a prefix of the
+    /// synchronous reference flow (Theorems 1–2).
+    DesyncFlow,
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OracleKind::WellClocked => "WellClocked",
+            OracleKind::RoundTrip => "RoundTrip",
+            OracleKind::DenseEquiv => "DenseEquiv",
+            OracleKind::ThreadInvariance => "ThreadInvariance",
+            OracleKind::EstimateEquiv => "EstimateEquiv",
+            OracleKind::DesyncFlow => "DesyncFlow",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for OracleKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "WellClocked" => Ok(OracleKind::WellClocked),
+            "RoundTrip" => Ok(OracleKind::RoundTrip),
+            "DenseEquiv" => Ok(OracleKind::DenseEquiv),
+            "ThreadInvariance" => Ok(OracleKind::ThreadInvariance),
+            "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
+            "DesyncFlow" => Ok(OracleKind::DesyncFlow),
+            other => Err(format!("unknown oracle `{other}`")),
+        }
+    }
+}
+
+/// A conformance violation: which oracle failed and why.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The violated oracle.
+    pub oracle: OracleKind,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.message)
+    }
+}
+
+impl Failure {
+    fn new(oracle: OracleKind, message: impl Into<String>) -> Failure {
+        Failure { oracle, message: message.into() }
+    }
+}
+
+/// The oracles applicable to a shape, in checking order.
+pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
+    match shape {
+        Shape::Free => vec![
+            OracleKind::WellClocked,
+            OracleKind::RoundTrip,
+            OracleKind::DenseEquiv,
+            OracleKind::ThreadInvariance,
+        ],
+        Shape::Pipeline => vec![
+            OracleKind::WellClocked,
+            OracleKind::RoundTrip,
+            OracleKind::DenseEquiv,
+            OracleKind::ThreadInvariance,
+            OracleKind::EstimateEquiv,
+            OracleKind::DesyncFlow,
+        ],
+    }
+}
+
+/// Runs every oracle applicable to the case's shape; returns the first
+/// failure.
+///
+/// # Errors
+///
+/// A [`Failure`] naming the violated oracle.
+pub fn check_case(case: &GenCase) -> Result<(), Failure> {
+    for kind in oracles_for(case.shape) {
+        run_oracle(kind, case)?;
+    }
+    Ok(())
+}
+
+/// Runs one oracle.
+///
+/// # Errors
+///
+/// A [`Failure`] naming the violated oracle.
+pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
+    match kind {
+        OracleKind::WellClocked => well_clocked(case),
+        OracleKind::RoundTrip => round_trip(case),
+        OracleKind::DenseEquiv => dense_equiv(case),
+        OracleKind::ThreadInvariance => thread_invariance(case),
+        OracleKind::EstimateEquiv => estimate_equiv(case),
+        OracleKind::DesyncFlow => desync_flow(case),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn well_clocked(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::WellClocked;
+    resolve_program(&case.program).map_err(|e| Failure::new(k, format!("resolve: {e}")))?;
+    check_program(&case.program).map_err(|e| Failure::new(k, format!("typecheck: {e}")))?;
+    let mut sim = Simulator::for_program(&case.program)
+        .map_err(|e| Failure::new(k, format!("elaborate: {e}")))?;
+    match sim.run(&case.scenario) {
+        Ok(_) | Err(SimError::ValueType { .. }) => Ok(()),
+        Err(e) => Err(Failure::new(k, format!("clock-incorrect simulation: {e}"))),
+    }
+}
+
+fn round_trip(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::RoundTrip;
+    let printed = pretty_program(&case.program);
+    let reparsed = parse_program(&printed)
+        .map_err(|e| Failure::new(k, format!("printout failed to reparse: {e}\n{printed}")))?;
+    if reparsed != case.program {
+        return Err(Failure::new(k, format!("reparsed program differs structurally:\n{printed}")));
+    }
+    resolve_program(&reparsed)
+        .map_err(|e| Failure::new(k, format!("reparsed program fails resolution: {e}")))?;
+    Ok(())
+}
+
+fn dense_equiv(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::DenseEquiv;
+    let mut legacy = Reactor::for_program(&case.program)
+        .map_err(|e| Failure::new(k, format!("elaborate: {e}")))?;
+    let mut dense = Reactor::for_program(&case.program)
+        .map_err(|e| Failure::new(k, format!("elaborate: {e}")))?;
+    let names = dense.signal_names().to_vec();
+    let n = dense.signal_count();
+    let mut env = DenseEnv::new(n);
+
+    for (i, step) in case.scenario.iter().enumerate() {
+        let legacy_out = legacy.react(step);
+        env.reset(n);
+        for (name, value) in step {
+            let Some(id) = dense.sig_id(name) else {
+                return Err(Failure::new(k, format!("scenario drives unknown signal `{name}`")));
+            };
+            env.set(id, *value);
+        }
+        match (legacy_out, dense.react_dense(&env)) {
+            (Ok(l), Ok(d)) => {
+                let d: Vec<(SigName, Value)> =
+                    d.iter().map(|(id, v)| (names[id.index()].clone(), v)).collect();
+                if l != d {
+                    return Err(Failure::new(
+                        k,
+                        format!("present sets diverge at instant {i}: react {l:?}, dense {d:?}"),
+                    ));
+                }
+            }
+            (Err(l), Err(d)) => {
+                if l.to_string() != d.to_string() {
+                    return Err(Failure::new(
+                        k,
+                        format!("errors diverge at instant {i}: react `{l}`, dense `{d}`"),
+                    ));
+                }
+            }
+            (l, d) => {
+                return Err(Failure::new(
+                    k,
+                    format!(
+                        "one path rejected instant {i}: react {:?}, dense {:?}",
+                        l.map(|_| "accepted"),
+                        d.map(|_| "accepted")
+                    ),
+                ));
+            }
+        }
+        if legacy.registers() != dense.registers() {
+            return Err(Failure::new(k, format!("register files diverge after instant {i}")));
+        }
+    }
+    Ok(())
+}
+
+/// The property checked by the thread-invariance oracle: a bool output is
+/// never true if one exists, otherwise an int output stays in range.
+fn invariance_property(program: &Program) -> Option<Property> {
+    let mut int_out = None;
+    for c in &program.components {
+        for d in &c.decls {
+            if d.role != Role::Output {
+                continue;
+            }
+            match d.ty {
+                polysig_tagged::ValueType::Bool => {
+                    return Some(Property::never_true(d.name.clone()))
+                }
+                polysig_tagged::ValueType::Int if int_out.is_none() => {
+                    int_out = Some(d.name.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    int_out.map(|n| Property::always_in_range(n, -50, 50))
+}
+
+fn thread_invariance(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::ThreadInvariance;
+    if case.scenario.is_empty() {
+        return Ok(());
+    }
+
+    // (a) explicit-state checking under the scenario cycled as an
+    // environment automaton must be identical at every thread count
+    if let Some(property) = invariance_property(&case.program) {
+        let mut letters: Vec<Letter> = Vec::new();
+        for step in case.scenario.iter() {
+            if !letters.contains(step) {
+                letters.push(step.clone());
+            }
+        }
+        if let Ok(mut alphabet) = Alphabet::from_letters(letters) {
+            let sequence: Vec<Letter> = case.scenario.iter().cloned().collect();
+            let env = EnvAutomaton::cycle(&mut alphabet, &sequence);
+            let run = |threads: usize| {
+                check(
+                    &case.program,
+                    &alphabet,
+                    &property,
+                    &CheckOptions {
+                        max_states: 50_000,
+                        max_depth: Some(case.scenario.len()),
+                        env: Some(env.clone()),
+                        threads,
+                    },
+                )
+            };
+            let reference = run(1);
+            for threads in [2usize, 4, 8] {
+                match (&reference, run(threads)) {
+                    (Ok(a), Ok(b)) => {
+                        if let Some(field) = check_results_differ(a, &b) {
+                            return Err(Failure::new(
+                                k,
+                                format!("check() diverges at {threads} threads on `{field}`"),
+                            ));
+                        }
+                    }
+                    (Err(a), Err(b)) => {
+                        if a.to_string() != b.to_string() {
+                            return Err(Failure::new(
+                                k,
+                                format!(
+                                    "check() errors diverge at {threads} threads: `{a}` vs `{b}`"
+                                ),
+                            ));
+                        }
+                    }
+                    (a, b) => {
+                        return Err(Failure::new(
+                            k,
+                            format!(
+                                "check() verdict/error split at {threads} threads: 1 thread {}, \
+                                 {threads} threads {}",
+                                describe(a),
+                                describe(&b)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // (b) flow comparison of the program against itself must be identical
+    // (and trivially all-matching) at every thread count
+    let map: Vec<(SigName, SigName)> = case
+        .program
+        .components
+        .iter()
+        .flat_map(|c| c.decls.iter())
+        .filter(|d| d.role == Role::Output)
+        .map(|d| (d.name.clone(), d.name.clone()))
+        .collect();
+    let pairs = vec![(case.scenario.clone(), case.scenario.clone())];
+    let reference =
+        compare_flows_with(&case.program, &case.program, &pairs, &map, FlowRelation::Equal, 1);
+    for threads in [2usize, 4, 8] {
+        let got = compare_flows_with(
+            &case.program,
+            &case.program,
+            &pairs,
+            &map,
+            FlowRelation::Equal,
+            threads,
+        );
+        match (&reference, got) {
+            (Ok(a), Ok(b)) => {
+                if *a != b {
+                    return Err(Failure::new(
+                        k,
+                        format!("compare_flows_with report differs at {threads} threads"),
+                    ));
+                }
+                if !b.all_match() {
+                    return Err(Failure::new(k, "program does not flow-match itself".to_string()));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if a.to_string() != b.to_string() {
+                    return Err(Failure::new(
+                        k,
+                        format!("compare_flows_with errors diverge at {threads} threads"),
+                    ));
+                }
+            }
+            _ => {
+                return Err(Failure::new(
+                    k,
+                    format!("compare_flows_with Ok/Err split at {threads} threads"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_results_differ(a: &CheckResult, b: &CheckResult) -> Option<&'static str> {
+    if a.holds != b.holds {
+        return Some("holds");
+    }
+    if a.counterexample != b.counterexample {
+        return Some("counterexample");
+    }
+    if a.states_explored != b.states_explored {
+        return Some("states_explored");
+    }
+    if a.transitions != b.transitions {
+        return Some("transitions");
+    }
+    if a.pruned != b.pruned {
+        return Some("pruned");
+    }
+    if a.depth_bounded != b.depth_bounded {
+        return Some("depth_bounded");
+    }
+    None
+}
+
+fn describe<T, E: fmt::Display>(r: &Result<T, E>) -> String {
+    match r {
+        Ok(_) => "Ok".to_string(),
+        Err(e) => format!("Err({e})"),
+    }
+}
+
+fn estimate_equiv(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::EstimateEquiv;
+    let Some(est) = &case.est_scenario else { return Ok(()) };
+    let cold_opts = EstimationOptions { incremental: false, threads: 1, ..Default::default() };
+    let inc_opts = EstimationOptions { incremental: true, threads: 1, ..Default::default() };
+    let cold = estimate_buffer_sizes(&case.program, est, &cold_opts);
+    let inc = estimate_buffer_sizes(&case.program, est, &inc_opts);
+    match (cold, inc) {
+        (Ok(a), Ok(b)) => {
+            if a != b {
+                Err(Failure::new(
+                    k,
+                    format!(
+                        "incremental report differs from cold reference: cold {} rounds \
+                         (converged {}), incremental {} rounds (converged {}); cold sizes {:?}, \
+                         incremental sizes {:?}",
+                        a.iterations(),
+                        a.converged,
+                        b.iterations(),
+                        b.converged,
+                        a.final_sizes,
+                        b.final_sizes
+                    ),
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a.to_string() != b.to_string() {
+                Err(Failure::new(k, format!("engines fail differently: cold `{a}`, inc `{b}`")))
+            } else {
+                Ok(())
+            }
+        }
+        (a, b) => Err(Failure::new(
+            k,
+            format!(
+                "engines disagree on success: cold {}, incremental {}",
+                describe(&a),
+                describe(&b)
+            ),
+        )),
+    }
+}
+
+/// Keeps only the named signals of each step.
+fn project(s: &Scenario, keep: &[SigName]) -> Scenario {
+    let mut out = Scenario::new();
+    for step in s.iter() {
+        let filtered: BTreeMap<SigName, Value> =
+            step.iter().filter(|(n, _)| keep.contains(n)).map(|(n, v)| (n.clone(), *v)).collect();
+        out.push_step(filtered);
+    }
+    out
+}
+
+fn desync_flow(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::DesyncFlow;
+    let Some(est) = &case.est_scenario else { return Ok(()) };
+
+    let keep: Vec<SigName> = external_inputs(&case.program).into_iter().map(|(n, _)| n).collect();
+    let left_scn = project(est, &keep);
+    // the oracle is vacuous when the synchronous reference itself errors
+    // (e.g. checked-arithmetic overflow)
+    let Ok(mut sync_sim) = Simulator::for_program(&case.program) else {
+        return Err(Failure::new(k, "synchronous program failed to elaborate".to_string()));
+    };
+    if sync_sim.run(&left_scn).is_err() {
+        return Ok(());
+    }
+
+    let opts = EstimationOptions { threads: 1, ..Default::default() };
+    let Ok(report) = estimate_buffer_sizes(&case.program, est, &opts) else {
+        // estimation errors are judged by the EstimateEquiv oracle
+        return Ok(());
+    };
+    if !report.converged {
+        return Ok(());
+    }
+
+    let d = desynchronize(
+        &case.program,
+        &DesyncOptions { sizes: report.final_sizes.clone(), default_size: 1, instrument: false },
+    )
+    .map_err(|e| Failure::new(k, format!("desynchronize failed with converged sizes: {e}")))?;
+
+    let mut map: Vec<(SigName, SigName)> =
+        d.channels.iter().map(|ch| (ch.spec.signal.clone(), ch.out_signal.clone())).collect();
+    let channel_names: Vec<SigName> = map.iter().map(|(l, _)| l.clone()).collect();
+    for c in &case.program.components {
+        for decl in &c.decls {
+            if decl.role == Role::Output && !channel_names.contains(&decl.name) {
+                map.push((decl.name.clone(), decl.name.clone()));
+            }
+        }
+    }
+
+    let pairs = vec![(left_scn, est.clone())];
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        match compare_flows_with(
+            &case.program,
+            &d.program,
+            &pairs,
+            &map,
+            FlowRelation::PrefixOfLeft,
+            threads,
+        ) {
+            Ok(r) => {
+                if let Some(m) = r.mismatches.first() {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "GALS flow is not a prefix of the synchronous flow for \
+                             ({} -> {}): sync {:?}, gals {:?}",
+                            m.left_signal, m.right_signal, m.left_flow, m.right_flow
+                        ),
+                    ));
+                }
+                match &reference {
+                    None => reference = Some(r),
+                    Some(r0) => {
+                        if *r0 != r {
+                            return Err(Failure::new(
+                                k,
+                                format!("comparison report differs at {threads} threads"),
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                return Err(Failure::new(
+                    k,
+                    format!("GALS model failed to simulate at {threads} threads: {e}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,295 @@
+//! A delta-debugging shrinker for failing cases.
+//!
+//! Greedy first-improvement descent: enumerate reduction candidates from the
+//! most to the least aggressive, accept the first one that still fails the
+//! *same oracle*, and restart. Structural program candidates are gated on
+//! name resolution and type checking (except when the failing oracle is
+//! [`OracleKind::WellClocked`], whose whole point is an invalid program), so
+//! the minimized artifact stays a well-formed Signal program.
+
+use std::collections::BTreeSet;
+
+use polysig_lang::resolve::resolve_program;
+use polysig_lang::types::check_program;
+use polysig_lang::{Component, Expr, Program, Statement};
+use polysig_sim::Scenario;
+use polysig_tagged::SigName;
+
+use crate::oracle::{run_oracle, OracleKind};
+use crate::program::{external_inputs, GenCase};
+
+/// Upper bound on candidate evaluations per shrink.
+const BUDGET: usize = 3000;
+
+/// Minimizes `case` while `oracle` keeps failing on it.
+///
+/// Returns the smallest case found (possibly `case` itself, cloned, when no
+/// reduction reproduces the failure).
+pub fn shrink(case: &GenCase, oracle: OracleKind) -> GenCase {
+    let mut best = case.clone();
+    let mut budget = BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if budget == 0 {
+                return best;
+            }
+            budget -= 1;
+            if accepts(&cand, oracle) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn accepts(cand: &GenCase, oracle: OracleKind) -> bool {
+    if cand.program.components.is_empty() {
+        return false;
+    }
+    if oracle != OracleKind::WellClocked
+        && (resolve_program(&cand.program).is_err() || check_program(&cand.program).is_err())
+    {
+        return false;
+    }
+    run_oracle(oracle, cand).is_err()
+}
+
+/// All one-step reductions of `case`, most aggressive first.
+fn candidates(case: &GenCase) -> Vec<GenCase> {
+    let mut out = Vec::new();
+
+    // 1. whole components
+    if case.program.components.len() > 1 {
+        for i in 0..case.program.components.len() {
+            let mut p = case.program.clone();
+            p.components.remove(i);
+            out.push(rebuild(case, p));
+        }
+    }
+
+    // 2. scenario truncation (halving first, then single instants)
+    let len = case.scenario.len();
+    if len > 1 {
+        out.push(with_scenario(case, truncate(&case.scenario, len / 2)));
+        out.push(with_scenario(case, truncate(&case.scenario, len - 1)));
+        for i in 0..len {
+            out.push(with_scenario(case, drop_instant(&case.scenario, i)));
+        }
+    }
+
+    // 3. whole statements (with unused declarations collected afterwards)
+    for (ci, c) in case.program.components.iter().enumerate() {
+        for si in 0..c.stmts.len() {
+            let mut p = case.program.clone();
+            p.components[ci].stmts.remove(si);
+            gc_decls(&mut p);
+            out.push(rebuild(case, p));
+        }
+    }
+
+    // 4. expression reductions: one node replaced by one of its children
+    for (ci, c) in case.program.components.iter().enumerate() {
+        for (si, stmt) in c.stmts.iter().enumerate() {
+            let Statement::Eq(eq) = stmt else { continue };
+            for m in expr_mutants(&eq.rhs) {
+                let mut p = case.program.clone();
+                if let Statement::Eq(e) = &mut p.components[ci].stmts[si] {
+                    e.rhs = m;
+                }
+                out.push(rebuild(case, p));
+            }
+        }
+    }
+
+    // 5. single scenario entries
+    for (i, step) in case.scenario.iter().enumerate() {
+        for name in step.keys() {
+            let mut steps: Vec<_> = case.scenario.iter().cloned().collect();
+            steps[i].remove(name);
+            let mut s = Scenario::new();
+            for st in steps {
+                s.push_step(st);
+            }
+            out.push(with_scenario(case, s));
+        }
+    }
+
+    // 6. estimation scenario truncation
+    if let Some(est) = &case.est_scenario {
+        let elen = est.len();
+        if elen > 1 {
+            for cut in [elen / 2, elen - 1] {
+                let mut cand = case.clone();
+                cand.est_scenario = Some(truncate(est, cut));
+                out.push(cand);
+            }
+        }
+    }
+
+    out
+}
+
+/// A candidate with a reduced program: re-applies the parser's program
+/// naming convention (so round-trip comparisons stay meaningful) and
+/// projects the scenario onto the surviving inputs.
+fn rebuild(case: &GenCase, mut p: Program) -> GenCase {
+    p.name =
+        if p.components.len() == 1 { p.components[0].name.clone() } else { "main".to_string() };
+    let keep: BTreeSet<SigName> = external_inputs(&p).into_iter().map(|(n, _)| n).collect();
+    let mut scenario = Scenario::new();
+    for step in case.scenario.iter() {
+        scenario.push_step(
+            step.iter().filter(|(n, _)| keep.contains(*n)).map(|(n, v)| (n.clone(), *v)).collect(),
+        );
+    }
+    let est_scenario = case.est_scenario.as_ref().map(|est| {
+        let mut s = Scenario::new();
+        for step in est.iter() {
+            s.push_step(
+                step.iter()
+                    .filter(|(n, _)| {
+                        keep.contains(*n) || n.as_str() == "tick" || n.as_str().ends_with("_rd")
+                    })
+                    .map(|(n, v)| (n.clone(), *v))
+                    .collect(),
+            );
+        }
+        s
+    });
+    GenCase { shape: case.shape, program: p, scenario, est_scenario }
+}
+
+fn with_scenario(case: &GenCase, scenario: Scenario) -> GenCase {
+    let mut cand = case.clone();
+    cand.scenario = scenario;
+    cand
+}
+
+fn truncate(s: &Scenario, len: usize) -> Scenario {
+    let mut out = Scenario::new();
+    for step in s.iter().take(len) {
+        out.push_step(step.clone());
+    }
+    out
+}
+
+fn drop_instant(s: &Scenario, i: usize) -> Scenario {
+    let mut out = Scenario::new();
+    for (j, step) in s.iter().enumerate() {
+        if j != i {
+            out.push_step(step.clone());
+        }
+    }
+    out
+}
+
+/// Removes declarations whose name appears in no statement of any
+/// component.
+fn gc_decls(p: &mut Program) {
+    let mut used: BTreeSet<SigName> = BTreeSet::new();
+    for c in &p.components {
+        for stmt in &c.stmts {
+            match stmt {
+                Statement::Eq(eq) => {
+                    used.insert(eq.lhs.clone());
+                    used.extend(eq.rhs.free_vars());
+                }
+                Statement::Sync(names) => used.extend(names.iter().cloned()),
+            }
+        }
+    }
+    for c in &mut p.components {
+        c.decls.retain(|d| used.contains(&d.name));
+    }
+}
+
+/// Every expression obtained from `e` by replacing one node with one of its
+/// children (hoisting), in preorder.
+fn expr_mutants(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Var(_) | Expr::Const(_) => {}
+        Expr::Pre { init, body } => {
+            out.push((**body).clone());
+            for m in expr_mutants(body) {
+                out.push(Expr::Pre { init: *init, body: Box::new(m) });
+            }
+        }
+        Expr::When { body, cond } => {
+            out.push((**body).clone());
+            for m in expr_mutants(body) {
+                out.push(Expr::When { body: Box::new(m), cond: cond.clone() });
+            }
+            for m in expr_mutants(cond) {
+                out.push(Expr::When { body: body.clone(), cond: Box::new(m) });
+            }
+        }
+        Expr::Default { left, right } => {
+            out.push((**left).clone());
+            out.push((**right).clone());
+            for m in expr_mutants(left) {
+                out.push(Expr::Default { left: Box::new(m), right: right.clone() });
+            }
+            for m in expr_mutants(right) {
+                out.push(Expr::Default { left: left.clone(), right: Box::new(m) });
+            }
+        }
+        Expr::Unary { op, arg } => {
+            out.push((**arg).clone());
+            for m in expr_mutants(arg) {
+                out.push(Expr::Unary { op: *op, arg: Box::new(m) });
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            out.push((**left).clone());
+            out.push((**right).clone());
+            for m in expr_mutants(left) {
+                out.push(Expr::Binary { op: *op, left: Box::new(m), right: right.clone() });
+            }
+            for m in expr_mutants(right) {
+                out.push(Expr::Binary { op: *op, left: left.clone(), right: Box::new(m) });
+            }
+        }
+    }
+    out
+}
+
+/// Rough size measure used by tests: components + statements + scenario
+/// instants.
+pub fn case_size(case: &GenCase) -> usize {
+    let stmts: usize = case.program.components.iter().map(|c: &Component| c.stmts.len()).sum();
+    case.program.components.len() + stmts + case.scenario.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GenConfig, Shape};
+    use crate::program::generate_case;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shrink_is_identity_on_passing_cases() {
+        // no reduction of a passing case can "fail the same oracle", so the
+        // shrinker must return the case unchanged
+        let mut rng = StdRng::seed_from_u64(7);
+        let case = generate_case(&mut rng, &GenConfig::default(), Shape::Free);
+        let shrunk = shrink(&case, OracleKind::RoundTrip);
+        assert_eq!(shrunk.program, case.program);
+        assert_eq!(shrunk.scenario, case.scenario);
+    }
+
+    #[test]
+    fn expr_mutants_cover_children() {
+        let e = Expr::var("a").binop(polysig_lang::Binop::Add, Expr::int(1)).not();
+        let ms = expr_mutants(&e);
+        assert!(ms.contains(&Expr::var("a").binop(polysig_lang::Binop::Add, Expr::int(1))));
+        assert!(ms.contains(&Expr::var("a").not()));
+    }
+}

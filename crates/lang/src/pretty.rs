@@ -32,16 +32,29 @@ pub fn pretty_expr(e: &Expr) -> String {
 }
 
 /// Renders a component.
+///
+/// Declarations print in declaration order, one line per run of consecutive
+/// same-role binders — grouping all declarations of one role together would
+/// reorder interleaved `decls` and break the structural round trip.
 pub fn pretty_component(c: &Component) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "process {} {{", c.name);
-    for role in [Role::Input, Role::Output, Role::Local] {
-        let decls: Vec<String> =
-            c.signals_with_role(role).map(|d| format!("{}: {}", d.name, d.ty)).collect();
-        if !decls.is_empty() {
-            let _ = writeln!(out, "    {role} {};", decls.join(", "));
+    let mut run: Vec<String> = Vec::new();
+    let mut run_role: Option<Role> = None;
+    let flush = |run: &mut Vec<String>, role: Option<Role>, out: &mut String| {
+        if let (Some(role), false) = (role, run.is_empty()) {
+            let _ = writeln!(out, "    {role} {};", run.join(", "));
+            run.clear();
         }
+    };
+    for d in &c.decls {
+        if run_role != Some(d.role) {
+            flush(&mut run, run_role, &mut out);
+            run_role = Some(d.role);
+        }
+        run.push(format!("{}: {}", d.name, d.ty));
     }
+    flush(&mut run, run_role, &mut out);
     for stmt in &c.stmts {
         match stmt {
             Statement::Eq(eq) => {
@@ -121,6 +134,24 @@ mod tests {
         let p = parse_program(src).unwrap();
         let reparsed = parse_program(&pretty_program(&p)).unwrap();
         assert_eq!(p.components, reparsed.components);
+    }
+
+    #[test]
+    fn interleaved_declaration_order_round_trips() {
+        // regression: the printer used to emit declarations grouped by role
+        // (all inputs, all outputs, all locals), silently reordering a
+        // component whose declaration lines interleave roles
+        let src = "process Mix { \
+                   input a: int; local t: bool; input b: bool, c: int; \
+                   output x: int; local u: int; output y: bool; \
+                   x := a + c; y := b; t := b; u := a; }";
+        let c = parse_component(src).unwrap();
+        let printed = pretty_component(&c);
+        let reparsed = parse_component(&printed).unwrap();
+        assert_eq!(c, reparsed, "interleaved roles must survive printing:\n{printed}");
+        let roles: Vec<_> = reparsed.decls.iter().map(|d| d.role).collect();
+        use crate::ast::Role::{Input, Local, Output};
+        assert_eq!(roles, vec![Input, Local, Input, Input, Output, Local, Output]);
     }
 
     #[test]

@@ -3,9 +3,51 @@
 
 use proptest::prelude::*;
 
-use polysig_lang::pretty::{pretty_component, pretty_expr};
-use polysig_lang::{parse_component, parse_expr, Binop, Component, ComponentBuilder, Expr, Unop};
+use polysig_lang::pretty::{pretty_component, pretty_expr, pretty_program};
+use polysig_lang::resolve::resolve_program;
+use polysig_lang::{
+    parse_component, parse_expr, parse_program, Binop, Component, ComponentBuilder, Expr, Program,
+    Role, Unop,
+};
 use polysig_tagged::{Value, ValueType};
+
+/// Declaration shapes with freely interleaved roles — the regression space
+/// for the printer's old group-by-role reordering bug.
+fn arb_decl_shape() -> impl Strategy<Value = Vec<(Role, ValueType)>> {
+    proptest::collection::vec(
+        (
+            proptest::sample::select(vec![Role::Input, Role::Output, Role::Local]),
+            proptest::sample::select(vec![ValueType::Int, ValueType::Bool]),
+        ),
+        1..6,
+    )
+}
+
+/// Builds a resolvable component from a declaration shape: signals are
+/// `<prefix>s<j>`, and every output/local gets a trivial defining equation.
+fn component_from_shape(name: &str, prefix: &str, shape: &[(Role, ValueType)]) -> Component {
+    let mut b = ComponentBuilder::new(name);
+    for (j, (role, ty)) in shape.iter().enumerate() {
+        let n = format!("{prefix}s{j}");
+        b = match role {
+            Role::Input => b.input(n.as_str(), *ty),
+            Role::Output => b.output(n.as_str(), *ty),
+            Role::Local => b.local(n.as_str(), *ty),
+        };
+    }
+    for (j, (role, ty)) in shape.iter().enumerate() {
+        if *role == Role::Input {
+            continue;
+        }
+        let rhs = match ty {
+            ValueType::Int => Expr::int(j as i64),
+            ValueType::Bool => Expr::bool(j % 2 == 0),
+        }
+        .when(Expr::bool(true));
+        b = b.equation(format!("{prefix}s{j}").as_str(), rhs);
+    }
+    b.build()
+}
 
 /// Random expressions over variables `a b c`, depth-bounded.
 fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -115,6 +157,38 @@ proptest! {
         }
     }
 
+    /// Whole programs — multiple components, interleaved declaration roles —
+    /// round-trip through `pretty_program` to a structurally equal `Program`
+    /// that still resolves. This is the printer/parser conformance property
+    /// the generative harness leans on.
+    #[test]
+    fn interleaved_programs_round_trip(
+        shapes in proptest::collection::vec(arb_decl_shape(), 1..4)
+    ) {
+        let components: Vec<Component> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| component_from_shape(&format!("C{i}"), &format!("c{i}_"), s))
+            .collect();
+        // parse_program names a single-component program after its component
+        // and a multi-component program "main"; mirror that convention so the
+        // whole Program (name included) compares equal after the round trip.
+        let name =
+            if components.len() == 1 { components[0].name.clone() } else { "main".to_string() };
+        let program = Program { name, components };
+        resolve_program(&program).expect("generated program must resolve");
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse own printout: {err}\n{printed}"));
+        prop_assert_eq!(&reparsed, &program);
+        resolve_program(&reparsed).expect("reparsed program must resolve");
+        for (c, shape) in reparsed.components.iter().zip(&shapes) {
+            let roles: Vec<Role> = c.decls.iter().map(|d| d.role).collect();
+            let expected: Vec<Role> = shape.iter().map(|(r, _)| *r).collect();
+            prop_assert_eq!(roles, expected, "declaration order changed:\n{}", printed);
+        }
+    }
+
     /// The clock analysis never panics and produces a class for every
     /// declared signal, regardless of expression shape.
     #[test]
@@ -133,6 +207,32 @@ proptest! {
         // dominance is reflexive-transitive: sanity on a couple of pairs
         prop_assert!(analysis.dominated_by(&"x".into(), &"x".into()));
     }
+}
+
+/// Every program shipped in `programs/` survives the printer:
+/// `pretty_program` → `parse_program` → `resolve_program` yields a
+/// structurally equal `Program`.
+#[test]
+fn shipped_programs_round_trip_structurally() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("programs/ directory") {
+        let path = entry.expect("directory entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("sig") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable program");
+        let program = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        resolve_program(&program).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed).unwrap_or_else(|e| {
+            panic!("{} failed to reparse its own printout: {e}\n{printed}", path.display())
+        });
+        assert_eq!(reparsed, program, "{} changed across the round trip", path.display());
+        resolve_program(&reparsed).expect("reparsed program resolves");
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected the shipped .sig programs, found only {checked}");
 }
 
 /// A negation-specific regression: `not` chains and `- INT` literals are

@@ -1,0 +1,145 @@
+//! Deterministic tests for error paths the mainline suites leave cold:
+//! scenario precompilation rejects, the state-cap boundary of the
+//! reachability checker, and degenerate checkpoint/resume splits.
+
+use std::collections::BTreeMap;
+
+use polysig_lang::parse_program;
+use polysig_sim::{Scenario, SimError, Simulator};
+use polysig_tagged::{SigName, Value};
+use polysig_verify::{check, Alphabet, CheckOptions, Property, VerifyError};
+
+fn acc_program() -> polysig_lang::Program {
+    // the shipped saturating accumulator: with tick always present its
+    // reachable register space is exactly the 4 values n cycles through
+    parse_program(
+        "process Acc { input tick: bool; output n: int; local np: int; \
+           np := (pre 0 n) when tick; \
+           n := (0 when (np = 3)) default (np + 1); \
+           n ^= tick; }",
+    )
+    .unwrap()
+}
+
+#[test]
+fn undeclared_scenario_signal_rejected_before_any_reaction() {
+    let p = parse_program("process P { input a: int; output x: int; x := a + 1; }").unwrap();
+    let mut sim = Simulator::for_program(&p).unwrap();
+    // the bad name sits in the SECOND step: precompilation must still catch
+    // it before reacting to the (valid) first step
+    let scenario = Scenario::new().on("a", Value::Int(1)).tick().on("nosuch", Value::Int(2)).tick();
+    let err = sim.run(&scenario).unwrap_err();
+    match err {
+        SimError::NotAnInput { name } => assert_eq!(name.as_str(), "nosuch"),
+        other => panic!("expected NotAnInput, got {other}"),
+    }
+    assert_eq!(sim.reactor().steps_taken(), 0, "no reaction may execute before the reject");
+    // the simulator is still usable afterwards
+    let run = sim.run(&Scenario::new().on("a", Value::Int(3)).tick()).unwrap();
+    assert_eq!(run.flow(&"x".into()), vec![Value::Int(4)]);
+}
+
+#[test]
+fn state_cap_errors_exactly_at_the_boundary() {
+    let p = acc_program();
+    let mut tick = BTreeMap::new();
+    tick.insert(SigName::from("tick"), Value::TRUE);
+    let alphabet = Alphabet::from_letters(vec![tick]).unwrap();
+    let property = Property::always_in_range("n", 0, 3);
+
+    // measure the exact reachable count with an unconstraining cap
+    let opts = |max_states: usize, threads: usize| CheckOptions {
+        max_states,
+        max_depth: None,
+        env: None,
+        threads,
+    };
+    let full = check(&p, &alphabet, &property, &opts(1_000, 1)).unwrap();
+    assert!(full.holds);
+    let n = full.states_explored;
+    assert!(n > 1, "the accumulator must have a nontrivial state space");
+
+    for threads in [1, 4] {
+        // cap == reachable count: fits exactly, no error
+        let at = check(&p, &alphabet, &property, &opts(n, threads)).unwrap();
+        assert!(at.holds, "threads={threads}");
+        assert_eq!(at.states_explored, n, "threads={threads}");
+        assert_eq!(at.transitions, full.transitions, "threads={threads}");
+
+        // cap == reachable count - 1: must trip, reporting that cap
+        let err = check(&p, &alphabet, &property, &opts(n - 1, threads)).unwrap_err();
+        match err {
+            VerifyError::StateCapExceeded { cap } => assert_eq!(cap, n - 1, "threads={threads}"),
+            other => panic!("expected StateCapExceeded, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_of_fresh_simulator_resumes_like_a_cold_run() {
+    let p = acc_program();
+    let scenario = {
+        let mut s = Scenario::new();
+        for _ in 0..6 {
+            s = s.on("tick", Value::TRUE).tick();
+        }
+        s
+    };
+    let mut oneshot = Simulator::for_program(&p).unwrap();
+    let want = oneshot.run(&scenario).unwrap();
+
+    // checkpoint before any reaction: the prefix is the empty run
+    let mut split = Simulator::for_program(&p).unwrap();
+    let empty = split.run(&Scenario::new()).unwrap();
+    assert_eq!((empty.steps, empty.events), (0, 0));
+    let cp = split.checkpoint(&empty);
+    assert_eq!(cp.steps(), 0);
+    let got = split.resume(&cp, &scenario).unwrap();
+    assert_eq!(got.steps, want.steps);
+    assert_eq!(got.events, want.events);
+    assert_eq!(got.flow(&"n".into()), want.flow(&"n".into()));
+    assert_eq!(got.presence(&"n".into()), want.presence(&"n".into()));
+}
+
+#[test]
+fn zero_instant_resume_returns_the_prefix_unchanged() {
+    let p = acc_program();
+    let head = {
+        let mut s = Scenario::new();
+        for _ in 0..4 {
+            s = s.on("tick", Value::TRUE).tick();
+        }
+        s
+    };
+    let mut sim = Simulator::for_program(&p).unwrap();
+    let prefix = sim.run(&head).unwrap();
+    let cp = sim.checkpoint(&prefix);
+    let got = sim.resume(&cp, &Scenario::new()).unwrap();
+    assert_eq!(got.steps, prefix.steps);
+    assert_eq!(got.events, prefix.events);
+    assert_eq!(got.flow(&"n".into()), prefix.flow(&"n".into()));
+    assert_eq!(got.presence(&"n".into()), prefix.presence(&"n".into()));
+
+    // and the zero-instant resume leaves the state resumable: a further
+    // continuation still matches the one-shot run
+    let tail = Scenario::new().on("tick", Value::TRUE).tick();
+    let cont = sim.resume(&cp, &tail).unwrap();
+    let mut oneshot = Simulator::for_program(&p).unwrap();
+    let mut full = head;
+    full = full.on("tick", Value::TRUE).tick();
+    let want = oneshot.run(&full).unwrap();
+    assert_eq!(cont.flow(&"n".into()), want.flow(&"n".into()));
+}
+
+#[test]
+fn empty_scenario_run_on_stateful_program_records_nothing() {
+    let p = acc_program();
+    let mut sim = Simulator::for_program(&p).unwrap();
+    let run = sim.run(&Scenario::new()).unwrap();
+    assert_eq!(run.steps, 0);
+    assert_eq!(run.events, 0);
+    assert!(run.flow(&"n".into()).is_empty());
+    // the empty run did not advance the register state
+    let r = sim.run(&Scenario::new().on("tick", Value::TRUE).tick()).unwrap();
+    assert_eq!(r.flow(&"n".into()), vec![Value::Int(1)]);
+}

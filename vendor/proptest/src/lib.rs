@@ -2,10 +2,12 @@
 //!
 //! The build environment has no access to crates.io, so this vendored crate
 //! reimplements the slice of the proptest API the test-suite uses: the
-//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
-//! range and tuple strategies, [`collection::vec`], [`option::of`],
-//! [`bool::ANY`], and the `proptest!` / `prop_oneof!` / `prop_assert!`
-//! macros.
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], [`option::of`], [`sample::select`], [`bool::ANY`],
+//! the `proptest!` / `prop_oneof!` / `prop_assert!` macros, and an explicit
+//! seed pass-through ([`test_runner::TestRunner::from_seed`]) for harnesses
+//! that replay cases from an environment variable.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -106,6 +108,36 @@ pub mod option {
             } else {
                 None
             }
+        }
+    }
+}
+
+/// Strategies sampling from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
         }
     }
 }

@@ -27,6 +27,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Builds a dependent strategy: `f` turns each generated value into the
+    /// strategy that draws the final value (e.g. pick a length, then a
+    /// structure of that length).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy behind a cheaply clonable handle.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -108,6 +120,25 @@ where
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 

@@ -45,6 +45,13 @@ impl TestRunner {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
         }
+        TestRunner::from_seed(seed)
+    }
+
+    /// Creates a runner from an explicit seed — the pass-through harnesses
+    /// like the conformance fuzzer use to replay a case from an environment
+    /// variable instead of the test name.
+    pub fn from_seed(seed: u64) -> Self {
         TestRunner { rng: TestRng::seed_from_u64(seed) }
     }
 
