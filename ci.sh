@@ -18,6 +18,11 @@ POLYSIG_TEST_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q --workspace (detected parallelism)"
 cargo test -q --workspace
 
+echo "==> polysig-lint --deny warnings over the shipped programs"
+cargo build -q --release --bin polysig-lint
+./target/release/polysig-lint --deny warnings \
+  --waivers programs/lint.waivers programs/*.sig
+
 echo "==> fuzz smoke: corpus replay + 200 generated cases per shape, fixed seed (sequential)"
 POLYSIG_TEST_THREADS=1 POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
   cargo test -q --release --test fuzz_conformance
@@ -29,14 +34,19 @@ POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
 if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
   echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
 else
-  echo "==> bench regression gate (>15% vs BENCH_summary.json baseline fails)"
-  scratch="$(mktemp -u)"
-  trap 'rm -f "$scratch"' EXIT
-  for bench in verify_alarm fig2_one_place_buffer buffer_estimation; do
-    BENCH_SUMMARY_PATH="$scratch" cargo bench -q -p polysig-bench --bench "$bench" \
-      > /dev/null
+  echo "==> bench regression gate (>30% vs BENCH_summary.json baseline fails)"
+  # Two full passes, gated on the per-id minimum: scheduler noise on a
+  # shared machine only inflates timings, so the min is the robust
+  # estimate and a real regression still shows up in both passes.
+  scratch1="$(mktemp -u)" scratch2="$(mktemp -u)"
+  trap 'rm -f "$scratch1" "$scratch2"' EXIT
+  for scratch in "$scratch1" "$scratch2"; do
+    for bench in verify_alarm fig2_one_place_buffer buffer_estimation static_analysis; do
+      BENCH_SUMMARY_PATH="$scratch" cargo bench -q -p polysig-bench --bench "$bench" \
+        > /dev/null
+    done
   done
-  python3 tools/bench_gate.py BENCH_summary.json "$scratch"
+  python3 tools/bench_gate.py BENCH_summary.json "$scratch1" "$scratch2"
 fi
 
 echo "CI green."

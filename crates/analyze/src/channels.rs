@@ -1,0 +1,100 @@
+//! Tolerant channel discovery.
+//!
+//! The analyzer needs the program's cross-component dependencies even when
+//! the program violates the single-consumer discipline (that violation is
+//! itself a finding, `PA006`, not a reason to abort the whole analysis), so
+//! it cannot use `polysig_gals::channels_of_program`, which hard-errors on
+//! fan-out. This walk mirrors its discovery but reports multi-consumer
+//! signals alongside the (possibly fanned-out) channel list.
+
+use polysig_lang::{Program, Role};
+use polysig_tagged::SigName;
+
+/// One discovered cross-component dependency (`P →x Q`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// The shared signal.
+    pub signal: SigName,
+    /// The producing component.
+    pub producer: String,
+    /// One consuming component (a fanned-out signal yields one `Channel`
+    /// per consumer).
+    pub consumer: String,
+}
+
+/// The read-request input name the desynchronization generates for a
+/// channel (`<x>_rd`), which scenarios drive.
+pub fn rd_signal(signal: &SigName) -> SigName {
+    SigName::from(format!("{signal}_rd"))
+}
+
+/// Every cross-component dependency, plus the signals violating the
+/// single-consumer rule (each listed with its consumers).
+pub fn discover(program: &Program) -> (Vec<Channel>, Vec<(SigName, Vec<String>)>) {
+    let mut channels = Vec::new();
+    let mut fanout = Vec::new();
+    for producer in &program.components {
+        for decl in producer.signals_with_role(Role::Output) {
+            let consumers: Vec<&str> = program
+                .components
+                .iter()
+                .filter(|c| {
+                    c.name != producer.name
+                        && c.decl(&decl.name).is_some_and(|d| d.role == Role::Input)
+                })
+                .map(|c| c.name.as_str())
+                .collect();
+            if consumers.len() > 1 {
+                fanout.push((decl.name.clone(), consumers.iter().map(|s| s.to_string()).collect()));
+            }
+            for consumer in consumers {
+                channels.push(Channel {
+                    signal: decl.name.clone(),
+                    producer: producer.name.clone(),
+                    consumer: consumer.to_string(),
+                });
+            }
+        }
+    }
+    (channels, fanout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+
+    #[test]
+    fn fanout_is_reported_not_fatal() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x; } \
+             process C { input x: int; output z: int; z := x; }",
+        )
+        .unwrap();
+        let (channels, fanout) = discover(&p);
+        assert_eq!(channels.len(), 2);
+        assert_eq!(fanout.len(), 1);
+        assert_eq!(fanout[0].0.as_str(), "x");
+        assert_eq!(fanout[0].1, vec!["B".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    fn matches_core_discovery_on_well_formed_programs() {
+        let p = parse_program(
+            "process A { input a: int; output x: int; x := a; } \
+             process B { input x: int; output y: int; y := x; }",
+        )
+        .unwrap();
+        let (channels, fanout) = discover(&p);
+        assert!(fanout.is_empty());
+        let core = polysig_gals::channels_of_program(&p).unwrap();
+        assert_eq!(channels.len(), core.len());
+        for (mine, theirs) in channels.iter().zip(&core) {
+            assert_eq!(mine.signal, theirs.signal);
+            assert_eq!(mine.producer, theirs.producer);
+            assert_eq!(mine.consumer, theirs.consumer);
+        }
+        assert_eq!(rd_signal(&"x".into()).as_str(), "x_rd");
+    }
+}

@@ -1,0 +1,122 @@
+//! The endochrony lint (`PA001`/`PA002`): Theorem 1's determinism
+//! precondition, checked per component.
+//!
+//! Desynchronization preserves flows only when each component's reactions
+//! are a function of its input flows (endochrony). The clock calculus
+//! decides this structurally: a rooted clock tree whose root class contains
+//! an input is endochronous; rooted but internally-mastered is
+//! *endochronizable* (deterministic once the master is driven, but the
+//! environment cannot tell when to activate it); several independent
+//! masters is non-deterministic — the case `desynchronize` rejects.
+
+use std::collections::BTreeMap;
+
+use polysig_lang::{classify_endochrony, Endochrony, Program};
+use polysig_tagged::SigName;
+
+use crate::diag::{Diagnostic, LintCode};
+
+fn join(names: &[SigName]) -> String {
+    names.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+}
+
+/// Classifies every component, emitting `PA001` for non-deterministic and
+/// `PA002` for endochronizable ones. Returns the verdict map alongside.
+pub fn check(program: &Program, out: &mut Vec<Diagnostic>) -> BTreeMap<String, Endochrony> {
+    let mut verdicts = BTreeMap::new();
+    for c in &program.components {
+        let verdict = classify_endochrony(c);
+        match &verdict {
+            Endochrony::Endochronous => {}
+            Endochrony::Endochronizable { master } => {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::EndochronizableComponent,
+                        format!(
+                            "component `{}` is endochronizable, not endochronous: its master \
+                             clock ({}) is internal, so the environment cannot determine when \
+                             it reacts",
+                            c.name,
+                            join(master)
+                        ),
+                    )
+                    .in_component(c.name.clone())
+                    .suggest(
+                        "drive the master clock from an input (e.g. add an activation input \
+                         and `m ^= activation`), or accept the harness supplying it",
+                    ),
+                );
+            }
+            Endochrony::NonDeterministic { masters } => {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::NonDeterministicClocks,
+                        format!(
+                            "component `{}` has {} independent master clocks ({}); its \
+                             reactions are not determined by its input flows, so \
+                             desynchronization need not preserve them (Theorem 1's \
+                             precondition)",
+                            c.name,
+                            masters.len(),
+                            join(masters)
+                        ),
+                    )
+                    .in_component(c.name.clone())
+                    .suggest(
+                        "synchronize the masters (`a ^= b`), relate them with `when`/`default`, \
+                         or split the component at the clock boundary",
+                    ),
+                );
+            }
+        }
+        verdicts.insert(c.name.clone(), verdict);
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::LintLevel;
+    use polysig_lang::parse_program;
+
+    fn run(src: &str) -> (Vec<Diagnostic>, BTreeMap<String, Endochrony>) {
+        let p = parse_program(src).unwrap();
+        let mut out = Vec::new();
+        let verdicts = check(&p, &mut out);
+        (out, verdicts)
+    }
+
+    #[test]
+    fn endochronous_components_are_silent() {
+        let (out, verdicts) = run("process P { input a: int; output x: int; x := a + 1; } \
+             process Q { input x: int; output y: int; y := x * 2; }");
+        assert!(out.is_empty());
+        assert_eq!(verdicts["P"], Endochrony::Endochronous);
+        assert_eq!(verdicts["Q"], Endochrony::Endochronous);
+    }
+
+    #[test]
+    fn independent_inputs_fire_pa001_at_deny() {
+        // two unrelated input clocks drive disjoint halves of the component
+        let (out, verdicts) =
+            run("process P { input a: int, b: int; output x: int, y: int; x := a; y := b; }");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::NonDeterministicClocks);
+        assert_eq!(out[0].level, LintLevel::Deny);
+        assert_eq!(out[0].component.as_deref(), Some("P"));
+        assert!(out[0].message.contains("independent master clocks"));
+        assert!(matches!(verdicts["P"], Endochrony::NonDeterministic { .. }));
+    }
+
+    #[test]
+    fn internal_master_fires_pa002_at_warn() {
+        // m is a local master: the tree is rooted at m but no input anchors it
+        let (out, verdicts) = run("process P { input a: int; output x: int; local m: bool; \
+             m := (^a) default (pre false m); x := a when m; }");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::EndochronizableComponent);
+        assert_eq!(out[0].level, LintLevel::Warn);
+        assert!(matches!(verdicts["P"], Endochrony::Endochronizable { .. }));
+    }
+}

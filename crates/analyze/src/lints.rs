@@ -1,0 +1,193 @@
+//! Lint configuration: per-code levels and the waiver file.
+//!
+//! A [`LintConfig`] reconfigures the registry's default levels
+//! (`allow`/`warn`/`deny` per code, plus a blanket `deny warnings`) and
+//! carries [`Waiver`]s loaded from a committed waiver file. The file format
+//! is line-oriented so it diffs well and each exception carries its
+//! justification next to it:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! PA002 Filter       master clock is driven by the harness
+//! PA004 *            bounds are established by the estimation loop in CI
+//! PA005 Prod/x       overflow is intentional in this stress program
+//! ```
+//!
+//! Each line is `<code> <scope> <justification…>`: the scope is a component
+//! name, a signal name, `component/signal`, or `*` for any location. A
+//! waived finding stays in the report (marked, with its justification) but
+//! is downgraded to [`LintLevel::Allow`] so it never fails a run.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, LintCode, LintLevel};
+
+/// One waived finding-pattern from a waiver file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The code being waived.
+    pub code: LintCode,
+    /// `*`, a component name, a signal name, or `component/signal`.
+    pub scope: String,
+    /// Why the finding is acceptable (required).
+    pub justification: String,
+}
+
+impl Waiver {
+    /// Does this waiver cover the diagnostic?
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        if self.code != d.code {
+            return false;
+        }
+        if self.scope == "*" {
+            return true;
+        }
+        let component = d.component.as_deref().unwrap_or("");
+        let signal = d.signal.as_ref().map(|s| s.as_str()).unwrap_or("");
+        self.scope == component || self.scope == signal || self.scope == d.location()
+    }
+}
+
+/// Level overrides plus waivers, applied to a report before rendering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Per-code level overrides (later calls win).
+    pub levels: BTreeMap<LintCode, LintLevel>,
+    /// Promote every `Warn`-level finding to `Deny` (after per-code
+    /// overrides — an explicit `--warn CODE` stays a warning).
+    pub deny_warnings: bool,
+    /// Loaded waivers.
+    pub waivers: Vec<Waiver>,
+}
+
+impl LintConfig {
+    /// An empty configuration: registry defaults, no waivers.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Overrides one code's level.
+    #[must_use]
+    pub fn level(mut self, code: LintCode, level: LintLevel) -> LintConfig {
+        self.levels.insert(code, level);
+        self
+    }
+
+    /// Promotes warnings to denials.
+    #[must_use]
+    pub fn deny_warnings(mut self) -> LintConfig {
+        self.deny_warnings = true;
+        self
+    }
+
+    /// The effective level of a code under this configuration.
+    pub fn effective_level(&self, code: LintCode) -> LintLevel {
+        match self.levels.get(&code) {
+            Some(&l) => l,
+            None if self.deny_warnings && code.default_level() == LintLevel::Warn => {
+                LintLevel::Deny
+            }
+            None => code.default_level(),
+        }
+    }
+
+    /// Applies levels and waivers to a batch of diagnostics in place.
+    pub fn apply(&self, diagnostics: &mut [Diagnostic]) {
+        for d in diagnostics {
+            d.level = self.effective_level(d.code);
+            if let Some(w) = self.waivers.iter().find(|w| w.matches(d)) {
+                d.level = LintLevel::Allow;
+                d.waived = Some(w.justification.clone());
+            }
+        }
+    }
+
+    /// Parses a waiver file and appends its waivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(line-number, problem)` on the first malformed line: an
+    /// unknown code, a missing scope, or a missing justification.
+    pub fn load_waivers(&mut self, text: &str) -> Result<(), (usize, String)> {
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let code_str = parts.next().unwrap_or("");
+            let code = LintCode::parse(code_str)
+                .ok_or_else(|| (i + 1, format!("unknown lint code `{code_str}`")))?;
+            let scope = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| (i + 1, "missing scope".to_string()))?
+                .to_string();
+            let justification = parts.next().map(str::trim).unwrap_or("");
+            if justification.is_empty() {
+                return Err((i + 1, "a waiver needs a justification".to_string()));
+            }
+            self.waivers.push(Waiver { code, scope, justification: justification.to_string() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(LintCode::EndochronizableComponent, "msg").in_component("P").on_signal("x")
+    }
+
+    #[test]
+    fn effective_levels_respect_overrides_and_deny_warnings() {
+        let cfg = LintConfig::new();
+        assert_eq!(cfg.effective_level(LintCode::EndochronizableComponent), LintLevel::Warn);
+        let cfg = cfg.deny_warnings();
+        assert_eq!(cfg.effective_level(LintCode::EndochronizableComponent), LintLevel::Deny);
+        // allow-level lints are untouched by deny_warnings
+        assert_eq!(cfg.effective_level(LintCode::ChannelBoundUnknown), LintLevel::Allow);
+        // an explicit per-code override wins over the blanket promotion
+        let cfg = cfg.level(LintCode::EndochronizableComponent, LintLevel::Warn);
+        assert_eq!(cfg.effective_level(LintCode::EndochronizableComponent), LintLevel::Warn);
+    }
+
+    #[test]
+    fn waiver_scopes_match_component_signal_and_star() {
+        let d = sample();
+        let w = |scope: &str| Waiver {
+            code: LintCode::EndochronizableComponent,
+            scope: scope.to_string(),
+            justification: "why".into(),
+        };
+        assert!(w("*").matches(&d));
+        assert!(w("P").matches(&d));
+        assert!(w("x").matches(&d));
+        assert!(w("P/x").matches(&d));
+        assert!(!w("Q").matches(&d));
+        let other = Waiver { code: LintCode::CausalityCycle, ..w("*") };
+        assert!(!other.matches(&d));
+    }
+
+    #[test]
+    fn apply_downgrades_waived_findings() {
+        let mut cfg = LintConfig::new();
+        cfg.load_waivers("# header\n\nPA002 P  harness drives the master\n").unwrap();
+        let mut ds = vec![sample(), Diagnostic::new(LintCode::CausalityCycle, "cycle")];
+        cfg.apply(&mut ds);
+        assert_eq!(ds[0].level, LintLevel::Allow);
+        assert_eq!(ds[0].waived.as_deref(), Some("harness drives the master"));
+        assert_eq!(ds[1].level, LintLevel::Deny);
+        assert!(ds[1].waived.is_none());
+    }
+
+    #[test]
+    fn malformed_waiver_lines_are_rejected_with_line_numbers() {
+        let mut cfg = LintConfig::new();
+        assert_eq!(cfg.load_waivers("PA999 * x").unwrap_err().0, 1);
+        assert_eq!(cfg.load_waivers("\nPA002").unwrap_err().0, 2);
+        assert!(cfg.load_waivers("PA002 P").unwrap_err().1.contains("justification"));
+    }
+}

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use polysig_analyze::{prove_bounds, ProveOptions};
 use polysig_bench::{banner, pipe};
 use polysig_gals::estimate::{
     estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EstimationOptions,
@@ -70,6 +71,41 @@ fn bench(c: &mut Criterion) {
                     estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default())
                         .unwrap()
                         .iterations(),
+                )
+            })
+        });
+    }
+    // the statically warm-started loop: bounds proven by the analyzer seed
+    // the estimation as `proven` depths, skipping growth rounds. The
+    // warm-started report must stay bit-identical to the cold one apart
+    // from the provenance column — asserted here so the bench can never
+    // silently measure a differently-converging loop.
+    {
+        let burst = 8usize;
+        let env = bursty_env(STEPS, burst, PERIOD, READ_PERIOD);
+        let cold = estimate_buffer_sizes(&pipe(), &env, &EstimationOptions::default()).unwrap();
+        let bounds = prove_bounds(&pipe(), &env, &ProveOptions::default());
+        let proven = bounds.warm_start();
+        assert!(!proven.is_empty(), "the bursty pipe workload must be statically provable");
+        let warm_opts = EstimationOptions { proven, ..Default::default() };
+        let warm = estimate_buffer_sizes(&pipe(), &env, &warm_opts).unwrap();
+        assert_eq!(warm.final_sizes, cold.final_sizes);
+        assert_eq!(warm.converged, cold.converged);
+        assert!(
+            warm.iterations() < cold.iterations(),
+            "warm start must skip rounds ({} vs {})",
+            warm.iterations(),
+            cold.iterations()
+        );
+        eprintln!(
+            "full_loop_static_warm: cold {} rounds, warm {} rounds (burst {burst})",
+            cold.iterations(),
+            warm.iterations()
+        );
+        group.bench_function("full_loop_static_warm", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes(&pipe(), &env, &warm_opts).unwrap().iterations(),
                 )
             })
         });

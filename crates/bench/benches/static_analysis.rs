@@ -1,0 +1,76 @@
+//! E10 — the static GALS analyzer's cost.
+//!
+//! Lints the shipped example programs (the exact workload the CI lint step
+//! runs) and proves rate bounds on the canonical pipe, then measures both.
+//! Static analysis is advertised as "free" next to simulation — this bench
+//! keeps that claim honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use polysig_analyze::{analyze_program, analyze_with_scenario, prove_bounds, ProveOptions};
+use polysig_bench::{banner, pipe, pipe_env};
+use polysig_lang::{check_program, Program};
+
+fn shipped_programs() -> Vec<(String, Program)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("programs/ directory")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sig"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable program");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        out.push((name, check_program(&src).expect("shipped program checks")));
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let programs = shipped_programs();
+    banner("E10 / static analysis", "lint verdicts on the shipped programs");
+    eprintln!("{:>22} | {:>10} | {:>8} | {:>8}", "program", "components", "channels", "findings");
+    for (name, p) in &programs {
+        let report = analyze_program(p);
+        assert!(report.is_clean(), "{name} must lint clean");
+        eprintln!(
+            "{name:>22} | {:>10} | {:>8} | {:>8}",
+            report.endochrony.len(),
+            report.channels.len(),
+            report.diagnostics.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("analyze");
+    group.bench_function("lint_programs", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for (_, p) in &programs {
+                findings += std::hint::black_box(analyze_program(p)).diagnostics.len();
+            }
+            findings
+        })
+    });
+
+    // rate proving on the canonical pipe: the static counterpart of one
+    // estimation/full_loop iteration
+    let env = pipe_env(80, 2, 2);
+    let p = pipe();
+    group.bench_function("prove_bounds_pipe", |b| {
+        b.iter(|| std::hint::black_box(prove_bounds(&p, &env, &ProveOptions::default())))
+    });
+    group.bench_function("analyze_with_scenario_pipe", |b| {
+        b.iter(|| {
+            std::hint::black_box(analyze_with_scenario(&p, &env, &ProveOptions::default()))
+                .diagnostics
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,8 +20,9 @@ pub struct PeriodicRate {
 }
 
 impl PeriodicRate {
-    /// Events in `0..horizon`.
-    fn count_until(&self, t: usize) -> usize {
+    /// Events in `0..t` (the cumulative count the bounds below integrate;
+    /// public so the static rate prover can replay the same arithmetic).
+    pub fn count_until(&self, t: usize) -> usize {
         if t <= self.phase {
             0
         } else {

@@ -37,11 +37,24 @@ pub struct DesyncOptions {
     /// Also insert the Figure-4 monitor (miss counter + max register) per
     /// channel.
     pub instrument: bool,
+    /// Reject components classified [`NonDeterministic`] by the endochrony
+    /// analysis (`true` by default) — the precondition Theorem 1 needs
+    /// before desynchronization preserves flows. Opt out with
+    /// [`DesyncOptions::lenient`] to transform such programs anyway, e.g.
+    /// when flows are validated dynamically afterwards.
+    ///
+    /// [`NonDeterministic`]: polysig_lang::Endochrony::NonDeterministic
+    pub enforce_endochrony: bool,
 }
 
 impl Default for DesyncOptions {
     fn default() -> Self {
-        DesyncOptions { sizes: BTreeMap::new(), default_size: 1, instrument: false }
+        DesyncOptions {
+            sizes: BTreeMap::new(),
+            default_size: 1,
+            instrument: false,
+            enforce_endochrony: true,
+        }
     }
 }
 
@@ -62,6 +75,14 @@ impl DesyncOptions {
     #[must_use]
     pub fn size_of(mut self, signal: impl Into<SigName>, n: usize) -> Self {
         self.sizes.insert(signal.into(), n);
+        self
+    }
+
+    /// Disables the endochrony gate: non-deterministic components are
+    /// transformed without complaint.
+    #[must_use]
+    pub fn lenient(mut self) -> Self {
+        self.enforce_endochrony = false;
         self
     }
 }
@@ -155,7 +176,10 @@ impl Desynchronized {
 /// * anything [`channels_of_program`] rejects (unresolved program,
 ///   multi-consumer signals);
 /// * [`GalsError::UnknownChannel`] if `options.sizes` names a signal that is
-///   not a cross-component dependency.
+///   not a cross-component dependency;
+/// * [`GalsError::NonEndochronous`] if a component has several independent
+///   master clocks (Theorem 1's determinism precondition) and
+///   [`DesyncOptions::enforce_endochrony`] is set (the default).
 ///
 /// ```
 /// use polysig_gals::{desynchronize, DesyncOptions};
@@ -174,6 +198,15 @@ pub fn desynchronize(
     program: &Program,
     options: &DesyncOptions,
 ) -> Result<Desynchronized, GalsError> {
+    if options.enforce_endochrony {
+        for c in &program.components {
+            if let polysig_lang::Endochrony::NonDeterministic { masters } =
+                polysig_lang::classify_endochrony(c)
+            {
+                return Err(GalsError::NonEndochronous { component: c.name.clone(), masters });
+            }
+        }
+    }
     DesyncCache::new(program, options.instrument)?.build(&options.sizes, options.default_size)
 }
 
@@ -449,7 +482,7 @@ mod tests {
         {
             let map: BTreeMap<SigName, usize> =
                 sizes.iter().map(|(s, n)| (SigName::from(*s), *n)).collect();
-            let opts = DesyncOptions { sizes: map.clone(), default_size: 1, instrument: true };
+            let opts = DesyncOptions { sizes: map.clone(), instrument: true, ..Default::default() };
             let fresh = desynchronize(&p, &opts).unwrap();
             let cached = cache.build(&map, 1).unwrap();
             assert_eq!(cached.program, fresh.program);

@@ -38,6 +38,16 @@ pub enum GalsError {
         /// The unknown signal.
         signal: SigName,
     },
+    /// A component's clock hierarchy has several independent master clocks,
+    /// so its reactions are not determined by its input flows —
+    /// the endochrony precondition Theorem 1 needs before desynchronization
+    /// preserves flows. Opt out with [`crate::DesyncOptions::lenient`].
+    NonEndochronous {
+        /// The offending component.
+        component: String,
+        /// One representative signal per independent master clock.
+        masters: Vec<SigName>,
+    },
 }
 
 impl fmt::Display for GalsError {
@@ -66,6 +76,23 @@ impl fmt::Display for GalsError {
             }
             GalsError::UnknownSignal { signal } => {
                 write!(f, "executor does not know signal `{signal}`")
+            }
+            GalsError::NonEndochronous { component, masters } => {
+                write!(
+                    f,
+                    "component `{component}` is not endochronous: independent master clocks "
+                )?;
+                for (i, m) in masters.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{m}`")?;
+                }
+                write!(
+                    f,
+                    "; its reactions are not determined by input flows, so desynchronization \
+                     may not preserve them (DesyncOptions::lenient() skips this check)"
+                )
             }
         }
     }
@@ -107,6 +134,10 @@ mod tests {
             GalsError::UnknownChannel { signal: "x".into() },
             GalsError::EstimationDiverged { iterations: 10, sizes: vec![("x".into(), 64)] },
             GalsError::UnknownSignal { signal: "x".into() },
+            GalsError::NonEndochronous {
+                component: "P".into(),
+                masters: vec!["y".into(), "z".into()],
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -82,6 +82,15 @@ pub struct EstimationOptions {
     /// desynchronize-simulate-grow loop, kept as the reference
     /// implementation the differential tests compare against.
     pub incremental: bool,
+    /// Statically proven sufficient depths (the `polysig-analyze` rate-bound
+    /// prover's output, via `StaticBounds::warm_start`). A proven channel
+    /// starts at its proven depth (clamped to ≥ 1) instead of
+    /// [`EstimationOptions::initial_size`] and is reported with
+    /// [`Provenance::Static`]; when *every* channel is proven the loop
+    /// returns without simulating a single round. A proven channel that
+    /// still alarms — a wrong proof — is grown like any other and its
+    /// provenance flips to [`Provenance::Dynamic`] (the safety valve).
+    pub proven: BTreeMap<SigName, usize>,
 }
 
 impl Default for EstimationOptions {
@@ -93,8 +102,19 @@ impl Default for EstimationOptions {
             growth: GrowthPolicy::ByMaxMiss,
             threads: crossbeam::pool::default_threads(),
             incremental: true,
+            proven: BTreeMap::new(),
         }
     }
+}
+
+/// Where a channel's final depth came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Found (or corrected) by the simulate-and-grow loop.
+    Dynamic,
+    /// Supplied via [`EstimationOptions::proven`] and never contradicted by
+    /// a simulated round.
+    Static,
 }
 
 /// One simulate-and-measure round.
@@ -125,6 +145,11 @@ pub struct EstimationReport {
     pub history: Vec<EstimationIteration>,
     /// The sizes of the final round.
     pub final_sizes: BTreeMap<SigName, usize>,
+    /// Where each channel's final depth came from: [`Provenance::Static`]
+    /// for depths taken on faith from [`EstimationOptions::proven`] and
+    /// never contradicted, [`Provenance::Dynamic`] for everything the loop
+    /// itself established.
+    pub provenance: BTreeMap<SigName, Provenance>,
 }
 
 impl EstimationReport {
@@ -184,6 +209,48 @@ pub fn estimate_buffer_sizes(
     }
 }
 
+/// Per-channel starting depths paired with where each one came from.
+type SeededSizes = (BTreeMap<SigName, usize>, BTreeMap<SigName, Provenance>);
+
+/// Seeds every channel's starting depth and provenance: proven channels use
+/// their proven depth (≥ 1) and start `Static`, the rest use
+/// `options.initial_size` and start `Dynamic`.
+///
+/// # Errors
+///
+/// [`GalsError::UnknownChannel`] if `options.proven` names a signal that is
+/// not a channel.
+fn seed_sizes<'a>(
+    channels: impl Iterator<Item = &'a SigName>,
+    options: &EstimationOptions,
+) -> Result<SeededSizes, GalsError> {
+    let initial = options.initial_size.max(1);
+    let mut sizes = BTreeMap::new();
+    let mut provenance = BTreeMap::new();
+    for c in channels {
+        match options.proven.get(c) {
+            Some(&d) => {
+                sizes.insert(c.clone(), d.max(1));
+                provenance.insert(c.clone(), Provenance::Static);
+            }
+            None => {
+                sizes.insert(c.clone(), initial);
+                provenance.insert(c.clone(), Provenance::Dynamic);
+            }
+        }
+    }
+    if let Some(bad) = options.proven.keys().find(|k| !sizes.contains_key(*k)) {
+        return Err(GalsError::UnknownChannel { signal: bad.clone() });
+    }
+    Ok((sizes, provenance))
+}
+
+/// `true` iff every channel (and there is at least one) was seeded from a
+/// static proof — the loop can skip simulation entirely.
+fn all_proven(provenance: &BTreeMap<SigName, Provenance>) -> bool {
+    !provenance.is_empty() && provenance.values().all(|&p| p == Provenance::Static)
+}
+
 /// The reference loop: desynchronize from scratch and simulate through a
 /// [`Simulator`] every round. The incremental engine must match this
 /// observation for observation.
@@ -197,12 +264,24 @@ fn estimate_cold(
     // transform, so it is reused rather than discarded
     let probe = desynchronize(
         program,
-        &DesyncOptions { sizes: BTreeMap::new(), default_size: 1, instrument: true },
+        &DesyncOptions {
+            sizes: BTreeMap::new(),
+            default_size: 1,
+            instrument: true,
+            enforce_endochrony: false,
+        },
     )?;
-    let initial = options.initial_size.max(1);
-    let mut sizes: BTreeMap<SigName, usize> =
-        probe.channels.iter().map(|c| (c.spec.signal.clone(), initial)).collect();
-    let mut probe = (initial == 1).then_some(probe);
+    let (mut sizes, mut provenance) =
+        seed_sizes(probe.channels.iter().map(|c| &c.spec.signal), options)?;
+    if all_proven(&provenance) {
+        return Ok(EstimationReport {
+            converged: true,
+            history: Vec::new(),
+            final_sizes: sizes,
+            provenance,
+        });
+    }
+    let mut probe = sizes.values().all(|&s| s == 1).then_some(probe);
 
     let mut history = Vec::new();
     for _ in 0..options.max_iterations {
@@ -210,7 +289,12 @@ fn estimate_cold(
             Some(d) => d,
             None => desynchronize(
                 program,
-                &DesyncOptions { sizes: sizes.clone(), default_size: 1, instrument: true },
+                &DesyncOptions {
+                    sizes: sizes.clone(),
+                    default_size: 1,
+                    instrument: true,
+                    enforce_endochrony: false,
+                },
             )?,
         };
         let iteration = measure(&d, scenario, &sizes)?;
@@ -218,9 +302,15 @@ fn estimate_cold(
         let max_miss = iteration.max_miss.clone();
         history.push(iteration);
         if clean {
-            return Ok(EstimationReport { converged: true, final_sizes: sizes, history });
+            return Ok(EstimationReport {
+                converged: true,
+                final_sizes: sizes,
+                history,
+                provenance,
+            });
         }
-        // grow the channels that missed
+        // grow the channels that missed; a proven channel that alarms loses
+        // its static provenance (the proof was wrong for this environment)
         let mut capped = false;
         for (signal, miss) in &max_miss {
             if *miss == 0 {
@@ -231,15 +321,21 @@ fn estimate_cold(
                 GrowthPolicy::ByMaxMiss => *size + miss,
                 GrowthPolicy::Doubling => (*size * 2).max(*size + 1),
             };
+            provenance.insert(signal.clone(), Provenance::Dynamic);
             if *size > options.max_size {
                 capped = true;
             }
         }
         if capped {
-            return Ok(EstimationReport { converged: false, final_sizes: sizes, history });
+            return Ok(EstimationReport {
+                converged: false,
+                final_sizes: sizes,
+                history,
+                provenance,
+            });
         }
     }
-    Ok(EstimationReport { converged: false, final_sizes: sizes, history })
+    Ok(EstimationReport { converged: false, final_sizes: sizes, history, provenance })
 }
 
 /// Dense signal ids of one channel's observables, resolved against a
@@ -371,9 +467,15 @@ fn estimate_with_ctx(
     let signals = ctx.signals.clone();
     let fifo_names = ctx.fifo_names.clone();
     let warm_ok = ctx.warm_ok;
-    let initial = options.initial_size.max(1);
-    let mut sizes: BTreeMap<SigName, usize> =
-        signals.iter().map(|s| (s.clone(), initial)).collect();
+    let (mut sizes, mut provenance) = seed_sizes(signals.iter(), options)?;
+    if all_proven(&provenance) {
+        return Ok(EstimationReport {
+            converged: true,
+            history: Vec::new(),
+            final_sizes: sizes,
+            provenance,
+        });
+    }
 
     let mut history = Vec::new();
     let mut prev: Option<PrevRound> = None;
@@ -395,7 +497,12 @@ fn estimate_with_ctx(
         let clean = iteration.is_clean();
         history.push(iteration);
         if clean {
-            return Ok(EstimationReport { converged: true, final_sizes: sizes, history });
+            return Ok(EstimationReport {
+                converged: true,
+                final_sizes: sizes,
+                history,
+                provenance,
+            });
         }
         prev = Some(PrevRound {
             key,
@@ -403,7 +510,8 @@ fn estimate_with_ctx(
             initial: round.reactor.initial_registers().to_vec(),
             first_write: obs.first_write,
         });
-        // grow the channels that missed
+        // grow the channels that missed; a proven channel that alarms loses
+        // its static provenance (the proof was wrong for this environment)
         let mut capped = false;
         for (signal, &miss) in signals.iter().zip(&obs.max_miss) {
             if miss == 0 {
@@ -414,15 +522,21 @@ fn estimate_with_ctx(
                 GrowthPolicy::ByMaxMiss => *size + miss,
                 GrowthPolicy::Doubling => (*size * 2).max(*size + 1),
             };
+            provenance.insert(signal.clone(), Provenance::Dynamic);
             if *size > options.max_size {
                 capped = true;
             }
         }
         if capped {
-            return Ok(EstimationReport { converged: false, final_sizes: sizes, history });
+            return Ok(EstimationReport {
+                converged: false,
+                final_sizes: sizes,
+                history,
+                provenance,
+            });
         }
     }
-    Ok(EstimationReport { converged: false, final_sizes: sizes, history })
+    Ok(EstimationReport { converged: false, final_sizes: sizes, history, provenance })
 }
 
 /// Decides whether the new round (depth vector `key`, compiled to
@@ -1000,6 +1114,142 @@ mod tests {
             estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap(),
             estimate_buffer_sizes(&pipe(), &scenario, &cold_opts).unwrap(),
         );
+    }
+
+    #[test]
+    fn all_proven_channels_skip_simulation_entirely() {
+        // prove x at the depth the dynamic loop would find: zero rounds,
+        // same final sizes, provenance Static
+        let scenario = env(12, 1, 3);
+        let plain = estimate_buffer_sizes(&pipe(), &scenario, &Default::default()).unwrap();
+        assert!(plain.converged);
+        let depth = plain.size_of(&"x".into()).unwrap();
+        for incremental in [true, false] {
+            let opts = EstimationOptions {
+                proven: [(SigName::from("x"), depth)].into(),
+                incremental,
+                ..Default::default()
+            };
+            let warm = estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap();
+            assert!(warm.converged);
+            assert_eq!(warm.iterations(), 0, "all-proven must not simulate");
+            assert_eq!(warm.final_sizes, plain.final_sizes);
+            assert_eq!(warm.provenance[&SigName::from("x")], Provenance::Static);
+        }
+        assert_eq!(plain.provenance[&SigName::from("x")], Provenance::Dynamic);
+    }
+
+    #[test]
+    fn wrong_proof_falls_back_to_growth_and_flips_provenance() {
+        // "prove" the first channel of a 3-stage pipeline at depth 1 under
+        // a workload needing more, leaving the second channel unproven so
+        // the loop actually simulates: the bogus proof must be caught by
+        // the alarms, grown past, and reported Dynamic
+        let p = parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x; } \
+             process R { input y: int; output z: int; z := y; }",
+        )
+        .unwrap();
+        let steps = 12;
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+            .generate(steps)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 3, 1).generate(steps))
+            .zip_union(&PeriodicInputs::new("y_rd", ValueType::Bool, 1, 0).generate(steps))
+            .zip_union(&master_clock("tick", steps));
+        let plain = estimate_buffer_sizes(&p, &scenario, &Default::default()).unwrap();
+        assert!(plain.converged);
+        let needed = plain.size_of(&"x".into()).unwrap();
+        assert!(needed > 1);
+        for incremental in [true, false] {
+            let opts = EstimationOptions {
+                proven: [(SigName::from("x"), 1)].into(),
+                incremental,
+                ..Default::default()
+            };
+            let report = estimate_buffer_sizes(&p, &scenario, &opts).unwrap();
+            assert!(report.converged);
+            assert_eq!(report.final_sizes, plain.final_sizes);
+            assert_eq!(report.provenance[&SigName::from("x")], Provenance::Dynamic);
+            assert!(report.iterations() >= 2);
+        }
+    }
+
+    #[test]
+    fn proven_depth_above_need_converges_in_one_round_when_not_all_proven() {
+        // a two-channel pipeline with only the first channel proven: the
+        // proven one starts deep and stays Static, the other is estimated
+        let p = parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x; } \
+             process R { input y: int; output z: int; z := y; }",
+        )
+        .unwrap();
+        let steps = 12;
+        let scenario = PeriodicInputs::new("a", ValueType::Int, 1, 0)
+            .generate(steps)
+            .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 3, 1).generate(steps))
+            .zip_union(&PeriodicInputs::new("y_rd", ValueType::Bool, 1, 0).generate(steps))
+            .zip_union(&master_clock("tick", steps));
+        let plain = estimate_buffer_sizes(&p, &scenario, &Default::default()).unwrap();
+        assert!(plain.converged);
+        let x_depth = plain.size_of(&"x".into()).unwrap();
+        for incremental in [true, false] {
+            let opts = EstimationOptions {
+                proven: [(SigName::from("x"), x_depth)].into(),
+                incremental,
+                ..Default::default()
+            };
+            let warm = estimate_buffer_sizes(&p, &scenario, &opts).unwrap();
+            assert!(warm.converged);
+            assert_eq!(warm.final_sizes, plain.final_sizes);
+            assert!(warm.iterations() < plain.iterations(), "warm start must skip rounds");
+            assert_eq!(warm.provenance[&SigName::from("x")], Provenance::Static);
+            assert_eq!(warm.provenance[&SigName::from("y")], Provenance::Dynamic);
+        }
+    }
+
+    #[test]
+    fn proven_zero_depth_is_clamped_to_one() {
+        let scenario = env(24, 2, 2);
+        let opts =
+            EstimationOptions { proven: [(SigName::from("x"), 0)].into(), ..Default::default() };
+        let report = estimate_buffer_sizes(&pipe(), &scenario, &opts).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations(), 0);
+        assert_eq!(report.size_of(&"x".into()), Some(1));
+    }
+
+    #[test]
+    fn proven_unknown_channel_is_rejected() {
+        for incremental in [true, false] {
+            let opts = EstimationOptions {
+                proven: [(SigName::from("nope"), 2)].into(),
+                incremental,
+                ..Default::default()
+            };
+            let err = estimate_buffer_sizes(&pipe(), &env(8, 2, 2), &opts).unwrap_err();
+            assert!(
+                matches!(err, GalsError::UnknownChannel { signal } if signal.as_str() == "nope")
+            );
+        }
+    }
+
+    #[test]
+    fn proven_reports_match_between_engines() {
+        // field-for-field equality cold vs incremental with a mixed proven
+        // map (the EstimateEquiv oracle's contract, extended to provenance)
+        let scenario = env(12, 1, 3);
+        for proven_depth in [1usize, 3, 6] {
+            let mk = |incremental| EstimationOptions {
+                proven: [(SigName::from("x"), proven_depth)].into(),
+                incremental,
+                ..Default::default()
+            };
+            let warm = estimate_buffer_sizes(&pipe(), &scenario, &mk(true)).unwrap();
+            let cold = estimate_buffer_sizes(&pipe(), &scenario, &mk(false)).unwrap();
+            assert_eq!(warm, cold, "proven_depth={proven_depth}");
+        }
     }
 
     #[test]

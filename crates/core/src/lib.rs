@@ -71,7 +71,7 @@ pub use desync::{desynchronize, DesyncCache, DesyncOptions, Desynchronized};
 pub use error::GalsError;
 pub use estimate::{
     estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EnsembleReport, EstimationOptions,
-    EstimationReport,
+    EstimationReport, Provenance,
 };
 pub use fork::{fork_component, fork_shared_signals, merge_component};
 pub use partition::{channels_of_program, ChannelSpec};

@@ -10,11 +10,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
+use polysig_analyze::{prove_bounds, ChannelBound, ProveOptions};
 use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
 use polysig_gals::{desynchronize, DesyncOptions};
 use polysig_lang::resolve::resolve_program;
 use polysig_lang::types::check_program;
-use polysig_lang::{parse_program, pretty_program, Program, Role};
+use polysig_lang::{classify_endochrony, parse_program, pretty_program, Endochrony, Program, Role};
 use polysig_sim::{DenseEnv, Reactor, Scenario, SimError, Simulator};
 use polysig_tagged::{SigName, Value};
 use polysig_verify::alphabet::Letter;
@@ -50,6 +51,12 @@ pub enum OracleKind {
     /// flow and final output flow of the GALS model must be a prefix of the
     /// synchronous reference flow (Theorems 1–2).
     DesyncFlow,
+    /// The static analyzer's claims must agree with the dynamic tooling:
+    /// `Exact` bounds reproduce the estimation loop's converged sizes,
+    /// `UpperBound`s dominate them, `Unbounded` proofs imply the loop hits
+    /// its caps, warm-starting from proven bounds leaves the final report
+    /// unchanged, and all-endochronous programs simulate deterministically.
+    StaticDynamicAgreement,
 }
 
 impl fmt::Display for OracleKind {
@@ -61,6 +68,7 @@ impl fmt::Display for OracleKind {
             OracleKind::ThreadInvariance => "ThreadInvariance",
             OracleKind::EstimateEquiv => "EstimateEquiv",
             OracleKind::DesyncFlow => "DesyncFlow",
+            OracleKind::StaticDynamicAgreement => "StaticDynamicAgreement",
         };
         write!(f, "{name}")
     }
@@ -76,6 +84,7 @@ impl FromStr for OracleKind {
             "ThreadInvariance" => Ok(OracleKind::ThreadInvariance),
             "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
             "DesyncFlow" => Ok(OracleKind::DesyncFlow),
+            "StaticDynamicAgreement" => Ok(OracleKind::StaticDynamicAgreement),
             other => Err(format!("unknown oracle `{other}`")),
         }
     }
@@ -118,6 +127,7 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::ThreadInvariance,
             OracleKind::EstimateEquiv,
             OracleKind::DesyncFlow,
+            OracleKind::StaticDynamicAgreement,
         ],
     }
 }
@@ -148,6 +158,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::ThreadInvariance => thread_invariance(case),
         OracleKind::EstimateEquiv => estimate_equiv(case),
         OracleKind::DesyncFlow => desync_flow(case),
+        OracleKind::StaticDynamicAgreement => static_dynamic_agreement(case),
     }
 }
 
@@ -490,7 +501,12 @@ fn desync_flow(case: &GenCase) -> Result<(), Failure> {
 
     let d = desynchronize(
         &case.program,
-        &DesyncOptions { sizes: report.final_sizes.clone(), default_size: 1, instrument: false },
+        &DesyncOptions {
+            sizes: report.final_sizes.clone(),
+            default_size: 1,
+            instrument: false,
+            enforce_endochrony: false,
+        },
     )
     .map_err(|e| Failure::new(k, format!("desynchronize failed with converged sizes: {e}")))?;
 
@@ -544,6 +560,148 @@ fn desync_flow(case: &GenCase) -> Result<(), Failure> {
                     k,
                     format!("GALS model failed to simulate at {threads} threads: {e}"),
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Output flows of one fresh simulation run, or `None` when the run itself
+/// fails (a legal outcome judged by other oracles).
+fn output_flows(program: &Program, scenario: &Scenario) -> Option<Vec<(SigName, Vec<Value>)>> {
+    let mut sim = Simulator::for_program(program).ok()?;
+    let run = sim.run(scenario).ok()?;
+    Some(
+        program
+            .components
+            .iter()
+            .flat_map(|c| c.decls.iter())
+            .filter(|d| d.role == Role::Output)
+            .map(|d| (d.name.clone(), run.flow(&d.name)))
+            .collect(),
+    )
+}
+
+fn static_dynamic_agreement(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::StaticDynamicAgreement;
+    let Some(est) = &case.est_scenario else { return Ok(()) };
+
+    // (a) the endochrony verdict must agree with observable determinism:
+    // when every component is endochronous, two fresh runs under the same
+    // input flows produce identical output flows
+    let all_endochronous = case
+        .program
+        .components
+        .iter()
+        .all(|c| matches!(classify_endochrony(c), Endochrony::Endochronous));
+    if all_endochronous {
+        if let (Some(a), Some(b)) = (
+            output_flows(&case.program, &case.scenario),
+            output_flows(&case.program, &case.scenario),
+        ) {
+            if a != b {
+                return Err(Failure::new(
+                    k,
+                    "all components are endochronous, yet two runs under identical inputs \
+                     produced different output flows"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // (b) the static bounds must agree with the dynamic estimation loop
+    let bounds = prove_bounds(&case.program, est, &ProveOptions::default());
+    let opts = EstimationOptions { threads: 1, ..Default::default() };
+    let Ok(dynamic) = estimate_buffer_sizes(&case.program, est, &opts) else {
+        // estimation errors are judged by the EstimateEquiv oracle
+        return Ok(());
+    };
+    for (signal, bound) in &bounds.bounds {
+        let size = dynamic.final_sizes.get(signal).copied();
+        match bound {
+            ChannelBound::Exact { depth } => {
+                if !dynamic.converged {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "static proof says `{signal}` converges at depth {depth}, but the \
+                             dynamic loop did not converge"
+                        ),
+                    ));
+                }
+                if size != Some(*depth) {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "static exact bound for `{signal}` is {depth}, dynamic loop \
+                             converged at {size:?}"
+                        ),
+                    ));
+                }
+            }
+            ChannelBound::UpperBound { depth } => {
+                if dynamic.converged && size.is_some_and(|s| s > *depth) {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "static upper bound for `{signal}` is {depth}, dynamic loop \
+                             converged above it at {size:?}"
+                        ),
+                    ));
+                }
+            }
+            ChannelBound::Unbounded => {
+                if dynamic.converged {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "`{signal}` is proven unbounded, yet the dynamic loop converged \
+                             at {size:?}"
+                        ),
+                    ));
+                }
+            }
+            ChannelBound::Unknown => {}
+        }
+    }
+
+    // (c) warm-starting from the proven bounds must not change the outcome:
+    // same final sizes and verdict, no additional rounds
+    let proven = bounds.warm_start();
+    if dynamic.converged && !proven.is_empty() {
+        match estimate_buffer_sizes(
+            &case.program,
+            est,
+            &EstimationOptions { threads: 1, proven, ..Default::default() },
+        ) {
+            Ok(warm) => {
+                if warm.final_sizes != dynamic.final_sizes || warm.converged != dynamic.converged {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "warm-started estimation changed the outcome: plain {:?} \
+                             (converged {}), warm {:?} (converged {})",
+                            dynamic.final_sizes,
+                            dynamic.converged,
+                            warm.final_sizes,
+                            warm.converged
+                        ),
+                    ));
+                }
+                if warm.iterations() > dynamic.iterations() {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "warm start ran more rounds than the plain loop ({} > {})",
+                            warm.iterations(),
+                            dynamic.iterations()
+                        ),
+                    ));
+                }
+            }
+            Err(e) => {
+                return Err(Failure::new(k, format!("warm-started estimation failed: {e}")));
             }
         }
     }

@@ -22,9 +22,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use polysig_tagged::SigName;
+use polysig_tagged::{SigName, Value};
 
-use crate::ast::{Component, Expr, Statement};
+use crate::ast::{Component, Expr, Role, Statement};
 
 /// A clock-equivalence class: signals provably sharing one clock.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +99,141 @@ impl ClockAnalysis {
         self.classes.len() <= 1
             || (0..self.classes.len())
                 .any(|m| (0..self.classes.len()).all(|c| c == m || self.closure.contains(&(c, m))))
+    }
+
+    /// The id of a class dominating every other class, if the hierarchy is
+    /// rooted. With mutually-included top classes any of them qualifies; the
+    /// smallest id is returned.
+    pub fn root(&self) -> Option<usize> {
+        if self.classes.len() <= 1 {
+            return self.classes.first().map(|c| c.id);
+        }
+        (0..self.classes.len())
+            .find(|&m| (0..self.classes.len()).all(|c| c == m || self.closure.contains(&(c, m))))
+    }
+
+    /// `true` iff `a` and `b` provably share presence instants: either the
+    /// union-find merged them, or mutual `⊆` edges prove the two classes are
+    /// one clock written two ways.
+    pub fn equal_clock(&self, a: &SigName, b: &SigName) -> bool {
+        match (self.class_of(a), self.class_of(b)) {
+            (Some(ca), Some(cb)) => {
+                ca == cb || (self.closure.contains(&(ca, cb)) && self.closure.contains(&(cb, ca)))
+            }
+            _ => false,
+        }
+    }
+
+    /// Classifies the component's determinism given its input set — the
+    /// precondition Theorem 1 needs before a component may be desynchronized.
+    pub fn endochrony(&self, inputs: &BTreeSet<SigName>) -> Endochrony {
+        if self.classes.is_empty() {
+            return Endochrony::Endochronous;
+        }
+        let Some(root) = self.root() else {
+            let masters = self
+                .masters()
+                .into_iter()
+                .filter_map(|m| self.classes[m].members.first().cloned())
+                .collect();
+            return Endochrony::NonDeterministic { masters };
+        };
+        // an input anchors the hierarchy when its class dominates every class
+        let anchored = inputs.iter().any(|i| {
+            self.class_of(i).is_some_and(|ci| {
+                (0..self.classes.len()).all(|c| c == ci || self.closure.contains(&(c, ci)))
+            })
+        });
+        if anchored {
+            Endochrony::Endochronous
+        } else {
+            Endochrony::Endochronizable { master: self.classes[root].members.clone() }
+        }
+    }
+}
+
+/// The endochrony verdict of [`ClockAnalysis::endochrony`] /
+/// [`classify_endochrony`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endochrony {
+    /// The clock hierarchy is rooted in a class containing an input: every
+    /// activation clock is determined by the input clocks (plus values), so
+    /// reactions are reproducible from input flows alone.
+    Endochronous,
+    /// Rooted, but the master clock is internal. The component is
+    /// deterministic, yet its alignment cannot be reconstructed from input
+    /// flows; adding a master-clock input (`sync`ed to the listed signals)
+    /// makes it endochronous.
+    Endochronizable {
+        /// Members of the internal master class.
+        master: Vec<SigName>,
+    },
+    /// Several independent master clocks: reactions depend on relative clock
+    /// rates the inputs do not determine — desynchronization may not
+    /// preserve flows (Theorem 1's precondition fails).
+    NonDeterministic {
+        /// One representative signal per independent master class.
+        masters: Vec<SigName>,
+    },
+}
+
+/// Runs the clock calculus on `c` and classifies its endochrony against its
+/// declared inputs.
+///
+/// ```
+/// use polysig_lang::clock::{classify_endochrony, Endochrony};
+/// use polysig_lang::parse_component;
+///
+/// let c = parse_component("process P { input a: int; output x: int; x := a + 1; }")?;
+/// assert_eq!(classify_endochrony(&c), Endochrony::Endochronous);
+///
+/// let c = parse_component(
+///     "process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }",
+/// )?;
+/// assert!(matches!(classify_endochrony(&c), Endochrony::NonDeterministic { .. }));
+/// # Ok::<(), polysig_lang::LangError>(())
+/// ```
+pub fn classify_endochrony(c: &Component) -> Endochrony {
+    let inputs: BTreeSet<SigName> =
+        c.decls.iter().filter(|d| d.role == Role::Input).map(|d| d.name.clone()).collect();
+    analyze_component(c).endochrony(&inputs)
+}
+
+/// Guard-pattern query: the signal an expression is provably *synchronous*
+/// with, treating constant-`true` guards as transparent (a constant adapts
+/// to its context, so `e when true` and `e op k` keep `e`'s clock).
+///
+/// Returns `None` when the expression's clock is a strict subset or union
+/// that no single signal determines. Used by the static rate analysis to
+/// anchor a channel's write clock to an environment input.
+pub fn const_guard_source(e: &Expr) -> Option<&SigName> {
+    match e {
+        Expr::Var(x) => Some(x),
+        Expr::Const(_) => None,
+        Expr::Pre { body, .. } => const_guard_source(body),
+        Expr::Unary { arg, .. } => const_guard_source(arg),
+        Expr::When { body, cond } => {
+            if matches!(cond.as_ref(), Expr::Const(Value::Bool(true))) {
+                const_guard_source(body)
+            } else {
+                None
+            }
+        }
+        Expr::Default { left, right } => {
+            match (const_guard_source(left), const_guard_source(right)) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            match (const_guard_source(left), const_guard_source(right)) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                // one constant operand adapts to the other side's clock
+                (Some(a), None) if matches!(right.as_ref(), Expr::Const(_)) => Some(a),
+                (None, Some(b)) if matches!(left.as_ref(), Expr::Const(_)) => Some(b),
+                _ => None,
+            }
+        }
     }
 }
 
@@ -401,5 +536,88 @@ mod tests {
     fn constants_adapt_to_context() {
         let a = analyze("process P { input y: int; output x: int; x := y + 1; }");
         assert!(a.same_clock(&"x".into(), &"y".into()));
+    }
+
+    #[test]
+    fn mutual_inclusion_is_equal_clock() {
+        // x := (y when c) default y: x ⊆ y and y ⊆ x, different classes
+        let a = analyze(
+            "process P { input y: int, c: bool; output x: int; x := (y when c) default y; }",
+        );
+        assert!(!a.same_clock(&"x".into(), &"y".into()));
+        assert!(a.equal_clock(&"x".into(), &"y".into()));
+        // the guard only bounds the sampled branch: c stays unrelated
+        assert!(!a.equal_clock(&"c".into(), &"y".into()));
+    }
+
+    #[test]
+    fn root_of_rooted_hierarchy_dominates_all() {
+        let a =
+            analyze("process P { input y: int, c: bool; output x: int; x := y when c; y ^= c; }");
+        let root = a.root().unwrap();
+        assert!(a.classes[root].members.contains(&"y".into()));
+        let flat = analyze("process P { input y: int; output x: int; x := pre 0 y; }");
+        assert_eq!(flat.root(), Some(0));
+        let split =
+            analyze("process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }");
+        assert_eq!(split.root(), None);
+    }
+
+    #[test]
+    fn endochrony_classification() {
+        use crate::parser::parse_component;
+
+        // input-anchored root: endochronous
+        let c = parse_component("process P { input a: int; output x: int; x := a + 1; }").unwrap();
+        assert_eq!(classify_endochrony(&c), Endochrony::Endochronous);
+
+        // rooted in an internal master: endochronizable
+        let c = parse_component(
+            "process P { input a: int; output x: int; local m: bool; \
+             m := (^a) default (pre false m); x := a when m; }",
+        )
+        .unwrap();
+        match classify_endochrony(&c) {
+            Endochrony::Endochronizable { master } => {
+                assert!(master.contains(&"m".into()), "master {master:?}");
+            }
+            other => panic!("expected Endochronizable, got {other:?}"),
+        }
+
+        // two unrelated input clocks: non-deterministic
+        let c = parse_component(
+            "process P { input y: int, z: int; output x: int, w: int; x := y; w := z; }",
+        )
+        .unwrap();
+        match classify_endochrony(&c) {
+            Endochrony::NonDeterministic { masters } => assert!(masters.len() >= 2),
+            other => panic!("expected NonDeterministic, got {other:?}"),
+        }
+
+        // the mutually-included accumulator stays endochronous
+        let c = parse_component(
+            "process Acc { input tick: bool; output n: int; local np: int; \
+             np := (pre 0 n) when tick; n := (0 when (np = 3)) default (np + 1); n ^= tick; }",
+        )
+        .unwrap();
+        assert_eq!(classify_endochrony(&c), Endochrony::Endochronous);
+    }
+
+    #[test]
+    fn const_guard_source_peels_transparent_guards() {
+        use crate::parser::parse_expr;
+
+        let src = |s: &str| {
+            let e = parse_expr(s).unwrap();
+            const_guard_source(&e).map(|n| n.as_str().to_string())
+        };
+        assert_eq!(src("a + 1"), Some("a".into()));
+        assert_eq!(src("pre 0 a"), Some("a".into()));
+        assert_eq!(src("a when true"), Some("a".into()));
+        assert_eq!(src("(a when true) default a"), Some("a".into()));
+        assert_eq!(src("a when c"), None);
+        assert_eq!(src("a default b"), None);
+        assert_eq!(src("3"), None);
+        assert_eq!(src("a + a"), Some("a".into()));
     }
 }

@@ -58,6 +58,16 @@ impl DependencyGraph {
         self.deps.get(name).into_iter().flatten()
     }
 
+    /// Iterates every node (declared signals and equation left-hand sides).
+    pub fn nodes(&self) -> impl Iterator<Item = &SigName> + '_ {
+        self.deps.keys()
+    }
+
+    /// The component this graph was built from.
+    pub fn component_name(&self) -> &str {
+        &self.component
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.deps.len()

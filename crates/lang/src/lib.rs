@@ -55,7 +55,7 @@ pub mod types;
 
 pub use ast::{Binop, Component, Equation, Expr, Program, Role, Statement, Unop};
 pub use builder::ComponentBuilder;
-pub use clock::{ClockAnalysis, ClockClass};
+pub use clock::{classify_endochrony, const_guard_source, ClockAnalysis, ClockClass, Endochrony};
 pub use deps::DependencyGraph;
 pub use error::LangError;
 pub use parser::{parse_component, parse_expr, parse_program};

@@ -17,7 +17,10 @@
 //! * [`gals`] — the paper's contribution: desynchronization, instrumented
 //!   FIFOs, buffer-size estimation, GALS executors;
 //! * [`verify`] — reachability checking ("no alarm is ever raised") and
-//!   differential flow-equivalence oracles.
+//!   differential flow-equivalence oracles;
+//! * [`analyze`] — the static GALS analyzer behind `polysig-lint`:
+//!   endochrony, causality-cycle and rate-bound lints with stable `PA0xx`
+//!   codes.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use polysig_analyze as analyze;
 pub use polysig_gals as gals;
 pub use polysig_lang as lang;
 pub use polysig_sim as sim;

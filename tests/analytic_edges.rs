@@ -1,0 +1,135 @@
+//! Edge cases of the analytic (closed-form) buffer bounds, cross-checked
+//! against brute-force event counting so the arithmetic in
+//! `polysig_gals::analytic` is pinned down instant by instant.
+
+use polysig_gals::analytic::{bursty_bound, periodic_bound, steady_state_bound, PeriodicRate};
+
+/// Brute-force reference for `count_until`: enumerate the instants.
+fn brute_count(rate: PeriodicRate, t: usize) -> usize {
+    (0..t).filter(|i| *i >= rate.phase && (i - rate.phase).is_multiple_of(rate.period)).count()
+}
+
+/// Brute-force reference for `periodic_bound`: simulate the queue.
+fn brute_periodic_bound(writer: PeriodicRate, reader: PeriodicRate, horizon: usize) -> usize {
+    let mut max_backlog = 0usize;
+    for t in 1..=horizon {
+        let writes = brute_count(writer, t);
+        let reads = brute_count(reader, t.saturating_sub(1)).min(writes);
+        max_backlog = max_backlog.max(writes - reads);
+    }
+    max_backlog
+}
+
+#[test]
+fn count_until_matches_enumeration() {
+    for period in 1..=6usize {
+        for phase in 0..=6usize {
+            let rate = PeriodicRate { period, phase };
+            for t in 0..40 {
+                assert_eq!(
+                    rate.count_until(t),
+                    brute_count(rate, t),
+                    "period {period}, phase {phase}, t {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn periodic_bound_matches_brute_force_queue() {
+    for (wp, wf, rp, rf) in
+        [(1usize, 0usize, 1usize, 0usize), (2, 0, 2, 1), (3, 1, 2, 0), (2, 0, 5, 3), (4, 2, 4, 2)]
+    {
+        let w = PeriodicRate { period: wp, phase: wf };
+        let r = PeriodicRate { period: rp, phase: rf };
+        for horizon in [0usize, 1, 7, 33] {
+            assert_eq!(
+                periodic_bound(w, r, horizon),
+                brute_periodic_bound(w, r, horizon),
+                "w {wp}/{wf}, r {rp}/{rf}, horizon {horizon}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equal_rates_and_phases_still_need_one_place() {
+    // the write lands before the same-instant read can drain it
+    // (Definition 9's through-storage discipline)
+    let w = PeriodicRate { period: 3, phase: 0 };
+    let r = PeriodicRate { period: 3, phase: 0 };
+    assert_eq!(periodic_bound(w, r, 30), 1);
+    assert_eq!(steady_state_bound(w, r), Some(1));
+}
+
+#[test]
+fn zero_horizon_means_zero_backlog() {
+    let w = PeriodicRate { period: 1, phase: 0 };
+    let r = PeriodicRate { period: 9, phase: 8 };
+    assert_eq!(periodic_bound(w, r, 0), 0);
+    assert_eq!(bursty_bound(5, 7, r, 0), 0);
+}
+
+#[test]
+fn phase_beyond_horizon_means_no_events() {
+    let w = PeriodicRate { period: 2, phase: 100 };
+    let r = PeriodicRate { period: 2, phase: 0 };
+    assert_eq!(w.count_until(50), 0);
+    assert_eq!(periodic_bound(w, r, 50), 0);
+}
+
+#[test]
+#[should_panic(expected = "burst cannot exceed its period")]
+fn burst_longer_than_its_period_is_rejected() {
+    bursty_bound(6, 5, PeriodicRate { period: 1, phase: 0 }, 20);
+}
+
+#[test]
+fn full_duty_cycle_burst_equals_periodic_writer() {
+    // burst == burst_period writes every instant, exactly a period-1 writer
+    let r = PeriodicRate { period: 3, phase: 0 };
+    for horizon in [1usize, 5, 12] {
+        assert_eq!(
+            bursty_bound(4, 4, r, horizon),
+            periodic_bound(PeriodicRate { period: 1, phase: 0 }, r, horizon),
+            "horizon {horizon}"
+        );
+    }
+}
+
+#[test]
+fn steady_state_divergence_is_exactly_reader_slower_than_writer() {
+    for (wp, rp) in [(1usize, 2usize), (2, 3), (3, 7)] {
+        let w = PeriodicRate { period: wp, phase: 0 };
+        let r = PeriodicRate { period: rp, phase: 0 };
+        assert_eq!(steady_state_bound(w, r), None, "reader {rp} slower than writer {wp}");
+        // and the finite-horizon backlog really does keep growing
+        let short = periodic_bound(w, r, 2 * wp * rp);
+        let long = periodic_bound(w, r, 20 * wp * rp);
+        assert!(long > short, "w {wp}, r {rp}: backlog must grow without bound");
+    }
+    // the boundary case: equal periods converge
+    let w = PeriodicRate { period: 4, phase: 3 };
+    let r = PeriodicRate { period: 4, phase: 0 };
+    assert!(steady_state_bound(w, r).is_some());
+}
+
+#[test]
+fn steady_state_bound_dominates_every_horizon() {
+    // the steady-state value is the supremum of finite-horizon bounds
+    for (w, r) in [
+        (PeriodicRate { period: 2, phase: 0 }, PeriodicRate { period: 2, phase: 1 }),
+        (PeriodicRate { period: 3, phase: 2 }, PeriodicRate { period: 2, phase: 0 }),
+        (PeriodicRate { period: 5, phase: 0 }, PeriodicRate { period: 1, phase: 4 }),
+    ] {
+        let steady = steady_state_bound(w, r).unwrap();
+        for horizon in [1usize, 10, 100, 500] {
+            assert!(
+                periodic_bound(w, r, horizon) <= steady,
+                "horizon {horizon} exceeds steady-state {steady}"
+            );
+        }
+        assert_eq!(periodic_bound(w, r, 500), steady, "long horizons reach the steady state");
+    }
+}

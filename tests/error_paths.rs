@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use polysig_gals::{desynchronize, DesyncOptions, GalsError};
 use polysig_lang::parse_program;
 use polysig_sim::{Scenario, SimError, Simulator};
 use polysig_tagged::{SigName, Value};
@@ -129,6 +130,41 @@ fn zero_instant_resume_returns_the_prefix_unchanged() {
     full = full.on("tick", Value::TRUE).tick();
     let want = oneshot.run(&full).unwrap();
     assert_eq!(cont.flow(&"n".into()), want.flow(&"n".into()));
+}
+
+#[test]
+fn desynchronize_rejects_non_endochronous_components_unless_lenient() {
+    // P's two inputs are unrelated masters: its reactions are not a function
+    // of its input flows, so Theorem 1 gives no preservation guarantee
+    let p = parse_program(
+        "process P { input a: int, b: int; output x: int, w: int; x := a; w := b; } \
+         process Q { input x: int; output y: int; y := x; }",
+    )
+    .unwrap();
+    let err = desynchronize(&p, &DesyncOptions::with_size(1)).unwrap_err();
+    match err {
+        GalsError::NonEndochronous { component, masters } => {
+            assert_eq!(component, "P");
+            assert!(masters.len() >= 2, "both masters reported, got {masters:?}");
+            // the rendering must point at the opt-out
+            let shown = format!("{}", GalsError::NonEndochronous { component, masters });
+            assert!(shown.contains("lenient"), "error must name the escape hatch: {shown}");
+        }
+        other => panic!("expected NonEndochronous, got {other}"),
+    }
+
+    // the explicit opt-out still transforms the program
+    let d = desynchronize(&p, &DesyncOptions::with_size(1).lenient()).unwrap();
+    assert_eq!(d.channels.len(), 1);
+    assert_eq!(d.channels[0].spec.signal.as_str(), "x");
+
+    // endochronous programs pass the gate untouched
+    let ok = parse_program(
+        "process P { input a: int; output x: int; x := a; } \
+         process Q { input x: int; output y: int; y := x; }",
+    )
+    .unwrap();
+    assert!(desynchronize(&ok, &DesyncOptions::with_size(1)).is_ok());
 }
 
 #[test]

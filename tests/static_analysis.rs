@@ -1,0 +1,118 @@
+//! End-to-end checks of the static analyzer: the shipped example programs
+//! must lint clean, and bounds it proves must drop into the estimation loop
+//! as warm starts without changing the outcome.
+
+use polysig_analyze::{
+    analyze_program, analyze_with_scenario, AnalysisReport, ChannelBound, LintCode, LintConfig,
+    LintLevel, ProveOptions,
+};
+use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions, Provenance};
+use polysig_lang::{check_program, Endochrony};
+use polysig_sim::generator::master_clock;
+use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+use polysig_tagged::ValueType;
+
+fn analyze_file(name: &str) -> AnalysisReport {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let program = check_program(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+    analyze_program(&program)
+}
+
+#[test]
+fn shipped_programs_lint_clean_under_deny_warnings() {
+    let config = LintConfig::new().deny_warnings();
+    for name in ["accumulator.sig", "one_place_buffer.sig", "pipe.sig"] {
+        let mut report = analyze_file(name);
+        report.configure(&config);
+        assert!(
+            report.worst_level() < LintLevel::Warn,
+            "{name} must lint clean, got: {:#?}",
+            report.diagnostics
+        );
+        for verdict in report.endochrony.values() {
+            assert_eq!(*verdict, Endochrony::Endochronous, "{name}");
+        }
+    }
+}
+
+#[test]
+fn pipe_channel_is_discovered_with_a_bound_note() {
+    let report = analyze_file("pipe.sig");
+    assert_eq!(report.channels.len(), 1);
+    assert_eq!(report.channels[0].signal.as_str(), "x");
+    assert_eq!(report.channels[0].producer, "P");
+    assert_eq!(report.channels[0].consumer, "Q");
+    let notes: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.code == LintCode::ChannelBoundUnknown).collect();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].level, LintLevel::Allow);
+}
+
+/// The acceptance-criterion scenario: a proven bound warm-starts the loop,
+/// at least one simulation round is skipped, and the final report is
+/// bit-identical to the cold run apart from the provenance column.
+#[test]
+fn static_warm_start_skips_rounds_and_matches_cold_report() {
+    let src = std::fs::read_to_string(format!("{}/programs/pipe.sig", env!("CARGO_MANIFEST_DIR")))
+        .unwrap();
+    let program = check_program(&src).unwrap();
+    let steps = 48;
+    // writer twice as fast as the reader drains for a while: depth > 1, so
+    // the cold loop must grow at least once and the proof saves real rounds
+    let scenario = PeriodicInputs::new("a", ValueType::Int, 2, 0)
+        .generate(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 4, 1).generate(steps))
+        .zip_union(&master_clock("tick", steps));
+
+    let report = analyze_with_scenario(&program, &scenario, &ProveOptions::default());
+    let bounds = report.bounds.as_ref().expect("scenario analysis ran");
+    let ChannelBound::Exact { depth } = bounds.bound_of(&"x".into()) else {
+        panic!("expected an exact proof for `x`, got {:?}", bounds.bound_of(&"x".into()));
+    };
+    assert!(depth > 1, "the workload must need a grown buffer, got {depth}");
+
+    let cold_opts = EstimationOptions { threads: 1, ..Default::default() };
+    let cold = estimate_buffer_sizes(&program, &scenario, &cold_opts).unwrap();
+    assert!(cold.converged);
+    assert!(cold.iterations() > 1, "cold run must need growth rounds");
+
+    let warm_opts =
+        EstimationOptions { threads: 1, proven: bounds.warm_start(), ..Default::default() };
+    let warm = estimate_buffer_sizes(&program, &scenario, &warm_opts).unwrap();
+
+    // identical modulo provenance
+    assert_eq!(warm.final_sizes, cold.final_sizes);
+    assert_eq!(warm.converged, cold.converged);
+    assert_eq!(warm.provenance["x"], Provenance::Static);
+    assert_eq!(cold.provenance["x"], Provenance::Dynamic);
+    // and at least one round was skipped
+    assert!(
+        warm.iterations() < cold.iterations(),
+        "warm {} rounds vs cold {} rounds",
+        warm.iterations(),
+        cold.iterations()
+    );
+}
+
+#[test]
+fn scenario_analysis_upgrades_the_note_on_the_shipped_pipe() {
+    let src = std::fs::read_to_string(format!("{}/programs/pipe.sig", env!("CARGO_MANIFEST_DIR")))
+        .unwrap();
+    let program = check_program(&src).unwrap();
+    let steps = 32;
+    let scenario = PeriodicInputs::new("a", ValueType::Int, 2, 0)
+        .generate(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 1).generate(steps))
+        .zip_union(&master_clock("tick", steps));
+    let report = analyze_with_scenario(&program, &scenario, &ProveOptions::default());
+    assert!(
+        report.diagnostics.is_empty(),
+        "matched rates prove a bound, silencing PA004: {:#?}",
+        report.diagnostics
+    );
+    assert!(matches!(
+        report.bounds.as_ref().unwrap().bound_of(&"x".into()),
+        ChannelBound::Exact { .. }
+    ));
+}

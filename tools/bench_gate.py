@@ -1,63 +1,112 @@
 #!/usr/bin/env python3
 """Bench regression gate.
 
-Compares a fresh bench run against the committed reference medians and
+Compares fresh bench runs against the committed reference medians and
 fails (exit 1) when any gated id regressed by more than the threshold.
 
-    bench_gate.py <committed.json> <fresh.json> [threshold]
+    bench_gate.py <committed.json> <fresh.json>... [threshold]
 
 `committed.json` is the repo's `BENCH_summary.json`; its `baseline`
-section holds the reference medians. `fresh.json` is a scratch summary
-produced by running the benches with `BENCH_SUMMARY_PATH` pointing at it;
-its `current` section holds the new medians. Only ids under the gated
-prefixes that appear in *both* sections are compared — renamed or new ids
-are reported but never fail the gate. `threshold` is the allowed relative
-regression (default 0.15).
+section holds the reference medians. Each `fresh.json` is a scratch
+summary produced by running the benches with `BENCH_SUMMARY_PATH`
+pointing at it; its `current` section holds that run's medians.
+
+Two defenses against shared-runner noise, where wall-clock timings are
+at the mercy of invisible host load:
+
+* **min of N runs** — when several fresh files are given, the per-id
+  minimum across them is compared. Scheduler noise only ever inflates a
+  timing, so the min is the robust estimate of the true cost, and a
+  real regression still shows up in every run.
+* **batch normalization** — host steal and CPU-allocation changes slow
+  the *whole batch* together, so each id's fresh/baseline ratio is
+  divided by the batch-wide median ratio before thresholding. A uniform
+  slowdown cancels out; a single-id regression stands out against the
+  batch. The limitation is deliberate: a regression hitting every gated
+  id uniformly is absorbed into the normalizer — the printed median
+  ratio makes such a shift visible for a human to judge, since it is
+  indistinguishable from a slower machine by timing alone.
+
+Only ids under the gated prefixes that appear in both the baseline and
+a fresh section are compared — renamed or new ids are reported but
+never fail the gate. `threshold` is the allowed normalized relative
+regression (default 0.30, above the residual per-id jitter and well
+below the accidental-clone class of regression the gate exists to
+catch); a trailing numeric argument is parsed as the threshold,
+everything before it as fresh files.
 """
 
 import json
+import statistics
 import sys
 
-GATED_PREFIXES = ("verify/", "fig2/", "estimation/")
+GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/")
 
 
 def main() -> int:
     if len(sys.argv) < 3:
         print(__doc__)
         return 2
-    committed = json.load(open(sys.argv[1]))
-    fresh = json.load(open(sys.argv[2]))
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+    args = sys.argv[1:]
+    threshold = 0.30
+    try:
+        threshold = float(args[-1])
+        args = args[:-1]
+    except ValueError:
+        pass
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    committed = json.load(open(args[0]))
+    runs = [json.load(open(path)).get("current", {}) for path in args[1:]]
 
     reference = committed.get("baseline", {})
-    measured = fresh.get("current", {})
+    measured = {}
+    for run in runs:
+        for bench_id, ns in run.items():
+            if bench_id not in measured or ns < measured[bench_id]:
+                measured[bench_id] = ns
+
+    gated = {
+        bench_id: ns
+        for bench_id, ns in measured.items()
+        if bench_id.startswith(GATED_PREFIXES)
+    }
+    skipped = sorted(set(gated) - set(reference))
+    ratios = {
+        bench_id: ns / reference[bench_id]
+        for bench_id, ns in gated.items()
+        if bench_id in reference
+    }
+    if not ratios:
+        print("bench gate: no gated ids with a committed baseline")
+        return 0
+    batch = statistics.median(ratios.values())
 
     failures = []
-    skipped = []
-    print(f"{'id':<44} {'baseline':>12} {'fresh':>12} {'delta':>8}")
-    for bench_id in sorted(measured):
-        if not bench_id.startswith(GATED_PREFIXES):
-            continue
-        if bench_id not in reference:
-            skipped.append(bench_id)
-            continue
-        base = reference[bench_id]
-        new = measured[bench_id]
-        delta = (new - base) / base
-        flag = " FAIL" if delta > threshold else ""
-        print(f"{bench_id:<44} {base:>12.0f} {new:>12.0f} {delta:>+7.1%}{flag}")
-        if delta > threshold:
-            failures.append((bench_id, delta))
+    label = "fresh" if len(runs) == 1 else f"min of {len(runs)}"
+    print(f"{'id':<44} {'baseline':>12} {label:>12} {'delta':>8} {'norm':>8}")
+    for bench_id in sorted(ratios):
+        normalized = ratios[bench_id] / batch - 1.0
+        flag = " FAIL" if normalized > threshold else ""
+        print(
+            f"{bench_id:<44} {reference[bench_id]:>12.0f} {gated[bench_id]:>12.0f}"
+            f" {ratios[bench_id] - 1.0:>+7.1%} {normalized:>+7.1%}{flag}"
+        )
+        if normalized > threshold:
+            failures.append((bench_id, normalized))
     for bench_id in skipped:
         print(f"{bench_id:<44} {'(no baseline — skipped)':>34}")
+    print(f"\nbatch median fresh/baseline ratio: {batch:.3f} (normalizer)")
 
     if failures:
         print(
-            f"\nbench gate: {len(failures)} id(s) regressed more than "
-            f"{threshold:.0%} vs the committed baseline"
+            f"bench gate: {len(failures)} id(s) regressed more than "
+            f"{threshold:.0%} vs the committed baseline after batch "
+            f"normalization"
         )
         return 1
-    print(f"\nbench gate: ok ({threshold:.0%} threshold)")
+    print(f"bench gate: ok ({threshold:.0%} threshold after batch normalization)")
     return 0
 
 
