@@ -18,6 +18,9 @@ POLYSIG_TEST_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q --workspace (detected parallelism)"
 cargo test -q --workspace
 
+echo "==> cargo test -q --workspace (POLYSIG_COMPILE=off: interpreter-only execution plans)"
+POLYSIG_COMPILE=off cargo test -q --workspace
+
 echo "==> polysig-lint --deny warnings over the shipped programs"
 cargo build -q --release --bin polysig-lint
 ./target/release/polysig-lint --deny warnings \
@@ -31,6 +34,10 @@ echo "==> fuzz smoke: corpus replay + 200 generated cases per shape, fixed seed 
 POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
   cargo test -q --release --test fuzz_conformance
 
+echo "==> fuzz smoke: same sweep with compilation disabled (POLYSIG_COMPILE=off)"
+POLYSIG_COMPILE=off POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
+  cargo test -q --release --test fuzz_conformance
+
 if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
   echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
 else
@@ -41,7 +48,7 @@ else
   scratch1="$(mktemp -u)" scratch2="$(mktemp -u)"
   trap 'rm -f "$scratch1" "$scratch2"' EXIT
   for scratch in "$scratch1" "$scratch2"; do
-    for bench in verify_alarm fig2_one_place_buffer buffer_estimation static_analysis; do
+    for bench in verify_alarm fig2_one_place_buffer buffer_estimation static_analysis compiled_exec; do
       BENCH_SUMMARY_PATH="$scratch" cargo bench -q -p polysig-bench --bench "$bench" \
         > /dev/null
     done

@@ -76,17 +76,23 @@ pub enum LintCode {
     /// `PA006` — a shared signal with more than one consumer, outside the
     /// paper's single-producer/single-consumer channel discipline.
     MultiConsumerSignal,
+    /// `PA007` — informational: whether the component lowers to a static
+    /// schedule (the compiled execution plan), and how many ops it takes.
+    /// Endochronous components always do (Theorem 1); a component that does
+    /// not runs on the micro-step interpreter instead.
+    StaticSchedule,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 7] = [
         LintCode::NonDeterministicClocks,
         LintCode::EndochronizableComponent,
         LintCode::CausalityCycle,
         LintCode::ChannelBoundUnknown,
         LintCode::ChannelRateUnbounded,
         LintCode::MultiConsumerSignal,
+        LintCode::StaticSchedule,
     ];
 
     /// The stable `PA0xx` code.
@@ -98,6 +104,7 @@ impl LintCode {
             LintCode::ChannelBoundUnknown => "PA004",
             LintCode::ChannelRateUnbounded => "PA005",
             LintCode::MultiConsumerSignal => "PA006",
+            LintCode::StaticSchedule => "PA007",
         }
     }
 
@@ -110,6 +117,7 @@ impl LintCode {
             LintCode::ChannelBoundUnknown => "channel-bound-unknown",
             LintCode::ChannelRateUnbounded => "channel-rate-unbounded",
             LintCode::MultiConsumerSignal => "multi-consumer-signal",
+            LintCode::StaticSchedule => "static-schedule",
         }
     }
 
@@ -126,6 +134,9 @@ impl LintCode {
             LintCode::ChannelBoundUnknown => "channel FIFO bound not statically provable",
             LintCode::ChannelRateUnbounded => "channel provably overflows every finite buffer",
             LintCode::MultiConsumerSignal => "shared signal has more than one consumer",
+            LintCode::StaticSchedule => {
+                "whether the component compiles to a static schedule (and its op count)"
+            }
         }
     }
 
@@ -138,6 +149,7 @@ impl LintCode {
             LintCode::ChannelBoundUnknown => LintLevel::Allow,
             LintCode::ChannelRateUnbounded => LintLevel::Warn,
             LintCode::MultiConsumerSignal => LintLevel::Deny,
+            LintCode::StaticSchedule => LintLevel::Allow,
         }
     }
 

@@ -167,6 +167,30 @@ pub fn analyze_program(program: &Program) -> AnalysisReport {
             ),
         );
     }
+    for c in &program.components {
+        let single = Program::single(c.clone());
+        let Ok(reactor) = polysig_sim::Reactor::for_program_compiled(&single) else {
+            continue; // elaboration failures are reported by other passes
+        };
+        let diag = match reactor.compiled_op_count() {
+            Some(ops) => Diagnostic::new(
+                LintCode::StaticSchedule,
+                format!(
+                    "component lowers to a static schedule of {ops} ops: reactions run \
+                     linearly, without micro-step fixpoints"
+                ),
+            ),
+            None => Diagnostic::new(
+                LintCode::StaticSchedule,
+                "component has no static schedule: reactions run on the micro-step interpreter",
+            )
+            .suggest(
+                "root the clock hierarchy in the inputs (see PA001/PA002) so the schedule \
+                 becomes a static total order",
+            ),
+        };
+        diagnostics.push(diag.in_component(c.name.clone()));
+    }
     AnalysisReport { diagnostics, endochrony, channels, bounds: None }
 }
 
@@ -239,12 +263,19 @@ mod tests {
     fn clean_pipeline_reports_only_the_bound_note() {
         let report = analyze_program(&pipe());
         assert!(report.is_clean());
-        assert_eq!(report.count_at(LintLevel::Allow), 1); // PA004 for `x`
+        // PA004 for `x`, plus a PA007 schedule note per component
+        assert_eq!(report.count_at(LintLevel::Allow), 3);
+        assert_eq!(
+            report.diagnostics.iter().filter(|d| d.code == LintCode::StaticSchedule).count(),
+            2
+        );
         assert_eq!(report.channels.len(), 1);
         assert_eq!(report.endochrony.len(), 2);
         assert!(report.bounds.is_none());
         let json = report.to_json();
         assert!(json.contains("\"PA004\""));
+        assert!(json.contains("\"PA007\""));
+        assert!(json.contains("static schedule of"));
         assert!(json.contains("\"P\":\"endochronous\""));
         assert!(json.contains("\"deny\":0"));
     }
@@ -257,7 +288,12 @@ mod tests {
             .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 1).generate(steps))
             .zip_union(&master_clock("tick", steps));
         let report = analyze_with_scenario(&pipe(), &scenario, &ProveOptions::default());
-        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        // only the informational PA007 schedule notes remain
+        assert!(
+            report.diagnostics.iter().all(|d| d.code == LintCode::StaticSchedule),
+            "{:?}",
+            report.diagnostics
+        );
         let bounds = report.bounds.as_ref().unwrap();
         assert!(matches!(bounds.bound_of(&"x".into()), ChannelBound::Exact { depth: 1 }));
     }
@@ -271,8 +307,11 @@ mod tests {
         let tight = ProveOptions { max_size: 8, ..Default::default() };
         let report = analyze_with_scenario(&pipe(), &scenario, &tight);
         assert_eq!(report.count_at(LintLevel::Warn), 1);
-        let d = &report.diagnostics[0];
-        assert_eq!(d.code, LintCode::ChannelRateUnbounded);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::ChannelRateUnbounded)
+            .expect("PA005 fired");
         assert_eq!(d.signal, Some(SigName::from("x")));
         assert!(!report.is_clean());
     }

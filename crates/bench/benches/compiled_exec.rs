@@ -1,0 +1,168 @@
+//! E10 — compiled execution: static schedules vs the micro-step interpreter.
+//!
+//! `compile/lower_fig2` measures the one-time lowering cost of the Figure-2
+//! buffer; `compile/exec_fig2*` drives the raw per-reaction dispatch
+//! (`react_dense`) of the fig2 components under both execution plans; and
+//! `compile/full_loop_*` re-runs the Section-5.2 estimation loop with
+//! compilation forced on and off, giving compiled-vs-interpreted comparison
+//! rows next to the `fig2/*` and `estimation/full_loop/*` sections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use polysig_bench::banner;
+use polysig_gals::estimate::{estimate_buffer_sizes, EstimationOptions};
+use polysig_gals::onefifo::{memory_cell_component, one_place_buffer_component};
+use polysig_lang::ast::Program;
+use polysig_sim::generator::master_clock;
+use polysig_sim::{BurstyInputs, DenseEnv, PeriodicInputs, Reactor, Scenario, ScenarioGenerator};
+use polysig_tagged::{Value, ValueType};
+
+const STEPS: usize = 256;
+
+/// The same workload as `fig2/*_256_reactions`, pre-rendered to dense
+/// slot-indexed environments so the rows below time the reactor alone —
+/// no `Behavior` recording, no name lookups.
+fn dense_workload(r: &Reactor, steps: usize) -> Vec<DenseEnv> {
+    let tick = r.sig_id("tick").unwrap();
+    let msgin = r.sig_id("msgin").unwrap();
+    let rd = r.sig_id("rd").unwrap();
+    (0..steps)
+        .map(|i| {
+            let mut e = DenseEnv::new(r.signal_count());
+            e.set(tick, Value::TRUE);
+            if i % 2 == 0 {
+                e.set(msgin, Value::Int(i as i64));
+            } else {
+                e.set(rd, Value::TRUE);
+            }
+            e
+        })
+        .collect()
+}
+
+fn drive(r: &mut Reactor, envs: &[DenseEnv]) -> usize {
+    r.reset();
+    let mut present = 0usize;
+    for env in envs {
+        present += r.react_dense(env).unwrap().present_count();
+    }
+    present
+}
+
+/// The `estimation/full_loop/*` workload (see `buffer_estimation.rs`).
+fn bursty_env(steps: usize, burst: usize) -> Scenario {
+    BurstyInputs::new("a", ValueType::Int, burst, 16)
+        .generate(steps)
+        .zip_union(&PeriodicInputs::new("x_rd", ValueType::Bool, 2, 0).generate(steps))
+        .zip_union(&master_clock("tick", steps))
+}
+
+fn bench(c: &mut Criterion) {
+    let buffer = Program::single(one_place_buffer_component("B"));
+    let cell = Program::single(memory_cell_component("M"));
+
+    // the rows below are meaningless if the plans are not what their
+    // names claim, so pin that down before measuring
+    let compiled_buffer = Reactor::for_program_compiled(&buffer).unwrap();
+    let compiled_cell = Reactor::for_program_compiled(&cell).unwrap();
+    assert!(compiled_buffer.is_compiled(), "fig2 buffer must lower to a static schedule");
+    assert!(compiled_cell.is_compiled(), "fig2 memory cell must lower to a static schedule");
+    assert!(!Reactor::for_program_interpreted(&buffer).unwrap().is_compiled());
+    banner(
+        "E10 / compiled execution",
+        &format!(
+            "static schedules: buffer {} ops, memory cell {} ops",
+            compiled_buffer.compiled_op_count().unwrap(),
+            compiled_cell.compiled_op_count().unwrap(),
+        ),
+    );
+
+    let mut group = c.benchmark_group("compile");
+    group.bench_function("lower_fig2", |b| {
+        b.iter(|| {
+            let r = Reactor::for_program_compiled(&buffer).unwrap();
+            assert!(r.is_compiled());
+            std::hint::black_box(r.compiled_op_count())
+        })
+    });
+
+    {
+        let mut compiled = Reactor::for_program_compiled(&buffer).unwrap();
+        let envs = dense_workload(&compiled, STEPS);
+        group.bench_function("exec_fig2", |b| {
+            b.iter(|| std::hint::black_box(drive(&mut compiled, &envs)))
+        });
+        let mut interp = Reactor::for_program_interpreted(&buffer).unwrap();
+        let envs = dense_workload(&interp, STEPS);
+        group.bench_function("exec_fig2_interpreted", |b| {
+            b.iter(|| std::hint::black_box(drive(&mut interp, &envs)))
+        });
+    }
+    {
+        let mut compiled = Reactor::for_program_compiled(&cell).unwrap();
+        let envs = dense_workload(&compiled, STEPS);
+        group.bench_function("exec_fig2_memory_cell", |b| {
+            b.iter(|| std::hint::black_box(drive(&mut compiled, &envs)))
+        });
+        let mut interp = Reactor::for_program_interpreted(&cell).unwrap();
+        let envs = dense_workload(&interp, STEPS);
+        group.bench_function("exec_fig2_memory_cell_interpreted", |b| {
+            b.iter(|| std::hint::black_box(drive(&mut interp, &envs)))
+        });
+    }
+
+    // estimation-loop comparison: the loop builds its reactors through
+    // `Reactor::for_program`, which honours POLYSIG_COMPILE at build time,
+    // so toggling the variable around the runs selects the plan. The
+    // harness is single-threaded; restore the ambient value afterwards.
+    let ambient = std::env::var("POLYSIG_COMPILE").ok();
+    for burst in [2usize, 4, 8] {
+        let env = bursty_env(80, burst);
+        let baseline = {
+            std::env::remove_var("POLYSIG_COMPILE");
+            estimate_buffer_sizes(&polysig_bench::pipe(), &env, &EstimationOptions::default())
+                .unwrap()
+        };
+        std::env::remove_var("POLYSIG_COMPILE");
+        group.bench_function(format!("full_loop_{burst}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes(
+                        &polysig_bench::pipe(),
+                        &env,
+                        &EstimationOptions::default(),
+                    )
+                    .unwrap()
+                    .iterations(),
+                )
+            })
+        });
+        std::env::set_var("POLYSIG_COMPILE", "off");
+        let interp =
+            estimate_buffer_sizes(&polysig_bench::pipe(), &env, &EstimationOptions::default())
+                .unwrap();
+        assert_eq!(interp.final_sizes, baseline.final_sizes);
+        assert_eq!(interp.iterations(), baseline.iterations());
+        group.bench_function(format!("full_loop_{burst}_interpreted"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    estimate_buffer_sizes(
+                        &polysig_bench::pipe(),
+                        &env,
+                        &EstimationOptions::default(),
+                    )
+                    .unwrap()
+                    .iterations(),
+                )
+            })
+        });
+        match &ambient {
+            Some(v) => std::env::set_var("POLYSIG_COMPILE", v),
+            None => std::env::remove_var("POLYSIG_COMPILE"),
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

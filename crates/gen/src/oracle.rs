@@ -41,6 +41,11 @@ pub enum OracleKind {
     /// The name-keyed `react` and the index-addressed `react_dense` must
     /// agree instant by instant: present sets, values, errors, registers.
     DenseEquiv,
+    /// The compiled static-schedule executor and the micro-step interpreter
+    /// must agree instant by instant — outputs, registers, error strings —
+    /// and resuming either plan from a mid-run checkpoint must replay the
+    /// tail bit-identically.
+    CompiledEquiv,
     /// Explicit-state checking and flow comparison must return identical
     /// results at 1, 2, 4 and 8 worker threads.
     ThreadInvariance,
@@ -65,6 +70,7 @@ impl fmt::Display for OracleKind {
             OracleKind::WellClocked => "WellClocked",
             OracleKind::RoundTrip => "RoundTrip",
             OracleKind::DenseEquiv => "DenseEquiv",
+            OracleKind::CompiledEquiv => "CompiledEquiv",
             OracleKind::ThreadInvariance => "ThreadInvariance",
             OracleKind::EstimateEquiv => "EstimateEquiv",
             OracleKind::DesyncFlow => "DesyncFlow",
@@ -81,6 +87,7 @@ impl FromStr for OracleKind {
             "WellClocked" => Ok(OracleKind::WellClocked),
             "RoundTrip" => Ok(OracleKind::RoundTrip),
             "DenseEquiv" => Ok(OracleKind::DenseEquiv),
+            "CompiledEquiv" => Ok(OracleKind::CompiledEquiv),
             "ThreadInvariance" => Ok(OracleKind::ThreadInvariance),
             "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
             "DesyncFlow" => Ok(OracleKind::DesyncFlow),
@@ -118,12 +125,14 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::WellClocked,
             OracleKind::RoundTrip,
             OracleKind::DenseEquiv,
+            OracleKind::CompiledEquiv,
             OracleKind::ThreadInvariance,
         ],
         Shape::Pipeline => vec![
             OracleKind::WellClocked,
             OracleKind::RoundTrip,
             OracleKind::DenseEquiv,
+            OracleKind::CompiledEquiv,
             OracleKind::ThreadInvariance,
             OracleKind::EstimateEquiv,
             OracleKind::DesyncFlow,
@@ -155,6 +164,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::WellClocked => well_clocked(case),
         OracleKind::RoundTrip => round_trip(case),
         OracleKind::DenseEquiv => dense_equiv(case),
+        OracleKind::CompiledEquiv => compiled_equiv(case),
         OracleKind::ThreadInvariance => thread_invariance(case),
         OracleKind::EstimateEquiv => estimate_equiv(case),
         OracleKind::DesyncFlow => desync_flow(case),
@@ -240,6 +250,89 @@ fn dense_equiv(case: &GenCase) -> Result<(), Failure> {
         }
         if legacy.registers() != dense.registers() {
             return Err(Failure::new(k, format!("register files diverge after instant {i}")));
+        }
+    }
+    Ok(())
+}
+
+/// One instant's outcome, normalized for bit-level comparison.
+type Outcome = Result<Vec<(polysig_tagged::SigId, Value)>, String>;
+
+fn react_outcome(r: &mut Reactor, env: &DenseEnv) -> Outcome {
+    match r.react_dense(env) {
+        Ok(out) => Ok(out.iter().collect()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn compiled_equiv(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::CompiledEquiv;
+    let mut compiled = Reactor::for_program_compiled(&case.program)
+        .map_err(|e| Failure::new(k, format!("elaborate: {e}")))?;
+    let mut interp = Reactor::for_program_interpreted(&case.program)
+        .map_err(|e| Failure::new(k, format!("elaborate: {e}")))?;
+    let n = compiled.signal_count();
+    let mut env = DenseEnv::new(n);
+
+    // checkpoint both plans mid-run; the tail is recorded and must replay
+    // bit-identically from the restored states
+    let mid = case.scenario.len() / 2;
+    let mut parked = None;
+    let mut tail: Vec<Outcome> = Vec::new();
+
+    for (i, step) in case.scenario.iter().enumerate() {
+        if i == mid {
+            parked = Some((compiled.snapshot(), interp.snapshot()));
+        }
+        env.reset(n);
+        for (name, value) in step {
+            let Some(id) = compiled.sig_id(name) else {
+                return Err(Failure::new(k, format!("scenario drives unknown signal `{name}`")));
+            };
+            env.set(id, *value);
+        }
+        let c = react_outcome(&mut compiled, &env);
+        let j = react_outcome(&mut interp, &env);
+        if c != j {
+            return Err(Failure::new(
+                k,
+                format!("plans diverge at instant {i}: compiled {c:?}, interpreted {j:?}"),
+            ));
+        }
+        if compiled.registers() != interp.registers() {
+            return Err(Failure::new(k, format!("register files diverge after instant {i}")));
+        }
+        if compiled.snapshot() != interp.snapshot() {
+            return Err(Failure::new(k, format!("snapshots diverge after instant {i}")));
+        }
+        if parked.is_some() {
+            tail.push(c);
+        }
+    }
+
+    // resume: replaying the tail from the mid-run checkpoint must reproduce
+    // the recorded outcomes exactly, on both plans
+    if let Some((c_state, i_state)) = parked {
+        compiled.restore(&c_state);
+        interp.restore(&i_state);
+        for (off, step) in case.scenario.iter().skip(mid).enumerate() {
+            env.reset(n);
+            for (name, value) in step {
+                env.set(compiled.sig_id(name).unwrap(), *value);
+            }
+            let c = react_outcome(&mut compiled, &env);
+            let j = react_outcome(&mut interp, &env);
+            if c != tail[off] || j != tail[off] {
+                return Err(Failure::new(
+                    k,
+                    format!(
+                        "checkpoint replay diverges at instant {}: recorded {:?}, \
+                         compiled {c:?}, interpreted {j:?}",
+                        mid + off,
+                        tail[off]
+                    ),
+                ));
+            }
         }
     }
     Ok(())

@@ -80,6 +80,7 @@ impl Binop {
     ///
     /// Returns `None` on a type mismatch (callers surface this as a runtime
     /// type error; the static checker rules it out for checked programs).
+    #[inline]
     pub fn apply(self, a: Value, b: Value) -> Option<Value> {
         use Binop::*;
         Some(match self {

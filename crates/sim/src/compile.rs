@@ -1,0 +1,626 @@
+//! Lowering a scheduled reaction system to a [`CompiledComponent`].
+//!
+//! The lowering succeeds exactly when the clock analysis plus the static
+//! equation schedule yield a *total order* in which every signal's presence
+//! and value can be decided by a single linear sweep — the operational
+//! content of endochrony (Theorem 1): the clock hierarchy is rooted in the
+//! inputs, so no micro-step fixpoint is required. Each equation gets its
+//! presence from one of three sources, tried in order:
+//!
+//! 1. **Direct** — every signal the right-hand side reads is already
+//!    decided, so evaluating it decides the left-hand side too.
+//! 2. **Group fold** — the left-hand side's clock group contains an external
+//!    input, so an [`Op::EvalClock`] decides its presence up front (the
+//!    compiled mirror of the interpreter's first propagation sweep).
+//! 3. **Structural clock** — a sub-expression of the right-hand side that
+//!    avoids the (still undecided) left-hand side witnesses its presence:
+//!    e.g. for `n := (pre 0 n) + (1 when tick)` the `1 when tick` branch is
+//!    evaluated first and [`Op::SetClockFrom`] transfers its presence to
+//!    `n`, exactly as the interpreter's synchronous-operand rule would.
+//!
+//! If any equation fits none of these (or the schedule is cyclic, a signal
+//! is defined twice, or a non-input signal has no defining equation at
+//! all), `lower` returns `None` and the reactor keeps the interpreter —
+//! lowering failure is never an error, only a lost optimization. The
+//! static admissibility predicates below are deliberately conservative:
+//! they reject any equation whose compiled evaluation *could* hit an
+//! undecided or unvalued operand at runtime, so a lowered schedule bails
+//! only on genuinely ill-clocked reactions (which the interpreter then
+//! reports identically). Rejecting undefined non-inputs also makes the
+//! executor's "every signal slot decided" invariant a static fact, so no
+//! runtime scan is needed.
+//!
+//! Expressions are flattened to three-address code: every sub-expression
+//! result lives in a dedicated temporary slot, constants are interned once
+//! into read-only ubiquitous slots, and the last op of each equation
+//! carries the guarded-assign mode committing the left-hand side.
+
+use std::collections::BTreeSet;
+
+use polysig_tagged::{Value, ValueType};
+
+use crate::ir::CExpr;
+use crate::schedule::{CompiledComponent, Flow, Mode, Op};
+
+/// Everything the lowering needs from an elaborated reactor.
+pub(crate) struct LowerInput<'a> {
+    /// Number of declared signals (dense slot count).
+    pub signal_count: usize,
+    /// `is_input[id]` — the signal is an external input.
+    pub is_input: &'a [bool],
+    /// Declared type per signal (seeding type-checks inputs).
+    pub types: &'a [ValueType],
+    /// Compiled equations in static schedule order (must be acyclic).
+    pub equations: &'a [(usize, CExpr)],
+    /// Clock-equality groups over dense indices.
+    pub groups: &'a [Vec<usize>],
+    /// `(sub, sup)` group-index pairs: sub's clock ⊆ sup's clock.
+    pub subset_edges: &'a BTreeSet<(usize, usize)>,
+}
+
+/// Lowers a scheduled reaction system; `None` when no static total order
+/// exists (the caller falls back to the interpreter).
+pub(crate) fn lower(inp: &LowerInput<'_>) -> Option<CompiledComponent> {
+    let n = inp.signal_count;
+    let mut lw = Lowerer {
+        value: inp.is_input.to_vec(),
+        presence: inp.is_input.to_vec(),
+        init_slots: vec![Flow::Absent; n],
+        consts: Vec::new(),
+        ops: Vec::new(),
+    };
+
+    // phase A: groups anchored by an input decide all their members up
+    // front, mirroring the interpreter's first clock-propagation sweep.
+    // `EvalClock` checks its fold's uniformity itself and every member's
+    // guarded assign preserves the decided presence, so anchored groups
+    // need no epilogue uniformity check.
+    let mut anchored = vec![false; inp.groups.len()];
+    for (g, group) in inp.groups.iter().enumerate() {
+        let fold: Vec<u32> =
+            group.iter().filter(|&&i| inp.is_input[i]).map(|&i| i as u32).collect();
+        if fold.is_empty() {
+            continue;
+        }
+        let members: Vec<u32> =
+            group.iter().filter(|&&i| !inp.is_input[i]).map(|&i| i as u32).collect();
+        if members.is_empty() {
+            // an all-input group is still uniform-checked by the fold
+            if fold.len() > 1 {
+                anchored[g] = true;
+                lw.ops.push(Op::EvalClock { fold: fold.into(), members: members.into() });
+            }
+            continue;
+        }
+        for &m in &members {
+            lw.presence[m as usize] = true;
+        }
+        anchored[g] = true;
+        lw.ops.push(Op::EvalClock { fold: fold.into(), members: members.into() });
+    }
+
+    // phase B: one (witness +) evaluate-and-assign block per equation, in
+    // schedule order
+    let mut defined = vec![false; n];
+    for (lhs, rhs) in inp.equations {
+        let lhs = *lhs;
+        // inputs with equations and double definitions would need join
+        // machinery the linear schedule does not have
+        if inp.is_input[lhs] || defined[lhs] {
+            return None;
+        }
+        defined[lhs] = true;
+        if !lw.admissible(rhs) {
+            if lw.presence[lhs] {
+                return None;
+            }
+            // structural clock: derive the presence from a decidable
+            // sub-expression, then re-check admissibility with the
+            // left-hand side's presence known
+            let (witness, ubiquitous) = lw.clock_plan(rhs)?;
+            if ubiquitous {
+                return None;
+            }
+            lw.ops.push(Op::SetClockFrom { dst: lhs as u32, src: witness });
+            lw.presence[lhs] = true;
+            if !lw.admissible(rhs) {
+                return None;
+            }
+        }
+        // a possibly-ubiquitous result needs an already-decided clock to
+        // anchor to
+        if maybe_ubiquitous(rhs) && !lw.presence[lhs] {
+            return None;
+        }
+        let m = if lw.presence[lhs] { Mode::GuardAtClock } else { Mode::Guard };
+        lw.emit(rhs, m, lhs as u32);
+        lw.value[lhs] = true;
+        lw.presence[lhs] = true;
+    }
+
+    // a non-input the equations never define would stay undecided at
+    // runtime (the interpreter's UndeterminedClock error): no schedule
+    if (0..n).any(|i| !inp.is_input[i] && !lw.value[i]) {
+        return None;
+    }
+
+    // phase C: register updates, re-evaluating each `pre` body in the
+    // interpreter's collection order (everything is decided by now, so no
+    // static admissibility applies)
+    let split = lw.ops.len();
+    for (_, rhs) in inp.equations {
+        if rhs.has_pre() {
+            lw.emit_register_updates(rhs);
+        }
+    }
+    let reg_ops = coalesce_register_shifts(lw.ops.split_off(split));
+
+    let input_slots: Box<[u32]> = (0..n).filter(|&i| inp.is_input[i]).map(|i| i as u32).collect();
+    let input_types: Box<[ValueType]> =
+        input_slots.iter().map(|&i| inp.types[i as usize]).collect();
+    // epilogue checks: uniformity for multi-member groups `EvalClock` does
+    // not cover, and every subset edge (by group representative — groups
+    // are uniform once checked, so one member stands for all)
+    let check_groups: Box<[Box<[u32]>]> = inp
+        .groups
+        .iter()
+        .enumerate()
+        .filter(|&(g, group)| !anchored[g] && group.len() > 1)
+        .map(|(_, group)| group.iter().map(|&i| i as u32).collect())
+        .collect();
+    let check_edges: Box<[(u32, u32)]> = inp
+        .subset_edges
+        .iter()
+        .map(|&(sub, sup)| (inp.groups[sub][0] as u32, inp.groups[sup][0] as u32))
+        .collect();
+    Some(CompiledComponent {
+        ops: lw.ops,
+        reg_ops,
+        init_slots: lw.init_slots.into(),
+        input_slots,
+        input_types,
+        signal_count: n as u32,
+        check_groups,
+        check_edges,
+    })
+}
+
+/// Emission state: what is decided so far, the growing slot image and op
+/// stream.
+struct Lowerer {
+    /// `value[i]` — slot `i`'s value is decided when read.
+    value: Vec<bool>,
+    /// `presence[i]` — slot `i`'s presence is decided when read.
+    presence: Vec<bool>,
+    /// Initial slot image (constants preloaded, everything else absent).
+    init_slots: Vec<Flow>,
+    /// Interned constants: value → slot.
+    consts: Vec<(Value, u32)>,
+    /// The op stream.
+    ops: Vec<Op>,
+}
+
+impl Lowerer {
+    /// A fresh expression temporary.
+    fn temp(&mut self) -> u32 {
+        self.init_slots.push(Flow::Absent);
+        (self.init_slots.len() - 1) as u32
+    }
+
+    /// The read-only slot holding `v` as a ubiquitous constant.
+    fn konst(&mut self, v: Value) -> u32 {
+        if let Some(&(_, s)) = self.consts.iter().find(|&&(w, _)| w == v) {
+            return s;
+        }
+        self.init_slots.push(Flow::Ubiquitous(v));
+        let s = (self.init_slots.len() - 1) as u32;
+        self.consts.push((v, s));
+        s
+    }
+
+    /// The slot holding `e`'s value: signals and constants read in place,
+    /// anything compound is evaluated into a temporary.
+    fn operand(&mut self, e: &CExpr) -> u32 {
+        match e {
+            CExpr::Var(i) => *i as u32,
+            CExpr::Const(v) => self.konst(*v),
+            _ => {
+                let t = self.temp();
+                self.emit(e, Mode::Temp, t);
+                t
+            }
+        }
+    }
+
+    /// Emits the evaluation of `e` with the root op storing into `dst`
+    /// under `m` (the guarded-assign fusion point).
+    fn emit(&mut self, e: &CExpr, m: Mode, dst: u32) {
+        match e {
+            CExpr::Var(i) => self.ops.push(Op::Mov { m, dst, src: *i as u32 }),
+            CExpr::Const(v) => {
+                let src = self.konst(*v);
+                self.ops.push(Op::Mov { m, dst, src });
+            }
+            CExpr::Pre { reg, body } => {
+                let body = self.operand(body);
+                self.ops.push(Op::Pre { m, dst, reg: *reg as u32, body });
+            }
+            CExpr::When { body, cond } => match body.as_ref() {
+                // the clocked-state idiom `(pre x) when c` fuses into one
+                // op, as do sampled pointwise operators
+                CExpr::Pre { reg, body: delayed } => {
+                    let body = self.operand(delayed);
+                    let cond = self.operand(cond);
+                    self.ops.push(Op::PreWhen { m, dst, reg: *reg as u32, body, cond });
+                }
+                CExpr::Unary { op, arg } => {
+                    let arg = self.operand(arg);
+                    let cond = self.operand(cond);
+                    self.ops.push(Op::UnaryWhen { m, dst, op: *op, arg, cond });
+                }
+                CExpr::Binary { op, left, right } => {
+                    let left = self.operand(left);
+                    let right = self.operand(right);
+                    let cond = self.operand(cond);
+                    self.ops.push(Op::BinaryWhen { m, dst, op: *op, left, right, cond });
+                }
+                _ => {
+                    let body = self.operand(body);
+                    let cond = self.operand(cond);
+                    self.ops.push(Op::When { m, dst, body, cond });
+                }
+            },
+            CExpr::Default { left, right } => {
+                // the clocked-constant fallback `x default (k when c)`
+                // fuses into one op
+                if let CExpr::When { body, cond } = right.as_ref() {
+                    if let CExpr::Const(v) = body.as_ref() {
+                        let konst = self.konst(*v);
+                        let left = self.operand(left);
+                        let cond = self.operand(cond);
+                        self.ops.push(Op::DefaultConstAt { m, dst, left, konst, cond });
+                        return;
+                    }
+                }
+                let left = self.operand(left);
+                let right = self.operand(right);
+                self.ops.push(Op::DefaultMerge { m, dst, left, right });
+            }
+            CExpr::Unary { op, arg } => {
+                let arg = self.operand(arg);
+                self.ops.push(Op::Unary { m, dst, op: *op, arg });
+            }
+            CExpr::Binary { op, left, right } => {
+                let left = self.operand(left);
+                let right = self.operand(right);
+                self.ops.push(Op::Binary { m, dst, op: *op, left, right });
+            }
+        }
+    }
+
+    /// A signal readable during lowering: value known, or at least
+    /// presence.
+    fn readable(&self, i: usize) -> bool {
+        self.value[i] || self.presence[i]
+    }
+
+    /// The equation can be compiled as-is: all reads decidable, no
+    /// unvalued result can escape to the assignment or a condition.
+    fn admissible(&self, e: &CExpr) -> bool {
+        self.derivable(e) && self.conds_ok(e) && !self.maybe_unvalued(e)
+    }
+
+    /// Every signal the expression reads is readable.
+    fn derivable(&self, e: &CExpr) -> bool {
+        match e {
+            CExpr::Var(i) => self.readable(*i),
+            CExpr::Const(_) => true,
+            CExpr::Pre { body, .. } => self.derivable(body),
+            CExpr::When { body, cond } => self.derivable(body) && self.derivable(cond),
+            CExpr::Default { left, right } | CExpr::Binary { left, right, .. } => {
+                self.derivable(left) && self.derivable(right)
+            }
+            CExpr::Unary { arg, .. } => self.derivable(arg),
+        }
+    }
+
+    /// Could the expression evaluate to an *unvalued* (present, value
+    /// unknown) result? `pre` and `^` erase unvaluedness; everything else
+    /// propagates it.
+    fn maybe_unvalued(&self, e: &CExpr) -> bool {
+        match e {
+            CExpr::Var(i) => !self.value[*i],
+            CExpr::Const(_) | CExpr::Pre { .. } => false,
+            CExpr::When { body, .. } => self.maybe_unvalued(body),
+            CExpr::Default { left, right } | CExpr::Binary { left, right, .. } => {
+                self.maybe_unvalued(left) || self.maybe_unvalued(right)
+            }
+            CExpr::Unary { op, arg } => match op {
+                polysig_lang::Unop::ClockOf => false,
+                polysig_lang::Unop::Not | polysig_lang::Unop::Neg => self.maybe_unvalued(arg),
+            },
+        }
+    }
+
+    /// Every `when` condition in the tree evaluates to a *valued* result
+    /// (an unvalued condition would make the executor bail every
+    /// reaction).
+    fn conds_ok(&self, e: &CExpr) -> bool {
+        match e {
+            CExpr::Var(_) | CExpr::Const(_) => true,
+            CExpr::Pre { body, .. } => self.conds_ok(body),
+            CExpr::When { body, cond } => {
+                self.conds_ok(body) && self.conds_ok(cond) && !self.maybe_unvalued(cond)
+            }
+            CExpr::Default { left, right } | CExpr::Binary { left, right, .. } => {
+                self.conds_ok(left) && self.conds_ok(right)
+            }
+            CExpr::Unary { arg, .. } => self.conds_ok(arg),
+        }
+    }
+
+    /// Emits a *presence witness* for `e` — an expression over already
+    /// readable signals whose presence equals `e`'s — returning its slot
+    /// plus whether the witness could be ubiquitous at runtime (which
+    /// would make it useless). Ops emitted for a failed branch are rolled
+    /// back.
+    fn clock_plan(&mut self, e: &CExpr) -> Option<(u32, bool)> {
+        match e {
+            CExpr::Var(i) => self.readable(*i).then_some((*i as u32, false)),
+            CExpr::Const(v) => Some((self.konst(*v), true)),
+            // a delay and a pointwise unary keep their operand's clock
+            CExpr::Pre { body, .. } => self.clock_plan(body),
+            CExpr::Unary { arg, .. } => self.clock_plan(arg),
+            CExpr::When { body, cond } => {
+                let mark = self.ops.len();
+                let (b, body_ubiq) = self.clock_plan(body)?;
+                if !(self.derivable(cond) && self.conds_ok(cond) && !self.maybe_unvalued(cond)) {
+                    self.ops.truncate(mark);
+                    return None;
+                }
+                let c = self.operand(cond);
+                let t = self.temp();
+                self.ops.push(Op::When { m: Mode::Temp, dst: t, body: b, cond: c });
+                Some((t, body_ubiq && maybe_ubiquitous(cond)))
+            }
+            CExpr::Default { left, right } => {
+                let mark = self.ops.len();
+                let Some((l, lu)) = self.clock_plan(left) else {
+                    self.ops.truncate(mark);
+                    return None;
+                };
+                let Some((r, ru)) = self.clock_plan(right) else {
+                    self.ops.truncate(mark);
+                    return None;
+                };
+                let t = self.temp();
+                self.ops.push(Op::DefaultMerge { m: Mode::Temp, dst: t, left: l, right: r });
+                Some((t, lu || ru))
+            }
+            // synchronous operands share one clock: either side witnesses
+            // it; prefer one that can never be ubiquitous
+            CExpr::Binary { left, right, .. } => {
+                let mark = self.ops.len();
+                if let Some((s, false)) = self.clock_plan(left) {
+                    return Some((s, false));
+                }
+                self.ops.truncate(mark);
+                if let Some((s, false)) = self.clock_plan(right) {
+                    return Some((s, false));
+                }
+                self.ops.truncate(mark);
+                if let Some(p) = self.clock_plan(left) {
+                    return Some(p);
+                }
+                self.ops.truncate(mark);
+                self.clock_plan(right)
+            }
+        }
+    }
+
+    /// Emits register updates for every `pre` in `e`, in the interpreter's
+    /// collection order: a `pre`'s own update (re-evaluating its body)
+    /// comes before the updates of `pre`s nested inside that body.
+    fn emit_register_updates(&mut self, e: &CExpr) {
+        match e {
+            CExpr::Var(_) | CExpr::Const(_) => {}
+            CExpr::Pre { reg, body } => {
+                let src = self.operand(body);
+                self.ops.push(Op::RegisterShift { reg: *reg as u32, src });
+                self.emit_register_updates(body);
+            }
+            CExpr::When { body, cond } => {
+                self.emit_register_updates(body);
+                self.emit_register_updates(cond);
+            }
+            CExpr::Default { left, right } | CExpr::Binary { left, right, .. } => {
+                self.emit_register_updates(left);
+                self.emit_register_updates(right);
+            }
+            CExpr::Unary { arg, .. } => self.emit_register_updates(arg),
+        }
+    }
+}
+
+/// Merges each run of consecutive [`Op::RegisterShift`]s into one
+/// [`Op::RegisterShiftN`] dispatch (order preserved).
+fn coalesce_register_shifts(ops: Vec<Op>) -> Vec<Op> {
+    let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+    let mut run: Vec<(u32, u32)> = Vec::new();
+    let flush = |out: &mut Vec<Op>, run: &mut Vec<(u32, u32)>| match run.len() {
+        0 => {}
+        1 => {
+            let (reg, src) = run.pop().unwrap();
+            out.push(Op::RegisterShift { reg, src });
+        }
+        _ => out.push(Op::RegisterShiftN { moves: std::mem::take(run).into() }),
+    };
+    for op in ops {
+        if let Op::RegisterShift { reg, src } = op {
+            run.push((reg, src));
+        } else {
+            flush(&mut out, &mut run);
+            out.push(op);
+        }
+    }
+    flush(&mut out, &mut run);
+    out
+}
+
+/// Could the expression evaluate to a *ubiquitous* (context-clocked
+/// constant) result?
+fn maybe_ubiquitous(e: &CExpr) -> bool {
+    match e {
+        CExpr::Var(_) => false,
+        CExpr::Const(_) => true,
+        CExpr::Pre { body, .. } => maybe_ubiquitous(body),
+        CExpr::When { body, cond } => maybe_ubiquitous(body) && maybe_ubiquitous(cond),
+        CExpr::Default { left, right } => maybe_ubiquitous(left) || maybe_ubiquitous(right),
+        CExpr::Binary { left, right, .. } => maybe_ubiquitous(left) && maybe_ubiquitous(right),
+        CExpr::Unary { arg, .. } => maybe_ubiquitous(arg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // slots: 0 = input a (int), 1 = output x (int)
+    fn two_sig_input() -> (Vec<bool>, Vec<ValueType>, Vec<Vec<usize>>) {
+        (vec![true, false], vec![ValueType::Int, ValueType::Int], vec![vec![0, 1]])
+    }
+
+    #[test]
+    fn direct_equation_lowers_without_witness() {
+        let (is_input, types, groups) = two_sig_input();
+        let equations = vec![(1usize, CExpr::Var(0))];
+        let cc = lower(&LowerInput {
+            signal_count: 2,
+            is_input: &is_input,
+            types: &types,
+            equations: &equations,
+            groups: &groups,
+            subset_edges: &BTreeSet::new(),
+        })
+        .expect("x := a lowers");
+        // EvalClock for the shared group, then a clocked guarded copy
+        assert!(matches!(cc.ops[0], Op::EvalClock { .. }));
+        assert!(cc
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Mov { m: Mode::GuardAtClock, dst: 1, src: 0 })));
+        assert!(cc.reg_ops.is_empty());
+        assert_eq!(cc.input_slots.as_ref(), &[0]);
+        assert_eq!(cc.input_types.as_ref(), &[ValueType::Int]);
+    }
+
+    #[test]
+    fn self_feedback_gets_a_structural_clock() {
+        // n := (pre 0 n) + (1 when tick); groups: {tick}, {n} (no shared
+        // input group, so the `1 when tick` branch must witness n's clock)
+        let equations = vec![(
+            1usize,
+            CExpr::Binary {
+                op: polysig_lang::Binop::Add,
+                left: Box::new(CExpr::Pre { reg: 0, body: Box::new(CExpr::Var(1)) }),
+                right: Box::new(CExpr::When {
+                    body: Box::new(CExpr::Const(Value::Int(1))),
+                    cond: Box::new(CExpr::Var(0)),
+                }),
+            },
+        )];
+        let cc = lower(&LowerInput {
+            signal_count: 2,
+            is_input: &[true, false],
+            types: &[ValueType::Bool, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1]],
+            subset_edges: &BTreeSet::new(),
+        })
+        .expect("accumulator lowers via a structural clock");
+        assert!(cc.ops.iter().any(|o| matches!(o, Op::SetClockFrom { dst: 1, .. })));
+        assert!(cc.reg_ops.iter().any(|o| matches!(o, Op::RegisterShift { reg: 0, .. })));
+        // the interned constant slot is preloaded as ubiquitous
+        assert!(cc.init_slots.iter().any(|f| matches!(f, Flow::Ubiquitous(Value::Int(1)))));
+    }
+
+    #[test]
+    fn free_clock_fails_to_lower() {
+        // s := set default (pre 0 s): s's clock is not derivable from
+        // decided signals (slot 0 = input set, slot 1 = s, own group)
+        let equations = vec![(
+            1usize,
+            CExpr::Default {
+                left: Box::new(CExpr::Var(0)),
+                right: Box::new(CExpr::Pre { reg: 0, body: Box::new(CExpr::Var(1)) }),
+            },
+        )];
+        assert!(lower(&LowerInput {
+            signal_count: 2,
+            is_input: &[true, false],
+            types: &[ValueType::Int, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1]],
+            subset_edges: &BTreeSet::new(),
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn double_definition_fails_to_lower() {
+        let (is_input, types, groups) = two_sig_input();
+        let equations = vec![(1usize, CExpr::Var(0)), (1usize, CExpr::Var(0))];
+        assert!(lower(&LowerInput {
+            signal_count: 2,
+            is_input: &is_input,
+            types: &types,
+            equations: &equations,
+            groups: &groups,
+            subset_edges: &BTreeSet::new(),
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn bare_constant_equation_fails_without_an_anchor() {
+        // x := 5 with x in its own inputless group: nothing anchors the
+        // constant's clock
+        let equations = vec![(1usize, CExpr::Const(Value::Int(5)))];
+        assert!(lower(&LowerInput {
+            signal_count: 2,
+            is_input: &[true, false],
+            types: &[ValueType::Int, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1]],
+            subset_edges: &BTreeSet::new(),
+        })
+        .is_none());
+        // but with x sharing the input's group, the fold anchors it
+        let (is_input, types, groups) = two_sig_input();
+        assert!(lower(&LowerInput {
+            signal_count: 2,
+            is_input: &is_input,
+            types: &types,
+            equations: &equations,
+            groups: &groups,
+            subset_edges: &BTreeSet::new(),
+        })
+        .is_some());
+    }
+
+    #[test]
+    fn undefined_non_input_fails_to_lower() {
+        // slot 2 is a local no equation ever defines: the interpreter
+        // would report UndeterminedClock, so no static schedule exists
+        let equations = vec![(1usize, CExpr::Var(0))];
+        assert!(lower(&LowerInput {
+            signal_count: 3,
+            is_input: &[true, false, false],
+            types: &[ValueType::Int, ValueType::Int, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0, 1, 2]],
+            subset_edges: &BTreeSet::new(),
+        })
+        .is_none());
+    }
+}

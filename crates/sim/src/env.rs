@@ -24,12 +24,15 @@ use polysig_tagged::{SigId, Value};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DenseEnv {
     slots: Vec<Option<Value>>,
+    /// Cached number of present slots (maintained by every mutation, so
+    /// [`DenseEnv::present_count`] is O(1) on the hot path).
+    present: usize,
 }
 
 impl DenseEnv {
     /// An environment with `len` empty slots.
     pub fn new(len: usize) -> Self {
-        DenseEnv { slots: vec![None; len] }
+        DenseEnv { slots: vec![None; len], present: 0 }
     }
 
     /// Number of slots (the interner's signal count, not the present count).
@@ -46,6 +49,7 @@ impl DenseEnv {
     pub fn reset(&mut self, len: usize) {
         self.slots.clear();
         self.slots.resize(len, None);
+        self.present = 0;
     }
 
     /// Marks `id` present with `value`.
@@ -55,7 +59,9 @@ impl DenseEnv {
     /// Panics when `id` is out of range for this environment.
     #[inline]
     pub fn set(&mut self, id: SigId, value: Value) {
-        self.slots[id.index()] = Some(value);
+        if self.slots[id.index()].replace(value).is_none() {
+            self.present += 1;
+        }
     }
 
     /// Marks `id` absent.
@@ -65,7 +71,9 @@ impl DenseEnv {
     /// Panics when `id` is out of range for this environment.
     #[inline]
     pub fn unset(&mut self, id: SigId) {
-        self.slots[id.index()] = None;
+        if self.slots[id.index()].take().is_some() {
+            self.present -= 1;
+        }
     }
 
     /// The value at `id`, or `None` when absent (out-of-range ids are
@@ -82,9 +90,10 @@ impl DenseEnv {
         self.get(id).is_some()
     }
 
-    /// Number of present signals.
+    /// Number of present signals (O(1): the count is maintained by every
+    /// mutation).
     pub fn present_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.present
     }
 
     /// Iterates the present `(id, value)` pairs in id order.
@@ -141,6 +150,22 @@ mod tests {
         let env = DenseEnv::new(1);
         assert_eq!(env.get(SigId(9)), None);
         assert!(!env.is_present(SigId(9)));
+    }
+
+    #[test]
+    fn present_count_survives_every_mutation() {
+        let mut env = DenseEnv::new(3);
+        env.set(SigId(0), Value::Int(1));
+        env.set(SigId(0), Value::Int(2)); // overwrite: still one present
+        assert_eq!(env.present_count(), 1);
+        env.unset(SigId(1)); // already absent: no underflow
+        assert_eq!(env.present_count(), 1);
+        env.unset(SigId(0));
+        assert_eq!(env.present_count(), 0);
+        env.set(SigId(2), Value::Int(3));
+        assert_eq!(env.present_count(), 1);
+        env.reset(2);
+        assert_eq!(env.present_count(), 0);
     }
 
     #[test]

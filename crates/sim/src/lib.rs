@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 pub mod engine;
 pub mod env;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod generator;
 pub mod ir;
 pub mod reactor;
 pub mod scenario;
+mod schedule;
 pub mod status;
 
 pub use engine::{Run, SimCheckpoint, Simulator};

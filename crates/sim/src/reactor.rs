@@ -18,14 +18,17 @@
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use polysig_lang::clock::analyze_component;
 use polysig_lang::{Binop, Component, Program, Statement, Unop};
 use polysig_tagged::{Interner, SigId, SigName, Value, ValueType};
 
+use crate::compile::{lower, LowerInput};
 use crate::env::DenseEnv;
 use crate::error::SimError;
 use crate::ir::{compile, CExpr};
+use crate::schedule::{CompiledComponent, Flow};
 use crate::status::Status;
 
 /// Result of evaluating an expression, extended with "present but value not
@@ -56,9 +59,51 @@ impl Ev {
 struct Scratch {
     status: Vec<Status>,
     updates: Vec<(usize, Value)>,
+    /// Next-reaction register file for the compiled executor (swapped in
+    /// on success, discarded on a bail).
+    new_regs: Vec<Value>,
     /// `eq_done[i]` = equation `i`'s result is final for this reaction;
     /// later fixpoint passes skip it.
     eq_done: Vec<bool>,
+    /// Slot array for the compiled executor (sized and re-seeded by
+    /// `CompiledComponent::execute`; persists across reactions).
+    slots: Vec<Flow>,
+}
+
+/// How a reaction executes: through the lowered static schedule, or through
+/// the constructive fixpoint interpreter. Chosen once at build time.
+#[derive(Debug, Clone)]
+enum ExecPlan {
+    /// Straight-line guarded bytecode with zero fixpoint passes; any
+    /// runtime anomaly bails to the interpreter for this one reaction.
+    Compiled(Arc<CompiledComponent>),
+    /// The constructive fixpoint.
+    Interpreted,
+}
+
+/// Build-time choice of execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompileMode {
+    /// Compile when a static schedule exists, unless `POLYSIG_COMPILE`
+    /// turns compilation off.
+    Auto,
+    /// Never compile (forced interpretation).
+    Never,
+    /// Compile when a static schedule exists, ignoring the environment
+    /// override.
+    Always,
+}
+
+/// `true` unless the `POLYSIG_COMPILE` environment variable disables
+/// compilation (read per [`Reactor`] build, so tests and CI can toggle it).
+fn compile_enabled() -> bool {
+    compile_enabled_from(std::env::var("POLYSIG_COMPILE").ok().as_deref())
+}
+
+/// Pure core of the `POLYSIG_COMPILE` switch: `off`, `0` and `false`
+/// disable compilation; anything else — including unset — enables it.
+fn compile_enabled_from(value: Option<&str>) -> bool {
+    !matches!(value, Some("off" | "0" | "false"))
 }
 
 /// A captured execution state of a [`Reactor`]: the `pre` register file
@@ -114,6 +159,9 @@ pub struct Reactor {
     prop_groups: Vec<usize>,
     /// `(sub, sup)` group pairs: sub's clock ⊆ sup's clock.
     subset_edges: BTreeSet<(usize, usize)>,
+    /// Build-time execution plan: a lowered static schedule when the clock
+    /// analysis yields a total order, the interpreter otherwise.
+    plan: ExecPlan,
     registers: Vec<Value>,
     initial_registers: Vec<Value>,
     step: usize,
@@ -146,18 +194,43 @@ impl Reactor {
     ///
     /// Returns resolution or type errors from the language passes.
     pub fn for_program(p: &Program) -> Result<Reactor, SimError> {
-        Reactor::build(p, true)
+        Reactor::build(p, true, CompileMode::Auto)
+    }
+
+    /// Like [`Reactor::for_program`] but always interprets, even when a
+    /// static schedule exists — the reference side of the
+    /// compiled/interpreted differential oracles, and the behavior every
+    /// reactor gets under `POLYSIG_COMPILE=off`.
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution or type errors from the language passes.
+    pub fn for_program_interpreted(p: &Program) -> Result<Reactor, SimError> {
+        Reactor::build(p, true, CompileMode::Never)
+    }
+
+    /// Like [`Reactor::for_program`] but attempts to lower a static
+    /// schedule regardless of the `POLYSIG_COMPILE` override; when no
+    /// schedule exists the reactor silently falls back to the interpreter
+    /// (check [`Reactor::is_compiled`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution or type errors from the language passes.
+    pub fn for_program_compiled(p: &Program) -> Result<Reactor, SimError> {
+        Reactor::build(p, true, CompileMode::Always)
     }
 
     /// Like [`Reactor::for_program`] but *without* the static equation
     /// scheduling — the naive fixpoint evaluates equations in declaration
     /// order and needs more passes to converge. Exists for the
-    /// `sim_scheduling` ablation; behavior is identical.
+    /// `sim_scheduling` ablation; behavior is identical. Never compiled
+    /// (the lowering requires the schedule).
     pub fn for_program_unscheduled(p: &Program) -> Result<Reactor, SimError> {
-        Reactor::build(p, false)
+        Reactor::build(p, false, CompileMode::Never)
     }
 
-    fn build(p: &Program, schedule: bool) -> Result<Reactor, SimError> {
+    fn build(p: &Program, schedule: bool, mode: CompileMode) -> Result<Reactor, SimError> {
         let disambiguated = disambiguate_locals(p);
         let p: &Program = &disambiguated;
         polysig_lang::resolve::resolve_program(p)?;
@@ -269,9 +342,33 @@ impl Reactor {
         // its instantaneous dependencies lets most reactions converge in a
         // single fixpoint pass (the classic Signal compilation step; the
         // `sim_scheduling` ablation bench measures the win)
-        let equations =
-            if schedule { schedule_equations(equations, p, &interner) } else { equations };
+        let (equations, acyclic) =
+            if schedule { schedule_equations(equations, p, &interner) } else { (equations, false) };
         let eq_has_pre: Vec<bool> = equations.iter().map(|(_, rhs)| rhs.has_pre()).collect();
+
+        // lower a static schedule when the clock analysis plus the acyclic
+        // equation order admit one; failure is never an error — the
+        // interpreter remains the (equivalent) fallback
+        let want_compile = match mode {
+            CompileMode::Never => false,
+            CompileMode::Always => true,
+            CompileMode::Auto => compile_enabled(),
+        };
+        let plan = if want_compile && acyclic {
+            match lower(&LowerInput {
+                signal_count: interner.len(),
+                is_input: &is_input,
+                types: &types,
+                equations: &equations,
+                groups: &groups,
+                subset_edges: &subset_edges,
+            }) {
+                Some(cc) => ExecPlan::Compiled(Arc::new(cc)),
+                None => ExecPlan::Interpreted,
+            }
+        } else {
+            ExecPlan::Interpreted
+        };
 
         let n = interner.len();
         Ok(Reactor {
@@ -285,6 +382,7 @@ impl Reactor {
             groups,
             prop_groups,
             subset_edges,
+            plan,
             initial_registers: registers.clone(),
             registers,
             step: 0,
@@ -298,15 +396,38 @@ impl Reactor {
 
     /// Cumulative number of fixpoint passes executed since the last reset —
     /// `passes / steps_taken` is the average convergence cost per reaction.
+    /// A reaction executed by the compiled static schedule counts as
+    /// exactly one pass (it runs linearly, with no fixpoint); a compiled
+    /// attempt that bails contributes only the interpreter re-run's passes.
     pub fn passes(&self) -> usize {
         self.passes
     }
 
-    /// Cumulative number of equation right-hand-side evaluations since the
-    /// last reset (decided equations are skipped, so this undershoots
-    /// `passes * equation_count`).
+    /// Cumulative work counter since the last reset. Under interpretation
+    /// this counts equation right-hand-side evaluations (decided equations
+    /// are skipped, so it undershoots `passes * equation_count`); under the
+    /// compiled plan it counts **bytecode ops executed** instead — a
+    /// deliberate unit change, since ops are the compiled path's unit of
+    /// work. A bailed compiled attempt contributes both its ops and the
+    /// interpreter re-run's evaluations.
     pub fn evals(&self) -> usize {
         self.evals
+    }
+
+    /// `true` when reactions dispatch through a compiled static schedule
+    /// (individual reactions may still bail to the interpreter; results
+    /// are identical either way).
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.plan, ExecPlan::Compiled(_))
+    }
+
+    /// Total op count of the compiled static schedule, when one exists —
+    /// the `polysig-lint` schedule-existence note reports this.
+    pub fn compiled_op_count(&self) -> Option<usize> {
+        match &self.plan {
+            ExecPlan::Compiled(cc) => Some(cc.op_count()),
+            ExecPlan::Interpreted => None,
+        }
     }
 
     /// The signal-name table; ids are dense indices in declaration order.
@@ -419,13 +540,48 @@ impl Reactor {
     /// A steady-state call performs no heap allocation; signal names are
     /// only materialized when constructing an error.
     ///
+    /// When a static schedule was lowered at build time (see
+    /// [`Reactor::is_compiled`]) the reaction executes it linearly with no
+    /// fixpoint passes, bailing to the interpreter on any anomaly —
+    /// outputs, registers and error strings are bit-identical either way.
+    ///
     /// # Errors
     ///
     /// See [`SimError`]: non-input driven, type mismatch, undetermined
     /// clocks, contradictions.
     pub fn react_dense(&mut self, inputs: &DenseEnv) -> Result<&DenseEnv, SimError> {
+        // Compiled fast path, straight off the fields (no scratch
+        // juggling): `Ok` is definitive and commits below; `Err` means the
+        // executor bailed — nothing was committed, and the interpreter
+        // re-runs from the identical pre-reaction state. Bailed ops still
+        // count toward `evals` (the re-run adds its own).
+        if let ExecPlan::Compiled(cc) = &self.plan {
+            let run = cc.execute(
+                &self.registers,
+                inputs,
+                &mut self.scratch.slots,
+                &mut self.scratch.new_regs,
+            );
+            match run {
+                Ok(ops_run) => {
+                    self.evals += ops_run;
+                    self.passes += 1;
+                    std::mem::swap(&mut self.registers, &mut self.scratch.new_regs);
+                    self.step += 1;
+                    let n = self.interner.len();
+                    self.out_env.reset(n);
+                    for (i, f) in self.scratch.slots[..n].iter().enumerate() {
+                        if let Flow::Present(v) = f {
+                            self.out_env.set(SigId(i as u32), *v);
+                        }
+                    }
+                    return Ok(&self.out_env);
+                }
+                Err(ops_run) => self.evals += ops_run,
+            }
+        }
         let mut scratch = std::mem::take(&mut self.scratch);
-        let result = self.react_core(inputs, &mut scratch);
+        let result = self.react_interpreted(inputs, &mut scratch);
         self.scratch = scratch;
         result.map(|()| &self.out_env)
     }
@@ -467,17 +623,15 @@ impl Reactor {
         Ok(self.out_env.iter().map(|(id, v)| (self.interner.name(id).clone(), v)).collect())
     }
 
-    /// The body of a reaction; `scratch` is taken out of `self` so the
-    /// fixpoint below can borrow `self` immutably while mutating statuses.
-    fn react_core(&mut self, inputs: &DenseEnv, scratch: &mut Scratch) -> Result<(), SimError> {
-        let step = self.step;
+    /// Seeds the interpreter's per-reaction statuses: present slots drive
+    /// inputs, every other input is absent this instant. The compiled
+    /// executor seeds its own slots and *bails* on the anomalies this
+    /// method turns into errors, so the errors below are raised by exactly
+    /// one path either way.
+    fn seed_inputs(&self, inputs: &DenseEnv, status: &mut Vec<Status>) -> Result<(), SimError> {
         let n = self.interner.len();
-        let status = &mut scratch.status;
         status.clear();
         status.resize(n, Status::Unknown);
-
-        // seed inputs: present slots drive inputs, every other input is
-        // absent this instant
         for (i, slot) in status.iter_mut().enumerate() {
             match inputs.get(SigId(i as u32)) {
                 Some(value) => {
@@ -500,6 +654,20 @@ impl Reactor {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// The constructive fixpoint; `scratch` is taken out of `self` so the
+    /// loop below can borrow `self` immutably while mutating statuses.
+    fn react_interpreted(
+        &mut self,
+        inputs: &DenseEnv,
+        scratch: &mut Scratch,
+    ) -> Result<(), SimError> {
+        let step = self.step;
+        let n = self.interner.len();
+        self.seed_inputs(inputs, &mut scratch.status)?;
+        let status = &mut scratch.status;
 
         // seed clock propagation: with the inputs decided, the sync groups
         // (and subset edges) already fix the presence of most derived
@@ -819,7 +987,7 @@ fn schedule_equations(
     equations: Vec<(usize, CExpr)>,
     p: &Program,
     interner: &Interner,
-) -> Vec<(usize, CExpr)> {
+) -> (Vec<(usize, CExpr)>, bool) {
     use std::collections::BTreeSet;
     let n = interner.len();
     let idx = |n: &SigName| interner.lookup(n).expect("resolved name is declared").index();
@@ -866,12 +1034,13 @@ fn schedule_equations(
         }
     }
     if queue.len() < is_defined.iter().filter(|&&d| d).count() {
-        // cycle: keep the original order
-        return equations;
+        // cycle: keep the original order (and report it, so no static
+        // schedule is lowered over a cyclic order)
+        return (equations, false);
     }
     let mut scheduled = equations;
     scheduled.sort_by_key(|(lhs, _)| rank[*lhs]);
-    scheduled
+    (scheduled, true)
 }
 
 /// Renames component locals whose names collide with declarations in other
@@ -1139,6 +1308,117 @@ mod tests {
             assert_eq!(named, rendered);
         }
         assert_eq!(by_name.registers(), by_id.registers());
+    }
+
+    #[test]
+    fn endochronous_programs_get_a_compiled_plan() {
+        // the fig2 one-place buffer: every clock is rooted in the inputs
+        let src = "process OnePlaceBuffer {
+            input msgin: int, rd: bool, tick: bool;
+            output msgout: int, full: bool;
+            local inw: bool, rdw: bool, fullprev: bool, data: int;
+            sync tick, full, data;
+            inw := (^msgin) default (false when tick);
+            rdw := (rd when rd) default (false when tick);
+            fullprev := (pre false full) when tick;
+            msgout := (pre 0 data) when (rdw and fullprev);
+            full := (fullprev and (not rdw)) or inw;
+            data := (msgin when inw) default ((pre 0 data) when tick);
+        }";
+        let r = Reactor::for_program_compiled(&parse_program(src).unwrap()).unwrap();
+        assert!(r.is_compiled());
+        assert!(r.compiled_op_count().unwrap() > 0);
+    }
+
+    #[test]
+    fn free_clock_program_falls_back_to_the_interpreter() {
+        // s's clock is not derivable from the inputs: lowering must fail
+        // gracefully (no error) and leave the interpreter in charge
+        let src = "process P { input set: int; output s: int; s := set default (pre 0 s); }";
+        let mut r = Reactor::for_program_compiled(&parse_program(src).unwrap()).unwrap();
+        assert!(!r.is_compiled());
+        assert_eq!(r.compiled_op_count(), None);
+        // and execution still behaves exactly like the plain reactor
+        let out = r.react(&present(&[("set", Value::Int(3))])).unwrap();
+        assert!(out.iter().any(|(n, v)| n.as_str() == "s" && *v == Value::Int(3)));
+    }
+
+    #[test]
+    fn forced_interpretation_never_compiles() {
+        let src =
+            "process Acc { input tick: bool; output n: int; n := (pre 0 n) + (1 when tick); }";
+        let p = parse_program(src).unwrap();
+        assert!(Reactor::for_program_compiled(&p).unwrap().is_compiled());
+        assert!(!Reactor::for_program_interpreted(&p).unwrap().is_compiled());
+        assert!(!Reactor::for_program_unscheduled(&p).unwrap().is_compiled());
+    }
+
+    #[test]
+    fn compile_env_switch_values() {
+        assert!(compile_enabled_from(None));
+        assert!(compile_enabled_from(Some("on")));
+        assert!(compile_enabled_from(Some("")));
+        assert!(!compile_enabled_from(Some("off")));
+        assert!(!compile_enabled_from(Some("0")));
+        assert!(!compile_enabled_from(Some("false")));
+    }
+
+    #[test]
+    fn compiled_and_interpreted_agree_instant_by_instant() {
+        let src = "process Mix {
+            input tick: bool, set: int;
+            output s: int, parity: bool;
+            s := set default (pre 0 s);
+            s ^= tick;
+            parity := (pre false parity) /= (true when tick);
+        }";
+        let p = parse_program(src).unwrap();
+        let mut compiled = Reactor::for_program_compiled(&p).unwrap();
+        let mut interp = Reactor::for_program_interpreted(&p).unwrap();
+        assert!(compiled.is_compiled());
+        for instant in 0..12 {
+            let mut inputs = Vec::new();
+            if instant % 3 != 2 {
+                inputs.push(("tick", Value::TRUE));
+            }
+            if instant % 4 == 1 && instant % 3 != 2 {
+                inputs.push(("set", Value::Int(instant)));
+            }
+            let env = present(&inputs);
+            assert_eq!(compiled.react(&env).unwrap(), interp.react(&env).unwrap());
+            assert_eq!(compiled.registers(), interp.registers());
+            assert_eq!(compiled.snapshot(), interp.snapshot());
+        }
+        // one compiled reaction = one pass, with ops (not rhs evals) as
+        // the work unit
+        assert_eq!(compiled.passes(), 12);
+        assert!(compiled.evals() > 0);
+    }
+
+    #[test]
+    fn compiled_plan_reproduces_interpreter_errors_exactly() {
+        // a + b with b absent: the executor bails and the interpreter
+        // re-run raises the identical error
+        let src = "process P { input a: int, b: int; output x: int; x := a + b; }";
+        let p = parse_program(src).unwrap();
+        let mut compiled = Reactor::for_program_compiled(&p).unwrap();
+        let mut interp = Reactor::for_program_interpreted(&p).unwrap();
+        assert!(compiled.is_compiled());
+        let env = present(&[("a", Value::Int(1))]);
+        let ce = compiled.react(&env).unwrap_err();
+        let ie = interp.react(&env).unwrap_err();
+        assert_eq!(ce.to_string(), ie.to_string());
+        // scenario errors too (shared seeding)
+        let env = present(&[("x", Value::Int(1))]);
+        assert_eq!(
+            compiled.react(&env).unwrap_err().to_string(),
+            interp.react(&env).unwrap_err().to_string()
+        );
+        let env = present(&[("a", Value::TRUE)]);
+        assert_eq!(
+            compiled.react(&env).unwrap_err().to_string(),
+            interp.react(&env).unwrap_err().to_string()
+        );
     }
 
     #[test]

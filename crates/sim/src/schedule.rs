@@ -1,0 +1,668 @@
+//! The compiled static schedule: flat three-address code over dense value
+//! slots, and the linear executor that runs it with **zero fixpoint passes**.
+//!
+//! A [`CompiledComponent`] is produced by `compile::lower` for reaction
+//! systems whose clock analysis yields a total evaluation order (the
+//! endochronous case of the paper's Theorem 1 — see DESIGN.md §12). The
+//! executor walks the op list once per reaction; every operand and result
+//! lives in a flat slot array (signal slots first, then interned constants
+//! and expression temporaries), so there is no operand stack and no
+//! per-reaction clearing: the lowering guarantees statically that every
+//! slot is written before it is read and that every signal slot ends the
+//! reaction *decided* (absent or present-valued).
+//!
+//! The slot domain mirrors the interpreter's evaluation lattice *minus*
+//! `Unknown`: a compiled schedule decides every operand before it is read,
+//! so an anomaly is not an error but a *bail* — the executor aborts, the
+//! reaction's scratch state is discarded, and the caller re-runs the
+//! interpreter from the identical pre-reaction state. Bailing is always
+//! safe (it only costs time), which lets the executor treat every anomaly
+//! — contradictory assignments, clock mismatches, runtime type errors,
+//! ill-typed or misdirected inputs, non-uniform clock groups — the same
+//! way and keeps error strings bit-identical to the interpreter by
+//! construction.
+
+use polysig_lang::{Binop, Unop};
+use polysig_tagged::{SigId, Value, ValueType};
+
+use crate::env::DenseEnv;
+
+/// A slot's value during a reaction: the interpreter's evaluation lattice
+/// without `Unknown` (the lowering proves reads never see an undecided
+/// slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// The expression produces no event this reaction.
+    Absent,
+    /// Present, value not yet determined (only transient: a clock-decided
+    /// signal before its own equation ran).
+    Unvalued,
+    /// Present with this value.
+    Present(Value),
+    /// A constant: present whenever the context demands, with this value.
+    Ubiquitous(Value),
+}
+
+impl Flow {
+    #[inline(always)]
+    fn is_present(self) -> bool {
+        matches!(self, Flow::Unvalued | Flow::Present(_))
+    }
+}
+
+/// Where an op's result goes. A non-`Temp` mode *is* the fused
+/// `GuardedAssign`: it commits the final value of a signal's defining
+/// equation, bailing unless the result leaves the slot decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Raw store into an expression temporary.
+    Temp,
+    /// Assign a signal whose presence is *not* pre-decided: the result
+    /// itself must be decided (absent or present-valued).
+    Guard,
+    /// Assign a signal whose presence was decided by [`Op::EvalClock`] or
+    /// [`Op::SetClockFrom`]: the result's presence must agree (the
+    /// interpreter's join), and a ubiquitous result adapts to that clock.
+    GuardAtClock,
+}
+
+/// One three-address operation of a compiled schedule. Slot indices cover
+/// signals, interned constants and temporaries alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Decide the presence of a clock group from its external inputs: if
+    /// the (non-empty, presence-uniform) `fold` slots are present, each
+    /// slot in `members` becomes unvalued-present, otherwise absent; a
+    /// fold whose inputs disagree bails (the group is non-uniform — the
+    /// interpreter raises the contradiction). Mirrors the interpreter's
+    /// first clock-propagation sweep, where only the seeded inputs are
+    /// decided. Members assigned later can only keep this presence (their
+    /// clocked guards bail otherwise), so an `EvalClock`ed group needs no
+    /// epilogue uniformity check.
+    EvalClock {
+        /// The group's external inputs (decided at seed time; never
+        /// empty).
+        fold: Box<[u32]>,
+        /// The group's non-input members (undecided before this op).
+        members: Box<[u32]>,
+    },
+    /// Set `dst`'s presence from the witness in `src`: present makes `dst`
+    /// unvalued-present, absent makes it absent, ubiquitous bails. Used
+    /// when a signal's clock is derived from a sub-expression of its own
+    /// right-hand side (e.g. the `1 when tick` branch of an accumulator).
+    SetClockFrom {
+        /// The defined signal's slot.
+        dst: u32,
+        /// The witness expression's slot.
+        src: u32,
+    },
+    /// `dst := src` (plain copy / constant reference).
+    Mov {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// Source slot.
+        src: u32,
+    },
+    /// `dst := pre(body)`: the register's value at the body's clock
+    /// (ubiquitous bodies stay ubiquitous, mirroring the interpreter).
+    Pre {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// Index into the reactor's register file.
+        reg: u32,
+        /// The delayed body's slot (decides the clock).
+        body: u32,
+    },
+    /// `dst := (pre body) when cond`, fused: the delayed value is sampled
+    /// without a round-trip through a temporary (the dominant pattern in
+    /// clocked state machines, e.g. `(pre false full) when tick`).
+    PreWhen {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// Index into the reactor's register file.
+        reg: u32,
+        /// The delayed body's slot (decides the delay's clock).
+        body: u32,
+        /// Condition slot.
+        cond: u32,
+    },
+    /// `dst := (op arg) when cond`, fused pointwise-then-sample.
+    UnaryWhen {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// The operator.
+        op: Unop,
+        /// Operand slot.
+        arg: u32,
+        /// Condition slot.
+        cond: u32,
+    },
+    /// `dst := (left op right) when cond`, fused synchronous-then-sample.
+    BinaryWhen {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// The operator.
+        op: Binop,
+        /// Left operand slot.
+        left: u32,
+        /// Right operand slot.
+        right: u32,
+        /// Condition slot.
+        cond: u32,
+    },
+    /// `dst := body when cond`. Transcribes the interpreter's sampling
+    /// rules (absent body wins over a non-bool condition; an unvalued
+    /// condition bails).
+    When {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// Sampled body slot.
+        body: u32,
+        /// Condition slot.
+        cond: u32,
+    },
+    /// `dst := left default (konst when cond)`, fused: the clocked-
+    /// constant fallback idiom (e.g. `... default (false when tick)`)
+    /// without a temporary for the sampled constant.
+    DefaultConstAt {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Preferred operand slot.
+        left: u32,
+        /// Destination slot.
+        dst: u32,
+        /// The fallback constant's (ubiquitous) slot.
+        konst: u32,
+        /// Condition slot.
+        cond: u32,
+    },
+    /// `dst := left default right` (left wins when present).
+    DefaultMerge {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// Preferred operand slot.
+        left: u32,
+        /// Fallback operand slot.
+        right: u32,
+    },
+    /// `dst := op(arg)` pointwise.
+    Unary {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// The operator.
+        op: Unop,
+        /// Operand slot.
+        arg: u32,
+    },
+    /// `dst := left op right`, synchronous pointwise. A present/absent
+    /// operand mix is a clock mismatch: bail (the interpreter re-run
+    /// raises the error).
+    Binary {
+        /// Result destination and guarding.
+        m: Mode,
+        /// Destination slot.
+        dst: u32,
+        /// The operator.
+        op: Binop,
+        /// Left operand slot.
+        left: u32,
+        /// Right operand slot.
+        right: u32,
+    },
+    /// Commit `register := slots[src]` into the next-reaction register
+    /// file when the re-evaluated `pre` body is present-valued (ubiquitous
+    /// bodies never advance a register, exactly like the interpreter's
+    /// update walk).
+    RegisterShift {
+        /// Index into the reactor's register file.
+        reg: u32,
+        /// The re-evaluated body's slot.
+        src: u32,
+    },
+    /// Several [`Op::RegisterShift`]s in one dispatch (the common trailing
+    /// run of a schedule's register updates).
+    RegisterShiftN {
+        /// `(reg, src)` pairs, applied in order.
+        moves: Box<[(u32, u32)]>,
+    },
+}
+
+/// A lowered reaction system: straight-line guarded three-address code
+/// executed once per reaction, with no fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CompiledComponent {
+    /// Clock-deciding and equation ops, in static schedule order.
+    pub ops: Vec<Op>,
+    /// Register-update ops, run after the consistency epilogue.
+    pub reg_ops: Vec<Op>,
+    /// Initial slot image: signal and temporary slots (overwritten before
+    /// every read), then interned constants (never written).
+    pub init_slots: Box<[Flow]>,
+    /// Slots of the external inputs, in id order.
+    pub input_slots: Box<[u32]>,
+    /// Declared types of the inputs, aligned with `input_slots`.
+    pub input_types: Box<[ValueType]>,
+    /// Number of signal slots (a prefix of the slot array).
+    pub signal_count: u32,
+    /// Multi-member clock groups whose uniformity [`Op::EvalClock`] does
+    /// not already guarantee, checked in the epilogue.
+    pub check_groups: Box<[Box<[u32]>]>,
+    /// Clock subset constraints as `(sub, sup)` representative slots:
+    /// sub present ⇒ sup present, checked in the epilogue.
+    pub check_edges: Box<[(u32, u32)]>,
+}
+
+impl CompiledComponent {
+    /// Total op count (the lint's "schedule length" metric).
+    pub fn op_count(&self) -> usize {
+        self.ops.len() + self.reg_ops.len()
+    }
+
+    /// Executes one reaction: seeds the inputs from `inputs`, runs the
+    /// schedule, checks group consistency, then computes the register
+    /// updates.
+    ///
+    /// On success returns `Ok(ops_executed)` with every signal slot
+    /// decided and `new_regs` holding the full next-reaction register file
+    /// (swap it in to commit). On a bail returns `Err(ops_executed)`: the
+    /// caller must discard `slots` and `new_regs` and re-run the
+    /// interpreter — no reactor state has been touched. Scenario anomalies
+    /// (a driven non-input, an ill-typed input) bail rather than erroring,
+    /// so the interpreter raises the identical error the name-keyed path
+    /// always produced.
+    pub fn execute(
+        &self,
+        registers: &[Value],
+        inputs: &DenseEnv,
+        slots: &mut Vec<Flow>,
+        new_regs: &mut Vec<Value>,
+    ) -> Result<usize, usize> {
+        new_regs.clear();
+        new_regs.extend_from_slice(registers);
+        if slots.len() != self.init_slots.len() {
+            slots.clear();
+            slots.extend_from_slice(&self.init_slots);
+        }
+        // Seed: decide every input slot. Present slots the loop does not
+        // visit are misdirected (a driven non-input, or an id beyond this
+        // reactor's signals — the interpreter ignores the latter), so any
+        // count mismatch bails.
+        let mut found = 0usize;
+        for (k, &i) in self.input_slots.iter().enumerate() {
+            match inputs.get(SigId(i)) {
+                Some(v) => {
+                    if v.ty() != self.input_types[k] {
+                        return Err(0);
+                    }
+                    found += 1;
+                    slots[i as usize] = Flow::Present(v);
+                }
+                None => slots[i as usize] = Flow::Absent,
+            }
+        }
+        if found != inputs.present_count() {
+            return Err(0);
+        }
+
+        let mut ops_run = 0usize;
+        for op in &self.ops {
+            ops_run += 1;
+            if !step_op(op, registers, slots, new_regs) {
+                return Err(ops_run);
+            }
+        }
+        // Consistency epilogue. Every signal slot is decided by
+        // construction (the lowering rejects systems with undefined
+        // non-inputs, and every guarded store enforces decidedness), each
+        // equation was re-checked against its clock by its guarded store,
+        // and `EvalClock`ed groups are uniform by construction — so if the
+        // remaining group and subset constraints below also hold, the slot
+        // vector is a model of every interpreter rule, and by monotonicity
+        // of the constructive fixpoint the interpreter would converge to
+        // exactly this vector. Committing it is sound.
+        for group in self.check_groups.iter() {
+            let first = slots[group[0] as usize].is_present();
+            if group.iter().any(|&i| slots[i as usize].is_present() != first) {
+                return Err(ops_run);
+            }
+        }
+        for &(sub, sup) in self.check_edges.iter() {
+            if slots[sub as usize].is_present() && !slots[sup as usize].is_present() {
+                return Err(ops_run);
+            }
+        }
+        for op in &self.reg_ops {
+            ops_run += 1;
+            if !step_op(op, registers, slots, new_regs) {
+                return Err(ops_run);
+            }
+        }
+        Ok(ops_run)
+    }
+}
+
+/// Commits an op result according to its mode; `false` means bail.
+#[inline(always)]
+fn store(slots: &mut [Flow], m: Mode, dst: u32, f: Flow) -> bool {
+    match m {
+        Mode::Temp => {
+            slots[dst as usize] = f;
+            true
+        }
+        Mode::Guard => match f {
+            Flow::Absent | Flow::Present(_) => {
+                slots[dst as usize] = f;
+                true
+            }
+            Flow::Unvalued | Flow::Ubiquitous(_) => false,
+        },
+        Mode::GuardAtClock => match (slots[dst as usize], f) {
+            // the pre-decided clock says present: the result must supply
+            // the value (a ubiquitous constant adapts to this clock)
+            (Flow::Unvalued, Flow::Present(v) | Flow::Ubiquitous(v)) => {
+                slots[dst as usize] = Flow::Present(v);
+                true
+            }
+            // the clock says absent: an absent or ubiquitous result agrees
+            (Flow::Absent, Flow::Absent | Flow::Ubiquitous(_)) => true,
+            // presence disagreement: the interpreter raises the
+            // contradiction
+            _ => false,
+        },
+    }
+}
+
+/// The delay's flow: the register's value at the body's clock.
+#[inline(always)]
+fn pre_flow(body: Flow, reg: Value) -> Flow {
+    match body {
+        Flow::Absent => Flow::Absent,
+        Flow::Unvalued | Flow::Present(_) => Flow::Present(reg),
+        Flow::Ubiquitous(_) => Flow::Ubiquitous(reg),
+    }
+}
+
+/// The sampling `body when cond`; `None` bails (non-bool or unvalued
+/// condition — a runtime type error for the interpreter to raise).
+#[inline(always)]
+fn when_flow(b: Flow, c: Flow) -> Option<Flow> {
+    Some(match (b, c) {
+        (Flow::Absent, _) | (_, Flow::Absent) => Flow::Absent,
+        (_, Flow::Present(Value::Bool(false)) | Flow::Ubiquitous(Value::Bool(false))) => {
+            Flow::Absent
+        }
+        (b, Flow::Present(Value::Bool(true))) => match b {
+            // a true condition anchors a constant's clock
+            Flow::Ubiquitous(v) => Flow::Present(v),
+            other => other,
+        },
+        (b, Flow::Ubiquitous(Value::Bool(true))) => b,
+        (_, Flow::Present(_) | Flow::Ubiquitous(_) | Flow::Unvalued) => return None,
+    })
+}
+
+/// The pointwise unary `op arg`; `None` bails (runtime type error or
+/// overflow — for the interpreter to raise).
+#[inline(always)]
+fn unary_flow(op: Unop, a: Flow) -> Option<Flow> {
+    Some(match op {
+        Unop::ClockOf => match a {
+            Flow::Absent => Flow::Absent,
+            Flow::Present(_) | Flow::Unvalued => Flow::Present(Value::TRUE),
+            Flow::Ubiquitous(_) => Flow::Ubiquitous(Value::TRUE),
+        },
+        Unop::Not | Unop::Neg => {
+            let apply = |v: Value| match (op, v) {
+                (Unop::Not, Value::Bool(b)) => Some(Value::Bool(!b)),
+                (Unop::Neg, Value::Int(i)) => i.checked_neg().map(Value::Int),
+                _ => None,
+            };
+            match a {
+                Flow::Present(v) => Flow::Present(apply(v)?),
+                Flow::Ubiquitous(v) => Flow::Ubiquitous(apply(v)?),
+                other => other,
+            }
+        }
+    })
+}
+
+/// The synchronous pointwise `left op right`; `None` bails (a
+/// present/absent operand mix is a clock mismatch — the interpreter
+/// re-run raises the error — and so are runtime type errors).
+#[inline(always)]
+fn binary_flow(op: Binop, l: Flow, r: Flow) -> Option<Flow> {
+    Some(match (l, r) {
+        (Flow::Absent, Flow::Absent) => Flow::Absent,
+        (Flow::Absent, Flow::Ubiquitous(_)) | (Flow::Ubiquitous(_), Flow::Absent) => Flow::Absent,
+        (Flow::Absent, _) | (_, Flow::Absent) => return None,
+        (Flow::Unvalued, _) | (_, Flow::Unvalued) => Flow::Unvalued,
+        (Flow::Present(a), Flow::Present(b) | Flow::Ubiquitous(b))
+        | (Flow::Ubiquitous(a), Flow::Present(b)) => Flow::Present(op.apply(a, b)?),
+        (Flow::Ubiquitous(a), Flow::Ubiquitous(b)) => Flow::Ubiquitous(op.apply(a, b)?),
+    })
+}
+
+/// Executes one op; `false` means bail.
+#[inline(always)]
+fn step_op(op: &Op, registers: &[Value], slots: &mut [Flow], new_regs: &mut [Value]) -> bool {
+    match op {
+        Op::EvalClock { fold, members } => {
+            let present = slots[fold[0] as usize].is_present();
+            if fold.iter().skip(1).any(|&i| slots[i as usize].is_present() != present) {
+                return false;
+            }
+            let d = if present { Flow::Unvalued } else { Flow::Absent };
+            for &m in members.iter() {
+                slots[m as usize] = d;
+            }
+            true
+        }
+        Op::SetClockFrom { dst, src } => match slots[*src as usize] {
+            Flow::Present(_) | Flow::Unvalued => {
+                slots[*dst as usize] = Flow::Unvalued;
+                true
+            }
+            Flow::Absent => {
+                slots[*dst as usize] = Flow::Absent;
+                true
+            }
+            Flow::Ubiquitous(_) => false,
+        },
+        Op::Mov { m, dst, src } => {
+            let f = slots[*src as usize];
+            store(slots, *m, *dst, f)
+        }
+        Op::Pre { m, dst, reg, body } => {
+            let f = pre_flow(slots[*body as usize], registers[*reg as usize]);
+            store(slots, *m, *dst, f)
+        }
+        Op::PreWhen { m, dst, reg, body, cond } => {
+            let b = pre_flow(slots[*body as usize], registers[*reg as usize]);
+            match when_flow(b, slots[*cond as usize]) {
+                Some(f) => store(slots, *m, *dst, f),
+                None => false,
+            }
+        }
+        Op::When { m, dst, body, cond } => {
+            match when_flow(slots[*body as usize], slots[*cond as usize]) {
+                Some(f) => store(slots, *m, *dst, f),
+                None => false,
+            }
+        }
+        Op::DefaultConstAt { m, dst, left, konst, cond } => {
+            // the sampled fallback is evaluated unconditionally, exactly
+            // like the unfused pair (a bad condition bails even when the
+            // preferred operand wins)
+            let w = match when_flow(slots[*konst as usize], slots[*cond as usize]) {
+                Some(f) => f,
+                None => return false,
+            };
+            let f = match slots[*left as usize] {
+                Flow::Absent => w,
+                l => l,
+            };
+            store(slots, *m, *dst, f)
+        }
+        Op::DefaultMerge { m, dst, left, right } => {
+            let f = match slots[*left as usize] {
+                Flow::Absent => slots[*right as usize],
+                l => l,
+            };
+            store(slots, *m, *dst, f)
+        }
+        Op::Unary { m, dst, op, arg } => match unary_flow(*op, slots[*arg as usize]) {
+            Some(f) => store(slots, *m, *dst, f),
+            None => false,
+        },
+        Op::UnaryWhen { m, dst, op, arg, cond } => {
+            let Some(b) = unary_flow(*op, slots[*arg as usize]) else { return false };
+            match when_flow(b, slots[*cond as usize]) {
+                Some(f) => store(slots, *m, *dst, f),
+                None => false,
+            }
+        }
+        Op::Binary { m, dst, op, left, right } => {
+            match binary_flow(*op, slots[*left as usize], slots[*right as usize]) {
+                Some(f) => store(slots, *m, *dst, f),
+                None => false,
+            }
+        }
+        Op::BinaryWhen { m, dst, op, left, right, cond } => {
+            let Some(b) = binary_flow(*op, slots[*left as usize], slots[*right as usize]) else {
+                return false;
+            };
+            match when_flow(b, slots[*cond as usize]) {
+                Some(f) => store(slots, *m, *dst, f),
+                None => false,
+            }
+        }
+        Op::RegisterShift { reg, src } => match slots[*src as usize] {
+            Flow::Present(v) => {
+                new_regs[*reg as usize] = v;
+                true
+            }
+            Flow::Absent | Flow::Ubiquitous(_) => true,
+            Flow::Unvalued => false,
+        },
+        Op::RegisterShiftN { moves } => {
+            for &(reg, src) in moves.iter() {
+                match slots[src as usize] {
+                    Flow::Present(v) => new_regs[reg as usize] = v,
+                    Flow::Absent | Flow::Ubiquitous(_) => {}
+                    Flow::Unvalued => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_clock_folds_absence_over_inputs() {
+        let op = Op::EvalClock { fold: vec![0, 1].into(), members: vec![2].into() };
+
+        let mut slots = vec![Flow::Present(Value::TRUE), Flow::Present(Value::TRUE), Flow::Absent];
+        assert!(step_op(&op, &[], &mut slots, &mut []));
+        assert_eq!(slots[2], Flow::Unvalued);
+
+        let mut slots = vec![Flow::Absent, Flow::Absent, Flow::Unvalued];
+        assert!(step_op(&op, &[], &mut slots, &mut []));
+        assert_eq!(slots[2], Flow::Absent);
+
+        // disagreeing fold inputs: the group cannot be uniform — bail
+        let mut slots = vec![Flow::Present(Value::TRUE), Flow::Absent, Flow::Unvalued];
+        assert!(!step_op(&op, &[], &mut slots, &mut []));
+    }
+
+    #[test]
+    fn guarded_stores_bail_on_contradiction_and_stray_ubiquity() {
+        // fresh guard: an undecided (unvalued / ubiquitous) result cannot
+        // be committed
+        let mut slots = vec![Flow::Absent];
+        assert!(!store(&mut slots, Mode::Guard, 0, Flow::Unvalued));
+        assert!(!store(&mut slots, Mode::Guard, 0, Flow::Ubiquitous(Value::Int(1))));
+        assert!(store(&mut slots, Mode::Guard, 0, Flow::Present(Value::Int(1))));
+        assert_eq!(slots[0], Flow::Present(Value::Int(1)));
+
+        // clocked guard: presence must agree with the pre-decided clock
+        let mut slots = vec![Flow::Absent];
+        assert!(!store(&mut slots, Mode::GuardAtClock, 0, Flow::Present(Value::Int(1))));
+        let mut slots = vec![Flow::Unvalued];
+        assert!(!store(&mut slots, Mode::GuardAtClock, 0, Flow::Absent));
+        // a ubiquitous constant adapts to the clock on both sides
+        let mut slots = vec![Flow::Unvalued];
+        assert!(store(&mut slots, Mode::GuardAtClock, 0, Flow::Ubiquitous(Value::Int(7))));
+        assert_eq!(slots[0], Flow::Present(Value::Int(7)));
+        let mut slots = vec![Flow::Absent];
+        assert!(store(&mut slots, Mode::GuardAtClock, 0, Flow::Ubiquitous(Value::Int(7))));
+        assert_eq!(slots[0], Flow::Absent);
+    }
+
+    #[test]
+    fn register_shift_ignores_ubiquitous_bodies() {
+        let mut regs = vec![Value::Int(0)];
+        let mut slots = vec![Flow::Ubiquitous(Value::Int(9))];
+        assert!(step_op(&Op::RegisterShift { reg: 0, src: 0 }, &[], &mut slots, &mut regs));
+        assert_eq!(regs, vec![Value::Int(0)]);
+        let mut slots = vec![Flow::Present(Value::Int(9))];
+        assert!(step_op(&Op::RegisterShift { reg: 0, src: 0 }, &[], &mut slots, &mut regs));
+        assert_eq!(regs, vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn execute_seeds_inputs_and_bails_on_scenario_anomalies() {
+        // slots: 0 = input a (int), 1 = output x, 2 = const
+        let cc = CompiledComponent {
+            ops: vec![Op::Mov { m: Mode::Guard, dst: 1, src: 0 }],
+            reg_ops: vec![],
+            init_slots: vec![Flow::Absent, Flow::Absent, Flow::Ubiquitous(Value::Int(5))].into(),
+            input_slots: vec![0].into(),
+            input_types: vec![ValueType::Int].into(),
+            signal_count: 2,
+            check_groups: vec![vec![0, 1].into()].into(),
+            check_edges: vec![].into(),
+        };
+        let mut slots = Vec::new();
+        let mut regs = Vec::new();
+
+        let mut env = DenseEnv::new(2);
+        env.set(SigId(0), Value::Int(3));
+        assert_eq!(cc.execute(&[], &env, &mut slots, &mut regs), Ok(1));
+        assert_eq!(slots[1], Flow::Present(Value::Int(3)));
+
+        // ill-typed input: bail before any op runs
+        let mut env = DenseEnv::new(2);
+        env.set(SigId(0), Value::TRUE);
+        assert_eq!(cc.execute(&[], &env, &mut slots, &mut regs), Err(0));
+
+        // a driven non-input: bail (the interpreter raises NotAnInput)
+        let mut env = DenseEnv::new(2);
+        env.set(SigId(1), Value::Int(3));
+        assert_eq!(cc.execute(&[], &env, &mut slots, &mut regs), Err(0));
+
+        // silent instant: x := a is absent, group uniform
+        let env = DenseEnv::new(2);
+        assert_eq!(cc.execute(&[], &env, &mut slots, &mut regs), Ok(1));
+        assert_eq!(slots[1], Flow::Absent);
+    }
+}

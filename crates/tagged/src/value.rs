@@ -30,6 +30,7 @@ impl Value {
     pub const FALSE: Value = Value::Bool(false);
 
     /// Returns the contained boolean, if this is a [`Value::Bool`].
+    #[inline]
     pub fn as_bool(self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(b),
@@ -38,6 +39,7 @@ impl Value {
     }
 
     /// Returns the contained integer, if this is a [`Value::Int`].
+    #[inline]
     pub fn as_int(self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(i),
@@ -46,6 +48,7 @@ impl Value {
     }
 
     /// Returns the runtime type of the value.
+    #[inline]
     pub fn ty(self) -> ValueType {
         match self {
             Value::Bool(_) => ValueType::Bool,

@@ -37,6 +37,29 @@ fn shipped_programs_lint_clean_under_deny_warnings() {
 }
 
 #[test]
+fn shipped_programs_all_get_static_schedule_notes() {
+    for name in ["accumulator.sig", "one_place_buffer.sig", "pipe.sig"] {
+        let report = analyze_file(name);
+        let notes: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.code == LintCode::StaticSchedule).collect();
+        assert_eq!(
+            notes.len(),
+            report.endochrony.len(),
+            "{name}: one PA007 note per component, got {notes:#?}"
+        );
+        for note in notes {
+            assert_eq!(note.level, LintLevel::Allow, "{name}");
+            // every shipped component is endochronous, so each must compile
+            assert!(
+                note.message.contains("static schedule of"),
+                "{name}: endochronous component failed to lower: {}",
+                note.message
+            );
+        }
+    }
+}
+
+#[test]
 fn pipe_channel_is_discovered_with_a_bound_note() {
     let report = analyze_file("pipe.sig");
     assert_eq!(report.channels.len(), 1);
@@ -107,7 +130,7 @@ fn scenario_analysis_upgrades_the_note_on_the_shipped_pipe() {
         .zip_union(&master_clock("tick", steps));
     let report = analyze_with_scenario(&program, &scenario, &ProveOptions::default());
     assert!(
-        report.diagnostics.is_empty(),
+        report.diagnostics.iter().all(|d| d.code == LintCode::StaticSchedule),
         "matched rates prove a bound, silencing PA004: {:#?}",
         report.diagnostics
     );

@@ -40,7 +40,7 @@ import json
 import statistics
 import sys
 
-GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/")
+GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/", "compile/")
 
 
 def main() -> int:
