@@ -16,7 +16,11 @@
 //!   `EstimationOptions::proven` so the dynamic loop skips the rounds the
 //!   proof already covers;
 //! * **channel discipline** ([`channels`], `PA006`) — the paper's
-//!   single-producer/single-consumer restriction.
+//!   single-producer/single-consumer restriction;
+//! * **static schedulability** (`PA007`) — an informational note per
+//!   component: whether it lowers to a compiled static schedule, and at
+//!   how many ops (endochronous components always do; the rest run on the
+//!   micro-step interpreter).
 //!
 //! Findings come back as a structured [`AnalysisReport`] of stable-coded
 //! [`Diagnostic`]s; the `polysig-lint` binary renders them for humans or as

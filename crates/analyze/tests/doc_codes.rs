@@ -1,0 +1,80 @@
+//! The lint registry and the prose that documents it must agree.
+//!
+//! The `PA0xx` codes are a public, append-only contract (waiver files and
+//! CI configurations reference them), so the documentation is checked both
+//! ways: every code the docs mention must exist in the registry, and every
+//! registered code must be documented — in the crate-level doc of
+//! `polysig-analyze`, and with its name and default level in DESIGN.md's
+//! lint table. A PA006-style drift (a code added to the registry but not
+//! to the catalogue prose) fails here.
+
+use polysig_analyze::{LintCode, LintLevel};
+
+fn workspace_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Every `PA0xx` token in `text`, deduplicated, in order of appearance.
+fn codes_mentioned(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out: Vec<String> = Vec::new();
+    for (i, _) in text.match_indices("PA0") {
+        let end = (i + 3..text.len()).take_while(|&j| bytes[j].is_ascii_digit()).last();
+        let Some(end) = end else { continue };
+        let code = &text[i..=end];
+        if !out.iter().any(|c| c == code) {
+            out.push(code.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_documented_code_exists() {
+    for doc in ["DESIGN.md", "README.md", "crates/analyze/src/lib.rs"] {
+        let text = workspace_file(doc);
+        for code in codes_mentioned(&text) {
+            assert!(
+                LintCode::parse(&code).is_some(),
+                "{doc} mentions `{code}`, which is not a registered lint code"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_code_is_catalogued() {
+    // the crate-level doc comment: everything before the first item
+    let lib = workspace_file("crates/analyze/src/lib.rs");
+    let crate_doc: String =
+        lib.lines().take_while(|l| l.starts_with("//!")).collect::<Vec<_>>().join("\n");
+    let design = workspace_file("DESIGN.md");
+    for code in LintCode::ALL {
+        assert!(
+            crate_doc.contains(code.as_str()),
+            "`{}` is registered but missing from the polysig-analyze crate doc",
+            code.as_str()
+        );
+        // DESIGN.md documents each code as a table row:
+        // | `PA001` | `non-deterministic-clocks` | deny | ... |
+        let row = design
+            .lines()
+            .find(|l| l.starts_with(&format!("| `{}` |", code.as_str())))
+            .unwrap_or_else(|| panic!("`{}` has no row in DESIGN.md's lint table", code.as_str()));
+        let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        assert_eq!(
+            cells.get(2).copied(),
+            Some(format!("`{}`", code.name()).as_str()),
+            "DESIGN.md row for `{}` names it differently than the registry",
+            code.as_str()
+        );
+        let level: Option<LintLevel> = cells.get(3).and_then(|c| LintLevel::parse(c));
+        assert_eq!(
+            level,
+            Some(code.default_level()),
+            "DESIGN.md row for `{}` documents the wrong default level",
+            code.as_str()
+        );
+    }
+}

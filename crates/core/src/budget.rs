@@ -1,0 +1,149 @@
+//! Per-request resource budgets for the serving layer.
+//!
+//! A [`Budget`] caps what one analysis request may consume — explored
+//! states, scenario instants, estimation growth, wall-clock time — so a
+//! single adversarial program degrades to a structured "budget exceeded"
+//! answer instead of starving every other request in the pool. The caps
+//! are enforced in two complementary ways:
+//!
+//! * **a priori** — scenario length and estimation growth are clamped
+//!   before any work starts ([`Budget::admit_instants`], and the serving
+//!   engine clamps `EstimationOptions::{max_iterations, max_size}` /
+//!   `CheckOptions::max_states` from the budget), so the deterministic
+//!   caps trip deterministically;
+//! * **cooperatively** — a [`Stopwatch`] started per request is polled
+//!   between pipeline stages; wall-clock overrun is inherently racy, so
+//!   it is a backstop, not the primary cap.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource caps applied to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on distinct states the reachability checker may explore
+    /// (plumbs into `CheckOptions::max_states`).
+    pub max_states: usize,
+    /// Cap on scenario instants a request may submit or replay.
+    pub max_instants: usize,
+    /// Cap on the estimation loop's per-channel depth
+    /// (`EstimationOptions::max_size`).
+    pub max_fifo_depth: usize,
+    /// Cap on estimation rounds (`EstimationOptions::max_iterations`).
+    pub max_rounds: usize,
+    /// Wall-clock allowance; `None` = untimed.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: 250_000,
+            max_instants: 4_096,
+            max_fifo_depth: 4_096,
+            max_rounds: 32,
+            timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl Budget {
+    /// Admits a scenario of `instants` steps, or reports the breach.
+    pub fn admit_instants(&self, instants: usize) -> Result<(), Breach> {
+        if instants > self.max_instants {
+            Err(Breach::Instants { got: instants, cap: self.max_instants })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Which cap a request ran into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Breach {
+    /// The scenario is longer than the instant cap.
+    Instants {
+        /// Instants submitted.
+        got: usize,
+        /// The cap.
+        cap: usize,
+    },
+    /// The reachability checker hit the state cap.
+    States {
+        /// The cap.
+        cap: usize,
+    },
+    /// The wall-clock allowance ran out.
+    Timeout {
+        /// The pipeline stage that observed the overrun.
+        stage: &'static str,
+        /// The allowance.
+        allowed: Duration,
+    },
+}
+
+impl fmt::Display for Breach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Breach::Instants { got, cap } => {
+                write!(f, "scenario has {got} instants, budget allows {cap}")
+            }
+            Breach::States { cap } => {
+                write!(f, "state space exceeds the {cap}-state budget")
+            }
+            Breach::Timeout { stage, allowed } => {
+                write!(f, "wall-clock budget of {allowed:?} exhausted at stage `{stage}`")
+            }
+        }
+    }
+}
+
+/// Cooperative wall-clock enforcement: started when the request is picked
+/// up, polled between stages.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+    allowed: Option<Duration>,
+}
+
+impl Stopwatch {
+    /// Starts timing against `budget.timeout`.
+    pub fn start(budget: &Budget) -> Stopwatch {
+        Stopwatch { started: Instant::now(), allowed: budget.timeout }
+    }
+
+    /// Errors iff the allowance is exhausted; `stage` names the caller
+    /// for the diagnostic.
+    pub fn check(&self, stage: &'static str) -> Result<(), Breach> {
+        match self.allowed {
+            Some(allowed) if self.started.elapsed() > allowed => {
+                Err(Breach::Timeout { stage, allowed })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_cap_trips_deterministically() {
+        let b = Budget { max_instants: 8, ..Budget::default() };
+        assert!(b.admit_instants(8).is_ok());
+        let err = b.admit_instants(9).unwrap_err();
+        assert_eq!(err, Breach::Instants { got: 9, cap: 8 });
+        assert!(err.to_string().contains("9 instants"));
+    }
+
+    #[test]
+    fn stopwatch_trips_after_the_allowance() {
+        let b = Budget { timeout: Some(Duration::from_nanos(1)), ..Budget::default() };
+        let sw = Stopwatch::start(&b);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(sw.check("lint"), Err(Breach::Timeout { stage: "lint", .. })));
+        let untimed = Budget { timeout: None, ..Budget::default() };
+        assert!(Stopwatch::start(&untimed).check("lint").is_ok());
+    }
+}

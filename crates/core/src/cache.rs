@@ -1,0 +1,473 @@
+//! Content hashing and byte-budgeted LRU caching for the serving layer.
+//!
+//! Two independent pieces, both deterministic and dependency-free:
+//!
+//! * [`ContentHash`] / [`Sha256`] — a from-scratch SHA-256 (FIPS 180-4)
+//!   used to key cached analysis artifacts by *what was asked*: the
+//!   normalized program source plus a canonical fingerprint of every
+//!   option that can change the answer. Two requests share a cache entry
+//!   exactly when their hashes agree, so the fingerprint must cover every
+//!   semantic knob (see `serve::engine` in the facade crate).
+//! * [`ByteLru`] — a least-recently-used map whose capacity is counted in
+//!   *bytes* (as reported at insert time), with exact hit / miss /
+//!   eviction / insertion / rejection counters. The eviction rule is part
+//!   of the public contract (tests replay it against a reference
+//!   simulation): inserting an entry evicts least-recently-used entries —
+//!   oldest stamp first — until the new total fits the cap; an entry
+//!   larger than the whole cap is *rejected* (counted, not inserted, no
+//!   eviction); re-inserting an existing key releases the old bytes
+//!   first and refreshes its recency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+/// A 256-bit content hash, printable as 64 hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4), enough for content addressing; no
+/// secrets are hashed here so constant-time properties are irrelevant.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher with the FIPS initial state.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                return; // buffer still partial — nothing more to consume
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            rest = tail;
+        }
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Convenience: absorb a length-prefixed field, making the encoding
+    /// injective across field boundaries (`"ab","c"` ≠ `"a","bc"`).
+    pub fn field(&mut self, data: &[u8]) {
+        self.update(&(data.len() as u64).to_le_bytes());
+        self.update(data);
+    }
+
+    /// Finishes with the standard 1-bit + length padding.
+    pub fn finish(mut self) -> ContentHash {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // manual, not update(): total_len already counts the message only
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        ContentHash(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, c) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(c.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot hash of a byte string.
+pub fn hash_bytes(data: &[u8]) -> ContentHash {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Byte-budgeted LRU
+// ---------------------------------------------------------------------------
+
+/// Exact occupancy counters; every cache operation increments exactly one
+/// of `hits`/`misses` (lookups) or `insertions`/`rejections` (stores),
+/// plus `evictions` once per entry displaced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` found the key.
+    pub hits: u64,
+    /// `get` did not find the key.
+    pub misses: u64,
+    /// Entries displaced to make room (not counting replacements of the
+    /// same key, which release their bytes without counting here).
+    pub evictions: u64,
+    /// Entries stored (including same-key replacement).
+    pub insertions: u64,
+    /// Stores refused because the entry alone exceeds the byte cap.
+    pub rejections: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// A least-recently-used map with a byte-denominated capacity.
+///
+/// `bytes` is whatever the caller reports at insert time — the cache
+/// enforces the cap against *reported* bytes exactly (`used_bytes() <=
+/// cap_bytes()` is an invariant checked by tests), making the accounting
+/// auditable even though the reports themselves are estimates.
+pub struct ByteLru<K: Ord + Clone, V> {
+    cap: usize,
+    used: usize,
+    seq: u64,
+    map: BTreeMap<K, Entry<V>>,
+    order: BTreeMap<u64, K>,
+    stats: CacheStats,
+}
+
+impl<K: Ord + Clone, V> ByteLru<K, V> {
+    /// An empty cache holding at most `cap_bytes` reported bytes.
+    pub fn new(cap_bytes: usize) -> ByteLru<K, V> {
+        ByteLru {
+            cap: cap_bytes,
+            used: 0,
+            seq: 0,
+            map: BTreeMap::new(),
+            order: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let seq = self.next_seq();
+        match self.map.get_mut(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                self.order.remove(&e.stamp);
+                e.stamp = seq;
+                self.order.insert(seq, key.clone());
+                Some(&self.map.get(key).expect("just touched").value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching recency or counters (introspection only).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
+    }
+
+    /// Stores `key → value` accounted at `bytes`, evicting
+    /// least-recently-used entries until it fits. Returns `false` (and
+    /// stores nothing) when `bytes` alone exceeds the cap.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> bool {
+        if bytes > self.cap {
+            self.stats.rejections += 1;
+            return false;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.stamp);
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.cap {
+            let (&stamp, _) = self.order.iter().next().expect("used > 0 implies an entry");
+            let victim = self.order.remove(&stamp).expect("stamp just read");
+            let gone = self.map.remove(&victim).expect("order and map agree");
+            self.used -= gone.bytes;
+            self.stats.evictions += 1;
+        }
+        let stamp = self.next_seq();
+        self.used += bytes;
+        self.map.insert(key.clone(), Entry { value, bytes, stamp });
+        self.order.insert(stamp, key);
+        self.stats.insertions += 1;
+        true
+    }
+
+    /// Reported bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// The byte cap.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// No entries?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vectors() {
+        // FIPS 180-4 / RFC 6234 vectors
+        assert_eq!(
+            hash_bytes(b"").to_string(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hash_bytes(b"abc").to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hash_bytes(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_string(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // a multi-block message exercising the buffered path
+        let long = vec![b'a'; 1_000];
+        let mut h = Sha256::new();
+        for chunk in long.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), hash_bytes(&long));
+    }
+
+    #[test]
+    fn field_prefixing_is_injective() {
+        let mut a = Sha256::new();
+        a.field(b"ab");
+        a.field(b"c");
+        let mut b = Sha256::new();
+        b.field(b"a");
+        b.field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_until_fit_and_counts_exactly() {
+        let mut c: ByteLru<&str, u32> = ByteLru::new(100);
+        assert!(c.insert("a", 1, 40));
+        assert!(c.insert("b", 2, 40));
+        assert_eq!(c.used_bytes(), 80);
+        // touching `a` makes `b` the eviction victim
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert!(c.insert("c", 3, 40)); // evicts b (oldest stamp)
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.peek(&"b"), None);
+        assert_eq!(c.peek(&"a"), Some(&1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.insertions, s.rejections), (1, 0, 1, 3, 0));
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_without_eviction() {
+        let mut c: ByteLru<&str, u32> = ByteLru::new(50);
+        assert!(c.insert("a", 1, 30));
+        assert!(!c.insert("big", 2, 51));
+        assert_eq!(c.len(), 1, "rejection evicts nothing");
+        assert_eq!(c.used_bytes(), 30);
+        assert_eq!(c.stats().rejections, 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn replacing_a_key_releases_its_bytes_first() {
+        let mut c: ByteLru<&str, u32> = ByteLru::new(100);
+        assert!(c.insert("a", 1, 60));
+        assert!(c.insert("a", 2, 80)); // would not fit beside the old entry
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.peek(&"a"), Some(&2));
+        assert_eq!(c.stats().evictions, 0, "same-key replacement is not an eviction");
+    }
+
+    /// The documented semantics replayed against a brute-force reference
+    /// model over a deterministic operation stream.
+    #[test]
+    fn lru_matches_reference_simulation() {
+        #[derive(Default)]
+        struct Reference {
+            // (key, bytes, last-touch tick), recency = position-independent
+            entries: Vec<(u64, usize, u64)>,
+            used: usize,
+            stats: CacheStats,
+            tick: u64,
+        }
+        impl Reference {
+            fn get(&mut self, cap: usize, k: u64) -> Option<()> {
+                let _ = cap;
+                self.tick += 1;
+                if let Some(e) = self.entries.iter_mut().find(|e| e.0 == k) {
+                    e.2 = self.tick;
+                    self.stats.hits += 1;
+                    Some(())
+                } else {
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+            fn insert(&mut self, cap: usize, k: u64, bytes: usize) {
+                self.tick += 1;
+                if bytes > cap {
+                    self.stats.rejections += 1;
+                    return;
+                }
+                if let Some(i) = self.entries.iter().position(|e| e.0 == k) {
+                    self.used -= self.entries.remove(i).1;
+                }
+                while self.used + bytes > cap {
+                    let oldest = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.2)
+                        .map(|(i, _)| i)
+                        .expect("over cap implies non-empty");
+                    self.used -= self.entries.remove(oldest).1;
+                    self.stats.evictions += 1;
+                }
+                self.used += bytes;
+                self.entries.push((k, bytes, self.tick));
+                self.stats.insertions += 1;
+            }
+        }
+
+        const CAP: usize = 64;
+        let mut lru: ByteLru<u64, u64> = ByteLru::new(CAP);
+        let mut reference = Reference::default();
+        // deterministic splitmix64 op stream
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut next = || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..4_000 {
+            let r = next();
+            let key = r % 13;
+            if r & 1 == 0 {
+                let bytes = (next() % 70) as usize; // sometimes oversized
+                lru.insert(key, key, bytes);
+                reference.insert(CAP, key, bytes);
+            } else {
+                assert_eq!(lru.get(&key).is_some(), reference.get(CAP, key).is_some());
+            }
+            assert!(lru.used_bytes() <= CAP, "byte cap respected exactly");
+            assert_eq!(lru.used_bytes(), reference.used);
+            assert_eq!(lru.len(), reference.entries.len());
+            assert_eq!(lru.stats(), reference.stats);
+        }
+        // the stream must have actually exercised every path
+        let s = lru.stats();
+        assert!(s.hits > 0 && s.misses > 0 && s.evictions > 0 && s.rejections > 0);
+    }
+}

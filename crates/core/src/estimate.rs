@@ -209,6 +209,48 @@ pub fn estimate_buffer_sizes(
     }
 }
 
+/// A reusable estimation handle: the desynchronization skeleton
+/// ([`DesyncCache`]) and the compiled-round memo survive across calls, so
+/// a server estimating the same program under many scenarios pays the
+/// skeleton derivation once. Each call observes exactly what a fresh
+/// [`estimate_buffer_sizes`] call would — the incremental engine's
+/// round-for-round equivalence contract (fuzzed by the `EstimateEquiv`
+/// and `ServeEquiv` oracles) is what makes the reuse invisible.
+pub struct Estimator {
+    program: Program,
+    ctx: EstimationCtx,
+}
+
+impl Estimator {
+    /// Derives the skeleton for `program`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the desynchronization errors [`DesyncCache::new`] raises.
+    pub fn new(program: &Program) -> Result<Estimator, GalsError> {
+        Ok(Estimator { program: program.clone(), ctx: EstimationCtx::new(program)? })
+    }
+
+    /// Runs one Section-5.2 estimation, reusing the cached skeleton when
+    /// `options.incremental` (the default); a non-incremental request
+    /// falls through to the cold reference loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`estimate_buffer_sizes`].
+    pub fn estimate(
+        &mut self,
+        scenario: &Scenario,
+        options: &EstimationOptions,
+    ) -> Result<EstimationReport, GalsError> {
+        if options.incremental {
+            estimate_with_ctx(&mut self.ctx, scenario, options)
+        } else {
+            estimate_cold(&self.program, scenario, options)
+        }
+    }
+}
+
 /// Per-channel starting depths paired with where each one came from.
 type SeededSizes = (BTreeMap<SigName, usize>, BTreeMap<SigName, Provenance>);
 

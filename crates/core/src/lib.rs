@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod budget;
+pub mod cache;
 pub mod closedloop;
 pub mod desync;
 pub mod error;
@@ -66,12 +68,14 @@ pub mod runtime;
 pub mod split;
 pub mod vcd;
 
+pub use budget::{Breach, Budget, Stopwatch};
+pub use cache::{hash_bytes, ByteLru, CacheStats, ContentHash, Sha256};
 pub use closedloop::{run_masked, MaskedRun};
 pub use desync::{desynchronize, DesyncCache, DesyncOptions, Desynchronized};
 pub use error::GalsError;
 pub use estimate::{
     estimate_buffer_sizes, estimate_buffer_sizes_ensemble, EnsembleReport, EstimationOptions,
-    EstimationReport, Provenance,
+    EstimationReport, Estimator, Provenance,
 };
 pub use fork::{fork_component, fork_shared_signals, merge_component};
 pub use partition::{channels_of_program, ChannelSpec};

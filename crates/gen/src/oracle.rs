@@ -62,6 +62,11 @@ pub enum OracleKind {
     /// its caps, warm-starting from proven bounds leaves the final report
     /// unchanged, and all-endochronous programs simulate deterministically.
     StaticDynamicAgreement,
+    /// The serving engine must be a transparent cache: a cold request, a
+    /// warm cache hit, and every response of a batched duplicate submission
+    /// must carry payloads field-for-field identical to direct library
+    /// calls on the same source, scenario and (budget-clamped) options.
+    ServeEquiv,
 }
 
 impl fmt::Display for OracleKind {
@@ -75,6 +80,7 @@ impl fmt::Display for OracleKind {
             OracleKind::EstimateEquiv => "EstimateEquiv",
             OracleKind::DesyncFlow => "DesyncFlow",
             OracleKind::StaticDynamicAgreement => "StaticDynamicAgreement",
+            OracleKind::ServeEquiv => "ServeEquiv",
         };
         write!(f, "{name}")
     }
@@ -92,6 +98,7 @@ impl FromStr for OracleKind {
             "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
             "DesyncFlow" => Ok(OracleKind::DesyncFlow),
             "StaticDynamicAgreement" => Ok(OracleKind::StaticDynamicAgreement),
+            "ServeEquiv" => Ok(OracleKind::ServeEquiv),
             other => Err(format!("unknown oracle `{other}`")),
         }
     }
@@ -137,6 +144,7 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::EstimateEquiv,
             OracleKind::DesyncFlow,
             OracleKind::StaticDynamicAgreement,
+            OracleKind::ServeEquiv,
         ],
     }
 }
@@ -169,6 +177,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::EstimateEquiv => estimate_equiv(case),
         OracleKind::DesyncFlow => desync_flow(case),
         OracleKind::StaticDynamicAgreement => static_dynamic_agreement(case),
+        OracleKind::ServeEquiv => serve_equiv(case),
     }
 }
 
@@ -797,6 +806,129 @@ fn static_dynamic_agreement(case: &GenCase) -> Result<(), Failure> {
                 return Err(Failure::new(k, format!("warm-started estimation failed: {e}")));
             }
         }
+    }
+    Ok(())
+}
+
+/// The serving engine is a transparent cache: cold execution, a warm
+/// cache hit, and batched duplicate submission must all return payloads
+/// field-for-field identical to direct library calls with the same
+/// (budget-clamped) options the engine derives for the request.
+fn serve_equiv(case: &GenCase) -> Result<(), Failure> {
+    use polysig::serve::engine::{Engine, EngineConfig};
+    use polysig::serve::proto::{Outcome, ParseSummary, PipelineReport, Request, RequestKind};
+    use polysig::serve::Served;
+    use polysig_analyze::{analyze_program, analyze_with_scenario};
+    use polysig_gals::Estimator;
+
+    let k = OracleKind::ServeEquiv;
+    let source = pretty_program(&case.program);
+    let engine = Engine::new(EngineConfig::default());
+    let mut req = Request::new(1, RequestKind::Pipeline, source.clone());
+    req.scenario = case.est_scenario.as_ref().map(Scenario::to_text);
+
+    // cold execution
+    let cold = engine.submit(&req);
+    if cold.served != Served::Cold {
+        return Err(Failure::new(k, format!("first submission served {:?}", cold.served)));
+    }
+    // warm cache hit: identical payload
+    let warm = engine.submit(&req);
+    if warm.served != Served::Hit {
+        return Err(Failure::new(k, format!("second submission served {:?}", warm.served)));
+    }
+    if warm.outcome != cold.outcome {
+        return Err(Failure::new(k, "cache hit returned a different payload than the cold run"));
+    }
+    // batched duplicates: one execution, identical payloads throughout
+    let batch: Vec<Request> = (0..4)
+        .map(|i| {
+            let mut r = req.clone();
+            r.id = 10 + i;
+            r
+        })
+        .collect();
+    for resp in engine.submit_many(&batch, 4) {
+        if resp.outcome != cold.outcome {
+            return Err(Failure::new(k, "batched duplicate returned a different payload"));
+        }
+    }
+    let stats = engine.stats();
+    if stats.executed != 1 {
+        return Err(Failure::new(
+            k,
+            format!("{} executions for one request key (want 1)", stats.executed),
+        ));
+    }
+
+    // the reference: direct library calls on the same source and options
+    let program = match polysig_lang::check_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            return match &*cold.outcome {
+                Outcome::SourceError { stage, message }
+                    if stage == "resolve" && *message == e.to_string() =>
+                {
+                    Ok(())
+                }
+                other => Err(Failure::new(
+                    k,
+                    format!("library rejects the source (`{e}`) but the server served {other:?}"),
+                )),
+            };
+        }
+    };
+    let scenario = match &req.scenario {
+        Some(text) => Some(
+            Scenario::from_text(text)
+                .map_err(|e| Failure::new(k, format!("scenario does not round-trip: {e}")))?,
+        ),
+        None => None,
+    };
+    let analysis = match &scenario {
+        Some(s) => analyze_with_scenario(&program, s, &ProveOptions::default()),
+        None => analyze_program(&program),
+    };
+    let estimation = match &scenario {
+        Some(s) => {
+            let direct = Estimator::new(&program)
+                .and_then(|mut est| est.estimate(s, &engine.estimation_options(&req)));
+            match direct {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    // the engine must have failed the same way
+                    return match &*cold.outcome {
+                        Outcome::SourceError { stage, message }
+                            if stage == "estimate" && *message == e.to_string() =>
+                        {
+                            Ok(())
+                        }
+                        other => Err(Failure::new(
+                            k,
+                            format!(
+                                "direct estimation errs (`{e}`) but the server served {other:?}"
+                            ),
+                        )),
+                    };
+                }
+            }
+        }
+        None => None,
+    };
+    let expected = Outcome::Pipeline(Box::new(PipelineReport {
+        parse: ParseSummary::of(&program),
+        analysis,
+        estimation,
+        check: None,
+    }));
+    if *cold.outcome != expected {
+        return Err(Failure::new(
+            k,
+            format!(
+                "served payload differs from direct library calls:\nserved   {:?}\nexpected {:?}",
+                cold.outcome, expected
+            ),
+        ));
     }
     Ok(())
 }

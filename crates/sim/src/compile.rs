@@ -168,9 +168,11 @@ pub(crate) fn lower(inp: &LowerInput<'_>) -> Option<CompiledComponent> {
         .filter(|&(g, group)| !anchored[g] && group.len() > 1)
         .map(|(_, group)| group.iter().map(|&i| i as u32).collect())
         .collect();
+    let discharged = discharged_edges(inp);
     let check_edges: Box<[(u32, u32)]> = inp
         .subset_edges
         .iter()
+        .filter(|e| !discharged.contains(e))
         .map(|&(sub, sup)| (inp.groups[sub][0] as u32, inp.groups[sup][0] as u32))
         .collect();
     Some(CompiledComponent {
@@ -481,6 +483,131 @@ fn maybe_ubiquitous(e: &CExpr) -> bool {
     }
 }
 
+/// Signals whose presence is implied whenever `e`'s compiled result is
+/// non-absent (`Present`, `Unvalued`, or `Ubiquitous`) on a run that
+/// commits (does not bail). Structural induction over the op semantics in
+/// [`crate::schedule`]:
+///
+/// * `Var` — a present read is a present signal;
+/// * `Const` — ubiquitous, implies nothing;
+/// * `Pre` — `pre_flow` is non-absent exactly when its body is (an
+///   `Unvalued` body still yields `Present(reg)`);
+/// * `When` — `when_flow` is non-absent only when the sampled body is
+///   non-absent *and* the condition is non-absent (and true);
+/// * `Default` — the merge is non-absent when either branch is, so only
+///   the branches' *common* implications survive;
+/// * `Binary`/`Unary` — a non-absent pointwise result needs every operand
+///   non-absent (a present/absent mix bails, absent/ubiquitous is absent).
+fn presence_uppers(e: &CExpr, acc: &mut BTreeSet<usize>) {
+    match e {
+        CExpr::Var(i) => {
+            acc.insert(*i);
+        }
+        CExpr::Const(_) => {}
+        CExpr::Pre { body, .. } => presence_uppers(body, acc),
+        CExpr::When { body, cond } => {
+            presence_uppers(body, acc);
+            presence_uppers(cond, acc);
+        }
+        CExpr::Default { left, right } => {
+            let mut l = BTreeSet::new();
+            let mut r = BTreeSet::new();
+            presence_uppers(left, &mut l);
+            presence_uppers(right, &mut r);
+            acc.extend(l.intersection(&r));
+        }
+        CExpr::Binary { left, right, .. } => {
+            presence_uppers(left, acc);
+            presence_uppers(right, acc);
+        }
+        CExpr::Unary { arg, .. } => presence_uppers(arg, acc),
+    }
+}
+
+/// Signals whose presence *forces* `e`'s compiled result non-absent on a
+/// run that commits. The dual of [`presence_uppers`], and deliberately
+/// weaker:
+///
+/// * `When` implies nothing — the condition may be absent or false while
+///   the body ticks;
+/// * `Default` propagates the right branch only when the left cannot
+///   evaluate ubiquitous: for `x := (5 when c) default y` the left branch
+///   can come back `Ubiquitous(5)` and adapt to an *absent* `x` while `y`
+///   is present, so `y ⊆ x` must stay a runtime check.
+fn presence_lowers(e: &CExpr, acc: &mut BTreeSet<usize>) {
+    match e {
+        CExpr::Var(i) => {
+            acc.insert(*i);
+        }
+        CExpr::Const(_) => {}
+        CExpr::Pre { body, .. } => presence_lowers(body, acc),
+        CExpr::When { .. } => {}
+        CExpr::Default { left, right } => {
+            presence_lowers(left, acc);
+            if !maybe_ubiquitous(left) {
+                presence_lowers(right, acc);
+            }
+        }
+        CExpr::Binary { left, right, .. } => {
+            presence_lowers(left, acc);
+            presence_lowers(right, acc);
+        }
+        CExpr::Unary { arg, .. } => presence_lowers(arg, acc),
+    }
+}
+
+/// Subset edges (group-index pairs) the compiled equations enforce
+/// operationally, making their epilogue re-check redundant.
+///
+/// For an equation `lhs := rhs` committed through `Guard`/`GuardAtClock`:
+///
+/// * every `u ∈ presence_uppers(rhs)`: a present `lhs` means `rhs`
+///   evaluated non-absent (`Guard` stores the result directly;
+///   `GuardAtClock` bails on a present/absent disagreement and only lets
+///   `Ubiquitous` adapt, which also implies the uppers) — so
+///   `lhs ⊆ u` holds on every committing run, discharging the edge
+///   `(group(lhs), group(u))`;
+/// * every `s ∈ presence_lowers(rhs)`: a present `s` forces the result
+///   non-absent, and a non-absent result commits `lhs` present (`Guard`
+///   rejects `Unvalued` roots statically via `admissible`; `GuardAtClock`
+///   bails when the predetermined clock says absent) — so `s ⊆ lhs`
+///   holds, discharging `(group(s), group(lhs))`.
+///
+/// Lifting slot pairs to group pairs is sound because the epilogue checks
+/// group uniformity *before* edges and anchored groups are uniform by
+/// `EvalClock` construction: on any committing run every group member
+/// agrees with its representative.
+fn discharged_edges(inp: &LowerInput<'_>) -> BTreeSet<(usize, usize)> {
+    let mut group_of = vec![usize::MAX; inp.signal_count];
+    for (g, group) in inp.groups.iter().enumerate() {
+        for &i in group {
+            group_of[i] = g;
+        }
+    }
+    let mut discharged = BTreeSet::new();
+    for (lhs, rhs) in inp.equations {
+        let lg = group_of[*lhs];
+        if lg == usize::MAX {
+            continue;
+        }
+        let mut ups = BTreeSet::new();
+        presence_uppers(rhs, &mut ups);
+        for u in ups {
+            if group_of[u] != usize::MAX {
+                discharged.insert((lg, group_of[u]));
+            }
+        }
+        let mut lows = BTreeSet::new();
+        presence_lowers(rhs, &mut lows);
+        for s in lows {
+            if group_of[s] != usize::MAX {
+                discharged.insert((group_of[s], lg));
+            }
+        }
+    }
+    discharged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +733,99 @@ mod tests {
             subset_edges: &BTreeSet::new(),
         })
         .is_some());
+    }
+
+    #[test]
+    fn direct_copy_discharges_both_subset_edges() {
+        // x := a with a and x in separate groups and both edges asserted:
+        // the guarded copy enforces a ⊆ x and x ⊆ a operationally, so the
+        // epilogue re-check is fused away entirely
+        let equations = vec![(1usize, CExpr::Var(0))];
+        let edges: BTreeSet<(usize, usize)> = [(0, 1), (1, 0)].into_iter().collect();
+        let cc = lower(&LowerInput {
+            signal_count: 2,
+            is_input: &[true, false],
+            types: &[ValueType::Int, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1]],
+            subset_edges: &edges,
+        })
+        .expect("x := a lowers");
+        assert!(cc.check_edges.is_empty(), "both edges statically discharged");
+    }
+
+    #[test]
+    fn when_keeps_the_sub_edge_it_cannot_enforce() {
+        // x := a when c (slots: 0 = a, 1 = c, 2 = x): a present does NOT
+        // force x present (c may be absent or false), so a ⊆ x must stay a
+        // runtime check; x ⊆ a and x ⊆ c are enforced by the evaluation
+        let equations = vec![(
+            2usize,
+            CExpr::When { body: Box::new(CExpr::Var(0)), cond: Box::new(CExpr::Var(1)) },
+        )];
+        let edges: BTreeSet<(usize, usize)> = [(0, 2), (2, 0), (2, 1)].into_iter().collect();
+        let cc = lower(&LowerInput {
+            signal_count: 3,
+            is_input: &[true, true, false],
+            types: &[ValueType::Int, ValueType::Bool, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1], vec![2]],
+            subset_edges: &edges,
+        })
+        .expect("x := a when c lowers");
+        assert_eq!(cc.check_edges.as_ref(), &[(0, 2)], "only a ⊆ x survives");
+    }
+
+    #[test]
+    fn ubiquitous_default_branch_keeps_the_edge() {
+        // x := (5 when true) default y (slots: 0 = y, 1 = t anchoring x's
+        // group, 2 = x): the left branch can evaluate Ubiquitous(5) and
+        // adapt to an absent x while y is present, so y ⊆ x must stay a
+        // runtime check — the `maybe_ubiquitous` guard in presence_lowers
+        let equations = vec![(
+            2usize,
+            CExpr::Default {
+                left: Box::new(CExpr::When {
+                    body: Box::new(CExpr::Const(Value::Int(5))),
+                    cond: Box::new(CExpr::Const(Value::Bool(true))),
+                }),
+                right: Box::new(CExpr::Var(0)),
+            },
+        )];
+        let edges: BTreeSet<(usize, usize)> = [(0, 1)].into_iter().collect();
+        let cc = lower(&LowerInput {
+            signal_count: 3,
+            is_input: &[true, true, false],
+            types: &[ValueType::Int, ValueType::Bool, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1, 2]],
+            subset_edges: &edges,
+        })
+        .expect("anchored ubiquitous default lowers");
+        assert_eq!(cc.check_edges.len(), 1, "y ⊆ x stays: left branch may be ubiquitous");
+
+        // flipped merge: y default (5 when true) — now a present y forces
+        // x present (the left branch is never ubiquitous), discharging it
+        let equations = vec![(
+            2usize,
+            CExpr::Default {
+                left: Box::new(CExpr::Var(0)),
+                right: Box::new(CExpr::When {
+                    body: Box::new(CExpr::Const(Value::Int(5))),
+                    cond: Box::new(CExpr::Const(Value::Bool(true))),
+                }),
+            },
+        )];
+        let cc = lower(&LowerInput {
+            signal_count: 3,
+            is_input: &[true, true, false],
+            types: &[ValueType::Int, ValueType::Bool, ValueType::Int],
+            equations: &equations,
+            groups: &[vec![0], vec![1, 2]],
+            subset_edges: &edges,
+        })
+        .expect("flipped default lowers");
+        assert!(cc.check_edges.is_empty(), "y ⊆ x discharged by the non-ubiquitous left");
     }
 
     #[test]

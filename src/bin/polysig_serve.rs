@@ -1,0 +1,187 @@
+//! `polysig-serve` — the batched, content-hash-cached analysis server and
+//! its bundled load generator.
+//!
+//! ```text
+//! polysig-serve serve [OPTIONS]
+//!   --addr HOST:PORT        bind address (default 127.0.0.1:7421; port 0 = ephemeral)
+//!   --port-file PATH        write the bound port to PATH once listening
+//!   --cache-bytes N         result-cache byte budget (default 48 MiB)
+//!   --threads N             worker threads per request (0 = detected)
+//!   --max-states N          checker state cap per request
+//!   --max-instants N        scenario length cap per request
+//!   --timeout-ms N          per-request wall-clock budget (0 = none)
+//!
+//! polysig-serve load [OPTIONS]
+//!   --addr HOST:PORT        server to drive (default 127.0.0.1:7421)
+//!   --requests N            total requests (default 64)
+//!   --concurrency N         concurrent connections (default 8)
+//!   --warm-percent N        percent of requests sharing one source (default 50)
+//!   --adversarial N         over-budget requests appended (default 0)
+//!   --adversarial-instants N  instants in the over-budget scenario (default 8192)
+//!
+//! polysig-serve request [OPTIONS] FILE
+//!   --addr HOST:PORT        server to ask (default 127.0.0.1:7421)
+//!   --kind KIND             parse|lint|estimate|check|pipeline (default pipeline)
+//!   --scenario FILE         scenario in `name=value` line format
+//!   --property SIGNAL       signal for the never-true reachability check
+//! ```
+//!
+//! `load` exits non-zero on any transport error, so the CI smoke can
+//! assert transport health with the shell alone; outcome counts are on
+//! stdout for the stricter assertions.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use polysig::serve::{run_load, Engine, EngineConfig, LoadOptions, Request, RequestKind, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
+        _ => Err("usage: polysig-serve <serve|load|request> [options]".into()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn take_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs an argument"))
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
+    value.parse().map_err(|_| format!("{flag} expects a number, got `{value}`"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut port_file = None;
+    let mut config = EngineConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value(&mut it, "--addr")?.clone(),
+            "--port-file" => port_file = Some(take_value(&mut it, "--port-file")?.clone()),
+            "--cache-bytes" => {
+                config.result_cache_bytes =
+                    parse_num("--cache-bytes", take_value(&mut it, "--cache-bytes")?)?;
+            }
+            "--threads" => {
+                config.threads = parse_num("--threads", take_value(&mut it, "--threads")?)?;
+            }
+            "--max-states" => {
+                config.budget.max_states =
+                    parse_num("--max-states", take_value(&mut it, "--max-states")?)?;
+            }
+            "--max-instants" => {
+                config.budget.max_instants =
+                    parse_num("--max-instants", take_value(&mut it, "--max-instants")?)?;
+            }
+            "--timeout-ms" => {
+                let ms = parse_num("--timeout-ms", take_value(&mut it, "--timeout-ms")?)?;
+                config.budget.timeout = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    let engine = Arc::new(Engine::new(config));
+    let server = Server::bind(&addr, engine).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = port_file {
+        server.write_port_file(&path).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    eprintln!("polysig-serve listening on {local}");
+    server.run();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_load(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = LoadOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = take_value(&mut it, "--addr")?.clone(),
+            "--requests" => {
+                opts.requests = parse_num("--requests", take_value(&mut it, "--requests")?)?;
+            }
+            "--concurrency" => {
+                opts.concurrency =
+                    parse_num("--concurrency", take_value(&mut it, "--concurrency")?)?;
+            }
+            "--warm-percent" => {
+                opts.warm_percent =
+                    parse_num("--warm-percent", take_value(&mut it, "--warm-percent")?)?;
+            }
+            "--adversarial" => {
+                opts.adversarial =
+                    parse_num("--adversarial", take_value(&mut it, "--adversarial")?)?;
+            }
+            "--adversarial-instants" => {
+                opts.adversarial_instants = parse_num(
+                    "--adversarial-instants",
+                    take_value(&mut it, "--adversarial-instants")?,
+                )?;
+            }
+            other => return Err(format!("unknown load option `{other}`")),
+        }
+    }
+    let report = run_load(&opts)?;
+    println!("{}", report.render());
+    if report.transport_errors > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_request(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut kind = RequestKind::Pipeline;
+    let mut scenario = None;
+    let mut property = None;
+    let mut file = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value(&mut it, "--addr")?.clone(),
+            "--kind" => {
+                let tag = take_value(&mut it, "--kind")?;
+                kind =
+                    RequestKind::parse_tag(tag).ok_or_else(|| format!("unknown kind `{tag}`"))?;
+            }
+            "--scenario" => {
+                let path = take_value(&mut it, "--scenario")?;
+                scenario =
+                    Some(std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?);
+            }
+            "--property" => property = Some(take_value(&mut it, "--property")?.clone()),
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown request option `{other}`")),
+        }
+    }
+    let file = file.ok_or("request needs a program FILE")?;
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
+    let mut req = Request::new(1, kind, source);
+    req.scenario = scenario;
+    req.property = property;
+    let mut client = polysig::serve::server::Client::connect(&addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    // print the raw response frame: the payload is the full report
+    use polysig::serve::{read_frame, write_frame};
+    let mut stream = client.stream_mut();
+    write_frame(&mut stream, req.to_json().as_bytes()).map_err(|e| e.to_string())?;
+    let frame = read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or("server closed the connection")?;
+    println!("{}", String::from_utf8_lossy(&frame));
+    Ok(ExitCode::SUCCESS)
+}

@@ -51,6 +51,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
+
 pub use polysig_analyze as analyze;
 pub use polysig_gals as gals;
 pub use polysig_lang as lang;

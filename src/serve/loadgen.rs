@@ -1,0 +1,254 @@
+//! The bundled load generator: drives a running server with a
+//! configurable warm/cold request mix over `N` concurrent connections
+//! and reports latency percentiles, throughput, and exact outcome
+//! counts.
+//!
+//! The workload is deterministic: request `i` is a pure function of the
+//! options, so two runs against the same server state measure the same
+//! thing. "Warm" requests repeat one fixed pipeline request (after the
+//! first they are cache hits); "cold" requests embed a distinct constant
+//! in the program source, so every one misses. Adversarial requests
+//! carry a scenario longer than any sane instant budget and must come
+//! back as `budget_exceeded` — the CI smoke asserts exactly that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::proto::{EstimationParams, Request, RequestKind};
+use super::server::Client;
+
+/// Load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address, e.g. `127.0.0.1:7421`.
+    pub addr: String,
+    /// Total requests to send (adversarial ones included).
+    pub requests: usize,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Percentage (0–100) of requests that repeat the fixed warm source.
+    pub warm_percent: usize,
+    /// Number of deliberately over-budget requests mixed in at the end.
+    pub adversarial: usize,
+    /// Instants in the adversarial scenario (must exceed the server's
+    /// `max_instants` for the breach to trigger).
+    pub adversarial_instants: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            addr: "127.0.0.1:7421".into(),
+            requests: 64,
+            concurrency: 8,
+            warm_percent: 50,
+            adversarial: 0,
+            adversarial_instants: 8192,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// Responses whose outcome was a successful analysis.
+    pub ok: usize,
+    /// Socket/framing/decode failures. The CI smoke requires zero.
+    pub transport_errors: usize,
+    /// `source_error` outcomes.
+    pub source_errors: usize,
+    /// `budget_exceeded` outcomes.
+    pub budget_exceeded: usize,
+    /// Responses served cold (executed).
+    pub served_cold: usize,
+    /// Responses served from the result cache.
+    pub served_hit: usize,
+    /// Responses coalesced onto an identical in-flight request.
+    pub served_coalesced: usize,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Overall throughput, requests per second.
+    pub reqs_per_sec: u64,
+    /// Wall-clock of the whole run, microseconds.
+    pub elapsed_us: u64,
+}
+
+impl LoadReport {
+    /// Renders the human-facing summary the `load` subcommand prints.
+    pub fn render(&self) -> String {
+        format!(
+            "sent {} | ok {} | transport_errors {} | source_errors {} | budget_exceeded {}\n\
+             served: cold {} hit {} coalesced {}\n\
+             latency: p50 {}us p99 {}us | throughput {} req/s",
+            self.sent,
+            self.ok,
+            self.transport_errors,
+            self.source_errors,
+            self.budget_exceeded,
+            self.served_cold,
+            self.served_hit,
+            self.served_coalesced,
+            self.p50_us,
+            self.p99_us,
+            self.reqs_per_sec,
+        )
+    }
+}
+
+/// The fixed source every warm request shares.
+pub const WARM_SOURCE: &str = "process P { input a: int; output x: int; x := a + 1; }\n\
+     process Q { input x: int; output y: int; y := x * 2; }\n";
+
+/// The scenario the warm/cold pipeline requests replay: the master clock
+/// on every instant, writes on some, reads (`x_rd`) on the rest — so the
+/// Section-5.2 estimation converges in a couple of rounds.
+pub const PIPE_SCENARIO: &str = "tick=true a=1\n\
+     tick=true a=2\n\
+     tick=true x_rd=true\n\
+     tick=true a=3 x_rd=true\n\
+     tick=true x_rd=true\n\
+     tick=true x_rd=true\n";
+
+/// A distinct-per-index variant of the warm source — same shape, unique
+/// content hash.
+pub fn cold_source(i: usize) -> String {
+    format!(
+        "process P {{ input a: int; output x: int; x := a + {}; }}\n\
+         process Q {{ input x: int; output y: int; y := x * 2; }}\n",
+        i + 2
+    )
+}
+
+/// The request at position `i` of the deterministic workload.
+pub fn request_at(opts: &LoadOptions, i: usize) -> Request {
+    let normal = opts.requests.saturating_sub(opts.adversarial);
+    if i >= normal {
+        // adversarial tail: a scenario longer than the instant budget
+        let step = "tick=true a=1\n";
+        let mut scenario = String::with_capacity(step.len() * opts.adversarial_instants);
+        for _ in 0..opts.adversarial_instants {
+            scenario.push_str(step);
+        }
+        let mut req = Request::new(i as u64, RequestKind::Pipeline, WARM_SOURCE);
+        req.scenario = Some(scenario);
+        return req;
+    }
+    // interleave warm and cold deterministically: request i is warm iff
+    // its position in the 0..100 cycle falls below warm_percent
+    let warm = (i * 100 / normal.max(1)) % 100 < opts.warm_percent || opts.warm_percent >= 100;
+    let mut req = if warm {
+        Request::new(i as u64, RequestKind::Pipeline, WARM_SOURCE)
+    } else {
+        Request::new(i as u64, RequestKind::Pipeline, cold_source(i))
+    };
+    req.scenario = Some(PIPE_SCENARIO.into());
+    req.params = EstimationParams::default();
+    req
+}
+
+/// Runs the workload against a live server.
+///
+/// # Errors
+///
+/// `Err` only when no connection at all could be established; per-request
+/// transport failures are counted in the report instead.
+pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, String> {
+    let next = AtomicUsize::new(0);
+    let report = Mutex::new(LoadReport::default());
+    let latencies = Mutex::new(Vec::with_capacity(opts.requests));
+    let connect_failures = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency.max(1) {
+            scope.spawn(|| {
+                let mut client = match Client::connect(&opts.addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        connect_failures.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= opts.requests {
+                        return;
+                    }
+                    let req = request_at(opts, i);
+                    let t0 = Instant::now();
+                    let result = client.call(&req);
+                    let us = t0.elapsed().as_micros() as u64;
+                    let mut r = report.lock().expect("report lock");
+                    r.sent += 1;
+                    match result {
+                        Err(_) => r.transport_errors += 1,
+                        Ok(envelope) => {
+                            latencies.lock().expect("latency lock").push(us);
+                            match envelope.served.as_str() {
+                                "hit" => r.served_hit += 1,
+                                "coalesced" => r.served_coalesced += 1,
+                                _ => r.served_cold += 1,
+                            }
+                            match envelope.outcome.as_str() {
+                                "source_error" => r.source_errors += 1,
+                                "budget_exceeded" => r.budget_exceeded += 1,
+                                _ => r.ok += 1,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if connect_failures.load(Ordering::SeqCst) == opts.concurrency.max(1) {
+        return Err(format!("could not connect to {}", opts.addr));
+    }
+    let elapsed_us = started.elapsed().as_micros().max(1) as u64;
+    let mut report = report.into_inner().expect("report lock");
+    let mut lat = latencies.into_inner().expect("latency lock");
+    lat.sort_unstable();
+    report.p50_us = percentile(&lat, 50);
+    report.p99_us = percentile(&lat, 99);
+    report.elapsed_us = elapsed_us;
+    report.reqs_per_sec = report.sent as u64 * 1_000_000 / elapsed_us;
+    Ok(report)
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * p / 100;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let opts = LoadOptions { requests: 20, adversarial: 2, ..LoadOptions::default() };
+        let a: Vec<Request> = (0..20).map(|i| request_at(&opts, i)).collect();
+        let b: Vec<Request> = (0..20).map(|i| request_at(&opts, i)).collect();
+        assert_eq!(a, b);
+        let warm = a.iter().filter(|r| r.source == WARM_SOURCE && r.id < 18).count();
+        let cold = a.iter().filter(|r| r.source != WARM_SOURCE).count();
+        assert!(warm > 0 && cold > 0, "mix must contain both warm and cold");
+        // the adversarial tail exceeds any default instant budget
+        let tail = &a[19];
+        assert!(tail.scenario.as_ref().expect("scenario").lines().count() > 4096);
+    }
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let lat = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&lat, 50), 50);
+        assert_eq!(percentile(&lat, 99), 90);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

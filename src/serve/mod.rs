@@ -1,0 +1,24 @@
+//! `polysig-serve`: a long-running analysis server over the library
+//! pipeline (parse → resolve → lint → estimate → check).
+//!
+//! The wire protocol is length-prefixed JSON frames over TCP
+//! ([`proto`]); the engine behind it ([`engine`]) adds a content-hash
+//! result cache, single-flight request coalescing and per-request
+//! budgets; [`loadgen`] is the bundled load generator the CI smoke and
+//! the `serve/*` benches drive the server with. DESIGN.md §13 documents
+//! the cache-keying and trust arguments.
+
+pub mod engine;
+pub mod json;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, EngineStats, CHECK_INT_VALUES};
+pub use json::Json;
+pub use loadgen::{run_load, LoadOptions, LoadReport};
+pub use proto::{
+    read_frame, write_frame, EstimationParams, Outcome, Request, RequestKind, Response, Served,
+    MAX_FRAME,
+};
+pub use server::Server;

@@ -2,45 +2,60 @@
 """Bench regression gate.
 
 Compares fresh bench runs against the committed reference medians and
-fails (exit 1) when any gated id regressed by more than the threshold.
+fails (exit 1) when the measurements show a regression the host's noise
+cannot explain.
 
     bench_gate.py <committed.json> <fresh.json>... [threshold]
 
 `committed.json` is the repo's `BENCH_summary.json`; its `baseline`
-section holds the reference medians. Each `fresh.json` is a scratch
-summary produced by running the benches with `BENCH_SUMMARY_PATH`
-pointing at it; its `current` section holds that run's medians.
+section holds the reference medians (per-id minima over many runs, i.e.
+each id's fast layout). Each `fresh.json` is a scratch summary produced
+by running the benches with `BENCH_SUMMARY_PATH` pointing at it; its
+`current` section holds that run's medians.
 
-Two defenses against shared-runner noise, where wall-clock timings are
-at the mercy of invisible host load:
+What the gate is up against: on shared hosts each *process* lands every
+hot loop in a fast or a slow placement (physical-page / SMT aliasing
+that survives disabling ASLR), so an individual id legitimately swings
+~2x between runs — stable within a process, random across processes,
+uncorrelated between ids. Per-id thresholds at the interesting 30%
+level would flake constantly. The gate therefore layers three checks,
+each robust to per-id mode flips:
 
-* **min of N runs** — when several fresh files are given, the per-id
-  minimum across them is compared. Scheduler noise only ever inflates a
-  timing, so the min is the robust estimate of the true cost, and a
-  real regression still shows up in every run.
-* **batch normalization** — host steal and CPU-allocation changes slow
-  the *whole batch* together, so each id's fresh/baseline ratio is
-  divided by the batch-wide median ratio before thresholding. A uniform
-  slowdown cancels out; a single-id regression stands out against the
-  batch. The limitation is deliberate: a regression hitting every gated
-  id uniformly is absorbed into the normalizer — the printed median
-  ratio makes such a shift visible for a human to judge, since it is
-  indistinguishable from a slower machine by timing alone.
+* **batch median** — the median fresh/baseline ratio across all gated
+  ids must stay under `1 + threshold`. Independent per-id mode flips
+  leave the median near the typical mode, so a broad real regression
+  (every id drifting together) is caught at full 30% sensitivity.
+* **per-id hard cap** — each id's ratio, normalized by the batch
+  median, must stay under `MODE_STEP * (1 + threshold)`. One mode step
+  is environmental; beyond a mode step plus the threshold is a real
+  per-id regression (the accidental-clone / lost-cache class).
+* **serve cache contract** — within at least one fresh file (so both
+  sides share a process), `serve/cold_pipe` must be `CACHE_FLOOR`x
+  slower than `serve/warm_hit`. This pins the content-hash hit path
+  absolutely: in practice the ratio is 50-100x, and no combination of
+  mode flips drags a working cache below the floor.
 
-Only ids under the gated prefixes that appear in both the baseline and
-a fresh section are compared — renamed or new ids are reported but
-never fail the gate. `threshold` is the allowed normalized relative
-regression (default 0.30, above the residual per-id jitter and well
-below the accidental-clone class of regression the gate exists to
-catch); a trailing numeric argument is parsed as the threshold,
-everything before it as fresh files.
+The per-id table still marks ids beyond the 30% threshold (`warn`) so
+a human can watch for creep; only the three checks above fail the run.
+Ids without a committed baseline are reported but never fail the gate.
+`threshold` is the allowed relative regression (default 0.30); a
+trailing numeric argument is parsed as the threshold, everything before
+it as fresh files.
 """
 
 import json
 import statistics
 import sys
 
-GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/", "compile/")
+GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/", "compile/", "serve/")
+
+# One fast->slow placement step observed on shared hosts (measured
+# 2.05-2.2x across layouts); regressions are only attributed to code
+# once they exceed a full step plus the threshold.
+MODE_STEP = 2.0
+
+# Minimum within-process cold/warm ratio for the serve cache hit path.
+CACHE_FLOOR = 30.0
 
 
 def main() -> int:
@@ -82,31 +97,61 @@ def main() -> int:
         print("bench gate: no gated ids with a committed baseline")
         return 0
     batch = statistics.median(ratios.values())
+    cap = MODE_STEP * (1.0 + threshold)
 
     failures = []
     label = "fresh" if len(runs) == 1 else f"min of {len(runs)}"
     print(f"{'id':<44} {'baseline':>12} {label:>12} {'delta':>8} {'norm':>8}")
     for bench_id in sorted(ratios):
-        normalized = ratios[bench_id] / batch - 1.0
-        flag = " FAIL" if normalized > threshold else ""
+        normalized = ratios[bench_id] / batch
+        if normalized > cap:
+            flag = " FAIL"
+            failures.append(
+                f"{bench_id}: {normalized:.2f}x normalized exceeds the "
+                f"{cap:.2f}x per-id cap (a mode step cannot explain it)"
+            )
+        elif normalized - 1.0 > threshold:
+            flag = " warn"
+        else:
+            flag = ""
         print(
             f"{bench_id:<44} {reference[bench_id]:>12.0f} {gated[bench_id]:>12.0f}"
-            f" {ratios[bench_id] - 1.0:>+7.1%} {normalized:>+7.1%}{flag}"
+            f" {ratios[bench_id] - 1.0:>+7.1%} {normalized - 1.0:>+7.1%}{flag}"
         )
-        if normalized > threshold:
-            failures.append((bench_id, normalized))
     for bench_id in skipped:
         print(f"{bench_id:<44} {'(no baseline — skipped)':>34}")
     print(f"\nbatch median fresh/baseline ratio: {batch:.3f} (normalizer)")
 
-    if failures:
-        print(
-            f"bench gate: {len(failures)} id(s) regressed more than "
-            f"{threshold:.0%} vs the committed baseline after batch "
-            f"normalization"
+    if batch - 1.0 > threshold:
+        failures.append(
+            f"batch median ratio {batch:.3f} exceeds 1 + {threshold:.0%}: "
+            "the whole suite regressed together"
         )
+
+    cache_ratios = [
+        run["serve/cold_pipe"] / run["serve/warm_hit"]
+        for run in runs
+        if run.get("serve/warm_hit") and run.get("serve/cold_pipe")
+    ]
+    if cache_ratios:
+        best = max(cache_ratios)
+        print(f"serve cache contract: best within-run cold/warm ratio {best:.1f}x")
+        if best < CACHE_FLOOR:
+            failures.append(
+                f"serve/cold_pipe is only {best:.1f}x serve/warm_hit "
+                f"(floor {CACHE_FLOOR:.0f}x): the content-hash hit path lost "
+                "its advantage"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"bench gate: {failure}")
+        print(f"bench gate: {len(failures)} failure(s)")
         return 1
-    print(f"bench gate: ok ({threshold:.0%} threshold after batch normalization)")
+    print(
+        f"bench gate: ok (batch {threshold:.0%}, per-id cap {cap:.2f}x, "
+        f"cache floor {CACHE_FLOOR:.0f}x)"
+    )
     return 0
 
 

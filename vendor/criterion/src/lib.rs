@@ -16,6 +16,16 @@
 //!   every benchmark is merged into `BENCH_summary.json` at the workspace
 //!   root (override the path with `BENCH_SUMMARY_PATH`, the section written
 //!   with `BENCH_SUMMARY_SECTION`, default `"current"`).
+//!
+//! Recorded values are **speed-calibrated**: each sample is rescaled by the
+//! adjacently-timed cost of a fixed integer spin loop, pinned to
+//! [`CALIB_REF_NS`]. Shared hosts drift between CPU-speed states (frequency
+//! scaling, steal) that can differ 2× across a run; because the spin loop
+//! slows down exactly when the workload does, the ratio cancels the drift
+//! and the summary stays comparable across runs — which is what lets
+//! `tools/bench_gate.py` hold a 30% regression threshold. Absolute values
+//! are therefore "ns at the reference speed", not wall-clock ns on the
+//! current host. Set `BENCH_NO_CALIB=1` to record raw wall-clock ns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +38,36 @@ pub mod summary;
 /// Re-export of [`std::hint::black_box`] under criterion's traditional name.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// The pinned cost of one calibration spin: recorded timings are rescaled
+/// as if [`spin_ns`] always took this long. The value itself is arbitrary
+/// (it was one quiet measurement on the reference host); only its stability
+/// matters, since the gate compares summaries recorded in the same units.
+pub const CALIB_REF_NS: f64 = 36_000.0;
+
+const SPIN_ROUNDS: u64 = 20_000;
+
+/// Times one fixed xorshift spin loop (~tens of µs): pure integer work
+/// whose wall-clock cost tracks the host's instantaneous CPU speed.
+fn spin_ns() -> f64 {
+    let t = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    for _ in 0..SPIN_ROUNDS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    black_box(x);
+    (t.elapsed().as_nanos() as f64).max(1.0)
+}
+
+/// The current speed scale: how much to multiply a wall-clock measurement
+/// by so it reads as "ns at the reference speed". Takes the faster of two
+/// spins, so a preempted spin cannot inflate the scale.
+fn speed_scale() -> f64 {
+    let calib = spin_ns().min(spin_ns());
+    CALIB_REF_NS / calib
 }
 
 /// The benchmark manager: hands out groups and knows whether we are
@@ -174,15 +214,20 @@ impl Bencher {
         let iters = (4_000_000 / per_call_ns).clamp(1, 1_000_000);
         let samples = 11usize;
         let cap = Duration::from_millis(1500);
+        let calibrate = std::env::var_os("BENCH_NO_CALIB").is_none();
         let mut medians: Vec<f64> = Vec::with_capacity(samples);
         let total_start = Instant::now();
         for _ in 0..samples {
+            // Calibrate adjacent to the sample: speed epochs on shared
+            // hosts last far longer than one ~4ms sample, so the spin sees
+            // the same CPU speed the workload is about to.
+            let scale = if calibrate { speed_scale() } else { 1.0 };
             let t = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
             let ns = t.elapsed().as_nanos() as f64 / iters as f64;
-            medians.push(ns);
+            medians.push(ns * scale);
             if total_start.elapsed() > cap {
                 break;
             }
