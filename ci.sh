@@ -38,6 +38,10 @@ echo "==> fuzz smoke: same sweep with compilation disabled (POLYSIG_COMPILE=off)
 POLYSIG_COMPILE=off POLYSIG_FUZZ_SEED=1 POLYSIG_FUZZ_CASES=200 \
   cargo test -q --release --test fuzz_conformance
 
+echo "==> federated soak: 4 federates x 250k instants, streaming counters, no trace recording"
+POLYSIG_SOAK=1 cargo test -q --release --test federated_runtime \
+  soak_long_horizon_streams_counters
+
 echo "==> serve smoke: 64 requests at concurrency 8, one adversarial, against a live server"
 cargo build -q --release --bin polysig-serve
 smoke_dir="$(mktemp -d)"
@@ -66,6 +70,17 @@ grep -q 'source_errors 0 ' <<< "$smoke_out" \
   || { echo "serve smoke: source errors"; exit 1; }
 rm -rf "$smoke_dir"
 
+echo "==> federated smoke: 3-stage pipeline, 2000 activations, capacity 4 (threads 1 and default)"
+cargo build -q --release --bin polysig_cli
+fed_out="$(POLYSIG_TEST_THREADS=1 ./target/release/polysig_cli federated 3 2000 4)"
+echo "$fed_out" | tail -n 2
+grep -q 'OK: every value delivered, every thread joined' <<< "$fed_out" \
+  || { echo "federated smoke (threads 1): self-check failed"; exit 1; }
+fed_out="$(./target/release/polysig_cli federated 3 2000 4)"
+echo "$fed_out" | tail -n 2
+grep -q 'OK: every value delivered, every thread joined' <<< "$fed_out" \
+  || { echo "federated smoke (default threads): self-check failed"; exit 1; }
+
 if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
   echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
 else
@@ -83,7 +98,7 @@ else
   scratch1="$(mktemp -u)" scratch2="$(mktemp -u)"
   trap 'rm -f "$scratch1" "$scratch2"' EXIT
   for scratch in "$scratch1" "$scratch2"; do
-    for bench in verify_alarm fig2_one_place_buffer buffer_estimation static_analysis compiled_exec serve; do
+    for bench in verify_alarm fig2_one_place_buffer buffer_estimation static_analysis compiled_exec serve federated; do
       BENCH_SUMMARY_PATH="$scratch" $aslr_off cargo bench -q -p polysig-bench --bench "$bench" \
         > /dev/null
     done

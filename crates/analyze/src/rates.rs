@@ -165,6 +165,24 @@ impl StaticBounds {
             })
             .collect()
     }
+
+    /// Proven depths shaped as *federate channel capacities*: the credit
+    /// pool sizes of the federated GALS executor. Unlike
+    /// [`StaticBounds::warm_start`], a non-tight [`ChannelBound::UpperBound`]
+    /// also qualifies — an over-provisioned credit pool costs memory, never
+    /// correctness — and every capacity is floored at one credit (a proven
+    /// depth of zero still needs a slot for the value in flight).
+    pub fn federate_capacities(&self) -> BTreeMap<SigName, usize> {
+        self.bounds
+            .iter()
+            .filter_map(|(s, b)| match b {
+                ChannelBound::Exact { depth } | ChannelBound::UpperBound { depth } => {
+                    Some((s.clone(), (*depth).max(1)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// The scenario facts the prover extracts once: per-signal presence and

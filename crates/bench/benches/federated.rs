@@ -1,0 +1,100 @@
+//! E12 — federated execution: compiled federates over bounded credit
+//! channels.
+//!
+//! `federated/throughput_N` drives an `N`-stage integer pipeline with one
+//! federate per stage (stage 0 replays a periodic writer scenario, every
+//! later stage runs data-driven) in soak mode — no flow recording, the
+//! streaming counters are the only observation — and measures whole-runs:
+//! elaboration, spawn, the RTI start barrier, the activation loops, and
+//! the join-everything teardown. The banner reports steady-state
+//! events/sec per federate count and the 4-vs-1 ratio; on a single-CPU
+//! runner the ratio stays near (or below) 1 — the federates time-slice one
+//! core and pay the coordination on top — which is the measured gap
+//! DESIGN.md §14 explains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use polysig_bench::banner;
+use polysig_gals::runtime::{run_federated, FederateSpec, FederatedOptions, FederatedRun};
+use polysig_lang::{parse_program, Program};
+use polysig_sim::{PeriodicInputs, Scenario, ScenarioGenerator};
+use polysig_tagged::ValueType;
+
+/// Activations per federate inside the timed rows (whole-run latency stays
+/// in criterion's comfort zone even at 8 federates on one core).
+const STEPS: usize = 1_500;
+
+/// An `n`-stage integer pipeline `a -> s0 -> s1 -> ...` (stage `j` adds 1).
+fn chain(stages: usize) -> Program {
+    let mut src = String::from("process S0 { input a: int; output s0: int; s0 := a + 1; } ");
+    for j in 1..stages {
+        src.push_str(&format!(
+            "process S{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
+            j - 1,
+            j - 1
+        ));
+    }
+    parse_program(&src).unwrap()
+}
+
+fn federates(stages: usize, activations: usize, env: &Scenario) -> Vec<FederateSpec> {
+    let mut v = vec![FederateSpec::new("S0", activations).with_environment(env.clone())];
+    for j in 1..stages {
+        v.push(FederateSpec::new(format!("S{j}"), 2 * activations).data_driven());
+    }
+    v
+}
+
+fn run_chain(program: &Program, stages: usize, activations: usize, env: &Scenario) -> FederatedRun {
+    let run = run_federated(
+        program,
+        federates(stages, activations, env),
+        &FederatedOptions::default().with_default_capacity(32).soak(),
+    )
+    .unwrap();
+    // the row is meaningless unless the federation actually did the work
+    assert_eq!(run.total_reactions(), stages * activations, "every federate ran its budget");
+    for (name, c) in &run.channels {
+        assert_eq!(c.pushes, activations as u64, "channel {name} carried every value");
+        assert!(c.drained(), "channel {name} drained");
+    }
+    run
+}
+
+fn bench(c: &mut Criterion) {
+    let counts = [1usize, 2, 4, 8];
+    let programs: Vec<(usize, Program)> = counts.iter().map(|&n| (n, chain(n))).collect();
+    let env = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(STEPS);
+
+    // steady-state calibration for the banner: one long run per federate
+    // count, reactions/sec as the events metric
+    let mut rates = Vec::new();
+    for (n, program) in &programs {
+        let big = 20_000;
+        let big_env = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(big);
+        let run = run_chain(program, *n, big, &big_env);
+        assert!(run.federates.values().all(|s| s.compiled), "federates must run compiled plans");
+        rates.push((*n, run.total_reactions() as f64 / run.elapsed.as_secs_f64()));
+    }
+    let rate_of = |n: usize| rates.iter().find(|(c, _)| *c == n).map(|(_, r)| *r).unwrap();
+    banner(
+        "E12 / federated execution",
+        &format!(
+            "events/sec: {} — 4-federate vs single-federate ratio {:.2} on {} CPU(s)",
+            rates.iter().map(|(n, r)| format!("{n} fed {:.0}", r)).collect::<Vec<_>>().join(", "),
+            rate_of(4) / rate_of(1),
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        ),
+    );
+
+    let mut group = c.benchmark_group("federated");
+    for (n, program) in &programs {
+        group.bench_function(format!("throughput_{n}"), |b| {
+            b.iter(|| std::hint::black_box(run_chain(program, *n, STEPS, &env).total_reactions()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

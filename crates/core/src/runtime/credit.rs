@@ -9,11 +9,18 @@
 //! processed item. Unlike global clock masking it needs no shared state —
 //! only a second (ack) channel in the reverse direction — and unlike the
 //! lossy policy it never drops: the producer *locally* decides to stall.
+//!
+//! A stalled producer **blocks on its ack channel** (sliced,
+//! disconnect-aware waits) rather than spinning: no CPU burned while out
+//! of credit, an immediate wake on either an ack or a gone consumer, and
+//! the time spent stalled is accounted per component alongside the stall
+//! count ([`CreditRun::stalled`]).
 
 use std::collections::BTreeMap;
 use std::thread;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use polysig_lang::{Program, Role};
 use polysig_sim::{DenseEnv, Reactor, Scenario, SimError};
@@ -21,6 +28,7 @@ use polysig_tagged::{SigId, SigName, Value};
 
 use crate::error::GalsError;
 use crate::partition::channels_of_program;
+use crate::runtime::record::FlowRecorder;
 use crate::runtime::threaded::ThreadedComponent;
 
 /// Result of a credit-based threaded run.
@@ -30,6 +38,8 @@ pub struct CreditRun {
     pub flows: BTreeMap<String, BTreeMap<SigName, Vec<Value>>>,
     /// Activations each producer spent stalled waiting for credit.
     pub stalls: BTreeMap<String, usize>,
+    /// Wall-clock time each producer spent blocked waiting for credit.
+    pub stalled: BTreeMap<String, Duration>,
 }
 
 impl CreditRun {
@@ -39,9 +49,14 @@ impl CreditRun {
     }
 }
 
-/// What one component thread reports back: its name, per-signal flows, and
-/// activations spent stalled.
-type CreditReport = (String, BTreeMap<SigName, Vec<Value>>, usize);
+/// What one component thread reports back: its name, per-signal flows,
+/// activations spent stalled, and time spent stalled.
+type CreditReport = (String, BTreeMap<SigName, Vec<Value>>, usize, Duration);
+
+/// Poll slice for a blocked credit wait: long enough that a stalled
+/// producer sleeps (no spinning), short enough that a consumer retiring
+/// without closing its ack channel is noticed promptly.
+const STALL_POLL: Duration = Duration::from_millis(1);
 
 struct Endpoint {
     data_tx: Option<Sender<Value>>,
@@ -140,10 +155,10 @@ pub fn run_threaded_credit(
         let activations = spec.activations;
         let name = spec.name;
         let handle = thread::spawn(move || -> Result<CreditReport, GalsError> {
-            let names = reactor.signal_names().to_vec();
-            let mut dense_flows: Vec<Vec<Value>> = vec![Vec::new(); n_sigs];
+            let mut recorder = FlowRecorder::new(reactor.signal_names().to_vec());
             let mut in_buf = DenseEnv::new(n_sigs);
             let mut stalls = 0usize;
+            let mut stalled = Duration::ZERO;
             let mut k = 0usize;
             let mut done = 0usize;
             while done < activations {
@@ -165,22 +180,38 @@ pub fn run_threaded_credit(
                     }
                 }
                 // a producer activation that would send without credit
-                // stalls (the local masking decision)
+                // stalls (the local masking decision) — by *blocking* on
+                // the ack channel, not by spinning: an arriving ack or a
+                // dropped consumer endpoint wakes it immediately, and the
+                // sliced timeout keeps the wait observable
                 let would_send = !out_links.is_empty()
                     && env_steps.get(k).is_some_and(|(_, nonempty)| *nonempty);
-                if would_send
-                    && !consumer_gone
-                    && out_links.iter().any(|(_, _, _, credit)| *credit == 0)
-                {
-                    stalls += 1;
-                    thread::yield_now();
-                    continue;
-                }
-                in_buf.reset(n_sigs);
-                if let Some((step, _)) = env_steps.get(k) {
-                    for (id, v) in step.iter() {
-                        in_buf.set(id, v);
+                if would_send && !consumer_gone {
+                    let mut stalled_this_activation = false;
+                    'out: for (_, _, ack_rx, credit) in &mut out_links {
+                        while *credit == 0 {
+                            if !stalled_this_activation {
+                                stalled_this_activation = true;
+                                stalls += 1;
+                            }
+                            let from = Instant::now();
+                            let woke = ack_rx.recv_timeout(STALL_POLL);
+                            stalled += from.elapsed();
+                            match woke {
+                                Ok(()) => *credit += 1,
+                                Err(RecvTimeoutError::Timeout) => {}
+                                // consumer gone: stop waiting — the next
+                                // activation's ack drain re-detects it and
+                                // skips the stall entirely
+                                Err(RecvTimeoutError::Disconnected) => break 'out,
+                            }
+                        }
                     }
+                }
+                // load this activation's environment step with one slice copy
+                match env_steps.get(k) {
+                    Some((step, _)) => in_buf.assign_from(step),
+                    None => in_buf.reset(n_sigs),
                 }
                 k += 1;
                 for (id, data_rx, ack_tx) in &in_links {
@@ -190,9 +221,7 @@ pub fn run_threaded_credit(
                     }
                 }
                 let present = reactor.react_dense(&in_buf)?;
-                for (id, value) in present.iter() {
-                    dense_flows[id.index()].push(value);
-                }
+                recorder.record(present);
                 for (id, data_tx, _, credit) in &mut out_links {
                     let Some(value) = present.get(*id) else { continue };
                     let _ = data_tx.send(value);
@@ -204,19 +233,16 @@ pub fn run_threaded_credit(
                     thread::yield_now();
                 }
             }
-            // render the dense per-signal flows back to names, only for
-            // signals that ever ticked (matching the name-keyed behavior)
-            let flows: BTreeMap<SigName, Vec<Value>> =
-                names.into_iter().zip(dense_flows).filter(|(_, f)| !f.is_empty()).collect();
-            Ok((name, flows, stalls))
+            Ok((name, recorder.into_named(), stalls, stalled))
         });
         handles.push(handle);
     }
 
     let mut run = CreditRun::default();
     for handle in handles {
-        let (name, flows, stalls) = handle.join().expect("component thread panicked")?;
+        let (name, flows, stalls, stalled) = handle.join().expect("component thread panicked")?;
         run.stalls.insert(name.clone(), stalls);
+        run.stalled.insert(name.clone(), stalled);
         run.flows.insert(name, flows);
     }
     Ok(run)
@@ -286,8 +312,32 @@ mod tests {
         // with a single credit the producer must stall at least once while
         // each ack makes the round trip
         assert!(run.stalls["P"] > 0, "single-credit producer should stall");
+        // and the time spent blocked is accounted alongside the count
+        assert!(run.stalled["P"] > Duration::ZERO, "stalled time is accounted");
         let sent = run.flow("P", &"x".into());
         assert_eq!(sent.len(), n);
+    }
+
+    #[test]
+    fn stall_wait_is_disconnect_aware_not_a_hang() {
+        // the consumer retires after a single activation; the producer's
+        // blocked credit waits must notice the dropped ack endpoint and
+        // finish (sends become /dev/null) rather than stalling forever
+        let n = 40;
+        let run = run_threaded_credit(
+            &pipe(),
+            vec![
+                ThreadedComponent { name: "P".into(), activations: n, environment: env(n) },
+                ThreadedComponent {
+                    name: "Q".into(),
+                    activations: 1,
+                    environment: Scenario::new(),
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(run.flow("P", &"x".into()).len(), n, "producer ran its full budget");
     }
 
     #[test]

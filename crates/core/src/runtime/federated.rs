@@ -1,0 +1,611 @@
+//! The federated GALS executor: one compiled federate per component.
+//!
+//! This is the deployment the paper's validation story is *for*. Each
+//! component becomes a **federate** — an OS thread executing the
+//! component's compiled reaction plan ([`Reactor`] auto-compiles to
+//! bytecode and falls back to the interpreter, exactly as in the
+//! single-threaded runtimes) — and the federates are coupled by nothing
+//! but bounded FIFO channels whose capacity is a credit pool sized from
+//! static analysis ([`FederatedOptions::from_report`] takes
+//! `estimate_buffer_sizes` output; proven `StaticBounds` depths work the
+//! same way). A producer out of credit blocks; a consumer in data-driven
+//! mode blocks for input. A small RTI coordinates the rest: a start
+//! barrier so no channel sees traffic before every federate is
+//! elaborated, a shutdown flag that drains the federation when any
+//! federate fails, streaming per-channel occupancy sampling, and a
+//! join-everything teardown that provably leaks no thread.
+//!
+//! Flow equivalence (the paper's Theorems 1–2) is what makes the result
+//! meaningful: for endochronous components behind single-producer/
+//! single-consumer FIFOs, the per-signal flows observed here equal the
+//! synchronous simulation's flows *regardless of the nondeterministic
+//! thread interleaving* — the Kahn-network argument. The `FederatedFlow`
+//! conformance oracle in `crates/gen` checks exactly that on thousands of
+//! generated programs.
+//!
+//! Hot-path discipline (PR 1): federate loops run entirely on dense
+//! [`SigId`]-indexed slots — input steps are precomputed `DenseEnv`s
+//! loaded with one slice copy, flow recording appends into id-indexed
+//! vectors, and name-keyed maps appear only in the final report. In soak
+//! mode ([`FederatedOptions::soak`]) flow recording is off entirely and
+//! the streaming counters are the only observation channel, so memory
+//! stays flat over millions of instants.
+//!
+//! [`SigId`]: polysig_tagged::SigId
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use polysig_lang::{Program, Role};
+use polysig_sim::{DenseEnv, Reactor, Scenario, SimError};
+use polysig_tagged::{SigId, SigName, Value};
+
+use crate::error::GalsError;
+use crate::estimate::EstimationReport;
+use crate::partition::channels_of_program;
+use crate::runtime::channel::{
+    fed_channel, ChannelCounters, ChannelMonitor, FedReceiver, FedSender, RecvOutcome, SendOutcome,
+};
+use crate::runtime::record::FlowRecorder;
+use crate::runtime::rti::{FederateCtx, JoinStats, Rti};
+
+/// Configuration of one federate.
+#[derive(Debug, Clone)]
+pub struct FederateSpec {
+    /// The component's name in the program.
+    pub name: String,
+    /// Activation budget: at most this many reactions.
+    pub activations: usize,
+    /// Environment inputs per activation (indexed by activation number).
+    pub environment: Scenario,
+    /// Data-driven activation: instead of polling, each activation *blocks*
+    /// until every live in-link delivers a value — one reaction per arriving
+    /// input, and the federate retires early once every upstream producer is
+    /// gone and drained. The natural mode for interior pipeline stages;
+    /// meaningless (and ignored) for federates without in-links.
+    pub data_driven: bool,
+}
+
+impl FederateSpec {
+    /// A source-style federate: `activations` reactions driven by its own
+    /// local clock, polling in-links without blocking.
+    pub fn new(name: impl Into<String>, activations: usize) -> FederateSpec {
+        FederateSpec {
+            name: name.into(),
+            activations,
+            environment: Scenario::new(),
+            data_driven: false,
+        }
+    }
+
+    /// Adds environment inputs (one entry per activation).
+    pub fn with_environment(mut self, environment: Scenario) -> FederateSpec {
+        self.environment = environment;
+        self
+    }
+
+    /// Switches to data-driven activation (see [`FederateSpec::data_driven`]).
+    pub fn data_driven(mut self) -> FederateSpec {
+        self.data_driven = true;
+        self
+    }
+}
+
+/// Options of a federated run.
+#[derive(Debug, Clone)]
+pub struct FederatedOptions {
+    /// Per-channel capacities (the credit pools). Channels not named here
+    /// use [`FederatedOptions::default_capacity`].
+    pub capacities: BTreeMap<SigName, usize>,
+    /// Capacity for channels without an explicit entry (min 1).
+    pub default_capacity: usize,
+    /// Record per-signal flows (off in soak mode: the streaming counters
+    /// become the only observation, and memory stays flat).
+    pub record_flows: bool,
+    /// Poll slice for blocked sends/receives — how promptly a stalled
+    /// federate notices the shutdown flag.
+    pub stall_poll: Duration,
+    /// When set, the RTI samples every channel's occupancy at this cadence
+    /// while the federation runs.
+    pub sample_every: Option<Duration>,
+}
+
+impl Default for FederatedOptions {
+    fn default() -> FederatedOptions {
+        FederatedOptions {
+            capacities: BTreeMap::new(),
+            default_capacity: 1,
+            record_flows: true,
+            stall_poll: Duration::from_millis(1),
+            sample_every: None,
+        }
+    }
+}
+
+impl FederatedOptions {
+    /// Capacities from a buffer-estimation report: each channel's credit
+    /// pool is its estimated bound (floored at one credit).
+    pub fn from_report(report: &EstimationReport) -> FederatedOptions {
+        FederatedOptions {
+            capacities: report
+                .final_sizes
+                .iter()
+                .map(|(name, size)| (name.clone(), (*size).max(1)))
+                .collect(),
+            ..FederatedOptions::default()
+        }
+    }
+
+    /// Sets one channel's capacity.
+    pub fn with_capacity(mut self, signal: impl Into<SigName>, capacity: usize) -> Self {
+        self.capacities.insert(signal.into(), capacity.max(1));
+        self
+    }
+
+    /// Sets the capacity used by channels without an explicit entry.
+    pub fn with_default_capacity(mut self, capacity: usize) -> Self {
+        self.default_capacity = capacity.max(1);
+        self
+    }
+
+    /// Soak mode: no flow recording (counters are the observation).
+    pub fn soak(mut self) -> Self {
+        self.record_flows = false;
+        self
+    }
+
+    /// Enables occupancy sampling at the given cadence.
+    pub fn with_sampling(mut self, every: Duration) -> Self {
+        self.sample_every = Some(every);
+        self
+    }
+}
+
+/// Per-federate execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederateStats {
+    /// Reactions performed (≤ the activation budget; less when the federate
+    /// retired early or was interrupted).
+    pub reactions: usize,
+    /// `true` when the federate ran its compiled [`ExecPlan`] rather than
+    /// the interpreter.
+    ///
+    /// [`ExecPlan`]: polysig_sim::ExecPlan
+    pub compiled: bool,
+}
+
+/// One streamed occupancy sample, taken while the federation was running.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Time since the federation started.
+    pub at: Duration,
+    /// Queue occupancy per channel at that moment.
+    pub occupancy: BTreeMap<SigName, u64>,
+}
+
+/// Result of a federated run.
+#[derive(Debug, Clone, Default)]
+pub struct FederatedRun {
+    /// `flows[component][signal]` = values in activation order (empty maps
+    /// in soak mode).
+    pub flows: BTreeMap<String, BTreeMap<SigName, Vec<Value>>>,
+    /// Exact post-join counters per channel: pushes, pops, stall events,
+    /// stalled wall-clock time, max occupancy.
+    pub channels: BTreeMap<SigName, ChannelCounters>,
+    /// Per-federate statistics.
+    pub federates: BTreeMap<String, FederateStats>,
+    /// Occupancy samples streamed during the run (empty unless
+    /// [`FederatedOptions::sample_every`] was set).
+    pub samples: Vec<OccupancySample>,
+    /// Thread teardown accounting (`spawned == joined` always holds).
+    pub teardown: JoinStats,
+    /// Wall-clock time from the start barrier's release to the last join.
+    pub elapsed: Duration,
+}
+
+impl FederatedRun {
+    /// The flow one federate observed/produced on one signal.
+    pub fn flow(&self, component: &str, signal: &SigName) -> Vec<Value> {
+        self.flows.get(component).and_then(|m| m.get(signal)).cloned().unwrap_or_default()
+    }
+
+    /// Total reactions across all federates.
+    pub fn total_reactions(&self) -> usize {
+        self.federates.values().map(|s| s.reactions).sum()
+    }
+
+    /// Total values pushed across all channels.
+    pub fn total_events(&self) -> u64 {
+        self.channels.values().map(|c| c.pushes).sum()
+    }
+}
+
+/// What one federate thread reports back.
+type FederateReport = (FederateStats, BTreeMap<SigName, Vec<Value>>);
+
+/// One federate, fully elaborated on the caller's thread (so every static
+/// error surfaces before anything is spawned).
+struct PreparedFederate {
+    name: String,
+    activations: usize,
+    data_driven: bool,
+    reactor: Reactor,
+    env_steps: Vec<DenseEnv>,
+    out_links: Vec<(SigId, FedSender)>,
+    in_links: Vec<(SigId, FedReceiver)>,
+}
+
+/// Runs the program's components as federates on OS threads, coupled only
+/// by bounded credit channels, under RTI coordination.
+///
+/// Every component of the program that appears in `federates` is run;
+/// channels whose producer or consumer is not among the federates simply
+/// never carry traffic (their endpoints are dropped before the start
+/// barrier, which downstream data-driven federates observe as a retired
+/// producer).
+///
+/// # Errors
+///
+/// Static errors (unknown component, multi-consumer signal, an environment
+/// naming a signal the component does not intern) surface before any
+/// thread is spawned. A reaction error inside a federate raises the
+/// shutdown flag — draining the rest of the federation — and is returned
+/// after every thread is joined.
+pub fn run_federated(
+    program: &Program,
+    federates: Vec<FederateSpec>,
+    options: &FederatedOptions,
+) -> Result<FederatedRun, GalsError> {
+    let chans = channels_of_program(program)?;
+
+    // channel endpoints + coordinator-side monitors
+    let mut senders: BTreeMap<SigName, FedSender> = BTreeMap::new();
+    let mut receivers: BTreeMap<SigName, FedReceiver> = BTreeMap::new();
+    let mut monitors: Vec<(SigName, ChannelMonitor)> = Vec::with_capacity(chans.len());
+    for c in &chans {
+        let capacity =
+            options.capacities.get(&c.signal).copied().unwrap_or(options.default_capacity).max(1);
+        let (tx, rx) = fed_channel(capacity);
+        monitors.push((c.signal.clone(), tx.monitor()));
+        senders.insert(c.signal.clone(), tx);
+        receivers.insert(c.signal.clone(), rx);
+    }
+
+    // elaborate every federate before spawning anything
+    let mut prepared: Vec<PreparedFederate> = Vec::with_capacity(federates.len());
+    for spec in federates {
+        let comp = program
+            .component(&spec.name)
+            .ok_or_else(|| GalsError::UnknownSignal { signal: SigName::from(spec.name.as_str()) })?
+            .clone();
+        let reactor = Reactor::for_component(&comp)?;
+        let out_links: Vec<(SigId, FedSender)> = comp
+            .signals_with_role(Role::Output)
+            .filter_map(|d| {
+                let tx = senders.remove(&d.name)?;
+                let id = reactor.sig_id(&d.name).expect("declared signal is interned");
+                Some((id, tx))
+            })
+            .collect();
+        let in_links: Vec<(SigId, FedReceiver)> = comp
+            .signals_with_role(Role::Input)
+            .filter_map(|d| {
+                let rx = receivers.remove(&d.name)?;
+                let id = reactor.sig_id(&d.name).expect("declared signal is interned");
+                Some((id, rx))
+            })
+            .collect();
+        let n_sigs = reactor.signal_count();
+        let mut env_steps: Vec<DenseEnv> = Vec::with_capacity(spec.environment.len());
+        for inputs in spec.environment.iter() {
+            let mut env = DenseEnv::new(n_sigs);
+            for (name, value) in inputs {
+                let Some(id) = reactor.sig_id(name) else {
+                    return Err(SimError::NotAnInput { name: name.clone() }.into());
+                };
+                env.set(id, *value);
+            }
+            env_steps.push(env);
+        }
+        prepared.push(PreparedFederate {
+            name: spec.name,
+            activations: spec.activations,
+            data_driven: spec.data_driven,
+            reactor,
+            env_steps,
+            out_links,
+            in_links,
+        });
+    }
+    // endpoints of channels no federate serves retire here, before the
+    // start barrier: their peers observe a gone endpoint, never a hang
+    drop(senders);
+    drop(receivers);
+
+    let record_flows = options.record_flows;
+    let poll = options.stall_poll;
+    let mut rti: Rti<Result<FederateReport, GalsError>> = Rti::new(prepared.len());
+    let started = Instant::now();
+    for fed in prepared {
+        let name = fed.name.clone();
+        rti.spawn(name, move |ctx| run_federate(fed, ctx, record_flows, poll));
+    }
+
+    // stream occupancy samples while the federation runs
+    let mut samples = Vec::new();
+    rti.wait_sampling(options.sample_every, || {
+        samples.push(OccupancySample {
+            at: started.elapsed(),
+            occupancy: monitors.iter().map(|(n, m)| (n.clone(), m.occupancy())).collect(),
+        });
+    });
+
+    let (results, teardown) = rti.join_all();
+    let elapsed = started.elapsed();
+    let mut run = FederatedRun { samples, teardown, elapsed, ..FederatedRun::default() };
+    for (name, m) in monitors {
+        run.channels.insert(name, m.snapshot());
+    }
+    for (name, result) in results {
+        let (stats, flows) = result?;
+        run.federates.insert(name.clone(), stats);
+        run.flows.insert(name, flows);
+    }
+    Ok(run)
+}
+
+/// The body of one federate thread: the dense activation loop.
+fn run_federate(
+    fed: PreparedFederate,
+    ctx: FederateCtx,
+    record_flows: bool,
+    poll: Duration,
+) -> Result<FederateReport, GalsError> {
+    let PreparedFederate { mut reactor, env_steps, out_links, in_links, .. } = fed;
+    let n_sigs = reactor.signal_count();
+    let data_driven = fed.data_driven && !in_links.is_empty();
+    let mut recorder = record_flows.then(|| FlowRecorder::new(reactor.signal_names().to_vec()));
+    let mut in_gone = vec![false; in_links.len()];
+    let mut out_gone = vec![false; out_links.len()];
+    let mut in_buf = DenseEnv::new(n_sigs);
+    let mut stats = FederateStats { reactions: 0, compiled: reactor.is_compiled() };
+
+    ctx.start();
+    let result = (|| -> Result<(), GalsError> {
+        'activations: for k in 0..fed.activations {
+            if ctx.shutdown_requested() {
+                break;
+            }
+            // load this activation's environment step with one slice copy
+            match env_steps.get(k) {
+                Some(step) => in_buf.assign_from(step),
+                None => in_buf.reset(n_sigs),
+            }
+            if data_driven {
+                // block per live in-link: one reaction per arriving input
+                let mut any_value = false;
+                for (i, (id, rx)) in in_links.iter().enumerate() {
+                    if in_gone[i] {
+                        continue;
+                    }
+                    match rx.recv(poll, ctx.shutdown_flag()) {
+                        RecvOutcome::Value(v) => {
+                            in_buf.set(*id, v);
+                            any_value = true;
+                        }
+                        RecvOutcome::ProducerGone => in_gone[i] = true,
+                        RecvOutcome::Interrupted => break 'activations,
+                    }
+                }
+                if !any_value {
+                    // every upstream is retired and drained: nothing more
+                    // will ever arrive, so the budget's remainder is moot
+                    break;
+                }
+            } else {
+                for (id, rx) in &in_links {
+                    if let Some(v) = rx.try_recv() {
+                        in_buf.set(*id, v);
+                    }
+                }
+            }
+            let present = reactor.react_dense(&in_buf)?;
+            stats.reactions += 1;
+            if let Some(rec) = recorder.as_mut() {
+                rec.record(present);
+            }
+            for (i, (id, tx)) in out_links.iter().enumerate() {
+                if out_gone[i] {
+                    continue;
+                }
+                let Some(value) = present.get(*id) else { continue };
+                match tx.send(value, poll, ctx.shutdown_flag()) {
+                    SendOutcome::Sent => {}
+                    SendOutcome::ConsumerGone => out_gone[i] = true,
+                    SendOutcome::Interrupted => break 'activations,
+                }
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        // drain the federation: peers unblock at their next poll slice
+        ctx.request_shutdown();
+        return Err(e);
+    }
+    Ok((stats, recorder.map(FlowRecorder::into_named).unwrap_or_default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+    use polysig_sim::{PeriodicInputs, ScenarioGenerator};
+    use polysig_tagged::ValueType;
+
+    fn pipe() -> Program {
+        parse_program(
+            "process P { input a: int; output x: int; x := a; } \
+             process Q { input x: int; output y: int; y := x + 100; }",
+        )
+        .unwrap()
+    }
+
+    fn env(n: usize) -> Scenario {
+        PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(n)
+    }
+
+    #[test]
+    fn data_driven_chain_delivers_every_value_in_order() {
+        let n = 200;
+        let run = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", n).with_environment(env(n)),
+                // generous budget; data-driven retires when P is done
+                FederateSpec::new("Q", 10 * n).data_driven(),
+            ],
+            &FederatedOptions::default().with_capacity("x", 4),
+        )
+        .unwrap();
+        let sent = run.flow("P", &"x".into());
+        let received = run.flow("Q", &"x".into());
+        assert_eq!(sent.len(), n);
+        // data-driven + credit backpressure: *exact* delivery, not a prefix
+        assert_eq!(sent, received);
+        let y = run.flow("Q", &"y".into());
+        assert_eq!(y.len(), n);
+        assert!(y.iter().zip(&sent).all(|(y, x)| y.as_int() == x.as_int().map(|v| v + 100)));
+        // channel accounting agrees
+        let x = &run.channels[&SigName::from("x")];
+        assert_eq!((x.pushes, x.pops), (n as u64, n as u64));
+        assert!(x.drained());
+        assert!(x.max_occupancy <= 4, "capacity respected, got {}", x.max_occupancy);
+        assert_eq!(run.teardown.spawned, 2);
+        assert_eq!(run.teardown.joined, 2);
+        // both federates compiled their plans (simple arithmetic cones) —
+        // unless the POLYSIG_COMPILE override forces interpretation, in
+        // which case both must report the interpreter
+        let compile_on = !matches!(
+            std::env::var("POLYSIG_COMPILE").ok().as_deref(),
+            Some("off" | "0" | "false")
+        );
+        assert!(run.federates.values().all(|s| s.compiled == compile_on));
+    }
+
+    #[test]
+    fn capacity_one_is_fully_serialized_yet_lossless() {
+        let n = 64;
+        let run = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", n).with_environment(env(n)),
+                FederateSpec::new("Q", 10 * n).data_driven(),
+            ],
+            &FederatedOptions::default(), // default_capacity = 1
+        )
+        .unwrap();
+        assert_eq!(run.flow("P", &"x".into()), run.flow("Q", &"x".into()));
+        assert_eq!(run.channels[&SigName::from("x")].max_occupancy, 1);
+    }
+
+    #[test]
+    fn soak_mode_streams_counters_without_recording() {
+        let n = 500;
+        let run = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", n).with_environment(env(n)),
+                FederateSpec::new("Q", 10 * n).data_driven(),
+            ],
+            &FederatedOptions::default().with_capacity("x", 8).soak(),
+        )
+        .unwrap();
+        // no flows recorded...
+        assert!(run.flows.values().all(BTreeMap::is_empty));
+        // ...but the counters carry the whole story
+        let x = &run.channels[&SigName::from("x")];
+        assert_eq!((x.pushes, x.pops), (n as u64, n as u64));
+        assert_eq!(run.federates["P"].reactions, n);
+        assert_eq!(run.total_events(), n as u64);
+    }
+
+    #[test]
+    fn zero_activation_consumer_retires_the_producer_without_deadlock() {
+        let n = 50;
+        let run = run_federated(
+            &pipe(),
+            vec![FederateSpec::new("P", n).with_environment(env(n)), FederateSpec::new("Q", 0)],
+            &FederatedOptions::default().with_capacity("x", 2),
+        )
+        .unwrap();
+        // P keeps reacting; its sends hit ConsumerGone and are discarded
+        assert_eq!(run.federates["P"].reactions, n);
+        assert_eq!(run.federates["Q"].reactions, 0);
+        assert_eq!(run.teardown.joined, 2);
+    }
+
+    #[test]
+    fn missing_consumer_federate_is_a_retired_endpoint_not_a_hang() {
+        let n = 30;
+        // Q is not federated at all: x's receiver drops before the barrier
+        let run = run_federated(
+            &pipe(),
+            vec![FederateSpec::new("P", n).with_environment(env(n))],
+            &FederatedOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.federates["P"].reactions, n);
+    }
+
+    #[test]
+    fn reaction_error_drains_the_federation_and_surfaces() {
+        // feed a bool into an int expression: the reaction errors mid-run
+        let bad = Scenario::new()
+            .on("a", Value::Int(1))
+            .tick()
+            .on("a", Value::Int(2))
+            .tick()
+            .on("a", Value::TRUE)
+            .tick();
+        let err = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", 10).with_environment(bad),
+                FederateSpec::new("Q", 1000).data_driven(),
+            ],
+            &FederatedOptions::default(),
+        );
+        assert!(err.is_err(), "the type error must surface");
+    }
+
+    #[test]
+    fn sampling_streams_occupancy_during_the_run() {
+        let n = 400;
+        let run = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", n).with_environment(env(n)),
+                FederateSpec::new("Q", 10 * n).data_driven(),
+            ],
+            &FederatedOptions::default()
+                .with_capacity("x", 4)
+                .with_sampling(Duration::from_micros(200)),
+        )
+        .unwrap();
+        assert!(!run.samples.is_empty(), "at least one sample lands");
+        for s in &run.samples {
+            assert!(s.occupancy.contains_key(&SigName::from("x")));
+        }
+    }
+
+    #[test]
+    fn unknown_component_fails_before_spawning() {
+        let err = run_federated(
+            &pipe(),
+            vec![FederateSpec::new("Nope", 1)],
+            &FederatedOptions::default(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -18,6 +18,7 @@ use polysig_tagged::{SigId, SigName, Value};
 use crate::error::GalsError;
 use crate::partition::channels_of_program;
 use crate::policy::ChannelPolicy;
+use crate::runtime::record::FlowRecorder;
 
 /// Configuration of one threaded component.
 #[derive(Debug, Clone)]
@@ -141,16 +142,14 @@ pub fn run_threaded(
         }
 
         let handle = thread::spawn(move || -> Result<ThreadReport, GalsError> {
-            let names = reactor.signal_names().to_vec();
-            let mut dense_flows: Vec<Vec<Value>> = vec![Vec::new(); n_sigs];
+            let mut recorder = FlowRecorder::new(reactor.signal_names().to_vec());
             let mut drops = 0usize;
             let mut in_buf = DenseEnv::new(n_sigs);
             for k in 0..spec.activations {
-                in_buf.reset(n_sigs);
-                if let Some(step) = env_steps.get(k) {
-                    for (id, v) in step.iter() {
-                        in_buf.set(id, v);
-                    }
+                // load this activation's environment step with one slice copy
+                match env_steps.get(k) {
+                    Some(step) => in_buf.assign_from(step),
+                    None => in_buf.reset(n_sigs),
                 }
                 for (id, rx) in &my_rxs {
                     if let Ok(v) = rx.try_recv() {
@@ -158,9 +157,7 @@ pub fn run_threaded(
                     }
                 }
                 let present = reactor.react_dense(&in_buf)?;
-                for (id, value) in present.iter() {
-                    dense_flows[id.index()].push(value);
-                }
+                recorder.record(present);
                 for (id, tx) in &my_txs {
                     let Some(value) = present.get(*id) else { continue };
                     match tx {
@@ -185,11 +182,7 @@ pub fn run_threaded(
                     thread::yield_now();
                 }
             }
-            // render the dense per-signal flows back to names, only for
-            // signals that ever ticked (matching the name-keyed behavior)
-            let flows: BTreeMap<SigName, Vec<Value>> =
-                names.into_iter().zip(dense_flows).filter(|(_, f)| !f.is_empty()).collect();
-            Ok((spec.name, flows, drops))
+            Ok((spec.name, recorder.into_named(), drops))
         });
         handles.push((handle, outs));
     }

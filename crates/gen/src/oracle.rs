@@ -56,6 +56,15 @@ pub enum OracleKind {
     /// flow and final output flow of the GALS model must be a prefix of the
     /// synchronous reference flow (Theorems 1–2).
     DesyncFlow,
+    /// The federated executor (one compiled federate per component over
+    /// bounded credit channels) must reproduce the synchronous reference's
+    /// per-signal flows *exactly*, whatever the thread interleaving and
+    /// whatever the channel capacities — the runtime half of Theorems 1–2:
+    /// endochronous stages behind SPSC FIFOs form a Kahn network, so their
+    /// flows are interleaving-independent. Checked at capacity 1 (maximum
+    /// serialization) and at statically proven capacities (maximum
+    /// concurrency).
+    FederatedFlow,
     /// The static analyzer's claims must agree with the dynamic tooling:
     /// `Exact` bounds reproduce the estimation loop's converged sizes,
     /// `UpperBound`s dominate them, `Unbounded` proofs imply the loop hits
@@ -79,6 +88,7 @@ impl fmt::Display for OracleKind {
             OracleKind::ThreadInvariance => "ThreadInvariance",
             OracleKind::EstimateEquiv => "EstimateEquiv",
             OracleKind::DesyncFlow => "DesyncFlow",
+            OracleKind::FederatedFlow => "FederatedFlow",
             OracleKind::StaticDynamicAgreement => "StaticDynamicAgreement",
             OracleKind::ServeEquiv => "ServeEquiv",
         };
@@ -97,6 +107,7 @@ impl FromStr for OracleKind {
             "ThreadInvariance" => Ok(OracleKind::ThreadInvariance),
             "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
             "DesyncFlow" => Ok(OracleKind::DesyncFlow),
+            "FederatedFlow" => Ok(OracleKind::FederatedFlow),
             "StaticDynamicAgreement" => Ok(OracleKind::StaticDynamicAgreement),
             "ServeEquiv" => Ok(OracleKind::ServeEquiv),
             other => Err(format!("unknown oracle `{other}`")),
@@ -143,6 +154,7 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::ThreadInvariance,
             OracleKind::EstimateEquiv,
             OracleKind::DesyncFlow,
+            OracleKind::FederatedFlow,
             OracleKind::StaticDynamicAgreement,
             OracleKind::ServeEquiv,
         ],
@@ -176,6 +188,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::ThreadInvariance => thread_invariance(case),
         OracleKind::EstimateEquiv => estimate_equiv(case),
         OracleKind::DesyncFlow => desync_flow(case),
+        OracleKind::FederatedFlow => federated_flow(case),
         OracleKind::StaticDynamicAgreement => static_dynamic_agreement(case),
         OracleKind::ServeEquiv => serve_equiv(case),
     }
@@ -662,6 +675,105 @@ fn desync_flow(case: &GenCase) -> Result<(), Failure> {
                     k,
                     format!("GALS model failed to simulate at {threads} threads: {e}"),
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The runtime half of Theorems 1–2: deploy the pipeline as compiled
+/// federates over bounded credit channels and demand per-signal flow
+/// *equality* with the synchronous reference.
+///
+/// Equality (not just prefix) holds because the generator's pipeline
+/// stages are flow functions of their single channel input — stage 0
+/// replays the writer scenario activation-for-activation, and every later
+/// stage runs data-driven (one reaction per arriving value), so the
+/// federation is a Kahn network whose flows are determined by the input
+/// flows alone. The check runs twice — capacity 1 (every channel fully
+/// serialized, the producer stalls constantly) and statically proven
+/// capacities (maximal slack) — because different capacities induce very
+/// different interleavings, and the flows must not care.
+fn federated_flow(case: &GenCase) -> Result<(), Failure> {
+    use polysig_gals::runtime::{run_federated, FederateSpec, FederatedOptions};
+
+    let k = OracleKind::FederatedFlow;
+    // the oracle is vacuous when the synchronous reference itself errors
+    // (e.g. checked-arithmetic overflow)
+    let Ok(mut sync_sim) = Simulator::for_program(&case.program) else {
+        return Err(Failure::new(k, "synchronous program failed to elaborate".to_string()));
+    };
+    let Ok(reference) = sync_sim.run(&case.scenario) else {
+        return Ok(());
+    };
+
+    let steps = case.scenario.len();
+    let federates = || -> Vec<FederateSpec> {
+        case.program
+            .components
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                if j == 0 {
+                    // the source stage replays the writer scenario
+                    // activation-for-activation
+                    FederateSpec::new(c.name.clone(), steps).with_environment(case.scenario.clone())
+                } else {
+                    // interior stages react once per arriving value and
+                    // retire when upstream drains; the budget is slack
+                    FederateSpec::new(c.name.clone(), 4 * steps + 8).data_driven()
+                }
+            })
+            .collect()
+    };
+
+    // capacity variants: 1 (fully serialized) and statically proven depths
+    // (maximal slack); when no scenario is available for the prover, a flat
+    // default of 2 still changes every interleaving
+    let proven = case.est_scenario.as_ref().map(|est| FederatedOptions {
+        capacities: prove_bounds(&case.program, est, &ProveOptions::default())
+            .federate_capacities(),
+        default_capacity: 2,
+        ..FederatedOptions::default()
+    });
+    let variants = [
+        FederatedOptions::default(),
+        proven.unwrap_or_else(|| FederatedOptions::default().with_default_capacity(2)),
+    ];
+
+    for options in &variants {
+        let run = run_federated(&case.program, federates(), options).map_err(|e| {
+            Failure::new(
+                k,
+                format!(
+                    "federated run failed (capacities {:?}, default {}): {e}",
+                    options.capacities, options.default_capacity
+                ),
+            )
+        })?;
+        if run.teardown.spawned != run.teardown.joined {
+            return Err(Failure::new(
+                k,
+                format!(
+                    "teardown leaked threads: spawned {}, joined {}",
+                    run.teardown.spawned, run.teardown.joined
+                ),
+            ));
+        }
+        for c in &case.program.components {
+            for d in c.decls.iter().filter(|d| d.role == Role::Output) {
+                let fed = run.flow(&c.name, &d.name);
+                let sync = reference.flow(&d.name);
+                if fed != sync {
+                    return Err(Failure::new(
+                        k,
+                        format!(
+                            "flow of `{}` (component `{}`, capacities {:?}, default {}) \
+                             diverges from the synchronous reference:\n  sync {:?}\n  fed  {:?}",
+                            d.name, c.name, options.capacities, options.default_capacity, sync, fed
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -100,6 +100,16 @@ impl DenseEnv {
     pub fn iter(&self) -> impl Iterator<Item = (SigId, Value)> + '_ {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.map(|v| (SigId(i as u32), v)))
     }
+
+    /// Makes `self` an exact copy of `other`, reusing this environment's
+    /// allocation — the clone-free way to load a precomputed input step
+    /// into a reusable reaction buffer (one `memcpy`-shaped slice copy
+    /// instead of a per-present-bit `set` loop).
+    pub fn assign_from(&mut self, other: &DenseEnv) {
+        self.slots.clear();
+        self.slots.extend_from_slice(&other.slots);
+        self.present = other.present;
+    }
 }
 
 impl FromIterator<(SigId, Value)> for DenseEnv {
@@ -166,6 +176,23 @@ mod tests {
         assert_eq!(env.present_count(), 1);
         env.reset(2);
         assert_eq!(env.present_count(), 0);
+    }
+
+    #[test]
+    fn assign_from_copies_slots_and_count() {
+        let mut src = DenseEnv::new(4);
+        src.set(SigId(1), Value::Int(9));
+        src.set(SigId(3), Value::TRUE);
+        let mut dst = DenseEnv::new(2);
+        dst.set(SigId(0), Value::Int(-1));
+        dst.assign_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.present_count(), 2);
+        // reuse after assigning from a smaller env shrinks correctly
+        let empty = DenseEnv::new(1);
+        dst.assign_from(&empty);
+        assert_eq!(dst.len(), 1);
+        assert_eq!(dst.present_count(), 0);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! polysig-cli estimate FILE N            size buffers for a random environment
 //! polysig-cli verify   FILE SIGNAL       prove SIGNAL never true (exhaustive)
 //! polysig-cli dump     FILE N OUT.vcd    simulate N reactions, export VCD
+//! polysig-cli federated [STAGES] [N] [CAP]
+//!                                        run a STAGES-stage pipeline as
+//!                                        compiled federates (N activations
+//!                                        each, CAP credits per channel) and
+//!                                        print the streaming counters
 //! ```
 //!
 //! Programs are written in the concrete syntax of `polysig-lang` (see the
@@ -44,8 +49,12 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: polysig-cli <check|clocks|simulate|desync|estimate|verify> FILE [ARGS]";
+    let usage = "usage: polysig-cli <check|clocks|simulate|desync|estimate|verify|dump> FILE \
+                 [ARGS] | polysig-cli federated [STAGES] [ACTIVATIONS] [CAPACITY]";
     let cmd = args.first().ok_or(usage)?;
+    if cmd == "federated" {
+        return run_federated_cmd(&args[1..]);
+    }
     let file = args.get(1).ok_or(usage)?;
     let program = load(file)?;
 
@@ -192,6 +201,81 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+/// `polysig-cli federated [STAGES] [ACTIVATIONS] [CAPACITY]` — deploy a
+/// synthetic integer pipeline as one compiled federate per stage over
+/// bounded credit channels, in soak mode (no trace recording; the
+/// streaming counters are the observation), and self-check that every
+/// value was delivered. `POLYSIG_SOAK=1` scales the default activation
+/// count to a long horizon.
+fn run_federated_cmd(args: &[String]) -> Result<(), String> {
+    use polysig::gals::runtime::{run_federated, FederateSpec, FederatedOptions};
+    use polysig::sim::PeriodicInputs;
+
+    let soak = std::env::var("POLYSIG_SOAK").is_ok_and(|v| v == "1");
+    let parse_at = |i: usize, what: &str| -> Result<Option<usize>, String> {
+        args.get(i).map(|s| s.parse().map_err(|_| format!("{what} must be a number"))).transpose()
+    };
+    let stages = parse_at(0, "STAGES")?.unwrap_or(4).max(1);
+    let activations =
+        parse_at(1, "ACTIVATIONS")?.unwrap_or(if soak { 300_000 } else { 5_000 }).max(1);
+    let capacity = parse_at(2, "CAPACITY")?.unwrap_or(8).max(1);
+
+    let mut src = String::from("process S0 { input a: int; output s0: int; s0 := a + 1; } ");
+    for j in 1..stages {
+        src.push_str(&format!(
+            "process S{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
+            j - 1,
+            j - 1
+        ));
+    }
+    let program = check_program(&src).map_err(|e| e.to_string())?;
+
+    let env = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(activations);
+    let mut federates = vec![FederateSpec::new("S0", activations).with_environment(env)];
+    for j in 1..stages {
+        federates.push(FederateSpec::new(format!("S{j}"), 2 * activations).data_driven());
+    }
+    let options = FederatedOptions::default()
+        .with_default_capacity(capacity)
+        .soak()
+        .with_sampling(std::time::Duration::from_millis(200));
+    let run = run_federated(&program, federates, &options).map_err(|e| e.to_string())?;
+
+    for (name, stats) in &run.federates {
+        println!(
+            "federate {name}: {} reactions ({})",
+            stats.reactions,
+            if stats.compiled { "compiled" } else { "interpreted" }
+        );
+    }
+    for (name, c) in &run.channels {
+        println!(
+            "channel {name}: {} pushed, {} popped, max occupancy {}, {} stall(s) totalling {:?}",
+            c.pushes, c.pops, c.max_occupancy, c.stall_events, c.stalled
+        );
+    }
+    println!(
+        "{} reactions in {:?} ({:.0} events/sec), {} occupancy sample(s), \
+         {} thread(s) spawned / {} joined",
+        run.total_reactions(),
+        run.elapsed,
+        run.total_reactions() as f64 / run.elapsed.as_secs_f64(),
+        run.samples.len(),
+        run.teardown.spawned,
+        run.teardown.joined,
+    );
+
+    let delivered = run.channels.values().all(|c| c.pushes == activations as u64 && c.drained());
+    let complete = run.total_reactions() == stages * activations
+        && run.teardown.spawned == run.teardown.joined;
+    if delivered && complete {
+        println!("OK: every value delivered, every thread joined");
+        Ok(())
+    } else {
+        Err("self-check failed: lost values or incomplete federation".into())
     }
 }
 

@@ -47,7 +47,15 @@ import json
 import statistics
 import sys
 
-GATED_PREFIXES = ("verify/", "fig2/", "estimation/", "analyze/", "compile/", "serve/")
+GATED_PREFIXES = (
+    "verify/",
+    "fig2/",
+    "estimation/",
+    "analyze/",
+    "compile/",
+    "serve/",
+    "federated/",
+)
 
 # One fast->slow placement step observed on shared hosts (measured
 # 2.05-2.2x across layouts); regressions are only attributed to code

@@ -188,6 +188,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The channel stayed empty for the whole timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
@@ -295,6 +304,38 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.chan.not_empty.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Receives a message, blocking up to `timeout` while the channel
+        /// is empty. Disconnect-aware: a sender dropping mid-wait wakes the
+        /// call immediately instead of letting it sleep out the timeout.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] when nothing arrived in
+        /// time and [`RecvTimeoutError::Disconnected`] when the channel is
+        /// empty and every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _) =
+                    self.chan.not_empty.wait_timeout(st, left).expect("channel poisoned");
+                st = guard;
             }
         }
 
@@ -431,6 +472,25 @@ mod tests {
         drop(rx);
         assert!(tx.send(1).is_err());
         assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_and_sees_disconnects() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout),
+            "empty channel with a live sender times out"
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(7));
+        // a sender dropping mid-wait wakes the receiver before the timeout
+        let waiter = thread::spawn(move || rx.recv_timeout(Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]
