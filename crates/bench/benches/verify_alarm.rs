@@ -10,7 +10,7 @@ use polysig_bench::{banner, pipe};
 use polysig_gals::{desynchronize, DesyncOptions};
 use polysig_tagged::Value;
 use polysig_verify::alphabet::Letter;
-use polysig_verify::{check, Alphabet, CheckOptions, EnvAutomaton, Property};
+use polysig_verify::{check, Alphabet, Backend, CheckOptions, EnvAutomaton, Property};
 
 /// The w-writes-then-w-reads frame environment.
 fn frame(w: usize) -> Vec<Letter> {
@@ -44,6 +44,20 @@ fn run_check(size: usize, w: usize, threads: usize) -> polysig_verify::CheckResu
     .unwrap()
 }
 
+fn run_bmc(size: usize, w: usize, depth: usize) -> polysig_verify::CheckResult {
+    let d = desynchronize(&pipe(), &DesyncOptions::with_size(size)).unwrap();
+    let seq = frame(w);
+    let mut alphabet = Alphabet::from_letters(seq.clone()).unwrap();
+    let env = EnvAutomaton::cycle(&mut alphabet, &seq);
+    check(
+        &d.program,
+        &alphabet,
+        &Property::never_true("x_alarm"),
+        &CheckOptions { env: Some(env), backend: Backend::Bmc { depth }, ..Default::default() },
+    )
+    .unwrap()
+}
+
 fn bench(c: &mut Criterion) {
     banner("E7 / Section 5.2", "alarm reachability vs buffer depth (2-write frames)");
     eprintln!("{:>6} | {:>8} | {:>12} | verdict", "depth", "states", "transitions");
@@ -70,6 +84,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(run_check(3, w, 1).states_explored))
         });
     }
+    // symbolic backend on the same fixtures: encode + CDCL solve replaces
+    // explicit enumeration, so the cost profile is formula size, not state
+    // count
+    group.bench_function("bmc_frame2", |b| b.iter(|| std::hint::black_box(run_bmc(2, 2, 4).holds)));
+    group.bench_function("bmc_pipe8", |b| b.iter(|| std::hint::black_box(run_bmc(3, 2, 8).holds)));
     // layer-parallel exploration at fixed worker counts
     for threads in [2usize, 4] {
         for size in [2usize, 4] {

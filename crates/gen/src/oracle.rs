@@ -21,7 +21,9 @@ use polysig_tagged::{SigName, Value};
 use polysig_verify::alphabet::Letter;
 use polysig_verify::equiv::FlowRelation;
 use polysig_verify::reach::CheckResult;
-use polysig_verify::{check, compare_flows_with, Alphabet, CheckOptions, EnvAutomaton, Property};
+use polysig_verify::{
+    check, compare_flows_with, Alphabet, Backend, CheckOptions, EnvAutomaton, Property, VerifyError,
+};
 
 use crate::config::Shape;
 use crate::program::{external_inputs, GenCase};
@@ -49,6 +51,16 @@ pub enum OracleKind {
     /// Explicit-state checking and flow comparison must return identical
     /// results at 1, 2, 4 and 8 worker threads.
     ThreadInvariance,
+    /// The symbolic bounded model checker and the explicit breadth-first
+    /// checker must agree: explicit-safe within the scenario horizon ⇒ the
+    /// SAT unrolling is unsatisfiable at that depth; an explicit
+    /// counterexample of length `L` ⇒ SAT at depth `L` with the *same*
+    /// lexicographically-least shortest trace (which the backend has
+    /// already replayed concretely before reporting). Cases the symbolic
+    /// backend cannot encode (`BmcUnsupported`) or where the explicit
+    /// checker errors (e.g. overflow paths, which BMC prunes as
+    /// infeasible) are skipped, never misjudged.
+    BmcEquiv,
     /// The incremental estimation engine must produce a report identical to
     /// the cold reference engine.
     EstimateEquiv,
@@ -86,6 +98,7 @@ impl fmt::Display for OracleKind {
             OracleKind::DenseEquiv => "DenseEquiv",
             OracleKind::CompiledEquiv => "CompiledEquiv",
             OracleKind::ThreadInvariance => "ThreadInvariance",
+            OracleKind::BmcEquiv => "BmcEquiv",
             OracleKind::EstimateEquiv => "EstimateEquiv",
             OracleKind::DesyncFlow => "DesyncFlow",
             OracleKind::FederatedFlow => "FederatedFlow",
@@ -105,6 +118,7 @@ impl FromStr for OracleKind {
             "DenseEquiv" => Ok(OracleKind::DenseEquiv),
             "CompiledEquiv" => Ok(OracleKind::CompiledEquiv),
             "ThreadInvariance" => Ok(OracleKind::ThreadInvariance),
+            "BmcEquiv" => Ok(OracleKind::BmcEquiv),
             "EstimateEquiv" => Ok(OracleKind::EstimateEquiv),
             "DesyncFlow" => Ok(OracleKind::DesyncFlow),
             "FederatedFlow" => Ok(OracleKind::FederatedFlow),
@@ -145,6 +159,7 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::DenseEquiv,
             OracleKind::CompiledEquiv,
             OracleKind::ThreadInvariance,
+            OracleKind::BmcEquiv,
         ],
         Shape::Pipeline => vec![
             OracleKind::WellClocked,
@@ -152,6 +167,7 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::DenseEquiv,
             OracleKind::CompiledEquiv,
             OracleKind::ThreadInvariance,
+            OracleKind::BmcEquiv,
             OracleKind::EstimateEquiv,
             OracleKind::DesyncFlow,
             OracleKind::FederatedFlow,
@@ -186,6 +202,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::DenseEquiv => dense_equiv(case),
         OracleKind::CompiledEquiv => compiled_equiv(case),
         OracleKind::ThreadInvariance => thread_invariance(case),
+        OracleKind::BmcEquiv => bmc_equiv(case),
         OracleKind::EstimateEquiv => estimate_equiv(case),
         OracleKind::DesyncFlow => desync_flow(case),
         OracleKind::FederatedFlow => federated_flow(case),
@@ -411,6 +428,7 @@ fn thread_invariance(case: &GenCase) -> Result<(), Failure> {
                         max_depth: Some(case.scenario.len()),
                         env: Some(env.clone()),
                         threads,
+                        ..Default::default()
                     },
                 )
             };
@@ -499,6 +517,84 @@ fn thread_invariance(case: &GenCase) -> Result<(), Failure> {
                     format!("compare_flows_with Ok/Err split at {threads} threads"),
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Cross-validates the symbolic BMC backend against the explicit checker
+/// on the scenario cycled as an environment automaton, at the scenario's
+/// own depth: the two engines must agree on the verdict, and on a
+/// violation the symbolic trace (already concretely replayed by the
+/// backend) must equal the explicit BFS counterexample letter for letter.
+fn bmc_equiv(case: &GenCase) -> Result<(), Failure> {
+    let k = OracleKind::BmcEquiv;
+    if case.scenario.is_empty() {
+        return Ok(());
+    }
+    let Some(property) = invariance_property(&case.program) else { return Ok(()) };
+    let mut letters: Vec<Letter> = Vec::new();
+    for step in case.scenario.iter() {
+        if !letters.contains(step) {
+            letters.push(step.clone());
+        }
+    }
+    let Ok(mut alphabet) = Alphabet::from_letters(letters) else { return Ok(()) };
+    let sequence: Vec<Letter> = case.scenario.iter().cloned().collect();
+    let env = EnvAutomaton::cycle(&mut alphabet, &sequence);
+    // both engines are cut at the same horizon, so the comparison stays
+    // exact; capping bounds the cost of unrolling long scenarios
+    let depth = case.scenario.len().min(10);
+
+    let explicit = match check(
+        &case.program,
+        &alphabet,
+        &property,
+        &CheckOptions {
+            max_states: 50_000,
+            max_depth: Some(depth),
+            env: Some(env.clone()),
+            threads: 1,
+            ..Default::default()
+        },
+    ) {
+        Ok(r) => r,
+        // explicit errors (overflow paths, state caps) have no symbolic
+        // analogue — BMC prunes erroring paths as infeasible — so the
+        // verdicts are incomparable, not wrong
+        Err(_) => return Ok(()),
+    };
+
+    let symbolic = match check(
+        &case.program,
+        &alphabet,
+        &property,
+        &CheckOptions { env: Some(env), backend: Backend::Bmc { depth }, ..Default::default() },
+    ) {
+        Ok(r) => r,
+        Err(VerifyError::BmcUnsupported { .. }) => return Ok(()),
+        Err(e) => return Err(Failure::new(k, format!("symbolic backend failed: {e}"))),
+    };
+
+    if explicit.holds != symbolic.holds {
+        return Err(Failure::new(
+            k,
+            format!(
+                "verdicts diverge at depth {depth}: explicit holds={}, symbolic holds={}",
+                explicit.holds, symbolic.holds
+            ),
+        ));
+    }
+    if !explicit.holds {
+        let e = explicit.counterexample.as_ref().expect("explicit violation carries a trace");
+        let s = symbolic.counterexample.as_ref().expect("symbolic violation carries a trace");
+        if e.letters() != s.letters() {
+            return Err(Failure::new(
+                k,
+                format!(
+                    "counterexamples diverge at depth {depth}:\n  explicit {e}\n  symbolic {s}"
+                ),
+            ));
         }
     }
     Ok(())

@@ -49,7 +49,7 @@ pub mod generator;
 pub mod ir;
 pub mod reactor;
 pub mod scenario;
-mod schedule;
+pub mod schedule;
 pub mod status;
 
 pub use engine::{Run, SimCheckpoint, Simulator};

@@ -430,6 +430,17 @@ impl Reactor {
         }
     }
 
+    /// The lowered static schedule, when this reactor executes one. The
+    /// symbolic checker transcribes it into a transition relation — the
+    /// schedule *is* the program's exact per-reaction semantics (bails
+    /// included), so encoding it symbolically needs no second lowering.
+    pub fn compiled_schedule(&self) -> Option<&CompiledComponent> {
+        match &self.plan {
+            ExecPlan::Compiled(cc) => Some(cc),
+            ExecPlan::Interpreted => None,
+        }
+    }
+
     /// The signal-name table; ids are dense indices in declaration order.
     pub fn interner(&self) -> &Interner {
         &self.interner

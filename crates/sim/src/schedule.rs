@@ -31,7 +31,7 @@ use crate::env::DenseEnv;
 /// without `Unknown` (the lowering proves reads never see an undecided
 /// slot).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Flow {
+pub enum Flow {
     /// The expression produces no event this reaction.
     Absent,
     /// Present, value not yet determined (only transient: a clock-decided
@@ -54,7 +54,7 @@ impl Flow {
 /// `GuardedAssign`: it commits the final value of a signal's defining
 /// equation, bailing unless the result leaves the slot decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Mode {
+pub enum Mode {
     /// Raw store into an expression temporary.
     Temp,
     /// Assign a signal whose presence is *not* pre-decided: the result
@@ -69,7 +69,7 @@ pub(crate) enum Mode {
 /// One three-address operation of a compiled schedule. Slot indices cover
 /// signals, interned constants and temporaries alike.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Op {
+pub enum Op {
     /// Decide the presence of a clock group from its external inputs: if
     /// the (non-empty, presence-uniform) `fold` slots are present, each
     /// slot in `members` becomes unvalued-present, otherwise absent; a
@@ -246,7 +246,7 @@ pub(crate) enum Op {
 /// A lowered reaction system: straight-line guarded three-address code
 /// executed once per reaction, with no fixpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct CompiledComponent {
+pub struct CompiledComponent {
     /// Clock-deciding and equation ops, in static schedule order.
     pub ops: Vec<Op>,
     /// Register-update ops, run after the consistency epilogue.

@@ -1,0 +1,375 @@
+//! Tseitin-style circuit-to-CNF construction over the vendored CDCL core.
+//!
+//! The encoder manipulates [`Bit`]s — booleans that are either known at
+//! encoding time or solver literals — and [`Word`]s, 64-bit two's-complement
+//! integers as LSB-first bit vectors. Every gate constant-folds aggressively:
+//! the transition relation of a typical program is mostly constants (interned
+//! literals, absent initial slots, small input domains), and folding keeps
+//! the emitted clause set proportional to the genuinely symbolic part.
+
+use minicdcl::{Lit, Solver};
+
+/// Machine-integer width: [`polysig_tagged::Value::Int`] is an `i64`, and
+/// encoding all 64 bits makes the symbolic arithmetic *exact* — including
+/// the `checked_add`/`checked_mul` overflow bails of the concrete executor.
+pub(crate) const W: usize = 64;
+
+/// A symbolic boolean: a constant folded at encoding time, or a CNF literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Bit {
+    /// Known at encoding time.
+    Const(bool),
+    /// Decided by the solver.
+    Lit(Lit),
+}
+
+/// A two's-complement integer as `W` bits, least significant first.
+pub(crate) type Word = Vec<Bit>;
+
+/// The CNF under construction: a solver plus a pinned `true` literal so
+/// constants can cross into assumption position.
+pub(crate) struct Cnf {
+    pub(crate) solver: Solver,
+    true_lit: Lit,
+}
+
+impl Cnf {
+    pub(crate) fn new() -> Cnf {
+        let mut solver = Solver::new();
+        let t = Lit::pos(solver.new_var());
+        solver.add_clause(&[t]);
+        Cnf { solver, true_lit: t }
+    }
+
+    /// A fresh unconstrained literal.
+    pub(crate) fn fresh_lit(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// Materializes a bit as a literal (constants map onto the pinned
+    /// always-true variable), e.g. for use as a solve-time assumption.
+    pub(crate) fn lit(&self, b: Bit) -> Lit {
+        match b {
+            Bit::Const(true) => self.true_lit,
+            Bit::Const(false) => !self.true_lit,
+            Bit::Lit(l) => l,
+        }
+    }
+
+    /// Asserts `b` as a hard constraint.
+    pub(crate) fn assert_bit(&mut self, b: Bit) {
+        match b {
+            Bit::Const(true) => {}
+            Bit::Const(false) => {
+                self.solver.add_clause(&[]);
+            }
+            Bit::Lit(l) => {
+                self.solver.add_clause(&[l]);
+            }
+        }
+    }
+
+    /// Asserts the disjunction of `bits` as a hard clause.
+    pub(crate) fn assert_clause(&mut self, bits: &[Bit]) {
+        let mut lits = Vec::with_capacity(bits.len());
+        for &b in bits {
+            match b {
+                Bit::Const(true) => return, // already satisfied
+                Bit::Const(false) => {}
+                Bit::Lit(l) => lits.push(l),
+            }
+        }
+        self.solver.add_clause(&lits);
+    }
+
+    pub(crate) fn not(&self, b: Bit) -> Bit {
+        match b {
+            Bit::Const(c) => Bit::Const(!c),
+            Bit::Lit(l) => Bit::Lit(!l),
+        }
+    }
+
+    pub(crate) fn and(&mut self, a: Bit, b: Bit) -> Bit {
+        match (a, b) {
+            (Bit::Const(false), _) | (_, Bit::Const(false)) => Bit::Const(false),
+            (Bit::Const(true), x) | (x, Bit::Const(true)) => x,
+            (Bit::Lit(x), Bit::Lit(y)) if x == y => a,
+            (Bit::Lit(x), Bit::Lit(y)) if x == !y => Bit::Const(false),
+            (Bit::Lit(x), Bit::Lit(y)) => {
+                let g = self.fresh_lit();
+                self.solver.add_clause(&[!g, x]);
+                self.solver.add_clause(&[!g, y]);
+                self.solver.add_clause(&[g, !x, !y]);
+                Bit::Lit(g)
+            }
+        }
+    }
+
+    pub(crate) fn or(&mut self, a: Bit, b: Bit) -> Bit {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    pub(crate) fn xor(&mut self, a: Bit, b: Bit) -> Bit {
+        match (a, b) {
+            (Bit::Const(x), Bit::Const(y)) => Bit::Const(x ^ y),
+            (Bit::Const(false), x) | (x, Bit::Const(false)) => x,
+            (Bit::Const(true), x) | (x, Bit::Const(true)) => self.not(x),
+            (Bit::Lit(x), Bit::Lit(y)) if x == y => Bit::Const(false),
+            (Bit::Lit(x), Bit::Lit(y)) if x == !y => Bit::Const(true),
+            (Bit::Lit(x), Bit::Lit(y)) => {
+                let g = self.fresh_lit();
+                self.solver.add_clause(&[!g, x, y]);
+                self.solver.add_clause(&[!g, !x, !y]);
+                self.solver.add_clause(&[g, !x, y]);
+                self.solver.add_clause(&[g, x, !y]);
+                Bit::Lit(g)
+            }
+        }
+    }
+
+    pub(crate) fn iff(&mut self, a: Bit, b: Bit) -> Bit {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// `if c { t } else { e }`.
+    pub(crate) fn ite(&mut self, c: Bit, t: Bit, e: Bit) -> Bit {
+        match c {
+            Bit::Const(true) => t,
+            Bit::Const(false) => e,
+            _ => {
+                if t == e {
+                    return t;
+                }
+                let ct = self.and(c, t);
+                let nc = self.not(c);
+                let ce = self.and(nc, e);
+                self.or(ct, ce)
+            }
+        }
+    }
+
+    pub(crate) fn or_many(&mut self, bits: &[Bit]) -> Bit {
+        let mut acc = Bit::Const(false);
+        for &b in bits {
+            acc = self.or(acc, b);
+        }
+        acc
+    }
+
+    /// Asserts that exactly one of `bits` holds (at-least-one clause plus
+    /// pairwise at-most-one).
+    pub(crate) fn exactly_one(&mut self, bits: &[Bit]) {
+        self.assert_clause(bits);
+        for i in 0..bits.len() {
+            for j in i + 1..bits.len() {
+                let ni = self.not(bits[i]);
+                let nj = self.not(bits[j]);
+                self.assert_clause(&[ni, nj]);
+            }
+        }
+    }
+
+    // ---- words -------------------------------------------------------
+
+    pub(crate) fn word_const(&self, v: i64) -> Word {
+        (0..W).map(|i| Bit::Const((v >> i) & 1 == 1)).collect()
+    }
+
+    /// The encoding-time value of a fully-constant word.
+    pub(crate) fn word_as_const(&self, w: &[Bit]) -> Option<i64> {
+        let mut v: u64 = 0;
+        for (i, b) in w.iter().enumerate() {
+            match b {
+                Bit::Const(true) => v |= 1 << i,
+                Bit::Const(false) => {}
+                Bit::Lit(_) => return None,
+            }
+        }
+        Some(v as i64)
+    }
+
+    /// Reads a word back from the solver's current model.
+    pub(crate) fn word_model(&self, w: &[Bit]) -> i64 {
+        let mut v: u64 = 0;
+        for (i, &b) in w.iter().enumerate() {
+            let set = match b {
+                Bit::Const(c) => c,
+                Bit::Lit(l) => self.solver.model_value(l),
+            };
+            if set {
+                v |= 1 << i;
+            }
+        }
+        v as i64
+    }
+
+    fn full_add(&mut self, a: Bit, b: Bit, c: Bit) -> (Bit, Bit) {
+        let ab = self.xor(a, b);
+        let sum = self.xor(ab, c);
+        let g1 = self.and(a, b);
+        let g2 = self.and(c, ab);
+        let carry = self.or(g1, g2);
+        (sum, carry)
+    }
+
+    /// Ripple addition of `a` and `b_bits` with carry-in `c0`; returns the
+    /// sum and the signed-overflow flag `carry_out ⊕ carry_into_sign` (the
+    /// hardware V flag, which matches `checked_add`/`checked_sub` when the
+    /// subtrahend arrives pre-complemented with `c0 = true`).
+    fn ripple(&mut self, a: &[Bit], b_bits: &[Bit], c0: Bit) -> (Word, Bit) {
+        let mut out = Vec::with_capacity(W);
+        let mut carry = c0;
+        let mut carry_into_sign = Bit::Const(false);
+        for i in 0..W {
+            if i == W - 1 {
+                carry_into_sign = carry;
+            }
+            let (s, c) = self.full_add(a[i], b_bits[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        let ovf = self.xor(carry, carry_into_sign);
+        (out, ovf)
+    }
+
+    /// `a + b` with the `i64::checked_add` overflow flag.
+    pub(crate) fn add_ovf(&mut self, a: &[Bit], b: &[Bit]) -> (Word, Bit) {
+        if let (Some(x), Some(y)) = (self.word_as_const(a), self.word_as_const(b)) {
+            return match x.checked_add(y) {
+                Some(s) => (self.word_const(s), Bit::Const(false)),
+                None => (self.word_const(0), Bit::Const(true)),
+            };
+        }
+        self.ripple(a, b, Bit::Const(false))
+    }
+
+    /// `a - b` with the `i64::checked_sub` overflow flag.
+    pub(crate) fn sub_ovf(&mut self, a: &[Bit], b: &[Bit]) -> (Word, Bit) {
+        if let (Some(x), Some(y)) = (self.word_as_const(a), self.word_as_const(b)) {
+            return match x.checked_sub(y) {
+                Some(s) => (self.word_const(s), Bit::Const(false)),
+                None => (self.word_const(0), Bit::Const(true)),
+            };
+        }
+        let nb: Vec<Bit> = b.iter().map(|&x| self.not(x)).collect();
+        self.ripple(a, &nb, Bit::Const(true))
+    }
+
+    /// `-a` with the `i64::checked_neg` overflow flag (`a == i64::MIN`).
+    pub(crate) fn neg_ovf(&mut self, a: &[Bit]) -> (Word, Bit) {
+        let zero = self.word_const(0);
+        let (w, _) = self.sub_ovf(&zero, a);
+        let min = self.word_const(i64::MIN);
+        let ovf = self.eq_word(a, &min);
+        (w, ovf)
+    }
+
+    /// `a * b` with the `i64::checked_mul` overflow flag: shift-add over the
+    /// 128-bit sign-extended product, overflow iff the top 65 bits are not a
+    /// sign extension of bit 63.
+    pub(crate) fn mul_ovf(&mut self, a: &[Bit], b: &[Bit]) -> (Word, Bit) {
+        if let (Some(x), Some(y)) = (self.word_as_const(a), self.word_as_const(b)) {
+            return match x.checked_mul(y) {
+                Some(s) => (self.word_const(s), Bit::Const(false)),
+                None => (self.word_const(0), Bit::Const(true)),
+            };
+        }
+        // put the more-constant operand on the multiplier side: partial
+        // products for its zero bits fold away entirely
+        let (a, b) = if self.word_as_const(a).is_some() { (b, a) } else { (a, b) };
+        let ext = |w: &[Bit]| -> Vec<Bit> {
+            let mut e = w.to_vec();
+            e.resize(2 * W, w[W - 1]);
+            e
+        };
+        let ea = ext(a);
+        let mut acc: Vec<Bit> = vec![Bit::Const(false); 2 * W];
+        for (i, &bi) in b.iter().enumerate() {
+            if bi == Bit::Const(false) {
+                continue;
+            }
+            // partial product: ea << i, gated by b's bit i
+            let mut carry = Bit::Const(false);
+            for j in i..2 * W {
+                let pj = self.and(bi, ea[j - i]);
+                let (s, c) = self.full_add(acc[j], pj, carry);
+                acc[j] = s;
+                carry = c;
+            }
+        }
+        // the multiplier must be sign-extended too: a negative `b` has the
+        // high 64 positions of its 128-bit two's-complement form set, and
+        // their partial products land exactly in the high half the
+        // overflow check reads (ea·eb ≡ a·b mod 2^128). Their sum folds to
+        // one conditional add: Σ_{i=W..2W} (ea << i) ≡ ((-a mod 2^W) << W),
+        // gated by b's sign bit.
+        let bsign = b[W - 1];
+        if bsign != Bit::Const(false) {
+            let zero = self.word_const(0);
+            let (na, _) = self.ripple(
+                &zero,
+                &a.iter().map(|&x| self.not(x)).collect::<Vec<_>>(),
+                Bit::Const(true),
+            );
+            let mut carry = Bit::Const(false);
+            for j in 0..W {
+                let pj = self.and(bsign, na[j]);
+                let (s, c) = self.full_add(acc[W + j], pj, carry);
+                acc[W + j] = s;
+                carry = c;
+            }
+        }
+        let sign = acc[W - 1];
+        let mut ovf = Bit::Const(false);
+        for &hi in acc.iter().take(2 * W).skip(W) {
+            let d = self.xor(hi, sign);
+            ovf = self.or(ovf, d);
+        }
+        (acc[..W].to_vec(), ovf)
+    }
+
+    /// Unsigned `a < b`.
+    fn ult(&mut self, a: &[Bit], b: &[Bit]) -> Bit {
+        let mut lt = Bit::Const(false);
+        for i in 0..W {
+            let same = self.iff(a[i], b[i]);
+            lt = self.ite(same, lt, b[i]);
+        }
+        lt
+    }
+
+    /// Signed `a < b` (unsigned comparison with the sign bits flipped).
+    pub(crate) fn slt(&mut self, a: &[Bit], b: &[Bit]) -> Bit {
+        if let (Some(x), Some(y)) = (self.word_as_const(a), self.word_as_const(b)) {
+            return Bit::Const(x < y);
+        }
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        fa[W - 1] = self.not(fa[W - 1]);
+        fb[W - 1] = self.not(fb[W - 1]);
+        self.ult(&fa, &fb)
+    }
+
+    /// Signed `a <= b`.
+    pub(crate) fn sle(&mut self, a: &[Bit], b: &[Bit]) -> Bit {
+        let gt = self.slt(b, a);
+        self.not(gt)
+    }
+
+    pub(crate) fn eq_word(&mut self, a: &[Bit], b: &[Bit]) -> Bit {
+        let mut acc = Bit::Const(true);
+        for i in 0..W {
+            let e = self.iff(a[i], b[i]);
+            acc = self.and(acc, e);
+        }
+        acc
+    }
+
+    pub(crate) fn ite_word(&mut self, c: Bit, t: &[Bit], e: &[Bit]) -> Word {
+        (0..W).map(|i| self.ite(c, t[i], e[i])).collect()
+    }
+}

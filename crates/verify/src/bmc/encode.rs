@@ -1,0 +1,599 @@
+//! Symbolic execution of a compiled static schedule.
+//!
+//! [`encode_step`] transcribes one reaction of a [`CompiledComponent`] into
+//! the CNF under construction: every slot of the schedule becomes a
+//! [`SymFlow`] — presence, unvaluedness and value as symbolic bits — and
+//! every op is replayed over those flows following `schedule.rs` rule for
+//! rule. The executor's *bails* (clock mismatches, contradictions, overflow,
+//! type errors) become hard infeasibility constraints: a model of the CNF is
+//! by construction a trace of successful reactions, exactly the transitions
+//! the explicit checker explores (it prunes bailing letters and never
+//! commits a bailing reaction).
+//!
+//! The value of a flow is `Option<SymVal>` with the invariant that `None`
+//! means *never valued-present on any feasible path* (the slot can only be
+//! absent, or present-unvalued — which some later constraint rules out).
+//! That makes `None` safe to propagate through every value-combining op:
+//! a result can only be read as a value under conditions the constraints
+//! have made infeasible.
+
+use polysig_lang::{Binop, Unop};
+use polysig_sim::schedule::{CompiledComponent, Flow, Mode, Op};
+use polysig_tagged::Value;
+
+use super::cnf::{Bit, Cnf, Word};
+
+/// A symbolic value: a boolean bit or a 64-bit integer word.
+#[derive(Debug, Clone)]
+pub(crate) enum SymVal {
+    B(Bit),
+    I(Word),
+}
+
+/// A slot's symbolic flow — the [`Flow`] lattice with symbolic coordinates.
+///
+/// `Dyn { pres, unval, val }` covers `Absent` (`pres` false), `Unvalued`
+/// (`pres` and `unval` true) and `Present` (`pres` true, `unval` false);
+/// `unval ⇒ pres` holds on feasible paths. `Ubiq` mirrors
+/// `Flow::Ubiquitous`: a constant, present whenever the context demands.
+#[derive(Debug, Clone)]
+pub(crate) enum SymFlow {
+    Ubiq(SymVal),
+    Dyn { pres: Bit, unval: Bit, val: Option<SymVal> },
+}
+
+impl SymFlow {
+    fn absent() -> SymFlow {
+        SymFlow::Dyn { pres: Bit::Const(false), unval: Bit::Const(false), val: None }
+    }
+
+    /// `Flow::is_present` symbolically: `Unvalued | Present`, never `Ubiq`.
+    fn presence(&self) -> Bit {
+        match self {
+            SymFlow::Ubiq(_) => Bit::Const(false),
+            SymFlow::Dyn { pres, .. } => *pres,
+        }
+    }
+}
+
+/// Lifts a concrete value into constant bits.
+pub(crate) fn sym_of_value(cnf: &Cnf, v: Value) -> SymVal {
+    match v {
+        Value::Bool(b) => SymVal::B(Bit::Const(b)),
+        Value::Int(i) => SymVal::I(cnf.word_const(i)),
+    }
+}
+
+fn flow_of_init(cnf: &Cnf, f: &Flow) -> SymFlow {
+    match f {
+        Flow::Absent => SymFlow::absent(),
+        Flow::Unvalued => {
+            SymFlow::Dyn { pres: Bit::Const(true), unval: Bit::Const(true), val: None }
+        }
+        Flow::Present(v) => SymFlow::Dyn {
+            pres: Bit::Const(true),
+            unval: Bit::Const(false),
+            val: Some(sym_of_value(cnf, *v)),
+        },
+        Flow::Ubiquitous(v) => SymFlow::Ubiq(sym_of_value(cnf, *v)),
+    }
+}
+
+/// One symbolically executed reaction: the decided signal slots and the
+/// next-reaction register file.
+pub(crate) struct StepIo {
+    /// Signal slots after the reaction (prefix of the slot array).
+    pub(crate) outputs: Vec<SymFlow>,
+    /// Register file entering the next reaction.
+    pub(crate) regs_out: Vec<SymVal>,
+}
+
+/// Symbolically executes one reaction of `cc`, asserting every bail
+/// condition as a hard infeasibility constraint on the CNF.
+///
+/// `inputs` aligns with `cc.input_slots`: per input, its presence bit and
+/// (correctly-typed) value. Returns the final signal flows and register
+/// file, or a description of a construct the encoding does not cover.
+pub(crate) fn encode_step(
+    cnf: &mut Cnf,
+    cc: &CompiledComponent,
+    regs_in: &[SymVal],
+    inputs: &[(Bit, SymVal)],
+) -> Result<StepIo, String> {
+    let mut slots: Vec<SymFlow> = cc.init_slots.iter().map(|f| flow_of_init(cnf, f)).collect();
+    for (k, &slot) in cc.input_slots.iter().enumerate() {
+        let (pres, val) = &inputs[k];
+        slots[slot as usize] =
+            SymFlow::Dyn { pres: *pres, unval: Bit::Const(false), val: Some(val.clone()) };
+    }
+    let mut regs_out: Vec<SymVal> = regs_in.to_vec();
+
+    for op in cc.ops.iter() {
+        step_op(cnf, op, regs_in, &mut slots, &mut regs_out)?;
+    }
+    // consistency epilogue: group presence uniformity and clock subsets
+    for group in cc.check_groups.iter() {
+        let first = slots[group[0] as usize].presence();
+        for &i in group.iter().skip(1) {
+            let p = slots[i as usize].presence();
+            let agree = cnf.iff(p, first);
+            cnf.assert_bit(agree);
+        }
+    }
+    for &(sub, sup) in cc.check_edges.iter() {
+        let ps = slots[sub as usize].presence();
+        let pu = slots[sup as usize].presence();
+        let np = cnf.not(ps);
+        cnf.assert_clause(&[np, pu]);
+    }
+    for op in cc.reg_ops.iter() {
+        step_op(cnf, op, regs_in, &mut slots, &mut regs_out)?;
+    }
+
+    let outputs = slots[..cc.signal_count as usize].to_vec();
+    Ok(StepIo { outputs, regs_out })
+}
+
+/// `if c { a } else { b }` over typed values. `None` on either side stays
+/// `None` only when both are `None`; a one-sided `None` is resolved by the
+/// never-valued invariant (see the module docs) — feasibility forces the
+/// other branch whenever the value is read.
+fn ite_val(
+    cnf: &mut Cnf,
+    c: Bit,
+    a: &Option<SymVal>,
+    b: &Option<SymVal>,
+) -> Result<Option<SymVal>, String> {
+    Ok(match (a, b) {
+        (None, None) => None,
+        (Some(x), None) => Some(x.clone()),
+        (None, Some(y)) => Some(y.clone()),
+        (Some(SymVal::B(x)), Some(SymVal::B(y))) => Some(SymVal::B(cnf.ite(c, *x, *y))),
+        (Some(SymVal::I(x)), Some(SymVal::I(y))) => Some(SymVal::I(cnf.ite_word(c, x, y))),
+        _ => return Err("ill-typed merge of boolean and integer flows".into()),
+    })
+}
+
+/// Commits an op result, mirroring `schedule::store`. Bails are asserted
+/// as infeasibility.
+fn sym_store(
+    cnf: &mut Cnf,
+    slots: &mut [SymFlow],
+    m: Mode,
+    dst: u32,
+    f: SymFlow,
+) -> Result<(), String> {
+    match m {
+        Mode::Temp => slots[dst as usize] = f,
+        Mode::Guard => match f {
+            // a ubiquitous result cannot be committed: always a bail
+            SymFlow::Ubiq(_) => {
+                cnf.assert_bit(Bit::Const(false));
+                slots[dst as usize] = SymFlow::absent();
+            }
+            SymFlow::Dyn { pres, unval, val } => {
+                // unvalued result: bail
+                let bad = cnf.and(pres, unval);
+                let ok = cnf.not(bad);
+                cnf.assert_bit(ok);
+                slots[dst as usize] = SymFlow::Dyn { pres, unval: Bit::Const(false), val };
+            }
+        },
+        Mode::GuardAtClock => {
+            let clock = match &slots[dst as usize] {
+                SymFlow::Dyn { pres, .. } => *pres,
+                SymFlow::Ubiq(_) => return Err("clocked store onto a constant slot".into()),
+            };
+            match f {
+                // a ubiquitous constant adapts to the pre-decided clock
+                SymFlow::Ubiq(v) => {
+                    slots[dst as usize] =
+                        SymFlow::Dyn { pres: clock, unval: Bit::Const(false), val: Some(v) }
+                }
+                SymFlow::Dyn { pres, unval, val } => {
+                    // presence must agree with the clock, and the result
+                    // must supply a value when present
+                    let agree = cnf.iff(clock, pres);
+                    cnf.assert_bit(agree);
+                    let bad = cnf.and(pres, unval);
+                    let ok = cnf.not(bad);
+                    cnf.assert_bit(ok);
+                    slots[dst as usize] =
+                        SymFlow::Dyn { pres: clock, unval: Bit::Const(false), val };
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `schedule::pre_flow`: the register's value at the body's clock.
+fn sym_pre(body: &SymFlow, reg: &SymVal) -> SymFlow {
+    match body {
+        SymFlow::Ubiq(_) => SymFlow::Ubiq(reg.clone()),
+        SymFlow::Dyn { pres, .. } => {
+            SymFlow::Dyn { pres: *pres, unval: Bit::Const(false), val: Some(reg.clone()) }
+        }
+    }
+}
+
+/// `schedule::when_flow`: `body when cond`, with each bail arm asserted as
+/// infeasibility under exactly the conditions the concrete rule bails.
+fn sym_when(cnf: &mut Cnf, b: &SymFlow, c: &SymFlow) -> Result<SymFlow, String> {
+    match c {
+        SymFlow::Ubiq(SymVal::B(Bit::Const(true))) => Ok(b.clone()),
+        SymFlow::Ubiq(SymVal::B(Bit::Const(false))) => Ok(SymFlow::absent()),
+        SymFlow::Ubiq(SymVal::B(cbit)) => match b {
+            // a symbolic ubiquitous condition keeps a dynamic body's shape
+            SymFlow::Dyn { pres, unval, val } => {
+                let p = cnf.and(*pres, *cbit);
+                let u = cnf.and(*unval, *cbit);
+                Ok(SymFlow::Dyn { pres: p, unval: u, val: val.clone() })
+            }
+            SymFlow::Ubiq(_) => {
+                Err("`when` over a symbolic ubiquitous condition and constant body".into())
+            }
+        },
+        SymFlow::Ubiq(SymVal::I(_)) => {
+            // integer condition: a type bail unless the body is absent
+            let bp = b.presence();
+            match b {
+                SymFlow::Ubiq(_) => cnf.assert_bit(Bit::Const(false)),
+                SymFlow::Dyn { .. } => {
+                    let ok = cnf.not(bp);
+                    cnf.assert_bit(ok);
+                }
+            }
+            Ok(SymFlow::absent())
+        }
+        SymFlow::Dyn { pres: cp, unval: cu, val: cv } => {
+            let cbit = match cv {
+                Some(SymVal::B(bit)) => Some(*bit),
+                // an integer-valued or never-valued condition can only be
+                // sampled feasibly when it or the body is absent
+                Some(SymVal::I(_)) | None => None,
+            };
+            match (b, cbit) {
+                (SymFlow::Dyn { pres: bp, unval: bu, val: bv }, Some(cbit)) => {
+                    // bail: body present while the condition is unvalued
+                    let bad = cnf.and(*bp, *cu);
+                    let ok = cnf.not(bad);
+                    cnf.assert_bit(ok);
+                    let pc = cnf.and(*cp, cbit);
+                    let pres = cnf.and(*bp, pc);
+                    let unval = cnf.and(*bu, pc);
+                    Ok(SymFlow::Dyn { pres, unval, val: bv.clone() })
+                }
+                (SymFlow::Ubiq(v), Some(cbit)) => {
+                    // bail: a non-absent body with an unvalued condition
+                    let ok = cnf.not(*cu);
+                    cnf.assert_bit(ok);
+                    // a true present condition anchors the constant
+                    let pres = cnf.and(*cp, cbit);
+                    Ok(SymFlow::Dyn { pres, unval: Bit::Const(false), val: Some(v.clone()) })
+                }
+                (SymFlow::Dyn { pres: bp, .. }, None) => {
+                    let bad = cnf.and(*bp, *cp);
+                    let ok = cnf.not(bad);
+                    cnf.assert_bit(ok);
+                    Ok(SymFlow::absent())
+                }
+                (SymFlow::Ubiq(_), None) => {
+                    let ok = cnf.not(*cp);
+                    cnf.assert_bit(ok);
+                    Ok(SymFlow::absent())
+                }
+            }
+        }
+    }
+}
+
+/// Applies `op` to two values; returns the result and a *bail bit* that is
+/// true exactly when `Binop::apply` would return `None` (type error or
+/// arithmetic overflow) on these operands.
+fn sym_apply(cnf: &mut Cnf, op: Binop, a: &SymVal, b: &SymVal) -> (SymVal, Bit) {
+    use Binop::*;
+    let type_bail = (SymVal::B(Bit::Const(false)), Bit::Const(true));
+    match op {
+        Add | Sub | Mul => match (a, b) {
+            (SymVal::I(x), SymVal::I(y)) => {
+                let (w, ovf) = match op {
+                    Add => cnf.add_ovf(x, y),
+                    Sub => cnf.sub_ovf(x, y),
+                    _ => cnf.mul_ovf(x, y),
+                };
+                (SymVal::I(w), ovf)
+            }
+            _ => type_bail,
+        },
+        Lt | Le | Gt | Ge => match (a, b) {
+            (SymVal::I(x), SymVal::I(y)) => {
+                let r = match op {
+                    Lt => cnf.slt(x, y),
+                    Le => cnf.sle(x, y),
+                    Gt => cnf.slt(y, x),
+                    _ => cnf.sle(y, x),
+                };
+                (SymVal::B(r), Bit::Const(false))
+            }
+            _ => type_bail,
+        },
+        Eq | Ne => {
+            // `Value` equality compares tag and payload; mixed types are
+            // plain `false` (no bail)
+            let eq = match (a, b) {
+                (SymVal::B(x), SymVal::B(y)) => cnf.iff(*x, *y),
+                (SymVal::I(x), SymVal::I(y)) => cnf.eq_word(x, y),
+                _ => Bit::Const(false),
+            };
+            let r = if op == Eq { eq } else { cnf.not(eq) };
+            (SymVal::B(r), Bit::Const(false))
+        }
+        And | Or => match (a, b) {
+            (SymVal::B(x), SymVal::B(y)) => {
+                let r = if op == And { cnf.and(*x, *y) } else { cnf.or(*x, *y) };
+                (SymVal::B(r), Bit::Const(false))
+            }
+            _ => type_bail,
+        },
+    }
+}
+
+/// `schedule::binary_flow`: synchronous pointwise application with the
+/// present/absent-mix and apply-failure bails asserted.
+fn sym_binary(cnf: &mut Cnf, op: Binop, l: &SymFlow, r: &SymFlow) -> Result<SymFlow, String> {
+    let apply = |cnf: &mut Cnf,
+                 a: &Option<SymVal>,
+                 b: &Option<SymVal>,
+                 valued: Bit|
+     -> (Option<SymVal>, Bit) {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                let (v, bail) = sym_apply(cnf, op, x, y);
+                let bad = cnf.and(valued, bail);
+                (Some(v), bad)
+            }
+            // a never-valued operand makes the result never valued: no
+            // application happens on any feasible path
+            _ => (None, Bit::Const(false)),
+        }
+    };
+    match (l, r) {
+        (SymFlow::Ubiq(a), SymFlow::Ubiq(b)) => {
+            let (v, bail) = sym_apply(cnf, op, a, b);
+            let ok = cnf.not(bail);
+            cnf.assert_bit(ok);
+            Ok(SymFlow::Ubiq(v))
+        }
+        (SymFlow::Ubiq(a), SymFlow::Dyn { pres, unval, val }) => {
+            let nu = cnf.not(*unval);
+            let valued = cnf.and(*pres, nu);
+            let (v, bad) = apply(cnf, &Some(a.clone()), val, valued);
+            let ok = cnf.not(bad);
+            cnf.assert_bit(ok);
+            Ok(SymFlow::Dyn { pres: *pres, unval: *unval, val: v })
+        }
+        (SymFlow::Dyn { pres, unval, val }, SymFlow::Ubiq(b)) => {
+            let nu = cnf.not(*unval);
+            let valued = cnf.and(*pres, nu);
+            let (v, bad) = apply(cnf, val, &Some(b.clone()), valued);
+            let ok = cnf.not(bad);
+            cnf.assert_bit(ok);
+            Ok(SymFlow::Dyn { pres: *pres, unval: *unval, val: v })
+        }
+        (
+            SymFlow::Dyn { pres: lp, unval: lu, val: lv },
+            SymFlow::Dyn { pres: rp, unval: ru, val: rv },
+        ) => {
+            // a present/absent operand mix is a clock mismatch: bail
+            let agree = cnf.iff(*lp, *rp);
+            cnf.assert_bit(agree);
+            let unval = cnf.or(*lu, *ru);
+            let nu = cnf.not(unval);
+            let valued = cnf.and(*lp, nu);
+            let (v, bad) = apply(cnf, lv, rv, valued);
+            let ok = cnf.not(bad);
+            cnf.assert_bit(ok);
+            Ok(SymFlow::Dyn { pres: *lp, unval, val: v })
+        }
+    }
+}
+
+/// `schedule::unary_flow`.
+fn sym_unary(cnf: &mut Cnf, op: Unop, a: &SymFlow) -> Result<SymFlow, String> {
+    match op {
+        Unop::ClockOf => Ok(match a {
+            SymFlow::Ubiq(_) => SymFlow::Ubiq(SymVal::B(Bit::Const(true))),
+            SymFlow::Dyn { pres, .. } => SymFlow::Dyn {
+                pres: *pres,
+                unval: Bit::Const(false),
+                val: Some(SymVal::B(Bit::Const(true))),
+            },
+        }),
+        Unop::Not | Unop::Neg => {
+            // apply the operator to a value; bail bit true on type error
+            // or overflow, mirroring the concrete `apply` closure
+            let apply = |cnf: &mut Cnf, v: &SymVal| -> (Option<SymVal>, Bit) {
+                match (op, v) {
+                    (Unop::Not, SymVal::B(b)) => (Some(SymVal::B(cnf.not(*b))), Bit::Const(false)),
+                    (Unop::Neg, SymVal::I(w)) => {
+                        let (r, ovf) = cnf.neg_ovf(w);
+                        (Some(SymVal::I(r)), ovf)
+                    }
+                    _ => (None, Bit::Const(true)),
+                }
+            };
+            match a {
+                SymFlow::Ubiq(v) => {
+                    let (r, bail) = apply(cnf, v);
+                    let ok = cnf.not(bail);
+                    cnf.assert_bit(ok);
+                    match r {
+                        Some(r) => Ok(SymFlow::Ubiq(r)),
+                        // type error on a constant: always infeasible, any
+                        // placeholder flow will do
+                        None => Ok(SymFlow::absent()),
+                    }
+                }
+                SymFlow::Dyn { pres, unval, val } => {
+                    let (v, bail) = match val {
+                        Some(v) => apply(cnf, v),
+                        None => (None, Bit::Const(false)),
+                    };
+                    let nu = cnf.not(*unval);
+                    let valued = cnf.and(*pres, nu);
+                    let bad = cnf.and(valued, bail);
+                    let ok = cnf.not(bad);
+                    cnf.assert_bit(ok);
+                    Ok(SymFlow::Dyn { pres: *pres, unval: *unval, val: v })
+                }
+            }
+        }
+    }
+}
+
+/// `left default right`: left wins when present.
+fn sym_merge(cnf: &mut Cnf, l: &SymFlow, r: &SymFlow) -> Result<SymFlow, String> {
+    match (l, r) {
+        // a ubiquitous preferred operand is never absent
+        (SymFlow::Ubiq(_), _) => Ok(l.clone()),
+        (SymFlow::Dyn { pres, .. }, _) if *pres == Bit::Const(false) => Ok(r.clone()),
+        (SymFlow::Dyn { pres, .. }, _) if *pres == Bit::Const(true) => Ok(l.clone()),
+        (SymFlow::Dyn { .. }, SymFlow::Ubiq(_)) => {
+            Err("`default` merging a dynamic flow into a ubiquitous fallback is not encodable"
+                .into())
+        }
+        (
+            SymFlow::Dyn { pres: lp, unval: lu, val: lv },
+            SymFlow::Dyn { pres: rp, unval: ru, val: rv },
+        ) => {
+            let pres = cnf.or(*lp, *rp);
+            let unval = cnf.ite(*lp, *lu, *ru);
+            let val = ite_val(cnf, *lp, lv, rv)?;
+            Ok(SymFlow::Dyn { pres, unval, val })
+        }
+    }
+}
+
+/// Symbolically executes one op, mirroring `schedule::step_op`.
+fn step_op(
+    cnf: &mut Cnf,
+    op: &Op,
+    regs_in: &[SymVal],
+    slots: &mut [SymFlow],
+    regs_out: &mut [SymVal],
+) -> Result<(), String> {
+    match op {
+        Op::EvalClock { fold, members } => {
+            let d = slots[fold[0] as usize].presence();
+            for &i in fold.iter().skip(1) {
+                let p = slots[i as usize].presence();
+                let agree = cnf.iff(p, d);
+                cnf.assert_bit(agree);
+            }
+            for &m in members.iter() {
+                slots[m as usize] = SymFlow::Dyn { pres: d, unval: d, val: None };
+            }
+        }
+        Op::SetClockFrom { dst, src } => match &slots[*src as usize] {
+            SymFlow::Ubiq(_) => {
+                cnf.assert_bit(Bit::Const(false));
+                slots[*dst as usize] = SymFlow::absent();
+            }
+            SymFlow::Dyn { pres, .. } => {
+                let p = *pres;
+                slots[*dst as usize] = SymFlow::Dyn { pres: p, unval: p, val: None };
+            }
+        },
+        Op::Mov { m, dst, src } => {
+            let f = slots[*src as usize].clone();
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::Pre { m, dst, reg, body } => {
+            let f = sym_pre(&slots[*body as usize], &regs_in[*reg as usize]);
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::PreWhen { m, dst, reg, body, cond } => {
+            let b = sym_pre(&slots[*body as usize], &regs_in[*reg as usize]);
+            let f = sym_when(cnf, &b, &slots[*cond as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::When { m, dst, body, cond } => {
+            let f = sym_when(cnf, &slots[*body as usize].clone(), &slots[*cond as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::DefaultConstAt { m, dst, left, konst, cond } => {
+            // the sampled fallback is evaluated unconditionally, exactly
+            // like the unfused pair: its bails fire even when `left` wins
+            let w = sym_when(cnf, &slots[*konst as usize].clone(), &slots[*cond as usize].clone())?;
+            let f = sym_merge(cnf, &slots[*left as usize].clone(), &w)?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::DefaultMerge { m, dst, left, right } => {
+            let f =
+                sym_merge(cnf, &slots[*left as usize].clone(), &slots[*right as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::Unary { m, dst, op, arg } => {
+            let f = sym_unary(cnf, *op, &slots[*arg as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::UnaryWhen { m, dst, op, arg, cond } => {
+            let b = sym_unary(cnf, *op, &slots[*arg as usize].clone())?;
+            let f = sym_when(cnf, &b, &slots[*cond as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::Binary { m, dst, op, left, right } => {
+            let f = sym_binary(
+                cnf,
+                *op,
+                &slots[*left as usize].clone(),
+                &slots[*right as usize].clone(),
+            )?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::BinaryWhen { m, dst, op, left, right, cond } => {
+            let b = sym_binary(
+                cnf,
+                *op,
+                &slots[*left as usize].clone(),
+                &slots[*right as usize].clone(),
+            )?;
+            let f = sym_when(cnf, &b, &slots[*cond as usize].clone())?;
+            sym_store(cnf, slots, *m, *dst, f)?;
+        }
+        Op::RegisterShift { reg, src } => {
+            shift_register(cnf, slots, regs_out, *reg, *src)?;
+        }
+        Op::RegisterShiftN { moves } => {
+            for &(reg, src) in moves.iter() {
+                shift_register(cnf, slots, regs_out, reg, src)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `schedule::Op::RegisterShift`: a present body advances the register, an
+/// absent or ubiquitous body keeps it, an unvalued body bails.
+fn shift_register(
+    cnf: &mut Cnf,
+    slots: &[SymFlow],
+    regs_out: &mut [SymVal],
+    reg: u32,
+    src: u32,
+) -> Result<(), String> {
+    match &slots[src as usize] {
+        SymFlow::Ubiq(_) => {}
+        SymFlow::Dyn { pres, unval, val } => {
+            let bad = cnf.and(*pres, *unval);
+            let ok = cnf.not(bad);
+            cnf.assert_bit(ok);
+            let old = regs_out[reg as usize].clone();
+            let next =
+                ite_val(cnf, *pres, val, &Some(old))?.expect("register merge always has a value");
+            regs_out[reg as usize] = next;
+        }
+    }
+    Ok(())
+}

@@ -17,6 +17,7 @@ use polysig_sim::{DenseEnv, Reactor};
 use polysig_tagged::{SigId, SigName, Value};
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
+use crate::bmc::Backend;
 use crate::error::VerifyError;
 use crate::frontier::{self, Inspect};
 
@@ -26,10 +27,15 @@ pub struct BoundResult {
     /// The maximum value the signal was ever observed to take (`None` when
     /// it never ticked on any reachable path).
     pub max: Option<i64>,
-    /// Distinct states visited (the whole reachable space).
+    /// Distinct states visited (the whole reachable space; `0` under the
+    /// symbolic backend, which visits no explicit states).
     pub states_explored: usize,
     /// Reactions executed.
     pub transitions: usize,
+    /// `true` iff the bound only covers traces up to a depth cutoff (the
+    /// symbolic backend); the explicit exploration is exhaustive, so its
+    /// maximum is a proven invariant and this is `false`.
+    pub depth_bounded: bool,
 }
 
 /// Tracks the running maximum of the watched signal across reactions.
@@ -120,7 +126,43 @@ pub fn max_signal_value_with(
     // an undeclared signal never ticks, so `None` just leaves `max` empty
     let inspect = MaxInspect { watched: reactor.sig_id(signal) };
     let e = frontier::explore(&mut reactor, &compiled, &inspect, max_states, None, threads)?;
-    Ok(BoundResult { max: e.acc, states_explored: e.states.len(), transitions: e.transitions })
+    Ok(BoundResult {
+        max: e.acc,
+        states_explored: e.states.len(),
+        transitions: e.transitions,
+        depth_bounded: false,
+    })
+}
+
+/// [`max_signal_value`] dispatched through [`CheckOptions`]: the explicit
+/// exhaustive exploration under [`Backend::Explicit`] (using the options'
+/// state cap, environment and thread count), or the symbolic bounded
+/// maximization under [`Backend::Bmc`] (the returned bound then only covers
+/// traces up to that depth — `depth_bounded` is set).
+///
+/// # Errors
+///
+/// As [`max_signal_value`]; the symbolic backend additionally reports
+/// [`VerifyError::BmcUnsupported`] outside its encodable fragment.
+pub fn max_signal_value_opts(
+    program: &Program,
+    alphabet: &Alphabet,
+    signal: &SigName,
+    options: &crate::reach::CheckOptions,
+) -> Result<BoundResult, VerifyError> {
+    match options.backend {
+        Backend::Explicit => max_signal_value_with(
+            program,
+            alphabet,
+            options.env.as_ref(),
+            signal,
+            options.max_states,
+            options.threads,
+        ),
+        Backend::Bmc { depth } => {
+            crate::bmc::run_bound(program, alphabet, options.env.as_ref(), signal, depth)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,18 @@ pub enum VerifyError {
     },
     /// The alphabet is empty — nothing to explore.
     EmptyAlphabet,
+    /// The program or property falls outside the fragment the symbolic
+    /// (BMC) backend can encode; rerun with the explicit backend.
+    BmcUnsupported {
+        /// What could not be encoded.
+        reason: String,
+    },
+    /// The symbolic backend produced a model that does not replay on the
+    /// concrete reactor — an encoder/executor divergence, never a verdict.
+    BmcInternal {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -29,6 +41,12 @@ impl fmt::Display for VerifyError {
                 write!(f, "state cap of {cap} exceeded before exhausting the reachable space")
             }
             VerifyError::EmptyAlphabet => write!(f, "input alphabet is empty"),
+            VerifyError::BmcUnsupported { reason } => {
+                write!(f, "symbolic backend cannot encode this query: {reason}")
+            }
+            VerifyError::BmcInternal { reason } => {
+                write!(f, "symbolic backend internal error: {reason}")
+            }
         }
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod bmc;
 pub mod bound;
 pub mod counterexample;
 pub mod equiv;
@@ -52,7 +53,8 @@ pub mod prop;
 pub mod reach;
 
 pub use alphabet::{Alphabet, EnvAutomaton};
-pub use bound::{max_signal_value, max_signal_value_with, BoundResult};
+pub use bmc::Backend;
+pub use bound::{max_signal_value, max_signal_value_opts, max_signal_value_with, BoundResult};
 pub use counterexample::Counterexample;
 pub use equiv::{compare_flows, compare_flows_with, ComparisonReport};
 pub use error::VerifyError;

@@ -16,7 +16,7 @@ pub type Reaction = [(SigName, Value)];
 /// The recognized shapes of a property, kept alongside the name-keyed
 /// closure so the checkers can pre-bind signal names to [`SigId`]s and
 /// evaluate the hot loop on dense environments.
-enum Shape {
+pub(crate) enum Shape {
     NeverTrue(SigName),
     NeverPresent(SigName),
     InRange(SigName, i64, i64),
@@ -88,6 +88,12 @@ impl Property {
     /// Evaluates the property on a reaction.
     pub fn holds_on(&self, reaction: &Reaction) -> bool {
         (self.check)(reaction)
+    }
+
+    /// The recognized shape, for checkers that compile properties (the
+    /// symbolic backend encodes shaped properties and rejects `Custom`).
+    pub(crate) fn shape(&self) -> &Shape {
+        &self.shape
     }
 
     /// Pre-binds the property to a reactor's signal ids for dense checking.

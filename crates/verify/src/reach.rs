@@ -22,6 +22,7 @@ use polysig_tagged::SigName;
 use polysig_lang::Program;
 
 use crate::alphabet::{Alphabet, EnvAutomaton};
+use crate::bmc::Backend;
 use crate::counterexample::Counterexample;
 use crate::error::VerifyError;
 use crate::frontier::{self, Inspect};
@@ -44,6 +45,11 @@ pub struct CheckOptions {
     /// identical for every value — only wall-clock time changes. Defaults
     /// to the detected parallelism (`POLYSIG_TEST_THREADS` overrides it).
     pub threads: usize,
+    /// Which engine answers the query: the explicit breadth-first checker
+    /// (default) or symbolic bounded model checking ([`Backend::Bmc`],
+    /// which ignores `max_states`, `max_depth` and `threads` — its own
+    /// `depth` bounds the query).
+    pub backend: Backend,
 }
 
 impl Default for CheckOptions {
@@ -53,6 +59,7 @@ impl Default for CheckOptions {
             max_depth: None,
             env: None,
             threads: crossbeam::pool::default_threads(),
+            backend: Backend::Explicit,
         }
     }
 }
@@ -111,6 +118,9 @@ pub fn check(
 ) -> Result<CheckResult, VerifyError> {
     if alphabet.is_empty() {
         return Err(VerifyError::EmptyAlphabet);
+    }
+    if let Backend::Bmc { depth } = options.backend {
+        return crate::bmc::run_check(program, alphabet, property, options, depth);
     }
     let mut reactor = Reactor::for_program(program)?;
     let free_env;

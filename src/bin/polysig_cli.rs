@@ -8,6 +8,8 @@
 //! polysig-cli desync   FILE [SIZE]       print the desynchronized program
 //! polysig-cli estimate FILE N            size buffers for a random environment
 //! polysig-cli verify   FILE SIGNAL       prove SIGNAL never true (exhaustive)
+//! polysig-cli bmc      FILE SIGNAL [K]   prove SIGNAL never true within K
+//!                                        reactions (symbolic, default K=8)
 //! polysig-cli dump     FILE N OUT.vcd    simulate N reactions, export VCD
 //! polysig-cli federated [STAGES] [N] [CAP]
 //!                                        run a STAGES-stage pipeline as
@@ -30,7 +32,7 @@ use polysig::lang::{check_program, pretty_program, DependencyGraph, Program, Rol
 use polysig::sim::generator::master_clock;
 use polysig::sim::{RandomInputs, Scenario, ScenarioGenerator, Simulator};
 use polysig::tagged::ValueType;
-use polysig::verify::{check, Alphabet, CheckOptions, Property};
+use polysig::verify::{check, Alphabet, Backend, CheckOptions, Property};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +51,7 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: polysig-cli <check|clocks|simulate|desync|estimate|verify|dump> FILE \
+    let usage = "usage: polysig-cli <check|clocks|simulate|desync|estimate|verify|bmc|dump> FILE \
                  [ARGS] | polysig-cli federated [STAGES] [ACTIVATIONS] [CAPACITY]";
     let cmd = args.first().ok_or(usage)?;
     if cmd == "federated" {
@@ -181,6 +183,32 @@ fn run(args: &[String]) -> Result<(), String> {
             if result.holds {
                 Ok(())
             } else {
+                Err("property violated".into())
+            }
+        }
+        "bmc" => {
+            let signal = args.get(2).ok_or("bmc needs a signal name")?;
+            let depth: usize = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| "depth must be a number"))
+                .transpose()?
+                .unwrap_or(8);
+            let alphabet = Alphabet::exhaustive(&program, &[0, 1]).map_err(|e| e.to_string())?;
+            let result = check(
+                &program,
+                &alphabet,
+                &Property::never_true(signal.as_str()),
+                &CheckOptions { backend: Backend::Bmc { depth }, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            if result.holds {
+                println!("property `never {signal}=true`: HOLDS (bounded to depth {depth})");
+                Ok(())
+            } else {
+                println!("property `never {signal}=true`: VIOLATED");
+                if let Some(cx) = result.counterexample {
+                    print!("{cx}");
+                }
                 Err("property violated".into())
             }
         }

@@ -1,0 +1,110 @@
+//! Where the symbolic backend earns its keep: state spaces the explicit
+//! checker provably cannot enumerate, and exact depth-boundary behaviour.
+//!
+//! The fixture is a generated 12-component fan-in/fan-out topology: eleven
+//! independently-clocked counters (`C0`..`C10`, each ticked by its own
+//! input) fanning into a merge component `M` that raises `alarm` when any
+//! counter output crosses a threshold. Under a free environment with one
+//! letter per counter, the reachable set after `d` reactions is every
+//! multiset of `d` ticks over 11 counters — it grows like `d^11` and the
+//! counters are unbounded, so explicit breadth-first search *must* hit its
+//! state cap on any unbounded-depth safe query. The symbolic backend
+//! unrolls 11 moves per step and discharges the same query in milliseconds.
+
+use polysig::lang::{parse_program, Program};
+use polysig::tagged::Value;
+use polysig::verify::alphabet::Letter;
+use polysig::verify::reach::{check, CheckOptions};
+use polysig::verify::{Alphabet, Backend, Property, VerifyError};
+
+const COUNTERS: usize = 11;
+
+/// Eleven per-input counters fanning into one merge/alarm component
+/// (12 components total); `alarm` fires when the merged value exceeds
+/// `threshold`.
+fn fan_in_program(threshold: i64) -> Program {
+    let mut text = String::new();
+    for i in 0..COUNTERS {
+        text.push_str(&format!(
+            "process C{i} {{ input t{i}: bool; output n{i}: int; \
+             n{i} := ((pre 0 n{i}) when t{i}) + 1; n{i} ^= t{i}; }}\n"
+        ));
+    }
+    let inputs = (0..COUNTERS).map(|i| format!("n{i}: int")).collect::<Vec<_>>().join(", ");
+    let mut chain = "n0".to_string();
+    for i in 1..COUNTERS {
+        chain = format!("({chain} default n{i})");
+    }
+    text.push_str(&format!(
+        "process M {{ input {inputs}; output m: int, alarm: bool; \
+         m := {chain}; alarm := (m > {threshold}); }}\n"
+    ));
+    parse_program(&text).unwrap()
+}
+
+/// One letter per counter: tick exactly that counter.
+fn per_counter_alphabet() -> Alphabet {
+    let letters = (0..COUNTERS)
+        .map(|i| {
+            let mut l = Letter::new();
+            l.insert(format!("t{i}").into(), Value::TRUE);
+            l
+        })
+        .collect();
+    Alphabet::from_letters(letters).unwrap()
+}
+
+#[test]
+fn explicit_provably_exceeds_state_cap_where_bmc_discharges() {
+    // threshold 100 is unreachable in 6 steps, so the property is safe at
+    // that horizon — but the explicit checker cannot *close* the unbounded
+    // counter space and must die on the cap
+    let p = fan_in_program(100);
+    let alphabet = per_counter_alphabet();
+    let prop = Property::never_true("alarm");
+
+    let err =
+        check(&p, &alphabet, &prop, &CheckOptions { max_states: 10_000, ..Default::default() })
+            .unwrap_err();
+    assert!(
+        matches!(err, VerifyError::StateCapExceeded { cap: 10_000 }),
+        "explicit exploration must exhaust the cap, got: {err}"
+    );
+
+    let r = check(
+        &p,
+        &alphabet,
+        &prop,
+        &CheckOptions { backend: Backend::Bmc { depth: 6 }, ..Default::default() },
+    )
+    .unwrap();
+    assert!(r.holds, "no counter reaches 101 within six reactions");
+    assert!(r.depth_bounded);
+    assert_eq!(r.states_explored, 0, "the verdict is symbolic, not enumerative");
+}
+
+#[test]
+fn depth_boundary_is_exact() {
+    // with threshold 3 the shortest violation is four ticks of one counter:
+    // invisible at depth 3, found at depth 4 — the horizon edge is sharp
+    let p = fan_in_program(3);
+    let alphabet = per_counter_alphabet();
+    let prop = Property::never_true("alarm");
+    let bmc = |depth| CheckOptions { backend: Backend::Bmc { depth }, ..Default::default() };
+
+    let shallow = check(&p, &alphabet, &prop, &bmc(3)).unwrap();
+    assert!(shallow.holds, "the bug lives at depth 4 exactly");
+    assert!(shallow.depth_bounded, "…and the verdict says so");
+
+    let deep = check(&p, &alphabet, &prop, &bmc(4)).unwrap();
+    assert!(!deep.holds);
+    assert!(!deep.depth_bounded);
+    let cx = deep.counterexample.as_ref().unwrap();
+    assert_eq!(cx.len(), 4, "found at its exact depth, not later");
+
+    // the explicit checker reaches depth 4 comfortably on this fixture and
+    // must produce the identical lexicographically-least shortest trace
+    let explicit = check(&p, &alphabet, &prop, &CheckOptions::default()).unwrap();
+    assert!(!explicit.holds);
+    assert_eq!(cx.letters(), explicit.counterexample.as_ref().unwrap().letters());
+}

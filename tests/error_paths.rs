@@ -51,9 +51,8 @@ fn state_cap_errors_exactly_at_the_boundary() {
     // measure the exact reachable count with an unconstraining cap
     let opts = |max_states: usize, threads: usize| CheckOptions {
         max_states,
-        max_depth: None,
-        env: None,
         threads,
+        ..Default::default()
     };
     let full = check(&p, &alphabet, &property, &opts(1_000, 1)).unwrap();
     assert!(full.holds);

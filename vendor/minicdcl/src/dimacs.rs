@@ -1,0 +1,85 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The format is the classic `p cnf <vars> <clauses>` header followed by
+//! zero-terminated clauses; `c` lines are comments. Round-tripping a clause
+//! set through [`write`] and [`parse`] is exact.
+
+use crate::{Lit, Solver};
+
+/// Renders `clauses` over `num_vars` variables as a DIMACS CNF document.
+pub fn write(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for l in c {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses a DIMACS CNF document into `(num_vars, clauses)`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token, missing header, or
+/// literal out of the declared range.
+pub fn parse(text: &str) -> Result<(usize, Vec<Vec<Lit>>), String> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(format!("unsupported problem line: {line:?}"));
+            }
+            let v: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad variable count in {line:?}"))?;
+            num_vars = Some(v);
+            continue;
+        }
+        let declared = num_vars.ok_or_else(|| "clause before the p-line".to_string())?;
+        for tok in line.split_whitespace() {
+            let i: i64 = tok.parse().map_err(|_| format!("bad literal token {tok:?}"))?;
+            match Lit::from_dimacs(i) {
+                None => clauses.push(std::mem::take(&mut current)),
+                Some(l) => {
+                    if l.var() as usize >= declared {
+                        return Err(format!("literal {i} exceeds declared {declared} vars"));
+                    }
+                    current.push(l);
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err("unterminated final clause".to_string());
+    }
+    Ok((num_vars.unwrap_or(0), clauses))
+}
+
+/// Builds a solver holding a parsed DIMACS document's clauses.
+///
+/// # Errors
+///
+/// Propagates [`parse`] errors.
+pub fn solver_from(text: &str) -> Result<Solver, String> {
+    let (num_vars, clauses) = parse(text)?;
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in &clauses {
+        s.add_clause(c);
+    }
+    Ok(s)
+}

@@ -1,0 +1,644 @@
+//! `minicdcl` — a small, dependency-free CDCL SAT solver.
+//!
+//! Vendored offline stand-in for an external SAT crate, covering exactly the
+//! subset the `polysig-verify` bounded model checker needs:
+//!
+//! * conflict-driven clause learning with first-UIP conflict analysis,
+//! * two-watched-literal unit propagation,
+//! * VSIDS-lite branching (exponentially decayed variable activities with
+//!   phase saving),
+//! * Luby-sequence restarts,
+//! * incremental solving under assumptions (the BMC driver re-solves the
+//!   same growing formula once per unrolling depth), and
+//! * DIMACS CNF parsing/printing plus an optional learned-clause trace.
+//!
+//! The solver is deterministic: identical clause/assumption sequences yield
+//! identical models and identical learned-clause traces on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity, packed as `var << 1 | negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v << 1 | 1)
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// `true` iff the literal is positive.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The packed code (`var << 1 | negated`), used as a dense array index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The DIMACS integer form: 1-based, negative when negated.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.var()) + 1;
+        if self.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses the DIMACS integer form; `0` is not a literal.
+    pub fn from_dimacs(i: i64) -> Option<Lit> {
+        if i == 0 {
+            return None;
+        }
+        let v = (i.unsigned_abs() - 1) as Var;
+        Some(if i > 0 { Lit::pos(v) } else { Lit::neg(v) })
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// Tri-valued assignment of a variable.
+const VAL_UNDEF: u8 = 2;
+
+/// Sentinel for "no reason clause" (decisions, assumption decisions).
+const NO_REASON: u32 = u32::MAX;
+
+/// Activity decay: after every conflict, future bumps weigh `1 / DECAY`
+/// more (the MiniSat formulation of exponential decay).
+const DECAY: f64 = 0.95;
+
+/// Base restart interval in conflicts, scaled by the Luby sequence.
+const RESTART_BASE: u64 = 100;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The `x`-th element of the Luby sequence (1, 1, 2, 1, 1, 2, 4, …),
+/// 0-indexed.
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// An indexed binary max-heap over variable activities (the VSIDS order).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    /// `pos[v]` = index of `v` in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v as usize] != usize::MAX
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize], act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[p] as usize] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i;
+        self.pos[self.heap[j] as usize] = j;
+    }
+}
+
+/// A CDCL SAT solver over clauses added with [`Solver::add_clause`].
+///
+/// ```
+/// use minicdcl::{Lit, Solver};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert!(s.solve());
+/// assert!(s.model_value(Lit::pos(b)));
+/// assert!(!s.solve_assuming(&[Lit::neg(b)]));
+/// assert!(s.solve()); // assumptions do not persist
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// `false` once the clause set is unsatisfiable independent of any
+    /// assumptions.
+    ok_flag: bool,
+    clauses: Vec<Clause>,
+    /// `watches[p.code()]`: clauses watching `¬p` (visited when `p`
+    /// becomes true).
+    watches: Vec<Vec<u32>>,
+    /// Per-variable tri-valued assignment (`0` false, `1` true, `2` undef).
+    assigns: Vec<u8>,
+    /// Saved polarity per variable (phase saving).
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    seen: Vec<bool>,
+    assumptions: Vec<Lit>,
+    model: Vec<bool>,
+    have_model: bool,
+    conflicts: u64,
+    record_learnt: bool,
+    learnt_trace: Vec<Vec<Lit>>,
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver { ok_flag: true, var_inc: 1.0, ..Default::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len() as Var;
+        self.assigns.push(VAL_UNDEF);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses currently stored (problem plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Conflicts encountered so far (a progress/effort metric).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// `false` once the clause set is unsatisfiable regardless of
+    /// assumptions; further solving is a no-op.
+    pub fn is_ok(&self) -> bool {
+        self.ok_flag
+    }
+
+    /// Starts (or stops) recording learnt clauses into the trace returned
+    /// by [`Solver::learnt_trace`].
+    pub fn set_record_learnt(&mut self, on: bool) {
+        self.record_learnt = on;
+    }
+
+    /// The learnt clauses recorded since [`Solver::set_record_learnt`] was
+    /// turned on, in derivation order.
+    pub fn learnt_trace(&self) -> &[Vec<Lit>] {
+        &self.learnt_trace
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> u8 {
+        let a = self.assigns[l.var() as usize];
+        if a == VAL_UNDEF {
+            VAL_UNDEF
+        } else {
+            a ^ (!l.is_pos() as u8)
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), VAL_UNDEF);
+        let v = l.var() as usize;
+        self.assigns[v] = l.is_pos() as u8;
+        self.phase[v] = l.is_pos();
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn cancel_until(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            self.assigns[v as usize] = VAL_UNDEF;
+            self.order.insert(v, &self.activity);
+        }
+        self.qhead = bound;
+        self.trail_lim.truncate(target);
+    }
+
+    /// Adds a clause. Tautologies and clauses satisfied at the root level
+    /// are dropped; an empty (or root-falsified) clause makes the solver
+    /// permanently unsatisfiable. Must be called between solves (the solver
+    /// is always at decision level 0 there).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok_flag {
+            return;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // tautology: p and ¬p are adjacent after the sort
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        c.retain(|&l| match self.lit_value(l) {
+            VAL_UNDEF => true,
+            v => v == 1,
+        });
+        if c.iter().any(|&l| self.lit_value(l) == 1) {
+            return;
+        }
+        match c.len() {
+            0 => self.ok_flag = false,
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok_flag = false;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[(!c[0]).code()].push(idx);
+                self.watches[(!c[1]).code()].push(idx);
+                self.clauses.push(Clause { lits: c });
+            }
+        }
+    }
+
+    /// Unit propagation; returns the conflicting clause's index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                // scope the clause borrow so enqueue/watch pushes stay legal
+                let (first, new_watch) = {
+                    let c = &mut self.clauses[ci as usize].lits;
+                    if c[0] == false_lit {
+                        c.swap(0, 1);
+                    }
+                    debug_assert_eq!(c[1], false_lit);
+                    let first = c[0];
+                    let a = self.assigns[first.var() as usize];
+                    if a != VAL_UNDEF && a == first.is_pos() as u8 {
+                        i += 1;
+                        continue 'clauses; // already satisfied
+                    }
+                    let mut moved = None;
+                    for k in 2..c.len() {
+                        let l = c[k];
+                        let a = self.assigns[l.var() as usize];
+                        if a == VAL_UNDEF || a == l.is_pos() as u8 {
+                            c.swap(1, k);
+                            moved = Some(!c[1]);
+                            break;
+                        }
+                    }
+                    (first, moved)
+                };
+                if let Some(w) = new_watch {
+                    // a new watch was found: move the clause to w's list
+                    self.watches[w.code()].push(ci);
+                    ws.swap_remove(i);
+                    continue 'clauses;
+                }
+                // unit or conflicting under the current assignment
+                if self.lit_value(first) == 0 {
+                    // conflict: restore the remaining watches and bail
+                    self.watches[p.code()].append(&mut ws);
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[p.code()].append(&mut ws);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis: returns the learnt clause (asserting
+    /// literal first, a highest-level literal second) and the backtrack
+    /// level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, usize) {
+        let current = self.decision_level() as u32;
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+        let mut skip_first = false;
+        let pl = loop {
+            let clause = &self.clauses[confl as usize].lits;
+            let start = usize::from(skip_first);
+            // borrow juggling: collect the unseen literals first
+            let mut todo: Vec<Lit> = Vec::with_capacity(clause.len());
+            todo.extend_from_slice(&clause[start..]);
+            for q in todo {
+                let v = q.var();
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    self.bump_var(v);
+                    if self.level[v as usize] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // walk back to the most recent seen literal on the trail
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                break pl;
+            }
+            confl = self.reason[pl.var() as usize];
+            debug_assert_ne!(confl, NO_REASON);
+            skip_first = true;
+        };
+        learnt[0] = !pl;
+        for &l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        if learnt.len() == 1 {
+            return (learnt, 0);
+        }
+        // second literal must sit at the backtrack (highest remaining) level
+        let mut max_i = 1;
+        for i in 2..learnt.len() {
+            if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                max_i = i;
+            }
+        }
+        learnt.swap(1, max_i);
+        let bt = self.level[learnt[1].var() as usize] as usize;
+        (learnt, bt)
+    }
+
+    /// Runs CDCL until SAT, UNSAT, or `budget` conflicts (restart).
+    fn search(&mut self, budget: u64) -> Option<bool> {
+        let mut local_conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok_flag = false;
+                    return Some(false);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if self.record_learnt {
+                    self.learnt_trace.push(learnt.clone());
+                }
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[(!learnt[0]).code()].push(idx);
+                    self.watches[(!learnt[1]).code()].push(idx);
+                    let asserting = learnt[0];
+                    self.clauses.push(Clause { lits: learnt });
+                    self.enqueue(asserting, idx);
+                }
+                self.var_inc /= DECAY;
+            } else {
+                if local_conflicts >= budget {
+                    self.cancel_until(0);
+                    return None; // restart
+                }
+                // place pending assumptions, one decision level each
+                let mut decision = None;
+                while self.decision_level() < self.assumptions.len() {
+                    let a = self.assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        1 => self.new_decision_level(), // dummy level
+                        0 => return Some(false),        // conflicts with the formula
+                        _ => {
+                            decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = decision.or_else(|| {
+                    while let Some(v) = self.order.pop_max(&self.activity) {
+                        if self.assigns[v as usize] == VAL_UNDEF {
+                            let phase = self.phase[v as usize];
+                            return Some(if phase { Lit::pos(v) } else { Lit::neg(v) });
+                        }
+                    }
+                    None
+                });
+                match decision {
+                    None => return Some(true),
+                    Some(d) => {
+                        self.new_decision_level();
+                        self.enqueue(d, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves the current clause set with no assumptions.
+    pub fn solve(&mut self) -> bool {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under `assumptions` (each treated as a forced first
+    /// decision). Returns `true` (SAT — a model is available through
+    /// [`Solver::model_value`]) or `false` (no model under these
+    /// assumptions). Learnt clauses persist across calls; assumptions do
+    /// not.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> bool {
+        self.have_model = false;
+        if !self.ok_flag {
+            return false;
+        }
+        self.assumptions = assumptions.to_vec();
+        let mut restarts = 0u64;
+        loop {
+            let budget = RESTART_BASE * luby(restarts);
+            match self.search(budget) {
+                Some(true) => {
+                    self.model.clear();
+                    self.model.extend(self.assigns.iter().zip(&self.phase).map(|(&a, &p)| {
+                        if a == VAL_UNDEF {
+                            p
+                        } else {
+                            a == 1
+                        }
+                    }));
+                    self.have_model = true;
+                    self.cancel_until(0);
+                    self.assumptions.clear();
+                    return true;
+                }
+                Some(false) => {
+                    self.cancel_until(0);
+                    self.assumptions.clear();
+                    return false;
+                }
+                None => restarts += 1,
+            }
+        }
+    }
+
+    /// The last model's value of `v`. Meaningful only after a `true`
+    /// return from [`Solver::solve`] / [`Solver::solve_assuming`].
+    pub fn value(&self, v: Var) -> bool {
+        debug_assert!(self.have_model, "no model available");
+        self.model.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// The last model's value of literal `l`.
+    pub fn model_value(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_pos()
+    }
+}
+
+#[cfg(test)]
+mod tests;

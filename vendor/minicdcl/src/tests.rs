@@ -1,0 +1,209 @@
+//! SAT-core unit tests: pigeonhole UNSAT instances, random 3-SAT checked
+//! against a brute-force reference evaluator, and DIMACS round-trips over
+//! learned-clause traces.
+
+use crate::{dimacs, Lit, Solver, Var};
+
+/// Deterministic splitmix64, the workspace's standard test PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes — UNSAT.
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let var = |p: usize, h: usize| (p * holes + h) as Var;
+    for _ in 0..pigeons * holes {
+        s.new_var();
+    }
+    // every pigeon sits somewhere
+    for p in 0..pigeons {
+        let c: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        s.add_clause(&c);
+    }
+    // no two pigeons share a hole
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn pigeonhole_instances_are_unsat() {
+    for holes in 2..=5 {
+        let mut s = pigeonhole(holes + 1, holes);
+        assert!(!s.solve(), "PHP({}, {holes}) must be UNSAT", holes + 1);
+        assert!(!s.is_ok(), "the refutation is assumption-free");
+    }
+}
+
+#[test]
+fn pigeonhole_with_enough_holes_is_sat() {
+    let mut s = pigeonhole(4, 4);
+    assert!(s.solve());
+    // the model really is a matching
+    for h in 0..4 {
+        let occupants = (0..4).filter(|&p| s.model_value(Lit::pos((p * 4 + h) as Var))).count();
+        assert!(occupants <= 1, "hole {h} holds {occupants} pigeons");
+    }
+}
+
+/// Evaluates `clauses` under the assignment encoded in the bits of `m`.
+fn eval(clauses: &[Vec<Lit>], m: u64) -> bool {
+    clauses.iter().all(|c| {
+        c.iter().any(|l| {
+            let bit = (m >> l.var()) & 1 == 1;
+            bit == l.is_pos()
+        })
+    })
+}
+
+/// `true` iff some assignment over `n` variables satisfies `clauses`.
+fn brute_force_sat(n: usize, clauses: &[Vec<Lit>]) -> bool {
+    (0u64..1 << n).any(|m| eval(clauses, m))
+}
+
+#[test]
+fn random_3sat_matches_brute_force() {
+    let mut rng = Rng(1);
+    for round in 0..200 {
+        let n = 4 + (rng.below(7) as usize); // 4..=10 variables
+        let m = 2 + (rng.below(5 * n as u64) as usize); // up to ~5n clauses
+        let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut c = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let v = rng.below(n as u64) as Var;
+                c.push(if rng.below(2) == 1 { Lit::pos(v) } else { Lit::neg(v) });
+            }
+            clauses.push(c);
+        }
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let sat = s.solve();
+        assert_eq!(
+            sat,
+            brute_force_sat(n, &clauses),
+            "round {round}: solver disagrees with brute force on {n} vars {clauses:?}"
+        );
+        if sat {
+            // the reported model must actually satisfy the clauses
+            let mut m = 0u64;
+            for v in 0..n {
+                if s.value(v as Var) {
+                    m |= 1 << v;
+                }
+            }
+            assert!(eval(&clauses, m), "round {round}: model does not satisfy the instance");
+        }
+    }
+}
+
+#[test]
+fn assumptions_are_honored_and_do_not_persist() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::neg(b), Lit::pos(c)]);
+    assert!(s.solve_assuming(&[Lit::neg(a)]));
+    assert!(s.model_value(Lit::pos(b)), "¬a forces b");
+    assert!(s.model_value(Lit::pos(c)), "b forces c");
+    assert!(!s.solve_assuming(&[Lit::neg(a), Lit::neg(b)]));
+    assert!(s.is_ok(), "UNSAT under assumptions is not root UNSAT");
+    assert!(s.solve(), "assumptions must not leak into later solves");
+}
+
+#[test]
+fn incremental_clause_addition_narrows_models() {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    // an 8-bit counter constrained one bit at a time
+    for (i, &v) in vars.iter().enumerate() {
+        assert!(s.solve(), "still satisfiable before pinning bit {i}");
+        s.add_clause(&[if i % 2 == 0 { Lit::pos(v) } else { Lit::neg(v) }]);
+    }
+    assert!(s.solve());
+    for (i, &v) in vars.iter().enumerate() {
+        assert_eq!(s.value(v), i % 2 == 0, "bit {i} pinned");
+    }
+    s.add_clause(&[Lit::neg(vars[0])]);
+    assert!(!s.solve());
+    assert!(!s.is_ok());
+}
+
+#[test]
+fn dimacs_round_trip_on_learned_clause_traces() {
+    // solve a pigeonhole refutation with trace recording on; the learnt
+    // clauses must survive a write → parse round trip field-for-field
+    let mut s = pigeonhole(4, 3);
+    s.set_record_learnt(true);
+    assert!(!s.solve());
+    let trace: Vec<Vec<Lit>> = s.learnt_trace().to_vec();
+    assert!(!trace.is_empty(), "a PHP refutation must learn clauses");
+    let text = dimacs::write(s.num_vars(), &trace);
+    let (vars, parsed) = dimacs::parse(&text).expect("well-formed output");
+    assert_eq!(vars, s.num_vars());
+    assert_eq!(parsed, trace, "learned-clause trace survives the round trip");
+
+    // and the learnt clauses are consequences: adding them back to a fresh
+    // copy of the instance keeps it UNSAT
+    let mut s2 = pigeonhole(4, 3);
+    for c in &parsed {
+        s2.add_clause(c);
+    }
+    assert!(!s2.solve());
+}
+
+#[test]
+fn dimacs_parse_accepts_comments_and_rejects_garbage() {
+    let (vars, clauses) =
+        dimacs::parse("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n").expect("valid document");
+    assert_eq!(vars, 3);
+    assert_eq!(clauses, vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1), Lit::pos(2)]]);
+    assert!(dimacs::parse("1 2 0\n").is_err(), "clause before header");
+    assert!(dimacs::parse("p cnf 1 1\n2 0\n").is_err(), "literal out of range");
+    assert!(dimacs::parse("p cnf 1 1\n1\n").is_err(), "unterminated clause");
+
+    let mut s = dimacs::solver_from("p cnf 2 2\n1 0\n-1 -2 0\n").expect("parses");
+    assert!(s.solve());
+    assert!(s.model_value(Lit::pos(0)));
+    assert!(s.model_value(Lit::neg(1)));
+}
+
+#[test]
+fn unit_and_empty_clause_edge_cases() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::neg(a)]); // tautology: dropped
+    assert!(s.solve());
+    s.add_clause(&[Lit::pos(a)]);
+    s.add_clause(&[Lit::neg(a)]);
+    assert!(!s.solve());
+    assert!(!s.is_ok());
+    // further additions are no-ops, not panics
+    s.add_clause(&[Lit::pos(a)]);
+    assert!(!s.solve());
+}
