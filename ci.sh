@@ -81,6 +81,29 @@ echo "$fed_out" | tail -n 2
 grep -q 'OK: every value delivered, every thread joined' <<< "$fed_out" \
   || { echo "federated smoke (default threads): self-check failed"; exit 1; }
 
+echo "==> federated --check preflight: pass path (pipeline launches) and refuse path (PA008 ring)"
+fed_out="$(./target/release/polysig_cli federated 3 2000 4 --check)"
+echo "$fed_out" | tail -n 2
+grep -q 'preflight: deadlock-free' <<< "$fed_out" \
+  || { echo "federated --check: expected a deadlock-free preflight"; exit 1; }
+grep -q 'OK: every value delivered, every thread joined' <<< "$fed_out" \
+  || { echo "federated --check: pass path did not complete"; exit 1; }
+if fed_out="$(./target/release/polysig_cli federated 3 200 4 --ring --all-data-driven --check 2>&1)"; then
+  echo "federated --check: the all-data-driven ring must be refused"; exit 1
+fi
+grep -q 'PA008' <<< "$fed_out" \
+  || { echo "federated --check: the refusal must cite PA008"; exit 1; }
+grep -q 'preflight refused the launch' <<< "$fed_out" \
+  || { echo "federated --check: expected a preflight refusal"; exit 1; }
+
+echo "==> polysig-lint --deny warnings over a generated ring corpus (documented waivers)"
+ring_corpus="$(mktemp -d)"
+cargo run -q --release -p polysig-gen --bin gen_corpus -- \
+  --shape ring --count 32 --seed 1 --out "$ring_corpus"
+./target/release/polysig-lint --deny warnings \
+  --waivers programs/ring.waivers "$ring_corpus"/*.sig > /dev/null
+rm -rf "$ring_corpus"
+
 if [[ "${POLYSIG_BENCH_GATE:-run}" == "skip" ]]; then
   echo "==> bench regression gate: skipped (POLYSIG_BENCH_GATE=skip)"
 else

@@ -1,0 +1,152 @@
+//! Dead-signal detection (`PA010`): equations whose value never reaches an
+//! observable sink, and inputs no equation ever reads.
+//!
+//! A signal is *observed* when it is an output (it feeds a channel or the
+//! component's external interface) or a member of a `sync` constraint (a
+//! checked property). Liveness propagates backwards from those roots
+//! through the defining equations' free variables — including `pre`
+//! bodies, so a local that only feeds a register which in turn feeds an
+//! output is live. What remains is computed every reaction and then
+//! discarded: dead weight in the static schedule and a trap for readers
+//! who assume the value goes somewhere.
+
+use std::collections::BTreeSet;
+
+use polysig_lang::{Component, Program, Role, Statement};
+use polysig_tagged::SigName;
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Emits one `PA010` per dead local equation and per never-read input,
+/// across every component of the program.
+pub fn check(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    for comp in &program.components {
+        check_component(comp, diagnostics);
+    }
+}
+
+fn check_component(comp: &Component, diagnostics: &mut Vec<Diagnostic>) {
+    // roots: outputs and sync-constraint members
+    let mut live: BTreeSet<SigName> =
+        comp.signals_with_role(Role::Output).map(|d| d.name.clone()).collect();
+    let sync_members: BTreeSet<SigName> = comp
+        .stmts
+        .iter()
+        .filter_map(|s| match s {
+            Statement::Sync(names) => Some(names.iter().cloned()),
+            Statement::Eq(_) => None,
+        })
+        .flatten()
+        .collect();
+    live.extend(sync_members.iter().cloned());
+
+    // backward fixpoint over defining equations (free_vars includes `pre`
+    // bodies, so register feeders stay live)
+    loop {
+        let mut grew = false;
+        for eq in comp.equations() {
+            if live.contains(&eq.lhs) {
+                for v in eq.rhs.free_vars() {
+                    grew |= live.insert(v);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    for decl in comp.signals_with_role(Role::Local) {
+        if !live.contains(&decl.name) && comp.defining_equation(&decl.name).is_some() {
+            diagnostics.push(
+                Diagnostic::new(
+                    LintCode::DeadSignal,
+                    format!(
+                        "equation defines `{}` but its value never reaches an output, channel, \
+                         or checked property",
+                        decl.name
+                    ),
+                )
+                .in_component(comp.name.clone())
+                .on_signal(decl.name.clone())
+                .suggest(format!(
+                    "delete the `{}` equation, or route the value to an output or `sync`",
+                    decl.name
+                )),
+            );
+        }
+    }
+
+    // an input is read when any equation's rhs mentions it, or a sync
+    // constraint checks it
+    let mut read: BTreeSet<SigName> = sync_members;
+    for eq in comp.equations() {
+        read.extend(eq.rhs.free_vars());
+    }
+    for decl in comp.signals_with_role(Role::Input) {
+        if !read.contains(&decl.name) {
+            diagnostics.push(
+                Diagnostic::new(
+                    LintCode::DeadSignal,
+                    format!("input `{}` is never read", decl.name),
+                )
+                .in_component(comp.name.clone())
+                .on_signal(decl.name.clone())
+                .suggest(format!(
+                    "drop the `{}` declaration, or use the value in an equation",
+                    decl.name
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysig_lang::parse_program;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let mut out = Vec::new();
+        check(&p, &mut out);
+        out
+    }
+
+    #[test]
+    fn dead_local_is_flagged() {
+        let out = diags(
+            "process P { input a: int; output x: int; local t: int; \
+                         x := a; t := a + 1; }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, LintCode::DeadSignal);
+        assert!(out[0].message.contains("`t`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unread_input_is_flagged() {
+        let out = diags("process P { input a: int, b: int; output x: int; x := a; }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("input `b` is never read"));
+    }
+
+    #[test]
+    fn register_feeders_and_sync_members_are_live() {
+        // t only feeds a `pre` body; u is only observed by a sync check
+        let out = diags(
+            "process P { input a: int, b: int; output x: int; local t: int, u: int; \
+                         t := a + 1; x := pre 0 t; u := b; sync u, x; }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn transitively_dead_chains_are_flagged_whole() {
+        let out = diags(
+            "process P { input a: int; output x: int; local t: int, u: int; \
+                         x := a; t := a; u := t + 1; }",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+}

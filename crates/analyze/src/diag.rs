@@ -81,11 +81,24 @@ pub enum LintCode {
     /// Endochronous components always do (Theorem 1); a component that does
     /// not runs on the micro-step interpreter instead.
     StaticSchedule,
+    /// `PA008` — the federated deployment can deadlock: a cycle in the
+    /// wait-for relation of the federate network whose total credit is
+    /// insufficient for the statically-inferred rate pattern (the
+    /// marked-graph/Kahn sufficiency argument fails on the cycle).
+    FederatedDeadlockRisk,
+    /// `PA009` — a channel's configured credit capacity is below the
+    /// statically proven `Exact`/`UpperBound` FIFO depth, so the producer
+    /// will stall on it under the proven rate pattern.
+    ChannelUnderprovisioned,
+    /// `PA010` — a dead signal or equation: its value never reaches a
+    /// channel, a register, an output, or a checked property, so the
+    /// equation computes into the void.
+    DeadSignal,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 7] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::NonDeterministicClocks,
         LintCode::EndochronizableComponent,
         LintCode::CausalityCycle,
@@ -93,6 +106,9 @@ impl LintCode {
         LintCode::ChannelRateUnbounded,
         LintCode::MultiConsumerSignal,
         LintCode::StaticSchedule,
+        LintCode::FederatedDeadlockRisk,
+        LintCode::ChannelUnderprovisioned,
+        LintCode::DeadSignal,
     ];
 
     /// The stable `PA0xx` code.
@@ -105,6 +121,9 @@ impl LintCode {
             LintCode::ChannelRateUnbounded => "PA005",
             LintCode::MultiConsumerSignal => "PA006",
             LintCode::StaticSchedule => "PA007",
+            LintCode::FederatedDeadlockRisk => "PA008",
+            LintCode::ChannelUnderprovisioned => "PA009",
+            LintCode::DeadSignal => "PA010",
         }
     }
 
@@ -118,6 +137,9 @@ impl LintCode {
             LintCode::ChannelRateUnbounded => "channel-rate-unbounded",
             LintCode::MultiConsumerSignal => "multi-consumer-signal",
             LintCode::StaticSchedule => "static-schedule",
+            LintCode::FederatedDeadlockRisk => "federated-deadlock-risk",
+            LintCode::ChannelUnderprovisioned => "channel-underprovisioned",
+            LintCode::DeadSignal => "dead-signal",
         }
     }
 
@@ -137,6 +159,15 @@ impl LintCode {
             LintCode::StaticSchedule => {
                 "whether the component compiles to a static schedule (and its op count)"
             }
+            LintCode::FederatedDeadlockRisk => {
+                "federate network has a wait-for cycle with insufficient credit (can deadlock)"
+            }
+            LintCode::ChannelUnderprovisioned => {
+                "channel capacity below the statically proven FIFO depth"
+            }
+            LintCode::DeadSignal => {
+                "signal never reaches a channel, register, output or checked property"
+            }
         }
     }
 
@@ -150,6 +181,9 @@ impl LintCode {
             LintCode::ChannelRateUnbounded => LintLevel::Warn,
             LintCode::MultiConsumerSignal => LintLevel::Deny,
             LintCode::StaticSchedule => LintLevel::Allow,
+            LintCode::FederatedDeadlockRisk => LintLevel::Deny,
+            LintCode::ChannelUnderprovisioned => LintLevel::Deny,
+            LintCode::DeadSignal => LintLevel::Warn,
         }
     }
 

@@ -20,7 +20,19 @@
 //! * **static schedulability** (`PA007`) — an informational note per
 //!   component: whether it lowers to a compiled static schedule, and at
 //!   how many ops (endochronous components always do; the rest run on the
-//!   micro-step interpreter).
+//!   micro-step interpreter);
+//! * **federated deadlock risk** ([`federated`], `PA008`) — whether a
+//!   deployment of the components onto federate threads coupled by bounded
+//!   credit channels can reach a configuration where every live federate
+//!   blocks inside a channel wait; deadlock-free topologies get the proof
+//!   argument recorded in the report's [`DeploymentReport`];
+//! * **channel capacity audit** ([`federated`], `PA009`) — explicitly
+//!   configured channel capacities sitting below the statically proven
+//!   FIFO depth ([`StaticBounds::minimal_safe_capacities`]), which stall
+//!   the producer on every backlog peak;
+//! * **dead signals** ([`dead`], `PA010`) — equations whose value never
+//!   reaches an output, channel, or checked property, and inputs no
+//!   equation reads.
 //!
 //! Findings come back as a structured [`AnalysisReport`] of stable-coded
 //! [`Diagnostic`]s; the `polysig-lint` binary renders them for humans or as
@@ -45,8 +57,10 @@
 
 pub mod causality;
 pub mod channels;
+pub mod dead;
 pub mod diag;
 pub mod endochrony;
+pub mod federated;
 pub mod lints;
 pub mod rates;
 
@@ -57,6 +71,7 @@ use polysig_sim::Scenario;
 
 pub use channels::Channel;
 pub use diag::{Diagnostic, LintCode, LintLevel};
+pub use federated::{analyze_deployment, DeploymentPlan, DeploymentReport, DeploymentVerdict};
 pub use lints::{LintConfig, Waiver};
 pub use rates::{ChannelBound, ProveOptions, RatePattern, StaticBounds};
 
@@ -76,6 +91,9 @@ pub struct AnalysisReport {
     /// The rate prover's verdicts, when a scenario was supplied
     /// ([`analyze_with_scenario`]).
     pub bounds: Option<StaticBounds>,
+    /// The federated-deployment verdict for the canonical deployment
+    /// (data-driven iff every input arrives over a channel).
+    pub deployment: Option<DeploymentReport>,
 }
 
 impl AnalysisReport {
@@ -128,6 +146,9 @@ impl AnalysisReport {
             endo.push_str(component, name);
         }
         obj.push_raw("endochrony", &endo.finish());
+        if let Some(deployment) = &self.deployment {
+            obj.push_raw("deployment", &deployment.to_json());
+        }
         obj.finish()
     }
 }
@@ -195,7 +216,11 @@ pub fn analyze_program(program: &Program) -> AnalysisReport {
         };
         diagnostics.push(diag.in_component(c.name.clone()));
     }
-    AnalysisReport { diagnostics, endochrony, channels, bounds: None }
+    dead::check(program, &mut diagnostics);
+    let plan = DeploymentPlan::canonical(program, None);
+    let (deployment, deploy_diags) = analyze_deployment(program, &plan, None);
+    diagnostics.extend(deploy_diags);
+    AnalysisReport { diagnostics, endochrony, channels, bounds: None, deployment: Some(deployment) }
 }
 
 /// [`analyze_program`] plus the scenario-aware rate analysis: `PA004`
@@ -243,6 +268,15 @@ pub fn analyze_with_scenario(
             }
         }
     }
+    // re-run the deployment pass with the scenario driving the polling
+    // sources (the replay stage can now decide topologies the scenario-free
+    // pass left unknown) and the proven bounds available to the capacity
+    // audit
+    let plan = DeploymentPlan::canonical(program, Some(scenario));
+    report.diagnostics.retain(|d| d.code != LintCode::FederatedDeadlockRisk);
+    let (deployment, deploy_diags) = analyze_deployment(program, &plan, Some(&bounds));
+    report.diagnostics.extend(deploy_diags);
+    report.deployment = Some(deployment);
     report.bounds = Some(bounds);
     report
 }

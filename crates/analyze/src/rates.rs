@@ -173,6 +173,17 @@ impl StaticBounds {
     /// correctness — and every capacity is floored at one credit (a proven
     /// depth of zero still needs a slot for the value in flight).
     pub fn federate_capacities(&self) -> BTreeMap<SigName, usize> {
+        self.minimal_safe_capacities()
+    }
+
+    /// The smallest credit capacity per channel that the proof guarantees
+    /// stall-free: the proven `Exact`/`UpperBound` depth, floored at one
+    /// credit. This is the capacity map `PA009` measures a configured
+    /// deployment against, and `FederatedOptions` can consume it directly
+    /// (`FederatedOptions::default().with_capacities(...)`). Channels with
+    /// `Unbounded`/`Unknown` verdicts are absent — no finite capacity is
+    /// provably safe for them.
+    pub fn minimal_safe_capacities(&self) -> BTreeMap<SigName, usize> {
         self.bounds
             .iter()
             .filter_map(|(s, b)| match b {

@@ -7,9 +7,51 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use polysig_analyze::{analyze_program, analyze_with_scenario, prove_bounds, ProveOptions};
+use polysig_analyze::{
+    analyze_deployment, analyze_program, analyze_with_scenario, prove_bounds, DeploymentPlan,
+    ProveOptions,
+};
 use polysig_bench::{banner, pipe, pipe_env};
 use polysig_lang::{check_program, Program};
+use polysig_sim::{PeriodicInputs, Scenario, ScenarioGenerator};
+use polysig_tagged::ValueType;
+
+/// An 8-stage open pipeline: the deployment analysis proves it deadlock-free
+/// by Kahn sufficiency (graph construction + structural argument).
+fn pipe8() -> Program {
+    let mut src = String::from("process S0 { input a: int; output s0: int; s0 := a + 1; } ");
+    for j in 1..8 {
+        src.push_str(&format!(
+            "process S{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
+            j - 1,
+            j - 1
+        ));
+    }
+    check_program(&src).unwrap()
+}
+
+/// A 12-component ring whose tail joins the chain with a direct edge from
+/// the head: the join defeats the structural Kahn argument, so the verdict
+/// comes from the abstract replay (the analysis pass's expensive path).
+fn cycle12() -> Program {
+    let mut src = String::from(
+        "process R0 { input a: int, f: int; output s0: int, t0: int; \
+                      s0 := (f default a) + 1; t0 := a * 2; } ",
+    );
+    for j in 1..11 {
+        src.push_str(&format!(
+            "process R{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
+            j - 1,
+            j - 1
+        ));
+    }
+    src.push_str("process R11 { input s10: int, t0: int; output f: int; f := pre 0 (s10 + t0); }");
+    check_program(&src).unwrap()
+}
+
+fn ring_env(steps: usize) -> Scenario {
+    PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(steps)
+}
 
 fn shipped_programs() -> Vec<(String, Program)> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
@@ -67,6 +109,29 @@ fn bench(c: &mut Criterion) {
             std::hint::black_box(analyze_with_scenario(&p, &env, &ProveOptions::default()))
                 .diagnostics
                 .len()
+        })
+    });
+
+    // the federated-deployment pass on its two topology archetypes: the
+    // open chain resolves structurally, the joined ring pays for the
+    // abstract replay
+    let chain = pipe8();
+    let chain_plan = DeploymentPlan::canonical(&chain, Some(&ring_env(24)));
+    group.bench_function("federated_safety_pipe8", |b| {
+        b.iter(|| {
+            let (report, diags) =
+                std::hint::black_box(analyze_deployment(&chain, &chain_plan, None));
+            assert!(report.is_deadlock_free() && diags.is_empty());
+            report.channels
+        })
+    });
+    let ring = cycle12();
+    let ring_plan = DeploymentPlan::canonical(&ring, Some(&ring_env(24)));
+    group.bench_function("federated_safety_cycle12", |b| {
+        b.iter(|| {
+            let (report, diags) = std::hint::black_box(analyze_deployment(&ring, &ring_plan, None));
+            assert!(report.is_deadlock_free() && diags.is_empty());
+            report.channels
         })
     });
     group.finish();

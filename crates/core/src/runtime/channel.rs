@@ -185,6 +185,8 @@ pub struct ChannelTelemetry {
     stall_events: AtomicU64,
     stalled_ns: AtomicU64,
     max_occupancy: AtomicU64,
+    producer_waiting: AtomicBool,
+    consumer_waiting: AtomicBool,
 }
 
 impl ChannelTelemetry {
@@ -202,6 +204,17 @@ impl ChannelTelemetry {
     /// while both ends are live).
     pub fn occupancy(&self) -> u64 {
         self.pushes().saturating_sub(self.pops())
+    }
+
+    /// How many endpoints of this channel are blocked *right now*: the
+    /// producer inside a stalled [`FedSender::send`], the consumer inside a
+    /// waiting [`FedReceiver::recv`] (0, 1 or 2). The flags are set while
+    /// the endpoint is inside its wait loop and cleared before the call
+    /// returns, so a permanently deadlocked endpoint reads as permanently
+    /// waiting — the signal the RTI's stall watchdog keys on.
+    pub fn waiting_ends(&self) -> usize {
+        usize::from(self.producer_waiting.load(Ordering::Relaxed))
+            + usize::from(self.consumer_waiting.load(Ordering::Relaxed))
     }
 
     /// One-shot copy of every counter.
@@ -306,6 +319,18 @@ impl ChannelMonitor {
         self.shared.telemetry.occupancy()
     }
 
+    /// Endpoints blocked in a send/recv wait loop right now (0..=2) — the
+    /// stall watchdog's input (see [`ChannelTelemetry::waiting_ends`]).
+    pub fn waiting_ends(&self) -> usize {
+        self.shared.telemetry.waiting_ends()
+    }
+
+    /// Values moved through the channel so far (pushes + pops): frozen
+    /// totals across a watchdog window mean no token moved.
+    pub fn traffic(&self) -> u64 {
+        self.shared.telemetry.pushes() + self.shared.telemetry.pops()
+    }
+
     /// One-shot copy of every counter.
     pub fn snapshot(&self) -> ChannelCounters {
         self.shared.telemetry.snapshot()
@@ -339,6 +364,7 @@ impl FedSender {
         // slow path: out of credit (or consumer gone) — stall with the
         // clock running
         sh.telemetry.stall_events.fetch_add(1, Ordering::Relaxed);
+        sh.telemetry.producer_waiting.store(true, Ordering::Relaxed);
         let stalled_from = Instant::now();
         let outcome = loop {
             if st.consumer_gone {
@@ -354,6 +380,7 @@ impl FedSender {
                 sh.not_full.wait_timeout(st, poll).expect("federated channel poisoned");
             st = guard;
         };
+        sh.telemetry.producer_waiting.store(false, Ordering::Relaxed);
         sh.telemetry
             .stalled_ns
             .fetch_add(stalled_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -395,23 +422,32 @@ impl FedReceiver {
     pub fn recv(&self, poll: Duration, shutdown: &AtomicBool) -> RecvOutcome {
         let sh = &*self.shared;
         let mut st = sh.state.lock().expect("federated channel poisoned");
-        loop {
+        let mut waited = false;
+        let outcome = loop {
             if let Some(v) = st.queue.pop_front() {
                 drop(st);
                 sh.telemetry.pops.fetch_add(1, Ordering::Relaxed);
                 sh.not_full.notify_one();
-                return RecvOutcome::Value(v);
+                break RecvOutcome::Value(v);
             }
             if st.producer_gone {
-                return RecvOutcome::ProducerGone;
+                break RecvOutcome::ProducerGone;
             }
             if shutdown.load(Ordering::Relaxed) {
-                return RecvOutcome::Interrupted;
+                break RecvOutcome::Interrupted;
+            }
+            if !waited {
+                waited = true;
+                sh.telemetry.consumer_waiting.store(true, Ordering::Relaxed);
             }
             let (guard, _) =
                 sh.not_empty.wait_timeout(st, poll).expect("federated channel poisoned");
             st = guard;
+        };
+        if waited {
+            sh.telemetry.consumer_waiting.store(false, Ordering::Relaxed);
         }
+        outcome
     }
 }
 

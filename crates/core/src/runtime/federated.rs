@@ -91,12 +91,44 @@ impl FederateSpec {
     }
 }
 
+/// Where a channel's credit capacity came from — recorded per channel on
+/// the run so a stall or watchdog report can say *whose* number was wrong
+/// (the static analyzer's PA009 lint consumes the same distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CapacityProvenance {
+    /// No entry for the channel: [`FederatedOptions::default_capacity`].
+    Default,
+    /// Hand-configured via [`FederatedOptions::with_capacity`].
+    Explicit,
+    /// Sized from a dynamic estimation report
+    /// ([`FederatedOptions::from_report`]).
+    Estimated,
+    /// Sized from statically proven bounds
+    /// ([`FederatedOptions::with_proven_capacities`], fed from
+    /// `StaticBounds::minimal_safe_capacities`).
+    Proven,
+}
+
+impl CapacityProvenance {
+    /// The lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CapacityProvenance::Default => "default",
+            CapacityProvenance::Explicit => "explicit",
+            CapacityProvenance::Estimated => "estimated",
+            CapacityProvenance::Proven => "proven",
+        }
+    }
+}
+
 /// Options of a federated run.
 #[derive(Debug, Clone)]
 pub struct FederatedOptions {
     /// Per-channel capacities (the credit pools). Channels not named here
     /// use [`FederatedOptions::default_capacity`].
     pub capacities: BTreeMap<SigName, usize>,
+    /// Where the entries in [`FederatedOptions::capacities`] came from.
+    pub capacity_provenance: CapacityProvenance,
     /// Capacity for channels without an explicit entry (min 1).
     pub default_capacity: usize,
     /// Record per-signal flows (off in soak mode: the streaming counters
@@ -108,16 +140,27 @@ pub struct FederatedOptions {
     /// When set, the RTI samples every channel's occupancy at this cadence
     /// while the federation runs.
     pub sample_every: Option<Duration>,
+    /// When set, the RTI runs a stall watchdog at this cadence: if every
+    /// live federate is blocked in a channel wait and no token moves across
+    /// two consecutive windows, the federation is declared deadlocked — the
+    /// watchdog raises the shutdown flag (every federate unwinds at its
+    /// next poll slice) and the run's [`WatchdogReport`] names the stalled
+    /// channels. Pick a cadence well above [`FederatedOptions::stall_poll`]
+    /// (≥ 10×) so a federate retiring on a gone peer is never mistaken for
+    /// a deadlock.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for FederatedOptions {
     fn default() -> FederatedOptions {
         FederatedOptions {
             capacities: BTreeMap::new(),
+            capacity_provenance: CapacityProvenance::Default,
             default_capacity: 1,
             record_flows: true,
             stall_poll: Duration::from_millis(1),
             sample_every: None,
+            watchdog: None,
         }
     }
 }
@@ -132,6 +175,7 @@ impl FederatedOptions {
                 .iter()
                 .map(|(name, size)| (name.clone(), (*size).max(1)))
                 .collect(),
+            capacity_provenance: CapacityProvenance::Estimated,
             ..FederatedOptions::default()
         }
     }
@@ -139,6 +183,16 @@ impl FederatedOptions {
     /// Sets one channel's capacity.
     pub fn with_capacity(mut self, signal: impl Into<SigName>, capacity: usize) -> Self {
         self.capacities.insert(signal.into(), capacity.max(1));
+        self.capacity_provenance = CapacityProvenance::Explicit;
+        self
+    }
+
+    /// Capacities from statically proven bounds — the shape
+    /// `StaticBounds::minimal_safe_capacities` returns. Channels absent
+    /// from the map fall back to [`FederatedOptions::default_capacity`].
+    pub fn with_proven_capacities(mut self, capacities: BTreeMap<SigName, usize>) -> Self {
+        self.capacities = capacities.into_iter().map(|(s, c)| (s, c.max(1))).collect();
+        self.capacity_provenance = CapacityProvenance::Proven;
         self
     }
 
@@ -157,6 +211,13 @@ impl FederatedOptions {
     /// Enables occupancy sampling at the given cadence.
     pub fn with_sampling(mut self, every: Duration) -> Self {
         self.sample_every = Some(every);
+        self
+    }
+
+    /// Enables the RTI stall watchdog at the given cadence (see
+    /// [`FederatedOptions::watchdog`]).
+    pub fn with_watchdog(mut self, every: Duration) -> Self {
+        self.watchdog = Some(every);
         self
     }
 }
@@ -183,6 +244,20 @@ pub struct OccupancySample {
     pub occupancy: BTreeMap<SigName, u64>,
 }
 
+/// What the RTI stall watchdog observed (present iff
+/// [`FederatedOptions::watchdog`] was set).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// `true` iff the watchdog declared the federation deadlocked and
+    /// raised the shutdown flag.
+    pub fired: bool,
+    /// When it fired, measured from the start barrier's release.
+    pub at: Option<Duration>,
+    /// The channels with a blocked endpoint at firing time — the wait-for
+    /// cycle's edges, as observed live.
+    pub stalled: Vec<SigName>,
+}
+
 /// Result of a federated run.
 #[derive(Debug, Clone, Default)]
 pub struct FederatedRun {
@@ -192,11 +267,16 @@ pub struct FederatedRun {
     /// Exact post-join counters per channel: pushes, pops, stall events,
     /// stalled wall-clock time, max occupancy.
     pub channels: BTreeMap<SigName, ChannelCounters>,
+    /// The capacity each channel actually ran with, and where that number
+    /// came from.
+    pub capacities: BTreeMap<SigName, (usize, CapacityProvenance)>,
     /// Per-federate statistics.
     pub federates: BTreeMap<String, FederateStats>,
     /// Occupancy samples streamed during the run (empty unless
     /// [`FederatedOptions::sample_every`] was set).
     pub samples: Vec<OccupancySample>,
+    /// The stall watchdog's observations (`None` when it was not enabled).
+    pub watchdog: Option<WatchdogReport>,
     /// Thread teardown accounting (`spawned == joined` always holds).
     pub teardown: JoinStats,
     /// Wall-clock time from the start barrier's release to the last join.
@@ -217,6 +297,11 @@ impl FederatedRun {
     /// Total values pushed across all channels.
     pub fn total_events(&self) -> u64 {
         self.channels.values().map(|c| c.pushes).sum()
+    }
+
+    /// `true` iff the stall watchdog declared the federation deadlocked.
+    pub fn deadlocked(&self) -> bool {
+        self.watchdog.as_ref().is_some_and(|w| w.fired)
     }
 }
 
@@ -262,9 +347,13 @@ pub fn run_federated(
     let mut senders: BTreeMap<SigName, FedSender> = BTreeMap::new();
     let mut receivers: BTreeMap<SigName, FedReceiver> = BTreeMap::new();
     let mut monitors: Vec<(SigName, ChannelMonitor)> = Vec::with_capacity(chans.len());
+    let mut capacities: BTreeMap<SigName, (usize, CapacityProvenance)> = BTreeMap::new();
     for c in &chans {
-        let capacity =
-            options.capacities.get(&c.signal).copied().unwrap_or(options.default_capacity).max(1);
+        let (capacity, provenance) = match options.capacities.get(&c.signal) {
+            Some(&cap) => (cap.max(1), options.capacity_provenance),
+            None => (options.default_capacity.max(1), CapacityProvenance::Default),
+        };
+        capacities.insert(c.signal.clone(), (capacity, provenance));
         let (tx, rx) = fed_channel(capacity);
         monitors.push((c.signal.clone(), tx.monitor()));
         senders.insert(c.signal.clone(), tx);
@@ -331,18 +420,77 @@ pub fn run_federated(
         rti.spawn(name, move |ctx| run_federate(fed, ctx, record_flows, poll));
     }
 
-    // stream occupancy samples while the federation runs
+    // stream occupancy samples while the federation runs, and (when the
+    // watchdog is armed) check for a federation-wide permanent stall
     let mut samples = Vec::new();
-    rti.wait_sampling(options.sample_every, || {
-        samples.push(OccupancySample {
-            at: started.elapsed(),
-            occupancy: monitors.iter().map(|(n, m)| (n.clone(), m.occupancy())).collect(),
-        });
-    });
+    let mut watchdog = options.watchdog.map(|_| WatchdogReport::default());
+    match options.watchdog {
+        None => rti.wait_sampling(options.sample_every, || {
+            samples.push(OccupancySample {
+                at: started.elapsed(),
+                occupancy: monitors.iter().map(|(n, m)| (n.clone(), m.occupancy())).collect(),
+            });
+        }),
+        Some(check_every) => {
+            let cadence = options.sample_every.map_or(check_every, |s| s.min(check_every));
+            let report = watchdog.as_mut().expect("armed above");
+            let mut next_sample = options.sample_every;
+            let mut next_check = check_every;
+            let mut last_traffic: Option<u64> = None;
+            let mut stuck_streak = 0u32;
+            rti.wait_sampling(Some(cadence), || {
+                let now = started.elapsed();
+                if let Some(due) = next_sample {
+                    if now >= due {
+                        next_sample = Some(due + options.sample_every.expect("set with due"));
+                        samples.push(OccupancySample {
+                            at: now,
+                            occupancy: monitors
+                                .iter()
+                                .map(|(n, m)| (n.clone(), m.occupancy()))
+                                .collect(),
+                        });
+                    }
+                }
+                if now < next_check || report.fired {
+                    return;
+                }
+                next_check = now + check_every;
+                // a deadlock reads as: every live federate blocked inside a
+                // channel wait AND zero tokens moved since the last check —
+                // sustained over two consecutive windows, so a federate
+                // momentarily between a gone peer and its wakeup (a window
+                // of one stall_poll slice) can never trip it
+                let live = rti.live_count();
+                let waiting: usize = monitors.iter().map(|(_, m)| m.waiting_ends()).sum();
+                let traffic: u64 = monitors.iter().map(|(_, m)| m.traffic()).sum();
+                let stuck = live > 0 && waiting >= live && last_traffic == Some(traffic);
+                last_traffic = Some(traffic);
+                stuck_streak = if stuck { stuck_streak + 1 } else { 0 };
+                if stuck_streak >= 2 {
+                    report.fired = true;
+                    report.at = Some(now);
+                    report.stalled = monitors
+                        .iter()
+                        .filter(|(_, m)| m.waiting_ends() > 0)
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    rti.request_shutdown();
+                }
+            });
+        }
+    }
 
     let (results, teardown) = rti.join_all();
     let elapsed = started.elapsed();
-    let mut run = FederatedRun { samples, teardown, elapsed, ..FederatedRun::default() };
+    let mut run = FederatedRun {
+        samples,
+        capacities,
+        watchdog,
+        teardown,
+        elapsed,
+        ..FederatedRun::default()
+    };
     for (name, m) in monitors {
         run.channels.insert(name, m.snapshot());
     }
@@ -400,6 +548,13 @@ fn run_federate(
                 if !any_value {
                     // every upstream is retired and drained: nothing more
                     // will ever arrive, so the budget's remainder is moot
+                    break;
+                }
+                if ctx.shutdown_requested() {
+                    // teardown raced our blocking receives: a peer's dropped
+                    // endpoint can surface as ProducerGone after the shutdown
+                    // flag is up, and reacting to that partial delivery would
+                    // report a spurious clock mismatch
                     break;
                 }
             } else {
@@ -597,6 +752,59 @@ mod tests {
         for s in &run.samples {
             assert!(s.occupancy.contains_key(&SigName::from("x")));
         }
+    }
+
+    #[test]
+    fn watchdog_fires_on_an_all_data_driven_cycle() {
+        // A and B both block receiving their cycle input before their first
+        // reaction: no token ever enters the cycle, at any capacity
+        let p = parse_program(
+            "process A { input f: int; output x: int; x := f + 1; } \
+             process B { input x: int; output f: int; f := pre 0 x; }",
+        )
+        .unwrap();
+        let run = run_federated(
+            &p,
+            vec![
+                FederateSpec::new("A", 100).data_driven(),
+                FederateSpec::new("B", 100).data_driven(),
+            ],
+            &FederatedOptions::default()
+                .with_capacity("x", 4)
+                .with_capacity("f", 4)
+                .with_watchdog(Duration::from_millis(20)),
+        )
+        .unwrap();
+        assert!(run.deadlocked(), "the watchdog must declare the cycle dead");
+        let report = run.watchdog.as_ref().unwrap();
+        assert!(report.fired && report.at.is_some());
+        // both cycle edges had a blocked endpoint at firing time
+        assert!(report.stalled.contains(&SigName::from("f")), "{:?}", report.stalled);
+        // the shutdown drained the federation: every thread joined, no
+        // reaction ever fired
+        assert_eq!(run.teardown.joined, 2);
+        assert_eq!(run.total_reactions(), 0);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_completing_run() {
+        let n = 300;
+        let run = run_federated(
+            &pipe(),
+            vec![
+                FederateSpec::new("P", n).with_environment(env(n)),
+                FederateSpec::new("Q", 10 * n).data_driven(),
+            ],
+            &FederatedOptions::default()
+                .with_capacity("x", 2)
+                .with_watchdog(Duration::from_millis(20)),
+        )
+        .unwrap();
+        assert!(!run.deadlocked());
+        let report = run.watchdog.as_ref().unwrap();
+        assert!(!report.fired && report.at.is_none() && report.stalled.is_empty());
+        // the run still delivered everything
+        assert_eq!(run.flow("P", &"x".into()), run.flow("Q", &"x".into()));
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl<R: Send + 'static> Rti<R> {
         self.live.load(Ordering::Acquire) > 0
     }
 
+    /// How many federates have not exited yet (the stall watchdog compares
+    /// this against the number of blocked channel endpoints).
+    pub fn live_count(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Coordinator-side shutdown request: every federate winds down at its
+    /// next poll point (the watchdog's way out of a deadlocked federation).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
     /// Blocks until every federate exited, calling `sample` every `every`
     /// (the streaming-telemetry hook). A `None` cadence degenerates to a
     /// plain wait-by-join in [`Rti::join_all`].

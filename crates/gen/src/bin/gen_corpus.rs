@@ -1,0 +1,91 @@
+//! Emits a directory of generated `.sig` programs for lint sweeps.
+//!
+//! ```text
+//! gen_corpus --shape ring --count 32 --seed 1 --out target/ring-corpus
+//! ```
+//!
+//! Seeds are derived exactly as the `fuzz_conformance` sweep derives them
+//! (splitmix64 over `base ^ splitmix64(i | shape_bit)`), so the corpus a CI
+//! lint pass sees is the same family of programs the differential oracles
+//! exercise.
+
+use std::process::ExitCode;
+
+use polysig_gen::{generate_case, GenConfig, Shape};
+use polysig_lang::pretty::pretty_program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    shape: Shape,
+    count: u64,
+    seed: u64,
+    out: String,
+}
+
+/// splitmix64: decorrelates per-case seeds drawn from a sequential counter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn shape_bit(shape: Shape) -> u64 {
+    match shape {
+        Shape::Free => 0,
+        Shape::Pipeline => 1 << 32,
+        Shape::Ring => 2 << 32,
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { shape: Shape::Ring, count: 32, seed: 1, out: String::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--shape" => args.shape = value("--shape")?.parse()?,
+            "--count" => {
+                args.count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.out.is_empty() {
+        return Err("pass --out <dir>".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gen_corpus: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = std::path::Path::new(&args.out);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("gen_corpus: creating {}: {e}", dir.display());
+        return ExitCode::from(1);
+    }
+    let config = GenConfig::default();
+    for i in 0..args.count {
+        let seed = splitmix64(args.seed ^ splitmix64(i | shape_bit(args.shape)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let case = generate_case(&mut rng, &config, args.shape);
+        let path = dir.join(format!("{}_{i:04}.sig", args.shape));
+        if let Err(e) = std::fs::write(&path, pretty_program(&case.program)) {
+            eprintln!("gen_corpus: writing {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+    println!("gen_corpus: wrote {} {} programs to {}", args.count, args.shape, dir.display());
+    ExitCode::SUCCESS
+}

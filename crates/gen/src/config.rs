@@ -5,11 +5,15 @@ use std::str::FromStr;
 
 /// Which program family a case is drawn from.
 ///
-/// The two shapes cover the two halves of the paper: `Free` exercises the
-/// synchronous semantics (multi-clock components, derived clocks, sporadic
-/// inputs), `Pipeline` exercises the asynchronous story (cross-component
-/// channels that desynchronization cuts, with every consumer a flow
-/// function of its channel input so Theorems 1–2 apply).
+/// The shapes cover the paper's ground: `Free` exercises the synchronous
+/// semantics (multi-clock components, derived clocks, sporadic inputs),
+/// `Pipeline` exercises the asynchronous story (cross-component channels
+/// that desynchronization cuts, with every consumer a flow function of its
+/// channel input so Theorems 1–2 apply), and `Ring` closes the channel
+/// graph into a cycle — feedback re-enters the head stage through
+/// `default`, with a `pre` delay breaking instantaneous causality — which
+/// is what the federated deadlock analysis (`PA008`) and its runtime
+/// cross-validation exist for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
     /// Independent components with derived clock tiers; no cross-component
@@ -17,6 +21,9 @@ pub enum Shape {
     Free,
     /// A producer→stage→…→stage chain with one channel per adjacent pair.
     Pipeline,
+    /// A channel cycle: head stage → interior stages → delayed feedback
+    /// back into the head, which merges it with fresh input via `default`.
+    Ring,
 }
 
 impl fmt::Display for Shape {
@@ -24,6 +31,7 @@ impl fmt::Display for Shape {
         match self {
             Shape::Free => write!(f, "free"),
             Shape::Pipeline => write!(f, "pipeline"),
+            Shape::Ring => write!(f, "ring"),
         }
     }
 }
@@ -34,7 +42,10 @@ impl FromStr for Shape {
         match s {
             "free" => Ok(Shape::Free),
             "pipeline" => Ok(Shape::Pipeline),
-            other => Err(format!("unknown shape `{other}` (expected `free` or `pipeline`)")),
+            "ring" => Ok(Shape::Ring),
+            other => {
+                Err(format!("unknown shape `{other}` (expected `free`, `pipeline` or `ring`)"))
+            }
         }
     }
 }

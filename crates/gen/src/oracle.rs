@@ -88,6 +88,16 @@ pub enum OracleKind {
     /// must carry payloads field-for-field identical to direct library
     /// calls on the same source, scenario and (budget-clamped) options.
     ServeEquiv,
+    /// The static federated-deployment analyzer (`PA008`/`PA009`) must
+    /// agree with the live runtime: a deployment the analyzer proves
+    /// deadlock-free runs to completion with the stall watchdog silent and
+    /// no thread leaked, and (for ring cases) the adversarial
+    /// all-data-driven deployment of the *same* program both gets a
+    /// `PA008` deadlock verdict and demonstrably stalls the runtime — the
+    /// watchdog fires and drains the federation. For pipeline cases the
+    /// analyzer's own `minimal_safe_capacities` must audit `PA009`-clean
+    /// and complete stall-free at those exact capacities.
+    FederatedSafety,
 }
 
 impl fmt::Display for OracleKind {
@@ -104,6 +114,7 @@ impl fmt::Display for OracleKind {
             OracleKind::FederatedFlow => "FederatedFlow",
             OracleKind::StaticDynamicAgreement => "StaticDynamicAgreement",
             OracleKind::ServeEquiv => "ServeEquiv",
+            OracleKind::FederatedSafety => "FederatedSafety",
         };
         write!(f, "{name}")
     }
@@ -124,6 +135,7 @@ impl FromStr for OracleKind {
             "FederatedFlow" => Ok(OracleKind::FederatedFlow),
             "StaticDynamicAgreement" => Ok(OracleKind::StaticDynamicAgreement),
             "ServeEquiv" => Ok(OracleKind::ServeEquiv),
+            "FederatedSafety" => Ok(OracleKind::FederatedSafety),
             other => Err(format!("unknown oracle `{other}`")),
         }
     }
@@ -173,6 +185,16 @@ pub fn oracles_for(shape: Shape) -> Vec<OracleKind> {
             OracleKind::FederatedFlow,
             OracleKind::StaticDynamicAgreement,
             OracleKind::ServeEquiv,
+            OracleKind::FederatedSafety,
+        ],
+        Shape::Ring => vec![
+            OracleKind::WellClocked,
+            OracleKind::RoundTrip,
+            OracleKind::DenseEquiv,
+            OracleKind::CompiledEquiv,
+            OracleKind::ThreadInvariance,
+            OracleKind::BmcEquiv,
+            OracleKind::FederatedSafety,
         ],
     }
 }
@@ -208,6 +230,7 @@ pub fn run_oracle(kind: OracleKind, case: &GenCase) -> Result<(), Failure> {
         OracleKind::FederatedFlow => federated_flow(case),
         OracleKind::StaticDynamicAgreement => static_dynamic_agreement(case),
         OracleKind::ServeEquiv => serve_equiv(case),
+        OracleKind::FederatedSafety => federated_safety(case),
     }
 }
 
@@ -871,6 +894,123 @@ fn federated_flow(case: &GenCase) -> Result<(), Failure> {
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+fn federated_safety(case: &GenCase) -> Result<(), Failure> {
+    use polysig_analyze::{analyze_deployment, DeploymentPlan};
+    use polysig_gals::runtime::{run_federated, FederateSpec, FederatedOptions};
+    use std::time::Duration;
+
+    let k = OracleKind::FederatedSafety;
+    let steps = case.scenario.len();
+    let watchdog = Duration::from_millis(20);
+
+    // --- positive half: the canonical deployment is proven deadlock-free
+    // and the live runtime completes with the stall watchdog silent -------
+    let plan = DeploymentPlan::canonical(&case.program, Some(&case.scenario));
+    let (report, diags) = analyze_deployment(&case.program, &plan, None);
+    if !report.is_deadlock_free() {
+        return Err(Failure::new(
+            k,
+            format!("canonical deployment not proven deadlock-free: {:?}", report.verdict),
+        ));
+    }
+    if !diags.is_empty() {
+        return Err(Failure::new(k, format!("canonical deployment raised diagnostics: {diags:?}")));
+    }
+
+    let specs = |all_data_driven: bool| -> Vec<FederateSpec> {
+        case.program
+            .components
+            .iter()
+            .map(|c| {
+                if all_data_driven || plan.data_driven.contains(&c.name) {
+                    FederateSpec::new(c.name.clone(), 4 * steps + 8).data_driven()
+                } else {
+                    FederateSpec::new(c.name.clone(), steps).with_environment(case.scenario.clone())
+                }
+            })
+            .collect()
+    };
+
+    // pipeline cases additionally pin the analyzer's own capacity
+    // suggestions: `minimal_safe_capacities` must audit PA009-clean and the
+    // runtime must complete stall-free at exactly those capacities
+    let mut options = FederatedOptions::default().with_watchdog(watchdog);
+    if let Some(est) = &case.est_scenario {
+        let bounds = prove_bounds(&case.program, est, &ProveOptions::default());
+        let minimal = bounds.minimal_safe_capacities();
+        let audited = plan.clone().with_capacities(minimal.clone());
+        let (_, audit) = analyze_deployment(&case.program, &audited, Some(&bounds));
+        if !audit.is_empty() {
+            return Err(Failure::new(
+                k,
+                format!("minimal_safe_capacities fails its own PA009 audit: {audit:?}"),
+            ));
+        }
+        options = options.with_proven_capacities(minimal);
+    }
+    let run = run_federated(&case.program, specs(false), &options)
+        .map_err(|e| Failure::new(k, format!("deadlock-free deployment failed to run: {e}")))?;
+    if run.teardown.spawned != run.teardown.joined {
+        return Err(Failure::new(
+            k,
+            format!(
+                "teardown leaked threads: spawned {}, joined {}",
+                run.teardown.spawned, run.teardown.joined
+            ),
+        ));
+    }
+    if run.deadlocked() {
+        return Err(Failure::new(
+            k,
+            format!(
+                "analyzer proved the deployment deadlock-free but the watchdog fired: {:?}",
+                run.watchdog
+            ),
+        ));
+    }
+
+    // --- negative half (ring cases): the all-data-driven deployment of the
+    // same program must get a PA008 verdict AND demonstrably stall --------
+    if case.shape == Shape::Ring {
+        let adversarial = case
+            .program
+            .components
+            .iter()
+            .fold(DeploymentPlan::default(), |p, c| p.driven(c.name.clone()));
+        let (report, diags) = analyze_deployment(&case.program, &adversarial, None);
+        if report.is_deadlock_free() {
+            return Err(Failure::new(
+                k,
+                "all-data-driven ring wrongly proven deadlock-free".to_string(),
+            ));
+        }
+        if !diags.iter().any(|d| d.render().contains("PA008")) {
+            return Err(Failure::new(
+                k,
+                format!("all-data-driven ring raised no PA008: {:?}", report.verdict),
+            ));
+        }
+        let stalled = run_federated(&case.program, specs(true), &options).map_err(|e| {
+            Failure::new(k, format!("adversarial run errored instead of stalling: {e}"))
+        })?;
+        if !stalled.deadlocked() {
+            return Err(Failure::new(
+                k,
+                "analyzer flagged a deadlock but the adversarial run completed without the \
+                 watchdog firing"
+                    .to_string(),
+            ));
+        }
+        if stalled.teardown.spawned != stalled.teardown.joined {
+            return Err(Failure::new(
+                k,
+                "the fired watchdog failed to drain the federation".to_string(),
+            ));
         }
     }
     Ok(())

@@ -81,6 +81,7 @@ pub fn generate_case(rng: &mut StdRng, config: &GenConfig, shape: Shape) -> GenC
     match shape {
         Shape::Free => generate_free(rng, config),
         Shape::Pipeline => generate_pipeline(rng, config),
+        Shape::Ring => generate_ring(rng, config),
     }
 }
 
@@ -509,6 +510,117 @@ fn generate_pipeline(rng: &mut StdRng, config: &GenConfig) -> GenCase {
     GenCase { shape: Shape::Pipeline, program, scenario: writer, est_scenario: Some(est) }
 }
 
+// ---------------------------------------------------------------------------
+// ring shape: a channel cycle with delayed feedback through `default`
+// ---------------------------------------------------------------------------
+
+/// A `when`-free int expression over same-clock variables: presence is a
+/// monotone, value-independent function of the operands' presence, which
+/// is exactly what the federated deadlock analysis needs to derive send
+/// schedules (`crates/analyze/src/federated.rs`), and what keeps every
+/// ring stage endochronous.
+fn gen_when_free_int(rng: &mut StdRng, vars: &[SigName], depth: usize) -> Expr {
+    let leaf = |rng: &mut StdRng| Expr::var(pick(rng, vars).clone());
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..6) {
+        0 => leaf(rng),
+        1 => {
+            let l = gen_when_free_int(rng, vars, depth - 1);
+            let r = gen_when_free_int(rng, vars, depth - 1);
+            let op = if rng.gen_bool(0.5) { Binop::Add } else { Binop::Sub };
+            l.binop(op, r)
+        }
+        2 => gen_when_free_int(rng, vars, depth - 1).binop(
+            if rng.gen_bool(0.5) { Binop::Add } else { Binop::Sub },
+            Expr::int(small_int(rng)),
+        ),
+        3 => gen_when_free_int(rng, vars, depth - 1)
+            .binop(Binop::Mul, Expr::int(rng.gen_range(-2..3))),
+        4 => gen_when_free_int(rng, vars, depth - 1).pre(Value::Int(small_int(rng))),
+        _ => {
+            let l = gen_when_free_int(rng, vars, depth - 1);
+            let r = gen_when_free_int(rng, vars, depth - 1);
+            l.default(r)
+        }
+    }
+}
+
+/// A ring of `n` stages closed over a feedback channel: the head `R0`
+/// merges fresh external input `a0` with the delayed feedback `f` through
+/// `default`, interior stages transform their single channel input, and
+/// the last stage sends `f := pre … (…)` back to the head — the `pre`
+/// breaks instantaneous causality (`PA003`), the `default` keeps the head
+/// alive when feedback lags. Every stage is `when`-free and dead-code
+/// free, so the corpus lints clean apart from the head's deliberate
+/// exochrony (`a0` and `f` tick independently), which carries a documented
+/// waiver. Under the canonical deployment the head polls (it has an
+/// external input) and every interior stage is a single-input data-driven
+/// federate: the Kahn sufficiency condition applies, and the deployment is
+/// provably deadlock-free — while the all-data-driven variant of the same
+/// program deadlocks, which is the [`crate::oracle::OracleKind::FederatedSafety`]
+/// oracle's negative half.
+fn generate_ring(rng: &mut StdRng, config: &GenConfig) -> GenCase {
+    let nstages = rng.gen_range(2..=config.max_stages.max(2));
+    let mut components: Vec<Component> = Vec::new();
+
+    // head: fresh input merged with the delayed feedback
+    {
+        let mut b = ComponentBuilder::new("R0");
+        b = b.input(SigName::from("a0"), ValueType::Int);
+        b = b.input(SigName::from("f"), ValueType::Int);
+        let mut rhs = Expr::var(SigName::from("f")).default(Expr::var(SigName::from("a0")));
+        if rng.gen_bool(0.5) {
+            rhs = rhs.binop(
+                if rng.gen_bool(0.5) { Binop::Add } else { Binop::Sub },
+                Expr::int(small_int(rng)),
+            );
+        }
+        b = b.output(SigName::from("s0"), ValueType::Int).equation(SigName::from("s0"), rhs);
+        components.push(b.build());
+    }
+
+    // interior stages, the last one closing the cycle through `pre`
+    for j in 1..nstages {
+        let source = SigName::from(format!("s{}", j - 1));
+        let last = j == nstages - 1;
+        let out = if last { SigName::from("f") } else { SigName::from(format!("s{j}")) };
+        let mut b = ComponentBuilder::new(format!("R{j}"));
+        b = b.input(source.clone(), ValueType::Int);
+        let mut vars = vec![source];
+        if rng.gen_bool(0.5) {
+            let local = SigName::from(format!("r{j}_l"));
+            let lrhs = gen_when_free_int(rng, &vars, 2);
+            b = b.local(local.clone(), ValueType::Int).equation(local.clone(), lrhs);
+            vars.push(local);
+        }
+        let mut rhs = gen_when_free_int(rng, &vars, config.max_expr_depth.min(2));
+        if vars.len() > 1 {
+            // anchor the local in the output so it is never dead (PA010)
+            rhs = Expr::var(vars[1].clone()).binop(Binop::Add, rhs);
+        }
+        if last {
+            rhs = rhs.pre(Value::Int(small_int(rng)));
+        }
+        b = b.output(out.clone(), ValueType::Int).equation(out, rhs);
+        components.push(b.build());
+    }
+
+    let program = Program { name: "main".to_string(), components };
+
+    // `a0` at every instant: the head's send schedule never depends on how
+    // feedback arrivals interleave
+    let mut scenario = Scenario::new();
+    for _ in 0..config.scenario_steps {
+        let mut step: BTreeMap<SigName, Value> = BTreeMap::new();
+        step.insert(SigName::from("a0"), Value::Int(rng.gen_range(-4..5)));
+        scenario.push_step(step);
+    }
+
+    GenCase { shape: Shape::Ring, program, scenario, est_scenario: None }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,9 +658,32 @@ mod tests {
     }
 
     #[test]
+    fn ring_cases_resolve_typecheck_and_close_a_cycle() {
+        let config = GenConfig::default();
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = generate_case(&mut rng, &config, Shape::Ring);
+            resolve_program(&case.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: resolve failed: {e}"));
+            check_program(&case.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: typecheck failed: {e}"));
+            assert_eq!(case.scenario.len(), config.scenario_steps);
+            assert!(case.est_scenario.is_none());
+            // the head consumes the feedback the last stage produces
+            let head = &case.program.components[0];
+            assert!(head.decl(&SigName::from("f")).is_some(), "seed {seed}: no feedback input");
+            let last = case.program.components.last().unwrap();
+            assert!(
+                last.defining_equation(&SigName::from("f")).is_some(),
+                "seed {seed}: no feedback producer"
+            );
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic_per_seed() {
         let config = GenConfig::default();
-        for shape in [Shape::Free, Shape::Pipeline] {
+        for shape in [Shape::Free, Shape::Pipeline, Shape::Ring] {
             let mut a = StdRng::seed_from_u64(99);
             let mut b = StdRng::seed_from_u64(99);
             let ca = generate_case(&mut a, &config, shape);

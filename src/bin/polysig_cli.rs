@@ -11,11 +11,19 @@
 //! polysig-cli bmc      FILE SIGNAL [K]   prove SIGNAL never true within K
 //!                                        reactions (symbolic, default K=8)
 //! polysig-cli dump     FILE N OUT.vcd    simulate N reactions, export VCD
-//! polysig-cli federated [STAGES] [N] [CAP]
-//!                                        run a STAGES-stage pipeline as
+//! polysig-cli federated [STAGES] [N] [CAP] [--ring] [--all-data-driven]
+//!                       [--check] [--force]
+//!                                        run a STAGES-stage pipeline (or,
+//!                                        with --ring, a feedback ring) as
 //!                                        compiled federates (N activations
 //!                                        each, CAP credits per channel) and
-//!                                        print the streaming counters
+//!                                        print the streaming counters.
+//!                                        --check preflights the deployment
+//!                                        with the static federated-safety
+//!                                        pass and refuses to launch on
+//!                                        deny-level PA008/PA009 findings
+//!                                        (--force launches anyway, under a
+//!                                        watchdog)
 //! ```
 //!
 //! Programs are written in the concrete syntax of `polysig-lang` (see the
@@ -232,44 +240,159 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `polysig-cli federated [STAGES] [ACTIVATIONS] [CAPACITY]` — deploy a
-/// synthetic integer pipeline as one compiled federate per stage over
-/// bounded credit channels, in soak mode (no trace recording; the
-/// streaming counters are the observation), and self-check that every
-/// value was delivered. `POLYSIG_SOAK=1` scales the default activation
-/// count to a long horizon.
+/// `polysig-cli federated [STAGES] [ACTIVATIONS] [CAPACITY] [FLAGS]` —
+/// deploy a synthetic integer pipeline (or, with `--ring`, a feedback
+/// ring whose head merges the delayed loop value with fresh input via
+/// `default`) as one compiled federate per stage over bounded credit
+/// channels, in soak mode (no trace recording; the streaming counters
+/// are the observation), and self-check the outcome. `--check` runs the
+/// static federated-deployment pass first and refuses to launch on
+/// deny-level findings (PA008 deadlock risk, PA009 underprovision);
+/// `--force` overrides the refusal and arms a watchdog so a deadlocked
+/// launch still terminates. `--all-data-driven` deploys every federate
+/// data-driven (the unsafe ring deployment PA008 exists to catch).
+/// `POLYSIG_SOAK=1` scales the default activation count to a long
+/// horizon.
 fn run_federated_cmd(args: &[String]) -> Result<(), String> {
+    use polysig::analyze::{analyze_deployment, DeploymentPlan, DeploymentVerdict, LintLevel};
     use polysig::gals::runtime::{run_federated, FederateSpec, FederatedOptions};
     use polysig::sim::PeriodicInputs;
 
     let soak = std::env::var("POLYSIG_SOAK").is_ok_and(|v| v == "1");
-    let parse_at = |i: usize, what: &str| -> Result<Option<usize>, String> {
-        args.get(i).map(|s| s.parse().map_err(|_| format!("{what} must be a number"))).transpose()
-    };
-    let stages = parse_at(0, "STAGES")?.unwrap_or(4).max(1);
+    let mut positionals: Vec<usize> = Vec::new();
+    let (mut ring, mut all_data_driven, mut check_first, mut force) = (false, false, false, false);
+    for arg in args {
+        match arg.as_str() {
+            "--ring" => ring = true,
+            "--all-data-driven" => all_data_driven = true,
+            "--check" => check_first = true,
+            "--force" => force = true,
+            other if other.starts_with("--") => {
+                return Err(format!("federated: unknown flag `{other}`"));
+            }
+            number => positionals
+                .push(number.parse().map_err(|_| format!("`{number}` must be a number"))?),
+        }
+    }
+    let stages = positionals.first().copied().unwrap_or(4).max(2);
     let activations =
-        parse_at(1, "ACTIVATIONS")?.unwrap_or(if soak { 300_000 } else { 5_000 }).max(1);
-    let capacity = parse_at(2, "CAPACITY")?.unwrap_or(8).max(1);
+        positionals.get(1).copied().unwrap_or(if soak { 300_000 } else { 5_000 }).max(1);
+    let capacity = positionals.get(2).copied().unwrap_or(8).max(1);
 
-    let mut src = String::from("process S0 { input a: int; output s0: int; s0 := a + 1; } ");
+    // the synthetic topology: a chain of +1 stages, either open (pipeline)
+    // or closed through a delayed feedback edge the head merges via `default`
+    let mut src = if ring {
+        String::from(
+            "process S0 { input a: int, f: int; output s0: int; s0 := (f default a) + 1; } ",
+        )
+    } else {
+        String::from("process S0 { input a: int; output s0: int; s0 := a + 1; } ")
+    };
     for j in 1..stages {
-        src.push_str(&format!(
-            "process S{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
-            j - 1,
-            j - 1
-        ));
+        let last = j == stages - 1;
+        if ring && last {
+            src.push_str(&format!(
+                "process S{j} {{ input s{}: int; output f: int; f := pre 0 s{}; }} ",
+                j - 1,
+                j - 1
+            ));
+        } else {
+            src.push_str(&format!(
+                "process S{j} {{ input s{}: int; output s{j}: int; s{j} := s{} + 1; }} ",
+                j - 1,
+                j - 1
+            ));
+        }
     }
     let program = check_program(&src).map_err(|e| e.to_string())?;
 
     let env = PeriodicInputs::new("a", ValueType::Int, 1, 0).generate(activations);
-    let mut federates = vec![FederateSpec::new("S0", activations).with_environment(env)];
-    for j in 1..stages {
-        federates.push(FederateSpec::new(format!("S{j}"), 2 * activations).data_driven());
+
+    if check_first || force {
+        // preflight: analyze exactly the deployment we are about to launch
+        let plan = if all_data_driven {
+            program
+                .components
+                .iter()
+                .fold(DeploymentPlan::default(), |p, c| p.driven(c.name.clone()))
+        } else {
+            DeploymentPlan::canonical(&program, Some(&env))
+        }
+        .with_default_capacity(capacity);
+        let bounds = if ring {
+            None // the bounds prover targets acyclic desynchronizations
+        } else {
+            let mut probe_env = env.clone();
+            let probe =
+                desynchronize(&program, &DesyncOptions::with_size(1)).map_err(|e| e.to_string())?;
+            for ch in &probe.channels {
+                let rd =
+                    polysig::sim::PeriodicInputs::new(ch.rd_signal.clone(), ValueType::Bool, 1, 0)
+                        .generate(activations);
+                probe_env = probe_env.zip_union(&rd);
+            }
+            probe_env = probe_env.zip_union(&master_clock("tick", activations));
+            let mut bounds = polysig::analyze::prove_bounds(
+                &program,
+                &probe_env,
+                &polysig::analyze::ProveOptions::default(),
+            );
+            // a bound as large as the horizon is vacuous (any channel holds
+            // at most one value per instant), so it cannot convict a capacity
+            bounds.bounds.retain(|_, b| match b {
+                polysig::analyze::ChannelBound::Exact { depth }
+                | polysig::analyze::ChannelBound::UpperBound { depth } => *depth < activations,
+                _ => true,
+            });
+            Some(bounds)
+        };
+        let (report, diags) = analyze_deployment(&program, &plan, bounds.as_ref());
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        match &report.verdict {
+            DeploymentVerdict::DeadlockFree { argument } => {
+                println!("preflight: deadlock-free ({argument})");
+            }
+            DeploymentVerdict::DeadlockRisk { cycle, reason } => {
+                let members: Vec<&str> = cycle.iter().map(|s| s.as_str()).collect();
+                println!("preflight: deadlock risk on cycle {} ({reason})", members.join(" -> "));
+            }
+            DeploymentVerdict::Unknown { reason } => println!("preflight: unknown ({reason})"),
+        }
+        if !report.suggested_capacities.is_empty() {
+            println!("preflight: suggested capacities {:?}", report.suggested_capacities);
+        }
+        if diags.iter().any(|d| d.level >= LintLevel::Deny) {
+            if force {
+                eprintln!("preflight: deny-level findings overridden by --force");
+            } else {
+                return Err(
+                    "preflight refused the launch: deny-level findings (re-run with --force to \
+                     launch anyway)"
+                        .into(),
+                );
+            }
+        }
     }
-    let options = FederatedOptions::default()
+
+    let mut federates = Vec::new();
+    for (j, c) in program.components.iter().enumerate() {
+        if j == 0 && !all_data_driven {
+            federates
+                .push(FederateSpec::new(c.name.clone(), activations).with_environment(env.clone()));
+        } else {
+            federates.push(FederateSpec::new(c.name.clone(), 2 * activations + 8).data_driven());
+        }
+    }
+    let mut options = FederatedOptions::default()
         .with_default_capacity(capacity)
         .soak()
         .with_sampling(std::time::Duration::from_millis(200));
+    if force || all_data_driven {
+        // an overridden (or deliberately unsafe) launch must still terminate
+        options = options.with_watchdog(std::time::Duration::from_millis(200));
+    }
     let run = run_federated(&program, federates, &options).map_err(|e| e.to_string())?;
 
     for (name, stats) in &run.federates {
@@ -296,9 +419,30 @@ fn run_federated_cmd(args: &[String]) -> Result<(), String> {
         run.teardown.joined,
     );
 
+    if run.deadlocked() {
+        let stalled: Vec<&str> = run
+            .watchdog
+            .as_ref()
+            .map(|w| w.stalled.iter().map(|s| s.as_str()).collect())
+            .unwrap_or_default();
+        return Err(format!(
+            "federation deadlocked: the watchdog broke a stall on {{{}}}",
+            stalled.join(", ")
+        ));
+    }
+    let complete = run.teardown.spawned == run.teardown.joined
+        && run.federates[program.components[0].name.as_str()].reactions == activations;
+    if ring {
+        // the feedback channel legitimately retains values at teardown
+        // (its consumer is the head, which retires first), so the pipeline
+        // delivery audit does not apply
+        if complete {
+            println!("OK: the ring ran the head's full budget, every thread joined");
+            return Ok(());
+        }
+        return Err("self-check failed: incomplete ring federation".into());
+    }
     let delivered = run.channels.values().all(|c| c.pushes == activations as u64 && c.drained());
-    let complete = run.total_reactions() == stages * activations
-        && run.teardown.spawned == run.teardown.joined;
     if delivered && complete {
         println!("OK: every value delivered, every thread joined");
         Ok(())

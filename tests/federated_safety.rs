@@ -1,0 +1,117 @@
+//! Pinned regressions for the federated-deployment analysis (`PA008`):
+//! the analyzer's deadlock verdicts are checked against the live runtime
+//! on both sides of the fence.
+//!
+//! The subject is the smallest capacity-induced deadlock we know: a
+//! 2-component producer→join where the producer emits a burst of `x`
+//! values before the matching `y` values. At capacity 1 the producer
+//! blocks sending the second `x` while the join still waits for its
+//! first `y` — a wait-for cycle the abstract replay finds statically and
+//! the runtime reproduces as a watchdog-detected stall. At the
+//! analyzer-suggested capacities the same deployment runs to completion
+//! with zero permanent stalls. (The generative `FederatedSafety` oracle
+//! in `crates/gen` checks the same contract on thousands of generated
+//! topologies; these tests pin the hand-traced case.)
+
+use polysig_analyze::{analyze_deployment, DeploymentPlan, DeploymentVerdict};
+use polysig_gals::runtime::{run_federated, FederateSpec, FederatedOptions};
+use polysig_lang::{parse_program, Program};
+use polysig_sim::Scenario;
+use polysig_tagged::{SigName, Value};
+use std::time::Duration;
+
+/// Producer `S` feeds a join `J` over two channels.
+fn join_program() -> Program {
+    parse_program(
+        "process S { input a: int, b: int; output x: int, y: int; \
+                     x := a; y := b; } \
+         process J { input x: int, y: int; output z: int; z := x + y; }",
+    )
+    .unwrap()
+}
+
+const BURST: usize = 12;
+const STEPS: usize = 2 * BURST;
+
+/// `a` on the first 12 instants, `b` on the last 12: every `x` is
+/// eventually matched by a `y`, but the whole `x` burst is in flight
+/// before the first `y` exists.
+fn burst_env() -> Scenario {
+    let mut env = Scenario::new();
+    for i in 0..BURST {
+        env = env.on("a", Value::Int(i as i64)).tick();
+    }
+    for i in 0..BURST {
+        env = env.on("b", Value::Int(10 * i as i64)).tick();
+    }
+    env
+}
+
+fn specs() -> Vec<FederateSpec> {
+    vec![
+        FederateSpec::new("S", STEPS).with_environment(burst_env()),
+        FederateSpec::new("J", 10 * STEPS).data_driven(),
+    ]
+}
+
+#[test]
+fn pa008_flags_the_capacity_one_join_and_the_runtime_stalls() {
+    let program = join_program();
+    let plan = DeploymentPlan::canonical(&program, Some(&burst_env()));
+    assert_eq!(plan.capacity_of(&SigName::from("x")), 1, "canonical plans start at capacity 1");
+    let (report, diags) = analyze_deployment(&program, &plan, None);
+    let DeploymentVerdict::DeadlockRisk { cycle, .. } = &report.verdict else {
+        panic!("expected a deadlock risk at capacity 1, got {:?}", report.verdict);
+    };
+    assert!(!cycle.is_empty());
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].render().contains("PA008"), "{}", diags[0].render());
+
+    // the verdict is not hypothetical: the runtime wedges at capacity 1
+    // and only the watchdog gets the federation back
+    let run = run_federated(
+        &program,
+        specs(),
+        &FederatedOptions::default()
+            .with_default_capacity(1)
+            .with_watchdog(Duration::from_millis(20)),
+    )
+    .unwrap();
+    assert!(run.deadlocked(), "capacity 1 must stall the live federation");
+    let watchdog = run.watchdog.as_ref().expect("watchdog report");
+    assert!(watchdog.fired);
+    assert!(!watchdog.stalled.is_empty(), "the stalled channel set is reported");
+    assert_eq!(run.teardown.spawned, run.teardown.joined, "every thread joined after the stall");
+}
+
+#[test]
+fn the_suggested_capacities_run_the_same_join_to_completion() {
+    let program = join_program();
+    let plan = DeploymentPlan::canonical(&program, Some(&burst_env()));
+    let (risky, _) = analyze_deployment(&program, &plan, None);
+    let suggested = risky.suggested_capacities.clone();
+    assert!(
+        suggested.get(&SigName::from("x")).is_some_and(|&c| c > 1),
+        "the replay pins the backlog on `x`, got {suggested:?}"
+    );
+
+    // the analyzer agrees with itself: re-analysis at the suggested
+    // capacities upgrades the verdict to deadlock-free, diagnostic-free
+    let (fixed, diags) =
+        analyze_deployment(&program, &plan.clone().with_capacities(suggested.clone()), None);
+    assert!(fixed.is_deadlock_free(), "{:?}", fixed.verdict);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // and the runtime agrees with the analyzer: the same deployment at
+    // the suggested capacities completes with zero permanent stalls
+    let mut options = FederatedOptions::default().with_watchdog(Duration::from_millis(20));
+    for (sig, cap) in &suggested {
+        options = options.with_capacity(sig.clone(), *cap);
+    }
+    let run = run_federated(&program, specs(), &options).unwrap();
+    assert!(!run.deadlocked(), "suggested capacities must not stall");
+    assert!(!run.watchdog.as_ref().is_some_and(|w| w.fired), "the watchdog stayed quiet");
+    assert_eq!(run.federates["S"].reactions, STEPS, "the producer ran its full budget");
+    assert_eq!(run.federates["J"].reactions, BURST, "the join paired every x with its y");
+    assert_eq!(run.teardown.spawned, run.teardown.joined);
+}

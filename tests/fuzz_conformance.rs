@@ -60,9 +60,15 @@ fn generated_cases_satisfy_all_oracles() {
     let base = env_u64("POLYSIG_FUZZ_SEED", 1);
     let cases = env_u64("POLYSIG_FUZZ_CASES", 64);
     let config = GenConfig::default();
-    for shape in [Shape::Free, Shape::Pipeline] {
+    for shape in [Shape::Free, Shape::Pipeline, Shape::Ring] {
         for i in 0..cases {
-            let shape_bit = u64::from(shape == Shape::Pipeline) << 32;
+            // Stable per-shape bits keep seeds for the older shapes unchanged
+            // as new shapes are appended.
+            let shape_bit = match shape {
+                Shape::Free => 0u64,
+                Shape::Pipeline => 1u64 << 32,
+                Shape::Ring => 2u64 << 32,
+            };
             let seed = splitmix64(base ^ splitmix64(i | shape_bit));
             let mut rng = StdRng::seed_from_u64(seed);
             let case = generate_case(&mut rng, &config, shape);
